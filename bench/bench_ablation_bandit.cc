@@ -1,0 +1,107 @@
+// Design-choice ablation (DESIGN.md): the conditioning block's arm-
+// elimination policy — the paper's rising-bandit bounds vs a successive-
+// halving schedule (paper Section 3.3.4 notes both are pluggable) — and
+// the alternating block's EUI rule vs plain round-robin, measured by
+// final validation utility over a dataset pool at a fixed budget.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/alternating_block.h"
+#include "core/conditioning_block.h"
+#include "core/joint_block.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+namespace bench {
+namespace {
+
+/// Builds the Figure 2 plan with a chosen elimination policy and a flag
+/// that replaces the alternating EUI rule with strict round-robin (by
+/// setting both children's histories irrelevant via init rounds that
+/// cover the whole run — implemented by a huge init_rounds count).
+std::unique_ptr<BuildingBlock> BuildVariant(
+    const SearchSpace& space, PipelineEvaluator* evaluator,
+    ConditioningBlock::EliminationPolicy policy, bool round_robin_alt,
+    uint64_t seed) {
+  return std::make_unique<ConditioningBlock>(
+      "cond", "algorithm", space.algorithms().size(),
+      [&space, evaluator, round_robin_alt, seed](size_t arm)
+          -> std::unique_ptr<BuildingBlock> {
+        const std::string& algorithm = space.algorithms()[arm];
+        ConfigurationSpace fe_space = space.FeSubspace();
+        ConfigurationSpace hp_space = space.HpSubspaceFor(algorithm);
+        std::vector<std::string> fe_vars = fe_space.ParameterNames();
+        std::vector<std::string> hp_vars = hp_space.ParameterNames();
+        auto fe = std::make_unique<JointBlock>(
+            "fe", std::move(fe_space), evaluator, JointOptimizerKind::kSmac,
+            seed ^ (arm * 7919));
+        auto hp = std::make_unique<JointBlock>(
+            "hp", std::move(hp_space), evaluator, JointOptimizerKind::kSmac,
+            seed ^ (arm * 104729));
+        auto alt = std::make_unique<AlternatingBlock>(
+            "alt", std::move(fe), fe_vars, std::move(hp), hp_vars,
+            /*init_rounds=*/round_robin_alt ? 100000 : 2);
+        alt->SetVar({{"algorithm", static_cast<double>(arm)}});
+        return alt;
+      },
+      /*rounds_per_elimination=*/5, policy);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace volcanoml
+
+int main() {
+  using namespace volcanoml;
+  using namespace volcanoml::bench;
+  std::printf("Ablation: bandit policies inside the Figure 2 plan\n");
+
+  SearchSpaceOptions space_options;
+  space_options.preset = SpacePreset::kMedium;
+  double budget = 40.0 * BenchScale();  // Evaluation units (deterministic).
+
+  struct Variant {
+    const char* name;
+    ConditioningBlock::EliminationPolicy policy;
+    bool round_robin_alt;
+  };
+  std::vector<Variant> variants = {
+      {"rising-bandit + EUI (paper)",
+       ConditioningBlock::EliminationPolicy::kRisingBandit, false},
+      {"successive-halving + EUI",
+       ConditioningBlock::EliminationPolicy::kSuccessiveHalving, false},
+      {"rising-bandit + round-robin",
+       ConditioningBlock::EliminationPolicy::kRisingBandit, true},
+  };
+
+  std::vector<DatasetSpec> suite = MediumClassificationSuite();
+  std::vector<std::vector<double>> utilities;  // [dataset][variant]
+  for (size_t d = 0; d < suite.size(); d += 3) {
+    Dataset data = suite[d].make(900 + d);
+    TrainTest tt = SplitDataset(data, 81 + d);
+    SearchSpace space(space_options);
+    std::vector<double> row;
+    for (const Variant& variant : variants) {
+      PipelineEvaluator evaluator(&space, &tt.train, {});
+      std::unique_ptr<BuildingBlock> root =
+          BuildVariant(space, &evaluator, variant.policy,
+                       variant.round_robin_alt, 77 + d);
+      while (evaluator.consumed_budget() < budget) {
+        root->DoNext(budget - evaluator.consumed_budget());
+      }
+      row.push_back(root->BestUtility());
+    }
+    utilities.push_back(std::move(row));
+  }
+
+  std::vector<double> ranks = AverageRanks(utilities, true);
+  std::printf("\n%-32s %10s\n", "variant", "avg rank");
+  for (size_t v = 0; v < variants.size(); ++v) {
+    std::printf("%-32s %10.2f\n", variants[v].name, ranks[v]);
+  }
+  std::printf("(lower is better; %zu datasets, budget %.0f evals)\n",
+              utilities.size(), budget);
+  return 0;
+}

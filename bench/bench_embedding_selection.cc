@@ -1,0 +1,68 @@
+// Experiment E5 — Section 5.3 of the paper: embedding selection for image
+// input (the Figure 3 enriched plan). VolcanoML searches over {raw
+// pixels, pretrained_model_a, pretrained_model_b} jointly with FE,
+// algorithm and HP; auto-sklearn sees raw pixels only.
+//
+// Paper reference: 96.5% test accuracy with embedding selection vs 69.7%
+// for auto-sklearn without, on Kaggle dogs-vs-cats. The shape to
+// reproduce: the enriched system selects the strong pre-trained encoder
+// and clearly outperforms the raw-pixel baseline.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace volcanoml;
+  using namespace volcanoml::bench;
+  std::printf("E5 / Sec 5.3: embedding selection on synthetic dogs-vs-cats\n");
+
+  Dataset images =
+      MakeSyntheticImages(400, 8, 1.5, 2024, "dogs_vs_cats_like");
+  TrainTest tt = SplitDataset(images, 51);
+
+  SearchSpaceOptions raw_space;
+  raw_space.task = TaskType::kClassification;
+  raw_space.preset = SpacePreset::kMedium;
+  SearchSpaceOptions embed_space = raw_space;
+  embed_space.include_embedding = true;
+
+  double budget = 3.0 * BenchScale();  // Seconds per system.
+
+  AuskOptions ausk_options;
+  ausk_options.space = raw_space;
+  ausk_options.eval.budget_in_seconds = true;
+  ausk_options.budget = budget;
+  ausk_options.seed = 1;
+  AutoSklearnBaseline ausk(ausk_options);
+  AutoMlResult ausk_result = ausk.Fit(tt.train);
+  double ausk_acc =
+      TestScore(raw_space, ausk_result.best_assignment, tt.train, tt.test);
+
+  VolcanoMlOptions volcano_options;
+  volcano_options.space = embed_space;
+  volcano_options.eval.budget_in_seconds = true;
+  volcano_options.budget = budget;
+  volcano_options.seed = 1;
+  VolcanoML volcano(volcano_options);
+  AutoMlResult volcano_result = volcano.Fit(tt.train);
+  double volcano_acc = TestScore(embed_space, volcano_result.best_assignment,
+                                 tt.train, tt.test);
+
+  std::printf("\n%-38s %8s\n", "system", "bal.acc");
+  std::printf("%-38s %8.4f\n", "AUSK (raw pixels)", ausk_acc);
+  std::printf("%-38s %8.4f\n", "VolcanoML (+embedding selection)",
+              volcano_acc);
+
+  auto it = volcano_result.best_assignment.find("fe:embedding");
+  if (it != volcano_result.best_assignment.end()) {
+    static const char* kChoices[] = {"none", "pretrained_model_a",
+                                     "pretrained_model_b"};
+    size_t choice = static_cast<size_t>(it->second);
+    std::printf("selected embedding operator: %s\n",
+                choice < 3 ? kChoices[choice] : "?");
+  }
+  std::printf("(paper: 96.5%% with embedding selection vs 69.7%% without)\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Experiment E8 — component micro-benchmarks (google-benchmark): costs of
+// the machinery the search loop exercises on every iteration — config
+// sampling/encoding, surrogate fit/predict, EI candidate scoring, one
+// pipeline evaluation, and one building-block pull.
+
+#include <benchmark/benchmark.h>
+
+#include "bo/acquisition.h"
+#include "bo/smac.h"
+#include "bo/surrogate.h"
+#include "core/joint_block.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/search_space.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+const SearchSpace& LargeSpace() {
+  static const SearchSpace& space = *new SearchSpace([] {
+    SearchSpaceOptions o;
+    o.preset = SpacePreset::kLarge;
+    return o;
+  }());
+  return space;
+}
+
+void BM_ConfigSample(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LargeSpace().joint().Sample(&rng));
+  }
+}
+BENCHMARK(BM_ConfigSample);
+
+void BM_ConfigEncode(benchmark::State& state) {
+  Rng rng(2);
+  Configuration c = LargeSpace().joint().Sample(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LargeSpace().joint().Encode(c));
+  }
+}
+BENCHMARK(BM_ConfigEncode);
+
+void BM_SurrogateFit(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (size_t i = 0; i < n; ++i) {
+    Configuration c = LargeSpace().joint().Sample(&rng);
+    x.push_back(LargeSpace().joint().Encode(c));
+    y.push_back(rng.Uniform());
+  }
+  for (auto _ : state) {
+    RandomForestSurrogate surrogate({}, 4);
+    surrogate.Fit(x, y);
+    benchmark::DoNotOptimize(surrogate);
+  }
+}
+BENCHMARK(BM_SurrogateFit)->Arg(50)->Arg(200);
+
+void BM_SurrogatePredict(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (size_t i = 0; i < 100; ++i) {
+    Configuration c = LargeSpace().joint().Sample(&rng);
+    x.push_back(LargeSpace().joint().Encode(c));
+    y.push_back(rng.Uniform());
+  }
+  RandomForestSurrogate surrogate({}, 6);
+  surrogate.Fit(x, y);
+  std::vector<double> query = x[0];
+  double mean, variance;
+  for (auto _ : state) {
+    surrogate.PredictMeanVar(query, &mean, &variance);
+    benchmark::DoNotOptimize(mean);
+  }
+}
+BENCHMARK(BM_SurrogatePredict);
+
+void BM_SmacSuggest(benchmark::State& state) {
+  Rng rng(7);
+  SmacOptimizer smac(&LargeSpace().joint(), {}, 8);
+  for (int i = 0; i < 30; ++i) {
+    Configuration c = LargeSpace().joint().Sample(&rng);
+    smac.Observe(c, rng.Uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smac.Suggest());
+  }
+}
+BENCHMARK(BM_SmacSuggest);
+
+void BM_PipelineEvaluation(benchmark::State& state) {
+  static Dataset* data = new Dataset(MakeBlobs(300, 8, 2, 1.5, 9));
+  PipelineEvaluator evaluator(&LargeSpace(), data, {});
+  Assignment assignment = LargeSpace().DefaultAssignment();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Evaluate(assignment));
+  }
+}
+BENCHMARK(BM_PipelineEvaluation);
+
+void BM_JointBlockPull(benchmark::State& state) {
+  static Dataset* data = new Dataset(MakeBlobs(300, 8, 2, 1.5, 10));
+  PipelineEvaluator evaluator(&LargeSpace(), data, {});
+  JointBlock block("bench", LargeSpace().joint(), &evaluator,
+                   JointOptimizerKind::kSmac, 11);
+  for (auto _ : state) {
+    block.DoNext(100.0);
+  }
+}
+BENCHMARK(BM_JointBlockPull);
+
+}  // namespace
+}  // namespace volcanoml
+
+BENCHMARK_MAIN();

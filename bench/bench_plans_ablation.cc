@@ -1,0 +1,54 @@
+// Experiment E7 — Section 4's alternative-execution-plan comparison: the
+// five coarse-grained plans VolcanoML can express for the same space,
+// compared by average rank over a dataset pool (the paper's automatic
+// plan-generation pilot, which found the Figure 2 plan
+// cond(alg)+alt(fe,hp) to be the best).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace volcanoml;
+  using namespace volcanoml::bench;
+  std::printf("E7: execution-plan ablation (average rank, lower better)\n");
+
+  SearchSpaceOptions space;
+  space.task = TaskType::kClassification;
+  space.preset = SpacePreset::kMedium;
+
+  double budget = 1.0 * BenchScale();  // Seconds per plan per dataset.
+  std::vector<PlanKind> plans = AllPlanKinds();
+  std::vector<DatasetSpec> suite = MediumClassificationSuite();
+
+  std::vector<std::vector<double>> scores;  // [dataset][plan]
+  for (size_t d = 0; d < suite.size(); d += 2) {  // Every other dataset.
+    Dataset data = suite[d].make(800 + d);
+    TrainTest tt = SplitDataset(data, 71 + d);
+    std::vector<double> row;
+    for (PlanKind plan : plans) {
+      VolcanoMlOptions options;
+      options.space = space;
+      options.plan = plan;
+      options.eval.budget_in_seconds = true;
+      options.budget = budget;
+      options.seed = 900 + d;
+      VolcanoML engine(options);
+      AutoMlResult result = engine.Fit(tt.train);
+      row.push_back(
+          TestScore(space, result.best_assignment, tt.train, tt.test));
+    }
+    scores.push_back(std::move(row));
+  }
+
+  std::vector<double> ranks = AverageRanks(scores, /*higher_is_better=*/true);
+  std::printf("\n%-28s %10s\n", "plan", "avg rank");
+  for (size_t p = 0; p < plans.size(); ++p) {
+    std::printf("%-28s %10.2f%s\n", PlanKindName(plans[p]).c_str(), ranks[p],
+                plans[p] == PlanKind::kConditioningAlternating
+                    ? "   <- paper's default (Figure 2)"
+                    : "");
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Experiment E3 — Table 1 of the paper: average ranks of TPOT, AUSK-,
+// AUSK, VolcanoML- and VolcanoML over the classification and regression
+// suites, for the three search-space sizes (small / medium / large;
+// 20 / 29 / ~60 hyper-parameters here). Lower rank is better.
+//
+// Paper reference (classification rows): VolcanoML's rank improves as the
+// space grows (2.94/2.78/2.72 without meta, 2.89/2.43/1.65 with meta)
+// while AUSK degrades (3.01/3.27/3.57) — the shape to reproduce is
+// "VolcanoML's advantage widens with search-space size, meta-learning
+// helps VolcanoML most".
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "meta/bootstrap.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+namespace bench {
+namespace {
+
+const char* PresetLabel(SpacePreset preset) {
+  switch (preset) {
+    case SpacePreset::kSmall:
+      return "Small";
+    case SpacePreset::kMedium:
+      return "Medium";
+    case SpacePreset::kLarge:
+      return "Large";
+  }
+  return "?";
+}
+
+void RunTask(TaskType task, const std::vector<DatasetSpec>& suite,
+             double budget, double kb_budget) {
+  const bool cls = task == TaskType::kClassification;
+  std::printf("\n== %s (%zu datasets, budget %.1f s/system) ==\n",
+              cls ? "Classification" : "Regression", suite.size(), budget);
+  PrintHeader("Space - Task",
+              {"TPOT", "AUSK-", "AUSK", "VolcanoML-", "VolcanoML"});
+
+  for (SpacePreset preset :
+       {SpacePreset::kSmall, SpacePreset::kMedium, SpacePreset::kLarge}) {
+    SearchSpaceOptions space;
+    space.task = task;
+    space.preset = preset;
+    EvaluatorOptions eval;
+    eval.budget_in_seconds = true;
+
+    // One knowledge base per (task, preset), built from independent draws
+    // of the same suite; SuggestWarmStarts excludes same-name datasets,
+    // making transfer leave-one-out.
+    MetaKnowledgeBase kb = BuildKnowledgeBase(suite, space, kb_budget, 77);
+
+    std::vector<SystemUnderTest> systems = {
+        MakeTpot(space, eval),
+        MakeAusk(space, nullptr, "AUSK-", eval),
+        MakeAusk(space, &kb, "AUSK", eval),
+        MakeVolcano(space, nullptr, "VolcanoML-", eval),
+        MakeVolcano(space, &kb, "VolcanoML", eval),
+    };
+
+    // scores[dataset][system]; rank orientation depends on the task.
+    std::vector<std::vector<double>> scores;
+    for (size_t d = 0; d < suite.size(); ++d) {
+      Dataset data = suite[d].make(200 + d);
+      TrainTest tt = SplitDataset(data, 17 + d);
+      std::vector<double> row;
+      for (const SystemUnderTest& system : systems) {
+        AutoMlResult result = system.run(tt.train, budget, 3000 + d);
+        row.push_back(
+            TestScore(space, result.best_assignment, tt.train, tt.test));
+      }
+      scores.push_back(std::move(row));
+    }
+    std::vector<double> ranks =
+        AverageRanks(scores, /*higher_is_better=*/cls);
+    PrintRow(std::string(PresetLabel(preset)) + (cls ? " - CLS" : " - REG"),
+             ranks, "%10.2f");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace volcanoml
+
+int main() {
+  using namespace volcanoml;
+  using namespace volcanoml::bench;
+  std::printf(
+      "E3 / Table 1: average ranks across search-space sizes "
+      "(lower is better)\n");
+  double budget = 0.8 * BenchScale();   // Seconds per system per dataset.
+  double kb_budget = 15.0 * BenchScale();  // Evaluations per KB entry.
+  RunTask(TaskType::kClassification, MediumClassificationSuite(), budget,
+          kb_budget);
+  RunTask(TaskType::kRegression, RegressionSuite(), budget, kb_budget);
+  return 0;
+}

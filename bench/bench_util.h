@@ -1,0 +1,173 @@
+#ifndef VOLCANOML_BENCH_BENCH_UTIL_H_
+#define VOLCANOML_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/auto_sklearn.h"
+#include "baselines/platforms.h"
+#include "baselines/tpot.h"
+#include "core/volcano_ml.h"
+#include "data/splits.h"
+#include "data/suite.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace bench {
+
+/// Budget multiplier from the VOLCANOML_BENCH_SCALE environment variable
+/// (default 1.0). Raise it to run the experiments closer to paper-scale
+/// budgets; lower it for smoke runs.
+inline double BenchScale() {
+  const char* env = std::getenv("VOLCANOML_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+/// The paper's protocol: 4/5 of the samples for search, 1/5 for the
+/// reported test metric.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+inline TrainTest SplitDataset(const Dataset& data, uint64_t seed) {
+  Rng rng(seed);
+  Split split = TrainTestSplit(data, 0.2, &rng);
+  return {data.Subset(split.train), data.Subset(split.test)};
+}
+
+/// Trains `assignment` on `train` (full data) and returns the test-set
+/// score: balanced accuracy for classification, MSE for regression.
+/// Returns the failure utility if the pipeline cannot be fitted.
+inline double TestScore(const SearchSpaceOptions& space_options,
+                        const Assignment& assignment, const Dataset& train,
+                        const Dataset& test) {
+  SearchSpace space(space_options);
+  PipelineEvaluator evaluator(&space, &train, {});
+  Result<FittedPipeline> pipeline = evaluator.FitFinal(assignment);
+  if (!pipeline.ok()) {
+    return train.task() == TaskType::kClassification ? 0.0 : 1e9;
+  }
+  std::vector<double> pred = pipeline.value().Predict(test.x());
+  if (train.task() == TaskType::kClassification) {
+    return BalancedAccuracy(test.y(), pred, train.NumClasses());
+  }
+  return MeanSquaredError(test.y(), pred);
+}
+
+/// Test error (1 - balanced accuracy) convenience for the figure benches.
+inline double TestError(const SearchSpaceOptions& space_options,
+                        const Assignment& assignment, const Dataset& train,
+                        const Dataset& test) {
+  return 1.0 - TestScore(space_options, assignment, train, test);
+}
+
+/// A named AutoML system under benchmark: returns its search result on a
+/// training set given a budget and seed.
+struct SystemUnderTest {
+  std::string name;
+  std::function<AutoMlResult(const Dataset& train, double budget,
+                             uint64_t seed)>
+      run;
+};
+
+/// Standard system roster builders (shared across benches).
+inline SystemUnderTest MakeVolcano(const SearchSpaceOptions& space,
+                                   const MetaKnowledgeBase* knowledge,
+                                   std::string name,
+                                   const EvaluatorOptions& eval = {}) {
+  return {std::move(name),
+          [space, knowledge, eval](const Dataset& train, double budget,
+                                   uint64_t seed) {
+            VolcanoMlOptions options;
+            options.space = space;
+            options.eval = eval;
+            options.budget = budget;
+            options.knowledge = knowledge;
+            options.seed = seed;
+            VolcanoML engine(options);
+            return engine.Fit(train);
+          }};
+}
+
+inline SystemUnderTest MakeAusk(const SearchSpaceOptions& space,
+                                const MetaKnowledgeBase* knowledge,
+                                std::string name,
+                                const EvaluatorOptions& eval = {}) {
+  return {std::move(name),
+          [space, knowledge, eval](const Dataset& train, double budget,
+                                   uint64_t seed) {
+            AuskOptions options;
+            options.space = space;
+            options.eval = eval;
+            options.budget = budget;
+            options.knowledge = knowledge;
+            options.seed = seed;
+            AutoSklearnBaseline engine(options);
+            return engine.Fit(train);
+          }};
+}
+
+inline SystemUnderTest MakeTpot(const SearchSpaceOptions& space,
+                                const EvaluatorOptions& eval = {}) {
+  return {"TPOT",
+          [space, eval](const Dataset& train, double budget, uint64_t seed) {
+            TpotOptions options;
+            options.space = space;
+            options.eval = eval;
+            options.budget = budget;
+            options.seed = seed;
+            TpotBaseline engine(options);
+            return engine.Fit(train);
+          }};
+}
+
+inline SystemUnderTest MakePlatform(const SearchSpaceOptions& space,
+                                    PlatformKind kind,
+                                    const EvaluatorOptions& eval = {}) {
+  return {PlatformName(kind),
+          [space, kind, eval](const Dataset& train, double budget,
+                              uint64_t seed) {
+            PlatformOptions options;
+            options.space = space;
+            options.eval = eval;
+            options.budget = budget;
+            options.seed = seed;
+            return RunPlatform(kind, options, train);
+          }};
+}
+
+/// Prints a markdown-style table row.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values, const char* fmt) {
+  std::printf("| %-22s |", label.c_str());
+  for (double v : values) {
+    std::printf(" ");
+    std::printf(fmt, v);
+    std::printf(" |");
+  }
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& label,
+                        const std::vector<std::string>& columns) {
+  std::printf("| %-22s |", label.c_str());
+  for (const std::string& column : columns) {
+    std::printf(" %10s |", column.c_str());
+  }
+  std::printf("\n|%s|", std::string(24, '-').c_str());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s|", std::string(12, '-').c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BENCH_BENCH_UTIL_H_

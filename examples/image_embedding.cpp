@@ -1,0 +1,74 @@
+// Scenario: image classification via embedding selection (the paper's
+// Figure 3 enriched plan, Section 5.3).
+//
+// Shallow pipelines cannot learn from raw pixels; with the embedding
+// stage enabled, VolcanoML chooses between the raw input and two
+// simulated pre-trained encoders (the TF-Hub substitution) jointly with
+// the rest of the pipeline, and discovers that the in-domain encoder
+// unlocks the task.
+
+#include <cstdio>
+
+#include "core/volcano_ml.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace {
+
+double RunSearch(const volcanoml::Dataset& train,
+                 const volcanoml::Dataset& test, bool include_embedding,
+                 std::string* chosen_embedding) {
+  using namespace volcanoml;
+  VolcanoMlOptions options;
+  options.space.task = TaskType::kClassification;
+  options.space.preset = SpacePreset::kMedium;
+  options.space.include_embedding = include_embedding;
+  options.budget = 50.0;
+  options.seed = 11;
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(train);
+
+  if (include_embedding) {
+    static const char* kNames[] = {"none (raw pixels)", "pretrained_model_a",
+                                   "pretrained_model_b"};
+    auto it = result.best_assignment.find("fe:embedding");
+    size_t index =
+        it == result.best_assignment.end() ? 0 : static_cast<size_t>(it->second);
+    *chosen_embedding = index < 3 ? kNames[index] : "?";
+  }
+
+  Result<FittedPipeline> pipeline = automl.FitFinalPipeline();
+  if (!pipeline.ok()) return 0.0;
+  std::vector<double> predictions = pipeline.value().Predict(test.x());
+  return BalancedAccuracy(test.y(), predictions, test.NumClasses());
+}
+
+}  // namespace
+
+int main() {
+  using namespace volcanoml;
+
+  // 8x8 synthetic "pet photos": class texture hidden under per-image
+  // exposure/illumination nuisance and pixel noise.
+  Dataset images = MakeSyntheticImages(500, 8, 1.5, 99, "pet_photos");
+  Rng rng(13);
+  Split split = TrainTestSplit(images, 0.2, &rng);
+  Dataset train = images.Subset(split.train);
+  Dataset test = images.Subset(split.test);
+
+  std::string chosen;
+  std::printf("searching WITHOUT the embedding stage (raw pixels)...\n");
+  double raw = RunSearch(train, test, false, &chosen);
+  std::printf("  test balanced accuracy: %.4f\n\n", raw);
+
+  std::printf("searching WITH embedding selection (Figure 3 plan)...\n");
+  double embedded = RunSearch(train, test, true, &chosen);
+  std::printf("  test balanced accuracy: %.4f\n", embedded);
+  std::printf("  selected embedding: %s\n", chosen.c_str());
+
+  std::printf("\n(paper's dogs-vs-cats: 96.5%% with embeddings vs 69.7%% "
+              "without)\n");
+  return 0;
+}

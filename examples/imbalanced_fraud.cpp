@@ -1,0 +1,81 @@
+// Scenario: fraud-style imbalanced classification with search-space
+// enrichment (the paper's Table 2 story).
+//
+// A stock AutoML search space handles class imbalance only with generic
+// over/undersampling. VolcanoML's extensible FE stages let a user drop in
+// the "smote" balancer, and the search decides when to use it. This
+// example contrasts the default space with the enriched one on a 12:1
+// imbalanced task, reporting balanced accuracy (accuracy would look
+// deceptively high by always predicting the majority class).
+
+#include <cstdio>
+
+#include "core/volcano_ml.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace {
+
+double RunSearch(const volcanoml::Dataset& train,
+                 const volcanoml::Dataset& test, bool include_smote) {
+  using namespace volcanoml;
+  VolcanoMlOptions options;
+  options.space.task = TaskType::kClassification;
+  options.space.preset = SpacePreset::kLarge;  // Has the balancing stage.
+  options.space.include_smote = include_smote;
+  options.budget = 60.0;
+  options.seed = 3;
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(train);
+
+  Result<FittedPipeline> pipeline = automl.FitFinalPipeline();
+  if (!pipeline.ok()) return 0.0;
+  std::vector<double> predictions = pipeline.value().Predict(test.x());
+  double score =
+      BalancedAccuracy(test.y(), predictions, test.NumClasses());
+
+  auto balancer = result.best_assignment.find("fe:balancing");
+  std::printf("  chosen balancing operator index: %g\n",
+              balancer == result.best_assignment.end() ? -1.0
+                                                       : balancer->second);
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  using namespace volcanoml;
+
+  // "Fraud" data: 12 legitimate transactions per fraudulent one.
+  ClassificationOptions generator;
+  generator.num_samples = 900;
+  generator.num_features = 20;
+  generator.num_informative = 5;
+  generator.num_redundant = 4;
+  generator.imbalance = 12.0;
+  generator.class_sep = 0.9;
+  generator.flip_y = 0.02;
+  Dataset data = MakeClassification(generator, 2026, "fraud_like");
+  std::vector<size_t> counts = data.ClassCounts();
+  std::printf("class balance: %zu legitimate vs %zu fraud\n", counts[0],
+              counts[1]);
+
+  Rng rng(5);
+  Split split = TrainTestSplit(data, 0.2, &rng);
+  Dataset train = data.Subset(split.train);
+  Dataset test = data.Subset(split.test);
+
+  std::printf("\ndefault search space:\n");
+  double base = RunSearch(train, test, /*include_smote=*/false);
+  std::printf("  test balanced accuracy: %.4f\n", base);
+
+  std::printf("\nenriched search space (+smote balancer):\n");
+  double enriched = RunSearch(train, test, /*include_smote=*/true);
+  std::printf("  test balanced accuracy: %.4f\n", enriched);
+
+  std::printf("\nenrichment delta: %+.4f balanced-accuracy points\n",
+              enriched - base);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Command-line AutoML: run VolcanoML on a numeric CSV file.
+//
+//   volcanoml_cli <train.csv> [options]
+//
+//   --task cls|reg          task type               (default: cls)
+//   --preset small|medium|large                     (default: medium)
+//   --budget <n>            evaluations, or seconds with --seconds
+//   --seconds               budget is wall-clock seconds
+//   --plan joint|cond|default|alt                   (default: default)
+//   --cv <k>                k-fold CV utility       (default: holdout)
+//   --smote                 enrich the space with the SMOTE balancer
+//   --seed <n>              RNG seed                (default: 1)
+//   --predict <test.csv>    score a held-out CSV after the search
+//
+// CSV format: headerless, numeric, last column is the target (class ids
+// 0..k-1 for classification).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/volcano_ml.h"
+#include "data/csv.h"
+#include "ml/metrics.h"
+
+namespace {
+
+using namespace volcanoml;
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <train.csv> [--task cls|reg] [--preset "
+               "small|medium|large]\n"
+               "       [--budget N] [--seconds] [--plan "
+               "joint|cond|default|alt]\n"
+               "       [--cv K] [--smote] [--seed N] [--predict test.csv]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage(argv[0]);
+    return 2;
+  }
+  std::string train_path = argv[1];
+  std::string predict_path;
+  VolcanoMlOptions options;
+  options.space.preset = SpacePreset::kMedium;
+  options.budget = 100.0;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--task") {
+      std::string task = next();
+      options.space.task = task == "reg" ? TaskType::kRegression
+                                         : TaskType::kClassification;
+    } else if (arg == "--preset") {
+      std::string preset = next();
+      options.space.preset = preset == "small"   ? SpacePreset::kSmall
+                             : preset == "large" ? SpacePreset::kLarge
+                                                 : SpacePreset::kMedium;
+    } else if (arg == "--budget") {
+      options.budget = std::atof(next());
+    } else if (arg == "--seconds") {
+      options.eval.budget_in_seconds = true;
+    } else if (arg == "--plan") {
+      std::string plan = next();
+      options.plan = plan == "joint"  ? PlanKind::kJoint
+                     : plan == "cond" ? PlanKind::kConditioningJoint
+                     : plan == "alt"  ? PlanKind::kAlternatingFeConditioning
+                                      : PlanKind::kConditioningAlternating;
+    } else if (arg == "--cv") {
+      options.eval.cv_folds = static_cast<size_t>(std::atoi(next()));
+    } else if (arg == "--smote") {
+      options.space.include_smote = true;
+    } else if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--predict") {
+      predict_path = next();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  Result<Dataset> train =
+      LoadCsvDataset(train_path, options.space.task, "train");
+  if (!train.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", train_path.c_str(),
+                 train.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu samples x %zu features\n",
+              train.value().NumSamples(), train.value().NumFeatures());
+
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(train.value());
+  std::printf("evaluations: %zu\nvalidation utility: %.4f\n",
+              result.num_evaluations, result.best_utility);
+  std::printf("best pipeline (plan %s):\n",
+              PlanKindName(options.plan).c_str());
+  for (const auto& [name, value] : result.best_assignment) {
+    std::printf("  %s = %g\n", name.c_str(), value);
+  }
+
+  if (predict_path.empty()) return 0;
+
+  Result<Dataset> test =
+      LoadCsvDataset(predict_path, options.space.task, "test");
+  if (!test.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", predict_path.c_str(),
+                 test.status().ToString().c_str());
+    return 1;
+  }
+  Result<FittedPipeline> pipeline = automl.FitFinalPipeline();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "final fit failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> pred = pipeline.value().Predict(test.value().x());
+  if (options.space.task == TaskType::kClassification) {
+    std::printf("test balanced accuracy: %.4f\n",
+                BalancedAccuracy(test.value().y(), pred,
+                                 train.value().NumClasses()));
+  } else {
+    std::printf("test MSE: %.4f\n",
+                MeanSquaredError(test.value().y(), pred));
+  }
+  return 0;
+}

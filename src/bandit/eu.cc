@@ -1,0 +1,95 @@
+#include "bandit/eu.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+std::vector<double> BestSoFarCurve(const std::vector<double>& utilities) {
+  std::vector<double> curve(utilities.size());
+  double best = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < utilities.size(); ++i) {
+    best = std::max(best, utilities[i]);
+    curve[i] = best;
+  }
+  return curve;
+}
+
+EuBounds RisingBanditBounds(const std::vector<double>& best_curve,
+                            double k_more) {
+  VOLCANOML_CHECK(k_more >= 0.0);
+  EuBounds bounds;
+  if (best_curve.empty()) {
+    // No evidence yet: maximal uncertainty so the arm cannot be eliminated.
+    bounds.lower = -std::numeric_limits<double>::infinity();
+    bounds.upper = std::numeric_limits<double>::infinity();
+    return bounds;
+  }
+  double current = best_curve.back();
+  bounds.lower = current;
+
+  if (best_curve.size() < 2) {
+    bounds.upper = std::numeric_limits<double>::infinity();
+    return bounds;
+  }
+
+  // Slope between the last two improvement events (Li et al., AAAI'20):
+  // under the increasing-and-concave reward-curve assumption, this recent
+  // per-pull rate dominates all future rates, so extrapolating it
+  // linearly upper-bounds the achievable utility.
+  size_t last_gain = 0, prev_gain = 0;
+  for (size_t i = 1; i < best_curve.size(); ++i) {
+    if (best_curve[i] > best_curve[i - 1]) {
+      prev_gain = last_gain;
+      last_gain = i;
+    }
+  }
+  double slope;
+  if (last_gain == 0) {
+    // Never improved after the first pull: the curve has converged.
+    slope = 0.0;
+  } else if (prev_gain == 0 && last_gain == best_curve.size() - 1) {
+    // A single improvement at the very last pull: no decay evidence yet;
+    // fall back to that gain per pull.
+    slope = best_curve[last_gain] - best_curve[last_gain - 1];
+  } else if (prev_gain == 0) {
+    // One improvement followed by a flat tail: amortize over the tail.
+    slope = (best_curve[last_gain] - best_curve[last_gain - 1]) /
+            static_cast<double>(best_curve.size() - last_gain);
+  } else {
+    slope = (best_curve[last_gain] - best_curve[prev_gain]) /
+            static_cast<double>(last_gain - prev_gain);
+    // A long flat tail after the last improvement is stronger (more
+    // recent) evidence of decay; take the smaller of the two rates.
+    double tail = static_cast<double>(best_curve.size() - last_gain);
+    if (tail > static_cast<double>(last_gain - prev_gain)) {
+      slope = std::min(
+          slope, (best_curve[last_gain] - best_curve[prev_gain]) / tail);
+    }
+  }
+  bounds.upper = current + slope * k_more;
+  return bounds;
+}
+
+double MeanImprovementEui(const std::vector<double>& best_curve,
+                          size_t window) {
+  if (best_curve.size() < 2) {
+    // Unexplored arms report infinite EUI so they get pulled first.
+    return std::numeric_limits<double>::infinity();
+  }
+  size_t begin = 1;
+  if (window > 0 && best_curve.size() > window) {
+    begin = best_curve.size() - window;
+  }
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t i = begin; i < best_curve.size(); ++i) {
+    total += best_curve[i] - best_curve[i - 1];
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,41 @@
+#ifndef VOLCANOML_BANDIT_EU_H_
+#define VOLCANOML_BANDIT_EU_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace volcanoml {
+
+/// Lower/upper bound on an arm's expected utility after more budget.
+struct EuBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Rising-bandit extrapolation bounds [Li et al., AAAI'20], the `get_eu`
+/// primitive of VolcanoML building blocks (paper Section 3.2).
+///
+/// `best_curve` is the arm's best-utility-so-far trajectory (one entry per
+/// pull, non-decreasing); `k_more` is the remaining budget in pulls.
+/// The lower bound assumes no further improvement (current best); the
+/// upper bound extrapolates the most recent per-pull improvement rate
+/// linearly — valid under the rising-bandit assumption that reward curves
+/// are increasing with diminishing returns, so the recent slope bounds all
+/// future slopes.
+EuBounds RisingBanditBounds(const std::vector<double>& best_curve,
+                            double k_more);
+
+/// The `get_eui` primitive: expected utility improvement per additional
+/// pull, estimated as the mean of historical per-pull improvements
+/// (rotting-bandits estimator, Levine et al.). A `window` > 0 restricts
+/// the mean to the most recent pulls.
+double MeanImprovementEui(const std::vector<double>& best_curve,
+                          size_t window = 0);
+
+/// Converts a raw utility history (arbitrary order) into the best-so-far
+/// curve expected by the two estimators above.
+std::vector<double> BestSoFarCurve(const std::vector<double>& utilities);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BANDIT_EU_H_

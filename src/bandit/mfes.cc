@@ -1,0 +1,204 @@
+#include "bandit/mfes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "bo/acquisition.h"
+#include "bo/tpe.h"
+#include "util/check.h"
+
+namespace volcanoml {
+
+MfesHbOptimizer::MfesHbOptimizer(const ConfigurationSpace* space,
+                                 const Options& options, uint64_t seed)
+    : space_(space), options_(options), rng_(seed) {
+  VOLCANOML_CHECK(space_ != nullptr);
+  VOLCANOML_CHECK(options_.eta > 1.0);
+  VOLCANOML_CHECK(options_.min_fidelity > 0.0 && options_.min_fidelity <= 1.0);
+  s_max_ = static_cast<int>(std::floor(std::log(1.0 / options_.min_fidelity) /
+                                       std::log(options_.eta)));
+  current_s_ = s_max_ + 1;  // StartNextRungOrBracket decrements first.
+  best_utility_ = -std::numeric_limits<double>::infinity();
+  StartNextRungOrBracket();
+}
+
+std::vector<Configuration> MfesHbOptimizer::ProposeBracketCandidates(
+    size_t count) {
+  if (options_.engine == ProposalEngine::kTpe) {
+    // BOHB-style: run TPE on the best-populated fidelity level.
+    const std::vector<LevelObservation>* best_level = nullptr;
+    double best_weight = -1.0;
+    for (const auto& [fidelity, observations] : by_fidelity_) {
+      if (observations.size() < options_.min_observations_per_level) {
+        continue;
+      }
+      double weight =
+          fidelity * std::sqrt(static_cast<double>(observations.size()));
+      if (weight > best_weight) {
+        best_weight = weight;
+        best_level = &observations;
+      }
+    }
+    std::vector<Configuration> out;
+    out.reserve(count);
+    if (best_level == nullptr) {
+      for (size_t i = 0; i < count; ++i) out.push_back(space_->Sample(&rng_));
+      return out;
+    }
+    TpeOptimizer tpe(space_, TpeOptimizer::Options{}, rng_.Fork());
+    for (const LevelObservation& obs : *best_level) {
+      tpe.Observe(obs.config, obs.utility);
+    }
+    size_t num_random = static_cast<size_t>(
+        std::llround(options_.random_fraction * static_cast<double>(count)));
+    for (size_t i = 0; i < num_random; ++i) {
+      out.push_back(space_->Sample(&rng_));
+    }
+    while (out.size() < count) out.push_back(tpe.Suggest());
+    return out;
+  }
+
+  // Fit one surrogate per sufficiently populated fidelity level.
+  struct LevelSurrogate {
+    RandomForestSurrogate surrogate;
+    double weight;
+  };
+  std::vector<LevelSurrogate> levels;
+  double weight_total = 0.0;
+  for (const auto& [fidelity, observations] : by_fidelity_) {
+    if (observations.size() < options_.min_observations_per_level) continue;
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    x.reserve(observations.size());
+    for (const LevelObservation& obs : observations) {
+      x.push_back(obs.encoded);
+      y.push_back(obs.utility);
+    }
+    RandomForestSurrogate surrogate(options_.surrogate, rng_.Fork());
+    surrogate.Fit(x, y);
+    // Weight grows with fidelity and (saturating) sample count: full-
+    // fidelity evidence dominates, plentiful cheap evidence still helps.
+    double weight =
+        fidelity * std::sqrt(static_cast<double>(observations.size()));
+    levels.push_back({std::move(surrogate), weight});
+    weight_total += weight;
+  }
+
+  std::vector<Configuration> out;
+  out.reserve(count);
+  if (levels.empty() || weight_total <= 0.0) {
+    for (size_t i = 0; i < count; ++i) out.push_back(space_->Sample(&rng_));
+    return out;
+  }
+
+  size_t num_random = static_cast<size_t>(
+      std::llround(options_.random_fraction * static_cast<double>(count)));
+  for (size_t i = 0; i < num_random; ++i) {
+    out.push_back(space_->Sample(&rng_));
+  }
+
+  // Score a candidate pool by weighted-ensemble EI and keep the best.
+  std::vector<Configuration> pool;
+  pool.reserve(options_.num_candidates);
+  for (size_t i = 0; i < options_.num_candidates; ++i) {
+    pool.push_back(space_->Sample(&rng_));
+  }
+  double incumbent = has_best_ ? best_utility_ : 0.0;
+  std::vector<std::pair<double, size_t>> scored(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    std::vector<double> encoded = space_->Encode(pool[i]);
+    double ei = 0.0;
+    for (const LevelSurrogate& level : levels) {
+      double mean, variance;
+      level.surrogate.PredictMeanVar(encoded, &mean, &variance);
+      ei += (level.weight / weight_total) *
+            ExpectedImprovement(mean, variance, incumbent);
+    }
+    scored[i] = {ei, i};
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t i = 0; out.size() < count && i < scored.size(); ++i) {
+    out.push_back(pool[scored[i].second]);
+  }
+  while (out.size() < count) out.push_back(space_->Sample(&rng_));
+  return out;
+}
+
+void MfesHbOptimizer::StartNextRungOrBracket() {
+  // Promote survivors of the completed rung, if any.
+  if (!rung_configs_.empty() && rung_fidelity_ < 1.0) {
+    size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::floor(static_cast<double>(rung_configs_.size()) /
+                          options_.eta)));
+    std::vector<size_t> order(rung_configs_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return rung_scores_[a] > rung_scores_[b];
+    });
+    std::vector<Configuration> survivors;
+    for (size_t i = 0; i < keep; ++i) {
+      survivors.push_back(rung_configs_[order[i]]);
+    }
+    rung_fidelity_ = std::min(1.0, rung_fidelity_ * options_.eta);
+    rung_configs_.clear();
+    rung_scores_.clear();
+    for (const Configuration& c : survivors) pending_.push_back(c);
+    return;
+  }
+
+  // Start the next bracket (cycle s_max_ .. 0).
+  rung_configs_.clear();
+  rung_scores_.clear();
+  --current_s_;
+  if (current_s_ < 0) current_s_ = s_max_;
+  size_t num_configs = static_cast<size_t>(std::ceil(
+      static_cast<double>(s_max_ + 1) / static_cast<double>(current_s_ + 1) *
+      std::pow(options_.eta, current_s_)));
+  rung_fidelity_ = std::pow(options_.eta, -current_s_);
+  for (Configuration& c : ProposeBracketCandidates(num_configs)) {
+    pending_.push_back(std::move(c));
+  }
+}
+
+MfesHbOptimizer::Proposal MfesHbOptimizer::Next() {
+  while (pending_.empty()) {
+    StartNextRungOrBracket();
+  }
+  Proposal p;
+  p.config = pending_.front();
+  p.fidelity = rung_fidelity_;
+  pending_.pop_front();
+  return p;
+}
+
+void MfesHbOptimizer::Observe(const Configuration& config, double fidelity,
+                              double utility) {
+  rung_configs_.push_back(config);
+  rung_scores_.push_back(utility);
+  by_fidelity_[fidelity].push_back({config, space_->Encode(config), utility});
+  ++total_observations_;
+  history_utilities_.push_back(utility);
+
+  // Track the best, preferring higher-fidelity evidence.
+  bool better = false;
+  if (!has_best_) {
+    better = true;
+  } else if (fidelity > best_fidelity_ + 1e-9) {
+    better = true;  // Any higher-fidelity measurement supersedes.
+  } else if (std::abs(fidelity - best_fidelity_) <= 1e-9 &&
+             utility > best_utility_) {
+    better = true;
+  }
+  if (better) {
+    best_config_ = config;
+    best_utility_ = utility;
+    best_fidelity_ = fidelity;
+    has_best_ = true;
+  }
+}
+
+}  // namespace volcanoml

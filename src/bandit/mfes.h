@@ -1,0 +1,107 @@
+#ifndef VOLCANOML_BANDIT_MFES_H_
+#define VOLCANOML_BANDIT_MFES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "bandit/successive_halving.h"
+#include "bo/surrogate.h"
+#include "cs/configuration_space.h"
+
+namespace volcanoml {
+
+/// MFES-HB [Li et al., 2020]: Hyperband whose bracket candidates are
+/// proposed by a Multi-Fidelity Ensemble Surrogate instead of uniformly at
+/// random. Low-fidelity (subsampled) measurements — which are plentiful —
+/// train per-fidelity surrogates whose EI scores are combined with weights
+/// favouring higher fidelities and better-populated levels.
+///
+/// The class exposes an iterative interface so a VolcanoML joint block can
+/// advance it one evaluation per do_next!: call Next() for the pending
+/// (configuration, fidelity) pair, evaluate it, then Observe() the result.
+class MfesHbOptimizer {
+ public:
+  /// How bracket candidates are proposed once observations exist.
+  enum class ProposalEngine {
+    /// Multi-fidelity RF-ensemble EI (MFES-HB, the default).
+    kEnsembleSurrogate,
+    /// TPE good/bad density ratio fitted on the highest-populated
+    /// fidelity (BOHB-style [Falkner et al., ICML'18]).
+    kTpe,
+  };
+
+  struct Options {
+    double eta = 3.0;
+    double min_fidelity = 1.0 / 9.0;
+    /// Fraction of bracket candidates sampled uniformly for exploration.
+    double random_fraction = 0.3;
+    /// Observations needed at a fidelity before its surrogate is used.
+    size_t min_observations_per_level = 4;
+    size_t num_candidates = 200;
+    ProposalEngine engine = ProposalEngine::kEnsembleSurrogate;
+    RandomForestSurrogate::Options surrogate;
+  };
+
+  struct Proposal {
+    Configuration config;
+    double fidelity = 1.0;
+  };
+
+  MfesHbOptimizer(const ConfigurationSpace* space, const Options& options,
+                  uint64_t seed);
+
+  /// The next evaluation to perform.
+  Proposal Next();
+
+  /// Records the result of a proposal returned by Next().
+  void Observe(const Configuration& config, double fidelity, double utility);
+
+  bool HasObservations() const { return total_observations_ > 0; }
+
+  /// Best configuration among the highest-fidelity observations so far.
+  const Configuration& best() const { return best_config_; }
+  double best_utility() const { return best_utility_; }
+  double best_fidelity() const { return best_fidelity_; }
+
+  /// Best utility per observation (full history across fidelities).
+  const std::vector<double>& history_utilities() const {
+    return history_utilities_;
+  }
+
+ private:
+  void StartNextRungOrBracket();
+  std::vector<Configuration> ProposeBracketCandidates(size_t count);
+
+  const ConfigurationSpace* space_;
+  Options options_;
+  Rng rng_;
+
+  int s_max_ = 0;
+  int current_s_ = 0;  ///< Bracket index, cycling s_max .. 0.
+  double rung_fidelity_ = 1.0;
+  std::deque<Configuration> pending_;  ///< Evaluations left in this rung.
+  std::vector<Configuration> rung_configs_;
+  std::vector<double> rung_scores_;
+
+  struct LevelObservation {
+    Configuration config;
+    std::vector<double> encoded;
+    double utility = 0.0;
+  };
+
+  /// Observations grouped per fidelity level for the proposal engines.
+  std::map<double, std::vector<LevelObservation>> by_fidelity_;
+  size_t total_observations_ = 0;
+  std::vector<double> history_utilities_;
+
+  Configuration best_config_;
+  double best_utility_ = 0.0;
+  double best_fidelity_ = 0.0;
+  bool has_best_ = false;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BANDIT_MFES_H_

@@ -1,0 +1,75 @@
+#include "bandit/successive_halving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+std::vector<FidelityObservation> RunSuccessiveHalving(
+    const std::vector<Configuration>& candidates,
+    const SuccessiveHalvingOptions& options,
+    const FidelityObjective& objective) {
+  VOLCANOML_CHECK(!candidates.empty());
+  VOLCANOML_CHECK(options.eta > 1.0);
+  VOLCANOML_CHECK(options.min_fidelity > 0.0 && options.min_fidelity <= 1.0);
+
+  std::vector<FidelityObservation> all;
+  std::vector<Configuration> alive = candidates;
+  double fidelity = options.min_fidelity;
+  while (true) {
+    std::vector<double> scores(alive.size());
+    for (size_t i = 0; i < alive.size(); ++i) {
+      scores[i] = objective(alive[i], fidelity);
+      all.push_back({alive[i], fidelity, scores[i]});
+    }
+    if (fidelity >= 1.0 || alive.size() <= 1) break;
+    // Keep the top 1/eta.
+    size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(std::floor(static_cast<double>(alive.size()) /
+                                          options.eta)));
+    std::vector<size_t> order(alive.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+    std::vector<Configuration> next;
+    for (size_t i = 0; i < keep; ++i) next.push_back(alive[order[i]]);
+    alive = std::move(next);
+    fidelity = std::min(1.0, fidelity * options.eta);
+  }
+  return all;
+}
+
+std::vector<FidelityObservation> RunHyperband(
+    const ConfigurationSpace& space, const HyperbandOptions& options,
+    const FidelityObjective& objective, Rng* rng) {
+  VOLCANOML_CHECK(options.eta > 1.0);
+  // s_max brackets from most exploratory (many configs, low fidelity) to
+  // a single full-fidelity bracket.
+  int s_max = static_cast<int>(
+      std::floor(std::log(1.0 / options.min_fidelity) / std::log(options.eta)));
+  std::vector<FidelityObservation> all;
+  for (int s = s_max; s >= 0; --s) {
+    size_t num_configs = static_cast<size_t>(
+        std::ceil(static_cast<double>(s_max + 1) / static_cast<double>(s + 1) *
+                  std::pow(options.eta, s)));
+    double start_fidelity = std::pow(options.eta, -s);
+    std::vector<Configuration> candidates;
+    candidates.reserve(num_configs);
+    for (size_t i = 0; i < num_configs; ++i) {
+      candidates.push_back(space.Sample(rng));
+    }
+    SuccessiveHalvingOptions sh;
+    sh.num_configs = num_configs;
+    sh.eta = options.eta;
+    sh.min_fidelity = start_fidelity;
+    std::vector<FidelityObservation> bracket =
+        RunSuccessiveHalving(candidates, sh, objective);
+    all.insert(all.end(), bracket.begin(), bracket.end());
+  }
+  return all;
+}
+
+}  // namespace volcanoml

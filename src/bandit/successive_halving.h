@@ -1,0 +1,53 @@
+#ifndef VOLCANOML_BANDIT_SUCCESSIVE_HALVING_H_
+#define VOLCANOML_BANDIT_SUCCESSIVE_HALVING_H_
+
+#include <functional>
+#include <vector>
+
+#include "cs/configuration_space.h"
+
+namespace volcanoml {
+
+/// Objective evaluated at a configuration and fidelity (training-subsample
+/// fraction in (0, 1]); returns utility, higher is better.
+using FidelityObjective =
+    std::function<double(const Configuration&, double fidelity)>;
+
+/// One evaluated (configuration, fidelity, utility) record.
+struct FidelityObservation {
+  Configuration config;
+  double fidelity = 1.0;
+  double utility = 0.0;
+};
+
+/// Synchronous successive halving [Jamieson & Talwalkar]: starts
+/// `num_configs` candidates at `min_fidelity` and repeatedly keeps the top
+/// 1/eta at eta-times the fidelity until full fidelity is reached.
+struct SuccessiveHalvingOptions {
+  size_t num_configs = 9;
+  double eta = 3.0;
+  double min_fidelity = 1.0 / 9.0;
+};
+
+/// Runs one SH bracket over externally supplied candidates. Returns every
+/// observation made (budget accounting is the objective's concern).
+std::vector<FidelityObservation> RunSuccessiveHalving(
+    const std::vector<Configuration>& candidates,
+    const SuccessiveHalvingOptions& options,
+    const FidelityObjective& objective);
+
+/// Hyperband [Li et al., ICLR'18]: a sweep of SH brackets trading the
+/// number of candidates against their starting fidelity. `sampler`
+/// produces the candidates for each bracket.
+struct HyperbandOptions {
+  double eta = 3.0;
+  double min_fidelity = 1.0 / 9.0;
+};
+
+std::vector<FidelityObservation> RunHyperband(
+    const ConfigurationSpace& space, const HyperbandOptions& options,
+    const FidelityObjective& objective, Rng* rng);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BANDIT_SUCCESSIVE_HALVING_H_

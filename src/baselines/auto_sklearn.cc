@@ -1,0 +1,33 @@
+#include "baselines/auto_sklearn.h"
+
+namespace volcanoml {
+
+namespace {
+
+VolcanoMlOptions ToVolcanoOptions(const AuskOptions& options) {
+  VolcanoMlOptions out;
+  out.space = options.space;
+  out.eval = options.eval;
+  out.plan = PlanKind::kJoint;  // The whole space in one BO loop.
+  out.optimizer = JointOptimizerKind::kSmac;
+  out.budget = options.budget;
+  out.knowledge = options.knowledge;
+  out.num_warm_starts = options.num_warm_starts;
+  out.seed = options.seed;
+  return out;
+}
+
+}  // namespace
+
+AutoSklearnBaseline::AutoSklearnBaseline(const AuskOptions& options)
+    : engine_(ToVolcanoOptions(options)) {}
+
+AutoMlResult AutoSklearnBaseline::Fit(const Dataset& train) {
+  return engine_.Fit(train);
+}
+
+Result<FittedPipeline> AutoSklearnBaseline::FitFinalPipeline() {
+  return engine_.FitFinalPipeline();
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,39 @@
+#ifndef VOLCANOML_BASELINES_AUTO_SKLEARN_H_
+#define VOLCANOML_BASELINES_AUTO_SKLEARN_H_
+
+#include "core/volcano_ml.h"
+
+namespace volcanoml {
+
+/// auto-sklearn-style baseline (the paper's AUSK / AUSK-): one joint
+/// Bayesian-optimization loop (SMAC with a probabilistic random-forest
+/// surrogate) over the entire end-to-end space, optionally warm-started
+/// by meta-learning. Ensembling — auto-sklearn's post-hoc step — is out
+/// of scope here, as the paper compares the best single pipeline found.
+struct AuskOptions {
+  SearchSpaceOptions space;
+  EvaluatorOptions eval;
+  double budget = 150.0;
+  /// Non-null enables meta-learning (AUSK); null is AUSK-.
+  const MetaKnowledgeBase* knowledge = nullptr;
+  size_t num_warm_starts = 5;
+  uint64_t seed = 1;
+};
+
+class AutoSklearnBaseline {
+ public:
+  explicit AutoSklearnBaseline(const AuskOptions& options);
+
+  /// Runs the search; may be called once per instance.
+  AutoMlResult Fit(const Dataset& train);
+
+  /// Trains the best pipeline on all the Fit data.
+  Result<FittedPipeline> FitFinalPipeline();
+
+ private:
+  VolcanoML engine_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BASELINES_AUTO_SKLEARN_H_

@@ -1,0 +1,31 @@
+#include "baselines/hyperopt.h"
+
+namespace volcanoml {
+
+namespace {
+
+VolcanoMlOptions ToVolcanoOptions(const HyperoptOptions& options) {
+  VolcanoMlOptions out;
+  out.space = options.space;
+  out.eval = options.eval;
+  out.plan = PlanKind::kJoint;
+  out.optimizer = JointOptimizerKind::kTpe;
+  out.budget = options.budget;
+  out.seed = options.seed;
+  return out;
+}
+
+}  // namespace
+
+HyperoptBaseline::HyperoptBaseline(const HyperoptOptions& options)
+    : engine_(ToVolcanoOptions(options)) {}
+
+AutoMlResult HyperoptBaseline::Fit(const Dataset& train) {
+  return engine_.Fit(train);
+}
+
+Result<FittedPipeline> HyperoptBaseline::FitFinalPipeline() {
+  return engine_.FitFinalPipeline();
+}
+
+}  // namespace volcanoml

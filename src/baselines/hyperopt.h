@@ -1,0 +1,34 @@
+#ifndef VOLCANOML_BASELINES_HYPEROPT_H_
+#define VOLCANOML_BASELINES_HYPEROPT_H_
+
+#include "core/volcano_ml.h"
+
+namespace volcanoml {
+
+/// hyperopt-sklearn-style baseline: one joint TPE loop over the entire
+/// end-to-end space (Komer et al.; one of the BO-based AutoML systems the
+/// paper surveys alongside auto-sklearn). No meta-learning.
+struct HyperoptOptions {
+  SearchSpaceOptions space;
+  EvaluatorOptions eval;
+  double budget = 150.0;
+  uint64_t seed = 1;
+};
+
+class HyperoptBaseline {
+ public:
+  explicit HyperoptBaseline(const HyperoptOptions& options);
+
+  /// Runs the search; may be called once per instance.
+  AutoMlResult Fit(const Dataset& train);
+
+  /// Trains the best pipeline on all the Fit data.
+  Result<FittedPipeline> FitFinalPipeline();
+
+ private:
+  VolcanoML engine_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BASELINES_HYPEROPT_H_

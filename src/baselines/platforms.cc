@@ -1,0 +1,181 @@
+#include "baselines/platforms.h"
+
+#include <algorithm>
+
+#include "bandit/successive_halving.h"
+#include "baselines/tpot.h"
+#include "util/check.h"
+#include "util/timer.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// Shared scaffolding: evaluator + incumbent/trajectory bookkeeping.
+class PlatformRun {
+ public:
+  PlatformRun(const PlatformOptions& options, const Dataset& train)
+      : space_(options.space),
+        data_(train),
+        budget_in_seconds_(options.eval.budget_in_seconds) {
+    EvaluatorOptions eval_options = options.eval;
+    eval_options.seed ^= options.seed;
+    evaluator_ = std::make_unique<PipelineEvaluator>(&space_, &data_,
+                                                     eval_options);
+    result_.best_utility = -std::numeric_limits<double>::infinity();
+  }
+
+  /// Budget consumed so far: whole-run wall-clock in seconds mode.
+  double Consumed() const {
+    return budget_in_seconds_ ? run_timer_.ElapsedSeconds()
+                              : evaluator_->consumed_budget();
+  }
+
+  double Evaluate(const Configuration& config, double fidelity = 1.0) {
+    Assignment assignment = space_.joint().ToAssignment(config);
+    double utility = evaluator_->Evaluate(assignment, fidelity);
+    // Only full-fidelity results update the incumbent (subsampled scores
+    // are not comparable across fidelities).
+    if (fidelity >= 1.0 &&
+        (utility > result_.best_utility || result_.best_assignment.empty())) {
+      result_.best_utility = utility;
+      result_.best_assignment = std::move(assignment);
+    }
+    result_.trajectory.push_back({Consumed(), result_.best_utility});
+    return utility;
+  }
+
+  bool BudgetLeft(double budget) const { return Consumed() < budget; }
+
+  const SearchSpace& space() const { return space_; }
+
+  AutoMlResult Finish() {
+    result_.num_evaluations = evaluator_->num_evaluations();
+    return result_;
+  }
+
+  const AutoMlResult& result() const { return result_; }
+
+ private:
+  SearchSpace space_;
+  Dataset data_;
+  bool budget_in_seconds_;
+  Stopwatch run_timer_;
+  std::unique_ptr<PipelineEvaluator> evaluator_;
+  AutoMlResult result_;
+};
+
+AutoMlResult RunRandomSearch(const PlatformOptions& options,
+                             const Dataset& train) {
+  PlatformRun run(options, train);
+  Rng rng(options.seed);
+  while (run.BudgetLeft(options.budget)) {
+    run.Evaluate(run.space().joint().Sample(&rng));
+  }
+  return run.Finish();
+}
+
+AutoMlResult RunStagedSearch(const PlatformOptions& options,
+                             const Dataset& train) {
+  PlatformRun run(options, train);
+  Rng rng(options.seed);
+  const ConfigurationSpace& joint = run.space().joint();
+  // Stage 1: random exploration on 40% of the budget.
+  Configuration best = joint.Default();
+  double best_utility = -std::numeric_limits<double>::infinity();
+  while (run.BudgetLeft(0.4 * options.budget)) {
+    Configuration c = joint.Sample(&rng);
+    double u = run.Evaluate(c);
+    if (u > best_utility) {
+      best_utility = u;
+      best = c;
+    }
+  }
+  // Stage 2: greedy local search around the incumbent.
+  while (run.BudgetLeft(options.budget)) {
+    Configuration neighbor = joint.Neighbor(best, &rng);
+    double u = run.Evaluate(neighbor);
+    if (u > best_utility) {
+      best_utility = u;
+      best = neighbor;
+    }
+  }
+  return run.Finish();
+}
+
+AutoMlResult RunEvolutionary(const PlatformOptions& options,
+                             const Dataset& train) {
+  TpotOptions tpot;
+  tpot.space = options.space;
+  tpot.eval = options.eval;
+  tpot.budget = options.budget;
+  tpot.population_size = 30;     // Larger, milder than TPOT's defaults.
+  tpot.tournament_size = 2;
+  tpot.crossover_rate = 0.7;
+  tpot.mutation_strength = 0.8;
+  tpot.seed = options.seed ^ 0xabcdef;
+  TpotBaseline engine(tpot);
+  return engine.Fit(train);
+}
+
+AutoMlResult RunSuccessiveHalvingOnly(const PlatformOptions& options,
+                                      const Dataset& train) {
+  PlatformRun run(options, train);
+  Rng rng(options.seed);
+  const ConfigurationSpace& joint = run.space().joint();
+  SuccessiveHalvingOptions sh;
+  sh.num_configs = 9;
+  sh.eta = 3.0;
+  sh.min_fidelity = 1.0 / 9.0;
+  while (run.BudgetLeft(options.budget)) {
+    std::vector<Configuration> candidates;
+    for (size_t i = 0; i < sh.num_configs; ++i) {
+      candidates.push_back(joint.Sample(&rng));
+    }
+    RunSuccessiveHalving(candidates, sh,
+                         [&run](const Configuration& c, double fidelity) {
+                           return run.Evaluate(c, fidelity);
+                         });
+  }
+  return run.Finish();
+}
+
+}  // namespace
+
+std::vector<PlatformKind> AllPlatforms() {
+  return {PlatformKind::kPlatform1, PlatformKind::kPlatform2,
+          PlatformKind::kPlatform3, PlatformKind::kPlatform4};
+}
+
+std::string PlatformName(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kPlatform1:
+      return "Platform1";
+    case PlatformKind::kPlatform2:
+      return "Platform2";
+    case PlatformKind::kPlatform3:
+      return "Platform3";
+    case PlatformKind::kPlatform4:
+      return "Platform4";
+  }
+  return "?";
+}
+
+AutoMlResult RunPlatform(PlatformKind kind, const PlatformOptions& options,
+                         const Dataset& train) {
+  switch (kind) {
+    case PlatformKind::kPlatform1:
+      return RunRandomSearch(options, train);
+    case PlatformKind::kPlatform2:
+      return RunStagedSearch(options, train);
+    case PlatformKind::kPlatform3:
+      return RunEvolutionary(options, train);
+    case PlatformKind::kPlatform4:
+      return RunSuccessiveHalvingOnly(options, train);
+  }
+  VOLCANOML_CHECK_MSG(false, "unknown platform");
+  return {};
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,42 @@
+#ifndef VOLCANOML_BASELINES_PLATFORMS_H_
+#define VOLCANOML_BASELINES_PLATFORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/volcano_ml.h"
+
+namespace volcanoml {
+
+/// Stand-ins for the four anonymized commercial AutoML platforms of the
+/// paper's Figure 6 (Google / Azure / Oracle / AWS, "Platform 1-4").
+///
+/// The real platforms are closed services; the paper anonymizes them and
+/// only compares test-error-vs-time curves. Here each platform is a
+/// distinct, reasonable AutoML strategy over the same search space, so
+/// the comparison's *shape* — several independent competitors with
+/// different convergence profiles — is preserved (see DESIGN.md).
+enum class PlatformKind {
+  kPlatform1,  ///< Pure random search.
+  kPlatform2,  ///< Staged: random exploration, then local search.
+  kPlatform3,  ///< Evolutionary search (large population, mild mutation).
+  kPlatform4,  ///< Repeated successive-halving brackets.
+};
+
+std::vector<PlatformKind> AllPlatforms();
+std::string PlatformName(PlatformKind kind);
+
+struct PlatformOptions {
+  SearchSpaceOptions space;
+  EvaluatorOptions eval;
+  double budget = 150.0;
+  uint64_t seed = 1;
+};
+
+/// Runs one platform strategy end to end on `train`.
+AutoMlResult RunPlatform(PlatformKind kind, const PlatformOptions& options,
+                         const Dataset& train);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BASELINES_PLATFORMS_H_

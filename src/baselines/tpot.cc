@@ -1,0 +1,137 @@
+#include "baselines/tpot.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace volcanoml {
+
+namespace {
+
+struct Individual {
+  Configuration config;
+  double fitness = 0.0;
+};
+
+}  // namespace
+
+TpotBaseline::TpotBaseline(const TpotOptions& options)
+    : options_(options), space_(options.space) {
+  VOLCANOML_CHECK(options_.population_size >= 2);
+  VOLCANOML_CHECK(options_.tournament_size >= 1);
+}
+
+AutoMlResult TpotBaseline::Fit(const Dataset& train) {
+  VOLCANOML_CHECK_MSG(!fitted_, "Fit may be called once per instance");
+  fitted_ = true;
+  data_ = std::make_unique<Dataset>(train);
+  EvaluatorOptions eval_options = options_.eval;
+  eval_options.seed ^= options_.seed;
+  evaluator_ = std::make_unique<PipelineEvaluator>(&space_, data_.get(),
+                                                   eval_options);
+
+  Rng rng(options_.seed);
+  const ConfigurationSpace& joint = space_.joint();
+
+  // Seconds budgets meter the run's total wall-clock (evaluations plus
+  // evolutionary bookkeeping), matching the paper's budget model.
+  Stopwatch run_timer;
+  auto consumed = [&]() {
+    return options_.eval.budget_in_seconds
+               ? run_timer.ElapsedSeconds()
+               : evaluator_->consumed_budget();
+  };
+
+  auto evaluate = [&](const Configuration& config) {
+    double fitness = evaluator_->Evaluate(joint.ToAssignment(config));
+    result_.trajectory.push_back(
+        {consumed(),
+         std::max(fitness, result_.trajectory.empty()
+                               ? fitness
+                               : result_.trajectory.back().utility)});
+    if (fitness > result_.best_utility || result_.best_assignment.empty()) {
+      result_.best_utility = fitness;
+      result_.best_assignment = joint.ToAssignment(config);
+    }
+    return fitness;
+  };
+
+  auto budget_left = [&]() { return consumed() < options_.budget; };
+
+  // Initial population.
+  std::vector<Individual> population;
+  result_.best_utility = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < options_.population_size && budget_left(); ++i) {
+    Individual ind;
+    ind.config = joint.Sample(&rng);
+    ind.fitness = evaluate(ind.config);
+    population.push_back(std::move(ind));
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    size_t best = rng.Index(population.size());
+    for (size_t t = 1; t < options_.tournament_size; ++t) {
+      size_t challenger = rng.Index(population.size());
+      if (population[challenger].fitness > population[best].fitness) {
+        best = challenger;
+      }
+    }
+    return population[best];
+  };
+
+  // Generations until the budget runs out.
+  while (budget_left() && !population.empty()) {
+    std::vector<Individual> offspring;
+    for (size_t i = 0; i < options_.population_size && budget_left(); ++i) {
+      Configuration child = tournament().config;
+      if (rng.Bernoulli(options_.crossover_rate)) {
+        // Uniform crossover: each gene from either parent.
+        const Configuration& other = tournament().config;
+        for (size_t g = 0; g < child.values.size(); ++g) {
+          if (rng.Bernoulli(0.5)) child.values[g] = other.values[g];
+        }
+      }
+      // Poisson-ish mutation: a geometric number of neighborhood steps.
+      int steps = 0;
+      while (rng.Bernoulli(options_.mutation_strength /
+                           (options_.mutation_strength + 1.0)) &&
+             steps < 5) {
+        ++steps;
+      }
+      for (int s = 0; s < std::max(1, steps); ++s) {
+        child = joint.Neighbor(child, &rng);
+      }
+      Individual ind;
+      ind.config = std::move(child);
+      ind.fitness = evaluate(ind.config);
+      offspring.push_back(std::move(ind));
+    }
+    // (mu + lambda) survival.
+    population.insert(population.end(),
+                      std::make_move_iterator(offspring.begin()),
+                      std::make_move_iterator(offspring.end()));
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness > b.fitness;
+              });
+    if (population.size() > options_.population_size) {
+      population.resize(options_.population_size);
+    }
+  }
+
+  result_.num_evaluations = evaluator_->num_evaluations();
+  return result_;
+}
+
+Result<FittedPipeline> TpotBaseline::FitFinalPipeline() {
+  VOLCANOML_CHECK_MSG(fitted_, "call Fit first");
+  if (result_.best_assignment.empty()) {
+    return Status::FailedPrecondition("search found no configuration");
+  }
+  return evaluator_->FitFinal(result_.best_assignment);
+}
+
+}  // namespace volcanoml

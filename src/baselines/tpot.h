@@ -1,0 +1,49 @@
+#ifndef VOLCANOML_BASELINES_TPOT_H_
+#define VOLCANOML_BASELINES_TPOT_H_
+
+#include <memory>
+
+#include "core/volcano_ml.h"
+#include "eval/evaluator.h"
+
+namespace volcanoml {
+
+/// TPOT-style baseline: genetic programming over end-to-end pipeline
+/// configurations. A pipeline individual is a point in the joint space;
+/// generations evolve via tournament selection, uniform crossover over
+/// parameters, and neighborhood mutation, with (mu + lambda) survival.
+/// TPOT has no meta-learning (paper Section 5.1).
+struct TpotOptions {
+  SearchSpaceOptions space;
+  EvaluatorOptions eval;
+  double budget = 150.0;
+  size_t population_size = 20;
+  size_t tournament_size = 3;
+  double crossover_rate = 0.5;
+  /// Expected number of mutation steps applied to each offspring.
+  double mutation_strength = 1.5;
+  uint64_t seed = 1;
+};
+
+class TpotBaseline {
+ public:
+  explicit TpotBaseline(const TpotOptions& options);
+
+  /// Runs the evolutionary search; may be called once per instance.
+  AutoMlResult Fit(const Dataset& train);
+
+  /// Trains the best pipeline on all the Fit data.
+  Result<FittedPipeline> FitFinalPipeline();
+
+ private:
+  TpotOptions options_;
+  SearchSpace space_;
+  std::unique_ptr<Dataset> data_;
+  std::unique_ptr<PipelineEvaluator> evaluator_;
+  AutoMlResult result_;
+  bool fitted_ = false;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BASELINES_TPOT_H_

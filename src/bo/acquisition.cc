@@ -1,0 +1,25 @@
+#include "bo/acquisition.h"
+
+#include <cmath>
+
+namespace volcanoml {
+
+namespace {
+constexpr double kSqrt2 = 1.41421356237309514547;
+constexpr double kInvSqrt2Pi = 0.39894228040143270286;
+}  // namespace
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+double NormalPdf(double z) { return kInvSqrt2Pi * std::exp(-0.5 * z * z); }
+
+double ExpectedImprovement(double mean, double variance, double best) {
+  double sigma = std::sqrt(variance);
+  if (sigma <= 1e-12) {
+    return mean > best ? mean - best : 0.0;
+  }
+  double z = (mean - best) / sigma;
+  return (mean - best) * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+}  // namespace volcanoml

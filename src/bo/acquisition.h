@@ -1,0 +1,17 @@
+#ifndef VOLCANOML_BO_ACQUISITION_H_
+#define VOLCANOML_BO_ACQUISITION_H_
+
+namespace volcanoml {
+
+/// Expected improvement (for maximization) of a Gaussian posterior
+/// N(mean, variance) over the current best observed value. The standard
+/// acquisition used by SMAC/auto-sklearn and by VolcanoML's joint blocks.
+double ExpectedImprovement(double mean, double variance, double best);
+
+/// Standard normal CDF / PDF helpers (exposed for tests).
+double NormalCdf(double z);
+double NormalPdf(double z);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BO_ACQUISITION_H_

@@ -1,0 +1,23 @@
+#include "bo/optimizer.h"
+
+namespace volcanoml {
+
+void BlackBoxOptimizer::Observe(const Configuration& config, double utility) {
+  history_configs_.push_back(config);
+  history_utilities_.push_back(utility);
+  if (utility > best_utility_) {
+    best_utility_ = utility;
+    best_config_ = config;
+  }
+}
+
+Configuration RandomSearchOptimizer::Suggest() {
+  if (!initial_queue_.empty()) {
+    Configuration c = initial_queue_.front();
+    initial_queue_.erase(initial_queue_.begin());
+    return c;
+  }
+  return space_->Sample(&rng_);
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,77 @@
+#ifndef VOLCANOML_BO_OPTIMIZER_H_
+#define VOLCANOML_BO_OPTIMIZER_H_
+
+#include <limits>
+#include <vector>
+
+#include "cs/configuration_space.h"
+#include "util/check.h"
+
+namespace volcanoml {
+
+/// Abstract iterative maximizer over a ConfigurationSpace: the suggest /
+/// observe loop shared by SMAC and random search, and the engine inside
+/// VolcanoML's joint blocks.
+class BlackBoxOptimizer {
+ public:
+  explicit BlackBoxOptimizer(const ConfigurationSpace* space)
+      : space_(space) {
+    VOLCANOML_CHECK(space_ != nullptr);
+  }
+  virtual ~BlackBoxOptimizer() = default;
+
+  /// Proposes the next configuration to evaluate.
+  virtual Configuration Suggest() = 0;
+
+  /// Records the utility observed for a configuration (higher is better).
+  virtual void Observe(const Configuration& config, double utility);
+
+  /// Seeds the optimizer with a configuration to try before model-based
+  /// proposals (used by meta-learning warm starts). Implementations pop
+  /// pending seeds from Suggest() first.
+  virtual void EnqueueInitial(const Configuration& config) {
+    initial_queue_.push_back(config);
+  }
+
+  bool HasObservations() const { return !history_utilities_.empty(); }
+  size_t NumObservations() const { return history_utilities_.size(); }
+
+  /// Best configuration observed so far (requires >= 1 observation).
+  const Configuration& best() const {
+    VOLCANOML_CHECK(HasObservations());
+    return best_config_;
+  }
+  double best_utility() const { return best_utility_; }
+
+  /// Utility of every observation in arrival order.
+  const std::vector<double>& history_utilities() const {
+    return history_utilities_;
+  }
+
+  const ConfigurationSpace& space() const { return *space_; }
+
+ protected:
+  const ConfigurationSpace* space_;
+  std::vector<Configuration> initial_queue_;
+  std::vector<Configuration> history_configs_;
+  std::vector<double> history_utilities_;
+  Configuration best_config_;
+  double best_utility_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Pure random search baseline (and the exploration component inside
+/// SMAC's interleaving).
+class RandomSearchOptimizer : public BlackBoxOptimizer {
+ public:
+  RandomSearchOptimizer(const ConfigurationSpace* space, uint64_t seed)
+      : BlackBoxOptimizer(space), rng_(seed) {}
+
+  Configuration Suggest() override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BO_OPTIMIZER_H_

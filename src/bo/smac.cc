@@ -1,0 +1,94 @@
+#include "bo/smac.h"
+
+#include <algorithm>
+
+#include "bo/acquisition.h"
+
+namespace volcanoml {
+
+SmacOptimizer::SmacOptimizer(const ConfigurationSpace* space,
+                             const Options& options, uint64_t seed)
+    : BlackBoxOptimizer(space), options_(options), rng_(seed) {}
+
+Configuration SmacOptimizer::Suggest() {
+  ++suggest_count_;
+  if (!initial_queue_.empty()) {
+    Configuration c = initial_queue_.front();
+    initial_queue_.erase(initial_queue_.begin());
+    return c;
+  }
+  bool explore =
+      NumObservations() < options_.min_observations ||
+      (options_.random_interleave > 0 &&
+       suggest_count_ % options_.random_interleave == 0);
+  if (explore) {
+    return space_->Sample(&rng_);
+  }
+
+  // Fit the surrogate. Long histories are capped to bound the refit
+  // cost: keep the best half of the cap plus the most recent half.
+  std::vector<size_t> fit_indices;
+  const size_t n = history_configs_.size();
+  if (n <= options_.max_surrogate_points) {
+    fit_indices.resize(n);
+    for (size_t i = 0; i < n; ++i) fit_indices[i] = i;
+  } else {
+    size_t half = options_.max_surrogate_points / 2;
+    std::vector<size_t> by_utility(n);
+    for (size_t i = 0; i < n; ++i) by_utility[i] = i;
+    std::sort(by_utility.begin(), by_utility.end(), [&](size_t a, size_t b) {
+      return history_utilities_[a] > history_utilities_[b];
+    });
+    std::vector<bool> picked(n, false);
+    for (size_t i = 0; i < half; ++i) picked[by_utility[i]] = true;
+    for (size_t i = n - half; i < n; ++i) picked[i] = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (picked[i]) fit_indices.push_back(i);
+    }
+  }
+  RandomForestSurrogate surrogate(options_.surrogate, rng_.Fork());
+  std::vector<std::vector<double>> encoded;
+  std::vector<double> utilities;
+  encoded.reserve(fit_indices.size());
+  utilities.reserve(fit_indices.size());
+  for (size_t i : fit_indices) {
+    encoded.push_back(space_->Encode(history_configs_[i]));
+    utilities.push_back(history_utilities_[i]);
+  }
+  surrogate.Fit(encoded, utilities);
+
+  // Candidate pool: random samples + neighbors of the best incumbents.
+  std::vector<Configuration> candidates;
+  candidates.reserve(options_.num_random_candidates +
+                     options_.num_incumbent_neighbors);
+  for (size_t i = 0; i < options_.num_random_candidates; ++i) {
+    candidates.push_back(space_->Sample(&rng_));
+  }
+  // Neighbors of the top incumbents (local search component of SMAC).
+  std::vector<size_t> order(history_configs_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return history_utilities_[a] > history_utilities_[b];
+  });
+  size_t num_incumbents = std::min<size_t>(3, order.size());
+  for (size_t i = 0; i < options_.num_incumbent_neighbors; ++i) {
+    const Configuration& base =
+        history_configs_[order[i % num_incumbents]];
+    candidates.push_back(space_->Neighbor(base, &rng_));
+  }
+
+  double best_ei = -1.0;
+  size_t best_idx = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double mean, variance;
+    surrogate.PredictMeanVar(space_->Encode(candidates[i]), &mean, &variance);
+    double ei = ExpectedImprovement(mean, variance, best_utility_);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_idx = i;
+    }
+  }
+  return candidates[best_idx];
+}
+
+}  // namespace volcanoml

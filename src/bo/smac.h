@@ -1,0 +1,48 @@
+#ifndef VOLCANOML_BO_SMAC_H_
+#define VOLCANOML_BO_SMAC_H_
+
+#include <cstdint>
+
+#include "bo/optimizer.h"
+#include "bo/surrogate.h"
+
+namespace volcanoml {
+
+/// SMAC-style Bayesian optimization [Hutter et al., LION'11]: a
+/// probabilistic random-forest surrogate, expected improvement maximized
+/// over random candidates plus neighbors of the best incumbents, and
+/// periodic random interleaving for exploration. This is the optimizer
+/// inside every VolcanoML joint block and inside the auto-sklearn
+/// baseline.
+class SmacOptimizer : public BlackBoxOptimizer {
+ public:
+  struct Options {
+    /// Random configurations evaluated before the surrogate is trusted.
+    size_t min_observations = 5;
+    /// Every k-th proposal is random (exploration guarantee).
+    size_t random_interleave = 5;
+    /// EI candidate pool: random samples + neighbors of incumbents.
+    size_t num_random_candidates = 200;
+    size_t num_incumbent_neighbors = 30;
+    /// Cap on surrogate training data: beyond this the surrogate fits on
+    /// the best half + most recent half of the cap. Bounds the per-
+    /// iteration refit cost on long runs (auto-sklearn applies a similar
+    /// cap).
+    size_t max_surrogate_points = 300;
+    RandomForestSurrogate::Options surrogate;
+  };
+
+  SmacOptimizer(const ConfigurationSpace* space, const Options& options,
+                uint64_t seed);
+
+  Configuration Suggest() override;
+
+ private:
+  Options options_;
+  Rng rng_;
+  size_t suggest_count_ = 0;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BO_SMAC_H_

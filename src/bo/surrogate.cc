@@ -1,0 +1,65 @@
+#include "bo/surrogate.h"
+
+#include <algorithm>
+
+#include "data/matrix.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+
+RandomForestSurrogate::RandomForestSurrogate(const Options& options,
+                                             uint64_t seed)
+    : options_(options), seed_(seed) {
+  VOLCANOML_CHECK(options_.num_trees >= 2);
+}
+
+void RandomForestSurrogate::Fit(const std::vector<std::vector<double>>& x,
+                                const std::vector<double>& y) {
+  VOLCANOML_CHECK(x.size() == y.size());
+  VOLCANOML_CHECK(x.size() >= 2);
+  const size_t n = x.size();
+  const size_t d = x[0].size();
+  Matrix design(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    VOLCANOML_CHECK(x[i].size() == d);
+    std::copy(x[i].begin(), x[i].end(), design.RowPtr(i));
+  }
+
+  TreeOptions tree_opts;
+  tree_opts.criterion = TreeCriterion::kMse;
+  tree_opts.max_depth = options_.max_depth;
+  tree_opts.min_samples_leaf = options_.min_samples_leaf;
+  tree_opts.max_features = options_.max_features;
+
+  Rng rng(seed_);
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap rows per tree for predictive spread.
+    std::vector<size_t> sample(n);
+    for (size_t i = 0; i < n; ++i) sample[i] = rng.Index(n);
+    Matrix xb = design.SelectRows(sample);
+    std::vector<double> yb(n);
+    for (size_t i = 0; i < n; ++i) yb[i] = y[sample[i]];
+    DecisionTree tree(tree_opts, rng.Fork());
+    Status s = tree.Fit(xb, yb, 0);
+    VOLCANOML_CHECK(s.ok());
+    trees_.push_back(std::move(tree));
+  }
+}
+
+void RandomForestSurrogate::PredictMeanVar(const std::vector<double>& x,
+                                           double* mean,
+                                           double* variance) const {
+  VOLCANOML_CHECK(fitted());
+  std::vector<double> preds(trees_.size());
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    preds[t] = trees_[t].PredictOne(x.data());
+  }
+  *mean = Mean(preds);
+  *variance = std::max(Variance(preds), options_.min_variance);
+}
+
+}  // namespace volcanoml

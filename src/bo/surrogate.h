@@ -1,0 +1,46 @@
+#ifndef VOLCANOML_BO_SURROGATE_H_
+#define VOLCANOML_BO_SURROGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/tree.h"
+
+namespace volcanoml {
+
+/// Probabilistic random-forest surrogate (the SMAC surrogate, and the one
+/// auto-sklearn uses): predicts mean and variance of the objective at an
+/// encoded configuration from the spread of per-tree predictions.
+class RandomForestSurrogate {
+ public:
+  struct Options {
+    size_t num_trees = 20;
+    int max_depth = 12;
+    size_t min_samples_leaf = 3;
+    double max_features = 0.8;
+    /// Variance floor keeping EI non-degenerate on duplicate predictions.
+    double min_variance = 1e-8;
+  };
+
+  RandomForestSurrogate(const Options& options, uint64_t seed);
+
+  /// Fits on encoded configurations (rows of `x`) and observed utilities.
+  /// Requires at least two observations.
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  /// Predictive mean and variance at one encoded configuration.
+  void PredictMeanVar(const std::vector<double>& x, double* mean,
+                      double* variance) const;
+
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  Options options_;
+  uint64_t seed_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BO_SURROGATE_H_

@@ -1,0 +1,145 @@
+#include "bo/tpe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "bo/acquisition.h"
+#include "util/check.h"
+
+namespace volcanoml {
+
+TpeOptimizer::TpeOptimizer(const ConfigurationSpace* space,
+                           const Options& options, uint64_t seed)
+    : BlackBoxOptimizer(space), options_(options), rng_(seed) {
+  VOLCANOML_CHECK(options_.gamma > 0.0 && options_.gamma < 1.0);
+  VOLCANOML_CHECK(options_.num_candidates >= 1);
+}
+
+double TpeOptimizer::Density(size_t dim, double value,
+                             const std::vector<size_t>& members) const {
+  const Parameter& p = space_->param(dim);
+  // Uniform mixture floor keeps ratios finite off-support.
+  constexpr double kFloor = 0.05;
+  if (p.type == ParamType::kCategorical) {
+    // Laplace-smoothed histogram over choices.
+    double count = 1.0;
+    for (size_t idx : members) {
+      if (history_configs_[idx].values[dim] == value) count += 1.0;
+    }
+    return count /
+           (static_cast<double>(members.size()) +
+            static_cast<double>(p.choices.size()));
+  }
+  // Work in the unit-encoded domain for a scale-free bandwidth.
+  auto encode = [&p](double v) {
+    if (p.log_scale) {
+      return (std::log(v) - std::log(p.lo)) /
+             (std::log(p.hi) - std::log(p.lo));
+    }
+    return p.hi > p.lo ? (v - p.lo) / (p.hi - p.lo) : 0.5;
+  };
+  double z = encode(value);
+  double h = options_.bandwidth;
+  double acc = 0.0;
+  for (size_t idx : members) {
+    double center = encode(history_configs_[idx].values[dim]);
+    acc += NormalPdf((z - center) / h) / h;
+  }
+  return kFloor + (1.0 - kFloor) * acc /
+                      std::max<double>(1.0, static_cast<double>(members.size()));
+}
+
+Configuration TpeOptimizer::SampleFromGood(
+    const std::vector<size_t>& good_indices) {
+  Configuration out = space_->Sample(&rng_);
+  for (size_t dim = 0; dim < space_->NumParameters(); ++dim) {
+    const Parameter& p = space_->param(dim);
+    // Anchor on a random good observation's value for this dimension.
+    const Configuration& anchor =
+        history_configs_[good_indices[rng_.Index(good_indices.size())]];
+    double value = anchor.values[dim];
+    if (p.type == ParamType::kCategorical) {
+      // Keep the anchor's choice most of the time; mutate occasionally.
+      if (rng_.Bernoulli(0.2) && p.choices.size() > 1) {
+        value = static_cast<double>(rng_.Index(p.choices.size()));
+      }
+      out.values[dim] = value;
+      continue;
+    }
+    // Gaussian kernel jitter in the encoded domain.
+    if (p.log_scale) {
+      double lo = std::log(p.lo), hi = std::log(p.hi);
+      double z = (std::log(value) - lo) / (hi - lo);
+      z = std::clamp(z + rng_.Gaussian(0.0, options_.bandwidth), 0.0, 1.0);
+      out.values[dim] = std::exp(lo + z * (hi - lo));
+    } else {
+      double range = p.hi - p.lo;
+      double z = range > 0.0 ? (value - p.lo) / range : 0.5;
+      z = std::clamp(z + rng_.Gaussian(0.0, options_.bandwidth), 0.0, 1.0);
+      double v = p.lo + z * range;
+      if (p.type == ParamType::kInteger) v = std::round(v);
+      out.values[dim] = v;
+    }
+  }
+  return out;
+}
+
+double TpeOptimizer::LogLikelihoodRatio(
+    const Configuration& config, const std::vector<size_t>& good_indices,
+    const std::vector<size_t>& bad_indices) const {
+  double ratio = 0.0;
+  for (size_t dim = 0; dim < space_->NumParameters(); ++dim) {
+    if (!space_->IsActive(config, dim)) continue;
+    double good = Density(dim, config.values[dim], good_indices);
+    double bad = Density(dim, config.values[dim], bad_indices);
+    ratio += std::log(good) - std::log(bad);
+  }
+  return ratio;
+}
+
+Configuration TpeOptimizer::Suggest() {
+  ++suggest_count_;
+  if (!initial_queue_.empty()) {
+    Configuration c = initial_queue_.front();
+    initial_queue_.erase(initial_queue_.begin());
+    return c;
+  }
+  bool explore =
+      NumObservations() < options_.min_observations ||
+      (options_.random_interleave > 0 &&
+       suggest_count_ % options_.random_interleave == 0);
+  if (explore) {
+    return space_->Sample(&rng_);
+  }
+
+  // Split history into good (top gamma) and bad.
+  const size_t n = history_utilities_.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return history_utilities_[a] > history_utilities_[b];
+  });
+  size_t num_good = std::max<size_t>(
+      2, static_cast<size_t>(std::ceil(options_.gamma *
+                                       static_cast<double>(n))));
+  num_good = std::min(num_good, n - 1);
+  std::vector<size_t> good(order.begin(),
+                           order.begin() + static_cast<long>(num_good));
+  std::vector<size_t> bad(order.begin() + static_cast<long>(num_good),
+                          order.end());
+
+  Configuration best_candidate;
+  double best_ratio = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < options_.num_candidates; ++i) {
+    Configuration candidate = SampleFromGood(good);
+    double ratio = LogLikelihoodRatio(candidate, good, bad);
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_candidate = candidate;
+    }
+  }
+  return best_candidate;
+}
+
+}  // namespace volcanoml

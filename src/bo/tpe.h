@@ -1,0 +1,57 @@
+#ifndef VOLCANOML_BO_TPE_H_
+#define VOLCANOML_BO_TPE_H_
+
+#include "bo/optimizer.h"
+
+namespace volcanoml {
+
+/// Tree-structured Parzen Estimator [Bergstra et al., NIPS'11] — the
+/// optimizer behind hyperopt / hyperopt-sklearn, one of the BO-based
+/// AutoML families the paper discusses. Observations are split into a
+/// "good" quantile and the rest; each parameter gets independent 1-D
+/// density models l(x) (good) and g(x) (bad), and candidates sampled from
+/// l are ranked by the likelihood ratio l(x)/g(x).
+///
+/// Continuous/integer parameters use Gaussian kernel densities over the
+/// encoded [0,1] domain; categoricals use Laplace-smoothed histograms.
+class TpeOptimizer : public BlackBoxOptimizer {
+ public:
+  struct Options {
+    /// Fraction of observations forming the "good" set.
+    double gamma = 0.25;
+    /// Random search until this many observations exist.
+    size_t min_observations = 8;
+    /// Candidates drawn from l(x) per Suggest.
+    size_t num_candidates = 32;
+    /// Kernel bandwidth as a fraction of the unit-encoded domain.
+    double bandwidth = 0.15;
+    /// Every k-th proposal is uniformly random.
+    size_t random_interleave = 5;
+  };
+
+  TpeOptimizer(const ConfigurationSpace* space, const Options& options,
+               uint64_t seed);
+
+  Configuration Suggest() override;
+
+ private:
+  /// Samples one configuration from the good-set kernel density.
+  Configuration SampleFromGood(const std::vector<size_t>& good_indices);
+
+  /// log l(config) - log g(config) summed over active dimensions.
+  double LogLikelihoodRatio(const Configuration& config,
+                            const std::vector<size_t>& good_indices,
+                            const std::vector<size_t>& bad_indices) const;
+
+  /// 1-D kernel density of parameter `dim` over the member set.
+  double Density(size_t dim, double value,
+                 const std::vector<size_t>& members) const;
+
+  Options options_;
+  Rng rng_;
+  size_t suggest_count_ = 0;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BO_TPE_H_

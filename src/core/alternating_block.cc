@@ -1,0 +1,80 @@
+#include "core/alternating_block.h"
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+AlternatingBlock::AlternatingBlock(std::string name,
+                                   std::unique_ptr<BuildingBlock> block_a,
+                                   std::vector<std::string> variables_a,
+                                   std::unique_ptr<BuildingBlock> block_b,
+                                   std::vector<std::string> variables_b,
+                                   size_t init_rounds)
+    : BuildingBlock(std::move(name)),
+      a_(std::move(block_a)),
+      vars_a_(std::move(variables_a)),
+      b_(std::move(block_b)),
+      vars_b_(std::move(variables_b)),
+      init_pulls_remaining_(2 * init_rounds) {
+  VOLCANOML_CHECK(a_ != nullptr && b_ != nullptr);
+}
+
+void AlternatingBlock::SetVar(const Assignment& vars) {
+  BuildingBlock::SetVar(vars);
+  a_->SetVar(vars);
+  b_->SetVar(vars);
+}
+
+void AlternatingBlock::WarmStart(const Assignment& assignment) {
+  // Each child extracts the variables it owns from the candidate.
+  a_->WarmStart(assignment);
+  b_->WarmStart(assignment);
+}
+
+void AlternatingBlock::ShareBest(const BuildingBlock& from,
+                                 const std::vector<std::string>& variables,
+                                 BuildingBlock* to) {
+  if (!from.HasObservations()) return;
+  const Assignment& best = from.BestAssignment();
+  Assignment shared;
+  for (const std::string& var : variables) {
+    auto it = best.find(var);
+    if (it != best.end()) shared[var] = it->second;
+  }
+  if (!shared.empty()) to->SetVar(shared);
+}
+
+void AlternatingBlock::Pull(BuildingBlock* winner, const BuildingBlock& other,
+                            const std::vector<std::string>& other_vars,
+                            double k_more) {
+  // Algorithm 3 lines 4-6 / 8-10: substitute the loser's incumbent into
+  // the winner before pulling it.
+  ShareBest(other, other_vars, winner);
+  winner->DoNext(k_more);
+  AbsorbBest(*winner);
+}
+
+void AlternatingBlock::DoNextImpl(double k_more) {
+  if (init_pulls_remaining_ > 0) {
+    // Algorithm 2: strict round-robin with best-exchange.
+    --init_pulls_remaining_;
+    if (next_init_is_a_) {
+      Pull(a_.get(), *b_, vars_b_, k_more);
+    } else {
+      Pull(b_.get(), *a_, vars_a_, k_more);
+    }
+    next_init_is_a_ = !next_init_is_a_;
+    return;
+  }
+
+  // Algorithm 3: pull the child with the larger EUI.
+  double eui_a = a_->GetEui();
+  double eui_b = b_->GetEui();
+  if (eui_a >= eui_b) {
+    Pull(a_.get(), *b_, vars_b_, k_more);
+  } else {
+    Pull(b_.get(), *a_, vars_a_, k_more);
+  }
+}
+
+}  // namespace volcanoml

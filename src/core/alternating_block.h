@@ -1,0 +1,60 @@
+#ifndef VOLCANOML_CORE_ALTERNATING_BLOCK_H_
+#define VOLCANOML_CORE_ALTERNATING_BLOCK_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/building_block.h"
+
+namespace volcanoml {
+
+/// Alternating block (paper Section 3.3.3, Algorithms 2 and 3): splits its
+/// subspace into two halves (e.g. feature engineering vs hyper-parameters)
+/// handled by two child blocks, and alternates between them.
+///
+/// Initialization (Algorithm 2) plays both children round-robin for
+/// `init_rounds` rounds, exchanging each side's current best via SetVar.
+/// After initialization, each DoNext (Algorithm 3) pulls the child with
+/// the larger expected utility improvement, again substituting the other
+/// side's incumbent first. Both phases are spread across DoNext calls so
+/// one call costs one child pull.
+class AlternatingBlock : public BuildingBlock {
+ public:
+  /// `variables_a` / `variables_b` are the joint-space variable names each
+  /// child owns; used to slice incumbents for SetVar exchanges.
+  AlternatingBlock(std::string name, std::unique_ptr<BuildingBlock> block_a,
+                   std::vector<std::string> variables_a,
+                   std::unique_ptr<BuildingBlock> block_b,
+                   std::vector<std::string> variables_b,
+                   size_t init_rounds = 2);
+
+  void SetVar(const Assignment& vars) override;
+  void WarmStart(const Assignment& assignment) override;
+
+  const BuildingBlock& block_a() const { return *a_; }
+  const BuildingBlock& block_b() const { return *b_; }
+
+ protected:
+  void DoNextImpl(double k_more) override;
+
+ private:
+  /// Copies the `variables` entries of `from`'s best assignment into the
+  /// other block's context.
+  void ShareBest(const BuildingBlock& from,
+                 const std::vector<std::string>& variables,
+                 BuildingBlock* to);
+
+  void Pull(BuildingBlock* winner, const BuildingBlock& other,
+            const std::vector<std::string>& other_vars, double k_more);
+
+  std::unique_ptr<BuildingBlock> a_;
+  std::vector<std::string> vars_a_;
+  std::unique_ptr<BuildingBlock> b_;
+  std::vector<std::string> vars_b_;
+  size_t init_pulls_remaining_;
+  bool next_init_is_a_ = true;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CORE_ALTERNATING_BLOCK_H_

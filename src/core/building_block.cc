@@ -1,0 +1,33 @@
+#include "core/building_block.h"
+
+#include <algorithm>
+
+namespace volcanoml {
+
+void BuildingBlock::DoNext(double k_more) {
+  DoNextImpl(k_more);
+  // One pull-history entry per DoNext call: the incumbent after the pull.
+  pull_history_.push_back(best_utility_);
+}
+
+void BuildingBlock::SetVar(const Assignment& vars) {
+  for (const auto& [name, value] : vars) {
+    context_[name] = value;
+  }
+}
+
+void BuildingBlock::RecordObservation(const Assignment& full_assignment,
+                                      double utility) {
+  if (utility > best_utility_) {
+    best_utility_ = utility;
+    best_assignment_ = full_assignment;
+  }
+}
+
+void BuildingBlock::AbsorbBest(const BuildingBlock& child) {
+  if (child.best_utility_ > best_utility_) {
+    RecordObservation(child.best_assignment_, child.best_utility_);
+  }
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,91 @@
+#ifndef VOLCANOML_CORE_BUILDING_BLOCK_H_
+#define VOLCANOML_CORE_BUILDING_BLOCK_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bandit/eu.h"
+#include "cs/configuration.h"
+
+namespace volcanoml {
+
+/// Abstract VolcanoML building block (paper Section 3.2).
+///
+/// A block owns a subgoal: optimizing the objective over a subset of the
+/// search-space variables while the remaining variables are substituted
+/// with fixed values (`context`, the paper's x_g = c_g). Blocks form a
+/// tree — the execution plan — evaluated Volcano-style: DoNext() on the
+/// root recursively advances exactly one leaf by one optimization step.
+///
+/// The interface mirrors the paper's primitives:
+///   do_next!          -> DoNext(k_more)
+///   get_current_best  -> BestAssignment() / BestUtility()
+///   get_eu            -> GetEu(k_more)  (rising-bandit [l, u] bounds)
+///   get_eui           -> GetEui()       (mean historical improvement)
+///   set_var           -> SetVar(vars)
+class BuildingBlock {
+ public:
+  explicit BuildingBlock(std::string name) : name_(std::move(name)) {}
+  virtual ~BuildingBlock() = default;
+
+  BuildingBlock(const BuildingBlock&) = delete;
+  BuildingBlock& operator=(const BuildingBlock&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Advances the block by one iteration (one pull). `k_more` is the
+  /// caller's estimate of the remaining budget in pulls, forwarded to
+  /// elimination decisions inside composite blocks.
+  void DoNext(double k_more);
+
+  /// Best full assignment observed anywhere in this block's subtree
+  /// (own variables plus the context they were evaluated under).
+  const Assignment& BestAssignment() const { return best_assignment_; }
+  double BestUtility() const { return best_utility_; }
+  bool HasObservations() const { return !pull_history_.empty(); }
+
+  /// Rising-bandit bounds on this block's utility after `k_more` more
+  /// pulls (paper's get_eu; see bandit/eu.h).
+  EuBounds GetEu(double k_more) const {
+    return RisingBanditBounds(pull_history_, k_more);
+  }
+
+  /// Expected utility improvement per pull (paper's get_eui).
+  double GetEui() const { return MeanImprovementEui(pull_history_); }
+
+  /// Substitutes values for variables outside this block's subspace
+  /// (the paper's set_var). Composite blocks propagate to children.
+  virtual void SetVar(const Assignment& vars);
+
+  /// Injects a meta-learned candidate into the subtree; blocks route it
+  /// to the optimizer(s) owning its variables.
+  virtual void WarmStart(const Assignment& assignment) { (void)assignment; }
+
+  /// Best-so-far utility after each pull (drives GetEu / GetEui).
+  const std::vector<double>& pull_history() const { return pull_history_; }
+  size_t NumPulls() const { return pull_history_.size(); }
+
+ protected:
+  /// Subclass hook performing one iteration.
+  virtual void DoNextImpl(double k_more) = 0;
+
+  /// Records an evaluated (full assignment, utility) observation and
+  /// updates the incumbent.
+  void RecordObservation(const Assignment& full_assignment, double utility);
+
+  /// Merges a child's incumbent into this block's (used by composites).
+  void AbsorbBest(const BuildingBlock& child);
+
+  Assignment context_;
+
+ private:
+  std::string name_;
+  std::vector<double> pull_history_;
+  Assignment best_assignment_;
+  double best_utility_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CORE_BUILDING_BLOCK_H_

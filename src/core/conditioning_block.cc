@@ -1,0 +1,120 @@
+#include "core/conditioning_block.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace volcanoml {
+
+ConditioningBlock::ConditioningBlock(std::string name, std::string variable,
+                                     size_t num_choices,
+                                     const ChildFactory& factory,
+                                     size_t rounds_per_elimination,
+                                     EliminationPolicy policy)
+    : BuildingBlock(std::move(name)),
+      variable_(std::move(variable)),
+      rounds_per_elimination_(rounds_per_elimination),
+      policy_(policy) {
+  VOLCANOML_CHECK(num_choices >= 1);
+  VOLCANOML_CHECK(rounds_per_elimination_ >= 1);
+  children_.reserve(num_choices);
+  for (size_t i = 0; i < num_choices; ++i) {
+    children_.push_back(factory(i));
+    VOLCANOML_CHECK(children_.back() != nullptr);
+  }
+  active_.assign(num_choices, true);
+}
+
+size_t ConditioningBlock::NumActiveChildren() const {
+  return static_cast<size_t>(
+      std::count(active_.begin(), active_.end(), true));
+}
+
+void ConditioningBlock::SetVar(const Assignment& vars) {
+  BuildingBlock::SetVar(vars);
+  for (const std::unique_ptr<BuildingBlock>& child : children_) {
+    child->SetVar(vars);
+  }
+}
+
+void ConditioningBlock::WarmStart(const Assignment& assignment) {
+  // Route the candidate to the arm matching its conditioned value; if the
+  // variable is absent, every arm may benefit from the remaining values.
+  auto it = assignment.find(variable_);
+  if (it == assignment.end()) {
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (active_[i]) children_[i]->WarmStart(assignment);
+    }
+    return;
+  }
+  size_t choice = static_cast<size_t>(it->second);
+  if (choice < children_.size() && active_[choice]) {
+    children_[choice]->WarmStart(assignment);
+  }
+}
+
+void ConditioningBlock::DoNextImpl(double k_more) {
+  // One round-robin pass over the active arms (Algorithm 1, inner loop).
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!active_[i]) continue;
+    children_[i]->DoNext(k_more);
+    AbsorbBest(*children_[i]);
+  }
+  ++rounds_completed_;
+  if (policy_ == EliminationPolicy::kRisingBandit) {
+    if (rounds_completed_ >= rounds_per_elimination_) {
+      EliminateDominated(k_more);
+    }
+  } else if (rounds_completed_ % rounds_per_elimination_ == 0) {
+    HalveArms();
+  }
+}
+
+void ConditioningBlock::HalveArms() {
+  // Successive-halving schedule: keep the better half of the active arms
+  // by current best utility.
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!active_[i]) continue;
+    ranked.push_back({children_[i]->BestUtility(), i});
+  }
+  if (ranked.size() <= 1) return;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  size_t keep = (ranked.size() + 1) / 2;
+  for (size_t r = keep; r < ranked.size(); ++r) {
+    active_[ranked[r].second] = false;
+    VOLCANOML_LOG(Info) << name() << ": halving eliminated arm '"
+                        << children_[ranked[r].second]->name() << "'";
+  }
+}
+
+void ConditioningBlock::EliminateDominated(double k_more) {
+  // Compute [l_j, u_j] per active arm (Algorithm 1, lines 5-7). The
+  // remaining budget is *shared* by the arms (paper's Remark in 3.3.2),
+  // so each arm extrapolates only over its per-arm share — the bound the
+  // paper notes would otherwise be over-optimistic.
+  double per_arm_budget =
+      k_more / std::max<double>(1.0, static_cast<double>(NumActiveChildren()));
+  std::vector<EuBounds> bounds(children_.size());
+  double best_lower = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!active_[i]) continue;
+    bounds[i] = children_[i]->GetEu(per_arm_budget);
+    best_lower = std::max(best_lower, bounds[i].lower);
+  }
+  size_t survivors = NumActiveChildren();
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!active_[i] || survivors <= 1) continue;
+    if (bounds[i].upper < best_lower) {
+      active_[i] = false;
+      --survivors;
+      VOLCANOML_LOG(Info) << name() << ": eliminated arm '"
+                          << children_[i]->name() << "' (u="
+                          << bounds[i].upper << " < l*=" << best_lower << ")";
+    }
+  }
+}
+
+}  // namespace volcanoml

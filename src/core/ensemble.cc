@@ -1,0 +1,166 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "data/splits.h"
+#include "ml/metrics.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+EnsembleSelector::EnsembleSelector(const SearchSpace* space,
+                                   const Options& options)
+    : space_(space), options_(options) {
+  VOLCANOML_CHECK(space_ != nullptr);
+  VOLCANOML_CHECK(options_.max_members >= 1);
+}
+
+Status EnsembleSelector::Build(const std::vector<Assignment>& candidates,
+                               const Dataset& train) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no ensemble candidates");
+  }
+  task_ = train.task();
+  num_classes_ =
+      task_ == TaskType::kClassification ? train.NumClasses() : 0;
+
+  // Carve a validation split for the greedy selection.
+  Rng rng(options_.seed);
+  Split split = TrainTestSplit(train, options_.validation_fraction, &rng);
+  Dataset fit_part = train.Subset(split.train);
+  Dataset valid_part = train.Subset(split.test);
+
+  // Fit each candidate on the fit part; collect validation predictions.
+  PipelineEvaluator fitter(space_, &fit_part, {});
+  std::vector<std::vector<double>> valid_preds;
+  members_.clear();
+  for (const Assignment& assignment : candidates) {
+    Result<FittedPipeline> pipeline = fitter.FitFinal(assignment);
+    if (!pipeline.ok()) continue;
+    valid_preds.push_back(pipeline.value().Predict(valid_part.x()));
+    members_.push_back(std::move(pipeline).value());
+  }
+  if (members_.empty()) {
+    return Status::Internal("no candidate pipeline could be fitted");
+  }
+
+  // Greedy forward selection with replacement.
+  weights_.assign(members_.size(), 0);
+  const size_t n_valid = valid_part.NumSamples();
+  // Running sums: per-class vote counts (cls) or prediction sum (reg).
+  std::vector<std::vector<double>> votes;
+  std::vector<double> sum(n_valid, 0.0);
+  if (task_ == TaskType::kClassification) {
+    votes.assign(n_valid, std::vector<double>(num_classes_, 0.0));
+  }
+  size_t total_selected = 0;
+
+  auto ensemble_utility_with = [&](size_t candidate) {
+    std::vector<double> pred(n_valid);
+    for (size_t i = 0; i < n_valid; ++i) {
+      if (task_ == TaskType::kClassification) {
+        std::vector<double> v = votes[i];
+        v[static_cast<size_t>(valid_preds[candidate][i])] += 1.0;
+        pred[i] = static_cast<double>(
+            std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+      } else {
+        pred[i] = (sum[i] + valid_preds[candidate][i]) /
+                  static_cast<double>(total_selected + 1);
+      }
+    }
+    return Utility(valid_part, pred);
+  };
+
+  for (size_t round = 0; round < options_.max_members; ++round) {
+    double best_utility = -std::numeric_limits<double>::infinity();
+    size_t best_candidate = 0;
+    for (size_t c = 0; c < members_.size(); ++c) {
+      double utility = ensemble_utility_with(c);
+      if (utility > best_utility) {
+        best_utility = utility;
+        best_candidate = c;
+      }
+    }
+    weights_[best_candidate] += 1;
+    ++total_selected;
+    for (size_t i = 0; i < n_valid; ++i) {
+      if (task_ == TaskType::kClassification) {
+        votes[i][static_cast<size_t>(valid_preds[best_candidate][i])] += 1.0;
+      } else {
+        sum[i] += valid_preds[best_candidate][i];
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> EnsembleSelector::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(!members_.empty());
+  const size_t n = x.rows();
+  std::vector<double> out(n);
+  if (task_ == TaskType::kClassification) {
+    std::vector<std::vector<double>> votes(
+        n, std::vector<double>(num_classes_, 0.0));
+    for (size_t m = 0; m < members_.size(); ++m) {
+      if (weights_[m] == 0) continue;
+      std::vector<double> pred = members_[m].Predict(x);
+      for (size_t i = 0; i < n; ++i) {
+        votes[i][static_cast<size_t>(pred[i])] +=
+            static_cast<double>(weights_[m]);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<double>(
+          std::distance(votes[i].begin(),
+                        std::max_element(votes[i].begin(), votes[i].end())));
+    }
+    return out;
+  }
+  double total_weight = 0.0;
+  for (size_t m = 0; m < members_.size(); ++m) {
+    if (weights_[m] == 0) continue;
+    std::vector<double> pred = members_[m].Predict(x);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] += static_cast<double>(weights_[m]) * pred[i];
+    }
+    total_weight += static_cast<double>(weights_[m]);
+  }
+  for (double& v : out) v /= total_weight;
+  return out;
+}
+
+size_t EnsembleSelector::NumDistinctMembers() const {
+  size_t distinct = 0;
+  for (size_t w : weights_) {
+    if (w > 0) ++distinct;
+  }
+  return distinct;
+}
+
+std::vector<Assignment> TopKAssignments(
+    const std::vector<std::pair<Assignment, double>>& observations,
+    size_t k) {
+  std::vector<size_t> order(observations.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return observations[a].second > observations[b].second;
+  });
+  std::vector<Assignment> out;
+  std::set<std::vector<double>> seen;  // Dedup on the value vector.
+  for (size_t idx : order) {
+    if (out.size() >= k) break;
+    std::vector<double> key;
+    key.reserve(observations[idx].first.size());
+    for (const auto& [name, value] : observations[idx].first) {
+      key.push_back(value);
+    }
+    if (!seen.insert(key).second) continue;
+    out.push_back(observations[idx].first);
+  }
+  return out;
+}
+
+}  // namespace volcanoml

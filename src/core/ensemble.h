@@ -1,0 +1,67 @@
+#ifndef VOLCANOML_CORE_ENSEMBLE_H_
+#define VOLCANOML_CORE_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "eval/evaluator.h"
+
+namespace volcanoml {
+
+/// Post-hoc greedy ensemble selection [Caruana et al.; used by
+/// auto-sklearn]: given the top configurations observed during a search,
+/// fit each on the training split, then greedily add members (with
+/// replacement) that maximize the validation utility of the ensemble
+/// prediction — majority vote for classification, mean for regression.
+///
+/// The paper compares single best pipelines, but auto-sklearn ships
+/// ensembling and VolcanoML's artifact supports it; it is provided here
+/// as the natural deployment-quality booster on top of any search result.
+class EnsembleSelector {
+ public:
+  struct Options {
+    /// Ensemble size (members counted with replacement).
+    size_t max_members = 10;
+    /// Validation fraction carved from the training data.
+    double validation_fraction = 0.25;
+    uint64_t seed = 1;
+  };
+
+  EnsembleSelector(const SearchSpace* space, const Options& options);
+
+  /// Builds an ensemble from candidate assignments (e.g. the top-k of a
+  /// search run) using `train`. Returns a non-OK status when no candidate
+  /// can be fitted.
+  Status Build(const std::vector<Assignment>& candidates,
+               const Dataset& train);
+
+  /// Predicts with the fitted ensemble (majority vote / mean).
+  std::vector<double> Predict(const Matrix& x) const;
+
+  /// Number of distinct fitted members actually selected.
+  size_t NumDistinctMembers() const;
+  /// Selection multiplicity per fitted candidate (aligned with the
+  /// candidates that could be fitted).
+  const std::vector<size_t>& weights() const { return weights_; }
+
+ private:
+  const SearchSpace* space_;
+  Options options_;
+  TaskType task_ = TaskType::kClassification;
+  size_t num_classes_ = 0;
+  std::vector<FittedPipeline> members_;
+  std::vector<size_t> weights_;
+};
+
+/// Convenience: extracts the `k` best distinct assignments from a search
+/// trajectory recorded by PipelineEvaluator-based systems. (Systems store
+/// only the single best; this helper re-evaluates a sample of assignments
+/// is NOT needed — callers typically pass {result.best_assignment} plus
+/// domain variants.)
+std::vector<Assignment> TopKAssignments(
+    const std::vector<std::pair<Assignment, double>>& observations,
+    size_t k);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CORE_ENSEMBLE_H_

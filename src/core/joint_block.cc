@@ -1,0 +1,82 @@
+#include "core/joint_block.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+JointBlock::JointBlock(std::string name, ConfigurationSpace space,
+                       PipelineEvaluator* evaluator, JointOptimizerKind kind,
+                       uint64_t seed)
+    : BuildingBlock(std::move(name)),
+      space_(std::move(space)),
+      evaluator_(evaluator),
+      kind_(kind) {
+  VOLCANOML_CHECK(evaluator_ != nullptr);
+  VOLCANOML_CHECK(!space_.empty());
+  switch (kind_) {
+    case JointOptimizerKind::kSmac:
+      optimizer_ = std::make_unique<SmacOptimizer>(&space_,
+                                                   SmacOptimizer::Options{},
+                                                   seed);
+      break;
+    case JointOptimizerKind::kRandom:
+      optimizer_ = std::make_unique<RandomSearchOptimizer>(&space_, seed);
+      break;
+    case JointOptimizerKind::kMfesHb:
+      mfes_ = std::make_unique<MfesHbOptimizer>(
+          &space_, MfesHbOptimizer::Options{}, seed);
+      break;
+    case JointOptimizerKind::kTpe:
+      optimizer_ = std::make_unique<TpeOptimizer>(&space_,
+                                                  TpeOptimizer::Options{},
+                                                  seed);
+      break;
+  }
+  if (optimizer_ != nullptr) {
+    // SMAC convention: the space's default configuration is evaluated
+    // first — defaults carry strong priors (e.g. "no FE" / library
+    // default hyper-parameters) and anchor the arm's early utility.
+    optimizer_->EnqueueInitial(space_.Default());
+  }
+}
+
+void JointBlock::WarmStart(const Assignment& assignment) {
+  Configuration config = space_.FromAssignment(assignment);
+  if (optimizer_ != nullptr) {
+    optimizer_->EnqueueInitial(config);
+  }
+  // MFES-HB has no seed queue; warm starts only guide surrogate-based
+  // proposals once observations exist, so they are skipped there.
+}
+
+void JointBlock::DoNextImpl(double /*k_more*/) {
+  if (kind_ == JointOptimizerKind::kMfesHb) {
+    MfesHbOptimizer::Proposal proposal = mfes_->Next();
+    Assignment full = context_;
+    for (const auto& [name, value] :
+         space_.ToAssignment(proposal.config)) {
+      full[name] = value;
+    }
+    double utility = evaluator_->Evaluate(full, proposal.fidelity);
+    mfes_->Observe(proposal.config, proposal.fidelity, utility);
+    // Only full-fidelity measurements update the incumbent: subsampled
+    // utilities are not comparable to full-data ones.
+    if (proposal.fidelity >= 1.0) {
+      RecordObservation(full, utility);
+    }
+    return;
+  }
+
+  Configuration config = optimizer_->Suggest();
+  Assignment full = context_;
+  for (const auto& [name, value] : space_.ToAssignment(config)) {
+    full[name] = value;
+  }
+  double utility = evaluator_->Evaluate(full);
+  optimizer_->Observe(config, utility);
+  RecordObservation(full, utility);
+}
+
+}  // namespace volcanoml

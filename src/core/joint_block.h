@@ -1,0 +1,50 @@
+#ifndef VOLCANOML_CORE_JOINT_BLOCK_H_
+#define VOLCANOML_CORE_JOINT_BLOCK_H_
+
+#include <memory>
+
+#include "bandit/mfes.h"
+#include "bo/smac.h"
+#include "bo/tpe.h"
+#include "core/building_block.h"
+#include "cs/configuration_space.h"
+#include "eval/evaluator.h"
+
+namespace volcanoml {
+
+/// Optimizer engine driving a joint block.
+enum class JointOptimizerKind {
+  kSmac,    ///< Vanilla Bayesian optimization (SMAC), the paper's default.
+  kRandom,  ///< Random search (ablation baseline).
+  kMfesHb,  ///< Early-stopping multi-fidelity optimization (MFES-HB).
+  kTpe,     ///< Tree-structured Parzen Estimator (hyperopt's engine).
+};
+
+/// Joint block (paper Section 3.3.1): optimizes its whole subspace with
+/// Bayesian optimization. One DoNext = one suggest/evaluate/observe step;
+/// with kMfesHb the evaluation may run at reduced fidelity (subsampled
+/// training data), consuming proportionally less budget.
+class JointBlock : public BuildingBlock {
+ public:
+  JointBlock(std::string name, ConfigurationSpace space,
+             PipelineEvaluator* evaluator, JointOptimizerKind kind,
+             uint64_t seed);
+
+  void WarmStart(const Assignment& assignment) override;
+
+  const ConfigurationSpace& subspace() const { return space_; }
+
+ protected:
+  void DoNextImpl(double k_more) override;
+
+ private:
+  ConfigurationSpace space_;
+  PipelineEvaluator* evaluator_;
+  JointOptimizerKind kind_;
+  std::unique_ptr<BlackBoxOptimizer> optimizer_;  ///< SMAC or random.
+  std::unique_ptr<MfesHbOptimizer> mfes_;         ///< kMfesHb only.
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CORE_JOINT_BLOCK_H_

@@ -1,0 +1,43 @@
+#include "core/plan_search.h"
+
+#include "core/volcano_ml.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+
+PlanSearchResult SearchBestPlan(const std::vector<DatasetSpec>& workload,
+                                const PlanSearchOptions& options) {
+  VOLCANOML_CHECK(!workload.empty());
+  PlanSearchResult result;
+  result.plans = AllPlanKinds();
+
+  Rng rng(options.seed);
+  // utilities[dataset][plan]: best validation utility of each probe run.
+  std::vector<std::vector<double>> utilities;
+  for (size_t d = 0; d < workload.size(); ++d) {
+    Dataset data = workload[d].make(options.seed ^ (d * 0x9e3779b9ULL));
+    uint64_t run_seed = rng.Fork();
+    std::vector<double> row;
+    for (PlanKind plan : result.plans) {
+      VolcanoMlOptions run;
+      run.space = options.space;
+      run.eval = options.eval;
+      run.plan = plan;
+      run.budget = options.budget_per_run;
+      run.seed = run_seed;  // Same seed across plans: paired comparison.
+      VolcanoML engine(run);
+      row.push_back(engine.Fit(data).best_utility);
+    }
+    utilities.push_back(std::move(row));
+    VOLCANOML_LOG(Info) << "plan search: probed " << workload[d].name;
+  }
+
+  result.average_ranks = AverageRanks(utilities, /*higher_is_better=*/true);
+  result.best = result.plans[ArgMin(result.average_ranks)];
+  return result;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,39 @@
+#ifndef VOLCANOML_CORE_PLAN_SEARCH_H_
+#define VOLCANOML_CORE_PLAN_SEARCH_H_
+
+#include <vector>
+
+#include "core/plans.h"
+#include "data/suite.h"
+
+namespace volcanoml {
+
+/// Result of an automatic plan search: each candidate plan's average rank
+/// over the probe workload, and the winner.
+struct PlanSearchResult {
+  std::vector<PlanKind> plans;
+  std::vector<double> average_ranks;  ///< Aligned with `plans`.
+  PlanKind best = PlanKind::kConditioningAlternating;
+};
+
+/// Options for the automatic plan search.
+struct PlanSearchOptions {
+  SearchSpaceOptions space;
+  EvaluatorOptions eval;
+  /// Budget per (plan, dataset) probe run.
+  double budget_per_run = 25.0;
+  uint64_t seed = 1;
+};
+
+/// The paper's "automatic plan generation" pilot (Section 4): enumerate
+/// all coarse-grained execution plans, run each on every dataset of a
+/// probe workload, and return the plan with the best average validation
+/// rank. The paper reports that this enumeration selects the manually
+/// designed Figure 2 plan; the same procedure is exposed here so users
+/// can re-run the selection on their own workloads.
+PlanSearchResult SearchBestPlan(const std::vector<DatasetSpec>& workload,
+                                const PlanSearchOptions& options);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CORE_PLAN_SEARCH_H_

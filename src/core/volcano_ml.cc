@@ -1,0 +1,83 @@
+#include "core/volcano_ml.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace volcanoml {
+
+VolcanoML::VolcanoML(const VolcanoMlOptions& options)
+    : options_(options), space_(options.space) {
+  VOLCANOML_CHECK(options_.budget > 0.0);
+}
+
+AutoMlResult VolcanoML::Fit(const Dataset& train) {
+  VOLCANOML_CHECK_MSG(!fitted_, "Fit may be called once per instance");
+  VOLCANOML_CHECK(train.task() == space_.task());
+  fitted_ = true;
+
+  data_ = std::make_unique<Dataset>(train);
+  EvaluatorOptions eval_options = options_.eval;
+  eval_options.seed ^= options_.seed;
+  evaluator_ = std::make_unique<PipelineEvaluator>(&space_, data_.get(),
+                                                   eval_options);
+
+  Rng rng(options_.seed);
+  std::unique_ptr<BuildingBlock> root =
+      BuildPlan(options_.plan, space_, evaluator_.get(), options_.optimizer,
+                rng.Fork());
+
+  // Meta-learning warm start: inject the k most similar past winners.
+  if (options_.knowledge != nullptr) {
+    std::vector<Assignment> warm = options_.knowledge->SuggestWarmStarts(
+        train, options_.num_warm_starts, rng.Fork());
+    VOLCANOML_LOG(Info) << "meta-learning: " << warm.size()
+                        << " warm-start candidates";
+    for (const Assignment& assignment : warm) {
+      root->WarmStart(assignment);
+    }
+  }
+
+  // Volcano-style execution: pull the root until the budget is gone.
+  //
+  // Under a seconds budget the consumed amount is the run's total
+  // wall-clock (the paper's budget model): evaluation time AND optimizer
+  // overhead (surrogate fits, acquisition maximization) all count.
+  // DoNext's k_more argument is in *pulls*; remaining time is converted
+  // using the observed mean cost per pull.
+  Stopwatch run_timer;
+  auto consumed = [&]() {
+    return options_.eval.budget_in_seconds
+               ? run_timer.ElapsedSeconds()
+               : evaluator_->consumed_budget();
+  };
+  while (consumed() < options_.budget) {
+    double remaining = options_.budget - consumed();
+    double k_more = remaining;
+    if (options_.eval.budget_in_seconds && root->NumPulls() > 0 &&
+        consumed() > 0.0) {
+      double mean_cost = consumed() / static_cast<double>(root->NumPulls());
+      k_more = remaining / std::max(mean_cost, 1e-6);
+    }
+    root->DoNext(k_more);
+    result_.trajectory.push_back({consumed(), root->BestUtility()});
+  }
+
+  result_.best_assignment = root->BestAssignment();
+  result_.best_utility = root->BestUtility();
+  result_.num_evaluations = evaluator_->num_evaluations();
+  return result_;
+}
+
+Result<FittedPipeline> VolcanoML::FitFinalPipeline() {
+  VOLCANOML_CHECK_MSG(fitted_, "call Fit first");
+  if (result_.best_assignment.empty()) {
+    return Status::FailedPrecondition("search found no configuration");
+  }
+  return evaluator_->FitFinal(result_.best_assignment);
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,84 @@
+#ifndef VOLCANOML_CORE_VOLCANO_ML_H_
+#define VOLCANOML_CORE_VOLCANO_ML_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/plans.h"
+#include "eval/evaluator.h"
+#include "eval/search_space.h"
+#include "meta/knowledge_base.h"
+
+namespace volcanoml {
+
+/// One point of a search trajectory: incumbent utility after spending
+/// `budget` evaluation units. Drives the time-budget figures (E2, E6).
+struct TrajectoryPoint {
+  double budget = 0.0;
+  double utility = 0.0;
+};
+
+/// Result of an AutoML search run.
+struct AutoMlResult {
+  Assignment best_assignment;
+  double best_utility = 0.0;
+  std::vector<TrajectoryPoint> trajectory;
+  size_t num_evaluations = 0;
+};
+
+/// Configuration of a VolcanoML run.
+struct VolcanoMlOptions {
+  SearchSpaceOptions space;
+  EvaluatorOptions eval;
+  /// Execution plan; Figure 2's conditioning+alternating by default.
+  PlanKind plan = PlanKind::kConditioningAlternating;
+  /// Optimizer inside joint blocks.
+  JointOptimizerKind optimizer = JointOptimizerKind::kSmac;
+  /// Budget in evaluation units (one full-fidelity pipeline evaluation
+  /// costs one unit; subsampled evaluations cost their fidelity).
+  double budget = 150.0;
+  /// Meta-learning warm start: non-null enables the "+meta" variant.
+  const MetaKnowledgeBase* knowledge = nullptr;
+  size_t num_warm_starts = 5;
+  uint64_t seed = 1;
+};
+
+/// The end-to-end AutoML system (paper Sections 3-4): builds the search
+/// space, composes the execution plan, and drives it Volcano-style until
+/// the budget is exhausted.
+///
+/// Usage:
+///   VolcanoML automl(options);
+///   AutoMlResult result = automl.Fit(train_data);
+///   auto pipeline = automl.FitFinalPipeline();   // train on all data
+///   auto predictions = pipeline.value().Predict(test_x);
+class VolcanoML {
+ public:
+  explicit VolcanoML(const VolcanoMlOptions& options);
+
+  /// Runs the search on `train` and returns the best configuration found
+  /// with its trajectory. May be called once per instance.
+  AutoMlResult Fit(const Dataset& train);
+
+  /// Trains the best pipeline on all of the Fit data (call after Fit).
+  Result<FittedPipeline> FitFinalPipeline();
+
+  const SearchSpace& space() const { return space_; }
+  const AutoMlResult& result() const { return result_; }
+
+  /// The evaluator used by Fit (null before Fit); exposes the full
+  /// observation history for post-hoc ensembling.
+  const PipelineEvaluator* evaluator() const { return evaluator_.get(); }
+
+ private:
+  VolcanoMlOptions options_;
+  SearchSpace space_;
+  std::unique_ptr<Dataset> data_;
+  std::unique_ptr<PipelineEvaluator> evaluator_;
+  AutoMlResult result_;
+  bool fitted_ = false;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CORE_VOLCANO_ML_H_

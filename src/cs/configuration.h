@@ -1,0 +1,32 @@
+#ifndef VOLCANOML_CS_CONFIGURATION_H_
+#define VOLCANOML_CS_CONFIGURATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace volcanoml {
+
+/// A point in a ConfigurationSpace: one raw value per parameter, aligned
+/// with the space's parameter order. Continuous/integer parameters store
+/// their value directly; categorical parameters store the choice index.
+/// Inactive conditional parameters keep their default value (they are
+/// ignored by evaluation and marked inactive in the surrogate encoding).
+struct Configuration {
+  std::vector<double> values;
+
+  bool operator==(const Configuration& other) const {
+    return values == other.values;
+  }
+};
+
+/// A name -> raw-value map spanning any number of configuration spaces.
+/// This is the lingua franca between building blocks: each block optimizes
+/// its own space but contributes its variables to a joint Assignment that
+/// the pipeline evaluator consumes (the paper's `{x_g = c_g; x_-g = z}`
+/// substitution).
+using Assignment = std::map<std::string, double>;
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CS_CONFIGURATION_H_

@@ -1,0 +1,336 @@
+#include "cs/configuration_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+constexpr double kInactiveEncoding = -1.0;
+}  // namespace
+
+void ConfigurationSpace::AddContinuous(const std::string& name, double lo,
+                                       double hi, double default_value,
+                                       bool log_scale) {
+  VOLCANOML_CHECK_MSG(!Contains(name), name.c_str());
+  VOLCANOML_CHECK(lo < hi);
+  VOLCANOML_CHECK(default_value >= lo && default_value <= hi);
+  if (log_scale) VOLCANOML_CHECK(lo > 0.0);
+  Parameter p;
+  p.name = name;
+  p.type = ParamType::kContinuous;
+  p.lo = lo;
+  p.hi = hi;
+  p.log_scale = log_scale;
+  p.default_value = default_value;
+  index_[name] = params_.size();
+  params_.push_back(std::move(p));
+}
+
+void ConfigurationSpace::AddInteger(const std::string& name, int lo, int hi,
+                                    int default_value) {
+  VOLCANOML_CHECK_MSG(!Contains(name), name.c_str());
+  VOLCANOML_CHECK(lo <= hi);
+  VOLCANOML_CHECK(default_value >= lo && default_value <= hi);
+  Parameter p;
+  p.name = name;
+  p.type = ParamType::kInteger;
+  p.lo = lo;
+  p.hi = hi;
+  p.default_value = default_value;
+  index_[name] = params_.size();
+  params_.push_back(std::move(p));
+}
+
+void ConfigurationSpace::AddCategorical(const std::string& name,
+                                        std::vector<std::string> choices,
+                                        size_t default_index) {
+  VOLCANOML_CHECK_MSG(!Contains(name), name.c_str());
+  VOLCANOML_CHECK(!choices.empty());
+  VOLCANOML_CHECK(default_index < choices.size());
+  Parameter p;
+  p.name = name;
+  p.type = ParamType::kCategorical;
+  p.lo = 0.0;
+  p.hi = static_cast<double>(choices.size() - 1);
+  p.choices = std::move(choices);
+  p.default_value = static_cast<double>(default_index);
+  index_[name] = params_.size();
+  params_.push_back(std::move(p));
+}
+
+void ConfigurationSpace::AddCondition(const std::string& child,
+                                      const std::string& parent,
+                                      std::set<size_t> parent_choice_indices) {
+  VOLCANOML_CHECK_MSG(Contains(child), child.c_str());
+  VOLCANOML_CHECK_MSG(Contains(parent), parent.c_str());
+  const Parameter& parent_param = params_[index_.at(parent)];
+  VOLCANOML_CHECK_MSG(parent_param.type == ParamType::kCategorical,
+                      "condition parent must be categorical");
+  for (size_t choice : parent_choice_indices) {
+    VOLCANOML_CHECK(choice < parent_param.choices.size());
+  }
+  Parameter& child_param = params_[index_.at(child)];
+  child_param.parent = parent;
+  child_param.parent_choices = std::move(parent_choice_indices);
+}
+
+size_t ConfigurationSpace::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  VOLCANOML_CHECK_MSG(it != index_.end(), name.c_str());
+  return it->second;
+}
+
+Configuration ConfigurationSpace::Default() const {
+  Configuration c;
+  c.values.reserve(params_.size());
+  for (const Parameter& p : params_) c.values.push_back(p.default_value);
+  return c;
+}
+
+double ConfigurationSpace::SampleParam(const Parameter& p, Rng* rng) const {
+  switch (p.type) {
+    case ParamType::kContinuous:
+      if (p.log_scale) {
+        return std::exp(rng->Uniform(std::log(p.lo), std::log(p.hi)));
+      }
+      return rng->Uniform(p.lo, p.hi);
+    case ParamType::kInteger:
+      return static_cast<double>(
+          rng->UniformInt(static_cast<int>(p.lo), static_cast<int>(p.hi)));
+    case ParamType::kCategorical:
+      return static_cast<double>(rng->Index(p.choices.size()));
+  }
+  return p.default_value;
+}
+
+Configuration ConfigurationSpace::Sample(Rng* rng) const {
+  Configuration c;
+  c.values.reserve(params_.size());
+  for (const Parameter& p : params_) c.values.push_back(SampleParam(p, rng));
+  return c;
+}
+
+bool ConfigurationSpace::IsActive(const Configuration& config,
+                                  size_t i) const {
+  VOLCANOML_CHECK(i < params_.size());
+  VOLCANOML_CHECK(config.values.size() == params_.size());
+  const Parameter* p = &params_[i];
+  // Walk up the parent chain; every link must be satisfied.
+  int guard = 0;
+  while (!p->parent.empty()) {
+    VOLCANOML_CHECK_MSG(++guard < 64, "condition cycle");
+    size_t parent_idx = IndexOf(p->parent);
+    size_t choice = static_cast<size_t>(config.values[parent_idx]);
+    if (p->parent_choices.find(choice) == p->parent_choices.end()) {
+      return false;
+    }
+    p = &params_[parent_idx];
+  }
+  return true;
+}
+
+double ConfigurationSpace::GetValue(const Configuration& config,
+                                    const std::string& name) const {
+  return config.values[IndexOf(name)];
+}
+
+int ConfigurationSpace::GetInt(const Configuration& config,
+                               const std::string& name) const {
+  return static_cast<int>(std::llround(GetValue(config, name)));
+}
+
+size_t ConfigurationSpace::GetChoice(const Configuration& config,
+                                     const std::string& name) const {
+  const Parameter& p = params_[IndexOf(name)];
+  VOLCANOML_CHECK(p.type == ParamType::kCategorical);
+  size_t choice = static_cast<size_t>(std::llround(GetValue(config, name)));
+  VOLCANOML_CHECK(choice < p.choices.size());
+  return choice;
+}
+
+const std::string& ConfigurationSpace::GetChoiceName(
+    const Configuration& config, const std::string& name) const {
+  const Parameter& p = params_[IndexOf(name)];
+  return p.choices[GetChoice(config, name)];
+}
+
+void ConfigurationSpace::SetValue(Configuration* config,
+                                  const std::string& name,
+                                  double value) const {
+  size_t i = IndexOf(name);
+  const Parameter& p = params_[i];
+  if (p.type != ParamType::kCategorical) {
+    VOLCANOML_CHECK_MSG(value >= p.lo - 1e-9 && value <= p.hi + 1e-9,
+                        name.c_str());
+  } else {
+    VOLCANOML_CHECK(value >= 0.0 &&
+                    value < static_cast<double>(p.choices.size()));
+  }
+  config->values[i] = value;
+}
+
+std::vector<double> ConfigurationSpace::Encode(
+    const Configuration& config) const {
+  VOLCANOML_CHECK(config.values.size() == params_.size());
+  std::vector<double> out(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!IsActive(config, i)) {
+      out[i] = kInactiveEncoding;
+      continue;
+    }
+    const Parameter& p = params_[i];
+    double v = config.values[i];
+    switch (p.type) {
+      case ParamType::kContinuous:
+        if (p.log_scale) {
+          out[i] = (std::log(v) - std::log(p.lo)) /
+                   (std::log(p.hi) - std::log(p.lo));
+        } else {
+          out[i] = (v - p.lo) / (p.hi - p.lo);
+        }
+        break;
+      case ParamType::kInteger:
+        out[i] = (p.hi > p.lo) ? (v - p.lo) / (p.hi - p.lo) : 0.5;
+        break;
+      case ParamType::kCategorical:
+        // Kept as the raw index: tree surrogates split on thresholds, so
+        // index encoding preserves choice identity.
+        out[i] = v;
+        break;
+    }
+  }
+  return out;
+}
+
+Configuration ConfigurationSpace::Neighbor(const Configuration& config,
+                                           Rng* rng) const {
+  VOLCANOML_CHECK(!params_.empty());
+  Configuration out = config;
+  // Collect active parameters; fall back to any parameter if none (cannot
+  // happen with unconditional roots, but keep the guard).
+  std::vector<size_t> active;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (IsActive(config, i)) active.push_back(i);
+  }
+  if (active.empty()) {
+    for (size_t i = 0; i < params_.size(); ++i) active.push_back(i);
+  }
+  size_t i = active[rng->Index(active.size())];
+  const Parameter& p = params_[i];
+  switch (p.type) {
+    case ParamType::kContinuous: {
+      if (p.log_scale) {
+        double log_lo = std::log(p.lo), log_hi = std::log(p.hi);
+        double step = 0.2 * (log_hi - log_lo);
+        double v = std::log(config.values[i]) + rng->Gaussian(0.0, step);
+        out.values[i] = std::exp(std::clamp(v, log_lo, log_hi));
+      } else {
+        double step = 0.2 * (p.hi - p.lo);
+        out.values[i] =
+            std::clamp(config.values[i] + rng->Gaussian(0.0, step), p.lo,
+                       p.hi);
+      }
+      break;
+    }
+    case ParamType::kInteger: {
+      int range = static_cast<int>(p.hi - p.lo);
+      int max_step = std::max(1, range / 10);
+      int delta = rng->UniformInt(1, max_step) * (rng->Bernoulli(0.5) ? 1 : -1);
+      double v = config.values[i] + delta;
+      out.values[i] = std::clamp(v, p.lo, p.hi);
+      break;
+    }
+    case ParamType::kCategorical: {
+      if (p.choices.size() > 1) {
+        size_t current = static_cast<size_t>(config.values[i]);
+        size_t pick = rng->Index(p.choices.size() - 1);
+        if (pick >= current) ++pick;
+        out.values[i] = static_cast<double>(pick);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void ConfigurationSpace::Merge(const ConfigurationSpace& other,
+                               const std::string& prefix) {
+  for (const Parameter& p : other.params_) {
+    Parameter q = p;
+    q.name = prefix + p.name;
+    if (!p.parent.empty()) q.parent = prefix + p.parent;
+    VOLCANOML_CHECK_MSG(!Contains(q.name), q.name.c_str());
+    index_[q.name] = params_.size();
+    params_.push_back(std::move(q));
+  }
+}
+
+void ConfigurationSpace::MergeConditioned(const ConfigurationSpace& other,
+                                          const std::string& prefix,
+                                          const std::string& parent,
+                                          size_t parent_choice) {
+  VOLCANOML_CHECK_MSG(Contains(parent), parent.c_str());
+  for (const Parameter& p : other.params_) {
+    Parameter q = p;
+    q.name = prefix + p.name;
+    if (p.parent.empty()) {
+      q.parent = parent;
+      q.parent_choices = {parent_choice};
+    } else {
+      q.parent = prefix + p.parent;
+    }
+    VOLCANOML_CHECK_MSG(!Contains(q.name), q.name.c_str());
+    index_[q.name] = params_.size();
+    params_.push_back(std::move(q));
+  }
+}
+
+Assignment ConfigurationSpace::ToAssignment(const Configuration& config) const {
+  VOLCANOML_CHECK(config.values.size() == params_.size());
+  Assignment out;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    out[params_[i].name] = config.values[i];
+  }
+  return out;
+}
+
+Configuration ConfigurationSpace::FromAssignment(
+    const Assignment& assignment) const {
+  Configuration c = Default();
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto it = assignment.find(params_[i].name);
+    if (it != assignment.end()) c.values[i] = it->second;
+  }
+  return c;
+}
+
+std::string ConfigurationSpace::ToString(const Configuration& config) const {
+  std::ostringstream out;
+  bool first = true;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!IsActive(config, i)) continue;
+    if (!first) out << ", ";
+    first = false;
+    const Parameter& p = params_[i];
+    out << p.name << '=';
+    if (p.type == ParamType::kCategorical) {
+      out << p.choices[static_cast<size_t>(config.values[i])];
+    } else {
+      out << config.values[i];
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> ConfigurationSpace::ParameterNames() const {
+  std::vector<std::string> names;
+  names.reserve(params_.size());
+  for (const Parameter& p : params_) names.push_back(p.name);
+  return names;
+}
+
+}  // namespace volcanoml

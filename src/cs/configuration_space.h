@@ -1,0 +1,137 @@
+#ifndef VOLCANOML_CS_CONFIGURATION_SPACE_H_
+#define VOLCANOML_CS_CONFIGURATION_SPACE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cs/configuration.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+/// Kind of hyper-parameter domain.
+enum class ParamType { kContinuous, kInteger, kCategorical };
+
+/// One hyper-parameter: a named domain plus an optional activation
+/// condition (active only when a parent categorical takes given values).
+struct Parameter {
+  std::string name;
+  ParamType type = ParamType::kContinuous;
+
+  // Continuous / integer domain.
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;
+
+  // Categorical domain.
+  std::vector<std::string> choices;
+
+  double default_value = 0.0;  ///< Raw value (choice index if categorical).
+
+  // Activation condition: active iff parameter `parent` (categorical, and
+  // itself active) takes a choice index in `parent_choices`. Empty parent
+  // means unconditionally active.
+  std::string parent;
+  std::set<size_t> parent_choices;
+};
+
+/// A mixed, conditional hyper-parameter search space, in the spirit of
+/// SMAC / ConfigSpace. Supports uniform sampling, default configurations,
+/// unit-cube encoding for surrogate models, and local neighborhoods for
+/// SMAC-style local search.
+class ConfigurationSpace {
+ public:
+  ConfigurationSpace() = default;
+
+  /// Adds a real-valued parameter on [lo, hi] (log-uniform if `log_scale`;
+  /// then lo must be > 0).
+  void AddContinuous(const std::string& name, double lo, double hi,
+                     double default_value, bool log_scale = false);
+
+  /// Adds an integer parameter on [lo, hi] inclusive.
+  void AddInteger(const std::string& name, int lo, int hi, int default_value);
+
+  /// Adds a categorical parameter; `default_index` selects the default.
+  void AddCategorical(const std::string& name,
+                      std::vector<std::string> choices,
+                      size_t default_index = 0);
+
+  /// Restricts `child` to be active only while categorical `parent` takes
+  /// one of `parent_choice_indices`. The parent must already exist.
+  void AddCondition(const std::string& child, const std::string& parent,
+                    std::set<size_t> parent_choice_indices);
+
+  /// Total number of hyper-parameters (the scalability axis of Table 1).
+  size_t NumParameters() const { return params_.size(); }
+  bool empty() const { return params_.empty(); }
+
+  const Parameter& param(size_t i) const { return params_[i]; }
+  bool Contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+  size_t IndexOf(const std::string& name) const;
+
+  /// Configuration with every parameter at its default.
+  Configuration Default() const;
+
+  /// Uniform random sample (conditionals sampled regardless of activity;
+  /// inactive values are simply unused).
+  Configuration Sample(Rng* rng) const;
+
+  /// Whether parameter i is active under `config` (follows the parent
+  /// chain).
+  bool IsActive(const Configuration& config, size_t i) const;
+
+  /// Raw value accessors by name.
+  double GetValue(const Configuration& config, const std::string& name) const;
+  int GetInt(const Configuration& config, const std::string& name) const;
+  size_t GetChoice(const Configuration& config, const std::string& name) const;
+  const std::string& GetChoiceName(const Configuration& config,
+                                   const std::string& name) const;
+  void SetValue(Configuration* config, const std::string& name,
+                double value) const;
+
+  /// Encodes a configuration for surrogate models: one dimension per
+  /// parameter; continuous/integer scaled to [0,1] (log scale honored),
+  /// categorical encoded as choice index; inactive dimensions -> -1.
+  std::vector<double> Encode(const Configuration& config) const;
+
+  /// A random neighbor: perturbs one active parameter (Gaussian step of
+  /// ~20% range for numeric, resample for categorical).
+  Configuration Neighbor(const Configuration& config, Rng* rng) const;
+
+  /// Merges `other` into this space with all parameter (and parent) names
+  /// prefixed by `prefix`. Used to assemble the joint end-to-end space
+  /// from per-stage spaces.
+  void Merge(const ConfigurationSpace& other, const std::string& prefix);
+
+  /// Like Merge, but additionally conditions every unconditional parameter
+  /// of `other` on `parent == parent_choice` (e.g. hyper-parameters of one
+  /// algorithm active only while "algorithm" selects it). `parent` must be
+  /// an existing categorical in this space.
+  void MergeConditioned(const ConfigurationSpace& other,
+                        const std::string& prefix, const std::string& parent,
+                        size_t parent_choice);
+
+  /// Converts a configuration to / from the cross-space Assignment form.
+  Assignment ToAssignment(const Configuration& config) const;
+  Configuration FromAssignment(const Assignment& assignment) const;
+
+  /// Human-readable "name=value" rendering of the active parameters.
+  std::string ToString(const Configuration& config) const;
+
+  /// All parameter names, in insertion order.
+  std::vector<std::string> ParameterNames() const;
+
+ private:
+  double SampleParam(const Parameter& p, Rng* rng) const;
+
+  std::vector<Parameter> params_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CS_CONFIGURATION_SPACE_H_

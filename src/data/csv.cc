@@ -1,0 +1,78 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace volcanoml {
+
+Result<Dataset> LoadCsvDataset(const std::string& path, TaskType task,
+                               const std::string& name) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  size_t width = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<double> fields;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::InvalidArgument("non-numeric cell at line " +
+                                       std::to_string(line_no) + " in " +
+                                       path);
+      }
+      fields.push_back(v);
+    }
+    if (fields.size() < 2) {
+      return Status::InvalidArgument("row with fewer than 2 columns at line " +
+                                     std::to_string(line_no));
+    }
+    if (width == 0) {
+      width = fields.size();
+    } else if (fields.size() != width) {
+      return Status::InvalidArgument("ragged row at line " +
+                                     std::to_string(line_no));
+    }
+    rows.push_back(std::move(fields));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV file " + path);
+  }
+  Matrix x(rows.size(), width - 1);
+  std::vector<double> y(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j + 1 < width; ++j) x(i, j) = rows[i][j];
+    y[i] = rows[i][width - 1];
+  }
+  return Dataset(name, std::move(x), std::move(y), task);
+}
+
+Status SaveCsvDataset(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out.precision(17);  // Round-trip-exact doubles.
+  for (size_t i = 0; i < data.NumSamples(); ++i) {
+    for (size_t j = 0; j < data.NumFeatures(); ++j) {
+      out << data.x()(i, j) << ',';
+    }
+    out << data.y()[i] << '\n';
+  }
+  if (!out.good()) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,21 @@
+#ifndef VOLCANOML_DATA_CSV_H_
+#define VOLCANOML_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// Loads a headerless numeric CSV whose last column is the target into a
+/// Dataset. For classification, targets must be integer class ids.
+Result<Dataset> LoadCsvDataset(const std::string& path, TaskType task,
+                               const std::string& name);
+
+/// Writes a dataset as numeric CSV (features then target per row).
+Status SaveCsvDataset(const Dataset& data, const std::string& path);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DATA_CSV_H_

@@ -1,0 +1,64 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+Dataset::Dataset(std::string name, Matrix x, std::vector<double> y,
+                 TaskType task)
+    : name_(std::move(name)),
+      x_(std::move(x)),
+      y_(std::move(y)),
+      task_(task),
+      num_classes_(0) {
+  VOLCANOML_CHECK(x_.rows() == y_.size());
+  if (task_ == TaskType::kClassification) {
+    double max_label = -1.0;
+    for (double label : y_) {
+      VOLCANOML_CHECK_MSG(label >= 0.0 && label == std::floor(label),
+                          "classification labels must be 0..k-1 integers");
+      max_label = std::max(max_label, label);
+    }
+    num_classes_ = y_.empty() ? 0 : static_cast<size_t>(max_label) + 1;
+  }
+}
+
+int Dataset::Label(size_t i) const {
+  VOLCANOML_CHECK(task_ == TaskType::kClassification);
+  VOLCANOML_CHECK(i < y_.size());
+  return static_cast<int>(y_[i]);
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  std::vector<double> sub_y(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    VOLCANOML_CHECK(indices[i] < y_.size());
+    sub_y[i] = y_[indices[i]];
+  }
+  Dataset out;
+  out.name_ = name_;
+  out.x_ = x_.SelectRows(indices);
+  out.y_ = std::move(sub_y);
+  out.task_ = task_;
+  out.num_classes_ = num_classes_;
+  return out;
+}
+
+Dataset Dataset::WithFeatures(Matrix new_x) const {
+  VOLCANOML_CHECK(new_x.rows() == y_.size());
+  Dataset out = *this;
+  out.x_ = std::move(new_x);
+  return out;
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  VOLCANOML_CHECK(task_ == TaskType::kClassification);
+  std::vector<size_t> counts(num_classes_, 0);
+  for (double label : y_) counts[static_cast<size_t>(label)]++;
+  return counts;
+}
+
+}  // namespace volcanoml

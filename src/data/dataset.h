@@ -1,0 +1,64 @@
+#ifndef VOLCANOML_DATA_DATASET_H_
+#define VOLCANOML_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace volcanoml {
+
+/// Kind of supervised learning task a dataset represents.
+enum class TaskType { kClassification, kRegression };
+
+/// An in-memory supervised dataset: a dense feature matrix plus targets.
+///
+/// For classification, targets are class indices 0..num_classes-1 stored as
+/// doubles; for regression, targets are real values. This mirrors the
+/// (X, y) convention of scikit-learn, which the paper's pipelines assume.
+class Dataset {
+ public:
+  Dataset() : task_(TaskType::kClassification), num_classes_(0) {}
+  Dataset(std::string name, Matrix x, std::vector<double> y, TaskType task);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  TaskType task() const { return task_; }
+  size_t NumSamples() const { return x_.rows(); }
+  size_t NumFeatures() const { return x_.cols(); }
+
+  /// Number of distinct classes (classification only; 0 for regression).
+  size_t NumClasses() const { return num_classes_; }
+
+  const Matrix& x() const { return x_; }
+  Matrix& mutable_x() { return x_; }
+  const std::vector<double>& y() const { return y_; }
+  std::vector<double>& mutable_y() { return y_; }
+
+  /// Integer label of sample i (classification only).
+  int Label(size_t i) const;
+
+  /// Returns the subset of samples selected by `indices`, preserving task
+  /// metadata (class count is kept from the parent so that folds missing a
+  /// rare class still agree on the label universe).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Replaces the feature matrix, keeping targets and metadata. Used by
+  /// feature-engineering operators that change dimensionality.
+  Dataset WithFeatures(Matrix new_x) const;
+
+  /// Per-class sample counts (classification only).
+  std::vector<size_t> ClassCounts() const;
+
+ private:
+  std::string name_;
+  Matrix x_;
+  std::vector<double> y_;
+  TaskType task_;
+  size_t num_classes_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DATA_DATASET_H_

@@ -1,0 +1,96 @@
+#include "data/libsvm.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace volcanoml {
+
+Result<Dataset> LoadLibSvmDataset(const std::string& path, TaskType task,
+                                  const std::string& name) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::vector<double> labels;
+  std::vector<std::vector<std::pair<size_t, double>>> rows;
+  size_t max_feature = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string label_token;
+    if (!(ss >> label_token)) continue;
+    char* end = nullptr;
+    double label = std::strtod(label_token.c_str(), &end);
+    if (end == label_token.c_str()) {
+      return Status::InvalidArgument("bad label at line " +
+                                     std::to_string(line_no));
+    }
+    std::vector<std::pair<size_t, double>> row;
+    std::string pair_token;
+    while (ss >> pair_token) {
+      size_t colon = pair_token.find(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument("missing ':' at line " +
+                                       std::to_string(line_no));
+      }
+      long index = std::strtol(pair_token.substr(0, colon).c_str(), &end,
+                               10);
+      if (index < 1) {
+        return Status::InvalidArgument("feature indices are 1-based (line " +
+                                       std::to_string(line_no) + ")");
+      }
+      double value =
+          std::strtod(pair_token.substr(colon + 1).c_str(), &end);
+      row.push_back({static_cast<size_t>(index - 1), value});
+      max_feature = std::max(max_feature, static_cast<size_t>(index));
+    }
+    labels.push_back(label);
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty LibSVM file " + path);
+  }
+
+  Matrix x(rows.size(), max_feature);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (const auto& [index, value] : rows[i]) x(i, index) = value;
+  }
+
+  if (task == TaskType::kClassification) {
+    // Remap arbitrary labels (e.g. {-1, +1}) to 0..k-1 by sorted value.
+    std::map<double, double> remap;
+    for (double label : labels) remap[label] = 0.0;
+    double next_id = 0.0;
+    for (auto& [value, id] : remap) id = next_id++;
+    for (double& label : labels) label = remap[label];
+  }
+  return Dataset(name, std::move(x), std::move(labels), task);
+}
+
+Status SaveLibSvmDataset(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out.precision(17);  // Round-trip-exact doubles.
+  for (size_t i = 0; i < data.NumSamples(); ++i) {
+    out << data.y()[i];
+    for (size_t j = 0; j < data.NumFeatures(); ++j) {
+      out << ' ' << (j + 1) << ':' << data.x()(i, j);
+    }
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,24 @@
+#ifndef VOLCANOML_DATA_LIBSVM_H_
+#define VOLCANOML_DATA_LIBSVM_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// Loads a LibSVM/SVMlight-format file ("label idx:val idx:val ...",
+/// 1-based feature indices, sparse) into a dense Dataset. Unlisted
+/// features are zero. For classification, labels may be arbitrary
+/// integers (including {-1, +1}); they are remapped to 0..k-1 in order of
+/// first appearance by value.
+Result<Dataset> LoadLibSvmDataset(const std::string& path, TaskType task,
+                                  const std::string& name);
+
+/// Writes a dataset in LibSVM format (all features listed, 1-based).
+Status SaveLibSvmDataset(const Dataset& data, const std::string& path);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DATA_LIBSVM_H_

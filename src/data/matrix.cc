@@ -1,0 +1,171 @@
+#include "data/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace volcanoml {
+
+std::vector<double> Matrix::Row(size_t i) const {
+  VOLCANOML_CHECK(i < rows_);
+  return std::vector<double>(RowPtr(i), RowPtr(i) + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t j) const {
+  VOLCANOML_CHECK(j < cols_);
+  std::vector<double> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t r = 0; r < indices.size(); ++r) {
+    VOLCANOML_CHECK(indices[r] < rows_);
+    std::copy(RowPtr(indices[r]), RowPtr(indices[r]) + cols_, out.RowPtr(r));
+  }
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& indices) const {
+  Matrix out(rows_, indices.size());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t c = 0; c < indices.size(); ++c) {
+      VOLCANOML_CHECK(indices[c] < cols_);
+      out(i, c) = (*this)(i, indices[c]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& a, const Matrix& b) {
+  VOLCANOML_CHECK(a.rows() == b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    std::copy(a.RowPtr(i), a.RowPtr(i) + a.cols(), out.RowPtr(i));
+    std::copy(b.RowPtr(i), b.RowPtr(i) + b.cols(), out.RowPtr(i) + a.cols());
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatRows(const Matrix& a, const Matrix& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  VOLCANOML_CHECK(a.cols() == b.cols());
+  Matrix out(a.rows() + b.rows(), a.cols());
+  std::copy(a.data().begin(), a.data().end(), out.data().begin());
+  std::copy(b.data().begin(), b.data().end(),
+            out.data().begin() + static_cast<long>(a.data().size()));
+  return out;
+}
+
+std::vector<double> Matrix::ColMeans() const {
+  std::vector<double> means(cols_, 0.0);
+  if (rows_ == 0) return means;
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) means[j] += row[j];
+  }
+  for (double& m : means) m /= static_cast<double>(rows_);
+  return means;
+}
+
+std::vector<double> Matrix::ColStdDevs() const {
+  std::vector<double> sds(cols_, 0.0);
+  if (rows_ < 2) return sds;
+  std::vector<double> means = ColMeans();
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) {
+      double d = row[j] - means[j];
+      sds[j] += d * d;
+    }
+  }
+  for (double& s : sds) s = std::sqrt(s / static_cast<double>(rows_ - 1));
+  return sds;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  VOLCANOML_CHECK(cols_ == other.rows());
+  Matrix out(rows_, other.cols());
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* o = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols(); ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+void SymmetricEigen(const Matrix& a, std::vector<double>* eigenvalues,
+                    Matrix* eigenvectors, int max_sweeps) {
+  const size_t n = a.rows();
+  VOLCANOML_CHECK(a.cols() == n);
+  Matrix m = a;  // Working copy; rotated in place.
+  Matrix v(n, n);
+  for (size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    }
+    if (off < 1e-20) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = m(p, q);
+        if (std::abs(apq) < 1e-15) continue;
+        double app = m(p, p), aqq = m(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          double mkp = m(k, p), mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double mpk = m(p, k), mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = m(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return diag[x] > diag[y]; });
+
+  eigenvalues->resize(n);
+  *eigenvectors = Matrix(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    (*eigenvalues)[c] = diag[order[c]];
+    for (size_t r = 0; r < n; ++r) (*eigenvectors)(r, c) = v(r, order[c]);
+  }
+}
+
+}  // namespace volcanoml

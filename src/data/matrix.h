@@ -1,0 +1,94 @@
+#ifndef VOLCANOML_DATA_MATRIX_H_
+#define VOLCANOML_DATA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the single numeric container shared by datasets, feature
+/// engineering operators, and models. It is intentionally minimal: the
+/// project needs contiguous row access, a few column statistics, and small
+/// dense products (for PCA/LDA), not a full BLAS.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(size_t i, size_t j) {
+    VOLCANOML_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    VOLCANOML_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Pointer to the start of row i (cols() contiguous doubles).
+  double* RowPtr(size_t i) {
+    VOLCANOML_DCHECK(i < rows_);
+    return data_.data() + i * cols_;
+  }
+  const double* RowPtr(size_t i) const {
+    VOLCANOML_DCHECK(i < rows_);
+    return data_.data() + i * cols_;
+  }
+
+  /// Copies row i into a vector.
+  std::vector<double> Row(size_t i) const;
+
+  /// Copies column j into a vector.
+  std::vector<double> Col(size_t j) const;
+
+  /// Returns the rows selected by `indices`, in order (gather).
+  Matrix SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Returns the columns selected by `indices`, in order.
+  Matrix SelectCols(const std::vector<size_t>& indices) const;
+
+  /// Horizontal concatenation; both matrices must have equal row counts.
+  static Matrix ConcatCols(const Matrix& a, const Matrix& b);
+
+  /// Vertical concatenation; both matrices must have equal column counts.
+  static Matrix ConcatRows(const Matrix& a, const Matrix& b);
+
+  /// Per-column means.
+  std::vector<double> ColMeans() const;
+
+  /// Per-column sample standard deviations (0 for constant columns).
+  std::vector<double> ColStdDevs() const;
+
+  /// Matrix transpose.
+  Matrix Transpose() const;
+
+  /// Dense product this * other.
+  Matrix Multiply(const Matrix& other) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Symmetric eigen-decomposition via the cyclic Jacobi method.
+/// `a` must be square and symmetric. Outputs eigenvalues in descending
+/// order and the corresponding eigenvectors as the *columns* of
+/// `eigenvectors`. Used by PCA and discriminant analysis.
+void SymmetricEigen(const Matrix& a, std::vector<double>* eigenvalues,
+                    Matrix* eigenvectors, int max_sweeps = 64);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DATA_MATRIX_H_

@@ -1,0 +1,156 @@
+#include "data/meta_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "data/splits.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// Leave-one-out 1-NN score on (at most) the first 100 samples of `idx`.
+double OneNnLandmark(const Dataset& data, const std::vector<size_t>& idx) {
+  const size_t n = std::min<size_t>(idx.size(), 100);
+  if (n < 4) return 0.0;
+  double score = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double best_dist = std::numeric_limits<double>::infinity();
+    size_t best = 0;
+    const double* xi = data.x().RowPtr(idx[i]);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double* xj = data.x().RowPtr(idx[j]);
+      double dist = 0.0;
+      for (size_t f = 0; f < data.NumFeatures(); ++f) {
+        double diff = xi[f] - xj[f];
+        dist += diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = j;
+      }
+    }
+    if (data.task() == TaskType::kClassification) {
+      score += (data.y()[idx[i]] == data.y()[idx[best]]) ? 1.0 : 0.0;
+    } else {
+      double err = data.y()[idx[i]] - data.y()[idx[best]];
+      score -= err * err;
+    }
+  }
+  return score / static_cast<double>(n);
+}
+
+/// Best single-feature threshold predictor evaluated in-sample on `idx`.
+double StumpLandmark(const Dataset& data, const std::vector<size_t>& idx) {
+  const size_t n = std::min<size_t>(idx.size(), 200);
+  if (n < 4) return 0.0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t f = 0; f < data.NumFeatures(); ++f) {
+    std::vector<double> values(n);
+    for (size_t i = 0; i < n; ++i) values[i] = data.x()(idx[i], f);
+    double threshold = Median(values);
+    if (data.task() == TaskType::kClassification) {
+      // Majority label on each side of the threshold.
+      std::vector<double> left_counts(data.NumClasses(), 0.0);
+      std::vector<double> right_counts(data.NumClasses(), 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        auto& counts = values[i] <= threshold ? left_counts : right_counts;
+        counts[static_cast<size_t>(data.y()[idx[i]])] += 1.0;
+      }
+      double correct =
+          (left_counts.empty() ? 0.0 : left_counts[ArgMax(left_counts)]) +
+          (right_counts.empty() ? 0.0 : right_counts[ArgMax(right_counts)]);
+      best_score = std::max(best_score, correct / static_cast<double>(n));
+    } else {
+      // Per-side mean predictor; score is negative MSE.
+      double left_sum = 0.0, right_sum = 0.0;
+      size_t left_n = 0, right_n = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (values[i] <= threshold) {
+          left_sum += data.y()[idx[i]];
+          ++left_n;
+        } else {
+          right_sum += data.y()[idx[i]];
+          ++right_n;
+        }
+      }
+      double left_mean = left_n ? left_sum / static_cast<double>(left_n) : 0.0;
+      double right_mean =
+          right_n ? right_sum / static_cast<double>(right_n) : 0.0;
+      double sse = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double pred = values[i] <= threshold ? left_mean : right_mean;
+        double err = data.y()[idx[i]] - pred;
+        sse += err * err;
+      }
+      best_score = std::max(best_score, -sse / static_cast<double>(n));
+    }
+  }
+  return best_score;
+}
+
+}  // namespace
+
+std::vector<double> ComputeMetaFeatures(const Dataset& data, uint64_t seed) {
+  VOLCANOML_CHECK(data.NumSamples() > 0);
+  Rng rng(seed);
+  std::vector<double> mf;
+  mf.reserve(10);
+  mf.push_back(std::log(static_cast<double>(data.NumSamples())));
+  mf.push_back(std::log(static_cast<double>(data.NumFeatures())));
+  if (data.task() == TaskType::kClassification) {
+    mf.push_back(static_cast<double>(data.NumClasses()));
+    double entropy = 0.0;
+    for (size_t count : data.ClassCounts()) {
+      if (count == 0) continue;
+      double p = static_cast<double>(count) /
+                 static_cast<double>(data.NumSamples());
+      entropy -= p * std::log(p);
+    }
+    mf.push_back(entropy);
+  } else {
+    mf.push_back(0.0);
+    mf.push_back(0.0);
+  }
+  std::vector<double> means = data.x().ColMeans();
+  std::vector<double> sds = data.x().ColStdDevs();
+  mf.push_back(Mean(means));
+  mf.push_back(Mean(sds));
+  mf.push_back(StdDev(sds));
+
+  // Mean absolute feature-target correlation over up to 20 features.
+  const size_t num_probe = std::min<size_t>(data.NumFeatures(), 20);
+  std::vector<double> correlations;
+  for (size_t f = 0; f < num_probe; ++f) {
+    correlations.push_back(
+        std::abs(PearsonCorrelation(data.x().Col(f), data.y())));
+  }
+  mf.push_back(Mean(correlations));
+
+  std::vector<size_t> idx =
+      SubsampleIndices(data, 0.5, std::min<size_t>(data.NumSamples(), 50),
+                       &rng);
+  mf.push_back(OneNnLandmark(data, idx));
+  mf.push_back(StumpLandmark(data, idx));
+  return mf;
+}
+
+double MetaFeatureDistance(const std::vector<double>& a,
+                           const std::vector<double>& b,
+                           const std::vector<double>& scales) {
+  VOLCANOML_CHECK(a.size() == b.size());
+  double dist = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double scale = (i < scales.size() && scales[i] > 0.0) ? scales[i] : 1.0;
+    double diff = (a[i] - b[i]) / scale;
+    dist += diff * diff;
+  }
+  return std::sqrt(dist);
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,35 @@
+#ifndef VOLCANOML_DATA_META_FEATURES_H_
+#define VOLCANOML_DATA_META_FEATURES_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace volcanoml {
+
+/// Computes a fixed-length dataset descriptor used by the meta-learning
+/// component to match the current task against past tasks (as auto-sklearn
+/// and VolcanoML do for warm-starting).
+///
+/// Components (in order):
+///   0  log(#samples)
+///   1  log(#features)
+///   2  #classes (0 for regression)
+///   3  class entropy (0 for regression)
+///   4  mean of per-feature means
+///   5  mean of per-feature std deviations
+///   6  std of per-feature std deviations
+///   7  mean |correlation| between features and target
+///   8  1-NN landmarker (holdout accuracy / negative MSE on a subsample)
+///   9  decision-stump landmarker (same protocol)
+std::vector<double> ComputeMetaFeatures(const Dataset& data, uint64_t seed);
+
+/// Euclidean distance between two meta-feature vectors after per-dimension
+/// scaling by `scales` (pass empty for unscaled distance).
+double MetaFeatureDistance(const std::vector<double>& a,
+                           const std::vector<double>& b,
+                           const std::vector<double>& scales = {});
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DATA_META_FEATURES_H_

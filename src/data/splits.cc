@@ -1,0 +1,103 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// Groups sample indices by class, each group shuffled. For regression,
+/// returns a single shuffled group.
+std::vector<std::vector<size_t>> GroupIndices(const Dataset& data, Rng* rng) {
+  std::vector<std::vector<size_t>> groups;
+  if (data.task() == TaskType::kClassification && data.NumClasses() > 0) {
+    groups.resize(data.NumClasses());
+    for (size_t i = 0; i < data.NumSamples(); ++i) {
+      groups[static_cast<size_t>(data.Label(i))].push_back(i);
+    }
+  } else {
+    groups.resize(1);
+    groups[0].resize(data.NumSamples());
+    for (size_t i = 0; i < data.NumSamples(); ++i) groups[0][i] = i;
+  }
+  for (auto& g : groups) rng->Shuffle(&g);
+  return groups;
+}
+
+}  // namespace
+
+Split TrainTestSplit(const Dataset& data, double test_fraction, Rng* rng) {
+  VOLCANOML_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  Split split;
+  for (const auto& group : GroupIndices(data, rng)) {
+    // Round per group, but keep at least one sample on each side when the
+    // group has two or more members.
+    size_t n_test = static_cast<size_t>(
+        std::llround(test_fraction * static_cast<double>(group.size())));
+    if (group.size() >= 2) {
+      n_test = std::max<size_t>(1, std::min(n_test, group.size() - 1));
+    }
+    for (size_t i = 0; i < group.size(); ++i) {
+      (i < n_test ? split.test : split.train).push_back(group[i]);
+    }
+  }
+  rng->Shuffle(&split.train);
+  rng->Shuffle(&split.test);
+  return split;
+}
+
+std::vector<Split> KFoldSplits(const Dataset& data, size_t k, Rng* rng) {
+  VOLCANOML_CHECK(k >= 2);
+  VOLCANOML_CHECK(data.NumSamples() >= k);
+  std::vector<std::vector<size_t>> fold_members(k);
+  size_t cursor = 0;
+  for (const auto& group : GroupIndices(data, rng)) {
+    for (size_t idx : group) {
+      fold_members[cursor % k].push_back(idx);
+      ++cursor;
+    }
+  }
+  std::vector<Split> splits(k);
+  for (size_t f = 0; f < k; ++f) {
+    splits[f].test = fold_members[f];
+    for (size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      splits[f].train.insert(splits[f].train.end(), fold_members[g].begin(),
+                             fold_members[g].end());
+    }
+    rng->Shuffle(&splits[f].train);
+  }
+  return splits;
+}
+
+std::vector<size_t> SubsampleIndices(const Dataset& data, double fraction,
+                                     size_t min_samples, Rng* rng) {
+  VOLCANOML_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const size_t n = data.NumSamples();
+  size_t target = std::max(
+      min_samples,
+      static_cast<size_t>(std::ceil(fraction * static_cast<double>(n))));
+  target = std::min(target, n);
+  // Effective per-group fraction honours min_samples even when `fraction`
+  // alone would undershoot it.
+  const double eff_fraction =
+      std::max(fraction, static_cast<double>(target) / static_cast<double>(n));
+  std::vector<size_t> out;
+  out.reserve(target);
+  for (const auto& group : GroupIndices(data, rng)) {
+    size_t take = std::max<size_t>(
+        group.empty() ? 0 : 1,
+        static_cast<size_t>(
+            std::llround(eff_fraction * static_cast<double>(group.size()))));
+    take = std::min(take, group.size());
+    out.insert(out.end(), group.begin(), group.begin() + take);
+  }
+  rng->Shuffle(&out);
+  if (out.size() > target) out.resize(target);
+  return out;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,286 @@
+#include "data/suite.h"
+
+#include "data/synthetic.h"
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// Mixes a stable per-spec tag into the caller seed so each dataset in a
+/// suite draws from an independent stream even under the same run seed.
+uint64_t MixSeed(uint64_t seed, uint64_t tag) {
+  uint64_t x = seed ^ (tag * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+DatasetSpec GaussianSpec(std::string name, uint64_t tag, size_t n, size_t d,
+                         size_t informative, size_t redundant, size_t classes,
+                         double sep, double flip) {
+  return DatasetSpec{
+      name, [=](uint64_t seed) {
+        ClassificationOptions opts;
+        opts.num_samples = n;
+        opts.num_features = d;
+        opts.num_informative = informative;
+        opts.num_redundant = redundant;
+        opts.num_classes = classes;
+        opts.class_sep = sep;
+        opts.flip_y = flip;
+        return MakeClassification(opts, MixSeed(seed, tag), name);
+      }};
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> MediumClassificationSuite() {
+  std::vector<DatasetSpec> suite;
+  // 14 Gaussian-centroid tasks spanning separation, dimensionality,
+  // class count, and label noise (kc1/pc-style tabular tasks).
+  suite.push_back(GaussianSpec("gauss_easy_2c", 101, 500, 10, 4, 2, 2, 2.0, 0.01));
+  suite.push_back(GaussianSpec("gauss_mid_2c", 102, 500, 16, 5, 4, 2, 1.2, 0.03));
+  suite.push_back(GaussianSpec("gauss_hard_2c", 103, 600, 24, 6, 6, 2, 0.8, 0.05));
+  suite.push_back(GaussianSpec("gauss_noisy_2c", 104, 500, 30, 4, 4, 2, 1.0, 0.10));
+  suite.push_back(GaussianSpec("gauss_easy_3c", 105, 600, 12, 5, 3, 3, 1.8, 0.02));
+  suite.push_back(GaussianSpec("gauss_mid_3c", 106, 600, 18, 6, 4, 3, 1.1, 0.04));
+  suite.push_back(GaussianSpec("gauss_hard_4c", 107, 700, 20, 6, 4, 4, 0.9, 0.05));
+  suite.push_back(GaussianSpec("gauss_wide_2c", 108, 400, 40, 6, 8, 2, 1.0, 0.03));
+  suite.push_back(GaussianSpec("gauss_5class", 109, 800, 15, 6, 3, 5, 1.4, 0.03));
+  suite.push_back(GaussianSpec("gauss_tiny_sep", 110, 500, 12, 4, 2, 2, 0.5, 0.05));
+  suite.push_back(GaussianSpec("gauss_redundant", 111, 500, 24, 4, 12, 2, 1.2, 0.02));
+  suite.push_back(GaussianSpec("gauss_clean_3c", 112, 500, 10, 5, 2, 3, 1.6, 0.0));
+  suite.push_back(GaussianSpec("gauss_flip_heavy", 113, 600, 14, 5, 3, 2, 1.3, 0.15));
+  suite.push_back(GaussianSpec("gauss_highdim", 114, 450, 50, 8, 10, 2, 1.1, 0.03));
+
+  // 6 nonlinear-boundary tasks (banana/phoneme-style).
+  suite.push_back({"moons_clean", [](uint64_t s) {
+                     return MakeMoons(500, 0.15, MixSeed(s, 201), "moons_clean");
+                   }});
+  suite.push_back({"moons_noisy", [](uint64_t s) {
+                     return MakeMoons(600, 0.35, MixSeed(s, 202), "moons_noisy");
+                   }});
+  suite.push_back({"circles_tight", [](uint64_t s) {
+                     return MakeCircles(500, 0.08, 0.5, MixSeed(s, 203),
+                                        "circles_tight");
+                   }});
+  suite.push_back({"circles_noisy", [](uint64_t s) {
+                     return MakeCircles(600, 0.18, 0.6, MixSeed(s, 204),
+                                        "circles_noisy");
+                   }});
+  suite.push_back({"blobs_4c", [](uint64_t s) {
+                     return MakeBlobs(600, 8, 4, 2.5, MixSeed(s, 205),
+                                      "blobs_4c");
+                   }});
+  suite.push_back({"blobs_overlap", [](uint64_t s) {
+                     return MakeBlobs(600, 6, 3, 6.0, MixSeed(s, 206),
+                                      "blobs_overlap");
+                   }});
+
+  // 6 parity/XOR tasks (madelon-style; anti-linear).
+  suite.push_back({"parity2_clean", [](uint64_t s) {
+                     return MakeXorParity(500, 2, 8, 0.02, MixSeed(s, 301),
+                                          "parity2_clean");
+                   }});
+  suite.push_back({"parity2_noisy", [](uint64_t s) {
+                     return MakeXorParity(600, 2, 16, 0.08, MixSeed(s, 302),
+                                          "parity2_noisy");
+                   }});
+  suite.push_back({"parity3", [](uint64_t s) {
+                     return MakeXorParity(700, 3, 10, 0.03, MixSeed(s, 303),
+                                          "parity3");
+                   }});
+  suite.push_back({"parity3_wide", [](uint64_t s) {
+                     return MakeXorParity(700, 3, 25, 0.05, MixSeed(s, 304),
+                                          "parity3_wide");
+                   }});
+  suite.push_back({"parity4", [](uint64_t s) {
+                     return MakeXorParity(800, 4, 8, 0.03, MixSeed(s, 305),
+                                          "parity4");
+                   }});
+  suite.push_back({"parity2_tiny", [](uint64_t s) {
+                     return MakeXorParity(300, 2, 6, 0.05, MixSeed(s, 306),
+                                          "parity2_tiny");
+                   }});
+
+  // 4 imbalanced-but-general tasks.
+  suite.push_back({"imb_gauss_3x", [](uint64_t s) {
+                     ClassificationOptions o;
+                     o.num_samples = 600; o.num_features = 14;
+                     o.num_informative = 5; o.num_redundant = 3;
+                     o.imbalance = 3.0; o.class_sep = 1.2; o.flip_y = 0.03;
+                     return MakeClassification(o, MixSeed(s, 401),
+                                               "imb_gauss_3x");
+                   }});
+  suite.push_back({"imb_gauss_6x", [](uint64_t s) {
+                     ClassificationOptions o;
+                     o.num_samples = 700; o.num_features = 18;
+                     o.num_informative = 5; o.num_redundant = 4;
+                     o.imbalance = 6.0; o.class_sep = 1.0; o.flip_y = 0.04;
+                     return MakeClassification(o, MixSeed(s, 402),
+                                               "imb_gauss_6x");
+                   }});
+  suite.push_back({"imb_moons", [](uint64_t s) {
+                     return Imbalance(MakeMoons(900, 0.25, MixSeed(s, 403),
+                                                "imb_moons"),
+                                      4.0, MixSeed(s, 404));
+                   }});
+  suite.push_back({"imb_parity", [](uint64_t s) {
+                     return Imbalance(
+                         MakeXorParity(900, 2, 10, 0.04, MixSeed(s, 405),
+                                       "imb_parity"),
+                         3.0, MixSeed(s, 406));
+                   }});
+  VOLCANOML_CHECK(suite.size() == 30);
+  return suite;
+}
+
+std::vector<DatasetSpec> RegressionSuite() {
+  std::vector<DatasetSpec> suite;
+  auto add_friedman1 = [&](std::string name, uint64_t tag, size_t n, size_t d,
+                           double noise) {
+    suite.push_back({name, [=](uint64_t s) {
+                       return MakeFriedman1(n, d, noise, MixSeed(s, tag), name);
+                     }});
+  };
+  add_friedman1("friedman1_easy", 501, 400, 8, 0.5);
+  add_friedman1("friedman1_mid", 502, 400, 10, 1.0);
+  add_friedman1("friedman1_hard", 503, 500, 15, 2.0);
+  add_friedman1("friedman1_wide", 504, 400, 30, 1.0);
+  add_friedman1("friedman1_noisy", 505, 500, 12, 4.0);
+  add_friedman1("friedman1_small", 506, 250, 8, 1.0);
+
+  auto add_friedman2 = [&](std::string name, uint64_t tag, size_t n,
+                           double noise) {
+    suite.push_back({name, [=](uint64_t s) {
+                       return MakeFriedman2(n, noise, MixSeed(s, tag), name);
+                     }});
+  };
+  add_friedman2("friedman2_easy", 511, 400, 10.0);
+  add_friedman2("friedman2_hard", 512, 500, 80.0);
+  add_friedman2("friedman2_small", 513, 250, 30.0);
+
+  auto add_friedman3 = [&](std::string name, uint64_t tag, size_t n,
+                           double noise) {
+    suite.push_back({name, [=](uint64_t s) {
+                       return MakeFriedman3(n, noise, MixSeed(s, tag), name);
+                     }});
+  };
+  add_friedman3("friedman3_easy", 521, 400, 0.05);
+  add_friedman3("friedman3_hard", 522, 500, 0.25);
+  add_friedman3("friedman3_small", 523, 250, 0.1);
+
+  auto add_linear = [&](std::string name, uint64_t tag, size_t n, size_t d,
+                        size_t informative, double noise) {
+    suite.push_back({name, [=](uint64_t s) {
+                       return MakeLinearRegression(n, d, informative, noise,
+                                                   MixSeed(s, tag), name);
+                     }});
+  };
+  add_linear("linreg_dense", 531, 400, 10, 10, 5.0);
+  add_linear("linreg_sparse", 532, 400, 25, 5, 5.0);
+  add_linear("linreg_noisy", 533, 500, 15, 8, 40.0);
+  add_linear("linreg_wide", 534, 300, 40, 8, 10.0);
+  add_linear("linreg_clean", 535, 400, 12, 6, 1.0);
+  add_linear("linreg_tiny", 536, 200, 8, 4, 5.0);
+  add_linear("linreg_hard", 537, 500, 30, 15, 60.0);
+  add_linear("linreg_verysparse", 538, 400, 35, 3, 8.0);
+  VOLCANOML_CHECK(suite.size() == 20);
+  return suite;
+}
+
+std::vector<DatasetSpec> LargeClassificationSuite() {
+  std::vector<DatasetSpec> suite;
+  suite.push_back(GaussianSpec("large_gauss_a", 601, 3000, 20, 8, 6, 2, 1.0, 0.05));
+  suite.push_back(GaussianSpec("large_gauss_b", 602, 3000, 30, 10, 8, 3, 1.1, 0.04));
+  suite.push_back(GaussianSpec("large_gauss_c", 603, 4000, 24, 8, 6, 4, 0.9, 0.05));
+  suite.push_back(GaussianSpec("large_gauss_d", 604, 2500, 40, 10, 10, 2, 0.8, 0.06));
+  // Higgs-like: hard, noisy, binary physics-style task.
+  suite.push_back(GaussianSpec("higgs_like", 605, 5000, 28, 10, 8, 2, 0.6, 0.08));
+  suite.push_back({"large_parity3", [](uint64_t s) {
+                     return MakeXorParity(3000, 3, 20, 0.05, MixSeed(s, 606),
+                                          "large_parity3");
+                   }});
+  suite.push_back({"large_parity4", [](uint64_t s) {
+                     return MakeXorParity(3500, 4, 15, 0.04, MixSeed(s, 607),
+                                          "large_parity4");
+                   }});
+  suite.push_back({"large_moons", [](uint64_t s) {
+                     return MakeMoons(3000, 0.3, MixSeed(s, 608),
+                                      "large_moons");
+                   }});
+  suite.push_back({"large_blobs", [](uint64_t s) {
+                     return MakeBlobs(3000, 12, 5, 4.0, MixSeed(s, 609),
+                                      "large_blobs");
+                   }});
+  suite.push_back(GaussianSpec("large_gauss_e", 610, 3500, 35, 12, 8, 3, 1.0, 0.05));
+  VOLCANOML_CHECK(suite.size() == 10);
+  return suite;
+}
+
+std::vector<DatasetSpec> ImbalancedSuite() {
+  // Named after the paper's Table 2 style software-defect datasets.
+  std::vector<DatasetSpec> suite;
+  auto add = [&](std::string name, uint64_t tag, size_t n, size_t d,
+                 double imbalance, double sep) {
+    suite.push_back({name, [=](uint64_t s) {
+                       ClassificationOptions o;
+                       o.num_samples = n;
+                       o.num_features = d;
+                       o.num_informative = 5;
+                       o.num_redundant = 3;
+                       o.imbalance = imbalance;
+                       o.class_sep = sep;
+                       o.flip_y = 0.03;
+                       return MakeClassification(o, MixSeed(s, tag), name);
+                     }});
+  };
+  add("pc2", 701, 700, 20, 12.0, 0.9);
+  add("pc4", 702, 700, 24, 8.0, 1.0);
+  add("kc1", 703, 800, 16, 6.0, 0.8);
+  add("ecoli_imb", 704, 500, 10, 9.0, 1.1);
+  add("sick", 705, 900, 22, 14.0, 1.0);
+  VOLCANOML_CHECK(suite.size() == 5);
+  return suite;
+}
+
+std::vector<DatasetSpec> KaggleSuite() {
+  std::vector<DatasetSpec> suite;
+  suite.push_back(GaussianSpec("influence_network", 801, 1200, 22, 8, 6, 2, 0.9, 0.06));
+  suite.push_back({"virus_prediction", [](uint64_t s) {
+                     return MakeXorParity(1200, 3, 18, 0.05, MixSeed(s, 802),
+                                          "virus_prediction");
+                   }});
+  suite.push_back(GaussianSpec("employee_access", 803, 1500, 30, 10, 8, 2, 0.8, 0.05));
+  suite.push_back({"customer_satisfaction", [](uint64_t s) {
+                     ClassificationOptions o;
+                     o.num_samples = 1400; o.num_features = 26;
+                     o.num_informative = 8; o.num_redundant = 6;
+                     o.imbalance = 5.0; o.class_sep = 0.9; o.flip_y = 0.05;
+                     return MakeClassification(o, MixSeed(s, 804),
+                                               "customer_satisfaction");
+                   }});
+  suite.push_back(GaussianSpec("business_value", 805, 1000, 18, 6, 4, 3, 1.0, 0.05));
+  suite.push_back({"flavours", [](uint64_t s) {
+                     return MakeBlobs(1200, 14, 4, 4.5, MixSeed(s, 806),
+                                      "flavours");
+                   }});
+  VOLCANOML_CHECK(suite.size() == 6);
+  return suite;
+}
+
+DatasetSpec FindDatasetSpec(const std::string& name) {
+  for (auto suite_fn : {&MediumClassificationSuite, &RegressionSuite,
+                        &LargeClassificationSuite, &ImbalancedSuite,
+                        &KaggleSuite}) {
+    for (const DatasetSpec& spec : suite_fn()) {
+      if (spec.name == name) return spec;
+    }
+  }
+  VOLCANOML_CHECK_MSG(false, ("unknown dataset spec: " + name).c_str());
+  return {};
+}
+
+}  // namespace volcanoml

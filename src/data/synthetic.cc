@@ -1,0 +1,313 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+Dataset MakeClassification(const ClassificationOptions& opts, uint64_t seed,
+                           const std::string& name) {
+  VOLCANOML_CHECK(opts.num_informative >= 1);
+  VOLCANOML_CHECK(opts.num_informative + opts.num_redundant <=
+                  opts.num_features);
+  VOLCANOML_CHECK(opts.num_classes >= 2);
+  Rng rng(seed);
+
+  // Class centroids on scaled hypercube corners in the informative subspace.
+  std::vector<std::vector<double>> centroids(opts.num_classes);
+  for (size_t c = 0; c < opts.num_classes; ++c) {
+    centroids[c].resize(opts.num_informative);
+    for (size_t j = 0; j < opts.num_informative; ++j) {
+      centroids[c][j] = (rng.Bernoulli(0.5) ? 1.0 : -1.0) * opts.class_sep;
+    }
+  }
+
+  // Random mixing matrix for redundant features.
+  Matrix mix(opts.num_redundant, opts.num_informative);
+  for (size_t i = 0; i < opts.num_redundant; ++i) {
+    for (size_t j = 0; j < opts.num_informative; ++j) {
+      mix(i, j) = rng.Gaussian();
+    }
+  }
+
+  // Per-class sample budget; `imbalance` concentrates mass on class 0.
+  std::vector<double> class_weights(opts.num_classes, 1.0);
+  class_weights[0] = opts.imbalance;
+
+  Matrix x(opts.num_samples, opts.num_features);
+  std::vector<double> y(opts.num_samples);
+  for (size_t i = 0; i < opts.num_samples; ++i) {
+    size_t c = rng.Categorical(class_weights);
+    std::vector<double> inf(opts.num_informative);
+    for (size_t j = 0; j < opts.num_informative; ++j) {
+      inf[j] = centroids[c][j] + rng.Gaussian();
+      x(i, j) = inf[j];
+    }
+    for (size_t r = 0; r < opts.num_redundant; ++r) {
+      double v = 0.0;
+      for (size_t j = 0; j < opts.num_informative; ++j) v += mix(r, j) * inf[j];
+      x(i, opts.num_informative + r) = v;
+    }
+    for (size_t j = opts.num_informative + opts.num_redundant;
+         j < opts.num_features; ++j) {
+      x(i, j) = rng.Gaussian();
+    }
+    if (opts.flip_y > 0.0 && rng.Bernoulli(opts.flip_y)) {
+      c = rng.Index(opts.num_classes);
+    }
+    y[i] = static_cast<double>(c);
+  }
+  // Guarantee every class appears at least once so NumClasses() is stable.
+  for (size_t c = 0; c < opts.num_classes && c < opts.num_samples; ++c) {
+    y[c] = static_cast<double>(c);
+  }
+  return Dataset(name, std::move(x), std::move(y),
+                 TaskType::kClassification);
+}
+
+Dataset MakeBlobs(size_t num_samples, size_t num_features, size_t num_classes,
+                  double cluster_std, uint64_t seed, const std::string& name) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> centers(num_classes);
+  for (auto& center : centers) {
+    center.resize(num_features);
+    for (double& v : center) v = rng.Uniform(-10.0, 10.0);
+  }
+  Matrix x(num_samples, num_features);
+  std::vector<double> y(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    size_t c = i % num_classes;  // Balanced classes.
+    for (size_t j = 0; j < num_features; ++j) {
+      x(i, j) = centers[c][j] + rng.Gaussian(0.0, cluster_std);
+    }
+    y[i] = static_cast<double>(c);
+  }
+  return Dataset(name, std::move(x), std::move(y),
+                 TaskType::kClassification);
+}
+
+Dataset MakeMoons(size_t num_samples, double noise, uint64_t seed,
+                  const std::string& name) {
+  Rng rng(seed);
+  Matrix x(num_samples, 2);
+  std::vector<double> y(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    bool upper = (i % 2 == 0);
+    double t = rng.Uniform(0.0, kPi);
+    double px, py;
+    if (upper) {
+      px = std::cos(t);
+      py = std::sin(t);
+    } else {
+      px = 1.0 - std::cos(t);
+      py = 0.5 - std::sin(t);
+    }
+    x(i, 0) = px + rng.Gaussian(0.0, noise);
+    x(i, 1) = py + rng.Gaussian(0.0, noise);
+    y[i] = upper ? 0.0 : 1.0;
+  }
+  return Dataset(name, std::move(x), std::move(y),
+                 TaskType::kClassification);
+}
+
+Dataset MakeCircles(size_t num_samples, double noise, double factor,
+                    uint64_t seed, const std::string& name) {
+  VOLCANOML_CHECK(factor > 0.0 && factor < 1.0);
+  Rng rng(seed);
+  Matrix x(num_samples, 2);
+  std::vector<double> y(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    bool outer = (i % 2 == 0);
+    double t = rng.Uniform(0.0, 2.0 * kPi);
+    double r = outer ? 1.0 : factor;
+    x(i, 0) = r * std::cos(t) + rng.Gaussian(0.0, noise);
+    x(i, 1) = r * std::sin(t) + rng.Gaussian(0.0, noise);
+    y[i] = outer ? 0.0 : 1.0;
+  }
+  return Dataset(name, std::move(x), std::move(y),
+                 TaskType::kClassification);
+}
+
+Dataset MakeXorParity(size_t num_samples, size_t num_parity_bits,
+                      size_t num_noise_features, double flip_y, uint64_t seed,
+                      const std::string& name) {
+  VOLCANOML_CHECK(num_parity_bits >= 2);
+  Rng rng(seed);
+  const size_t num_features = num_parity_bits + num_noise_features;
+  Matrix x(num_samples, num_features);
+  std::vector<double> y(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    int parity = 0;
+    for (size_t j = 0; j < num_parity_bits; ++j) {
+      bool bit = rng.Bernoulli(0.5);
+      parity ^= bit ? 1 : 0;
+      x(i, j) = (bit ? 1.0 : -1.0) + rng.Gaussian(0.0, 0.3);
+    }
+    for (size_t j = num_parity_bits; j < num_features; ++j) {
+      x(i, j) = rng.Gaussian();
+    }
+    if (flip_y > 0.0 && rng.Bernoulli(flip_y)) parity ^= 1;
+    y[i] = static_cast<double>(parity);
+  }
+  if (num_samples >= 2) {
+    y[0] = 0.0;
+    y[1] = 1.0;
+  }
+  return Dataset(name, std::move(x), std::move(y),
+                 TaskType::kClassification);
+}
+
+Dataset MakeFriedman1(size_t num_samples, size_t num_features, double noise,
+                      uint64_t seed, const std::string& name) {
+  VOLCANOML_CHECK(num_features >= 5);
+  Rng rng(seed);
+  Matrix x(num_samples, num_features);
+  std::vector<double> y(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    for (size_t j = 0; j < num_features; ++j) x(i, j) = rng.Uniform();
+    y[i] = 10.0 * std::sin(kPi * x(i, 0) * x(i, 1)) +
+           20.0 * (x(i, 2) - 0.5) * (x(i, 2) - 0.5) + 10.0 * x(i, 3) +
+           5.0 * x(i, 4) + rng.Gaussian(0.0, noise);
+  }
+  return Dataset(name, std::move(x), std::move(y), TaskType::kRegression);
+}
+
+Dataset MakeFriedman2(size_t num_samples, double noise, uint64_t seed,
+                      const std::string& name) {
+  Rng rng(seed);
+  Matrix x(num_samples, 4);
+  std::vector<double> y(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    x(i, 0) = rng.Uniform(0.0, 100.0);
+    x(i, 1) = rng.Uniform(40.0 * kPi, 560.0 * kPi);
+    x(i, 2) = rng.Uniform(0.0, 1.0);
+    x(i, 3) = rng.Uniform(1.0, 11.0);
+    double inner = x(i, 1) * x(i, 2) - 1.0 / (x(i, 1) * x(i, 3));
+    y[i] = std::sqrt(x(i, 0) * x(i, 0) + inner * inner) +
+           rng.Gaussian(0.0, noise);
+  }
+  return Dataset(name, std::move(x), std::move(y), TaskType::kRegression);
+}
+
+Dataset MakeFriedman3(size_t num_samples, double noise, uint64_t seed,
+                      const std::string& name) {
+  Rng rng(seed);
+  Matrix x(num_samples, 4);
+  std::vector<double> y(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    x(i, 0) = rng.Uniform(0.0, 100.0);
+    x(i, 1) = rng.Uniform(40.0 * kPi, 560.0 * kPi);
+    x(i, 2) = rng.Uniform(0.0, 1.0);
+    x(i, 3) = rng.Uniform(1.0, 11.0);
+    double inner = x(i, 1) * x(i, 2) - 1.0 / (x(i, 1) * x(i, 3));
+    y[i] = std::atan2(inner, x(i, 0)) + rng.Gaussian(0.0, noise);
+  }
+  return Dataset(name, std::move(x), std::move(y), TaskType::kRegression);
+}
+
+Dataset MakeLinearRegression(size_t num_samples, size_t num_features,
+                             size_t num_informative, double noise,
+                             uint64_t seed, const std::string& name) {
+  VOLCANOML_CHECK(num_informative <= num_features);
+  Rng rng(seed);
+  std::vector<double> coef(num_features, 0.0);
+  for (size_t j = 0; j < num_informative; ++j) {
+    coef[j] = rng.Uniform(-100.0, 100.0);
+  }
+  Matrix x(num_samples, num_features);
+  std::vector<double> y(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    double target = 0.0;
+    for (size_t j = 0; j < num_features; ++j) {
+      x(i, j) = rng.Gaussian();
+      target += coef[j] * x(i, j);
+    }
+    y[i] = target + rng.Gaussian(0.0, noise);
+  }
+  return Dataset(name, std::move(x), std::move(y), TaskType::kRegression);
+}
+
+Dataset Imbalance(const Dataset& data, double ratio, uint64_t seed) {
+  VOLCANOML_CHECK(data.task() == TaskType::kClassification);
+  VOLCANOML_CHECK(ratio >= 1.0);
+  Rng rng(seed);
+  std::vector<size_t> keep;
+  std::vector<std::vector<size_t>> by_class(data.NumClasses());
+  for (size_t i = 0; i < data.NumSamples(); ++i) {
+    by_class[static_cast<size_t>(data.Label(i))].push_back(i);
+  }
+  // Class 0 is the majority; classes >= 1 are thinned to ~1/ratio of it.
+  size_t majority = by_class[0].size();
+  keep = by_class[0];
+  for (size_t c = 1; c < by_class.size(); ++c) {
+    auto& members = by_class[c];
+    rng.Shuffle(&members);
+    size_t target = std::max<size_t>(
+        2, static_cast<size_t>(static_cast<double>(majority) / ratio));
+    target = std::min(target, members.size());
+    keep.insert(keep.end(), members.begin(), members.begin() + target);
+  }
+  rng.Shuffle(&keep);
+  Dataset out = data.Subset(keep);
+  out.set_name(data.name() + "_imb");
+  return out;
+}
+
+Dataset MakeSyntheticImages(size_t num_samples, size_t image_side,
+                            double noise, uint64_t seed,
+                            const std::string& name) {
+  VOLCANOML_CHECK(image_side >= 4);
+  Rng rng(seed);
+  const size_t num_pixels = image_side * image_side;
+  // Class signal: two localized blob templates (think "dog" vs "cat"
+  // texture) whose contributions are entangled through per-image random
+  // gain/offset, so raw pixels correlate weakly with the class.
+  std::vector<double> template0(num_pixels), template1(num_pixels);
+  for (size_t p = 0; p < num_pixels; ++p) {
+    size_t r = p / image_side, c = p % image_side;
+    template0[p] = std::sin(0.7 * static_cast<double>(r)) *
+                   std::cos(0.5 * static_cast<double>(c));
+    template1[p] = std::cos(0.6 * static_cast<double>(r)) *
+                   std::sin(0.8 * static_cast<double>(c));
+  }
+  Matrix x(num_samples, num_pixels);
+  std::vector<double> y(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    bool cls = (i % 2 == 1);
+    const std::vector<double>& tpl = cls ? template1 : template0;
+    // Strong per-image nuisance: random gain with a random *sign* (think
+    // exposure/polarity variation) plus offset and pixel noise. The sign
+    // flip makes each class a pair of opposite rays in raw-pixel space —
+    // not linearly separable and hostile to raw-pixel distances — which
+    // is what makes pre-trained (sign-invariant) embeddings necessary,
+    // mirroring dogs-vs-cats for shallow pipelines.
+    double gain = rng.Uniform(0.4, 2.5) * (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+    // Smooth per-image background: constant + horizontal/vertical ramps
+    // ("illumination"). A multi-dimensional nuisance, so raw-pixel
+    // nearest-neighbor matching cannot simply align on it.
+    double bg0 = rng.Uniform(-2.0, 2.0);
+    double bg_r = rng.Uniform(-4.0, 4.0);
+    double bg_c = rng.Uniform(-4.0, 4.0);
+    double side = static_cast<double>(image_side);
+    for (size_t p = 0; p < num_pixels; ++p) {
+      double r = static_cast<double>(p / image_side) / side;
+      double c = static_cast<double>(p % image_side) / side;
+      x(i, p) = gain * tpl[p] + bg0 + bg_r * r + bg_c * c +
+                rng.Gaussian(0.0, noise);
+    }
+    y[i] = cls ? 1.0 : 0.0;
+  }
+  return Dataset(name, std::move(x), std::move(y),
+                 TaskType::kClassification);
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,136 @@
+#include "embed/pretrained.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+SimulatedPretrainedEncoder::SimulatedPretrainedEncoder(EncoderQuality quality,
+                                                       size_t embedding_dim)
+    : quality_(quality), embedding_dim_(embedding_dim) {
+  VOLCANOML_CHECK(embedding_dim_ >= 2);
+}
+
+Status SimulatedPretrainedEncoder::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  const size_t pixels = train.NumFeatures();
+  image_side_ = static_cast<size_t>(std::llround(std::sqrt(
+      static_cast<double>(pixels))));
+  if (image_side_ * image_side_ != pixels) {
+    return Status::InvalidArgument(
+        "pretrained encoders require square images (got " +
+        std::to_string(pixels) + " pixels)");
+  }
+
+  // Smooth background basis {1, r, c} and its inverse Gram, used by the
+  // strong encoder to regress out per-image illumination before encoding.
+  background_ = Matrix(3, pixels);
+  for (size_t p = 0; p < pixels; ++p) {
+    double r = static_cast<double>(p / image_side_) /
+               static_cast<double>(image_side_);
+    double c = static_cast<double>(p % image_side_) /
+               static_cast<double>(image_side_);
+    background_(0, p) = 1.0;
+    background_(1, p) = r;
+    background_(2, p) = c;
+  }
+  Matrix gram = background_.Multiply(background_.Transpose());
+  // Closed-form 3x3 inverse via the adjugate.
+  double a = gram(0, 0), b = gram(0, 1), c3 = gram(0, 2);
+  double d = gram(1, 0), e = gram(1, 1), f = gram(1, 2);
+  double g = gram(2, 0), h = gram(2, 1), i3 = gram(2, 2);
+  double det = a * (e * i3 - f * h) - b * (d * i3 - f * g) +
+               c3 * (d * h - e * g);
+  VOLCANOML_CHECK(std::abs(det) > 1e-12);
+  bg_gram_inv_ = Matrix(3, 3);
+  bg_gram_inv_(0, 0) = (e * i3 - f * h) / det;
+  bg_gram_inv_(0, 1) = (c3 * h - b * i3) / det;
+  bg_gram_inv_(0, 2) = (b * f - c3 * e) / det;
+  bg_gram_inv_(1, 0) = (f * g - d * i3) / det;
+  bg_gram_inv_(1, 1) = (a * i3 - c3 * g) / det;
+  bg_gram_inv_(1, 2) = (c3 * d - a * f) / det;
+  bg_gram_inv_(2, 0) = (d * h - e * g) / det;
+  bg_gram_inv_(2, 1) = (b * g - a * h) / det;
+  bg_gram_inv_(2, 2) = (a * e - b * d) / det;
+
+  basis_ = Matrix(embedding_dim_, pixels);
+  if (quality_ == EncoderQuality::kStrong) {
+    // Smooth sinusoid bank over the image grid; frequencies sweep with
+    // the embedding index. Weights depend only on (quality, dim): the
+    // model is "pre-trained", never fitted to this dataset.
+    for (size_t e = 0; e < embedding_dim_; ++e) {
+      double fr = 0.2 + 0.15 * static_cast<double>(e % 7);
+      double fc = 0.2 + 0.15 * static_cast<double>((e / 7) % 7);
+      bool phase = (e % 2) == 0;
+      for (size_t p = 0; p < pixels; ++p) {
+        double r = static_cast<double>(p / image_side_);
+        double c = static_cast<double>(p % image_side_);
+        basis_(e, p) = phase ? std::sin(fr * r) * std::cos(fc * c)
+                             : std::cos(fr * r) * std::sin(fc * c);
+      }
+    }
+  } else {
+    // Fixed random projection; the seed is a constant so the "model" is
+    // identical across runs and datasets.
+    Rng rng(0xfeedbeef);
+    double scale = 1.0 / std::sqrt(static_cast<double>(pixels));
+    for (size_t e = 0; e < embedding_dim_; ++e) {
+      for (size_t p = 0; p < pixels; ++p) {
+        basis_(e, p) = rng.Gaussian(0.0, scale);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Matrix SimulatedPretrainedEncoder::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(basis_.rows() > 0);
+  VOLCANOML_CHECK(x.cols() == basis_.cols());
+  const size_t pixels = x.cols();
+  Matrix out(x.rows(), embedding_dim_);
+  std::vector<double> image(pixels);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    if (quality_ == EncoderQuality::kStrong) {
+      // Regress out the smooth {1, r, c} illumination background, then
+      // scale to unit energy: removes the offset/ramp/gain nuisances.
+      double proj[3];
+      for (size_t k = 0; k < 3; ++k) {
+        double acc = 0.0;
+        for (size_t p = 0; p < pixels; ++p) acc += background_(k, p) * x(i, p);
+        proj[k] = acc;
+      }
+      double coef[3];
+      for (size_t k = 0; k < 3; ++k) {
+        coef[k] = bg_gram_inv_(k, 0) * proj[0] + bg_gram_inv_(k, 1) * proj[1] +
+                  bg_gram_inv_(k, 2) * proj[2];
+      }
+      double energy = 0.0;
+      for (size_t p = 0; p < pixels; ++p) {
+        image[p] = x(i, p) - coef[0] * background_(0, p) -
+                   coef[1] * background_(1, p) - coef[2] * background_(2, p);
+        energy += image[p] * image[p];
+      }
+      double sd = std::sqrt(energy / static_cast<double>(pixels));
+      if (sd <= 1e-12) sd = 1.0;
+      for (size_t p = 0; p < pixels; ++p) image[p] /= sd;
+    } else {
+      for (size_t p = 0; p < pixels; ++p) image[p] = x(i, p);
+    }
+    for (size_t e = 0; e < embedding_dim_; ++e) {
+      double acc = 0.0;
+      for (size_t p = 0; p < pixels; ++p) acc += basis_(e, p) * image[p];
+      // Strong: magnitude of the matched-filter response — invariant to
+      // the gain sign/scale nuisance (like pooled CNN feature energies).
+      out(i, e) = quality_ == EncoderQuality::kStrong
+                      ? std::abs(acc) / std::sqrt(static_cast<double>(pixels))
+                      : std::tanh(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,48 @@
+#ifndef VOLCANOML_EMBED_PRETRAINED_H_
+#define VOLCANOML_EMBED_PRETRAINED_H_
+
+#include <cstddef>
+
+#include "fe/operator.h"
+
+namespace volcanoml {
+
+/// Quality tier of a simulated pre-trained model. The paper's embedding-
+/// selection experiment (Section 5.3) chooses between two TensorFlow-Hub
+/// models whose downstream usefulness differs and is unknown a priori;
+/// these two encoders reproduce exactly that situation (see DESIGN.md).
+enum class EncoderQuality {
+  /// "In-domain" model: per-image gain/offset normalization followed by
+  /// projection onto a smooth 2-D sinusoid bank — the nuisance factors of
+  /// the synthetic image generator are removed, leaving class structure.
+  kStrong,
+  /// "Off-domain" model: a fixed random projection with tanh saturation
+  /// on raw pixels — gain/offset noise passes straight through.
+  kWeak,
+};
+
+/// A frozen image encoder standing in for a TF-Hub pre-trained model.
+/// Its weights are a deterministic function of the quality tier and the
+/// embedding dimension (as if downloaded), not of the training data; Fit
+/// only validates the input shape.
+class SimulatedPretrainedEncoder : public FeOperator {
+ public:
+  SimulatedPretrainedEncoder(EncoderQuality quality, size_t embedding_dim);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+  size_t embedding_dim() const { return embedding_dim_; }
+
+ private:
+  EncoderQuality quality_;
+  size_t embedding_dim_;
+  size_t image_side_ = 0;
+  Matrix basis_;       ///< (embedding_dim x pixels) projection bank.
+  Matrix background_;  ///< (3 x pixels) smooth background basis {1, r, c}.
+  Matrix bg_gram_inv_; ///< (3 x 3) inverse Gram of the background basis.
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_EMBED_PRETRAINED_H_

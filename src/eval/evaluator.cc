@@ -1,0 +1,169 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "ml/algorithms.h"
+#include "ml/metrics.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// FNV-style hash of an assignment, used to derive deterministic
+/// per-configuration seeds (the same configuration always trains with the
+/// same randomness, which stabilizes the search).
+uint64_t HashAssignment(const Assignment& assignment) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [name, value] : assignment) {
+    for (char ch : name) mix(static_cast<uint64_t>(ch));
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+double FailureUtility(TaskType task) {
+  return task == TaskType::kClassification ? 0.0 : -1e9;
+}
+
+PipelineEvaluator::PipelineEvaluator(const SearchSpace* space,
+                                     const Dataset* data,
+                                     const EvaluatorOptions& options)
+    : space_(space), data_(data), options_(options) {
+  VOLCANOML_CHECK(space_ != nullptr && data_ != nullptr);
+  VOLCANOML_CHECK(space_->task() == data_->task());
+  Rng rng(options_.seed);
+  if (options_.cv_folds > 1) {
+    splits_ = KFoldSplits(*data_, options_.cv_folds, &rng);
+  } else {
+    splits_ = {TrainTestSplit(*data_, options_.validation_fraction, &rng)};
+  }
+}
+
+Status PipelineEvaluator::BuildPipeline(const Assignment& assignment,
+                                        uint64_t seed, FePipeline* fe,
+                                        std::unique_ptr<Model>* model) const {
+  const ConfigurationSpace& joint = space_->joint();
+  Configuration config = joint.FromAssignment(assignment);
+  Rng rng(seed);
+
+  // Feature-engineering operators in stage order.
+  for (FeStage stage : space_->stages()) {
+    std::string stage_param = std::string("fe:") + FeStageName(stage);
+    size_t choice = joint.GetChoice(config, stage_param);
+    std::vector<FeOperatorInfo> ops = space_->StageOperators(stage);
+    VOLCANOML_CHECK(choice < ops.size());
+    const FeOperatorInfo& op = ops[choice];
+    // Extract the operator's own configuration from the assignment.
+    std::string prefix = stage_param + ":" + op.name + ":";
+    Assignment local;
+    for (const auto& [name, value] : assignment) {
+      if (name.rfind(prefix, 0) == 0) {
+        local[name.substr(prefix.size())] = value;
+      }
+    }
+    Configuration op_config = op.hp_space.FromAssignment(local);
+    fe->Add(op.create(op.hp_space, op_config, rng.Fork()));
+  }
+
+  // Model.
+  std::string algorithm = joint.GetChoiceName(config, "algorithm");
+  const Algorithm& algo = FindAlgorithm(algorithm, space_->task());
+  std::string prefix = "alg:" + algorithm + ":";
+  Assignment local;
+  for (const auto& [name, value] : assignment) {
+    if (name.rfind(prefix, 0) == 0) {
+      local[name.substr(prefix.size())] = value;
+    }
+  }
+  Configuration model_config = algo.hp_space.FromAssignment(local);
+  *model = algo.create(algo.hp_space, model_config, rng.Fork());
+  return Status::Ok();
+}
+
+double PipelineEvaluator::EvaluateOnSplit(const Assignment& assignment,
+                                          const Split& split, double fidelity,
+                                          uint64_t seed) {
+  Dataset train = data_->Subset(split.train);
+  Dataset valid = data_->Subset(split.test);
+  if (fidelity < 1.0) {
+    Rng rng(seed ^ 0x5f5f5f5fULL);
+    std::vector<size_t> idx = SubsampleIndices(train, fidelity, 20, &rng);
+    train = train.Subset(idx);
+  }
+
+  FePipeline fe;
+  std::unique_ptr<Model> model;
+  Status s = BuildPipeline(assignment, seed, &fe, &model);
+  if (!s.ok()) return FailureUtility(space_->task());
+
+  Result<Dataset> engineered = fe.FitTransform(train);
+  if (!engineered.ok()) {
+    VOLCANOML_LOG(Debug) << "FE failed: " << engineered.status().ToString();
+    return FailureUtility(space_->task());
+  }
+  s = model->Fit(engineered.value());
+  if (!s.ok()) {
+    VOLCANOML_LOG(Debug) << "model fit failed: " << s.ToString();
+    return FailureUtility(space_->task());
+  }
+  Matrix valid_x = fe.Transform(valid.x());
+  std::vector<double> pred = model->Predict(valid_x);
+  double utility = Utility(valid, pred);
+  if (!std::isfinite(utility)) return FailureUtility(space_->task());
+  return utility;
+}
+
+double PipelineEvaluator::Evaluate(const Assignment& assignment,
+                                   double fidelity) {
+  VOLCANOML_CHECK(fidelity > 0.0 && fidelity <= 1.0);
+  uint64_t seed = HashAssignment(assignment) ^ options_.seed;
+  Stopwatch timer;
+  double total = 0.0;
+  for (const Split& split : splits_) {
+    total += EvaluateOnSplit(assignment, split, fidelity, seed);
+  }
+  if (options_.budget_in_seconds) {
+    // Time-metered budget; floor it so instantly-failing pipelines cannot
+    // consume the loop forever.
+    consumed_budget_ += std::max(timer.ElapsedSeconds(), 1e-4);
+  } else {
+    consumed_budget_ += fidelity;
+  }
+  ++num_evaluations_;
+  double utility = total / static_cast<double>(splits_.size());
+  if (fidelity >= 1.0) {
+    observations_.push_back({assignment, utility});
+  }
+  return utility;
+}
+
+Result<FittedPipeline> PipelineEvaluator::FitFinal(
+    const Assignment& assignment) {
+  uint64_t seed = HashAssignment(assignment) ^ options_.seed;
+  FePipeline fe;
+  std::unique_ptr<Model> model;
+  Status s = BuildPipeline(assignment, seed, &fe, &model);
+  if (!s.ok()) return s;
+  Result<Dataset> engineered = fe.FitTransform(*data_);
+  if (!engineered.ok()) return engineered.status();
+  s = model->Fit(engineered.value());
+  if (!s.ok()) return s;
+  return FittedPipeline(std::move(fe), std::move(model));
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,127 @@
+#include "eval/search_space.h"
+
+#include "ml/algorithms.h"
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+
+std::vector<std::string> PresetAlgorithms(TaskType task, SpacePreset preset) {
+  if (task == TaskType::kClassification) {
+    switch (preset) {
+      case SpacePreset::kSmall:
+        // 20 hyper-parameters total with the small FE stages.
+        return {"logistic_regression", "decision_tree", "knn", "gaussian_nb",
+                "lda"};
+      case SpacePreset::kMedium:
+        return {"logistic_regression", "decision_tree", "knn", "gaussian_nb",
+                "lda", "linear_svm", "random_forest"};
+      case SpacePreset::kLarge:
+        return AlgorithmNames(task);
+    }
+  }
+  switch (preset) {
+    case SpacePreset::kSmall:
+      return {"ridge", "lasso", "knn_reg", "decision_tree_reg", "sgd_reg"};
+    case SpacePreset::kMedium:
+      return {"ridge", "lasso", "knn_reg", "decision_tree_reg", "sgd_reg",
+              "random_forest_reg"};
+    case SpacePreset::kLarge:
+      return AlgorithmNames(task);
+  }
+  return {};
+}
+
+std::vector<FeStage> PresetStages(TaskType task, SpacePreset preset,
+                                  bool include_embedding) {
+  std::vector<FeStage> stages;
+  switch (preset) {
+    case SpacePreset::kSmall:
+    case SpacePreset::kMedium:
+      stages = {FeStage::kPreprocessing, FeStage::kRescaling};
+      break;
+    case SpacePreset::kLarge:
+      stages = {FeStage::kPreprocessing, FeStage::kRescaling,
+                FeStage::kBalancing, FeStage::kTransform};
+      break;
+  }
+  if (task == TaskType::kRegression) {
+    // Balancing is classification-only.
+    std::vector<FeStage> filtered;
+    for (FeStage stage : stages) {
+      if (stage != FeStage::kBalancing) filtered.push_back(stage);
+    }
+    stages = std::move(filtered);
+  }
+  if (include_embedding) {
+    stages.insert(stages.begin(), FeStage::kEmbedding);
+  }
+  return stages;
+}
+
+}  // namespace
+
+SearchSpace::SearchSpace(const SearchSpaceOptions& options)
+    : options_(options),
+      algorithms_(PresetAlgorithms(options.task, options.preset)),
+      stages_(PresetStages(options.task, options.preset,
+                           options.include_embedding)) {
+  VOLCANOML_CHECK(!algorithms_.empty());
+
+  joint_.AddCategorical("algorithm", algorithms_);
+  for (size_t i = 0; i < algorithms_.size(); ++i) {
+    const Algorithm& algo = FindAlgorithm(algorithms_[i], options_.task);
+    joint_.MergeConditioned(algo.hp_space, "alg:" + algo.name + ":",
+                            "algorithm", i);
+  }
+  for (FeStage stage : stages_) {
+    std::vector<FeOperatorInfo> ops = StageOperators(stage);
+    std::string stage_param = std::string("fe:") + FeStageName(stage);
+    std::vector<std::string> names;
+    for (const FeOperatorInfo& op : ops) names.push_back(op.name);
+    joint_.AddCategorical(stage_param, names);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].hp_space.empty()) continue;
+      joint_.MergeConditioned(ops[i].hp_space,
+                              stage_param + ":" + ops[i].name + ":",
+                              stage_param, i);
+    }
+  }
+}
+
+std::vector<FeOperatorInfo> SearchSpace::StageOperators(FeStage stage) const {
+  return OperatorsFor(stage, options_.include_smote);
+}
+
+ConfigurationSpace SearchSpace::FeSubspace() const {
+  ConfigurationSpace fe;
+  for (FeStage stage : stages_) {
+    std::vector<FeOperatorInfo> ops = StageOperators(stage);
+    std::string stage_param = std::string("fe:") + FeStageName(stage);
+    std::vector<std::string> names;
+    for (const FeOperatorInfo& op : ops) names.push_back(op.name);
+    fe.AddCategorical(stage_param, names);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].hp_space.empty()) continue;
+      fe.MergeConditioned(ops[i].hp_space,
+                          stage_param + ":" + ops[i].name + ":", stage_param,
+                          i);
+    }
+  }
+  return fe;
+}
+
+ConfigurationSpace SearchSpace::HpSubspaceFor(
+    const std::string& algorithm) const {
+  const Algorithm& algo = FindAlgorithm(algorithm, options_.task);
+  ConfigurationSpace hp;
+  hp.Merge(algo.hp_space, "alg:" + algo.name + ":");
+  return hp;
+}
+
+Assignment SearchSpace::DefaultAssignment() const {
+  return joint_.ToAssignment(joint_.Default());
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,135 @@
+#include "fe/agglomeration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+
+FeatureAgglomeration::FeatureAgglomeration(size_t num_clusters)
+    : num_clusters_(num_clusters) {
+  VOLCANOML_CHECK(num_clusters_ >= 1);
+}
+
+Status FeatureAgglomeration::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  const Matrix& x = train.x();
+  const size_t d = x.cols();
+  const size_t target = std::min(num_clusters_, d);
+
+  // Pairwise distance 1 - |corr|.
+  std::vector<std::vector<double>> columns(d);
+  for (size_t j = 0; j < d; ++j) columns[j] = x.Col(j);
+  Matrix dist(d, d);
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a + 1; b < d; ++b) {
+      double corr = std::abs(PearsonCorrelation(columns[a], columns[b]));
+      dist(a, b) = dist(b, a) = 1.0 - corr;
+    }
+  }
+
+  // Average-linkage agglomerative clustering (naive O(d^3); d <= ~300).
+  assignment_.resize(d);
+  std::vector<std::vector<size_t>> clusters;
+  for (size_t j = 0; j < d; ++j) clusters.push_back({j});
+  auto linkage = [&](const std::vector<size_t>& u,
+                     const std::vector<size_t>& v) {
+    double total = 0.0;
+    for (size_t a : u) {
+      for (size_t b : v) total += dist(a, b);
+    }
+    return total / static_cast<double>(u.size() * v.size());
+  };
+  while (clusters.size() > target) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 1;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        double link = linkage(clusters[i], clusters[j]);
+        if (link < best) {
+          best = link;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<long>(bj));
+  }
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (size_t j : clusters[c]) assignment_[j] = c;
+  }
+  return Status::Ok();
+}
+
+size_t FeatureAgglomeration::NumClusters() const {
+  if (assignment_.empty()) return 0;
+  return *std::max_element(assignment_.begin(), assignment_.end()) + 1;
+}
+
+Matrix FeatureAgglomeration::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(!assignment_.empty());
+  VOLCANOML_CHECK(x.cols() == assignment_.size());
+  const size_t k = NumClusters();
+  std::vector<double> cluster_size(k, 0.0);
+  for (size_t c : assignment_) cluster_size[c] += 1.0;
+  Matrix out(x.rows(), k);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      out(i, assignment_[j]) += x(i, j);
+    }
+    for (size_t c = 0; c < k; ++c) out(i, c) /= cluster_size[c];
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// KBinsDiscretizer
+
+KBinsDiscretizer::KBinsDiscretizer(size_t num_bins) : num_bins_(num_bins) {
+  VOLCANOML_CHECK(num_bins_ >= 2);
+}
+
+Status KBinsDiscretizer::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  const Matrix& x = train.x();
+  edges_.assign(x.cols(), {});
+  for (size_t j = 0; j < x.cols(); ++j) {
+    std::vector<double> col = x.Col(j);
+    std::vector<double>& edges = edges_[j];
+    // Interior quantile edges (bins-1 of them), deduplicated.
+    for (size_t b = 1; b < num_bins_; ++b) {
+      double q = static_cast<double>(b) / static_cast<double>(num_bins_);
+      double edge = Quantile(col, q);
+      if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+    }
+  }
+  return Status::Ok();
+}
+
+Matrix KBinsDiscretizer::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(!edges_.empty());
+  VOLCANOML_CHECK(x.cols() == edges_.size());
+  Matrix out(x.rows(), x.cols());
+  for (size_t j = 0; j < x.cols(); ++j) {
+    const std::vector<double>& edges = edges_[j];
+    for (size_t i = 0; i < x.rows(); ++i) {
+      out(i, j) = static_cast<double>(
+          std::distance(edges.begin(),
+                        std::upper_bound(edges.begin(), edges.end(),
+                                         x(i, j))));
+    }
+  }
+  return out;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,45 @@
+#ifndef VOLCANOML_FE_AGGLOMERATION_H_
+#define VOLCANOML_FE_AGGLOMERATION_H_
+
+#include <vector>
+
+#include "fe/operator.h"
+
+namespace volcanoml {
+
+/// Feature agglomeration (auto-sklearn's feature_agglomeration): merges
+/// correlated features bottom-up (average-linkage over 1-|corr| distance)
+/// into `num_clusters` groups and outputs each group's mean. A denoising
+/// dimensionality reduction complementary to PCA.
+class FeatureAgglomeration : public FeOperator {
+ public:
+  explicit FeatureAgglomeration(size_t num_clusters);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+  size_t NumClusters() const;
+
+ private:
+  size_t num_clusters_;
+  std::vector<size_t> assignment_;  ///< Cluster id per input column.
+};
+
+/// K-bins discretizer: replaces each column by the index of its training
+/// quantile bin (ordinal encoding, `num_bins` bins). Robust to outliers
+/// and makes thresholds explicit for linear models.
+class KBinsDiscretizer : public FeOperator {
+ public:
+  explicit KBinsDiscretizer(size_t num_bins);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+ private:
+  size_t num_bins_;
+  std::vector<std::vector<double>> edges_;  ///< Per column, ascending.
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_FE_AGGLOMERATION_H_

@@ -1,0 +1,176 @@
+#include "fe/balancers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+namespace {
+
+Status CheckBalanceable(const Dataset& train) {
+  if (train.NumSamples() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  if (train.task() != TaskType::kClassification) {
+    return Status::FailedPrecondition("balancers require classification");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::vector<size_t>> ByClass(const Dataset& train) {
+  std::vector<std::vector<size_t>> by_class(train.NumClasses());
+  for (size_t i = 0; i < train.NumSamples(); ++i) {
+    by_class[static_cast<size_t>(train.Label(i))].push_back(i);
+  }
+  return by_class;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RandomOversampler
+
+RandomOversampler::RandomOversampler(double target_ratio, uint64_t seed)
+    : target_ratio_(target_ratio), seed_(seed) {
+  VOLCANOML_CHECK(target_ratio_ > 0.0 && target_ratio_ <= 1.0);
+}
+
+Status RandomOversampler::Fit(const Dataset& train) {
+  return CheckBalanceable(train);
+}
+
+Dataset RandomOversampler::ResampleTrain(const Dataset& train) const {
+  Rng rng(seed_);
+  std::vector<std::vector<size_t>> by_class = ByClass(train);
+  size_t majority = 0;
+  for (const auto& members : by_class) {
+    majority = std::max(majority, members.size());
+  }
+  size_t target = static_cast<size_t>(
+      std::llround(target_ratio_ * static_cast<double>(majority)));
+  std::vector<size_t> keep;
+  for (const auto& members : by_class) {
+    if (members.empty()) continue;
+    keep.insert(keep.end(), members.begin(), members.end());
+    for (size_t k = members.size(); k < target; ++k) {
+      keep.push_back(members[rng.Index(members.size())]);
+    }
+  }
+  rng.Shuffle(&keep);
+  return train.Subset(keep);
+}
+
+// ---------------------------------------------------------------------------
+// RandomUndersampler
+
+RandomUndersampler::RandomUndersampler(double target_ratio, uint64_t seed)
+    : target_ratio_(target_ratio), seed_(seed) {
+  VOLCANOML_CHECK(target_ratio_ > 0.0 && target_ratio_ <= 1.0);
+}
+
+Status RandomUndersampler::Fit(const Dataset& train) {
+  return CheckBalanceable(train);
+}
+
+Dataset RandomUndersampler::ResampleTrain(const Dataset& train) const {
+  Rng rng(seed_);
+  std::vector<std::vector<size_t>> by_class = ByClass(train);
+  size_t minority = std::numeric_limits<size_t>::max();
+  for (const auto& members : by_class) {
+    if (!members.empty()) minority = std::min(minority, members.size());
+  }
+  // Cap every class at minority / target_ratio.
+  size_t cap = static_cast<size_t>(std::llround(
+      static_cast<double>(minority) / target_ratio_));
+  std::vector<size_t> keep;
+  for (auto& members : by_class) {
+    rng.Shuffle(&members);
+    size_t take = std::min(members.size(), cap);
+    keep.insert(keep.end(), members.begin(), members.begin() + take);
+  }
+  rng.Shuffle(&keep);
+  return train.Subset(keep);
+}
+
+// ---------------------------------------------------------------------------
+// SmoteBalancer
+
+SmoteBalancer::SmoteBalancer(int k_neighbors, double target_ratio,
+                             uint64_t seed)
+    : k_neighbors_(k_neighbors), target_ratio_(target_ratio), seed_(seed) {
+  VOLCANOML_CHECK(k_neighbors_ >= 1);
+  VOLCANOML_CHECK(target_ratio_ > 0.0 && target_ratio_ <= 1.0);
+}
+
+Status SmoteBalancer::Fit(const Dataset& train) {
+  return CheckBalanceable(train);
+}
+
+Dataset SmoteBalancer::ResampleTrain(const Dataset& train) const {
+  Rng rng(seed_);
+  std::vector<std::vector<size_t>> by_class = ByClass(train);
+  size_t majority = 0;
+  for (const auto& members : by_class) {
+    majority = std::max(majority, members.size());
+  }
+  size_t target = static_cast<size_t>(
+      std::llround(target_ratio_ * static_cast<double>(majority)));
+
+  const size_t d = train.NumFeatures();
+  std::vector<std::vector<double>> synthetic_rows;
+  std::vector<double> synthetic_labels;
+
+  for (size_t c = 0; c < by_class.size(); ++c) {
+    const std::vector<size_t>& members = by_class[c];
+    if (members.size() < 2 || members.size() >= target) continue;
+    size_t deficit = target - members.size();
+    size_t k = std::min<size_t>(static_cast<size_t>(k_neighbors_),
+                                members.size() - 1);
+    for (size_t s = 0; s < deficit; ++s) {
+      size_t base = members[rng.Index(members.size())];
+      // k nearest same-class neighbors of `base` (brute force).
+      std::vector<std::pair<double, size_t>> dists;
+      dists.reserve(members.size() - 1);
+      for (size_t other : members) {
+        if (other == base) continue;
+        double dist = 0.0;
+        for (size_t j = 0; j < d; ++j) {
+          double diff = train.x()(base, j) - train.x()(other, j);
+          dist += diff * diff;
+        }
+        dists.push_back({dist, other});
+      }
+      std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(k),
+                        dists.end());
+      size_t neighbor = dists[rng.Index(k)].second;
+      double lambda = rng.Uniform();
+      std::vector<double> row(d);
+      for (size_t j = 0; j < d; ++j) {
+        row[j] = train.x()(base, j) +
+                 lambda * (train.x()(neighbor, j) - train.x()(base, j));
+      }
+      synthetic_rows.push_back(std::move(row));
+      synthetic_labels.push_back(static_cast<double>(c));
+    }
+  }
+
+  if (synthetic_rows.empty()) return train;
+  Matrix extra(synthetic_rows.size(), d);
+  for (size_t i = 0; i < synthetic_rows.size(); ++i) {
+    std::copy(synthetic_rows[i].begin(), synthetic_rows[i].end(),
+              extra.RowPtr(i));
+  }
+  Matrix combined = Matrix::ConcatRows(train.x(), extra);
+  std::vector<double> labels = train.y();
+  labels.insert(labels.end(), synthetic_labels.begin(),
+                synthetic_labels.end());
+  return Dataset(train.name(), std::move(combined), std::move(labels),
+                 TaskType::kClassification);
+}
+
+}  // namespace volcanoml

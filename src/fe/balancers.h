@@ -1,0 +1,61 @@
+#ifndef VOLCANOML_FE_BALANCERS_H_
+#define VOLCANOML_FE_BALANCERS_H_
+
+#include <cstdint>
+
+#include "fe/operator.h"
+
+namespace volcanoml {
+
+/// Random oversampling: duplicates minority-class rows (with replacement)
+/// until each class holds at least `target_ratio` of the majority count.
+class RandomOversampler : public FeOperator {
+ public:
+  RandomOversampler(double target_ratio, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  bool ResamplesRows() const override { return true; }
+  Dataset ResampleTrain(const Dataset& train) const override;
+
+ private:
+  double target_ratio_;
+  uint64_t seed_;
+};
+
+/// Random undersampling: drops majority-class rows until the majority is
+/// at most `1 / target_ratio` times the minority count.
+class RandomUndersampler : public FeOperator {
+ public:
+  RandomUndersampler(double target_ratio, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  bool ResamplesRows() const override { return true; }
+  Dataset ResampleTrain(const Dataset& train) const override;
+
+ private:
+  double target_ratio_;
+  uint64_t seed_;
+};
+
+/// SMOTE: synthesizes minority-class samples by interpolating between a
+/// minority row and one of its k nearest minority neighbors, until each
+/// class holds at least `target_ratio` of the majority count. This is the
+/// "smote_balancer" operator of the paper's Table 2 search-space
+/// enrichment experiment.
+class SmoteBalancer : public FeOperator {
+ public:
+  SmoteBalancer(int k_neighbors, double target_ratio, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  bool ResamplesRows() const override { return true; }
+  Dataset ResampleTrain(const Dataset& train) const override;
+
+ private:
+  int k_neighbors_;
+  double target_ratio_;
+  uint64_t seed_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_FE_BALANCERS_H_

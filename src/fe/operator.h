@@ -1,0 +1,39 @@
+#ifndef VOLCANOML_FE_OPERATOR_H_
+#define VOLCANOML_FE_OPERATOR_H_
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// A fitted feature-engineering operator.
+///
+/// Two kinds exist, mirroring auto-sklearn's pipeline semantics:
+///  * column operators (scalers, projections, selectors) learn statistics
+///    from the training split in Fit() and then Transform() any matrix —
+///    train and test alike;
+///  * row operators (class balancers) resample the *training* rows only;
+///    they implement ResampleTrain() and leave Transform() as identity.
+class FeOperator {
+ public:
+  virtual ~FeOperator() = default;
+
+  /// Learns operator state from the training dataset.
+  virtual Status Fit(const Dataset& train) = 0;
+
+  /// Applies the learned column transformation (identity for balancers).
+  virtual Matrix Transform(const Matrix& x) const { return x; }
+
+  /// Whether this operator resamples rows (balancers). Row operators are
+  /// applied to the training split only.
+  virtual bool ResamplesRows() const { return false; }
+
+  /// Returns the resampled training dataset (balancers only).
+  virtual Dataset ResampleTrain(const Dataset& train) const { return train; }
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_FE_OPERATOR_H_

@@ -1,0 +1,46 @@
+#include "fe/pipeline.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+void FePipeline::Add(std::unique_ptr<FeOperator> op) {
+  VOLCANOML_CHECK_MSG(!fitted_, "cannot add operators after FitTransform");
+  ops_.push_back(std::move(op));
+}
+
+Result<Dataset> FePipeline::FitTransform(const Dataset& train) {
+  Dataset current = train;
+  for (const std::unique_ptr<FeOperator>& op : ops_) {
+    Status s = op->Fit(current);
+    if (!s.ok()) return s;
+    if (op->ResamplesRows()) {
+      current = op->ResampleTrain(current);
+      if (current.NumSamples() == 0) {
+        return Status::Internal("balancer produced an empty dataset");
+      }
+    } else {
+      Matrix transformed = op->Transform(current.x());
+      if (transformed.cols() == 0) {
+        return Status::Internal("operator produced zero features");
+      }
+      current = current.WithFeatures(std::move(transformed));
+    }
+  }
+  fitted_ = true;
+  return current;
+}
+
+Matrix FePipeline::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK_MSG(fitted_, "Transform before FitTransform");
+  Matrix current = x;
+  for (const std::unique_ptr<FeOperator>& op : ops_) {
+    if (op->ResamplesRows()) continue;
+    current = op->Transform(current);
+  }
+  return current;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,46 @@
+#ifndef VOLCANOML_FE_PIPELINE_H_
+#define VOLCANOML_FE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "fe/operator.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// An ordered chain of feature-engineering operators.
+///
+/// FitTransform() fits each operator on the progressively transformed
+/// training data (balancers also resample it); Transform() replays the
+/// fitted column operators on new data (balancers are skipped, since test
+/// rows are never resampled).
+class FePipeline {
+ public:
+  FePipeline() = default;
+
+  FePipeline(FePipeline&&) = default;
+  FePipeline& operator=(FePipeline&&) = default;
+  FePipeline(const FePipeline&) = delete;
+  FePipeline& operator=(const FePipeline&) = delete;
+
+  /// Appends an operator; call before FitTransform.
+  void Add(std::unique_ptr<FeOperator> op);
+
+  size_t NumOperators() const { return ops_.size(); }
+
+  /// Fits the chain on `train` and returns the fully transformed (and
+  /// possibly resampled) training dataset.
+  Result<Dataset> FitTransform(const Dataset& train);
+
+  /// Applies the fitted column operators to a feature matrix.
+  Matrix Transform(const Matrix& x) const;
+
+ private:
+  std::vector<std::unique_ptr<FeOperator>> ops_;
+  bool fitted_ = false;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_FE_PIPELINE_H_

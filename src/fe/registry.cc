@@ -1,0 +1,294 @@
+#include "fe/registry.h"
+
+#include "embed/pretrained.h"
+#include "fe/agglomeration.h"
+#include "fe/balancers.h"
+#include "fe/scalers.h"
+#include "fe/transforms.h"
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+
+using Cs = ConfigurationSpace;
+using Cfg = Configuration;
+
+/// Identity operator for every "none" choice.
+class NoneOperator : public FeOperator {
+ public:
+  Status Fit(const Dataset& train) override {
+    if (train.NumSamples() == 0) {
+      return Status::InvalidArgument("empty training data");
+    }
+    return Status::Ok();
+  }
+};
+
+FeOperatorInfo MakeNone(FeStage stage) {
+  FeOperatorInfo info;
+  info.name = "none";
+  info.stage = stage;
+  info.create = [](const Cs&, const Cfg&, uint64_t) {
+    return std::make_unique<NoneOperator>();
+  };
+  return info;
+}
+
+std::vector<FeOperatorInfo> BuildPreprocessing() {
+  std::vector<FeOperatorInfo> ops;
+  ops.push_back(MakeNone(FeStage::kPreprocessing));
+
+  FeOperatorInfo vt;
+  vt.name = "variance_threshold";
+  vt.stage = FeStage::kPreprocessing;
+  vt.hp_space.AddContinuous("threshold", 0.0, 0.5, 0.05);
+  vt.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    return std::make_unique<VarianceThreshold>(s.GetValue(c, "threshold"));
+  };
+  ops.push_back(std::move(vt));
+
+  FeOperatorInfo wz;
+  wz.name = "winsorize";
+  wz.stage = FeStage::kPreprocessing;
+  wz.hp_space.AddContinuous("quantile", 0.01, 0.2, 0.05);
+  wz.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    return std::make_unique<Winsorizer>(s.GetValue(c, "quantile"));
+  };
+  ops.push_back(std::move(wz));
+  return ops;
+}
+
+std::vector<FeOperatorInfo> BuildRescaling() {
+  std::vector<FeOperatorInfo> ops;
+  ops.push_back(MakeNone(FeStage::kRescaling));
+
+  FeOperatorInfo standard;
+  standard.name = "standard";
+  standard.stage = FeStage::kRescaling;
+  standard.create = [](const Cs&, const Cfg&, uint64_t) {
+    return std::make_unique<StandardScaler>();
+  };
+  ops.push_back(std::move(standard));
+
+  FeOperatorInfo minmax;
+  minmax.name = "minmax";
+  minmax.stage = FeStage::kRescaling;
+  minmax.create = [](const Cs&, const Cfg&, uint64_t) {
+    return std::make_unique<MinMaxScaler>();
+  };
+  ops.push_back(std::move(minmax));
+
+  FeOperatorInfo robust;
+  robust.name = "robust";
+  robust.stage = FeStage::kRescaling;
+  robust.hp_space.AddContinuous("quantile", 0.05, 0.45, 0.25);
+  robust.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    return std::make_unique<RobustScaler>(s.GetValue(c, "quantile"));
+  };
+  ops.push_back(std::move(robust));
+
+  FeOperatorInfo normalizer;
+  normalizer.name = "normalizer";
+  normalizer.stage = FeStage::kRescaling;
+  normalizer.create = [](const Cs&, const Cfg&, uint64_t) {
+    return std::make_unique<L2Normalizer>();
+  };
+  ops.push_back(std::move(normalizer));
+
+  FeOperatorInfo quantile;
+  quantile.name = "quantile_transform";
+  quantile.stage = FeStage::kRescaling;
+  quantile.hp_space.AddInteger("n_quantiles", 10, 200, 100);
+  quantile.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    return std::make_unique<QuantileTransformer>(
+        static_cast<size_t>(s.GetInt(c, "n_quantiles")));
+  };
+  ops.push_back(std::move(quantile));
+  return ops;
+}
+
+std::vector<FeOperatorInfo> BuildBalancing(bool include_smote) {
+  std::vector<FeOperatorInfo> ops;
+  ops.push_back(MakeNone(FeStage::kBalancing));
+
+  FeOperatorInfo over;
+  over.name = "oversample";
+  over.stage = FeStage::kBalancing;
+  over.hp_space.AddContinuous("target_ratio", 0.5, 1.0, 1.0);
+  over.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+    return std::make_unique<RandomOversampler>(
+        s.GetValue(c, "target_ratio"), seed);
+  };
+  ops.push_back(std::move(over));
+
+  FeOperatorInfo under;
+  under.name = "undersample";
+  under.stage = FeStage::kBalancing;
+  under.hp_space.AddContinuous("target_ratio", 0.5, 1.0, 1.0);
+  under.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+    return std::make_unique<RandomUndersampler>(
+        s.GetValue(c, "target_ratio"), seed);
+  };
+  ops.push_back(std::move(under));
+
+  if (include_smote) {
+    FeOperatorInfo smote;
+    smote.name = "smote";
+    smote.stage = FeStage::kBalancing;
+    smote.hp_space.AddInteger("k_neighbors", 3, 10, 5);
+    smote.hp_space.AddContinuous("target_ratio", 0.5, 1.0, 1.0);
+    smote.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+      return std::make_unique<SmoteBalancer>(
+          s.GetInt(c, "k_neighbors"), s.GetValue(c, "target_ratio"), seed);
+    };
+    ops.push_back(std::move(smote));
+  }
+  return ops;
+}
+
+std::vector<FeOperatorInfo> BuildTransform() {
+  std::vector<FeOperatorInfo> ops;
+  ops.push_back(MakeNone(FeStage::kTransform));
+
+  FeOperatorInfo pca;
+  pca.name = "pca";
+  pca.stage = FeStage::kTransform;
+  pca.hp_space.AddContinuous("keep_variance", 0.5, 0.9999, 0.95);
+  pca.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    return std::make_unique<PcaTransform>(s.GetValue(c, "keep_variance"));
+  };
+  ops.push_back(std::move(pca));
+
+  FeOperatorInfo poly;
+  poly.name = "polynomial";
+  poly.stage = FeStage::kTransform;
+  poly.hp_space.AddCategorical("interaction_only", {"false", "true"});
+  poly.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    return std::make_unique<PolynomialFeatures>(
+        s.GetChoiceName(c, "interaction_only") == "true");
+  };
+  ops.push_back(std::move(poly));
+
+  FeOperatorInfo select;
+  select.name = "select_percentile";
+  select.stage = FeStage::kTransform;
+  select.hp_space.AddContinuous("percentile", 10.0, 100.0, 50.0);
+  select.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    return std::make_unique<SelectPercentile>(s.GetValue(c, "percentile"));
+  };
+  ops.push_back(std::move(select));
+
+  FeOperatorInfo nystroem;
+  nystroem.name = "nystroem";
+  nystroem.stage = FeStage::kTransform;
+  nystroem.hp_space.AddInteger("n_components", 10, 100, 50);
+  nystroem.hp_space.AddContinuous("gamma", 0.01, 10.0, 0.5, true);
+  nystroem.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+    return std::make_unique<NystroemRbf>(
+        static_cast<size_t>(s.GetInt(c, "n_components")),
+        s.GetValue(c, "gamma"), seed);
+  };
+  ops.push_back(std::move(nystroem));
+
+  FeOperatorInfo proj;
+  proj.name = "random_projection";
+  proj.stage = FeStage::kTransform;
+  proj.hp_space.AddContinuous("fraction", 0.1, 1.0, 0.5);
+  proj.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+    return std::make_unique<RandomProjection>(s.GetValue(c, "fraction"),
+                                              seed);
+  };
+  ops.push_back(std::move(proj));
+
+  FeOperatorInfo agglo;
+  agglo.name = "feature_agglomeration";
+  agglo.stage = FeStage::kTransform;
+  agglo.hp_space.AddInteger("n_clusters", 2, 25, 8);
+  agglo.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    return std::make_unique<FeatureAgglomeration>(
+        static_cast<size_t>(s.GetInt(c, "n_clusters")));
+  };
+  ops.push_back(std::move(agglo));
+
+  FeOperatorInfo kbins;
+  kbins.name = "kbins";
+  kbins.stage = FeStage::kTransform;
+  kbins.hp_space.AddInteger("n_bins", 3, 32, 8);
+  kbins.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    return std::make_unique<KBinsDiscretizer>(
+        static_cast<size_t>(s.GetInt(c, "n_bins")));
+  };
+  ops.push_back(std::move(kbins));
+  return ops;
+}
+
+std::vector<FeOperatorInfo> BuildEmbedding() {
+  // The embedding stage offers the raw input plus two simulated
+  // pre-trained models (the TF-Hub substitution, see embed/pretrained.h).
+  std::vector<FeOperatorInfo> ops;
+  ops.push_back(MakeNone(FeStage::kEmbedding));
+
+  auto add_encoder = [&ops](const char* name, EncoderQuality quality) {
+    FeOperatorInfo info;
+    info.name = name;
+    info.stage = FeStage::kEmbedding;
+    info.hp_space.AddInteger("embedding_dim", 8, 64, 32);
+    info.create = [quality](const Cs& s, const Cfg& c, uint64_t) {
+      return std::make_unique<SimulatedPretrainedEncoder>(
+          quality, static_cast<size_t>(s.GetInt(c, "embedding_dim")));
+    };
+    ops.push_back(std::move(info));
+  };
+  add_encoder("pretrained_model_a", EncoderQuality::kStrong);
+  add_encoder("pretrained_model_b", EncoderQuality::kWeak);
+  return ops;
+}
+
+}  // namespace
+
+const char* FeStageName(FeStage stage) {
+  switch (stage) {
+    case FeStage::kEmbedding:
+      return "embedding";
+    case FeStage::kPreprocessing:
+      return "preprocessing";
+    case FeStage::kRescaling:
+      return "rescaling";
+    case FeStage::kBalancing:
+      return "balancing";
+    case FeStage::kTransform:
+      return "feature_transform";
+  }
+  return "?";
+}
+
+std::vector<FeOperatorInfo> OperatorsFor(FeStage stage, bool include_smote) {
+  switch (stage) {
+    case FeStage::kEmbedding:
+      return BuildEmbedding();
+    case FeStage::kPreprocessing:
+      return BuildPreprocessing();
+    case FeStage::kRescaling:
+      return BuildRescaling();
+    case FeStage::kBalancing:
+      return BuildBalancing(include_smote);
+    case FeStage::kTransform:
+      return BuildTransform();
+  }
+  return {};
+}
+
+FeOperatorInfo FindFeOperator(const std::string& name) {
+  for (FeStage stage :
+       {FeStage::kEmbedding, FeStage::kPreprocessing, FeStage::kRescaling,
+        FeStage::kBalancing, FeStage::kTransform}) {
+    for (FeOperatorInfo& info : OperatorsFor(stage, /*include_smote=*/true)) {
+      if (info.name == name) return info;
+    }
+  }
+  VOLCANOML_CHECK_MSG(false, ("unknown FE operator: " + name).c_str());
+  return {};
+}
+
+}  // namespace volcanoml

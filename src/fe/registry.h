@@ -1,0 +1,51 @@
+#ifndef VOLCANOML_FE_REGISTRY_H_
+#define VOLCANOML_FE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cs/configuration_space.h"
+#include "fe/operator.h"
+
+namespace volcanoml {
+
+/// The feature-engineering stages of the auto-sklearn-style pipeline
+/// (paper Section 3.1), plus the optional embedding-selection stage of
+/// the Figure 3 enriched search space. Each stage picks one operator.
+enum class FeStage {
+  kEmbedding,  ///< Optional (enriched space): pre-trained encoder choice.
+  kPreprocessing,
+  kRescaling,
+  kBalancing,
+  kTransform,
+};
+
+/// Stage name as used in search-space parameter names ("rescaling", ...).
+const char* FeStageName(FeStage stage);
+
+/// A registered feature-engineering operator: name, stage, per-operator
+/// hyper-parameter space (unprefixed), and factory.
+struct FeOperatorInfo {
+  std::string name;
+  FeStage stage;
+  ConfigurationSpace hp_space;
+  std::function<std::unique_ptr<FeOperator>(const ConfigurationSpace& space,
+                                            const Configuration& config,
+                                            uint64_t seed)>
+      create;
+};
+
+/// Operators available for a stage. `include_smote` additionally exposes
+/// the "smote" balancer — the search-space enrichment of Table 2 that
+/// stock auto-sklearn cannot express.
+std::vector<FeOperatorInfo> OperatorsFor(FeStage stage,
+                                         bool include_smote = false);
+
+/// Lookup by name across stages; aborts for unknown names.
+FeOperatorInfo FindFeOperator(const std::string& name);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_FE_REGISTRY_H_

@@ -1,0 +1,208 @@
+#include "fe/scalers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+
+namespace {
+
+Status CheckNonEmpty(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StandardScaler
+
+Status StandardScaler::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  means_ = train.x().ColMeans();
+  scales_ = train.x().ColStdDevs();
+  for (double& scale : scales_) {
+    if (scale <= 1e-12) scale = 1.0;
+  }
+  return Status::Ok();
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(x.cols() == means_.size());
+  Matrix out(x.rows(), x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      out(i, j) = (x(i, j) - means_[j]) / scales_[j];
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MinMaxScaler
+
+Status MinMaxScaler::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  const Matrix& x = train.x();
+  mins_.assign(x.cols(), 1e300);
+  ranges_.assign(x.cols(), -1e300);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      mins_[j] = std::min(mins_[j], x(i, j));
+      ranges_[j] = std::max(ranges_[j], x(i, j));
+    }
+  }
+  for (size_t j = 0; j < x.cols(); ++j) {
+    ranges_[j] -= mins_[j];
+    if (ranges_[j] <= 1e-12) ranges_[j] = 1.0;
+  }
+  return Status::Ok();
+}
+
+Matrix MinMaxScaler::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(x.cols() == mins_.size());
+  Matrix out(x.rows(), x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      out(i, j) = (x(i, j) - mins_[j]) / ranges_[j];
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RobustScaler
+
+RobustScaler::RobustScaler(double quantile) : quantile_(quantile) {
+  VOLCANOML_CHECK(quantile_ > 0.0 && quantile_ < 0.5);
+}
+
+Status RobustScaler::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  const Matrix& x = train.x();
+  medians_.resize(x.cols());
+  scales_.resize(x.cols());
+  for (size_t j = 0; j < x.cols(); ++j) {
+    std::vector<double> col = x.Col(j);
+    medians_[j] = Median(col);
+    double spread = Quantile(col, 1.0 - quantile_) - Quantile(col, quantile_);
+    scales_[j] = spread > 1e-12 ? spread : 1.0;
+  }
+  return Status::Ok();
+}
+
+Matrix RobustScaler::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(x.cols() == medians_.size());
+  Matrix out(x.rows(), x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      out(i, j) = (x(i, j) - medians_[j]) / scales_[j];
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// L2Normalizer
+
+Status L2Normalizer::Fit(const Dataset& train) { return CheckNonEmpty(train); }
+
+Matrix L2Normalizer::Transform(const Matrix& x) const {
+  Matrix out(x.rows(), x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double norm = 0.0;
+    for (size_t j = 0; j < x.cols(); ++j) norm += x(i, j) * x(i, j);
+    norm = std::sqrt(norm);
+    if (norm <= 1e-12) norm = 1.0;
+    for (size_t j = 0; j < x.cols(); ++j) out(i, j) = x(i, j) / norm;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// QuantileTransformer
+
+QuantileTransformer::QuantileTransformer(size_t num_quantiles)
+    : num_quantiles_(num_quantiles) {
+  VOLCANOML_CHECK(num_quantiles_ >= 2);
+}
+
+Status QuantileTransformer::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  const Matrix& x = train.x();
+  references_.assign(x.cols(), {});
+  size_t q = std::min(num_quantiles_, x.rows());
+  for (size_t j = 0; j < x.cols(); ++j) {
+    std::vector<double> col = x.Col(j);
+    std::sort(col.begin(), col.end());
+    std::vector<double>& ref = references_[j];
+    ref.resize(q);
+    for (size_t k = 0; k < q; ++k) {
+      double pos = q == 1 ? 0.0
+                          : static_cast<double>(k) /
+                                static_cast<double>(q - 1) *
+                                static_cast<double>(col.size() - 1);
+      ref[k] = col[static_cast<size_t>(pos)];
+    }
+  }
+  return Status::Ok();
+}
+
+Matrix QuantileTransformer::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(x.cols() == references_.size());
+  Matrix out(x.rows(), x.cols());
+  for (size_t j = 0; j < x.cols(); ++j) {
+    const std::vector<double>& ref = references_[j];
+    double denom = static_cast<double>(ref.size() - 1);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      // Rank of the value among the reference quantiles, interpolated.
+      auto it = std::lower_bound(ref.begin(), ref.end(), x(i, j));
+      out(i, j) = static_cast<double>(std::distance(ref.begin(), it)) /
+                  std::max(denom, 1.0);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Winsorizer
+
+Winsorizer::Winsorizer(double quantile) : quantile_(quantile) {
+  VOLCANOML_CHECK(quantile_ > 0.0 && quantile_ < 0.5);
+}
+
+Status Winsorizer::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  const Matrix& x = train.x();
+  lower_.resize(x.cols());
+  upper_.resize(x.cols());
+  for (size_t j = 0; j < x.cols(); ++j) {
+    std::vector<double> col = x.Col(j);
+    lower_[j] = Quantile(col, quantile_);
+    upper_[j] = Quantile(col, 1.0 - quantile_);
+  }
+  return Status::Ok();
+}
+
+Matrix Winsorizer::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(x.cols() == lower_.size());
+  Matrix out(x.rows(), x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      out(i, j) = std::clamp(x(i, j), lower_[j], upper_[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,82 @@
+#ifndef VOLCANOML_FE_SCALERS_H_
+#define VOLCANOML_FE_SCALERS_H_
+
+#include <vector>
+
+#include "fe/operator.h"
+
+namespace volcanoml {
+
+/// Per-column standardization to zero mean / unit variance.
+class StandardScaler : public FeOperator {
+ public:
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+ private:
+  std::vector<double> means_, scales_;
+};
+
+/// Per-column min-max scaling to [0, 1].
+class MinMaxScaler : public FeOperator {
+ public:
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+ private:
+  std::vector<double> mins_, ranges_;
+};
+
+/// Robust scaling: subtract the median, divide by the IQR-style quantile
+/// range [q, 1-q].
+class RobustScaler : public FeOperator {
+ public:
+  /// `quantile` in (0, 0.5): e.g. 0.25 uses the inter-quartile range.
+  explicit RobustScaler(double quantile);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+ private:
+  double quantile_;
+  std::vector<double> medians_, scales_;
+};
+
+/// Row-wise L2 normalization (each sample scaled to unit norm).
+class L2Normalizer : public FeOperator {
+ public:
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+};
+
+/// Maps each column through its empirical CDF (output in [0, 1]); an
+/// order-preserving rank transform robust to outliers.
+class QuantileTransformer : public FeOperator {
+ public:
+  /// `num_quantiles` reference points per column (>= 2).
+  explicit QuantileTransformer(size_t num_quantiles);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+ private:
+  size_t num_quantiles_;
+  std::vector<std::vector<double>> references_;  ///< Per column, sorted.
+};
+
+/// Clips each column to its [q, 1-q] training quantiles (winsorization).
+class Winsorizer : public FeOperator {
+ public:
+  explicit Winsorizer(double quantile);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+ private:
+  double quantile_;
+  std::vector<double> lower_, upper_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_FE_SCALERS_H_

@@ -1,0 +1,338 @@
+#include "fe/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+
+namespace {
+
+Status CheckNonEmpty(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  return Status::Ok();
+}
+
+/// Indices of the top-k columns by variance.
+std::vector<size_t> TopVarianceColumns(const Matrix& x, size_t k) {
+  std::vector<double> sds = x.ColStdDevs();
+  std::vector<size_t> order(x.cols());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return sds[a] > sds[b]; });
+  order.resize(std::min(k, order.size()));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// VarianceThreshold
+
+VarianceThreshold::VarianceThreshold(double relative_threshold)
+    : relative_threshold_(relative_threshold) {
+  VOLCANOML_CHECK(relative_threshold_ >= 0.0);
+}
+
+Status VarianceThreshold::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  std::vector<double> sds = train.x().ColStdDevs();
+  std::vector<double> vars(sds.size());
+  for (size_t j = 0; j < sds.size(); ++j) vars[j] = sds[j] * sds[j];
+  double mean_var = Mean(vars);
+  double cutoff = relative_threshold_ * mean_var;
+  kept_.clear();
+  for (size_t j = 0; j < vars.size(); ++j) {
+    if (vars[j] >= cutoff) kept_.push_back(j);
+  }
+  if (kept_.empty()) kept_.push_back(ArgMax(vars));
+  return Status::Ok();
+}
+
+Matrix VarianceThreshold::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(!kept_.empty());
+  return x.SelectCols(kept_);
+}
+
+// ---------------------------------------------------------------------------
+// PcaTransform
+
+PcaTransform::PcaTransform(double keep_variance)
+    : keep_variance_(keep_variance) {
+  VOLCANOML_CHECK(keep_variance_ > 0.0 && keep_variance_ <= 1.0);
+}
+
+Status PcaTransform::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  const Matrix& x = train.x();
+  const size_t d = x.cols();
+  means_ = x.ColMeans();
+
+  Matrix cov(d, d);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t a = 0; a < d; ++a) {
+      double da = x(i, a) - means_[a];
+      for (size_t b = a; b < d; ++b) {
+        cov(a, b) += da * (x(i, b) - means_[b]);
+      }
+    }
+  }
+  double denom = std::max<double>(1.0, static_cast<double>(x.rows()) - 1.0);
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      cov(a, b) /= denom;
+      cov(b, a) = cov(a, b);
+    }
+  }
+
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;
+  SymmetricEigen(cov, &eigenvalues, &eigenvectors);
+
+  double total = 0.0;
+  for (double v : eigenvalues) total += std::max(0.0, v);
+  if (total <= 0.0) total = 1.0;
+  size_t k = 0;
+  double cumulative = 0.0;
+  while (k < d && cumulative / total < keep_variance_) {
+    cumulative += std::max(0.0, eigenvalues[k]);
+    ++k;
+  }
+  k = std::max<size_t>(1, k);
+
+  components_ = Matrix(k, d);
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t r = 0; r < d; ++r) components_(c, r) = eigenvectors(r, c);
+  }
+  return Status::Ok();
+}
+
+Matrix PcaTransform::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(components_.rows() > 0);
+  VOLCANOML_CHECK(x.cols() == means_.size());
+  Matrix out(x.rows(), components_.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t c = 0; c < components_.rows(); ++c) {
+      double acc = 0.0;
+      for (size_t j = 0; j < x.cols(); ++j) {
+        acc += (x(i, j) - means_[j]) * components_(c, j);
+      }
+      out(i, c) = acc;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PolynomialFeatures
+
+PolynomialFeatures::PolynomialFeatures(bool interaction_only,
+                                       size_t max_base_features)
+    : interaction_only_(interaction_only),
+      max_base_features_(max_base_features) {
+  VOLCANOML_CHECK(max_base_features_ >= 2);
+}
+
+Status PolynomialFeatures::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  base_ = TopVarianceColumns(train.x(), max_base_features_);
+  return Status::Ok();
+}
+
+Matrix PolynomialFeatures::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(!base_.empty());
+  const size_t b = base_.size();
+  size_t extra = interaction_only_ ? b * (b - 1) / 2 : b * (b + 1) / 2;
+  Matrix out(x.rows(), x.cols() + extra);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) out(i, j) = x(i, j);
+    size_t col = x.cols();
+    for (size_t a = 0; a < b; ++a) {
+      size_t start = interaction_only_ ? a + 1 : a;
+      for (size_t c = start; c < b; ++c) {
+        out(i, col++) = x(i, base_[a]) * x(i, base_[c]);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SelectPercentile
+
+SelectPercentile::SelectPercentile(double percentile)
+    : percentile_(percentile) {
+  VOLCANOML_CHECK(percentile_ > 0.0 && percentile_ <= 100.0);
+}
+
+Status SelectPercentile::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  const Matrix& x = train.x();
+  const size_t d = x.cols();
+  std::vector<double> scores(d, 0.0);
+
+  if (train.task() == TaskType::kClassification) {
+    // One-way ANOVA F-statistic per feature.
+    const size_t k = train.NumClasses();
+    for (size_t j = 0; j < d; ++j) {
+      std::vector<double> sum(k, 0.0), sum_sq(k, 0.0), count(k, 0.0);
+      double total_sum = 0.0;
+      for (size_t i = 0; i < x.rows(); ++i) {
+        size_t c = static_cast<size_t>(train.y()[i]);
+        double v = x(i, j);
+        sum[c] += v;
+        sum_sq[c] += v * v;
+        count[c] += 1.0;
+        total_sum += v;
+      }
+      double n = static_cast<double>(x.rows());
+      double grand_mean = total_sum / n;
+      double ss_between = 0.0, ss_within = 0.0;
+      size_t groups = 0;
+      for (size_t c = 0; c < k; ++c) {
+        if (count[c] == 0.0) continue;
+        ++groups;
+        double mean_c = sum[c] / count[c];
+        ss_between += count[c] * (mean_c - grand_mean) * (mean_c - grand_mean);
+        ss_within += sum_sq[c] - count[c] * mean_c * mean_c;
+      }
+      if (groups < 2 || ss_within <= 1e-12 || n <= static_cast<double>(groups)) {
+        scores[j] = 0.0;
+      } else {
+        double df_between = static_cast<double>(groups - 1);
+        double df_within = n - static_cast<double>(groups);
+        scores[j] = (ss_between / df_between) / (ss_within / df_within);
+      }
+    }
+  } else {
+    for (size_t j = 0; j < d; ++j) {
+      scores[j] = std::abs(PearsonCorrelation(x.Col(j), train.y()));
+    }
+  }
+
+  size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(percentile_ / 100.0 *
+                                          static_cast<double>(d))));
+  std::vector<size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  order.resize(keep);
+  std::sort(order.begin(), order.end());
+  kept_ = std::move(order);
+  return Status::Ok();
+}
+
+Matrix SelectPercentile::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(!kept_.empty());
+  return x.SelectCols(kept_);
+}
+
+// ---------------------------------------------------------------------------
+// NystroemRbf
+
+NystroemRbf::NystroemRbf(size_t num_components, double gamma, uint64_t seed)
+    : num_components_(num_components), gamma_(gamma), seed_(seed) {
+  VOLCANOML_CHECK(num_components_ >= 1);
+  VOLCANOML_CHECK(gamma_ > 0.0);
+}
+
+Status NystroemRbf::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  const Matrix& x = train.x();
+  means_ = x.ColMeans();
+  scales_ = x.ColStdDevs();
+  for (double& scale : scales_) {
+    if (scale <= 1e-12) scale = 1.0;
+  }
+  Rng rng(seed_);
+  size_t m = std::min(num_components_, x.rows());
+  std::vector<size_t> picks(x.rows());
+  std::iota(picks.begin(), picks.end(), 0);
+  rng.Shuffle(&picks);
+  picks.resize(m);
+  landmarks_ = Matrix(m, x.cols());
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      landmarks_(r, j) = (x(picks[r], j) - means_[j]) / scales_[j];
+    }
+  }
+  return Status::Ok();
+}
+
+Matrix NystroemRbf::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(landmarks_.rows() > 0);
+  VOLCANOML_CHECK(x.cols() == means_.size());
+  Matrix out(x.rows(), landmarks_.rows());
+  std::vector<double> z(x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      z[j] = (x(i, j) - means_[j]) / scales_[j];
+    }
+    for (size_t r = 0; r < landmarks_.rows(); ++r) {
+      double dist = 0.0;
+      for (size_t j = 0; j < x.cols(); ++j) {
+        double diff = z[j] - landmarks_(r, j);
+        dist += diff * diff;
+      }
+      out(i, r) = std::exp(-gamma_ * dist);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RandomProjection
+
+RandomProjection::RandomProjection(double fraction, uint64_t seed)
+    : fraction_(fraction), seed_(seed) {
+  VOLCANOML_CHECK(fraction_ > 0.0 && fraction_ <= 1.0);
+}
+
+Status RandomProjection::Fit(const Dataset& train) {
+  Status s = CheckNonEmpty(train);
+  if (!s.ok()) return s;
+  const size_t d = train.NumFeatures();
+  size_t k = std::max<size_t>(
+      2, static_cast<size_t>(std::llround(fraction_ * static_cast<double>(d))));
+  k = std::min(k, d);
+  Rng rng(seed_);
+  projection_ = Matrix(k, d);
+  double scale = 1.0 / std::sqrt(static_cast<double>(k));
+  for (size_t r = 0; r < k; ++r) {
+    for (size_t j = 0; j < d; ++j) {
+      projection_(r, j) = rng.Gaussian(0.0, scale);
+    }
+  }
+  return Status::Ok();
+}
+
+Matrix RandomProjection::Transform(const Matrix& x) const {
+  VOLCANOML_CHECK(projection_.rows() > 0);
+  VOLCANOML_CHECK(x.cols() == projection_.cols());
+  Matrix out(x.rows(), projection_.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t r = 0; r < projection_.rows(); ++r) {
+      double acc = 0.0;
+      for (size_t j = 0; j < x.cols(); ++j) {
+        acc += projection_(r, j) * x(i, j);
+      }
+      out(i, r) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace volcanoml

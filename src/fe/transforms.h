@@ -1,0 +1,113 @@
+#ifndef VOLCANOML_FE_TRANSFORMS_H_
+#define VOLCANOML_FE_TRANSFORMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fe/operator.h"
+
+namespace volcanoml {
+
+/// Drops low-variance columns: keeps columns whose variance is at least
+/// `relative_threshold` times the mean column variance (always keeps at
+/// least one column).
+class VarianceThreshold : public FeOperator {
+ public:
+  explicit VarianceThreshold(double relative_threshold);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+  const std::vector<size_t>& kept_columns() const { return kept_; }
+
+ private:
+  double relative_threshold_;
+  std::vector<size_t> kept_;
+};
+
+/// Principal component analysis keeping the smallest number of leading
+/// components whose cumulative explained variance reaches `keep_variance`.
+class PcaTransform : public FeOperator {
+ public:
+  explicit PcaTransform(double keep_variance);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+  size_t NumComponents() const { return components_.rows(); }
+
+ private:
+  double keep_variance_;
+  std::vector<double> means_;
+  Matrix components_;  ///< (k x d) projection rows.
+};
+
+/// Degree-2 polynomial feature expansion: original features plus pairwise
+/// products (and squares unless `interaction_only`). To bound the output
+/// width the expansion uses at most the `max_base_features` highest-
+/// variance input columns.
+class PolynomialFeatures : public FeOperator {
+ public:
+  PolynomialFeatures(bool interaction_only, size_t max_base_features = 16);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+ private:
+  bool interaction_only_;
+  size_t max_base_features_;
+  std::vector<size_t> base_;  ///< Columns used for the expansion.
+};
+
+/// Univariate feature selection: scores each feature (ANOVA F-statistic
+/// for classification, |Pearson correlation| for regression) and keeps the
+/// top `percentile` percent (at least one).
+class SelectPercentile : public FeOperator {
+ public:
+  explicit SelectPercentile(double percentile);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+  const std::vector<size_t>& kept_columns() const { return kept_; }
+
+ private:
+  double percentile_;
+  std::vector<size_t> kept_;
+};
+
+/// RBF random-feature map: z_j(x) = exp(-gamma ||x - c_j||^2) against
+/// `num_components` landmark rows sampled from the training data
+/// (Nystroem-style kernel approximation, unnormalized).
+class NystroemRbf : public FeOperator {
+ public:
+  NystroemRbf(size_t num_components, double gamma, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+ private:
+  size_t num_components_;
+  double gamma_;
+  uint64_t seed_;
+  std::vector<double> means_, scales_;  ///< Internal standardization.
+  Matrix landmarks_;
+};
+
+/// Gaussian random projection to `round(fraction * d)` dimensions (>= 2).
+class RandomProjection : public FeOperator {
+ public:
+  RandomProjection(double fraction, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  Matrix Transform(const Matrix& x) const override;
+
+ private:
+  double fraction_;
+  uint64_t seed_;
+  Matrix projection_;  ///< (k x d).
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_FE_TRANSFORMS_H_

@@ -1,0 +1,42 @@
+#include "meta/bootstrap.h"
+
+#include "core/volcano_ml.h"
+#include "data/meta_features.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+MetaKnowledgeBase BuildKnowledgeBase(const std::vector<DatasetSpec>& suite,
+                                     const SearchSpaceOptions& space_options,
+                                     double budget_per_dataset,
+                                     uint64_t seed) {
+  MetaKnowledgeBase kb;
+  Rng rng(seed);
+  for (const DatasetSpec& spec : suite) {
+    // Historical runs use an independent instantiation of the dataset so
+    // the warm start transfers across data draws, not memorized splits.
+    Dataset data = spec.make(seed ^ 0x5bd1e995ULL);
+
+    VolcanoMlOptions options;
+    options.space = space_options;
+    options.budget = budget_per_dataset;
+    options.seed = rng.Fork();
+    VolcanoML engine(options);
+    AutoMlResult result = engine.Fit(data);
+    if (result.best_assignment.empty()) continue;
+
+    MetaEntry entry;
+    entry.dataset_name = spec.name;
+    entry.task = data.task();
+    entry.meta_features = ComputeMetaFeatures(data, seed);
+    entry.best_assignment = result.best_assignment;
+    entry.best_utility = result.best_utility;
+    kb.AddEntry(std::move(entry));
+    VOLCANOML_LOG(Info) << "knowledge base: " << spec.name << " -> "
+                        << result.best_utility;
+  }
+  return kb;
+}
+
+}  // namespace volcanoml

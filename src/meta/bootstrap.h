@@ -1,0 +1,24 @@
+#ifndef VOLCANOML_META_BOOTSTRAP_H_
+#define VOLCANOML_META_BOOTSTRAP_H_
+
+#include <vector>
+
+#include "data/suite.h"
+#include "eval/search_space.h"
+#include "meta/knowledge_base.h"
+
+namespace volcanoml {
+
+/// Populates a knowledge base by running a short VolcanoML search on each
+/// dataset of `suite` and recording (meta-features, best configuration).
+/// This simulates the "previous runs over similar workloads" the paper's
+/// meta-learning assumes (auto-sklearn ships such a base built from 140
+/// OpenML datasets).
+MetaKnowledgeBase BuildKnowledgeBase(const std::vector<DatasetSpec>& suite,
+                                     const SearchSpaceOptions& space_options,
+                                     double budget_per_dataset,
+                                     uint64_t seed);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_META_BOOTSTRAP_H_

@@ -1,0 +1,117 @@
+#include "meta/knowledge_base.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "data/meta_features.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+
+void MetaKnowledgeBase::AddEntry(MetaEntry entry) {
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<Assignment> MetaKnowledgeBase::SuggestWarmStarts(
+    const Dataset& data, size_t k, uint64_t seed) const {
+  std::vector<double> query = ComputeMetaFeatures(data, seed);
+
+  // Candidate pool: same task, different dataset.
+  std::vector<const MetaEntry*> pool;
+  for (const MetaEntry& entry : entries_) {
+    if (entry.task != data.task()) continue;
+    if (entry.dataset_name == data.name()) continue;
+    if (entry.meta_features.size() != query.size()) continue;
+    pool.push_back(&entry);
+  }
+  if (pool.empty()) return {};
+
+  // Per-dimension scales from the pool for a normalized distance.
+  std::vector<double> scales(query.size(), 1.0);
+  for (size_t dim = 0; dim < query.size(); ++dim) {
+    std::vector<double> values;
+    values.reserve(pool.size());
+    for (const MetaEntry* entry : pool) {
+      values.push_back(entry->meta_features[dim]);
+    }
+    double sd = StdDev(values);
+    scales[dim] = sd > 1e-12 ? sd : 1.0;
+  }
+
+  std::vector<std::pair<double, const MetaEntry*>> scored;
+  scored.reserve(pool.size());
+  for (const MetaEntry* entry : pool) {
+    scored.push_back(
+        {MetaFeatureDistance(query, entry->meta_features, scales), entry});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<Assignment> out;
+  for (const auto& [dist, entry] : scored) {
+    if (out.size() >= k) break;
+    out.push_back(entry->best_assignment);
+  }
+  return out;
+}
+
+Status MetaKnowledgeBase::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot write " + path);
+  for (const MetaEntry& entry : entries_) {
+    out << entry.dataset_name << '\t'
+        << (entry.task == TaskType::kClassification ? "cls" : "reg") << '\t'
+        << entry.best_utility << '\t';
+    out << entry.meta_features.size();
+    for (double v : entry.meta_features) out << ' ' << v;
+    out << '\t' << entry.best_assignment.size();
+    for (const auto& [name, value] : entry.best_assignment) {
+      out << ' ' << name << ' ' << value;
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Status MetaKnowledgeBase::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot read " + path);
+  entries_.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    MetaEntry entry;
+    std::string task;
+    size_t num_features = 0, num_params = 0;
+    if (!(ss >> entry.dataset_name >> task >> entry.best_utility >>
+          num_features)) {
+      return Status::InvalidArgument("malformed knowledge-base line");
+    }
+    entry.task =
+        task == "cls" ? TaskType::kClassification : TaskType::kRegression;
+    entry.meta_features.resize(num_features);
+    for (double& v : entry.meta_features) {
+      if (!(ss >> v)) return Status::InvalidArgument("truncated features");
+    }
+    if (!(ss >> num_params)) {
+      return Status::InvalidArgument("missing parameter count");
+    }
+    for (size_t i = 0; i < num_params; ++i) {
+      std::string name;
+      double value;
+      if (!(ss >> name >> value)) {
+        return Status::InvalidArgument("truncated assignment");
+      }
+      entry.best_assignment[name] = value;
+    }
+    entries_.push_back(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+}  // namespace volcanoml

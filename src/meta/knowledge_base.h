@@ -1,0 +1,52 @@
+#ifndef VOLCANOML_META_KNOWLEDGE_BASE_H_
+#define VOLCANOML_META_KNOWLEDGE_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "cs/configuration.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// One record of a past AutoML run: the dataset's descriptor and the best
+/// configuration the run found.
+struct MetaEntry {
+  std::string dataset_name;
+  TaskType task = TaskType::kClassification;
+  std::vector<double> meta_features;
+  Assignment best_assignment;
+  double best_utility = 0.0;
+};
+
+/// Meta-learning store (paper Section 4, "Further Optimization with
+/// Meta-learning"): given runs on past workloads, warm-starts a new run
+/// with the best configurations of the k most similar datasets, matched
+/// by normalized meta-feature distance. Both VolcanoML and the AUSK
+/// baseline consume this (their "+meta" variants in Table 1).
+class MetaKnowledgeBase {
+ public:
+  MetaKnowledgeBase() = default;
+
+  void AddEntry(MetaEntry entry);
+  size_t NumEntries() const { return entries_.size(); }
+  const std::vector<MetaEntry>& entries() const { return entries_; }
+
+  /// Warm-start candidates for `data`: the best assignments of the `k`
+  /// nearest same-task datasets, nearest first. Entries whose dataset
+  /// name equals data.name() are excluded (no self-transfer leakage).
+  std::vector<Assignment> SuggestWarmStarts(const Dataset& data, size_t k,
+                                            uint64_t seed = 1) const;
+
+  /// Serialization to a line-oriented text format.
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  std::vector<MetaEntry> entries_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_META_KNOWLEDGE_BASE_H_

@@ -1,0 +1,346 @@
+#include "ml/algorithms.h"
+
+#include "ml/boosting.h"
+#include "ml/discriminant.h"
+#include "ml/forest.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/tree.h"
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+
+using Cs = ConfigurationSpace;
+using Cfg = Configuration;
+
+Algorithm MakeLogisticRegression() {
+  Algorithm a;
+  a.name = "logistic_regression";
+  a.task = TaskType::kClassification;
+  a.hp_space.AddContinuous("c", 1e-3, 1e3, 1.0, /*log_scale=*/true);
+  a.hp_space.AddInteger("max_epochs", 20, 150, 60);
+  a.hp_space.AddContinuous("learning_rate", 0.01, 0.5, 0.1, true);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+    LogisticRegressionModel::Options o;
+    o.c = s.GetValue(c, "c");
+    o.max_epochs = s.GetInt(c, "max_epochs");
+    o.learning_rate = s.GetValue(c, "learning_rate");
+    return std::make_unique<LogisticRegressionModel>(o, seed);
+  };
+  return a;
+}
+
+Algorithm MakeLinearSvm() {
+  Algorithm a;
+  a.name = "linear_svm";
+  a.task = TaskType::kClassification;
+  a.hp_space.AddContinuous("c", 1e-3, 1e3, 1.0, true);
+  a.hp_space.AddInteger("max_epochs", 20, 150, 60);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+    LinearSvmModel::Options o;
+    o.c = s.GetValue(c, "c");
+    o.max_epochs = s.GetInt(c, "max_epochs");
+    return std::make_unique<LinearSvmModel>(o, seed);
+  };
+  return a;
+}
+
+TreeOptions TreeOptionsFrom(const Cs& s, const Cfg& c, bool classification) {
+  TreeOptions t;
+  if (classification) {
+    t.criterion = s.GetChoiceName(c, "criterion") == "entropy"
+                      ? TreeCriterion::kEntropy
+                      : TreeCriterion::kGini;
+  } else {
+    t.criterion = TreeCriterion::kMse;
+  }
+  t.max_depth = s.GetInt(c, "max_depth");
+  t.min_samples_split = static_cast<size_t>(s.GetInt(c, "min_samples_split"));
+  t.min_samples_leaf = static_cast<size_t>(s.GetInt(c, "min_samples_leaf"));
+  t.max_features = s.GetValue(c, "max_features");
+  return t;
+}
+
+void AddTreeParams(Cs* space, bool classification) {
+  if (classification) {
+    space->AddCategorical("criterion", {"gini", "entropy"});
+  }
+  space->AddInteger("max_depth", 1, 20, 10);
+  space->AddInteger("min_samples_split", 2, 20, 2);
+  space->AddInteger("min_samples_leaf", 1, 10, 1);
+  space->AddContinuous("max_features", 0.1, 1.0, 1.0);
+}
+
+Algorithm MakeDecisionTree(TaskType task) {
+  Algorithm a;
+  bool cls = task == TaskType::kClassification;
+  a.name = cls ? "decision_tree" : "decision_tree_reg";
+  a.task = task;
+  AddTreeParams(&a.hp_space, cls);
+  a.create = [cls](const Cs& s, const Cfg& c, uint64_t seed) {
+    struct TreeModel : Model {
+      TreeModel(const TreeOptions& opts, uint64_t sd) : tree(opts, sd) {}
+      Status Fit(const Dataset& train) override {
+        size_t k = train.task() == TaskType::kClassification
+                       ? train.NumClasses()
+                       : 0;
+        return tree.Fit(train.x(), train.y(), k);
+      }
+      std::vector<double> Predict(const Matrix& x) const override {
+        return tree.Predict(x);
+      }
+      DecisionTree tree;
+    };
+    return std::make_unique<TreeModel>(TreeOptionsFrom(s, c, cls), seed);
+  };
+  return a;
+}
+
+Algorithm MakeForest(TaskType task, bool extra_trees) {
+  Algorithm a;
+  bool cls = task == TaskType::kClassification;
+  a.name = std::string(extra_trees ? "extra_trees" : "random_forest") +
+           (cls ? "" : "_reg");
+  a.task = task;
+  a.hp_space.AddInteger("n_estimators", 10, 120, 50);
+  AddTreeParams(&a.hp_space, cls);
+  if (!extra_trees) {
+    a.hp_space.AddCategorical("bootstrap", {"true", "false"});
+  }
+  a.create = [cls, extra_trees](const Cs& s, const Cfg& c, uint64_t seed) {
+    ForestOptions o;
+    o.num_trees = static_cast<size_t>(s.GetInt(c, "n_estimators"));
+    o.tree = TreeOptionsFrom(s, c, cls);
+    if (extra_trees) {
+      o.tree.random_splits = true;
+      o.bootstrap = false;
+    } else {
+      o.bootstrap = s.GetChoiceName(c, "bootstrap") == "true";
+    }
+    return std::make_unique<ForestModel>(o, seed);
+  };
+  return a;
+}
+
+Algorithm MakeKnn(TaskType task) {
+  Algorithm a;
+  bool cls = task == TaskType::kClassification;
+  a.name = cls ? "knn" : "knn_reg";
+  a.task = task;
+  a.hp_space.AddInteger("k", 1, 30, 5);
+  a.hp_space.AddCategorical("weights", {"uniform", "distance"});
+  a.hp_space.AddCategorical("p", {"1", "2"}, 1);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    KnnModel::Options o;
+    o.k = s.GetInt(c, "k");
+    o.distance_weighted = s.GetChoiceName(c, "weights") == "distance";
+    o.p = s.GetChoiceName(c, "p") == "1" ? 1 : 2;
+    return std::make_unique<KnnModel>(o);
+  };
+  return a;
+}
+
+Algorithm MakeGaussianNb() {
+  Algorithm a;
+  a.name = "gaussian_nb";
+  a.task = TaskType::kClassification;
+  a.hp_space.AddContinuous("var_smoothing", 1e-10, 1e-1, 1e-9, true);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    GaussianNbModel::Options o;
+    o.var_smoothing = s.GetValue(c, "var_smoothing");
+    return std::make_unique<GaussianNbModel>(o);
+  };
+  return a;
+}
+
+Algorithm MakeLda() {
+  Algorithm a;
+  a.name = "lda";
+  a.task = TaskType::kClassification;
+  a.hp_space.AddContinuous("shrinkage", 0.0, 1.0, 0.1);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    LdaModel::Options o;
+    o.shrinkage = s.GetValue(c, "shrinkage");
+    return std::make_unique<LdaModel>(o);
+  };
+  return a;
+}
+
+Algorithm MakeQda() {
+  Algorithm a;
+  a.name = "qda";
+  a.task = TaskType::kClassification;
+  a.hp_space.AddContinuous("reg_param", 0.0, 1.0, 0.1);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    QdaModel::Options o;
+    o.reg_param = s.GetValue(c, "reg_param");
+    return std::make_unique<QdaModel>(o);
+  };
+  return a;
+}
+
+Algorithm MakeAdaBoost() {
+  Algorithm a;
+  a.name = "adaboost";
+  a.task = TaskType::kClassification;
+  a.hp_space.AddInteger("n_estimators", 10, 100, 50);
+  a.hp_space.AddContinuous("learning_rate", 0.05, 2.0, 1.0, true);
+  a.hp_space.AddInteger("max_depth", 1, 4, 1);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+    AdaBoostModel::Options o;
+    o.num_estimators = static_cast<size_t>(s.GetInt(c, "n_estimators"));
+    o.learning_rate = s.GetValue(c, "learning_rate");
+    o.max_depth = s.GetInt(c, "max_depth");
+    return std::make_unique<AdaBoostModel>(o, seed);
+  };
+  return a;
+}
+
+Algorithm MakeGradientBoosting(TaskType task) {
+  Algorithm a;
+  bool cls = task == TaskType::kClassification;
+  a.name = cls ? "gradient_boosting" : "gradient_boosting_reg";
+  a.task = task;
+  a.hp_space.AddInteger("n_estimators", 20, 120, 60);
+  a.hp_space.AddContinuous("learning_rate", 0.02, 0.4, 0.1, true);
+  a.hp_space.AddInteger("max_depth", 1, 6, 3);
+  a.hp_space.AddContinuous("subsample", 0.5, 1.0, 1.0);
+  a.hp_space.AddContinuous("max_features", 0.2, 1.0, 1.0);
+  a.hp_space.AddInteger("min_samples_leaf", 1, 10, 2);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+    GradientBoostingModel::Options o;
+    o.num_estimators = static_cast<size_t>(s.GetInt(c, "n_estimators"));
+    o.learning_rate = s.GetValue(c, "learning_rate");
+    o.max_depth = s.GetInt(c, "max_depth");
+    o.subsample = s.GetValue(c, "subsample");
+    o.max_features = s.GetValue(c, "max_features");
+    o.min_samples_leaf = static_cast<size_t>(s.GetInt(c, "min_samples_leaf"));
+    return std::make_unique<GradientBoostingModel>(o, seed);
+  };
+  return a;
+}
+
+Algorithm MakeMlp(TaskType task) {
+  Algorithm a;
+  bool cls = task == TaskType::kClassification;
+  a.name = cls ? "mlp" : "mlp_reg";
+  a.task = task;
+  a.hp_space.AddInteger("hidden_size", 8, 128, 32);
+  a.hp_space.AddInteger("num_hidden_layers", 1, 2, 1);
+  a.hp_space.AddCategorical("activation", {"relu", "tanh"});
+  a.hp_space.AddContinuous("learning_rate", 0.002, 0.05, 0.01, true);
+  a.hp_space.AddContinuous("alpha", 1e-6, 1e-2, 1e-4, true);
+  a.hp_space.AddInteger("max_epochs", 20, 120, 60);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+    MlpModel::Options o;
+    o.hidden_size = static_cast<size_t>(s.GetInt(c, "hidden_size"));
+    o.num_hidden_layers =
+        static_cast<size_t>(s.GetInt(c, "num_hidden_layers"));
+    o.activation = s.GetChoiceName(c, "activation") == "tanh"
+                       ? MlpModel::Activation::kTanh
+                       : MlpModel::Activation::kRelu;
+    o.learning_rate = s.GetValue(c, "learning_rate");
+    o.alpha = s.GetValue(c, "alpha");
+    o.max_epochs = s.GetInt(c, "max_epochs");
+    return std::make_unique<MlpModel>(o, seed);
+  };
+  return a;
+}
+
+Algorithm MakeRidge() {
+  Algorithm a;
+  a.name = "ridge";
+  a.task = TaskType::kRegression;
+  a.hp_space.AddContinuous("alpha", 1e-4, 1e3, 1.0, true);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    RidgeRegressionModel::Options o;
+    o.alpha = s.GetValue(c, "alpha");
+    return std::make_unique<RidgeRegressionModel>(o);
+  };
+  return a;
+}
+
+Algorithm MakeLasso() {
+  Algorithm a;
+  a.name = "lasso";
+  a.task = TaskType::kRegression;
+  a.hp_space.AddContinuous("alpha", 1e-4, 1e2, 0.1, true);
+  a.hp_space.AddInteger("max_iters", 50, 300, 150);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t) {
+    LassoRegressionModel::Options o;
+    o.alpha = s.GetValue(c, "alpha");
+    o.max_iters = s.GetInt(c, "max_iters");
+    return std::make_unique<LassoRegressionModel>(o);
+  };
+  return a;
+}
+
+Algorithm MakeSgdRegressor() {
+  Algorithm a;
+  a.name = "sgd_reg";
+  a.task = TaskType::kRegression;
+  a.hp_space.AddContinuous("alpha", 1e-6, 1e-1, 1e-4, true);
+  a.hp_space.AddContinuous("learning_rate", 0.001, 0.1, 0.01, true);
+  a.hp_space.AddInteger("max_epochs", 20, 150, 60);
+  a.create = [](const Cs& s, const Cfg& c, uint64_t seed) {
+    SgdRegressorModel::Options o;
+    o.alpha = s.GetValue(c, "alpha");
+    o.learning_rate = s.GetValue(c, "learning_rate");
+    o.max_epochs = s.GetInt(c, "max_epochs");
+    return std::make_unique<SgdRegressorModel>(o, seed);
+  };
+  return a;
+}
+
+}  // namespace
+
+const std::vector<Algorithm>& AlgorithmsFor(TaskType task) {
+  static const std::vector<Algorithm>& classification =
+      *new std::vector<Algorithm>{
+          MakeLogisticRegression(),
+          MakeLinearSvm(),
+          MakeDecisionTree(TaskType::kClassification),
+          MakeForest(TaskType::kClassification, /*extra_trees=*/false),
+          MakeForest(TaskType::kClassification, /*extra_trees=*/true),
+          MakeKnn(TaskType::kClassification),
+          MakeGaussianNb(),
+          MakeLda(),
+          MakeQda(),
+          MakeAdaBoost(),
+          MakeGradientBoosting(TaskType::kClassification),
+          MakeMlp(TaskType::kClassification),
+      };
+  static const std::vector<Algorithm>& regression =
+      *new std::vector<Algorithm>{
+          MakeRidge(),
+          MakeLasso(),
+          MakeSgdRegressor(),
+          MakeDecisionTree(TaskType::kRegression),
+          MakeForest(TaskType::kRegression, /*extra_trees=*/false),
+          MakeForest(TaskType::kRegression, /*extra_trees=*/true),
+          MakeKnn(TaskType::kRegression),
+          MakeGradientBoosting(TaskType::kRegression),
+          MakeMlp(TaskType::kRegression),
+      };
+  return task == TaskType::kClassification ? classification : regression;
+}
+
+const Algorithm& FindAlgorithm(const std::string& name, TaskType task) {
+  for (const Algorithm& a : AlgorithmsFor(task)) {
+    if (a.name == name) return a;
+  }
+  VOLCANOML_CHECK_MSG(false, ("unknown algorithm: " + name).c_str());
+  return AlgorithmsFor(task)[0];  // Unreachable.
+}
+
+std::vector<std::string> AlgorithmNames(TaskType task) {
+  std::vector<std::string> names;
+  for (const Algorithm& a : AlgorithmsFor(task)) names.push_back(a.name);
+  return names;
+}
+
+}  // namespace volcanoml

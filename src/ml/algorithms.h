@@ -1,0 +1,42 @@
+#ifndef VOLCANOML_ML_ALGORITHMS_H_
+#define VOLCANOML_ML_ALGORITHMS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cs/configuration_space.h"
+#include "ml/model.h"
+
+namespace volcanoml {
+
+/// A registered learning algorithm: a name, the task it solves, its full
+/// hyper-parameter space (unprefixed parameter names), and a factory that
+/// instantiates a Model from a configuration in that space.
+///
+/// This registry is the C++ analogue of auto-sklearn's algorithm menu; the
+/// end-to-end search space is assembled from these entries by
+/// eval/search_space.h.
+struct Algorithm {
+  std::string name;
+  TaskType task;
+  ConfigurationSpace hp_space;
+  std::function<std::unique_ptr<Model>(const ConfigurationSpace& space,
+                                       const Configuration& config,
+                                       uint64_t seed)>
+      create;
+};
+
+/// All registered algorithms for a task: 11 classifiers / 9 regressors.
+const std::vector<Algorithm>& AlgorithmsFor(TaskType task);
+
+/// Lookup by name; aborts if the algorithm is unknown for the task.
+const Algorithm& FindAlgorithm(const std::string& name, TaskType task);
+
+/// Names of all algorithms for a task, in registry order.
+std::vector<std::string> AlgorithmNames(TaskType task);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_ALGORITHMS_H_

@@ -1,0 +1,233 @@
+#include "ml/boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+// ---------------------------------------------------------------------------
+// AdaBoostModel
+
+AdaBoostModel::AdaBoostModel(const Options& options, uint64_t seed)
+    : options_(options), seed_(seed) {
+  VOLCANOML_CHECK(options_.num_estimators >= 1);
+  VOLCANOML_CHECK(options_.learning_rate > 0.0);
+}
+
+Status AdaBoostModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  VOLCANOML_CHECK(train.task() == TaskType::kClassification);
+  num_classes_ = train.NumClasses();
+  const size_t n = train.NumSamples();
+  const double k = static_cast<double>(num_classes_);
+
+  trees_.clear();
+  alphas_.clear();
+  Rng rng(seed_);
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+
+  TreeOptions tree_opts;
+  tree_opts.criterion = TreeCriterion::kGini;
+  tree_opts.max_depth = options_.max_depth;
+  tree_opts.min_samples_leaf = 1;
+
+  for (size_t round = 0; round < options_.num_estimators; ++round) {
+    DecisionTree tree(tree_opts, rng.Fork());
+    Status s = tree.Fit(train.x(), train.y(), num_classes_, weights);
+    if (!s.ok()) return s;
+    std::vector<double> pred = tree.Predict(train.x());
+
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (pred[i] != train.y()[i]) err += weights[i];
+    }
+    // SAMME requires err < 1 - 1/k; stop when the weak learner degrades.
+    if (err >= 1.0 - 1.0 / k) break;
+    err = std::max(err, 1e-10);
+    double alpha =
+        options_.learning_rate * (std::log((1.0 - err) / err) + std::log(k - 1.0));
+    if (alpha <= 0.0) break;
+
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (pred[i] != train.y()[i]) {
+        weights[i] *= std::exp(alpha);
+      }
+      total += weights[i];
+    }
+    for (double& w : weights) w /= total;
+
+    trees_.push_back(std::move(tree));
+    alphas_.push_back(alpha);
+    if (err < 1e-9) break;  // Perfect learner: further rounds are no-ops.
+  }
+  if (trees_.empty()) {
+    // Degenerate data: fall back to a single unweighted tree.
+    DecisionTree tree(tree_opts, rng.Fork());
+    Status s = tree.Fit(train.x(), train.y(), num_classes_);
+    if (!s.ok()) return s;
+    trees_.push_back(std::move(tree));
+    alphas_.push_back(1.0);
+  }
+  return Status::Ok();
+}
+
+std::vector<double> AdaBoostModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(!trees_.empty());
+  std::vector<double> out(x.rows());
+  std::vector<double> votes(num_classes_);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    std::fill(votes.begin(), votes.end(), 0.0);
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      size_t c = static_cast<size_t>(trees_[t].PredictOne(x.RowPtr(i)));
+      votes[c] += alphas_[t];
+    }
+    size_t best = 0;
+    for (size_t c = 1; c < num_classes_; ++c) {
+      if (votes[c] > votes[best]) best = c;
+    }
+    out[i] = static_cast<double>(best);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GradientBoostingModel
+
+GradientBoostingModel::GradientBoostingModel(const Options& options,
+                                             uint64_t seed)
+    : options_(options), seed_(seed) {
+  VOLCANOML_CHECK(options_.num_estimators >= 1);
+  VOLCANOML_CHECK(options_.learning_rate > 0.0);
+  VOLCANOML_CHECK(options_.subsample > 0.0 && options_.subsample <= 1.0);
+}
+
+Status GradientBoostingModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  const size_t n = train.NumSamples();
+  Rng rng(seed_);
+  trees_.clear();
+
+  TreeOptions tree_opts;
+  tree_opts.criterion = TreeCriterion::kMse;
+  tree_opts.max_depth = options_.max_depth;
+  tree_opts.min_samples_leaf = options_.min_samples_leaf;
+  tree_opts.max_features = options_.max_features;
+
+  if (train.task() == TaskType::kRegression) {
+    num_classes_ = 0;
+    base_score_ = 0.0;
+    for (double v : train.y()) base_score_ += v;
+    base_score_ /= static_cast<double>(n);
+
+    std::vector<double> current(n, base_score_);
+    for (size_t round = 0; round < options_.num_estimators; ++round) {
+      std::vector<double> residual(n);
+      for (size_t i = 0; i < n; ++i) residual[i] = train.y()[i] - current[i];
+
+      // Row subsampling via weights 0/1 keeps index bookkeeping simple.
+      std::vector<double> weights;
+      if (options_.subsample < 1.0) {
+        weights.assign(n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+          if (rng.Bernoulli(options_.subsample)) weights[i] = 1.0;
+        }
+      }
+      DecisionTree tree(tree_opts, rng.Fork());
+      Status s = tree.Fit(train.x(), residual, 0, weights);
+      if (!s.ok()) return s;
+      for (size_t i = 0; i < n; ++i) {
+        current[i] +=
+            options_.learning_rate * tree.PredictOne(train.x().RowPtr(i));
+      }
+      trees_.push_back({});
+      trees_.back().push_back(std::move(tree));
+    }
+    return Status::Ok();
+  }
+
+  // Multiclass classification: per-round, one regression tree per class on
+  // the softmax gradient (y_ic - p_ic).
+  num_classes_ = train.NumClasses();
+  base_score_ = 0.0;
+  Matrix raw(n, num_classes_);  // Current raw scores.
+  std::vector<double> proba(num_classes_);
+  for (size_t round = 0; round < options_.num_estimators; ++round) {
+    std::vector<double> weights;
+    if (options_.subsample < 1.0) {
+      weights.assign(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.Bernoulli(options_.subsample)) weights[i] = 1.0;
+      }
+    }
+    std::vector<std::vector<double>> gradients(
+        num_classes_, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      double max_raw = -1e300;
+      for (size_t c = 0; c < num_classes_; ++c) {
+        max_raw = std::max(max_raw, raw(i, c));
+      }
+      double denom = 0.0;
+      for (size_t c = 0; c < num_classes_; ++c) {
+        proba[c] = std::exp(raw(i, c) - max_raw);
+        denom += proba[c];
+      }
+      size_t label = static_cast<size_t>(train.y()[i]);
+      for (size_t c = 0; c < num_classes_; ++c) {
+        gradients[c][i] = (c == label ? 1.0 : 0.0) - proba[c] / denom;
+      }
+    }
+    trees_.push_back({});
+    for (size_t c = 0; c < num_classes_; ++c) {
+      DecisionTree tree(tree_opts, rng.Fork());
+      Status s = tree.Fit(train.x(), gradients[c], 0, weights);
+      if (!s.ok()) return s;
+      for (size_t i = 0; i < n; ++i) {
+        raw(i, c) +=
+            options_.learning_rate * tree.PredictOne(train.x().RowPtr(i));
+      }
+      trees_.back().push_back(std::move(tree));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> GradientBoostingModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(!trees_.empty());
+  std::vector<double> out(x.rows());
+  if (num_classes_ == 0) {
+    for (size_t i = 0; i < x.rows(); ++i) {
+      double pred = base_score_;
+      for (const auto& round : trees_) {
+        pred += options_.learning_rate * round[0].PredictOne(x.RowPtr(i));
+      }
+      out[i] = pred;
+    }
+    return out;
+  }
+  std::vector<double> raw(num_classes_);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    std::fill(raw.begin(), raw.end(), 0.0);
+    for (const auto& round : trees_) {
+      for (size_t c = 0; c < num_classes_; ++c) {
+        raw[c] += options_.learning_rate * round[c].PredictOne(x.RowPtr(i));
+      }
+    }
+    size_t best = 0;
+    for (size_t c = 1; c < num_classes_; ++c) {
+      if (raw[c] > raw[best]) best = c;
+    }
+    out[i] = static_cast<double>(best);
+  }
+  return out;
+}
+
+}  // namespace volcanoml

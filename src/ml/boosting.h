@@ -1,0 +1,67 @@
+#ifndef VOLCANOML_ML_BOOSTING_H_
+#define VOLCANOML_ML_BOOSTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/tree.h"
+
+namespace volcanoml {
+
+/// Multiclass AdaBoost (SAMME) over shallow weighted decision trees.
+class AdaBoostModel : public Model {
+ public:
+  struct Options {
+    size_t num_estimators = 50;
+    double learning_rate = 1.0;
+    int max_depth = 1;  ///< Depth of each weak learner.
+  };
+
+  AdaBoostModel(const Options& options, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+  size_t NumEstimators() const { return trees_.size(); }
+
+ private:
+  Options options_;
+  uint64_t seed_;
+  size_t num_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> alphas_;
+};
+
+/// Gradient-boosted regression trees. Regression uses squared loss;
+/// classification uses one-tree-per-class softmax gradients (the standard
+/// multiclass GBM construction).
+class GradientBoostingModel : public Model {
+ public:
+  struct Options {
+    size_t num_estimators = 100;
+    double learning_rate = 0.1;
+    int max_depth = 3;
+    double subsample = 1.0;     ///< Row fraction per boosting round.
+    double max_features = 1.0;  ///< Column fraction per split.
+    size_t min_samples_leaf = 2;
+  };
+
+  GradientBoostingModel(const Options& options, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+ private:
+  Options options_;
+  uint64_t seed_;
+  size_t num_classes_ = 0;  ///< 0 for regression.
+  double base_score_ = 0.0;
+  /// trees_[round][class] for classification; trees_[round][0] for
+  /// regression.
+  std::vector<std::vector<DecisionTree>> trees_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_BOOSTING_H_

@@ -1,0 +1,233 @@
+#include "ml/discriminant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// Inverts a symmetric positive-definite matrix via Gauss-Jordan with the
+/// identity augmented; assumes the caller regularized the diagonal.
+bool InvertSpd(Matrix a, Matrix* inv) {
+  const size_t n = a.rows();
+  VOLCANOML_CHECK(a.cols() == n);
+  *inv = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) (*inv)(i, i) = 1.0;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(a(col, c), a(pivot, c));
+        std::swap((*inv)(col, c), (*inv)(pivot, c));
+      }
+    }
+    double diag = a(col, col);
+    for (size_t c = 0; c < n; ++c) {
+      a(col, c) /= diag;
+      (*inv)(col, c) /= diag;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double factor = a(r, col);
+      if (factor == 0.0) continue;
+      for (size_t c = 0; c < n; ++c) {
+        a(r, c) -= factor * a(col, c);
+        (*inv)(r, c) -= factor * (*inv)(col, c);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LdaModel
+
+LdaModel::LdaModel(const Options& options) : options_(options) {
+  VOLCANOML_CHECK(options_.shrinkage >= 0.0 && options_.shrinkage <= 1.0);
+}
+
+Status LdaModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  VOLCANOML_CHECK(train.task() == TaskType::kClassification);
+  num_classes_ = train.NumClasses();
+  num_features_ = train.NumFeatures();
+  const size_t n = train.NumSamples();
+  const size_t d = num_features_;
+
+  means_ = Matrix(num_classes_, d);
+  std::vector<double> counts(num_classes_, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(train.y()[i]);
+    counts[c] += 1.0;
+    for (size_t f = 0; f < d; ++f) means_(c, f) += train.x()(i, f);
+  }
+  for (size_t c = 0; c < num_classes_; ++c) {
+    if (counts[c] == 0.0) continue;
+    for (size_t f = 0; f < d; ++f) means_(c, f) /= counts[c];
+  }
+
+  // Pooled within-class covariance.
+  Matrix cov(d, d);
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(train.y()[i]);
+    for (size_t a = 0; a < d; ++a) {
+      double da = train.x()(i, a) - means_(c, a);
+      for (size_t b = a; b < d; ++b) {
+        cov(a, b) += da * (train.x()(i, b) - means_(c, b));
+      }
+    }
+  }
+  double denom = std::max<double>(1.0, static_cast<double>(n) -
+                                           static_cast<double>(num_classes_));
+  double trace = 0.0;
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      cov(a, b) /= denom;
+      cov(b, a) = cov(a, b);
+    }
+    trace += cov(a, a);
+  }
+  // Shrink toward the scaled identity.
+  double mu = trace / static_cast<double>(d);
+  double s = options_.shrinkage;
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = 0; b < d; ++b) {
+      cov(a, b) = (1.0 - s) * cov(a, b) + (a == b ? s * mu : 0.0);
+    }
+    cov(a, a) += 1e-8;
+  }
+  if (!InvertSpd(cov, &precision_)) {
+    return Status::Internal("singular covariance in LDA");
+  }
+  log_priors_.assign(num_classes_, -1e300);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    if (counts[c] > 0.0) {
+      log_priors_[c] = std::log(counts[c] / static_cast<double>(n));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> LdaModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(num_classes_ > 0);
+  VOLCANOML_CHECK(x.cols() == num_features_);
+  const size_t d = num_features_;
+  std::vector<double> out(x.rows());
+  std::vector<double> wm(d);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    size_t best = 0;
+    double best_score = -1e300;
+    for (size_t c = 0; c < num_classes_; ++c) {
+      if (log_priors_[c] <= -1e299) continue;
+      // Score: x^T P mu_c - 0.5 mu_c^T P mu_c + log prior.
+      for (size_t a = 0; a < d; ++a) {
+        double acc = 0.0;
+        for (size_t b = 0; b < d; ++b) acc += precision_(a, b) * means_(c, b);
+        wm[a] = acc;
+      }
+      double score = log_priors_[c];
+      for (size_t a = 0; a < d; ++a) {
+        score += x(i, a) * wm[a] - 0.5 * means_(c, a) * wm[a];
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    out[i] = static_cast<double>(best);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// QdaModel
+
+QdaModel::QdaModel(const Options& options) : options_(options) {
+  VOLCANOML_CHECK(options_.reg_param >= 0.0 && options_.reg_param <= 1.0);
+}
+
+Status QdaModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  VOLCANOML_CHECK(train.task() == TaskType::kClassification);
+  num_classes_ = train.NumClasses();
+  num_features_ = train.NumFeatures();
+  const size_t n = train.NumSamples();
+  const size_t d = num_features_;
+
+  means_ = Matrix(num_classes_, d);
+  variances_ = Matrix(num_classes_, d);
+  std::vector<double> counts(num_classes_, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(train.y()[i]);
+    counts[c] += 1.0;
+    for (size_t f = 0; f < d; ++f) means_(c, f) += train.x()(i, f);
+  }
+  for (size_t c = 0; c < num_classes_; ++c) {
+    if (counts[c] == 0.0) continue;
+    for (size_t f = 0; f < d; ++f) means_(c, f) /= counts[c];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(train.y()[i]);
+    for (size_t f = 0; f < d; ++f) {
+      double diff = train.x()(i, f) - means_(c, f);
+      variances_(c, f) += diff * diff;
+    }
+  }
+  // Pooled variance per feature for regularization.
+  std::vector<double> pooled_sd = train.x().ColStdDevs();
+  for (size_t c = 0; c < num_classes_; ++c) {
+    for (size_t f = 0; f < d; ++f) {
+      double var = counts[c] > 1.0 ? variances_(c, f) / counts[c] : 0.0;
+      double pooled = pooled_sd[f] * pooled_sd[f];
+      variances_(c, f) = (1.0 - options_.reg_param) * var +
+                         options_.reg_param * pooled + 1e-9;
+    }
+  }
+  log_priors_.assign(num_classes_, -1e300);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    if (counts[c] > 0.0) {
+      log_priors_[c] = std::log(counts[c] / static_cast<double>(n));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> QdaModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(num_classes_ > 0);
+  VOLCANOML_CHECK(x.cols() == num_features_);
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    size_t best = 0;
+    double best_ll = -1e300;
+    for (size_t c = 0; c < num_classes_; ++c) {
+      if (log_priors_[c] <= -1e299) continue;
+      double ll = log_priors_[c];
+      for (size_t f = 0; f < num_features_; ++f) {
+        double var = variances_(c, f);
+        double diff = x(i, f) - means_(c, f);
+        ll += -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
+      }
+      if (ll > best_ll) {
+        best_ll = ll;
+        best = c;
+      }
+    }
+    out[i] = static_cast<double>(best);
+  }
+  return out;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,58 @@
+#ifndef VOLCANOML_ML_DISCRIMINANT_H_
+#define VOLCANOML_ML_DISCRIMINANT_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace volcanoml {
+
+/// Linear discriminant analysis with covariance shrinkage toward a scaled
+/// identity: Sigma_shrunk = (1-s) Sigma + s * tr(Sigma)/d * I.
+class LdaModel : public Model {
+ public:
+  struct Options {
+    double shrinkage = 0.1;  ///< s in [0, 1].
+  };
+
+  explicit LdaModel(const Options& options);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+ private:
+  Options options_;
+  size_t num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> log_priors_;
+  Matrix means_;          ///< (class x feature).
+  Matrix precision_;      ///< Shared inverse covariance.
+};
+
+/// Quadratic discriminant analysis with per-class regularized covariance.
+/// To keep the per-class inversion well-posed on small classes, class
+/// covariances are kept diagonal with regularization `reg_param` toward
+/// the pooled variance (a common robust QDA variant).
+class QdaModel : public Model {
+ public:
+  struct Options {
+    double reg_param = 0.1;  ///< In [0, 1].
+  };
+
+  explicit QdaModel(const Options& options);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+ private:
+  Options options_;
+  size_t num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> log_priors_;
+  Matrix means_;
+  Matrix variances_;  ///< (class x feature), regularized diagonal cov.
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_DISCRIMINANT_H_

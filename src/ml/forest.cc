@@ -1,0 +1,71 @@
+#include "ml/forest.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+ForestModel::ForestModel(const ForestOptions& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  VOLCANOML_CHECK(options_.num_trees >= 1);
+}
+
+Status ForestModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  num_classes_ =
+      train.task() == TaskType::kClassification ? train.NumClasses() : 0;
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  const size_t n = train.NumSamples();
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    DecisionTree tree(options_.tree, rng_.Fork());
+    Status s;
+    if (options_.bootstrap) {
+      std::vector<size_t> sample(n);
+      for (size_t i = 0; i < n; ++i) sample[i] = rng_.Index(n);
+      Matrix xb = train.x().SelectRows(sample);
+      std::vector<double> yb(n);
+      for (size_t i = 0; i < n; ++i) yb[i] = train.y()[sample[i]];
+      s = tree.Fit(xb, yb, num_classes_);
+    } else {
+      s = tree.Fit(train.x(), train.y(), num_classes_);
+    }
+    if (!s.ok()) return s;
+    trees_.push_back(std::move(tree));
+  }
+  return Status::Ok();
+}
+
+std::vector<double> ForestModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(!trees_.empty());
+  std::vector<double> out(x.rows());
+  if (num_classes_ > 0) {
+    std::vector<double> proba(num_classes_);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      std::fill(proba.begin(), proba.end(), 0.0);
+      for (const DecisionTree& tree : trees_) {
+        std::vector<double> p = tree.PredictProbaOne(x.RowPtr(i));
+        for (size_t c = 0; c < num_classes_; ++c) proba[c] += p[c];
+      }
+      size_t best = 0;
+      for (size_t c = 1; c < num_classes_; ++c) {
+        if (proba[c] > proba[best]) best = c;
+      }
+      out[i] = static_cast<double>(best);
+    }
+  } else {
+    for (size_t i = 0; i < x.rows(); ++i) {
+      double sum = 0.0;
+      for (const DecisionTree& tree : trees_) {
+        sum += tree.PredictOne(x.RowPtr(i));
+      }
+      out[i] = sum / static_cast<double>(trees_.size());
+    }
+  }
+  return out;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,42 @@
+#ifndef VOLCANOML_ML_FOREST_H_
+#define VOLCANOML_ML_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/tree.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+/// Options for bagged tree ensembles.
+struct ForestOptions {
+  size_t num_trees = 50;
+  bool bootstrap = true;
+  TreeOptions tree;
+};
+
+/// Random forest / extra-trees ensemble for both tasks. With
+/// `tree.random_splits = true` and `bootstrap = false` this behaves as
+/// extra-trees. Classification aggregates tree class distributions (soft
+/// voting); regression averages tree outputs.
+class ForestModel : public Model {
+ public:
+  ForestModel(const ForestOptions& options, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+  size_t NumTrees() const { return trees_.size(); }
+
+ private:
+  ForestOptions options_;
+  Rng rng_;
+  size_t num_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_FOREST_H_

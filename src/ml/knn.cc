@@ -1,0 +1,96 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+KnnModel::KnnModel(const Options& options) : options_(options) {
+  VOLCANOML_CHECK(options_.k >= 1);
+  VOLCANOML_CHECK(options_.p == 1 || options_.p == 2);
+}
+
+Status KnnModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  feature_means_ = train.x().ColMeans();
+  feature_scales_ = train.x().ColStdDevs();
+  for (double& s : feature_scales_) {
+    if (s <= 1e-12) s = 1.0;
+  }
+  train_x_ = Matrix(train.NumSamples(), train.NumFeatures());
+  for (size_t i = 0; i < train.NumSamples(); ++i) {
+    for (size_t f = 0; f < train.NumFeatures(); ++f) {
+      train_x_(i, f) =
+          (train.x()(i, f) - feature_means_[f]) / feature_scales_[f];
+    }
+  }
+  train_y_ = train.y();
+  num_classes_ =
+      train.task() == TaskType::kClassification ? train.NumClasses() : 0;
+  return Status::Ok();
+}
+
+double KnnModel::Distance(const double* a, const double* b) const {
+  double acc = 0.0;
+  const size_t d = train_x_.cols();
+  if (options_.p == 2) {
+    for (size_t f = 0; f < d; ++f) {
+      double diff = a[f] - b[f];
+      acc += diff * diff;
+    }
+    return std::sqrt(acc);
+  }
+  for (size_t f = 0; f < d; ++f) acc += std::abs(a[f] - b[f]);
+  return acc;
+}
+
+std::vector<double> KnnModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(train_x_.rows() > 0);
+  VOLCANOML_CHECK(x.cols() == train_x_.cols());
+  const size_t n = train_x_.rows();
+  const size_t k = std::min<size_t>(static_cast<size_t>(options_.k), n);
+  std::vector<double> out(x.rows());
+  std::vector<double> query(x.cols());
+  std::vector<std::pair<double, size_t>> dists(n);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t f = 0; f < x.cols(); ++f) {
+      query[f] = (x(i, f) - feature_means_[f]) / feature_scales_[f];
+    }
+    for (size_t j = 0; j < n; ++j) {
+      dists[j] = {Distance(query.data(), train_x_.RowPtr(j)), j};
+    }
+    std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(k),
+                      dists.end());
+    if (num_classes_ > 0) {
+      std::vector<double> votes(num_classes_, 0.0);
+      for (size_t j = 0; j < k; ++j) {
+        double w = options_.distance_weighted
+                       ? 1.0 / (dists[j].first + 1e-9)
+                       : 1.0;
+        votes[static_cast<size_t>(train_y_[dists[j].second])] += w;
+      }
+      size_t best = 0;
+      for (size_t c = 1; c < num_classes_; ++c) {
+        if (votes[c] > votes[best]) best = c;
+      }
+      out[i] = static_cast<double>(best);
+    } else {
+      double num = 0.0, den = 0.0;
+      for (size_t j = 0; j < k; ++j) {
+        double w = options_.distance_weighted
+                       ? 1.0 / (dists[j].first + 1e-9)
+                       : 1.0;
+        num += w * train_y_[dists[j].second];
+        den += w;
+      }
+      out[i] = num / den;
+    }
+  }
+  return out;
+}
+
+}  // namespace volcanoml

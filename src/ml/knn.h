@@ -1,0 +1,38 @@
+#ifndef VOLCANOML_ML_KNN_H_
+#define VOLCANOML_ML_KNN_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace volcanoml {
+
+/// k-nearest-neighbors for both tasks. Brute-force search with Minkowski
+/// distance (p=1 Manhattan, p=2 Euclidean) on standardized features;
+/// voting may be uniform or distance-weighted.
+class KnnModel : public Model {
+ public:
+  struct Options {
+    int k = 5;
+    bool distance_weighted = false;
+    int p = 2;  ///< Minkowski order (1 or 2).
+  };
+
+  explicit KnnModel(const Options& options);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+ private:
+  double Distance(const double* a, const double* b) const;
+
+  Options options_;
+  Matrix train_x_;  ///< Standardized training features.
+  std::vector<double> train_y_;
+  std::vector<double> feature_means_, feature_scales_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_KNN_H_

@@ -1,0 +1,443 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// Computes per-feature mean/scale for standardization (scale 1 for
+/// constant features).
+void ComputeStandardization(const Matrix& x, std::vector<double>* means,
+                            std::vector<double>* scales) {
+  *means = x.ColMeans();
+  *scales = x.ColStdDevs();
+  for (double& s : *scales) {
+    if (s <= 1e-12) s = 1.0;
+  }
+}
+
+/// Standardizes one value.
+inline double Std(double v, double mean, double scale) {
+  return (v - mean) / scale;
+}
+
+/// Solves the linear system a * x = b in place via Gaussian elimination
+/// with partial pivoting. `a` is n x n, `b` has n entries. Returns false
+/// for a (numerically) singular system.
+bool SolveLinearSystem(Matrix a, std::vector<double> b,
+                       std::vector<double>* x_out) {
+  const size_t n = a.rows();
+  VOLCANOML_CHECK(a.cols() == n && b.size() == n);
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  x_out->assign(n, 0.0);
+  for (size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (size_t c = r + 1; c < n; ++c) acc -= a(r, c) * (*x_out)[c];
+    (*x_out)[r] = acc / a(r, r);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LogisticRegressionModel
+
+LogisticRegressionModel::LogisticRegressionModel(const Options& options,
+                                                 uint64_t seed)
+    : options_(options), seed_(seed) {
+  VOLCANOML_CHECK(options_.c > 0.0);
+  VOLCANOML_CHECK(options_.max_epochs >= 1);
+}
+
+Status LogisticRegressionModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  VOLCANOML_CHECK(train.task() == TaskType::kClassification);
+  num_classes_ = train.NumClasses();
+  num_features_ = train.NumFeatures();
+  ComputeStandardization(train.x(), &feature_means_, &feature_scales_);
+
+  weights_.assign(num_classes_ * num_features_, 0.0);
+  bias_.assign(num_classes_, 0.0);
+
+  const size_t n = train.NumSamples();
+  const double lambda = 1.0 / (options_.c * static_cast<double>(n));
+  Rng rng(seed_);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> z(num_features_);
+  std::vector<double> scores(num_classes_);
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    // 1/t learning-rate decay keeps early epochs exploratory.
+    double lr = options_.learning_rate / (1.0 + 0.05 * epoch);
+    for (size_t i : order) {
+      for (size_t f = 0; f < num_features_; ++f) {
+        z[f] = Std(train.x()(i, f), feature_means_[f], feature_scales_[f]);
+      }
+      double max_score = -1e300;
+      for (size_t c = 0; c < num_classes_; ++c) {
+        double s = bias_[c];
+        const double* w = &weights_[c * num_features_];
+        for (size_t f = 0; f < num_features_; ++f) s += w[f] * z[f];
+        scores[c] = s;
+        max_score = std::max(max_score, s);
+      }
+      double denom = 0.0;
+      for (size_t c = 0; c < num_classes_; ++c) {
+        scores[c] = std::exp(scores[c] - max_score);
+        denom += scores[c];
+      }
+      size_t label = static_cast<size_t>(train.y()[i]);
+      for (size_t c = 0; c < num_classes_; ++c) {
+        double grad = scores[c] / denom - (c == label ? 1.0 : 0.0);
+        double* w = &weights_[c * num_features_];
+        for (size_t f = 0; f < num_features_; ++f) {
+          w[f] -= lr * (grad * z[f] + lambda * w[f]);
+        }
+        bias_[c] -= lr * grad;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> LogisticRegressionModel::DecisionFunction(
+    const double* row) const {
+  std::vector<double> scores(num_classes_);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    double s = bias_[c];
+    const double* w = &weights_[c * num_features_];
+    for (size_t f = 0; f < num_features_; ++f) {
+      s += w[f] * Std(row[f], feature_means_[f], feature_scales_[f]);
+    }
+    scores[c] = s;
+  }
+  return scores;
+}
+
+std::vector<double> LogisticRegressionModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(num_classes_ > 0);
+  VOLCANOML_CHECK(x.cols() == num_features_);
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    std::vector<double> scores = DecisionFunction(x.RowPtr(i));
+    out[i] = static_cast<double>(
+        std::distance(scores.begin(),
+                      std::max_element(scores.begin(), scores.end())));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LinearSvmModel
+
+LinearSvmModel::LinearSvmModel(const Options& options, uint64_t seed)
+    : options_(options), seed_(seed) {
+  VOLCANOML_CHECK(options_.c > 0.0);
+}
+
+Status LinearSvmModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  VOLCANOML_CHECK(train.task() == TaskType::kClassification);
+  num_classes_ = train.NumClasses();
+  num_features_ = train.NumFeatures();
+  ComputeStandardization(train.x(), &feature_means_, &feature_scales_);
+
+  weights_.assign(num_classes_ * num_features_, 0.0);
+  bias_.assign(num_classes_, 0.0);
+
+  const size_t n = train.NumSamples();
+  const double lambda = 1.0 / (options_.c * static_cast<double>(n));
+  Rng rng(seed_);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> z(num_features_);
+
+  // Pegasos: step 1/(lambda * t) with per-class hinge updates.
+  double t = 1.0;
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      for (size_t f = 0; f < num_features_; ++f) {
+        z[f] = Std(train.x()(i, f), feature_means_[f], feature_scales_[f]);
+      }
+      double lr = 1.0 / (lambda * t);
+      lr = std::min(lr, 10.0);  // Cap the initial steps.
+      t += 1.0;
+      size_t label = static_cast<size_t>(train.y()[i]);
+      for (size_t c = 0; c < num_classes_; ++c) {
+        double target = (c == label) ? 1.0 : -1.0;
+        double* w = &weights_[c * num_features_];
+        double margin = bias_[c];
+        for (size_t f = 0; f < num_features_; ++f) margin += w[f] * z[f];
+        margin *= target;
+        for (size_t f = 0; f < num_features_; ++f) {
+          double grad = lambda * w[f];
+          if (margin < 1.0) grad -= target * z[f];
+          w[f] -= lr * grad;
+        }
+        if (margin < 1.0) bias_[c] += lr * target;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> LinearSvmModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(num_classes_ > 0);
+  VOLCANOML_CHECK(x.cols() == num_features_);
+  std::vector<double> out(x.rows());
+  std::vector<double> z(num_features_);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t f = 0; f < num_features_; ++f) {
+      z[f] = Std(x(i, f), feature_means_[f], feature_scales_[f]);
+    }
+    size_t best = 0;
+    double best_score = -1e300;
+    for (size_t c = 0; c < num_classes_; ++c) {
+      double s = bias_[c];
+      const double* w = &weights_[c * num_features_];
+      for (size_t f = 0; f < num_features_; ++f) s += w[f] * z[f];
+      if (s > best_score) {
+        best_score = s;
+        best = c;
+      }
+    }
+    out[i] = static_cast<double>(best);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RidgeRegressionModel
+
+RidgeRegressionModel::RidgeRegressionModel(const Options& options)
+    : options_(options) {
+  VOLCANOML_CHECK(options_.alpha >= 0.0);
+}
+
+Status RidgeRegressionModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  VOLCANOML_CHECK(train.task() == TaskType::kRegression);
+  const size_t n = train.NumSamples();
+  const size_t d = train.NumFeatures();
+  ComputeStandardization(train.x(), &feature_means_, &feature_scales_);
+  double y_mean = Std(0.0, 0.0, 1.0);  // placeholder to keep structure clear
+  y_mean = 0.0;
+  for (double v : train.y()) y_mean += v;
+  y_mean /= static_cast<double>(n);
+
+  // Normal equations on standardized, centered data:
+  // (Z^T Z + alpha I) w = Z^T (y - y_mean).
+  Matrix gram(d, d);
+  std::vector<double> rhs(d, 0.0);
+  std::vector<double> z(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t f = 0; f < d; ++f) {
+      z[f] = Std(train.x()(i, f), feature_means_[f], feature_scales_[f]);
+    }
+    double target = train.y()[i] - y_mean;
+    for (size_t a = 0; a < d; ++a) {
+      rhs[a] += z[a] * target;
+      for (size_t b = a; b < d; ++b) gram(a, b) += z[a] * z[b];
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = 0; b < a; ++b) gram(a, b) = gram(b, a);
+    gram(a, a) += options_.alpha + 1e-8;
+  }
+  if (!SolveLinearSystem(gram, rhs, &coef_)) {
+    return Status::Internal("singular normal equations");
+  }
+  intercept_ = y_mean;
+  return Status::Ok();
+}
+
+std::vector<double> RidgeRegressionModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(!coef_.empty());
+  VOLCANOML_CHECK(x.cols() == coef_.size());
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double pred = intercept_;
+    for (size_t f = 0; f < coef_.size(); ++f) {
+      pred += coef_[f] * Std(x(i, f), feature_means_[f], feature_scales_[f]);
+    }
+    out[i] = pred;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LassoRegressionModel
+
+LassoRegressionModel::LassoRegressionModel(const Options& options)
+    : options_(options) {
+  VOLCANOML_CHECK(options_.alpha >= 0.0);
+}
+
+Status LassoRegressionModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  VOLCANOML_CHECK(train.task() == TaskType::kRegression);
+  const size_t n = train.NumSamples();
+  const size_t d = train.NumFeatures();
+  ComputeStandardization(train.x(), &feature_means_, &feature_scales_);
+  double y_mean = 0.0;
+  for (double v : train.y()) y_mean += v;
+  y_mean /= static_cast<double>(n);
+  intercept_ = y_mean;
+
+  // Precompute the standardized design and per-column squared norms.
+  Matrix z(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t f = 0; f < d; ++f) {
+      z(i, f) = Std(train.x()(i, f), feature_means_[f], feature_scales_[f]);
+    }
+  }
+  std::vector<double> col_sq(d, 0.0);
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t i = 0; i < n; ++i) col_sq[f] += z(i, f) * z(i, f);
+  }
+
+  coef_.assign(d, 0.0);
+  std::vector<double> residual(n);
+  for (size_t i = 0; i < n; ++i) residual[i] = train.y()[i] - y_mean;
+
+  const double threshold = options_.alpha * static_cast<double>(n);
+  for (int iter = 0; iter < options_.max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (size_t f = 0; f < d; ++f) {
+      if (col_sq[f] <= 1e-12) continue;
+      double rho = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        rho += z(i, f) * (residual[i] + coef_[f] * z(i, f));
+      }
+      double new_coef;
+      if (rho > threshold) {
+        new_coef = (rho - threshold) / col_sq[f];
+      } else if (rho < -threshold) {
+        new_coef = (rho + threshold) / col_sq[f];
+      } else {
+        new_coef = 0.0;
+      }
+      double delta = new_coef - coef_[f];
+      if (delta != 0.0) {
+        for (size_t i = 0; i < n; ++i) residual[i] -= delta * z(i, f);
+        coef_[f] = new_coef;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    if (max_delta < options_.tol) break;
+  }
+  return Status::Ok();
+}
+
+std::vector<double> LassoRegressionModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(!coef_.empty());
+  VOLCANOML_CHECK(x.cols() == coef_.size());
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double pred = intercept_;
+    for (size_t f = 0; f < coef_.size(); ++f) {
+      pred += coef_[f] * Std(x(i, f), feature_means_[f], feature_scales_[f]);
+    }
+    out[i] = pred;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SgdRegressorModel
+
+SgdRegressorModel::SgdRegressorModel(const Options& options, uint64_t seed)
+    : options_(options), seed_(seed) {}
+
+Status SgdRegressorModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  VOLCANOML_CHECK(train.task() == TaskType::kRegression);
+  const size_t n = train.NumSamples();
+  const size_t d = train.NumFeatures();
+  ComputeStandardization(train.x(), &feature_means_, &feature_scales_);
+  // Standardize the target too, so the fixed learning rate is stable.
+  target_mean_ = 0.0;
+  for (double v : train.y()) target_mean_ += v;
+  target_mean_ /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : train.y()) var += (v - target_mean_) * (v - target_mean_);
+  target_scale_ = std::sqrt(var / std::max<size_t>(1, n - 1));
+  if (target_scale_ <= 1e-12) target_scale_ = 1.0;
+
+  coef_.assign(d, 0.0);
+  intercept_ = 0.0;
+  Rng rng(seed_);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> z(d);
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double lr = options_.learning_rate / (1.0 + 0.02 * epoch);
+    for (size_t i : order) {
+      for (size_t f = 0; f < d; ++f) {
+        z[f] = Std(train.x()(i, f), feature_means_[f], feature_scales_[f]);
+      }
+      double target = (train.y()[i] - target_mean_) / target_scale_;
+      double pred = intercept_;
+      for (size_t f = 0; f < d; ++f) pred += coef_[f] * z[f];
+      double grad = pred - target;
+      for (size_t f = 0; f < d; ++f) {
+        coef_[f] -= lr * (grad * z[f] + options_.alpha * coef_[f]);
+      }
+      intercept_ -= lr * grad;
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> SgdRegressorModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(!coef_.empty());
+  VOLCANOML_CHECK(x.cols() == coef_.size());
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double pred = intercept_;
+    for (size_t f = 0; f < coef_.size(); ++f) {
+      pred += coef_[f] * Std(x(i, f), feature_means_[f], feature_scales_[f]);
+    }
+    out[i] = pred * target_scale_ + target_mean_;
+  }
+  return out;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,135 @@
+#ifndef VOLCANOML_ML_LINEAR_H_
+#define VOLCANOML_ML_LINEAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace volcanoml {
+
+/// Multinomial logistic regression trained with mini-batch SGD on the
+/// softmax cross-entropy with L2 regularization strength 1/C.
+class LogisticRegressionModel : public Model {
+ public:
+  struct Options {
+    double c = 1.0;          ///< Inverse regularization strength.
+    int max_epochs = 100;
+    double learning_rate = 0.1;
+  };
+
+  LogisticRegressionModel(const Options& options, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+  /// Per-class scores for one standardized row (used internally and by
+  /// tests); size equals the number of classes.
+  std::vector<double> DecisionFunction(const double* row) const;
+
+ private:
+  Options options_;
+  uint64_t seed_;
+  size_t num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> feature_means_, feature_scales_;
+  std::vector<double> weights_;  ///< (num_classes x num_features), row-major.
+  std::vector<double> bias_;
+};
+
+/// One-vs-rest linear SVM trained by SGD on the hinge loss (Pegasos-style)
+/// with L2 regularization strength 1/C.
+class LinearSvmModel : public Model {
+ public:
+  struct Options {
+    double c = 1.0;
+    int max_epochs = 100;
+  };
+
+  LinearSvmModel(const Options& options, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+ private:
+  Options options_;
+  uint64_t seed_;
+  size_t num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> feature_means_, feature_scales_;
+  std::vector<double> weights_;
+  std::vector<double> bias_;
+};
+
+/// Ridge regression solved exactly via the regularized normal equations
+/// (Gaussian elimination with partial pivoting).
+class RidgeRegressionModel : public Model {
+ public:
+  struct Options {
+    double alpha = 1.0;  ///< L2 penalty.
+  };
+
+  explicit RidgeRegressionModel(const Options& options);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+  const std::vector<double>& coefficients() const { return coef_; }
+
+ private:
+  Options options_;
+  std::vector<double> feature_means_, feature_scales_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Lasso regression via cyclic coordinate descent with soft thresholding.
+class LassoRegressionModel : public Model {
+ public:
+  struct Options {
+    double alpha = 1.0;  ///< L1 penalty.
+    int max_iters = 200;
+    double tol = 1e-6;
+  };
+
+  explicit LassoRegressionModel(const Options& options);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+  const std::vector<double>& coefficients() const { return coef_; }
+
+ private:
+  Options options_;
+  std::vector<double> feature_means_, feature_scales_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Linear regressor trained by SGD on squared loss with L2 regularization
+/// (scikit-learn's SGDRegressor analogue).
+class SgdRegressorModel : public Model {
+ public:
+  struct Options {
+    double alpha = 1e-4;
+    int max_epochs = 100;
+    double learning_rate = 0.01;
+  };
+
+  SgdRegressorModel(const Options& options, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+ private:
+  Options options_;
+  uint64_t seed_;
+  std::vector<double> feature_means_, feature_scales_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  double target_mean_ = 0.0, target_scale_ = 1.0;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_LINEAR_H_

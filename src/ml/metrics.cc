@@ -1,0 +1,87 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+double Accuracy(const std::vector<double>& y_true,
+                const std::vector<double>& y_pred) {
+  VOLCANOML_CHECK(y_true.size() == y_pred.size());
+  VOLCANOML_CHECK(!y_true.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(y_true.size());
+}
+
+double BalancedAccuracy(const std::vector<double>& y_true,
+                        const std::vector<double>& y_pred,
+                        size_t num_classes) {
+  VOLCANOML_CHECK(y_true.size() == y_pred.size());
+  VOLCANOML_CHECK(!y_true.empty());
+  VOLCANOML_CHECK(num_classes >= 1);
+  std::vector<double> support(num_classes, 0.0);
+  std::vector<double> hit(num_classes, 0.0);
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    size_t c = static_cast<size_t>(y_true[i]);
+    VOLCANOML_CHECK(c < num_classes);
+    support[c] += 1.0;
+    if (y_pred[i] == y_true[i]) hit[c] += 1.0;
+  }
+  double total = 0.0;
+  size_t present = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    if (support[c] == 0.0) continue;
+    total += hit[c] / support[c];
+    ++present;
+  }
+  VOLCANOML_CHECK(present > 0);
+  return total / static_cast<double>(present);
+}
+
+double MeanSquaredError(const std::vector<double>& y_true,
+                        const std::vector<double>& y_pred) {
+  VOLCANOML_CHECK(y_true.size() == y_pred.size());
+  VOLCANOML_CHECK(!y_true.empty());
+  double sse = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    double err = y_true[i] - y_pred[i];
+    sse += err * err;
+  }
+  return sse / static_cast<double>(y_true.size());
+}
+
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred) {
+  VOLCANOML_CHECK(y_true.size() == y_pred.size());
+  VOLCANOML_CHECK(!y_true.empty());
+  double mean = 0.0;
+  for (double v : y_true) mean += v;
+  mean /= static_cast<double>(y_true.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Utility(const Dataset& test, const std::vector<double>& y_pred) {
+  if (test.task() == TaskType::kClassification) {
+    return BalancedAccuracy(test.y(), y_pred, test.NumClasses());
+  }
+  return -MeanSquaredError(test.y(), y_pred);
+}
+
+double RelativeMseImprovement(double mse_m1, double mse_m2) {
+  double denom = std::max(mse_m1, mse_m2);
+  if (denom <= 0.0) return 0.0;
+  return (mse_m2 - mse_m1) / denom;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,42 @@
+#ifndef VOLCANOML_ML_METRICS_H_
+#define VOLCANOML_ML_METRICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace volcanoml {
+
+/// Fraction of exact label matches.
+double Accuracy(const std::vector<double>& y_true,
+                const std::vector<double>& y_pred);
+
+/// Mean of per-class recalls ("balanced accuracy"), the paper's metric for
+/// all classification tasks: classes are weighted equally regardless of
+/// support. `num_classes` fixes the label universe (classes absent from
+/// y_true are skipped).
+double BalancedAccuracy(const std::vector<double>& y_true,
+                        const std::vector<double>& y_pred,
+                        size_t num_classes);
+
+/// Mean squared error, the paper's metric for regression tasks.
+double MeanSquaredError(const std::vector<double>& y_true,
+                        const std::vector<double>& y_pred);
+
+/// Coefficient of determination; 0 when y_true is constant.
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred);
+
+/// Task-appropriate *utility* (higher is better): balanced accuracy for
+/// classification, negative MSE for regression. This is the objective all
+/// search strategies maximize.
+double Utility(const Dataset& test, const std::vector<double>& y_pred);
+
+/// Relative MSE improvement Delta(m1, m2) = (s(m2)-s(m1)) / max(s(m1),s(m2))
+/// used by the paper's Figure 4 regression comparison (positive when m1 is
+/// better, i.e. has smaller MSE).
+double RelativeMseImprovement(double mse_m1, double mse_m2);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_METRICS_H_

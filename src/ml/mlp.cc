@@ -1,0 +1,204 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+MlpModel::MlpModel(const Options& options, uint64_t seed)
+    : options_(options), seed_(seed) {
+  VOLCANOML_CHECK(options_.hidden_size >= 1);
+  VOLCANOML_CHECK(options_.num_hidden_layers == 1 ||
+                  options_.num_hidden_layers == 2);
+  VOLCANOML_CHECK(options_.learning_rate > 0.0);
+}
+
+namespace {
+
+inline double Activate(double v, MlpModel::Activation act) {
+  return act == MlpModel::Activation::kRelu ? std::max(0.0, v) : std::tanh(v);
+}
+
+inline double ActivateGrad(double activated, MlpModel::Activation act) {
+  return act == MlpModel::Activation::kRelu
+             ? (activated > 0.0 ? 1.0 : 0.0)
+             : 1.0 - activated * activated;
+}
+
+}  // namespace
+
+Status MlpModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  task_ = train.task();
+  num_features_ = train.NumFeatures();
+  num_classes_ =
+      task_ == TaskType::kClassification ? train.NumClasses() : 0;
+  const size_t n = train.NumSamples();
+  const size_t out_dim = num_classes_ > 0 ? num_classes_ : 1;
+
+  feature_means_ = train.x().ColMeans();
+  feature_scales_ = train.x().ColStdDevs();
+  for (double& s : feature_scales_) {
+    if (s <= 1e-12) s = 1.0;
+  }
+  if (task_ == TaskType::kRegression) {
+    target_mean_ = 0.0;
+    for (double v : train.y()) target_mean_ += v;
+    target_mean_ /= static_cast<double>(n);
+    double var = 0.0;
+    for (double v : train.y()) var += (v - target_mean_) * (v - target_mean_);
+    target_scale_ = std::sqrt(var / std::max<size_t>(1, n - 1));
+    if (target_scale_ <= 1e-12) target_scale_ = 1.0;
+  }
+
+  Rng rng(seed_);
+  layers_.clear();
+  std::vector<size_t> dims = {num_features_};
+  for (size_t l = 0; l < options_.num_hidden_layers; ++l) {
+    dims.push_back(options_.hidden_size);
+  }
+  dims.push_back(out_dim);
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    Layer layer;
+    layer.w = Matrix(dims[l + 1], dims[l]);
+    layer.b.assign(dims[l + 1], 0.0);
+    layer.w_vel = Matrix(dims[l + 1], dims[l]);
+    layer.b_vel.assign(dims[l + 1], 0.0);
+    double scale = std::sqrt(2.0 / static_cast<double>(dims[l]));
+    for (size_t r = 0; r < layer.w.rows(); ++r) {
+      for (size_t c = 0; c < layer.w.cols(); ++c) {
+        layer.w(r, c) = rng.Gaussian(0.0, scale);
+      }
+    }
+    layers_.push_back(std::move(layer));
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> input(num_features_);
+  std::vector<std::vector<double>> activations;
+  std::vector<std::vector<double>> deltas(layers_.size());
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double lr = options_.learning_rate / (1.0 + 0.02 * epoch);
+    for (size_t i : order) {
+      for (size_t f = 0; f < num_features_; ++f) {
+        input[f] =
+            (train.x()(i, f) - feature_means_[f]) / feature_scales_[f];
+      }
+      Forward(input, &activations);
+      std::vector<double>& output = activations.back();
+
+      // Output delta.
+      deltas.back().assign(output.size(), 0.0);
+      if (num_classes_ > 0) {
+        double max_raw = *std::max_element(output.begin(), output.end());
+        double denom = 0.0;
+        std::vector<double> proba(output.size());
+        for (size_t c = 0; c < output.size(); ++c) {
+          proba[c] = std::exp(output[c] - max_raw);
+          denom += proba[c];
+        }
+        size_t label = static_cast<size_t>(train.y()[i]);
+        for (size_t c = 0; c < output.size(); ++c) {
+          deltas.back()[c] = proba[c] / denom - (c == label ? 1.0 : 0.0);
+        }
+      } else {
+        double target = (train.y()[i] - target_mean_) / target_scale_;
+        // Clip the squared-loss gradient: one outlier step otherwise feeds
+        // back through momentum and can blow the weights up to NaN.
+        deltas.back()[0] = std::clamp(output[0] - target, -3.0, 3.0);
+      }
+
+      // Backpropagate through hidden layers.
+      for (size_t l = layers_.size() - 1; l-- > 0;) {
+        const Layer& upper = layers_[l + 1];
+        std::vector<double>& delta = deltas[l];
+        delta.assign(activations[l + 1].size(), 0.0);
+        for (size_t r = 0; r < upper.w.rows(); ++r) {
+          double up = deltas[l + 1][r];
+          if (up == 0.0) continue;
+          for (size_t c = 0; c < upper.w.cols(); ++c) {
+            delta[c] += up * upper.w(r, c);
+          }
+        }
+        for (size_t c = 0; c < delta.size(); ++c) {
+          delta[c] *= ActivateGrad(activations[l + 1][c], options_.activation);
+          delta[c] = std::clamp(delta[c], -3.0, 3.0);
+        }
+      }
+
+      // SGD + momentum updates.
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        const std::vector<double>& in_act = activations[l];
+        const std::vector<double>& delta = deltas[l];
+        for (size_t r = 0; r < layer.w.rows(); ++r) {
+          double d = delta[r];
+          for (size_t c = 0; c < layer.w.cols(); ++c) {
+            double grad = d * in_act[c] + options_.alpha * layer.w(r, c);
+            layer.w_vel(r, c) =
+                options_.momentum * layer.w_vel(r, c) - lr * grad;
+            layer.w(r, c) += layer.w_vel(r, c);
+          }
+          layer.b_vel[r] = options_.momentum * layer.b_vel[r] - lr * d;
+          layer.b[r] += layer.b_vel[r];
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void MlpModel::Forward(const std::vector<double>& input,
+                       std::vector<std::vector<double>>* activations) const {
+  activations->assign(layers_.size() + 1, {});
+  (*activations)[0] = input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double>& out = (*activations)[l + 1];
+    out.assign(layer.w.rows(), 0.0);
+    const std::vector<double>& in = (*activations)[l];
+    for (size_t r = 0; r < layer.w.rows(); ++r) {
+      double acc = layer.b[r];
+      for (size_t c = 0; c < layer.w.cols(); ++c) {
+        acc += layer.w(r, c) * in[c];
+      }
+      // Hidden layers are nonlinear; the output layer is linear.
+      out[r] = (l + 1 == layers_.size()) ? acc
+                                         : Activate(acc, options_.activation);
+    }
+  }
+}
+
+std::vector<double> MlpModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(!layers_.empty());
+  VOLCANOML_CHECK(x.cols() == num_features_);
+  std::vector<double> out(x.rows());
+  std::vector<double> input(num_features_);
+  std::vector<std::vector<double>> activations;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t f = 0; f < num_features_; ++f) {
+      input[f] = (x(i, f) - feature_means_[f]) / feature_scales_[f];
+    }
+    Forward(input, &activations);
+    const std::vector<double>& output = activations.back();
+    if (num_classes_ > 0) {
+      out[i] = static_cast<double>(
+          std::distance(output.begin(),
+                        std::max_element(output.begin(), output.end())));
+    } else {
+      out[i] = output[0] * target_scale_ + target_mean_;
+    }
+  }
+  return out;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,56 @@
+#ifndef VOLCANOML_ML_MLP_H_
+#define VOLCANOML_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace volcanoml {
+
+/// Multi-layer perceptron (1 or 2 hidden layers) trained with mini-batch
+/// SGD + momentum. Classification uses softmax cross-entropy; regression
+/// uses squared loss on a standardized target.
+class MlpModel : public Model {
+ public:
+  enum class Activation { kRelu, kTanh };
+
+  struct Options {
+    size_t hidden_size = 32;
+    size_t num_hidden_layers = 1;  ///< 1 or 2.
+    Activation activation = Activation::kRelu;
+    double learning_rate = 0.01;
+    double alpha = 1e-4;  ///< L2 penalty.
+    int max_epochs = 60;
+    double momentum = 0.9;
+  };
+
+  MlpModel(const Options& options, uint64_t seed);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+ private:
+  struct Layer {
+    Matrix w;  ///< (out x in).
+    std::vector<double> b;
+    Matrix w_vel;
+    std::vector<double> b_vel;
+  };
+
+  void Forward(const std::vector<double>& input,
+               std::vector<std::vector<double>>* activations) const;
+
+  Options options_;
+  uint64_t seed_;
+  TaskType task_ = TaskType::kClassification;
+  size_t num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> feature_means_, feature_scales_;
+  double target_mean_ = 0.0, target_scale_ = 1.0;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_MLP_H_

@@ -1,0 +1,32 @@
+#ifndef VOLCANOML_ML_MODEL_H_
+#define VOLCANOML_ML_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// Abstract supervised model. Implementations are created by the algorithm
+/// registry (ml/algorithms.h) from a hyper-parameter configuration.
+///
+/// For classification, Predict returns class indices; for regression it
+/// returns real values. Fit must be called before Predict.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Trains on the given dataset. Returns a non-OK status for degenerate
+  /// inputs (e.g. empty data); models must otherwise be robust to any
+  /// dataset produced by the feature-engineering pipeline.
+  virtual Status Fit(const Dataset& train) = 0;
+
+  /// Predicts a target per row of `x`.
+  virtual std::vector<double> Predict(const Matrix& x) const = 0;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_MODEL_H_

@@ -1,0 +1,87 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+GaussianNbModel::GaussianNbModel(const Options& options) : options_(options) {
+  VOLCANOML_CHECK(options_.var_smoothing >= 0.0);
+}
+
+Status GaussianNbModel::Fit(const Dataset& train) {
+  if (train.NumSamples() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  VOLCANOML_CHECK(train.task() == TaskType::kClassification);
+  num_classes_ = train.NumClasses();
+  num_features_ = train.NumFeatures();
+  means_ = Matrix(num_classes_, num_features_);
+  variances_ = Matrix(num_classes_, num_features_);
+  std::vector<double> counts(num_classes_, 0.0);
+
+  for (size_t i = 0; i < train.NumSamples(); ++i) {
+    size_t c = static_cast<size_t>(train.y()[i]);
+    counts[c] += 1.0;
+    for (size_t f = 0; f < num_features_; ++f) {
+      means_(c, f) += train.x()(i, f);
+    }
+  }
+  for (size_t c = 0; c < num_classes_; ++c) {
+    if (counts[c] == 0.0) continue;
+    for (size_t f = 0; f < num_features_; ++f) means_(c, f) /= counts[c];
+  }
+  for (size_t i = 0; i < train.NumSamples(); ++i) {
+    size_t c = static_cast<size_t>(train.y()[i]);
+    for (size_t f = 0; f < num_features_; ++f) {
+      double d = train.x()(i, f) - means_(c, f);
+      variances_(c, f) += d * d;
+    }
+  }
+  // Smoothing floor proportional to the largest overall feature variance
+  // (scikit-learn's convention).
+  std::vector<double> overall_sd = train.x().ColStdDevs();
+  double max_var = 1e-9;
+  for (double s : overall_sd) max_var = std::max(max_var, s * s);
+  double floor = options_.var_smoothing * max_var + 1e-12;
+
+  log_priors_.assign(num_classes_, -1e300);
+  double n = static_cast<double>(train.NumSamples());
+  for (size_t c = 0; c < num_classes_; ++c) {
+    if (counts[c] == 0.0) continue;
+    log_priors_[c] = std::log(counts[c] / n);
+    for (size_t f = 0; f < num_features_; ++f) {
+      variances_(c, f) = variances_(c, f) / counts[c] + floor;
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> GaussianNbModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(num_classes_ > 0);
+  VOLCANOML_CHECK(x.cols() == num_features_);
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    size_t best = 0;
+    double best_ll = -1e300;
+    for (size_t c = 0; c < num_classes_; ++c) {
+      if (log_priors_[c] <= -1e299) continue;  // Class absent in training.
+      double ll = log_priors_[c];
+      for (size_t f = 0; f < num_features_; ++f) {
+        double var = variances_(c, f);
+        double d = x(i, f) - means_(c, f);
+        ll += -0.5 * (std::log(2.0 * M_PI * var) + d * d / var);
+      }
+      if (ll > best_ll) {
+        best_ll = ll;
+        best = c;
+      }
+    }
+    out[i] = static_cast<double>(best);
+  }
+  return out;
+}
+
+}  // namespace volcanoml

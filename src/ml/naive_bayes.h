@@ -1,0 +1,34 @@
+#ifndef VOLCANOML_ML_NAIVE_BAYES_H_
+#define VOLCANOML_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace volcanoml {
+
+/// Gaussian naive Bayes classifier with variance smoothing.
+class GaussianNbModel : public Model {
+ public:
+  struct Options {
+    /// Added to per-feature variances as `var_smoothing * max_variance`.
+    double var_smoothing = 1e-9;
+  };
+
+  explicit GaussianNbModel(const Options& options);
+
+  Status Fit(const Dataset& train) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+ private:
+  Options options_;
+  size_t num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> log_priors_;
+  Matrix means_;      ///< (class x feature).
+  Matrix variances_;  ///< (class x feature), smoothed.
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_NAIVE_BAYES_H_

@@ -1,0 +1,331 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// Weighted impurity of a class-count histogram with total weight `total`.
+double ClassImpurity(const std::vector<double>& counts, double total,
+                     TreeCriterion criterion) {
+  if (total <= 0.0) return 0.0;
+  double impurity = criterion == TreeCriterion::kGini ? 1.0 : 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    double p = c / total;
+    if (criterion == TreeCriterion::kGini) {
+      impurity -= p * p;
+    } else {
+      impurity -= p * std::log2(p);
+    }
+  }
+  return impurity;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(const TreeOptions& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  VOLCANOML_CHECK(options_.max_features > 0.0 && options_.max_features <= 1.0);
+  VOLCANOML_CHECK(options_.min_samples_leaf >= 1);
+}
+
+Status DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                         size_t num_classes,
+                         const std::vector<double>& weights) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  VOLCANOML_CHECK(x.rows() == y.size());
+  if (!weights.empty()) VOLCANOML_CHECK(weights.size() == y.size());
+  num_classes_ = num_classes;
+  nodes_.clear();
+  nodes_.reserve(64);
+  std::vector<size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(x, y, weights, &indices, 0, indices.size(), 0);
+  return Status::Ok();
+}
+
+int DecisionTree::MakeLeaf(const std::vector<double>& y,
+                           const std::vector<double>& weights,
+                           const std::vector<size_t>& indices, size_t begin,
+                           size_t end) {
+  Node leaf;
+  if (num_classes_ > 0) {
+    leaf.class_dist.assign(num_classes_, 0.0);
+    double total = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      double w = weights.empty() ? 1.0 : weights[indices[i]];
+      leaf.class_dist[static_cast<size_t>(y[indices[i]])] += w;
+      total += w;
+    }
+    size_t best = 0;
+    for (size_t c = 1; c < num_classes_; ++c) {
+      if (leaf.class_dist[c] > leaf.class_dist[best]) best = c;
+    }
+    leaf.value = static_cast<double>(best);
+    if (total > 0.0) {
+      for (double& d : leaf.class_dist) d /= total;
+    }
+  } else {
+    double sum = 0.0, total = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      double w = weights.empty() ? 1.0 : weights[indices[i]];
+      sum += w * y[indices[i]];
+      total += w;
+    }
+    leaf.value = total > 0.0 ? sum / total : 0.0;
+  }
+  nodes_.push_back(std::move(leaf));
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+bool DecisionTree::FindSplit(const Matrix& x, const std::vector<double>& y,
+                             const std::vector<double>& weights,
+                             const std::vector<size_t>& indices, size_t begin,
+                             size_t end, int* best_feature,
+                             double* best_threshold) {
+  const size_t n = end - begin;
+  const size_t num_features = x.cols();
+  size_t features_to_try = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             options_.max_features * static_cast<double>(num_features))));
+
+  std::vector<size_t> feature_order(num_features);
+  std::iota(feature_order.begin(), feature_order.end(), 0);
+  rng_.Shuffle(&feature_order);
+
+  double best_score = std::numeric_limits<double>::infinity();
+  *best_feature = -1;
+
+  // Reusable per-node buffers.
+  std::vector<std::pair<double, size_t>> sorted(n);
+
+  for (size_t f_pos = 0; f_pos < features_to_try; ++f_pos) {
+    size_t f = feature_order[f_pos];
+    for (size_t i = 0; i < n; ++i) {
+      size_t idx = indices[begin + i];
+      sorted[i] = {x(idx, f), idx};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // Constant.
+
+    if (options_.random_splits) {
+      // Extra-trees: a single uniform threshold in the value range.
+      double lo = sorted.front().first, hi = sorted.back().first;
+      double threshold = rng_.Uniform(lo, hi);
+      // Score this threshold.
+      if (num_classes_ > 0) {
+        std::vector<double> left(num_classes_, 0.0), right(num_classes_, 0.0);
+        double wl = 0.0, wr = 0.0;
+        size_t nl = 0;
+        for (size_t i = 0; i < n; ++i) {
+          double w = weights.empty() ? 1.0 : weights[sorted[i].second];
+          size_t c = static_cast<size_t>(y[sorted[i].second]);
+          if (sorted[i].first <= threshold) {
+            left[c] += w;
+            wl += w;
+            ++nl;
+          } else {
+            right[c] += w;
+            wr += w;
+          }
+        }
+        size_t nr = n - nl;
+        if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+          continue;
+        }
+        double score = wl * ClassImpurity(left, wl, options_.criterion) +
+                       wr * ClassImpurity(right, wr, options_.criterion);
+        if (score < best_score) {
+          best_score = score;
+          *best_feature = static_cast<int>(f);
+          *best_threshold = threshold;
+        }
+      } else {
+        double sl = 0.0, ssl = 0.0, wl = 0.0;
+        double sr = 0.0, ssr = 0.0, wr = 0.0;
+        size_t nl = 0;
+        for (size_t i = 0; i < n; ++i) {
+          double w = weights.empty() ? 1.0 : weights[sorted[i].second];
+          double v = y[sorted[i].second];
+          if (sorted[i].first <= threshold) {
+            sl += w * v;
+            ssl += w * v * v;
+            wl += w;
+            ++nl;
+          } else {
+            sr += w * v;
+            ssr += w * v * v;
+            wr += w;
+          }
+        }
+        size_t nr = n - nl;
+        if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+          continue;
+        }
+        double score = (wl > 0 ? ssl - sl * sl / wl : 0.0) +
+                       (wr > 0 ? ssr - sr * sr / wr : 0.0);
+        if (score < best_score) {
+          best_score = score;
+          *best_feature = static_cast<int>(f);
+          *best_threshold = threshold;
+        }
+      }
+      continue;
+    }
+
+    // Exhaustive scan over cut points between distinct values.
+    if (num_classes_ > 0) {
+      std::vector<double> left(num_classes_, 0.0);
+      std::vector<double> right(num_classes_, 0.0);
+      double wl = 0.0, wr = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double w = weights.empty() ? 1.0 : weights[sorted[i].second];
+        right[static_cast<size_t>(y[sorted[i].second])] += w;
+        wr += w;
+      }
+      for (size_t i = 0; i + 1 < n; ++i) {
+        double w = weights.empty() ? 1.0 : weights[sorted[i].second];
+        size_t c = static_cast<size_t>(y[sorted[i].second]);
+        left[c] += w;
+        wl += w;
+        right[c] -= w;
+        wr -= w;
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        size_t nl = i + 1, nr = n - nl;
+        if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+          continue;
+        }
+        double score = wl * ClassImpurity(left, wl, options_.criterion) +
+                       wr * ClassImpurity(right, wr, options_.criterion);
+        if (score < best_score) {
+          best_score = score;
+          *best_feature = static_cast<int>(f);
+          *best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        }
+      }
+    } else {
+      double sl = 0.0, ssl = 0.0, wl = 0.0;
+      double sr = 0.0, ssr = 0.0, wr = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double w = weights.empty() ? 1.0 : weights[sorted[i].second];
+        double v = y[sorted[i].second];
+        sr += w * v;
+        ssr += w * v * v;
+        wr += w;
+      }
+      for (size_t i = 0; i + 1 < n; ++i) {
+        double w = weights.empty() ? 1.0 : weights[sorted[i].second];
+        double v = y[sorted[i].second];
+        sl += w * v;
+        ssl += w * v * v;
+        wl += w;
+        sr -= w * v;
+        ssr -= w * v * v;
+        wr -= w;
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        size_t nl = i + 1, nr = n - nl;
+        if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+          continue;
+        }
+        double score = (wl > 0 ? ssl - sl * sl / wl : 0.0) +
+                       (wr > 0 ? ssr - sr * sr / wr : 0.0);
+        if (score < best_score) {
+          best_score = score;
+          *best_feature = static_cast<int>(f);
+          *best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        }
+      }
+    }
+  }
+  return *best_feature >= 0;
+}
+
+int DecisionTree::Build(const Matrix& x, const std::vector<double>& y,
+                        const std::vector<double>& weights,
+                        std::vector<size_t>* indices, size_t begin, size_t end,
+                        int depth) {
+  const size_t n = end - begin;
+  VOLCANOML_DCHECK(n > 0);
+
+  bool pure = true;
+  for (size_t i = begin + 1; i < end; ++i) {
+    if (y[(*indices)[i]] != y[(*indices)[begin]]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= options_.max_depth || n < options_.min_samples_split ||
+      n < 2 * options_.min_samples_leaf) {
+    return MakeLeaf(y, weights, *indices, begin, end);
+  }
+
+  int feature;
+  double threshold;
+  if (!FindSplit(x, y, weights, *indices, begin, end, &feature, &threshold)) {
+    return MakeLeaf(y, weights, *indices, begin, end);
+  }
+
+  // Partition indices in place around the threshold.
+  size_t mid = begin;
+  for (size_t i = begin; i < end; ++i) {
+    if (x((*indices)[i], static_cast<size_t>(feature)) <= threshold) {
+      std::swap((*indices)[i], (*indices)[mid]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) {
+    return MakeLeaf(y, weights, *indices, begin, end);
+  }
+
+  // Reserve this node's slot before recursing so children follow it.
+  nodes_.emplace_back();
+  int node_id = static_cast<int>(nodes_.size() - 1);
+  int left = Build(x, y, weights, indices, begin, mid, depth + 1);
+  int right = Build(x, y, weights, indices, mid, end, depth + 1);
+  Node& node = nodes_[node_id];
+  node.feature = feature;
+  node.threshold = threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictOne(const double* row) const {
+  VOLCANOML_CHECK(fitted());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+std::vector<double> DecisionTree::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = PredictOne(x.RowPtr(i));
+  return out;
+}
+
+std::vector<double> DecisionTree::PredictProbaOne(const double* row) const {
+  VOLCANOML_CHECK(fitted());
+  VOLCANOML_CHECK(num_classes_ > 0);
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].class_dist;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,89 @@
+#ifndef VOLCANOML_ML_TREE_H_
+#define VOLCANOML_ML_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// Split-quality criterion; kGini/kEntropy imply classification, kMse
+/// implies regression.
+enum class TreeCriterion { kGini, kEntropy, kMse };
+
+/// CART growth options shared by single trees, forests, and boosting.
+struct TreeOptions {
+  TreeCriterion criterion = TreeCriterion::kGini;
+  int max_depth = 10;
+  size_t min_samples_split = 2;
+  size_t min_samples_leaf = 1;
+  /// Fraction of features examined per split, in (0, 1].
+  double max_features = 1.0;
+  /// Extra-trees style: draw one random threshold per candidate feature
+  /// instead of scanning all cut points.
+  bool random_splits = false;
+};
+
+/// A single CART decision tree supporting weighted samples (for boosting),
+/// classification (gini/entropy) and regression (mse). This is the core
+/// engine reused by RandomForest, ExtraTrees, AdaBoost and
+/// GradientBoosting.
+class DecisionTree {
+ public:
+  DecisionTree(const TreeOptions& options, uint64_t seed);
+
+  /// Fits the tree. For classification pass num_classes >= 2 and integer
+  /// labels in y; for regression pass num_classes == 0. `weights` may be
+  /// empty (uniform) or per-sample non-negative weights.
+  Status Fit(const Matrix& x, const std::vector<double>& y,
+             size_t num_classes, const std::vector<double>& weights = {});
+
+  /// Predicted label (classification) or value (regression) for one row.
+  double PredictOne(const double* row) const;
+
+  /// Batch prediction.
+  std::vector<double> Predict(const Matrix& x) const;
+
+  /// Class-probability vector for one row (classification only).
+  std::vector<double> PredictProbaOne(const double* row) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 marks a leaf.
+    double threshold = 0.0;  ///< Go left when value <= threshold.
+    int left = -1;
+    int right = -1;
+    double value = 0.0;             ///< Leaf prediction.
+    std::vector<double> class_dist; ///< Leaf class probabilities (cls only).
+  };
+
+  int Build(const Matrix& x, const std::vector<double>& y,
+            const std::vector<double>& weights, std::vector<size_t>* indices,
+            size_t begin, size_t end, int depth);
+
+  /// Finds the best (feature, threshold) for samples indices[begin:end];
+  /// returns false if no valid split exists.
+  bool FindSplit(const Matrix& x, const std::vector<double>& y,
+                 const std::vector<double>& weights,
+                 const std::vector<size_t>& indices, size_t begin, size_t end,
+                 int* best_feature, double* best_threshold);
+
+  int MakeLeaf(const std::vector<double>& y,
+               const std::vector<double>& weights,
+               const std::vector<size_t>& indices, size_t begin, size_t end);
+
+  TreeOptions options_;
+  Rng rng_;
+  size_t num_classes_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_ML_TREE_H_

@@ -1,0 +1,39 @@
+#ifndef VOLCANOML_UTIL_CHECK_H_
+#define VOLCANOML_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Fatal assertion macros for programmer errors (contract violations).
+///
+/// The project follows a no-exceptions policy (see DESIGN.md); recoverable
+/// runtime failures use volcanoml::Status, while invariant violations abort
+/// through these macros with a source location.
+
+#define VOLCANOML_CHECK(cond)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define VOLCANOML_CHECK_MSG(cond, msg)                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,   \
+                   __LINE__, #cond, msg);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifndef NDEBUG
+#define VOLCANOML_DCHECK(cond) VOLCANOML_CHECK(cond)
+#else
+#define VOLCANOML_DCHECK(cond) \
+  do {                         \
+  } while (0)
+#endif
+
+#endif  // VOLCANOML_UTIL_CHECK_H_

@@ -1,0 +1,47 @@
+#ifndef VOLCANOML_UTIL_LOGGING_H_
+#define VOLCANOML_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace volcanoml {
+
+/// Severity levels for the project logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted to stderr. Defaults to
+/// kWarning so library users are not spammed; benches raise it to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace volcanoml
+
+#define VOLCANOML_LOG(level)                                      \
+  ::volcanoml::internal_logging::LogMessage(                      \
+      ::volcanoml::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // VOLCANOML_UTIL_LOGGING_H_

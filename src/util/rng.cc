@@ -1,0 +1,21 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+namespace volcanoml {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  VOLCANOML_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return Index(weights.size());
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    VOLCANOML_DCHECK(weights[i] >= 0.0);
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,72 @@
+#ifndef VOLCANOML_UTIL_RNG_H_
+#define VOLCANOML_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+/// Deterministic pseudo-random number source used throughout the project.
+///
+/// Every stochastic component takes an explicit Rng (or a seed) so that
+/// experiments are reproducible; there is no global random state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    VOLCANOML_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    VOLCANOML_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  size_t Index(size_t n) {
+    VOLCANOML_DCHECK(n > 0);
+    return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+  }
+
+  /// Gaussian sample with the given mean and standard deviation.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Samples an index proportionally to the given non-negative weights.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Derives an independent child seed; use to fan out reproducible
+  /// sub-streams (one per block / model / fold).
+  uint64_t Fork() {
+    return std::uniform_int_distribution<uint64_t>()(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_UTIL_RNG_H_

@@ -1,0 +1,105 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size() - 1);
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+double Quantile(std::vector<double> v, double q) {
+  VOLCANOML_CHECK(!v.empty());
+  VOLCANOML_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+size_t ArgMax(const std::vector<double>& v) {
+  VOLCANOML_CHECK(!v.empty());
+  return static_cast<size_t>(
+      std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+}
+
+size_t ArgMin(const std::vector<double>& v) {
+  VOLCANOML_CHECK(!v.empty());
+  return static_cast<size_t>(
+      std::distance(v.begin(), std::min_element(v.begin(), v.end())));
+}
+
+std::vector<double> RankScores(const std::vector<double>& scores,
+                               bool higher_is_better) {
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return higher_is_better ? scores[a] > scores[b] : scores[a] < scores[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    // Group ties: scores equal within a tolerance share a fractional rank.
+    while (j + 1 < n &&
+           std::abs(scores[order[j + 1]] - scores[order[i]]) < 1e-12) {
+      ++j;
+    }
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& per_dataset_scores,
+    bool higher_is_better) {
+  VOLCANOML_CHECK(!per_dataset_scores.empty());
+  const size_t num_systems = per_dataset_scores[0].size();
+  std::vector<double> total(num_systems, 0.0);
+  for (const auto& scores : per_dataset_scores) {
+    VOLCANOML_CHECK(scores.size() == num_systems);
+    std::vector<double> ranks = RankScores(scores, higher_is_better);
+    for (size_t s = 0; s < num_systems; ++s) total[s] += ranks[s];
+  }
+  for (double& t : total) t /= static_cast<double>(per_dataset_scores.size());
+  return total;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  VOLCANOML_CHECK(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  double mx = Mean(x), my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,52 @@
+#ifndef VOLCANOML_UTIL_STATS_H_
+#define VOLCANOML_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace volcanoml {
+
+/// Summary statistics and rank utilities used by the search algorithms
+/// (EUI estimation, EU extrapolation) and by the evaluation harness
+/// (average-rank tables, Table 1).
+
+/// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample variance (divides by n-1); returns 0 when n < 2.
+double Variance(const std::vector<double>& v);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& v);
+
+/// Median (average of the two middle elements for even n).
+double Median(std::vector<double> v);
+
+/// Linear-interpolated quantile, q in [0, 1].
+double Quantile(std::vector<double> v, double q);
+
+/// Index of the maximum element; the input must be non-empty.
+size_t ArgMax(const std::vector<double>& v);
+
+/// Index of the minimum element; the input must be non-empty.
+size_t ArgMin(const std::vector<double>& v);
+
+/// Ranks `scores` with 1 = best. `higher_is_better` selects the direction.
+/// Ties receive the average of the tied rank positions (fractional ranks),
+/// matching the methodology used for the paper's average-rank tables.
+std::vector<double> RankScores(const std::vector<double>& scores,
+                               bool higher_is_better);
+
+/// Averages per-dataset rank vectors: `per_dataset_scores[d][s]` is the
+/// score of system s on dataset d. Returns one average rank per system.
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& per_dataset_scores,
+    bool higher_is_better);
+
+/// Pearson correlation coefficient; returns 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_UTIL_STATS_H_

@@ -1,0 +1,100 @@
+#ifndef VOLCANOML_UTIL_STATUS_H_
+#define VOLCANOML_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+/// Error categories for recoverable failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Lightweight error-or-success value, in the style of arrow::Status /
+/// rocksdb::Status. Functions that can fail at runtime return Status (or
+/// Result<T> below) instead of throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad k".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites of `return value;` / `return Status::...;` natural.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    VOLCANOML_CHECK_MSG(!status_.ok(), "Result built from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; the Result must be ok().
+  const T& value() const& {
+    VOLCANOML_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    VOLCANOML_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    VOLCANOML_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef VOLCANOML_UTIL_TIMER_H_
+#define VOLCANOML_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace volcanoml {
+
+/// Monotonic stopwatch for budget accounting and benchmark reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the elapsed time to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_UTIL_TIMER_H_

@@ -1,0 +1,29 @@
+#ifndef VOLCANOML_VOLCANOML_H_
+#define VOLCANOML_VOLCANOML_H_
+
+/// Umbrella header: the VolcanoML public API surface.
+///
+///   #include "volcanoml.h"
+///
+/// pulls in everything a downstream application typically needs — the
+/// AutoML façade, baselines, data loading, metrics, ensembling, and the
+/// building-block layer for custom execution plans.
+
+#include "baselines/auto_sklearn.h"    // IWYU pragma: export
+#include "baselines/hyperopt.h"        // IWYU pragma: export
+#include "baselines/platforms.h"      // IWYU pragma: export
+#include "baselines/tpot.h"           // IWYU pragma: export
+#include "core/alternating_block.h"   // IWYU pragma: export
+#include "core/conditioning_block.h"  // IWYU pragma: export
+#include "core/ensemble.h"            // IWYU pragma: export
+#include "core/joint_block.h"         // IWYU pragma: export
+#include "core/plan_search.h"         // IWYU pragma: export
+#include "core/volcano_ml.h"          // IWYU pragma: export
+#include "data/csv.h"                 // IWYU pragma: export
+#include "data/libsvm.h"              // IWYU pragma: export
+#include "data/suite.h"               // IWYU pragma: export
+#include "data/synthetic.h"           // IWYU pragma: export
+#include "meta/bootstrap.h"           // IWYU pragma: export
+#include "ml/metrics.h"               // IWYU pragma: export
+
+#endif  // VOLCANOML_VOLCANOML_H_

@@ -1,0 +1,98 @@
+// Cross-algorithm behavioural sweeps: determinism per seed, sane output
+// ranges, and robustness to awkward-but-legal datasets (tiny samples,
+// single feature, many classes) for every registered algorithm.
+
+#include <memory>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "ml/algorithms.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+struct AlgoCase {
+  std::string name;
+  TaskType task;
+};
+
+std::vector<AlgoCase> AllAlgorithms() {
+  std::vector<AlgoCase> cases;
+  for (const Algorithm& a : AlgorithmsFor(TaskType::kClassification)) {
+    cases.push_back({a.name, TaskType::kClassification});
+  }
+  for (const Algorithm& a : AlgorithmsFor(TaskType::kRegression)) {
+    cases.push_back({a.name, TaskType::kRegression});
+  }
+  return cases;
+}
+
+Dataset DataFor(TaskType task, size_t n, size_t d, uint64_t seed) {
+  if (task == TaskType::kClassification) {
+    return MakeBlobs(n, d, 2, 2.0, seed);
+  }
+  return MakeFriedman1(n, std::max<size_t>(d, 5), 1.0, seed);
+}
+
+class AlgorithmSweepTest : public ::testing::TestWithParam<AlgoCase> {};
+
+TEST_P(AlgorithmSweepTest, DeterministicGivenSeed) {
+  const Algorithm& algo = FindAlgorithm(GetParam().name, GetParam().task);
+  Dataset d = DataFor(GetParam().task, 120, 5, 31);
+  auto run = [&]() {
+    std::unique_ptr<Model> model =
+        algo.create(algo.hp_space, algo.hp_space.Default(), 9);
+    EXPECT_TRUE(model->Fit(d).ok());
+    return model->Predict(d.x());
+  };
+  EXPECT_EQ(run(), run()) << algo.name;
+}
+
+TEST_P(AlgorithmSweepTest, SurvivesTinyDataset) {
+  const Algorithm& algo = FindAlgorithm(GetParam().name, GetParam().task);
+  Dataset d = DataFor(GetParam().task, 12, 5, 32);
+  std::unique_ptr<Model> model =
+      algo.create(algo.hp_space, algo.hp_space.Default(), 3);
+  ASSERT_TRUE(model->Fit(d).ok()) << algo.name;
+  std::vector<double> pred = model->Predict(d.x());
+  ASSERT_EQ(pred.size(), d.NumSamples());
+  for (double p : pred) {
+    EXPECT_TRUE(std::isfinite(p)) << algo.name;
+  }
+}
+
+TEST_P(AlgorithmSweepTest, SurvivesSingleFeature) {
+  const Algorithm& algo = FindAlgorithm(GetParam().name, GetParam().task);
+  Dataset base = DataFor(GetParam().task, 80, 5, 33);
+  Dataset narrow = base.WithFeatures(base.x().SelectCols({0}));
+  std::unique_ptr<Model> model =
+      algo.create(algo.hp_space, algo.hp_space.Default(), 4);
+  ASSERT_TRUE(model->Fit(narrow).ok()) << algo.name;
+  EXPECT_EQ(model->Predict(narrow.x()).size(), narrow.NumSamples());
+}
+
+TEST_P(AlgorithmSweepTest, ClassPredictionsStayInLabelUniverse) {
+  if (GetParam().task != TaskType::kClassification) {
+    GTEST_SKIP() << "classification-only property";
+  }
+  const Algorithm& algo = FindAlgorithm(GetParam().name, GetParam().task);
+  Dataset d = MakeBlobs(150, 4, 5, 3.0, 34);  // 5 classes.
+  std::unique_ptr<Model> model =
+      algo.create(algo.hp_space, algo.hp_space.Default(), 5);
+  ASSERT_TRUE(model->Fit(d).ok()) << algo.name;
+  for (double p : model->Predict(d.x())) {
+    EXPECT_GE(p, 0.0) << algo.name;
+    EXPECT_LT(p, 5.0) << algo.name;
+    EXPECT_EQ(p, std::floor(p)) << algo.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AlgorithmSweepTest, ::testing::ValuesIn(AllAlgorithms()),
+    [](const ::testing::TestParamInfo<AlgoCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace volcanoml

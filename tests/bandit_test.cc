@@ -1,0 +1,188 @@
+#include <cmath>
+#include <set>
+
+#include "bandit/eu.h"
+#include "bandit/mfes.h"
+#include "bandit/successive_halving.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(EuTest, BestSoFarCurveIsMonotone) {
+  std::vector<double> curve = BestSoFarCurve({0.3, 0.1, 0.5, 0.4, 0.6});
+  EXPECT_EQ(curve, (std::vector<double>{0.3, 0.3, 0.5, 0.5, 0.6}));
+}
+
+TEST(EuTest, EmptyHistoryHasInfiniteUncertainty) {
+  EuBounds b = RisingBanditBounds({}, 10.0);
+  EXPECT_TRUE(std::isinf(b.upper));
+  EXPECT_TRUE(std::isinf(-b.lower));
+}
+
+TEST(EuTest, SinglePullUnbounded) {
+  EuBounds b = RisingBanditBounds({0.5}, 10.0);
+  EXPECT_DOUBLE_EQ(b.lower, 0.5);
+  EXPECT_TRUE(std::isinf(b.upper));
+}
+
+TEST(EuTest, ConvergedArmHasTightBounds) {
+  // The arm improved once at pull 1 and then stalled for many pulls:
+  // the recent slope is small, so the upper bound is close to current.
+  std::vector<double> curve(20, 0.8);
+  curve[0] = 0.5;
+  EuBounds b = RisingBanditBounds(curve, 10.0);
+  EXPECT_DOUBLE_EQ(b.lower, 0.8);
+  EXPECT_NEAR(b.upper, 0.8 + (0.3 / 19.0) * 10.0, 1e-9);
+}
+
+TEST(EuTest, RisingArmHasHighUpperBound) {
+  // Still improving at the last pull: slope 0.05 per pull.
+  std::vector<double> curve = {0.5, 0.55, 0.6, 0.65, 0.7};
+  EuBounds b = RisingBanditBounds(curve, 10.0);
+  EXPECT_DOUBLE_EQ(b.lower, 0.7);
+  EXPECT_NEAR(b.upper, 0.7 + 0.05 * 10.0, 1e-9);
+}
+
+TEST(EuTest, FlatForeverHasZeroSlope) {
+  std::vector<double> curve(5, 0.4);
+  EuBounds b = RisingBanditBounds(curve, 100.0);
+  EXPECT_DOUBLE_EQ(b.upper, 0.4);
+}
+
+TEST(EuTest, DominanceMatchesPaperSemantics) {
+  // Arm A converged at 0.9; arm B rising slowly from 0.3. With small
+  // remaining budget B's upper bound cannot reach A's lower bound.
+  std::vector<double> a(10, 0.9);
+  a[0] = 0.85;
+  std::vector<double> b = {0.1, 0.15, 0.2, 0.25, 0.3};
+  EuBounds ba = RisingBanditBounds(a, 5.0);
+  EuBounds bb = RisingBanditBounds(b, 5.0);
+  EXPECT_LT(bb.upper, ba.lower);  // B can be eliminated.
+}
+
+TEST(EuiTest, UnexploredArmIsInfinite) {
+  EXPECT_TRUE(std::isinf(MeanImprovementEui({})));
+  EXPECT_TRUE(std::isinf(MeanImprovementEui({0.5})));
+}
+
+TEST(EuiTest, MeanOfIncrements) {
+  // Increments: 0.1, 0.0, 0.2 -> mean 0.1.
+  EXPECT_NEAR(MeanImprovementEui({0.5, 0.6, 0.6, 0.8}), 0.1, 1e-12);
+}
+
+TEST(EuiTest, WindowRestrictsHistory) {
+  // Early large gains, later stagnation.
+  std::vector<double> curve = {0.0, 0.5, 0.5, 0.5, 0.5};
+  EXPECT_NEAR(MeanImprovementEui(curve), 0.125, 1e-12);
+  EXPECT_NEAR(MeanImprovementEui(curve, 2), 0.0, 1e-12);
+}
+
+TEST(SuccessiveHalvingTest, KeepsBestArm) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("quality", 0.0, 1.0, 0.5);
+  Rng rng(1);
+  std::vector<Configuration> candidates;
+  for (int i = 0; i < 9; ++i) candidates.push_back(cs.Sample(&rng));
+
+  // Noisy objective whose truth is the "quality" value; noise shrinks
+  // with fidelity.
+  Rng noise(2);
+  auto objective = [&](const Configuration& c, double fidelity) {
+    return cs.GetValue(c, "quality") +
+           noise.Gaussian(0.0, 0.05 / std::sqrt(fidelity));
+  };
+  SuccessiveHalvingOptions options;
+  std::vector<FidelityObservation> results =
+      RunSuccessiveHalving(candidates, options, objective);
+
+  // The surviving full-fidelity evaluation should be a top-quality arm.
+  double best_quality = 0.0;
+  for (const Configuration& c : candidates) {
+    best_quality = std::max(best_quality, cs.GetValue(c, "quality"));
+  }
+  double survivor_quality = 0.0;
+  for (const FidelityObservation& obs : results) {
+    if (obs.fidelity >= 1.0) {
+      survivor_quality =
+          std::max(survivor_quality, cs.GetValue(obs.config, "quality"));
+    }
+  }
+  EXPECT_GT(survivor_quality, best_quality - 0.25);
+}
+
+TEST(SuccessiveHalvingTest, FidelityScheduleIsGeometric) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  Rng rng(3);
+  std::vector<Configuration> candidates;
+  for (int i = 0; i < 9; ++i) candidates.push_back(cs.Sample(&rng));
+  std::vector<FidelityObservation> results = RunSuccessiveHalving(
+      candidates, {}, [](const Configuration&, double) { return 0.0; });
+  std::set<double> fidelities;
+  for (const auto& obs : results) fidelities.insert(obs.fidelity);
+  EXPECT_EQ(fidelities.size(), 3u);  // 1/9, 1/3, 1.
+  EXPECT_NEAR(*fidelities.begin(), 1.0 / 9.0, 1e-9);
+  EXPECT_NEAR(*fidelities.rbegin(), 1.0, 1e-9);
+}
+
+TEST(HyperbandTest, RunsAllBrackets) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  Rng rng(4);
+  size_t full_fidelity_evals = 0;
+  std::vector<FidelityObservation> results = RunHyperband(
+      cs, {}, [](const Configuration&, double) { return 0.5; }, &rng);
+  for (const auto& obs : results) {
+    if (obs.fidelity >= 1.0) ++full_fidelity_evals;
+  }
+  EXPECT_GT(results.size(), 10u);
+  EXPECT_GE(full_fidelity_evals, 3u);  // Each bracket reaches fidelity 1.
+}
+
+TEST(MfesTest, ProposalsCycleThroughFidelities) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  MfesHbOptimizer mfes(&cs, {}, 5);
+  std::set<double> fidelities;
+  for (int i = 0; i < 40; ++i) {
+    MfesHbOptimizer::Proposal p = mfes.Next();
+    fidelities.insert(p.fidelity);
+    mfes.Observe(p.config, p.fidelity, cs.GetValue(p.config, "x"));
+  }
+  EXPECT_GE(fidelities.size(), 2u);
+  EXPECT_TRUE(fidelities.count(1.0) > 0 ||
+              *fidelities.rbegin() > 0.3);  // Promotion happened.
+}
+
+TEST(MfesTest, BestPrefersHighFidelity) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  MfesHbOptimizer mfes(&cs, {}, 6);
+  Configuration a = cs.Default();
+  cs.SetValue(&a, "x", 0.9);
+  Configuration b = cs.Default();
+  cs.SetValue(&b, "x", 0.2);
+  mfes.Observe(a, 1.0 / 9.0, 5.0);  // Great but low fidelity.
+  mfes.Observe(b, 1.0, 0.2);        // Mediocre but full fidelity.
+  EXPECT_DOUBLE_EQ(cs.GetValue(mfes.best(), "x"), 0.2);
+  mfes.Observe(a, 1.0, 0.9);        // Full-fidelity improvement wins.
+  EXPECT_DOUBLE_EQ(cs.GetValue(mfes.best(), "x"), 0.9);
+}
+
+TEST(MfesTest, FindsGoodConfigOnNoiselessObjective) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  MfesHbOptimizer mfes(&cs, {}, 7);
+  for (int i = 0; i < 120; ++i) {
+    MfesHbOptimizer::Proposal p = mfes.Next();
+    double x = cs.GetValue(p.config, "x");
+    mfes.Observe(p.config, p.fidelity, 1.0 - (x - 0.6) * (x - 0.6));
+  }
+  EXPECT_GT(mfes.best_utility(), 0.9);
+  EXPECT_GE(mfes.best_fidelity(), 1.0);
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,200 @@
+// Focused behavioural tests for the three building-block types: warm-start
+// routing, EUI-driven arm choice, incumbent exchange, and default-first
+// evaluation order.
+
+#include <memory>
+
+#include "core/alternating_block.h"
+#include "core/conditioning_block.h"
+#include "core/joint_block.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/search_space.h"
+#include "gtest/gtest.h"
+
+namespace volcanoml {
+namespace {
+
+/// A scripted block for composing tests without real evaluations: each
+/// DoNext appends the next utility from a fixed schedule.
+class ScriptedBlock : public BuildingBlock {
+ public:
+  ScriptedBlock(std::string name, std::vector<double> schedule)
+      : BuildingBlock(std::move(name)), schedule_(std::move(schedule)) {}
+
+  size_t pulls_taken() const { return cursor_; }
+  const Assignment& context_seen() const { return context_; }
+  int warm_starts_received = 0;
+
+  void WarmStart(const Assignment&) override { ++warm_starts_received; }
+
+ protected:
+  void DoNextImpl(double /*k_more*/) override {
+    double utility = cursor_ < schedule_.size() ? schedule_[cursor_]
+                                                : schedule_.back();
+    ++cursor_;
+    Assignment a = context_;
+    a["probe"] = static_cast<double>(cursor_);
+    RecordObservation(a, utility);
+  }
+
+ private:
+  std::vector<double> schedule_;
+  size_t cursor_ = 0;
+};
+
+TEST(ScriptedConditioningTest, RoundRobinPullsEveryArmOncePerDoNext) {
+  std::vector<ScriptedBlock*> raw;
+  ConditioningBlock cond(
+      "cond", "arm", 3,
+      [&raw](size_t i) {
+        auto block = std::make_unique<ScriptedBlock>(
+            "arm" + std::to_string(i), std::vector<double>{0.1, 0.2, 0.3});
+        raw.push_back(block.get());
+        return block;
+      });
+  cond.DoNext(100.0);
+  for (ScriptedBlock* block : raw) EXPECT_EQ(block->pulls_taken(), 1u);
+  cond.DoNext(100.0);
+  for (ScriptedBlock* block : raw) EXPECT_EQ(block->pulls_taken(), 2u);
+}
+
+TEST(ScriptedConditioningTest, EliminatesConvergedLoser) {
+  // Arm 0 converges high; arm 1 converges clearly lower. After L=2 rounds
+  // with a small remaining budget the loser must be eliminated.
+  std::vector<ScriptedBlock*> raw;
+  ConditioningBlock cond(
+      "cond", "arm", 2,
+      [&raw](size_t i) {
+        std::vector<double> schedule =
+            i == 0 ? std::vector<double>{0.9, 0.9, 0.9, 0.9, 0.9}
+                   : std::vector<double>{0.3, 0.3, 0.3, 0.3, 0.3};
+        auto block = std::make_unique<ScriptedBlock>(
+            "arm" + std::to_string(i), schedule);
+        raw.push_back(block.get());
+        return block;
+      },
+      /*rounds_per_elimination=*/2);
+  for (int i = 0; i < 4; ++i) cond.DoNext(3.0);
+  EXPECT_TRUE(cond.IsChildActive(0));
+  EXPECT_FALSE(cond.IsChildActive(1));
+  // The eliminated arm receives no further pulls.
+  size_t pulls_after = raw[1]->pulls_taken();
+  cond.DoNext(2.0);
+  EXPECT_EQ(raw[1]->pulls_taken(), pulls_after);
+  EXPECT_DOUBLE_EQ(cond.BestUtility(), 0.9);
+}
+
+TEST(ScriptedConditioningTest, WarmStartRoutesToMatchingArmOnly) {
+  std::vector<ScriptedBlock*> raw;
+  ConditioningBlock cond("cond", "algorithm", 3, [&raw](size_t i) {
+    auto block = std::make_unique<ScriptedBlock>(
+        "arm" + std::to_string(i), std::vector<double>{0.5});
+    raw.push_back(block.get());
+    return block;
+  });
+  cond.WarmStart({{"algorithm", 1.0}, {"alg:x:c", 0.5}});
+  EXPECT_EQ(raw[0]->warm_starts_received, 0);
+  EXPECT_EQ(raw[1]->warm_starts_received, 1);
+  EXPECT_EQ(raw[2]->warm_starts_received, 0);
+  // Without the conditioned variable, every active arm receives it.
+  cond.WarmStart({{"alg:x:c", 0.7}});
+  EXPECT_EQ(raw[0]->warm_starts_received, 1);
+  EXPECT_EQ(raw[2]->warm_starts_received, 1);
+}
+
+TEST(ScriptedAlternatingTest, InitAlternatesStrictly) {
+  auto a = std::make_unique<ScriptedBlock>(
+      "a", std::vector<double>{0.5, 0.6, 0.7});
+  auto b = std::make_unique<ScriptedBlock>(
+      "b", std::vector<double>{0.4, 0.45, 0.5});
+  ScriptedBlock* ra = a.get();
+  ScriptedBlock* rb = b.get();
+  AlternatingBlock alt("alt", std::move(a), {"va"}, std::move(b), {"vb"},
+                       /*init_rounds=*/2);
+  alt.DoNext(10.0);
+  EXPECT_EQ(ra->pulls_taken(), 1u);
+  EXPECT_EQ(rb->pulls_taken(), 0u);
+  alt.DoNext(10.0);
+  EXPECT_EQ(rb->pulls_taken(), 1u);
+  alt.DoNext(10.0);
+  alt.DoNext(10.0);
+  EXPECT_EQ(ra->pulls_taken(), 2u);
+  EXPECT_EQ(rb->pulls_taken(), 2u);
+}
+
+TEST(ScriptedAlternatingTest, EuiPicksImprovingSide) {
+  // After init, side A keeps improving strongly; side B is flat. The EUI
+  // rule must route (almost) all post-init pulls to A.
+  std::vector<double> rising;
+  for (int i = 0; i < 30; ++i) rising.push_back(0.3 + 0.02 * i);
+  auto a = std::make_unique<ScriptedBlock>("a", rising);
+  auto b = std::make_unique<ScriptedBlock>(
+      "b", std::vector<double>{0.2, 0.2, 0.2, 0.2});
+  ScriptedBlock* ra = a.get();
+  ScriptedBlock* rb = b.get();
+  AlternatingBlock alt("alt", std::move(a), {"va"}, std::move(b), {"vb"},
+                       /*init_rounds=*/2);
+  for (int i = 0; i < 14; ++i) alt.DoNext(10.0);
+  EXPECT_GE(ra->pulls_taken(), 10u);
+  EXPECT_LE(rb->pulls_taken(), 4u);
+}
+
+TEST(ScriptedAlternatingTest, SharesBestVariablesIntoSiblingContext) {
+  auto a = std::make_unique<ScriptedBlock>(
+      "a", std::vector<double>{0.9});
+  auto b = std::make_unique<ScriptedBlock>(
+      "b", std::vector<double>{0.1});
+  ScriptedBlock* rb = b.get();
+  AlternatingBlock alt("alt", std::move(a), {"probe"}, std::move(b),
+                       {"other"}, /*init_rounds=*/1);
+  alt.DoNext(10.0);  // Pull A: records probe=1 at utility 0.9.
+  alt.DoNext(10.0);  // Pull B: must first receive A's best "probe".
+  EXPECT_EQ(rb->context_seen().count("probe"), 1u);
+  EXPECT_DOUBLE_EQ(rb->context_seen().at("probe"), 1.0);
+}
+
+TEST(ScriptedConditioningTest, SuccessiveHalvingPolicyHalvesArms) {
+  std::vector<ScriptedBlock*> raw;
+  ConditioningBlock cond(
+      "cond", "arm", 4,
+      [&raw](size_t i) {
+        // Arm quality increases with index.
+        double utility = 0.2 + 0.2 * static_cast<double>(i);
+        auto block = std::make_unique<ScriptedBlock>(
+            "arm" + std::to_string(i),
+            std::vector<double>{utility, utility, utility});
+        raw.push_back(block.get());
+        return block;
+      },
+      /*rounds_per_elimination=*/2,
+      ConditioningBlock::EliminationPolicy::kSuccessiveHalving);
+  cond.DoNext(10.0);
+  cond.DoNext(10.0);  // First halving: 4 -> 2 arms.
+  EXPECT_EQ(cond.NumActiveChildren(), 2u);
+  EXPECT_TRUE(cond.IsChildActive(2));
+  EXPECT_TRUE(cond.IsChildActive(3));
+  cond.DoNext(10.0);
+  cond.DoNext(10.0);  // Second halving: 2 -> 1.
+  EXPECT_EQ(cond.NumActiveChildren(), 1u);
+  EXPECT_TRUE(cond.IsChildActive(3));
+  EXPECT_DOUBLE_EQ(cond.BestUtility(), 0.8);
+}
+
+TEST(JointBlockTest, EvaluatesDefaultConfigurationFirst) {
+  SearchSpaceOptions options;
+  options.preset = SpacePreset::kSmall;
+  SearchSpace space(options);
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+  PipelineEvaluator evaluator(&space, &data, {});
+  JointBlock block("joint", space.joint(), &evaluator,
+                   JointOptimizerKind::kSmac, 4);
+  block.DoNext(10.0);
+  // The first evaluation is the default assignment: algorithm choice 0
+  // and all defaults.
+  Assignment expected = space.DefaultAssignment();
+  EXPECT_EQ(block.BestAssignment(), expected);
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,167 @@
+#include <cmath>
+
+#include "bo/acquisition.h"
+#include "bo/optimizer.h"
+#include "bo/smac.h"
+#include "bo/surrogate.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+/// 2-D quadratic bowl (maximum 1.0 at (0.7, 0.3)).
+double Bowl(const ConfigurationSpace& cs, const Configuration& c) {
+  double x = cs.GetValue(c, "x"), y = cs.GetValue(c, "y");
+  return 1.0 - (x - 0.7) * (x - 0.7) - (y - 0.3) * (y - 0.3);
+}
+
+ConfigurationSpace BowlSpace() {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  cs.AddContinuous("y", 0.0, 1.0, 0.5);
+  return cs;
+}
+
+TEST(AcquisitionTest, NormalCdfPdfSanity) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(NormalCdf(10.0), 1.0, 1e-9);
+  EXPECT_NEAR(NormalCdf(-10.0), 0.0, 1e-9);
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804, 1e-9);
+}
+
+TEST(AcquisitionTest, EiZeroVarianceIsHingeLoss) {
+  EXPECT_DOUBLE_EQ(ExpectedImprovement(0.5, 0.0, 0.7), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedImprovement(0.9, 0.0, 0.7),
+                   0.9 - 0.7);
+}
+
+TEST(AcquisitionTest, EiIncreasesWithMeanAndVariance) {
+  double low_mean = ExpectedImprovement(0.5, 0.01, 0.7);
+  double high_mean = ExpectedImprovement(0.65, 0.01, 0.7);
+  EXPECT_GT(high_mean, low_mean);
+  double low_var = ExpectedImprovement(0.5, 0.01, 0.7);
+  double high_var = ExpectedImprovement(0.5, 0.1, 0.7);
+  EXPECT_GT(high_var, low_var);
+  EXPECT_GE(low_var, 0.0);
+}
+
+TEST(SurrogateTest, LearnsSimpleFunction) {
+  Rng rng(1);
+  ConfigurationSpace cs = BowlSpace();
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    Configuration c = cs.Sample(&rng);
+    x.push_back(cs.Encode(c));
+    y.push_back(Bowl(cs, c));
+  }
+  RandomForestSurrogate surrogate({}, 2);
+  surrogate.Fit(x, y);
+  // Predict near the optimum vs far away.
+  Configuration good = cs.Default();
+  cs.SetValue(&good, "x", 0.7);
+  cs.SetValue(&good, "y", 0.3);
+  Configuration bad = cs.Default();
+  cs.SetValue(&bad, "x", 0.0);
+  cs.SetValue(&bad, "y", 1.0);
+  double mean_good, var_good, mean_bad, var_bad;
+  surrogate.PredictMeanVar(cs.Encode(good), &mean_good, &var_good);
+  surrogate.PredictMeanVar(cs.Encode(bad), &mean_bad, &var_bad);
+  EXPECT_GT(mean_good, mean_bad + 0.2);
+  EXPECT_GT(var_good, 0.0);
+}
+
+TEST(SurrogateTest, VarianceFloorsAtMinimum) {
+  RandomForestSurrogate::Options o;
+  o.min_variance = 1e-4;
+  RandomForestSurrogate surrogate(o, 3);
+  std::vector<std::vector<double>> x = {{0.0}, {0.0}, {0.0}, {0.0}};
+  std::vector<double> y = {1.0, 1.0, 1.0, 1.0};
+  surrogate.Fit(x, y);
+  double mean, variance;
+  surrogate.PredictMeanVar({0.0}, &mean, &variance);
+  EXPECT_GE(variance, 1e-4);
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+}
+
+TEST(RandomSearchTest, TracksBest) {
+  ConfigurationSpace cs = BowlSpace();
+  RandomSearchOptimizer opt(&cs, 4);
+  for (int i = 0; i < 50; ++i) {
+    Configuration c = opt.Suggest();
+    opt.Observe(c, Bowl(cs, c));
+  }
+  EXPECT_EQ(opt.NumObservations(), 50u);
+  EXPECT_GT(opt.best_utility(), 0.7);
+  EXPECT_DOUBLE_EQ(Bowl(cs, opt.best()), opt.best_utility());
+}
+
+TEST(RandomSearchTest, InitialQueueIsConsumedFirst) {
+  ConfigurationSpace cs = BowlSpace();
+  RandomSearchOptimizer opt(&cs, 5);
+  Configuration seed = cs.Default();
+  cs.SetValue(&seed, "x", 0.123);
+  opt.EnqueueInitial(seed);
+  Configuration first = opt.Suggest();
+  EXPECT_DOUBLE_EQ(cs.GetValue(first, "x"), 0.123);
+}
+
+TEST(SmacTest, OutperformsRandomOnSmoothFunction) {
+  ConfigurationSpace cs = BowlSpace();
+  const int budget = 60;
+  double random_total = 0.0, smac_total = 0.0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    RandomSearchOptimizer random_opt(&cs, seed);
+    SmacOptimizer smac_opt(&cs, {}, seed);
+    for (int i = 0; i < budget; ++i) {
+      Configuration c = random_opt.Suggest();
+      random_opt.Observe(c, Bowl(cs, c));
+      Configuration s = smac_opt.Suggest();
+      smac_opt.Observe(s, Bowl(cs, s));
+    }
+    random_total += random_opt.best_utility();
+    smac_total += smac_opt.best_utility();
+  }
+  EXPECT_GE(smac_total, random_total - 0.01);
+  EXPECT_GT(smac_total / 5.0, 0.95);  // Near the optimum of 1.0.
+}
+
+TEST(SmacTest, HandlesCategoricalConditionals) {
+  ConfigurationSpace cs;
+  cs.AddCategorical("branch", {"quad", "linear"});
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  cs.AddContinuous("slope", 0.0, 1.0, 0.5);
+  cs.AddCondition("x", "branch", {0});
+  cs.AddCondition("slope", "branch", {1});
+  auto objective = [&cs](const Configuration& c) {
+    if (cs.GetChoice(c, "branch") == 0) {
+      double x = cs.GetValue(c, "x");
+      return 1.0 - (x - 0.5) * (x - 0.5);  // Max 1.0.
+    }
+    return 0.3 + 0.2 * cs.GetValue(c, "slope");  // Max 0.5.
+  };
+  SmacOptimizer smac(&cs, {}, 7);
+  for (int i = 0; i < 50; ++i) {
+    Configuration c = smac.Suggest();
+    smac.Observe(c, objective(c));
+  }
+  EXPECT_EQ(cs.GetChoice(smac.best(), "branch"), 0u);
+  EXPECT_GT(smac.best_utility(), 0.9);
+}
+
+TEST(SmacTest, WarmStartSeedsAreEvaluatedFirst) {
+  ConfigurationSpace cs = BowlSpace();
+  SmacOptimizer smac(&cs, {}, 8);
+  Configuration seed = cs.Default();
+  cs.SetValue(&seed, "x", 0.7);
+  cs.SetValue(&seed, "y", 0.3);
+  smac.EnqueueInitial(seed);
+  Configuration first = smac.Suggest();
+  EXPECT_DOUBLE_EQ(cs.GetValue(first, "x"), 0.7);
+  smac.Observe(first, Bowl(cs, first));
+  EXPECT_NEAR(smac.best_utility(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,76 @@
+// Tests for the BOHB-style proposal engine inside the multi-fidelity
+// optimizer (MFES-HB machinery + TPE bracket proposals).
+
+#include <set>
+
+#include "bandit/mfes.h"
+#include "gtest/gtest.h"
+
+namespace volcanoml {
+namespace {
+
+MfesHbOptimizer::Options BohbOptions() {
+  MfesHbOptimizer::Options options;
+  options.engine = MfesHbOptimizer::ProposalEngine::kTpe;
+  return options;
+}
+
+TEST(BohbTest, RunsBracketsAndTracksBest) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  MfesHbOptimizer bohb(&cs, BohbOptions(), 1);
+  std::set<double> fidelities;
+  for (int i = 0; i < 120; ++i) {
+    MfesHbOptimizer::Proposal p = bohb.Next();
+    fidelities.insert(p.fidelity);
+    double x = cs.GetValue(p.config, "x");
+    bohb.Observe(p.config, p.fidelity, 1.0 - (x - 0.4) * (x - 0.4));
+  }
+  EXPECT_GE(fidelities.size(), 2u);
+  EXPECT_GT(bohb.best_utility(), 0.9);
+  EXPECT_GE(bohb.best_fidelity(), 1.0);
+}
+
+TEST(BohbTest, ModelBasedProposalsConcentrate) {
+  // After enough observations, bracket candidates should cluster near
+  // the optimum more than uniform sampling would.
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  MfesHbOptimizer bohb(&cs, BohbOptions(), 2);
+  // Warm up with several brackets.
+  for (int i = 0; i < 150; ++i) {
+    MfesHbOptimizer::Proposal p = bohb.Next();
+    double x = cs.GetValue(p.config, "x");
+    bohb.Observe(p.config, p.fidelity, 1.0 - (x - 0.7) * (x - 0.7));
+  }
+  int near = 0, total = 0;
+  for (int i = 0; i < 60; ++i) {
+    MfesHbOptimizer::Proposal p = bohb.Next();
+    double x = cs.GetValue(p.config, "x");
+    if (std::abs(x - 0.7) < 0.25) ++near;
+    ++total;
+    bohb.Observe(p.config, p.fidelity, 1.0 - (x - 0.7) * (x - 0.7));
+  }
+  // Uniform sampling would put ~50% in that window; require clearly more.
+  EXPECT_GT(near * 10, total * 6);
+}
+
+TEST(BohbTest, MixedSpaceStaysInBounds) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("lr", 1e-4, 1.0, 0.01, /*log_scale=*/true);
+  cs.AddInteger("layers", 1, 4, 2);
+  cs.AddCategorical("act", {"relu", "tanh"});
+  MfesHbOptimizer bohb(&cs, BohbOptions(), 3);
+  Rng rng(4);
+  for (int i = 0; i < 80; ++i) {
+    MfesHbOptimizer::Proposal p = bohb.Next();
+    EXPECT_GE(cs.GetValue(p.config, "lr"), 1e-4);
+    EXPECT_LE(cs.GetValue(p.config, "lr"), 1.0);
+    EXPECT_GE(cs.GetInt(p.config, "layers"), 1);
+    EXPECT_LE(cs.GetInt(p.config, "layers"), 4);
+    bohb.Observe(p.config, p.fidelity, rng.Uniform());
+  }
+}
+
+}  // namespace
+}  // namespace volcanoml

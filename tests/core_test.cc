@@ -1,0 +1,211 @@
+#include <memory>
+
+#include "core/alternating_block.h"
+#include "core/conditioning_block.h"
+#include "core/joint_block.h"
+#include "core/plans.h"
+#include "core/volcano_ml.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+SearchSpaceOptions SmallCls() {
+  SearchSpaceOptions o;
+  o.task = TaskType::kClassification;
+  o.preset = SpacePreset::kSmall;
+  return o;
+}
+
+/// Fixture providing a small space + evaluator on easy data.
+class BlockTest : public ::testing::Test {
+ protected:
+  BlockTest()
+      : space_(SmallCls()),
+        data_(MakeBlobs(200, 4, 2, 1.2, 99)),
+        evaluator_(&space_, &data_, {}) {}
+
+  SearchSpace space_;
+  Dataset data_;
+  PipelineEvaluator evaluator_;
+};
+
+TEST_F(BlockTest, JointBlockImprovesOverPulls) {
+  JointBlock block("joint", space_.joint(), &evaluator_,
+                   JointOptimizerKind::kSmac, 1);
+  for (int i = 0; i < 20; ++i) block.DoNext(20.0 - i);
+  EXPECT_EQ(block.NumPulls(), 20u);
+  EXPECT_GT(block.BestUtility(), 0.85);
+  // Pull history is the non-decreasing incumbent curve.
+  for (size_t i = 1; i < block.pull_history().size(); ++i) {
+    EXPECT_GE(block.pull_history()[i], block.pull_history()[i - 1]);
+  }
+  // The best assignment includes the block's variables.
+  EXPECT_TRUE(block.BestAssignment().count("algorithm") > 0);
+}
+
+TEST_F(BlockTest, JointBlockContextIsIncludedInEvaluations) {
+  ConfigurationSpace sub = space_.FeSubspace();
+  JointBlock block("fe", sub, &evaluator_, JointOptimizerKind::kRandom, 2);
+  block.SetVar({{"algorithm", 1.0}});  // decision_tree
+  block.DoNext(10.0);
+  EXPECT_DOUBLE_EQ(block.BestAssignment().at("algorithm"), 1.0);
+}
+
+TEST_F(BlockTest, JointBlockMfesModeConsumesFractionalBudget) {
+  JointBlock block("mfes", space_.joint(), &evaluator_,
+                   JointOptimizerKind::kMfesHb, 3);
+  for (int i = 0; i < 9; ++i) block.DoNext(9.0);
+  // MFES starts with low-fidelity evaluations: budget < #evals.
+  EXPECT_LT(evaluator_.consumed_budget(),
+            static_cast<double>(evaluator_.num_evaluations()));
+}
+
+TEST_F(BlockTest, ConditioningBlockPlaysAllArmsThenEliminates) {
+  auto factory = [this](size_t arm) -> std::unique_ptr<BuildingBlock> {
+    ConfigurationSpace sub = space_.FeSubspace();
+    sub.Merge(space_.HpSubspaceFor(space_.algorithms()[arm]), "");
+    auto block = std::make_unique<JointBlock>(
+        "arm" + std::to_string(arm), std::move(sub), &evaluator_,
+        JointOptimizerKind::kSmac, 10 + arm);
+    block->SetVar({{"algorithm", static_cast<double>(arm)}});
+    return block;
+  };
+  ConditioningBlock cond("cond", "algorithm", space_.algorithms().size(),
+                         factory, /*rounds_per_elimination=*/3);
+  EXPECT_EQ(cond.NumActiveChildren(), space_.algorithms().size());
+  for (int i = 0; i < 8; ++i) cond.DoNext(30.0 - i * 4.0);
+  // Every child was played (each round touches every active arm).
+  for (size_t i = 0; i < space_.algorithms().size(); ++i) {
+    if (cond.IsChildActive(i)) {
+      EXPECT_GE(cond.child(i).NumPulls(), 3u);
+    }
+  }
+  EXPECT_GT(cond.BestUtility(), 0.85);
+  EXPECT_GE(cond.NumActiveChildren(), 1u);
+}
+
+TEST_F(BlockTest, AlternatingBlockExchangesIncumbents) {
+  const std::string algorithm = "decision_tree";
+  size_t arm = 1;
+  ConfigurationSpace fe_space = space_.FeSubspace();
+  ConfigurationSpace hp_space = space_.HpSubspaceFor(algorithm);
+  std::vector<std::string> fe_vars = fe_space.ParameterNames();
+  std::vector<std::string> hp_vars = hp_space.ParameterNames();
+  auto fe_block = std::make_unique<JointBlock>(
+      "fe", std::move(fe_space), &evaluator_, JointOptimizerKind::kSmac, 21);
+  auto hp_block = std::make_unique<JointBlock>(
+      "hp", std::move(hp_space), &evaluator_, JointOptimizerKind::kSmac, 22);
+  AlternatingBlock alt("alt", std::move(fe_block), fe_vars,
+                       std::move(hp_block), hp_vars);
+  alt.SetVar({{"algorithm", static_cast<double>(arm)}});
+  for (int i = 0; i < 12; ++i) alt.DoNext(12.0 - i);
+  // Both children were exercised during initialization.
+  EXPECT_GE(alt.block_a().NumPulls(), 2u);
+  EXPECT_GE(alt.block_b().NumPulls(), 2u);
+  EXPECT_EQ(alt.block_a().NumPulls() + alt.block_b().NumPulls(), 12u);
+  EXPECT_GT(alt.BestUtility(), 0.8);
+  // The joint best carries both FE and HP variables plus the context.
+  EXPECT_GT(alt.BestAssignment().count("algorithm"), 0u);
+}
+
+TEST(PlansTest, AllKindsBuildAndRun) {
+  SearchSpace space(SmallCls());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 31);
+  for (PlanKind kind : AllPlanKinds()) {
+    PipelineEvaluator evaluator(&space, &data, {});
+    std::unique_ptr<BuildingBlock> root =
+        BuildPlan(kind, space, &evaluator, JointOptimizerKind::kSmac, 7);
+    ASSERT_NE(root, nullptr) << PlanKindName(kind);
+    for (int i = 0; i < 4; ++i) root->DoNext(8.0);
+    EXPECT_GT(root->BestUtility(), 0.5) << PlanKindName(kind);
+  }
+}
+
+TEST(PlansTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (PlanKind kind : AllPlanKinds()) names.insert(PlanKindName(kind));
+  EXPECT_EQ(names.size(), AllPlanKinds().size());
+}
+
+TEST(VolcanoMlTest, FitRespectsBudgetAndReturnsTrajectory) {
+  VolcanoMlOptions options;
+  options.space = SmallCls();
+  options.budget = 30.0;
+  options.seed = 5;
+  VolcanoML automl(options);
+  Dataset data = MakeBlobs(200, 4, 2, 1.2, 41);
+  AutoMlResult result = automl.Fit(data);
+  EXPECT_GE(result.num_evaluations, 30u);
+  EXPECT_FALSE(result.trajectory.empty());
+  EXPECT_GT(result.best_utility, 0.85);
+  // Trajectory budget is non-decreasing and utility is monotone.
+  for (size_t i = 1; i < result.trajectory.size(); ++i) {
+    EXPECT_GE(result.trajectory[i].budget, result.trajectory[i - 1].budget);
+    EXPECT_GE(result.trajectory[i].utility,
+              result.trajectory[i - 1].utility);
+  }
+}
+
+TEST(VolcanoMlTest, FinalPipelinePredictsWell) {
+  VolcanoMlOptions options;
+  options.space = SmallCls();
+  options.budget = 25.0;
+  options.seed = 6;
+  VolcanoML automl(options);
+  Dataset train = MakeBlobs(200, 4, 2, 1.2, 42);
+  Dataset test = MakeBlobs(100, 4, 2, 1.2, 42);
+  automl.Fit(train);
+  Result<FittedPipeline> pipeline = automl.FitFinalPipeline();
+  ASSERT_TRUE(pipeline.ok());
+  std::vector<double> pred = pipeline.value().Predict(test.x());
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == test.y()[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / pred.size(), 0.85);
+}
+
+TEST(VolcanoMlTest, RegressionEndToEnd) {
+  VolcanoMlOptions options;
+  options.space.task = TaskType::kRegression;
+  options.space.preset = SpacePreset::kSmall;
+  options.budget = 25.0;
+  options.seed = 7;
+  VolcanoML automl(options);
+  Dataset data = MakeFriedman1(250, 8, 1.0, 43);
+  AutoMlResult result = automl.Fit(data);
+  EXPECT_GT(result.best_utility, -15.0);  // Beats the ~ -24 mean predictor.
+}
+
+TEST(VolcanoMlTest, DeterministicGivenSeed) {
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 44);
+  auto run = [&data]() {
+    VolcanoMlOptions options;
+    options.space = SmallCls();
+    options.budget = 15.0;
+    options.seed = 9;
+    VolcanoML automl(options);
+    return automl.Fit(data).best_utility;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(VolcanoMlTest, MfesOptimizerModeRuns) {
+  VolcanoMlOptions options;
+  options.space = SmallCls();
+  options.optimizer = JointOptimizerKind::kMfesHb;
+  options.budget = 20.0;
+  options.seed = 10;
+  VolcanoML automl(options);
+  Dataset data = MakeBlobs(300, 4, 2, 1.2, 45);
+  AutoMlResult result = automl.Fit(data);
+  EXPECT_GT(result.best_utility, 0.8);
+  // Early stopping packs more evaluations into the same budget.
+  EXPECT_GT(result.num_evaluations, 20u);
+}
+
+}  // namespace
+}  // namespace volcanoml

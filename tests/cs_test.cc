@@ -1,0 +1,189 @@
+#include <cmath>
+#include <set>
+
+#include "cs/configuration_space.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+ConfigurationSpace MakeSpace() {
+  ConfigurationSpace cs;
+  cs.AddCategorical("model", {"svm", "tree", "knn"});
+  cs.AddContinuous("c", 0.01, 100.0, 1.0, /*log_scale=*/true);
+  cs.AddInteger("depth", 1, 20, 10);
+  cs.AddCategorical("kernel", {"linear", "rbf"});
+  cs.AddCondition("c", "model", {0});      // c active only for svm.
+  cs.AddCondition("kernel", "model", {0}); // kernel active only for svm.
+  cs.AddCondition("depth", "model", {1});  // depth active only for tree.
+  return cs;
+}
+
+TEST(ConfigurationSpaceTest, CountsParameters) {
+  ConfigurationSpace cs = MakeSpace();
+  EXPECT_EQ(cs.NumParameters(), 4u);
+  EXPECT_TRUE(cs.Contains("model"));
+  EXPECT_FALSE(cs.Contains("nope"));
+}
+
+TEST(ConfigurationSpaceTest, DefaultUsesDefaults) {
+  ConfigurationSpace cs = MakeSpace();
+  Configuration c = cs.Default();
+  EXPECT_DOUBLE_EQ(cs.GetValue(c, "c"), 1.0);
+  EXPECT_EQ(cs.GetInt(c, "depth"), 10);
+  EXPECT_EQ(cs.GetChoiceName(c, "model"), "svm");
+}
+
+TEST(ConfigurationSpaceTest, SampleStaysInBounds) {
+  ConfigurationSpace cs = MakeSpace();
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    Configuration c = cs.Sample(&rng);
+    double v = cs.GetValue(c, "c");
+    EXPECT_GE(v, 0.01);
+    EXPECT_LE(v, 100.0);
+    int depth = cs.GetInt(c, "depth");
+    EXPECT_GE(depth, 1);
+    EXPECT_LE(depth, 20);
+    EXPECT_LT(cs.GetChoice(c, "model"), 3u);
+  }
+}
+
+TEST(ConfigurationSpaceTest, LogSamplingCoversDecades) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 1e-3, 1e3, 1.0, true);
+  Rng rng(2);
+  int low = 0, high = 0;
+  for (int i = 0; i < 2000; ++i) {
+    double v = cs.GetValue(cs.Sample(&rng), "x");
+    if (v < 1e-1) ++low;
+    if (v > 1e1) ++high;
+  }
+  // Log-uniform: each 2-decade band holds ~1/3 of the mass.
+  EXPECT_GT(low, 400);
+  EXPECT_GT(high, 400);
+}
+
+TEST(ConfigurationSpaceTest, ConditionalActivity) {
+  ConfigurationSpace cs = MakeSpace();
+  Configuration c = cs.Default();
+  cs.SetValue(&c, "model", 0);  // svm
+  EXPECT_TRUE(cs.IsActive(c, cs.IndexOf("c")));
+  EXPECT_FALSE(cs.IsActive(c, cs.IndexOf("depth")));
+  cs.SetValue(&c, "model", 1);  // tree
+  EXPECT_FALSE(cs.IsActive(c, cs.IndexOf("c")));
+  EXPECT_TRUE(cs.IsActive(c, cs.IndexOf("depth")));
+  cs.SetValue(&c, "model", 2);  // knn: nothing conditional active
+  EXPECT_FALSE(cs.IsActive(c, cs.IndexOf("c")));
+  EXPECT_FALSE(cs.IsActive(c, cs.IndexOf("depth")));
+}
+
+TEST(ConfigurationSpaceTest, NestedConditionsFollowParentChain) {
+  ConfigurationSpace cs;
+  cs.AddCategorical("a", {"on", "off"});
+  cs.AddCategorical("b", {"x", "y"});
+  cs.AddContinuous("leaf", 0.0, 1.0, 0.5);
+  cs.AddCondition("b", "a", {0});
+  cs.AddCondition("leaf", "b", {1});
+  Configuration c = cs.Default();  // a=on, b=x
+  EXPECT_FALSE(cs.IsActive(c, cs.IndexOf("leaf")));
+  cs.SetValue(&c, "b", 1);
+  EXPECT_TRUE(cs.IsActive(c, cs.IndexOf("leaf")));
+  cs.SetValue(&c, "a", 1);  // b inactive -> leaf inactive too.
+  EXPECT_FALSE(cs.IsActive(c, cs.IndexOf("leaf")));
+}
+
+TEST(ConfigurationSpaceTest, EncodeScalesAndMarksInactive) {
+  ConfigurationSpace cs = MakeSpace();
+  Configuration c = cs.Default();
+  cs.SetValue(&c, "model", 1);  // tree: depth active, c/kernel inactive.
+  cs.SetValue(&c, "depth", 20);
+  std::vector<double> enc = cs.Encode(c);
+  ASSERT_EQ(enc.size(), 4u);
+  EXPECT_DOUBLE_EQ(enc[cs.IndexOf("model")], 1.0);
+  EXPECT_DOUBLE_EQ(enc[cs.IndexOf("c")], -1.0);       // inactive
+  EXPECT_DOUBLE_EQ(enc[cs.IndexOf("kernel")], -1.0);  // inactive
+  EXPECT_DOUBLE_EQ(enc[cs.IndexOf("depth")], 1.0);    // max of range
+}
+
+TEST(ConfigurationSpaceTest, EncodeLogScale) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.01, 100.0, 1.0, true);
+  Configuration c = cs.Default();
+  std::vector<double> enc = cs.Encode(c);
+  EXPECT_NEAR(enc[0], 0.5, 1e-12);  // 1.0 is the geometric midpoint.
+}
+
+TEST(ConfigurationSpaceTest, NeighborChangesExactlyOneActiveParam) {
+  ConfigurationSpace cs = MakeSpace();
+  Rng rng(3);
+  Configuration c = cs.Default();
+  for (int i = 0; i < 100; ++i) {
+    Configuration n = cs.Neighbor(c, &rng);
+    int changed = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      if (n.values[j] != c.values[j]) ++changed;
+    }
+    EXPECT_LE(changed, 1);
+  }
+}
+
+TEST(ConfigurationSpaceTest, NeighborRespectsBounds) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.99);
+  cs.AddInteger("n", 1, 3, 3);
+  Rng rng(4);
+  Configuration c = cs.Default();
+  for (int i = 0; i < 200; ++i) {
+    Configuration n = cs.Neighbor(c, &rng);
+    EXPECT_GE(cs.GetValue(n, "x"), 0.0);
+    EXPECT_LE(cs.GetValue(n, "x"), 1.0);
+    EXPECT_GE(cs.GetInt(n, "n"), 1);
+    EXPECT_LE(cs.GetInt(n, "n"), 3);
+  }
+}
+
+TEST(ConfigurationSpaceTest, MergePrefixesNamesAndConditions) {
+  ConfigurationSpace outer;
+  outer.AddCategorical("algorithm", {"a", "b"});
+  ConfigurationSpace inner = MakeSpace();
+  outer.Merge(inner, "alg:svm:");
+  EXPECT_EQ(outer.NumParameters(), 5u);
+  EXPECT_TRUE(outer.Contains("alg:svm:model"));
+  EXPECT_TRUE(outer.Contains("alg:svm:c"));
+  // The merged condition should reference the prefixed parent.
+  Configuration c = outer.Default();
+  outer.SetValue(&c, "alg:svm:model", 1);
+  EXPECT_FALSE(outer.IsActive(c, outer.IndexOf("alg:svm:c")));
+}
+
+TEST(ConfigurationSpaceTest, AssignmentRoundTrip) {
+  ConfigurationSpace cs = MakeSpace();
+  Rng rng(5);
+  Configuration c = cs.Sample(&rng);
+  Assignment a = cs.ToAssignment(c);
+  EXPECT_EQ(a.size(), 4u);
+  Configuration back = cs.FromAssignment(a);
+  EXPECT_EQ(back, c);
+}
+
+TEST(ConfigurationSpaceTest, FromAssignmentIgnoresForeignKeysUsesDefaults) {
+  ConfigurationSpace cs = MakeSpace();
+  Assignment a = {{"other:thing", 5.0}, {"depth", 7.0}};
+  Configuration c = cs.FromAssignment(a);
+  EXPECT_EQ(cs.GetInt(c, "depth"), 7);
+  EXPECT_DOUBLE_EQ(cs.GetValue(c, "c"), 1.0);  // default
+}
+
+TEST(ConfigurationSpaceTest, ToStringShowsOnlyActive) {
+  ConfigurationSpace cs = MakeSpace();
+  Configuration c = cs.Default();
+  cs.SetValue(&c, "model", 2);  // knn
+  std::string s = cs.ToString(c);
+  EXPECT_NE(s.find("model=knn"), std::string::npos);
+  EXPECT_EQ(s.find("depth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace volcanoml

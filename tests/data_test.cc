@@ -1,0 +1,339 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/matrix.h"
+#include "data/meta_features.h"
+#include "data/splits.h"
+#include "data/suite.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(MatrixTest, IndexingAndShape) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(MatrixTest, SelectRowsGathersInOrder) {
+  Matrix m(3, 2);
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 2; ++j) m(i, j) = static_cast<double>(10 * i + j);
+  Matrix s = m.SelectRows({2, 0});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 1.0);
+}
+
+TEST(MatrixTest, SelectCols) {
+  Matrix m(2, 3);
+  m(0, 2) = 7.0;
+  Matrix s = m.SelectCols({2});
+  EXPECT_EQ(s.cols(), 1u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 7.0);
+}
+
+TEST(MatrixTest, ConcatColsAndRows) {
+  Matrix a(2, 1, 1.0), b(2, 2, 2.0);
+  Matrix c = Matrix::ConcatCols(a, b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(0, 2), 2.0);
+
+  Matrix d(1, 3, 9.0);
+  Matrix e = Matrix::ConcatRows(c, d);
+  EXPECT_EQ(e.rows(), 3u);
+  EXPECT_DOUBLE_EQ(e(2, 0), 9.0);
+}
+
+TEST(MatrixTest, ColMeansAndStdDevs) {
+  Matrix m(3, 1);
+  m(0, 0) = 1.0;
+  m(1, 0) = 2.0;
+  m(2, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(m.ColMeans()[0], 2.0);
+  EXPECT_NEAR(m.ColStdDevs()[0], 1.0, 1e-12);
+}
+
+TEST(MatrixTest, MultiplyAndTranspose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix at = a.Transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+  Matrix prod = a.Multiply(at);  // 2x2 Gram matrix.
+  EXPECT_DOUBLE_EQ(prod(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(prod(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 77.0);
+}
+
+TEST(MatrixTest, SymmetricEigenRecovers2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(1, 1) = 3.0;
+  a(0, 1) = a(1, 0) = 1.0;
+  std::vector<double> values;
+  Matrix vectors;
+  SymmetricEigen(a, &values, &vectors);
+  // Eigenvalues of [[2,1],[1,3]] are (5±sqrt5)/2, descending.
+  EXPECT_NEAR(values[0], (5.0 + std::sqrt(5.0)) / 2.0, 1e-9);
+  EXPECT_NEAR(values[1], (5.0 - std::sqrt(5.0)) / 2.0, 1e-9);
+  // Check A v = lambda v for the leading pair.
+  double v0 = vectors(0, 0), v1 = vectors(1, 0);
+  EXPECT_NEAR(2.0 * v0 + 1.0 * v1, values[0] * v0, 1e-9);
+  EXPECT_NEAR(1.0 * v0 + 3.0 * v1, values[0] * v1, 1e-9);
+}
+
+TEST(DatasetTest, ClassificationMetadata) {
+  Matrix x(4, 2);
+  Dataset d("toy", x, {0, 1, 1, 2}, TaskType::kClassification);
+  EXPECT_EQ(d.NumClasses(), 3u);
+  EXPECT_EQ(d.Label(3), 2);
+  std::vector<size_t> counts = d.ClassCounts();
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(DatasetTest, SubsetPreservesClassUniverse) {
+  Matrix x(4, 1);
+  Dataset d("toy", x, {0, 1, 1, 2}, TaskType::kClassification);
+  Dataset sub = d.Subset({0, 1});
+  EXPECT_EQ(sub.NumSamples(), 2u);
+  EXPECT_EQ(sub.NumClasses(), 3u);  // Kept from parent.
+}
+
+TEST(DatasetTest, WithFeaturesSwapsMatrix) {
+  Matrix x(3, 2);
+  Dataset d("toy", x, {0.5, 1.5, 2.5}, TaskType::kRegression);
+  Matrix nx(3, 5, 1.0);
+  Dataset d2 = d.WithFeatures(nx);
+  EXPECT_EQ(d2.NumFeatures(), 5u);
+  EXPECT_EQ(d2.y()[2], 2.5);
+}
+
+TEST(SplitsTest, TrainTestPartitionIsComplete) {
+  Dataset d = MakeBlobs(100, 3, 2, 1.0, 42);
+  Rng rng(1);
+  Split s = TrainTestSplit(d, 0.2, &rng);
+  EXPECT_EQ(s.train.size() + s.test.size(), 100u);
+  std::set<size_t> all(s.train.begin(), s.train.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_NEAR(static_cast<double>(s.test.size()), 20.0, 3.0);
+}
+
+TEST(SplitsTest, StratificationKeepsBothClasses) {
+  // 90/10 imbalance: a non-stratified 20% split could miss the minority.
+  ClassificationOptions opts;
+  opts.num_samples = 100;
+  opts.num_features = 4;
+  opts.num_informative = 2;
+  opts.num_redundant = 0;
+  opts.imbalance = 9.0;
+  Dataset d = MakeClassification(opts, 7);
+  Rng rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    Split s = TrainTestSplit(d, 0.2, &rng);
+    std::set<int> train_classes, test_classes;
+    for (size_t i : s.train) train_classes.insert(d.Label(i));
+    for (size_t i : s.test) test_classes.insert(d.Label(i));
+    EXPECT_EQ(train_classes.size(), d.NumClasses());
+    EXPECT_EQ(test_classes.size(), d.NumClasses());
+  }
+}
+
+TEST(SplitsTest, KFoldTestSetsPartitionSamples) {
+  Dataset d = MakeBlobs(90, 3, 3, 1.0, 5);
+  Rng rng(2);
+  std::vector<Split> folds = KFoldSplits(d, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<size_t> covered;
+  for (const Split& f : folds) {
+    EXPECT_EQ(f.train.size() + f.test.size(), 90u);
+    covered.insert(f.test.begin(), f.test.end());
+  }
+  EXPECT_EQ(covered.size(), 90u);
+}
+
+TEST(SplitsTest, SubsampleRespectsFractionAndMin) {
+  Dataset d = MakeBlobs(200, 3, 2, 1.0, 6);
+  Rng rng(4);
+  std::vector<size_t> idx = SubsampleIndices(d, 0.25, 10, &rng);
+  EXPECT_NEAR(static_cast<double>(idx.size()), 50.0, 5.0);
+  std::vector<size_t> tiny = SubsampleIndices(d, 0.01, 30, &rng);
+  EXPECT_GE(tiny.size(), 30u);
+}
+
+TEST(SyntheticTest, MakeClassificationShapeAndLabels) {
+  ClassificationOptions opts;
+  opts.num_samples = 120;
+  opts.num_features = 10;
+  opts.num_classes = 3;
+  Dataset d = MakeClassification(opts, 9);
+  EXPECT_EQ(d.NumSamples(), 120u);
+  EXPECT_EQ(d.NumFeatures(), 10u);
+  EXPECT_EQ(d.NumClasses(), 3u);
+}
+
+TEST(SyntheticTest, GeneratorsAreDeterministic) {
+  ClassificationOptions opts;
+  Dataset a = MakeClassification(opts, 5);
+  Dataset b = MakeClassification(opts, 5);
+  EXPECT_EQ(a.x().data(), b.x().data());
+  EXPECT_EQ(a.y(), b.y());
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  ClassificationOptions opts;
+  Dataset a = MakeClassification(opts, 5);
+  Dataset b = MakeClassification(opts, 6);
+  EXPECT_NE(a.x().data(), b.x().data());
+}
+
+TEST(SyntheticTest, MoonsAndCirclesAreBinary2d) {
+  Dataset m = MakeMoons(80, 0.1, 3);
+  EXPECT_EQ(m.NumFeatures(), 2u);
+  EXPECT_EQ(m.NumClasses(), 2u);
+  Dataset c = MakeCircles(80, 0.1, 0.5, 3);
+  EXPECT_EQ(c.NumFeatures(), 2u);
+  EXPECT_EQ(c.NumClasses(), 2u);
+}
+
+TEST(SyntheticTest, XorParityIsAntiLinear) {
+  // The class-conditional means of the parity bits should be ~equal, so a
+  // linear probe carries no signal.
+  Dataset d = MakeXorParity(2000, 2, 0, 0.0, 11);
+  double mean0 = 0.0, mean1 = 0.0;
+  size_t n0 = 0, n1 = 0;
+  for (size_t i = 0; i < d.NumSamples(); ++i) {
+    if (d.Label(i) == 0) {
+      mean0 += d.x()(i, 0);
+      ++n0;
+    } else {
+      mean1 += d.x()(i, 0);
+      ++n1;
+    }
+  }
+  mean0 /= static_cast<double>(n0);
+  mean1 /= static_cast<double>(n1);
+  EXPECT_NEAR(mean0, mean1, 0.15);
+}
+
+TEST(SyntheticTest, Friedman1SignalPresent) {
+  Dataset d = MakeFriedman1(300, 8, 0.0, 13);
+  EXPECT_EQ(d.task(), TaskType::kRegression);
+  // x4 enters linearly with coefficient 10 -> strong correlation.
+  double corr = PearsonCorrelation(d.x().Col(3), d.y());
+  EXPECT_GT(corr, 0.3);
+}
+
+TEST(SyntheticTest, ImbalanceReducesMinority) {
+  Dataset d = MakeBlobs(400, 3, 2, 1.0, 17);
+  Dataset imb = Imbalance(d, 5.0, 18);
+  std::vector<size_t> counts = imb.ClassCounts();
+  EXPECT_GT(counts[0], counts[1] * 3);
+  EXPECT_GE(counts[1], 2u);
+}
+
+TEST(SyntheticTest, SyntheticImagesShape) {
+  Dataset d = MakeSyntheticImages(50, 8, 0.5, 21);
+  EXPECT_EQ(d.NumFeatures(), 64u);
+  EXPECT_EQ(d.NumClasses(), 2u);
+}
+
+TEST(SuiteTest, SuiteSizesMatchPaper) {
+  EXPECT_EQ(MediumClassificationSuite().size(), 30u);
+  EXPECT_EQ(RegressionSuite().size(), 20u);
+  EXPECT_EQ(LargeClassificationSuite().size(), 10u);
+  EXPECT_EQ(ImbalancedSuite().size(), 5u);
+  EXPECT_EQ(KaggleSuite().size(), 6u);
+}
+
+TEST(SuiteTest, SpecsMaterializeAndAreDeterministic) {
+  for (const DatasetSpec& spec : ImbalancedSuite()) {
+    Dataset a = spec.make(1);
+    Dataset b = spec.make(1);
+    EXPECT_GT(a.NumSamples(), 0u);
+    EXPECT_EQ(a.x().data(), b.x().data()) << spec.name;
+  }
+}
+
+TEST(SuiteTest, ImbalancedSuiteIsImbalanced) {
+  for (const DatasetSpec& spec : ImbalancedSuite()) {
+    Dataset d = spec.make(1);
+    std::vector<size_t> counts = d.ClassCounts();
+    size_t max_count = *std::max_element(counts.begin(), counts.end());
+    size_t min_count = *std::min_element(counts.begin(), counts.end());
+    EXPECT_GT(max_count, 3 * min_count) << spec.name;
+  }
+}
+
+TEST(SuiteTest, FindDatasetSpecByName) {
+  DatasetSpec spec = FindDatasetSpec("pc2");
+  EXPECT_EQ(spec.name, "pc2");
+  EXPECT_GT(spec.make(1).NumSamples(), 0u);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Dataset d = MakeBlobs(20, 3, 2, 1.0, 33);
+  std::string path = "/tmp/volcanoml_csv_test.csv";
+  ASSERT_TRUE(SaveCsvDataset(d, path).ok());
+  Result<Dataset> loaded =
+      LoadCsvDataset(path, TaskType::kClassification, "reload");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumSamples(), 20u);
+  EXPECT_EQ(loaded.value().NumFeatures(), 3u);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(loaded.value().y()[i], d.y()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  Result<Dataset> r = LoadCsvDataset("/nonexistent/x.csv",
+                                     TaskType::kClassification, "x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(MetaFeaturesTest, FixedLengthAndDeterministic) {
+  Dataset d = MakeBlobs(100, 4, 2, 1.0, 3);
+  std::vector<double> a = ComputeMetaFeatures(d, 1);
+  std::vector<double> b = ComputeMetaFeatures(d, 1);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetaFeaturesTest, SeparableDataHasHigh1NnLandmark) {
+  Dataset easy = MakeBlobs(150, 4, 2, 0.3, 5);
+  std::vector<double> mf = ComputeMetaFeatures(easy, 1);
+  EXPECT_GT(mf[8], 0.9);  // 1-NN accuracy on well-separated blobs.
+}
+
+TEST(MetaFeaturesTest, DistanceIsZeroForIdentical) {
+  std::vector<double> a = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(MetaFeatureDistance(a, a), 0.0);
+  std::vector<double> b = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(MetaFeatureDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(MetaFeatureDistance(a, b, {3.0, 4.0}), std::sqrt(2.0));
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,97 @@
+#include "core/ensemble.h"
+
+#include "core/volcano_ml.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(TopKAssignmentsTest, OrdersByUtilityAndDeduplicates) {
+  Assignment a = {{"x", 1.0}};
+  Assignment b = {{"x", 2.0}};
+  std::vector<std::pair<Assignment, double>> observations = {
+      {a, 0.5}, {b, 0.9}, {a, 0.5}, {b, 0.9}};
+  std::vector<Assignment> top = TopKAssignments(observations, 3);
+  ASSERT_EQ(top.size(), 2u);  // Duplicates collapsed.
+  EXPECT_DOUBLE_EQ(top[0].at("x"), 2.0);
+  EXPECT_DOUBLE_EQ(top[1].at("x"), 1.0);
+}
+
+TEST(EnsembleTest, BuildsFromSearchObservationsAndPredicts) {
+  SearchSpaceOptions space_options;
+  space_options.preset = SpacePreset::kSmall;
+  Dataset data = MakeMoons(400, 0.25, 21);
+  Rng rng(3);
+  Split split = TrainTestSplit(data, 0.25, &rng);
+  Dataset train = data.Subset(split.train);
+  Dataset test = data.Subset(split.test);
+
+  VolcanoMlOptions options;
+  options.space = space_options;
+  options.budget = 25.0;
+  options.seed = 4;
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(train);
+
+  std::vector<Assignment> top =
+      TopKAssignments(automl.evaluator()->observations(), 5);
+  ASSERT_GE(top.size(), 2u);
+
+  SearchSpace space(space_options);
+  EnsembleSelector ensemble(&space, {/*max_members=*/8, 0.25, 5});
+  ASSERT_TRUE(ensemble.Build(top, train).ok());
+  EXPECT_GE(ensemble.NumDistinctMembers(), 1u);
+
+  std::vector<double> pred = ensemble.Predict(test.x());
+  double ensemble_acc = BalancedAccuracy(test.y(), pred, 2);
+  EXPECT_GT(ensemble_acc, 0.85);
+
+  // The ensemble should be no worse than a few points below the single
+  // best pipeline (and typically equal or better).
+  Result<FittedPipeline> single = automl.FitFinalPipeline();
+  ASSERT_TRUE(single.ok());
+  double single_acc =
+      BalancedAccuracy(test.y(), single.value().Predict(test.x()), 2);
+  EXPECT_GE(ensemble_acc, single_acc - 0.05);
+}
+
+TEST(EnsembleTest, RegressionAveraging) {
+  SearchSpaceOptions space_options;
+  space_options.task = TaskType::kRegression;
+  space_options.preset = SpacePreset::kSmall;
+  Dataset data = MakeFriedman1(400, 8, 1.0, 22);
+  Rng rng(6);
+  Split split = TrainTestSplit(data, 0.25, &rng);
+  Dataset train = data.Subset(split.train);
+  Dataset test = data.Subset(split.test);
+
+  VolcanoMlOptions options;
+  options.space = space_options;
+  options.budget = 20.0;
+  options.seed = 7;
+  VolcanoML automl(options);
+  automl.Fit(train);
+  std::vector<Assignment> top =
+      TopKAssignments(automl.evaluator()->observations(), 4);
+
+  SearchSpace space(space_options);
+  EnsembleSelector ensemble(&space, {/*max_members=*/6, 0.25, 8});
+  ASSERT_TRUE(ensemble.Build(top, train).ok());
+  std::vector<double> pred = ensemble.Predict(test.x());
+  EXPECT_LT(MeanSquaredError(test.y(), pred), 20.0);  // < target variance.
+}
+
+TEST(EnsembleTest, EmptyCandidatesIsError) {
+  SearchSpaceOptions space_options;
+  space_options.preset = SpacePreset::kSmall;
+  SearchSpace space(space_options);
+  EnsembleSelector ensemble(&space, {});
+  Dataset data = MakeBlobs(60, 3, 2, 1.0, 23);
+  EXPECT_FALSE(ensemble.Build({}, data).ok());
+}
+
+}  // namespace
+}  // namespace volcanoml

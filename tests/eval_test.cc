@@ -1,0 +1,186 @@
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/search_space.h"
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+SearchSpaceOptions ClsOptions(SpacePreset preset) {
+  SearchSpaceOptions o;
+  o.task = TaskType::kClassification;
+  o.preset = preset;
+  return o;
+}
+
+TEST(SearchSpaceTest, PresetSizesMatchPaperSmallMedium) {
+  // The paper's Table 1 spaces hold 20 and 29 hyper-parameters; the large
+  // space holds "everything" (100 there, ~60 here — smaller registry).
+  EXPECT_EQ(SearchSpace(ClsOptions(SpacePreset::kSmall)).NumParameters(),
+            20u);
+  EXPECT_EQ(SearchSpace(ClsOptions(SpacePreset::kMedium)).NumParameters(),
+            29u);
+  EXPECT_GT(SearchSpace(ClsOptions(SpacePreset::kLarge)).NumParameters(),
+            55u);
+}
+
+TEST(SearchSpaceTest, RegressionPresetSizes) {
+  SearchSpaceOptions o;
+  o.task = TaskType::kRegression;
+  o.preset = SpacePreset::kSmall;
+  EXPECT_EQ(SearchSpace(o).NumParameters(), 20u);
+  o.preset = SpacePreset::kLarge;
+  EXPECT_GT(SearchSpace(o).NumParameters(), 45u);
+}
+
+TEST(SearchSpaceTest, PresetsAreNested) {
+  SearchSpace small(ClsOptions(SpacePreset::kSmall));
+  SearchSpace medium(ClsOptions(SpacePreset::kMedium));
+  SearchSpace large(ClsOptions(SpacePreset::kLarge));
+  for (const std::string& algorithm : small.algorithms()) {
+    EXPECT_NE(std::find(medium.algorithms().begin(),
+                        medium.algorithms().end(), algorithm),
+              medium.algorithms().end());
+  }
+  for (const std::string& algorithm : medium.algorithms()) {
+    EXPECT_NE(std::find(large.algorithms().begin(), large.algorithms().end(),
+                        algorithm),
+              large.algorithms().end());
+  }
+}
+
+TEST(SearchSpaceTest, SmoteEnrichmentAddsParameters) {
+  SearchSpaceOptions base = ClsOptions(SpacePreset::kLarge);
+  SearchSpaceOptions enriched = base;
+  enriched.include_smote = true;
+  EXPECT_GT(SearchSpace(enriched).NumParameters(),
+            SearchSpace(base).NumParameters());
+}
+
+TEST(SearchSpaceTest, EmbeddingEnrichmentAddsStage) {
+  SearchSpaceOptions enriched = ClsOptions(SpacePreset::kMedium);
+  enriched.include_embedding = true;
+  SearchSpace space(enriched);
+  EXPECT_EQ(space.stages().front(), FeStage::kEmbedding);
+  EXPECT_TRUE(space.joint().Contains("fe:embedding"));
+}
+
+TEST(SearchSpaceTest, RegressionHasNoBalancingStage) {
+  SearchSpaceOptions o;
+  o.task = TaskType::kRegression;
+  o.preset = SpacePreset::kLarge;
+  SearchSpace space(o);
+  for (FeStage stage : space.stages()) {
+    EXPECT_NE(stage, FeStage::kBalancing);
+  }
+}
+
+TEST(SearchSpaceTest, ConditionalHpActivity) {
+  SearchSpace space(ClsOptions(SpacePreset::kSmall));
+  const ConfigurationSpace& joint = space.joint();
+  Configuration c = joint.Default();
+  // algorithm 0 = logistic_regression; its HPs active, others inactive.
+  joint.SetValue(&c, "algorithm", 0);
+  EXPECT_TRUE(
+      joint.IsActive(c, joint.IndexOf("alg:logistic_regression:c")));
+  EXPECT_FALSE(joint.IsActive(c, joint.IndexOf("alg:decision_tree:max_depth")));
+  joint.SetValue(&c, "algorithm", 1);
+  EXPECT_FALSE(
+      joint.IsActive(c, joint.IndexOf("alg:logistic_regression:c")));
+  EXPECT_TRUE(joint.IsActive(c, joint.IndexOf("alg:decision_tree:max_depth")));
+}
+
+TEST(SearchSpaceTest, SubspacesPartitionJointSpace) {
+  SearchSpace space(ClsOptions(SpacePreset::kSmall));
+  size_t fe_params = space.FeSubspace().NumParameters();
+  size_t hp_params = 0;
+  for (const std::string& algorithm : space.algorithms()) {
+    hp_params += space.HpSubspaceFor(algorithm).NumParameters();
+  }
+  // fe + hp + the "algorithm" variable == joint.
+  EXPECT_EQ(fe_params + hp_params + 1, space.NumParameters());
+}
+
+TEST(EvaluatorTest, DefaultAssignmentEvaluates) {
+  SearchSpace space(ClsOptions(SpacePreset::kSmall));
+  Dataset data = MakeBlobs(200, 4, 2, 1.0, 1);
+  PipelineEvaluator evaluator(&space, &data, {});
+  double utility = evaluator.Evaluate(space.DefaultAssignment());
+  EXPECT_GT(utility, 0.8);  // Easy blobs: any default model is fine.
+  EXPECT_EQ(evaluator.num_evaluations(), 1u);
+  EXPECT_DOUBLE_EQ(evaluator.consumed_budget(), 1.0);
+}
+
+TEST(EvaluatorTest, EvaluationIsDeterministic) {
+  SearchSpace space(ClsOptions(SpacePreset::kSmall));
+  Dataset data = MakeBlobs(200, 4, 2, 1.0, 2);
+  PipelineEvaluator evaluator(&space, &data, {});
+  Assignment a = space.DefaultAssignment();
+  EXPECT_DOUBLE_EQ(evaluator.Evaluate(a), evaluator.Evaluate(a));
+}
+
+TEST(EvaluatorTest, RandomAssignmentsNeverCrash) {
+  // Property test: every sampled configuration in every preset must
+  // produce a finite utility (failures map to FailureUtility).
+  Dataset data = MakeBlobs(120, 5, 3, 2.0, 3);
+  Rng rng(4);
+  for (SpacePreset preset :
+       {SpacePreset::kSmall, SpacePreset::kMedium, SpacePreset::kLarge}) {
+    SearchSpace space(ClsOptions(preset));
+    PipelineEvaluator evaluator(&space, &data, {});
+    for (int i = 0; i < 8; ++i) {
+      Configuration c = space.joint().Sample(&rng);
+      double utility = evaluator.Evaluate(space.joint().ToAssignment(c));
+      EXPECT_TRUE(std::isfinite(utility));
+      EXPECT_GE(utility, FailureUtility(TaskType::kClassification));
+      EXPECT_LE(utility, 1.0);
+    }
+  }
+}
+
+TEST(EvaluatorTest, FidelityConsumesFractionalBudget) {
+  SearchSpace space(ClsOptions(SpacePreset::kSmall));
+  Dataset data = MakeBlobs(300, 4, 2, 1.0, 5);
+  PipelineEvaluator evaluator(&space, &data, {});
+  evaluator.Evaluate(space.DefaultAssignment(), 1.0 / 3.0);
+  EXPECT_NEAR(evaluator.consumed_budget(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluatorTest, CrossValidationMode) {
+  SearchSpace space(ClsOptions(SpacePreset::kSmall));
+  Dataset data = MakeBlobs(200, 4, 2, 1.0, 6);
+  EvaluatorOptions options;
+  options.cv_folds = 3;
+  PipelineEvaluator evaluator(&space, &data, options);
+  double utility = evaluator.Evaluate(space.DefaultAssignment());
+  EXPECT_GT(utility, 0.8);
+}
+
+TEST(EvaluatorTest, FitFinalProducesWorkingPipeline) {
+  SearchSpace space(ClsOptions(SpacePreset::kSmall));
+  Dataset train = MakeBlobs(200, 4, 2, 1.0, 7);
+  Dataset test = MakeBlobs(100, 4, 2, 1.0, 7);  // Same distribution.
+  PipelineEvaluator evaluator(&space, &train, {});
+  Result<FittedPipeline> pipeline =
+      evaluator.FitFinal(space.DefaultAssignment());
+  ASSERT_TRUE(pipeline.ok());
+  std::vector<double> pred = pipeline.value().Predict(test.x());
+  EXPECT_GT(BalancedAccuracy(test.y(), pred, 2), 0.85);
+}
+
+TEST(EvaluatorTest, RegressionUtilityIsNegativeMse) {
+  SearchSpaceOptions o;
+  o.task = TaskType::kRegression;
+  o.preset = SpacePreset::kSmall;
+  SearchSpace space(o);
+  Dataset data = MakeLinearRegression(200, 5, 5, 1.0, 8);
+  PipelineEvaluator evaluator(&space, &data, {});
+  double utility = evaluator.Evaluate(space.DefaultAssignment());
+  EXPECT_LT(utility, 0.0);
+  EXPECT_GT(utility, -1e6);
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,104 @@
+// Parameterized hyper-parameter grid sweeps over every registered FE
+// operator, plus composition properties of the scalers.
+
+#include <cmath>
+#include <memory>
+
+#include "data/synthetic.h"
+#include "fe/registry.h"
+#include "fe/scalers.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+struct FeGridCase {
+  std::string op;
+};
+
+std::vector<FeGridCase> AllOps() {
+  std::vector<FeGridCase> cases;
+  for (FeStage stage : {FeStage::kEmbedding, FeStage::kPreprocessing,
+                        FeStage::kRescaling, FeStage::kBalancing,
+                        FeStage::kTransform}) {
+    for (const FeOperatorInfo& info : OperatorsFor(stage, true)) {
+      if (info.name == "none") continue;
+      cases.push_back({info.name});
+    }
+  }
+  return cases;
+}
+
+class FeGridSweep : public ::testing::TestWithParam<FeGridCase> {};
+
+TEST_P(FeGridSweep, RandomHpConfigsAlwaysProduceUsableOutput) {
+  FeOperatorInfo info = FindFeOperator(GetParam().op);
+  // Embedding operators need square "images"; everything else gets a
+  // moderately imbalanced tabular task so balancers have work to do.
+  Dataset data = info.stage == FeStage::kEmbedding
+                     ? MakeSyntheticImages(60, 8, 1.0, 5)
+                     : Imbalance(MakeBlobs(160, 6, 2, 1.5, 6), 4.0, 7);
+  Rng rng(8);
+  for (int trial = 0; trial < 6; ++trial) {
+    Configuration config = info.hp_space.empty()
+                               ? info.hp_space.Default()
+                               : info.hp_space.Sample(&rng);
+    std::unique_ptr<FeOperator> op =
+        info.create(info.hp_space, config, rng.Fork());
+    ASSERT_TRUE(op->Fit(data).ok()) << info.name;
+    if (op->ResamplesRows()) {
+      Dataset resampled = op->ResampleTrain(data);
+      ASSERT_GT(resampled.NumSamples(), 0u) << info.name;
+      for (double v : resampled.x().data()) {
+        ASSERT_TRUE(std::isfinite(v)) << info.name;
+      }
+    } else {
+      Matrix out = op->Transform(data.x());
+      ASSERT_EQ(out.rows(), data.NumSamples()) << info.name;
+      ASSERT_GT(out.cols(), 0u) << info.name;
+      for (double v : out.data()) {
+        ASSERT_TRUE(std::isfinite(v)) << info.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, FeGridSweep, ::testing::ValuesIn(AllOps()),
+    [](const ::testing::TestParamInfo<FeGridCase>& info) {
+      return info.param.op;
+    });
+
+TEST(ScalerCompositionTest, StandardScalerIsIdempotentUpToScale) {
+  Dataset d = MakeBlobs(150, 4, 2, 2.0, 9);
+  StandardScaler first;
+  ASSERT_TRUE(first.Fit(d).ok());
+  Dataset once = d.WithFeatures(first.Transform(d.x()));
+  StandardScaler second;
+  ASSERT_TRUE(second.Fit(once).ok());
+  Matrix twice = second.Transform(once.x());
+  // Scaling already-standardized data is (numerically) the identity.
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t j = 0; j < twice.cols(); ++j) {
+      EXPECT_NEAR(twice(i, j), once.x()(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(ScalerCompositionTest, MinMaxAfterStandardStaysInUnitBox) {
+  Dataset d = MakeBlobs(150, 4, 2, 2.0, 10);
+  StandardScaler standard;
+  ASSERT_TRUE(standard.Fit(d).ok());
+  Dataset scaled = d.WithFeatures(standard.Transform(d.x()));
+  MinMaxScaler minmax;
+  ASSERT_TRUE(minmax.Fit(scaled).ok());
+  Matrix out = minmax.Transform(scaled.x());
+  for (double v : out.data()) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,393 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "data/synthetic.h"
+#include "fe/agglomeration.h"
+#include "fe/balancers.h"
+#include "fe/pipeline.h"
+#include "fe/registry.h"
+#include "fe/scalers.h"
+#include "fe/transforms.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+namespace {
+
+Dataset SkewedData() {
+  // Two features on wildly different scales.
+  Rng rng(1);
+  Matrix x(100, 2);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.Uniform(0.0, 1.0);
+    x(i, 1) = rng.Uniform(0.0, 1000.0);
+    y[i] = static_cast<double>(i % 2);
+  }
+  return Dataset("skewed", std::move(x), std::move(y),
+                 TaskType::kClassification);
+}
+
+TEST(ScalersTest, StandardScalerZeroMeanUnitVar) {
+  Dataset d = SkewedData();
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(d).ok());
+  Matrix z = scaler.Transform(d.x());
+  EXPECT_NEAR(Mean(z.Col(1)), 0.0, 1e-9);
+  EXPECT_NEAR(StdDev(z.Col(1)), 1.0, 1e-9);
+}
+
+TEST(ScalersTest, MinMaxScalerBoundsTrainData) {
+  Dataset d = SkewedData();
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(d).ok());
+  Matrix z = scaler.Transform(d.x());
+  for (size_t j = 0; j < 2; ++j) {
+    std::vector<double> col = z.Col(j);
+    EXPECT_GE(*std::min_element(col.begin(), col.end()), 0.0);
+    EXPECT_LE(*std::max_element(col.begin(), col.end()), 1.0);
+  }
+}
+
+TEST(ScalersTest, RobustScalerCentersMedian) {
+  Dataset d = SkewedData();
+  RobustScaler scaler(0.25);
+  ASSERT_TRUE(scaler.Fit(d).ok());
+  Matrix z = scaler.Transform(d.x());
+  EXPECT_NEAR(Median(z.Col(1)), 0.0, 1e-9);
+}
+
+TEST(ScalersTest, L2NormalizerUnitRows) {
+  Dataset d = SkewedData();
+  L2Normalizer normalizer;
+  ASSERT_TRUE(normalizer.Fit(d).ok());
+  Matrix z = normalizer.Transform(d.x());
+  for (size_t i = 0; i < z.rows(); ++i) {
+    double norm = 0.0;
+    for (size_t j = 0; j < z.cols(); ++j) norm += z(i, j) * z(i, j);
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-9);
+  }
+}
+
+TEST(ScalersTest, QuantileTransformerOutputsRanks) {
+  Dataset d = SkewedData();
+  QuantileTransformer qt(50);
+  ASSERT_TRUE(qt.Fit(d).ok());
+  Matrix z = qt.Transform(d.x());
+  for (size_t i = 0; i < z.rows(); ++i) {
+    EXPECT_GE(z(i, 1), 0.0);
+    EXPECT_LE(z(i, 1), 1.0);
+  }
+  // Order preservation on a simple check: max input -> max rank.
+  std::vector<double> raw = d.x().Col(1), ranked = z.Col(1);
+  EXPECT_EQ(ArgMax(raw), ArgMax(ranked));
+}
+
+TEST(ScalersTest, WinsorizerClipsOutliers) {
+  Rng rng(2);
+  Matrix x(100, 1);
+  for (size_t i = 0; i < 100; ++i) x(i, 0) = rng.Gaussian();
+  x(0, 0) = 1000.0;  // Outlier.
+  Dataset d("o", std::move(x), std::vector<double>(100, 0.0),
+            TaskType::kRegression);
+  Winsorizer w(0.05);
+  ASSERT_TRUE(w.Fit(d).ok());
+  Matrix z = w.Transform(d.x());
+  EXPECT_LT(z(0, 0), 10.0);
+}
+
+TEST(TransformsTest, VarianceThresholdDropsConstants) {
+  Matrix x(50, 3);
+  Rng rng(3);
+  for (size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.Gaussian();
+    x(i, 1) = 5.0;  // Constant.
+    x(i, 2) = rng.Gaussian();
+  }
+  Dataset d("v", std::move(x), std::vector<double>(50, 0.0),
+            TaskType::kRegression);
+  VarianceThreshold vt(0.1);
+  ASSERT_TRUE(vt.Fit(d).ok());
+  EXPECT_EQ(vt.kept_columns().size(), 2u);
+  EXPECT_EQ(vt.Transform(d.x()).cols(), 2u);
+}
+
+TEST(TransformsTest, PcaKeepsVarianceAndReducesDims) {
+  // 5-D data with strong 2-D structure.
+  Rng rng(4);
+  Matrix x(200, 5);
+  for (size_t i = 0; i < 200; ++i) {
+    double a = rng.Gaussian(0, 10), b = rng.Gaussian(0, 5);
+    x(i, 0) = a;
+    x(i, 1) = b;
+    x(i, 2) = a + 0.01 * rng.Gaussian();
+    x(i, 3) = b + 0.01 * rng.Gaussian();
+    x(i, 4) = 0.01 * rng.Gaussian();
+  }
+  Dataset d("p", std::move(x), std::vector<double>(200, 0.0),
+            TaskType::kRegression);
+  PcaTransform pca(0.99);
+  ASSERT_TRUE(pca.Fit(d).ok());
+  EXPECT_LE(pca.NumComponents(), 3u);
+  EXPECT_GE(pca.NumComponents(), 2u);
+  Matrix z = pca.Transform(d.x());
+  EXPECT_EQ(z.cols(), pca.NumComponents());
+}
+
+TEST(TransformsTest, PolynomialAddsInteractions) {
+  Dataset d = SkewedData();
+  PolynomialFeatures poly(/*interaction_only=*/true);
+  ASSERT_TRUE(poly.Fit(d).ok());
+  Matrix z = poly.Transform(d.x());
+  EXPECT_EQ(z.cols(), 3u);  // 2 original + 1 interaction.
+  EXPECT_NEAR(z(0, 2), d.x()(0, 0) * d.x()(0, 1), 1e-9);
+}
+
+TEST(TransformsTest, PolynomialWithSquares) {
+  Dataset d = SkewedData();
+  PolynomialFeatures poly(/*interaction_only=*/false);
+  ASSERT_TRUE(poly.Fit(d).ok());
+  EXPECT_EQ(poly.Transform(d.x()).cols(), 5u);  // 2 + 3 products.
+}
+
+TEST(TransformsTest, SelectPercentileFindsInformativeFeature) {
+  // Feature 0 predicts the class; feature 1 is noise.
+  Rng rng(5);
+  Matrix x(200, 2);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    y[i] = static_cast<double>(i % 2);
+    x(i, 0) = y[i] * 3.0 + rng.Gaussian();
+    x(i, 1) = rng.Gaussian();
+  }
+  Dataset d("s", std::move(x), std::move(y), TaskType::kClassification);
+  SelectPercentile select(50.0);
+  ASSERT_TRUE(select.Fit(d).ok());
+  ASSERT_EQ(select.kept_columns().size(), 1u);
+  EXPECT_EQ(select.kept_columns()[0], 0u);
+}
+
+TEST(TransformsTest, SelectPercentileRegressionUsesCorrelation) {
+  Dataset d = MakeLinearRegression(200, 10, 2, 0.1, 6);
+  SelectPercentile select(20.0);
+  ASSERT_TRUE(select.Fit(d).ok());
+  // The informative features are columns 0 and 1 by construction (their
+  // random coefficients may differ in magnitude, so require only that the
+  // top-ranked feature is informative).
+  ASSERT_EQ(select.kept_columns().size(), 2u);
+  EXPECT_LE(select.kept_columns()[0], 1u);
+}
+
+TEST(TransformsTest, NystroemOutputsBoundedFeatures) {
+  Dataset d = MakeBlobs(100, 4, 2, 1.0, 7);
+  NystroemRbf nystroem(20, 0.5, 8);
+  ASSERT_TRUE(nystroem.Fit(d).ok());
+  Matrix z = nystroem.Transform(d.x());
+  EXPECT_EQ(z.cols(), 20u);
+  for (size_t i = 0; i < z.rows(); ++i) {
+    for (size_t j = 0; j < z.cols(); ++j) {
+      EXPECT_GE(z(i, j), 0.0);
+      EXPECT_LE(z(i, j), 1.0);
+    }
+  }
+}
+
+TEST(TransformsTest, RandomProjectionShrinksDims) {
+  Dataset d = MakeBlobs(100, 20, 2, 1.0, 9);
+  RandomProjection proj(0.5, 10);
+  ASSERT_TRUE(proj.Fit(d).ok());
+  EXPECT_EQ(proj.Transform(d.x()).cols(), 10u);
+}
+
+TEST(TransformsTest, AgglomerationMergesCorrelatedColumns) {
+  // Columns {0,1} are near-duplicates, {2,3} are near-duplicates, and 4
+  // is independent; 3 clusters must recover that structure.
+  Rng rng(31);
+  Matrix x(150, 5);
+  for (size_t i = 0; i < 150; ++i) {
+    double a = rng.Gaussian(), b = rng.Gaussian(), c = rng.Gaussian();
+    x(i, 0) = a;
+    x(i, 1) = a + 0.01 * rng.Gaussian();
+    x(i, 2) = b;
+    x(i, 3) = b + 0.01 * rng.Gaussian();
+    x(i, 4) = c;
+  }
+  Dataset d("agg", std::move(x), std::vector<double>(150, 0.0),
+            TaskType::kRegression);
+  FeatureAgglomeration agg(3);
+  ASSERT_TRUE(agg.Fit(d).ok());
+  EXPECT_EQ(agg.NumClusters(), 3u);
+  Matrix z = agg.Transform(d.x());
+  EXPECT_EQ(z.cols(), 3u);
+  // One output column must be ~ the mean of columns 0 and 1.
+  bool found = false;
+  for (size_t c = 0; c < 3; ++c) {
+    double diff = std::abs(z(0, c) - 0.5 * (d.x()(0, 0) + d.x()(0, 1)));
+    if (diff < 1e-6) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TransformsTest, AgglomerationClampsClusterCount) {
+  Dataset d = MakeBlobs(50, 3, 2, 1.0, 32);
+  FeatureAgglomeration agg(10);  // More clusters than features.
+  ASSERT_TRUE(agg.Fit(d).ok());
+  EXPECT_EQ(agg.NumClusters(), 3u);
+}
+
+TEST(TransformsTest, KBinsProducesOrdinalCodes) {
+  Dataset d = MakeBlobs(200, 2, 2, 1.0, 33);
+  KBinsDiscretizer kbins(4);
+  ASSERT_TRUE(kbins.Fit(d).ok());
+  Matrix z = kbins.Transform(d.x());
+  for (size_t i = 0; i < z.rows(); ++i) {
+    for (size_t j = 0; j < z.cols(); ++j) {
+      EXPECT_GE(z(i, j), 0.0);
+      EXPECT_LE(z(i, j), 3.0);
+      EXPECT_EQ(z(i, j), std::floor(z(i, j)));
+    }
+  }
+  // Roughly balanced bins on continuous data.
+  size_t bin0 = 0;
+  for (size_t i = 0; i < z.rows(); ++i) {
+    if (z(i, 0) == 0.0) ++bin0;
+  }
+  EXPECT_NEAR(static_cast<double>(bin0), 50.0, 15.0);
+}
+
+TEST(TransformsTest, KBinsConstantColumnSingleBin) {
+  Matrix x(30, 1, 7.0);
+  Dataset d("const", std::move(x), std::vector<double>(30, 0.0),
+            TaskType::kRegression);
+  KBinsDiscretizer kbins(5);
+  ASSERT_TRUE(kbins.Fit(d).ok());
+  Matrix z = kbins.Transform(d.x());
+  // All identical inputs land in the same (single) bin.
+  for (size_t i = 0; i < 30; ++i) EXPECT_EQ(z(i, 0), z(0, 0));
+}
+
+TEST(BalancersTest, OversamplerEqualizesClasses) {
+  Dataset d = Imbalance(MakeBlobs(300, 3, 2, 1.0, 11), 8.0, 12);
+  RandomOversampler over(1.0, 13);
+  ASSERT_TRUE(over.Fit(d).ok());
+  Dataset balanced = over.ResampleTrain(d);
+  std::vector<size_t> counts = balanced.ClassCounts();
+  EXPECT_NEAR(static_cast<double>(counts[0]),
+              static_cast<double>(counts[1]), 2.0);
+  EXPECT_GT(balanced.NumSamples(), d.NumSamples());
+}
+
+TEST(BalancersTest, UndersamplerShrinksMajority) {
+  Dataset d = Imbalance(MakeBlobs(300, 3, 2, 1.0, 14), 8.0, 15);
+  RandomUndersampler under(1.0, 16);
+  ASSERT_TRUE(under.Fit(d).ok());
+  Dataset balanced = under.ResampleTrain(d);
+  std::vector<size_t> counts = balanced.ClassCounts();
+  EXPECT_LE(counts[0], counts[1] + 1);
+  EXPECT_LT(balanced.NumSamples(), d.NumSamples());
+}
+
+TEST(BalancersTest, SmoteSynthesizesWithinMinorityHull) {
+  Dataset d = Imbalance(MakeBlobs(400, 3, 2, 0.5, 17), 10.0, 18);
+  size_t minority_before = d.ClassCounts()[1];
+  SmoteBalancer smote(5, 1.0, 19);
+  ASSERT_TRUE(smote.Fit(d).ok());
+  Dataset balanced = smote.ResampleTrain(d);
+  std::vector<size_t> counts = balanced.ClassCounts();
+  EXPECT_GT(counts[1], minority_before * 2);
+  EXPECT_NEAR(static_cast<double>(counts[1]),
+              static_cast<double>(counts[0]), 2.0);
+  // Synthetic minority points interpolate existing ones, so they stay
+  // within the minority bounding box.
+  double lo = 1e300, hi = -1e300;
+  for (size_t i = 0; i < d.NumSamples(); ++i) {
+    if (d.Label(i) != 1) continue;
+    lo = std::min(lo, d.x()(i, 0));
+    hi = std::max(hi, d.x()(i, 0));
+  }
+  for (size_t i = 0; i < balanced.NumSamples(); ++i) {
+    if (balanced.Label(i) != 1) continue;
+    EXPECT_GE(balanced.x()(i, 0), lo - 1e-9);
+    EXPECT_LE(balanced.x()(i, 0), hi + 1e-9);
+  }
+}
+
+TEST(BalancersTest, BalancerRejectsRegression) {
+  Dataset d = MakeFriedman1(50, 5, 1.0, 20);
+  RandomOversampler over(1.0, 21);
+  EXPECT_FALSE(over.Fit(d).ok());
+}
+
+TEST(RegistryTest, StagesHaveExpectedOperators) {
+  EXPECT_EQ(OperatorsFor(FeStage::kPreprocessing).size(), 3u);
+  EXPECT_EQ(OperatorsFor(FeStage::kRescaling).size(), 6u);
+  EXPECT_EQ(OperatorsFor(FeStage::kBalancing).size(), 3u);
+  EXPECT_EQ(OperatorsFor(FeStage::kBalancing, true).size(), 4u);
+  EXPECT_EQ(OperatorsFor(FeStage::kTransform).size(), 8u);
+  EXPECT_EQ(OperatorsFor(FeStage::kEmbedding).size(), 3u);
+}
+
+TEST(RegistryTest, EveryOperatorDefaultConfigWorks) {
+  Dataset d = MakeBlobs(80, 4, 2, 1.5, 22);
+  for (FeStage stage : {FeStage::kPreprocessing, FeStage::kRescaling,
+                        FeStage::kBalancing, FeStage::kTransform}) {
+    for (const FeOperatorInfo& info : OperatorsFor(stage, true)) {
+      std::unique_ptr<FeOperator> op =
+          info.create(info.hp_space, info.hp_space.Default(), 23);
+      ASSERT_TRUE(op->Fit(d).ok()) << info.name;
+      if (op->ResamplesRows()) {
+        EXPECT_GT(op->ResampleTrain(d).NumSamples(), 0u) << info.name;
+      } else {
+        EXPECT_GT(op->Transform(d.x()).cols(), 0u) << info.name;
+      }
+    }
+  }
+}
+
+TEST(PipelineTest, ChainsOperatorsInOrder) {
+  Dataset d = SkewedData();
+  FePipeline pipeline;
+  pipeline.Add(std::make_unique<StandardScaler>());
+  pipeline.Add(std::make_unique<PolynomialFeatures>(true));
+  Result<Dataset> out = pipeline.FitTransform(d);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().NumFeatures(), 3u);
+  // Test-time transform matches the train-time shape.
+  Matrix test = pipeline.Transform(d.x());
+  EXPECT_EQ(test.cols(), 3u);
+}
+
+TEST(PipelineTest, BalancerOnlyAffectsTrain) {
+  Dataset d = Imbalance(MakeBlobs(200, 3, 2, 1.0, 24), 6.0, 25);
+  FePipeline pipeline;
+  pipeline.Add(std::make_unique<RandomOversampler>(1.0, 26));
+  Result<Dataset> out = pipeline.FitTransform(d);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out.value().NumSamples(), d.NumSamples());
+  // Transform must not resample: row count preserved.
+  Matrix test = pipeline.Transform(d.x());
+  EXPECT_EQ(test.rows(), d.NumSamples());
+}
+
+TEST(PipelineTest, TrainTestConsistencyThroughFullChain) {
+  Dataset d = MakeBlobs(150, 6, 3, 2.0, 27);
+  FePipeline pipeline;
+  pipeline.Add(std::make_unique<Winsorizer>(0.05));
+  pipeline.Add(std::make_unique<StandardScaler>());
+  pipeline.Add(std::make_unique<PcaTransform>(0.95));
+  Result<Dataset> out = pipeline.FitTransform(d);
+  ASSERT_TRUE(out.ok());
+  Matrix replay = pipeline.Transform(d.x());
+  ASSERT_EQ(replay.cols(), out.value().NumFeatures());
+  // Without balancers, FitTransform output equals Transform replay.
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < replay.cols(); ++j) {
+      EXPECT_NEAR(replay(i, j), out.value().x()(i, j), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,144 @@
+// End-to-end integration tests: miniature versions of the paper's
+// experiments, asserting the qualitative shapes the benchmarks reproduce
+// at full scale.
+
+#include "baselines/auto_sklearn.h"
+#include "baselines/tpot.h"
+#include "core/volcano_ml.h"
+#include "data/meta_features.h"
+#include "data/splits.h"
+#include "data/suite.h"
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(IntegrationTest, MiniTable1AllSystemsProduceValidScores) {
+  // 3 datasets x 3 systems, small space: scores in range, ranks sane.
+  SearchSpaceOptions space;
+  space.preset = SpacePreset::kSmall;
+  std::vector<DatasetSpec> pool = {MediumClassificationSuite()[0],
+                                   MediumClassificationSuite()[15],
+                                   MediumClassificationSuite()[21]};
+  std::vector<std::vector<double>> scores;
+  for (size_t d = 0; d < pool.size(); ++d) {
+    Dataset data = pool[d].make(10 + d);
+    Rng rng(20 + d);
+    Split split = TrainTestSplit(data, 0.2, &rng);
+    Dataset train = data.Subset(split.train);
+
+    std::vector<double> row;
+    {
+      VolcanoMlOptions o;
+      o.space = space;
+      o.budget = 15.0;
+      o.seed = 30 + d;
+      VolcanoML v(o);
+      row.push_back(v.Fit(train).best_utility);
+    }
+    {
+      AuskOptions o;
+      o.space = space;
+      o.budget = 15.0;
+      o.seed = 30 + d;
+      AutoSklearnBaseline a(o);
+      row.push_back(a.Fit(train).best_utility);
+    }
+    {
+      TpotOptions o;
+      o.space = space;
+      o.budget = 15.0;
+      o.population_size = 6;
+      o.seed = 30 + d;
+      TpotBaseline t(o);
+      row.push_back(t.Fit(train).best_utility);
+    }
+    for (double score : row) {
+      EXPECT_GE(score, 0.4);
+      EXPECT_LE(score, 1.0);
+    }
+    scores.push_back(std::move(row));
+  }
+  std::vector<double> ranks = AverageRanks(scores, true);
+  double total = 0.0;
+  for (double r : ranks) total += r;
+  // Average ranks over 3 systems always sum to 6 (1+2+3).
+  EXPECT_NEAR(total, 6.0, 1e-9);
+}
+
+TEST(IntegrationTest, SecondsBudgetModeTerminatesAndImproves) {
+  VolcanoMlOptions options;
+  options.space.preset = SpacePreset::kSmall;
+  options.eval.budget_in_seconds = true;
+  options.budget = 0.3;  // 300 ms.
+  options.seed = 5;
+  VolcanoML automl(options);
+  Dataset data = MediumClassificationSuite()[2].make(9);
+  AutoMlResult result = automl.Fit(data);
+  EXPECT_GT(result.num_evaluations, 3u);
+  EXPECT_GT(result.best_utility, 0.5);
+  // Consumed seconds within one evaluation of the budget.
+  EXPECT_LT(result.trajectory.back().budget, 3.0);
+}
+
+TEST(IntegrationTest, RegressionSuiteSystemsBeatMeanPredictor) {
+  DatasetSpec spec = RegressionSuite()[0];  // friedman1_easy
+  Dataset data = spec.make(3);
+  Rng rng(4);
+  Split split = TrainTestSplit(data, 0.2, &rng);
+  Dataset train = data.Subset(split.train);
+  double variance = Variance(std::vector<double>(train.y()));
+
+  VolcanoMlOptions o;
+  o.space.task = TaskType::kRegression;
+  o.space.preset = SpacePreset::kSmall;
+  o.budget = 20.0;
+  o.seed = 6;
+  VolcanoML automl(o);
+  AutoMlResult result = automl.Fit(train);
+  EXPECT_GT(result.best_utility, -variance);
+}
+
+TEST(IntegrationTest, WarmStartedRunEvaluatesSuggestionEarly) {
+  // Seed a knowledge base with a known-good configuration for a twin
+  // dataset and verify the warm-started run reaches that utility within
+  // the first few pulls.
+  Dataset twin = MediumClassificationSuite()[0].make(50);
+  Dataset query = MediumClassificationSuite()[0].make(51);
+  query.set_name("query_variant");
+
+  SearchSpaceOptions space_options;
+  space_options.preset = SpacePreset::kSmall;
+
+  // Find a good configuration on the twin.
+  VolcanoMlOptions probe;
+  probe.space = space_options;
+  probe.budget = 20.0;
+  probe.seed = 7;
+  VolcanoML prober(probe);
+  AutoMlResult twin_result = prober.Fit(twin);
+
+  MetaKnowledgeBase kb;
+  MetaEntry entry;
+  entry.dataset_name = "twin";
+  entry.task = TaskType::kClassification;
+  entry.meta_features = ComputeMetaFeatures(twin, 1);
+  entry.best_assignment = twin_result.best_assignment;
+  entry.best_utility = twin_result.best_utility;
+  kb.AddEntry(entry);
+
+  VolcanoMlOptions warm;
+  warm.space = space_options;
+  warm.budget = 8.0;  // Tiny budget: success depends on the warm start.
+  warm.knowledge = &kb;
+  warm.num_warm_starts = 1;
+  warm.seed = 8;
+  VolcanoML warm_run(warm);
+  AutoMlResult warm_result = warm_run.Fit(query);
+  EXPECT_GE(warm_result.best_utility, twin_result.best_utility - 0.1);
+}
+
+}  // namespace
+}  // namespace volcanoml

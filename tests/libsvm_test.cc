@@ -1,0 +1,92 @@
+#include "data/libsvm.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(LibSvmTest, ParsesSparseRowsAndRemapsLabels) {
+  std::string path = "/tmp/volcanoml_libsvm_test.txt";
+  {
+    std::ofstream out(path);
+    out << "+1 1:0.5 3:2.0\n";
+    out << "-1 2:1.5\n";
+    out << "# a comment line\n";
+    out << "+1 1:1.0 2:1.0 3:1.0\n";
+  }
+  Result<Dataset> loaded =
+      LoadLibSvmDataset(path, TaskType::kClassification, "svm");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& d = loaded.value();
+  EXPECT_EQ(d.NumSamples(), 3u);
+  EXPECT_EQ(d.NumFeatures(), 3u);
+  EXPECT_EQ(d.NumClasses(), 2u);
+  // -1 -> 0, +1 -> 1 (sorted by value).
+  EXPECT_EQ(d.Label(0), 1);
+  EXPECT_EQ(d.Label(1), 0);
+  // Sparse defaults to zero.
+  EXPECT_DOUBLE_EQ(d.x()(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d.x()(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(d.x()(1, 1), 1.5);
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmTest, RoundTripDense) {
+  Dataset original = MakeBlobs(25, 4, 3, 1.0, 5);
+  std::string path = "/tmp/volcanoml_libsvm_rt.txt";
+  ASSERT_TRUE(SaveLibSvmDataset(original, path).ok());
+  Result<Dataset> loaded =
+      LoadLibSvmDataset(path, TaskType::kClassification, "rt");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumSamples(), original.NumSamples());
+  EXPECT_EQ(loaded.value().NumFeatures(), original.NumFeatures());
+  for (size_t i = 0; i < original.NumSamples(); ++i) {
+    EXPECT_EQ(loaded.value().y()[i], original.y()[i]);
+    for (size_t j = 0; j < original.NumFeatures(); ++j) {
+      EXPECT_NEAR(loaded.value().x()(i, j), original.x()(i, j), 1e-6);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmTest, RegressionKeepsRawTargets) {
+  std::string path = "/tmp/volcanoml_libsvm_reg.txt";
+  {
+    std::ofstream out(path);
+    out << "3.25 1:1.0\n";
+    out << "-7.5 1:2.0\n";
+  }
+  Result<Dataset> loaded =
+      LoadLibSvmDataset(path, TaskType::kRegression, "reg");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded.value().y()[0], 3.25);
+  EXPECT_DOUBLE_EQ(loaded.value().y()[1], -7.5);
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmTest, ErrorsOnMalformedInput) {
+  std::string path = "/tmp/volcanoml_libsvm_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "1 0:5.0\n";  // 0-based index is invalid.
+  }
+  EXPECT_FALSE(
+      LoadLibSvmDataset(path, TaskType::kClassification, "bad").ok());
+  {
+    std::ofstream out(path);
+    out << "1 3=5.0\n";  // Missing colon.
+  }
+  EXPECT_FALSE(
+      LoadLibSvmDataset(path, TaskType::kClassification, "bad").ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadLibSvmDataset("/nonexistent/f.svm",
+                                 TaskType::kClassification, "x")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,127 @@
+// Property tests for the evaluation metrics: invariances and bounds that
+// the benchmark methodology relies on.
+
+#include <algorithm>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(MetricsPropertyTest, AccuracyBounds) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng.Index(40);
+    std::vector<double> yt(n), yp(n);
+    for (size_t i = 0; i < n; ++i) {
+      yt[i] = static_cast<double>(rng.Index(3));
+      yp[i] = static_cast<double>(rng.Index(3));
+    }
+    double acc = Accuracy(yt, yp);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+    double bal = BalancedAccuracy(yt, yp, 3);
+    EXPECT_GE(bal, 0.0);
+    EXPECT_LE(bal, 1.0);
+  }
+}
+
+TEST(MetricsPropertyTest, PermutationInvariance) {
+  Rng rng(2);
+  size_t n = 30;
+  std::vector<double> yt(n), yp(n);
+  for (size_t i = 0; i < n; ++i) {
+    yt[i] = static_cast<double>(rng.Index(3));
+    yp[i] = static_cast<double>(rng.Index(3));
+  }
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(&perm);
+  std::vector<double> yt2(n), yp2(n);
+  for (size_t i = 0; i < n; ++i) {
+    yt2[i] = yt[perm[i]];
+    yp2[i] = yp[perm[i]];
+  }
+  EXPECT_DOUBLE_EQ(Accuracy(yt, yp), Accuracy(yt2, yp2));
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(yt, yp, 3),
+                   BalancedAccuracy(yt2, yp2, 3));
+  EXPECT_DOUBLE_EQ(MeanSquaredError(yt, yp), MeanSquaredError(yt2, yp2));
+}
+
+TEST(MetricsPropertyTest, BalancedAccuracyIgnoresClassSkew) {
+  // Duplicate the majority class 10x: per-class recalls are unchanged,
+  // so balanced accuracy must be too (plain accuracy shifts).
+  std::vector<double> yt = {0, 0, 1}, yp = {0, 1, 1};
+  std::vector<double> yt_skewed = yt, yp_skewed = yp;
+  for (int i = 0; i < 10; ++i) {
+    yt_skewed.push_back(0);
+    yp_skewed.push_back(0);  // More correct majority predictions.
+  }
+  EXPECT_NE(Accuracy(yt, yp), Accuracy(yt_skewed, yp_skewed));
+  // Recall(0): 1/2 -> 11/12; so construct instead duplicates of EXISTING
+  // majority rows to keep recalls identical:
+  std::vector<double> yt_dup = yt, yp_dup = yp;
+  for (int i = 0; i < 9; ++i) {
+    yt_dup.push_back(0);
+    yp_dup.push_back(0);
+    yt_dup.push_back(0);
+    yp_dup.push_back(1);
+  }
+  // Now recall(0) = (1 + 9) / (2 + 18) = 1/2 as before.
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(yt, yp, 2),
+                   BalancedAccuracy(yt_dup, yp_dup, 2));
+}
+
+TEST(MetricsPropertyTest, MseShiftAndScale) {
+  std::vector<double> yt = {1.0, 2.0, 3.0};
+  std::vector<double> yp = {1.5, 2.5, 2.0};
+  double base = MeanSquaredError(yt, yp);
+  // Shifting both by a constant leaves MSE unchanged.
+  std::vector<double> yt_s = {11.0, 12.0, 13.0};
+  std::vector<double> yp_s = {11.5, 12.5, 12.0};
+  EXPECT_NEAR(MeanSquaredError(yt_s, yp_s), base, 1e-12);
+  // Scaling both by c scales MSE by c^2.
+  std::vector<double> yt_c = {2.0, 4.0, 6.0};
+  std::vector<double> yp_c = {3.0, 5.0, 4.0};
+  EXPECT_NEAR(MeanSquaredError(yt_c, yp_c), 4.0 * base, 1e-12);
+}
+
+TEST(MetricsPropertyTest, RelativeMseImprovementAntisymmetric) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    double a = rng.Uniform(0.01, 10.0), b = rng.Uniform(0.01, 10.0);
+    EXPECT_NEAR(RelativeMseImprovement(a, b),
+                -RelativeMseImprovement(b, a), 1e-12);
+    EXPECT_LE(std::abs(RelativeMseImprovement(a, b)), 1.0);
+  }
+}
+
+TEST(MetricsPropertyTest, RankAggregationWithinBounds) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t systems = 2 + rng.Index(5);
+    size_t datasets = 1 + rng.Index(10);
+    std::vector<std::vector<double>> scores(datasets,
+                                            std::vector<double>(systems));
+    for (auto& row : scores) {
+      for (double& v : row) v = rng.Uniform();
+    }
+    std::vector<double> ranks = AverageRanks(scores, true);
+    double total = 0.0;
+    for (double r : ranks) {
+      EXPECT_GE(r, 1.0);
+      EXPECT_LE(r, static_cast<double>(systems));
+      total += r;
+    }
+    // Ranks 1..k always sum to k(k+1)/2 per dataset.
+    EXPECT_NEAR(total, static_cast<double>(systems * (systems + 1)) / 2.0,
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace volcanoml

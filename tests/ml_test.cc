@@ -1,0 +1,395 @@
+#include <cmath>
+#include <memory>
+
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "ml/algorithms.h"
+#include "ml/boosting.h"
+#include "ml/discriminant.h"
+#include "ml/forest.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/tree.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+namespace {
+
+/// Holdout utility of a model on a dataset (larger is better; balanced
+/// accuracy or negative MSE).
+double HoldoutScore(Model* model, const Dataset& data, uint64_t seed) {
+  Rng rng(seed);
+  Split split = TrainTestSplit(data, 0.25, &rng);
+  Dataset train = data.Subset(split.train);
+  Dataset test = data.Subset(split.test);
+  Status s = model->Fit(train);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return Utility(test, model->Predict(test.x()));
+}
+
+Dataset EasyBinary() { return MakeBlobs(300, 5, 2, 1.0, 42); }
+Dataset EasyMulti() { return MakeBlobs(400, 6, 4, 1.5, 43); }
+Dataset XorData() { return MakeXorParity(500, 2, 2, 0.0, 44); }
+Dataset RegData() { return MakeFriedman1(400, 8, 0.5, 45); }
+
+TEST(MetricsTest, AccuracyAndBalancedAccuracy) {
+  std::vector<double> yt = {0, 0, 0, 1};
+  std::vector<double> yp = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(yt, yp), 0.75);
+  // Majority-class predictor: balanced accuracy is 0.5, not 0.75.
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(yt, yp, 2), 0.5);
+}
+
+TEST(MetricsTest, BalancedAccuracySkipsAbsentClasses) {
+  std::vector<double> yt = {0, 0, 1, 1};
+  std::vector<double> yp = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(yt, yp, 5), 1.0);
+}
+
+TEST(MetricsTest, MseAndR2) {
+  std::vector<double> yt = {1, 2, 3};
+  std::vector<double> yp = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(MeanSquaredError(yt, yp), 0.0);
+  EXPECT_DOUBLE_EQ(R2Score(yt, yp), 1.0);
+  std::vector<double> mean_pred = {2, 2, 2};
+  EXPECT_NEAR(R2Score(yt, mean_pred), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, RelativeMseImprovement) {
+  EXPECT_DOUBLE_EQ(RelativeMseImprovement(1.0, 2.0), 0.5);   // m1 better.
+  EXPECT_DOUBLE_EQ(RelativeMseImprovement(2.0, 1.0), -0.5);  // m1 worse.
+  EXPECT_DOUBLE_EQ(RelativeMseImprovement(0.0, 0.0), 0.0);
+}
+
+TEST(MetricsTest, UtilityDispatchesOnTask) {
+  Dataset cls = EasyBinary();
+  std::vector<double> perfect = cls.y();
+  EXPECT_DOUBLE_EQ(Utility(cls, perfect), 1.0);
+  Dataset reg = RegData();
+  EXPECT_DOUBLE_EQ(Utility(reg, reg.y()), 0.0);  // -MSE of exact = 0.
+}
+
+TEST(DecisionTreeTest, FitsEasyData) {
+  TreeOptions opts;
+  opts.max_depth = 8;
+  DecisionTree tree(opts, 1);
+  Dataset d = EasyBinary();
+  ASSERT_TRUE(tree.Fit(d.x(), d.y(), d.NumClasses()).ok());
+  std::vector<double> pred = tree.Predict(d.x());
+  EXPECT_GT(Accuracy(d.y(), pred), 0.95);
+}
+
+TEST(DecisionTreeTest, SolvesXorUnlikeLinear) {
+  Dataset d = XorData();
+  TreeOptions opts;
+  opts.max_depth = 6;
+  DecisionTree tree(opts, 1);
+  ASSERT_TRUE(tree.Fit(d.x(), d.y(), 2).ok());
+  EXPECT_GT(Accuracy(d.y(), tree.Predict(d.x())), 0.9);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepthOne) {
+  Dataset d = EasyBinary();
+  TreeOptions opts;
+  opts.max_depth = 1;
+  DecisionTree tree(opts, 1);
+  ASSERT_TRUE(tree.Fit(d.x(), d.y(), 2).ok());
+  EXPECT_LE(tree.NumNodes(), 3u);  // Root + two leaves.
+}
+
+TEST(DecisionTreeTest, WeightsShiftPrediction) {
+  // Two overlapping points; the heavier class wins the leaf.
+  Matrix x(4, 1);
+  x(0, 0) = x(1, 0) = x(2, 0) = x(3, 0) = 0.0;
+  std::vector<double> y = {0, 0, 1, 1};
+  std::vector<double> w = {1, 1, 10, 10};
+  TreeOptions opts;
+  DecisionTree tree(opts, 1);
+  ASSERT_TRUE(tree.Fit(x, y, 2, w).ok());
+  double row = 0.0;
+  EXPECT_DOUBLE_EQ(tree.PredictOne(&row), 1.0);
+}
+
+TEST(DecisionTreeTest, RegressionReducesVariance) {
+  Dataset d = RegData();
+  TreeOptions opts;
+  opts.criterion = TreeCriterion::kMse;
+  opts.max_depth = 10;
+  DecisionTree tree(opts, 1);
+  ASSERT_TRUE(tree.Fit(d.x(), d.y(), 0).ok());
+  EXPECT_LT(MeanSquaredError(d.y(), tree.Predict(d.x())), 4.0);
+}
+
+TEST(DecisionTreeTest, EmptyDataIsError) {
+  DecisionTree tree(TreeOptions{}, 1);
+  Matrix empty;
+  EXPECT_FALSE(tree.Fit(empty, {}, 2).ok());
+}
+
+TEST(ForestTest, BeatsSingleTreeOnNoisyData) {
+  ClassificationOptions opts;
+  opts.num_samples = 400;
+  opts.num_features = 12;
+  opts.num_informative = 4;
+  opts.class_sep = 0.8;
+  opts.flip_y = 0.05;
+  Dataset d = MakeClassification(opts, 7);
+
+  ForestOptions fo;
+  fo.num_trees = 40;
+  fo.tree.max_depth = 10;
+  fo.tree.max_features = 0.5;
+  ForestModel forest(fo, 1);
+  double forest_score = HoldoutScore(&forest, d, 3);
+  EXPECT_GT(forest_score, 0.75);
+}
+
+TEST(ForestTest, ExtraTreesModeWorks) {
+  ForestOptions fo;
+  fo.num_trees = 30;
+  fo.bootstrap = false;
+  fo.tree.random_splits = true;
+  fo.tree.max_depth = 12;
+  ForestModel forest(fo, 2);
+  EXPECT_GT(HoldoutScore(&forest, EasyMulti(), 4), 0.9);
+}
+
+TEST(ForestTest, RegressionAveraging) {
+  ForestOptions fo;
+  fo.num_trees = 40;
+  fo.tree.criterion = TreeCriterion::kMse;
+  fo.tree.max_depth = 10;
+  ForestModel forest(fo, 3);
+  Dataset d = RegData();
+  double neg_mse = HoldoutScore(&forest, d, 5);
+  EXPECT_GT(neg_mse, -12.0);  // Friedman1 variance is ~25; forest much lower.
+}
+
+TEST(LogisticRegressionTest, LearnsLinearBoundary) {
+  LogisticRegressionModel::Options o;
+  LogisticRegressionModel m(o, 1);
+  EXPECT_GT(HoldoutScore(&m, EasyBinary(), 6), 0.95);
+}
+
+TEST(LogisticRegressionTest, MulticlassSoftmax) {
+  LogisticRegressionModel::Options o;
+  LogisticRegressionModel m(o, 1);
+  EXPECT_GT(HoldoutScore(&m, EasyMulti(), 7), 0.9);
+}
+
+TEST(LinearSvmTest, LearnsLinearBoundary) {
+  LinearSvmModel::Options o;
+  LinearSvmModel m(o, 1);
+  EXPECT_GT(HoldoutScore(&m, EasyBinary(), 8), 0.93);
+}
+
+TEST(LinearModelsTest, FailOnXor) {
+  // Sanity check that the synthetic XOR task defeats linear models; this
+  // is what makes algorithm selection matter in the benchmarks.
+  LogisticRegressionModel::Options o;
+  LogisticRegressionModel m(o, 1);
+  EXPECT_LT(HoldoutScore(&m, XorData(), 9), 0.7);
+}
+
+TEST(RidgeTest, RecoversLinearCoefficients) {
+  Dataset d = MakeLinearRegression(300, 5, 5, 0.01, 11);
+  RidgeRegressionModel m({/*alpha=*/1e-3});
+  ASSERT_TRUE(m.Fit(d).ok());
+  double mse = MeanSquaredError(d.y(), m.Predict(d.x()));
+  double var = Variance(std::vector<double>(d.y()));
+  EXPECT_LT(mse, 0.01 * var);  // Nearly exact fit.
+}
+
+TEST(RidgeTest, HighAlphaShrinks) {
+  Dataset d = MakeLinearRegression(200, 5, 5, 1.0, 12);
+  RidgeRegressionModel weak({1e6});
+  ASSERT_TRUE(weak.Fit(d).ok());
+  for (double c : weak.coefficients()) EXPECT_LT(std::abs(c), 1.0);
+}
+
+TEST(LassoTest, ProducesSparseSolution) {
+  Dataset d = MakeLinearRegression(300, 20, 3, 1.0, 13);
+  LassoRegressionModel m({/*alpha=*/5.0, 300, 1e-7});
+  ASSERT_TRUE(m.Fit(d).ok());
+  size_t zeros = 0;
+  for (double c : m.coefficients()) {
+    if (c == 0.0) ++zeros;
+  }
+  EXPECT_GE(zeros, 10u);  // Most of the 17 irrelevant features zeroed.
+}
+
+TEST(SgdRegressorTest, FitsLinearSignal) {
+  SgdRegressorModel m({1e-5, 80, 0.02}, 1);
+  Dataset d = MakeLinearRegression(300, 6, 6, 1.0, 14);
+  double neg_mse = HoldoutScore(&m, d, 15);
+  double var = Variance(std::vector<double>(d.y()));
+  EXPECT_GT(neg_mse, -0.2 * var);
+}
+
+TEST(KnnTest, ClassifiesEasyData) {
+  KnnModel m({5, false, 2});
+  EXPECT_GT(HoldoutScore(&m, EasyBinary(), 16), 0.95);
+}
+
+TEST(KnnTest, DistanceWeightingAndManhattan) {
+  KnnModel m({7, true, 1});
+  EXPECT_GT(HoldoutScore(&m, EasyMulti(), 17), 0.9);
+}
+
+TEST(KnnTest, RegressionInterpolates) {
+  KnnModel m({5, true, 2});
+  Dataset d = RegData();
+  EXPECT_GT(HoldoutScore(&m, d, 18), -12.0);
+}
+
+TEST(KnnTest, KLargerThanDataIsClamped) {
+  KnnModel m({50, false, 2});
+  Dataset d = MakeBlobs(20, 3, 2, 0.5, 19);
+  ASSERT_TRUE(m.Fit(d).ok());
+  EXPECT_EQ(m.Predict(d.x()).size(), 20u);
+}
+
+TEST(NaiveBayesTest, ClassifiesGaussianData) {
+  GaussianNbModel m({1e-9});
+  EXPECT_GT(HoldoutScore(&m, EasyBinary(), 20), 0.95);
+}
+
+TEST(LdaTest, ClassifiesLinearData) {
+  LdaModel m({0.1});
+  EXPECT_GT(HoldoutScore(&m, EasyBinary(), 21), 0.95);
+}
+
+TEST(LdaTest, FullShrinkageStillWorks) {
+  LdaModel m({1.0});
+  EXPECT_GT(HoldoutScore(&m, EasyBinary(), 22), 0.9);
+}
+
+TEST(QdaTest, ClassifiesEllipticData) {
+  QdaModel m({0.1});
+  EXPECT_GT(HoldoutScore(&m, EasyMulti(), 23), 0.9);
+}
+
+TEST(AdaBoostTest, BoostsStumpsOnLinearData) {
+  AdaBoostModel m({50, 1.0, 1}, 1);
+  EXPECT_GT(HoldoutScore(&m, EasyBinary(), 24), 0.9);
+}
+
+TEST(AdaBoostTest, DepthTwoSolvesXor) {
+  AdaBoostModel m({60, 1.0, 2}, 1);
+  EXPECT_GT(HoldoutScore(&m, XorData(), 25), 0.85);
+}
+
+TEST(GradientBoostingTest, ClassificationMulticlass) {
+  GradientBoostingModel m({60, 0.15, 3, 1.0, 1.0, 2}, 1);
+  EXPECT_GT(HoldoutScore(&m, EasyMulti(), 26), 0.9);
+}
+
+TEST(GradientBoostingTest, RegressionOnFriedman) {
+  GradientBoostingModel m({80, 0.1, 3, 0.8, 1.0, 2}, 1);
+  EXPECT_GT(HoldoutScore(&m, RegData(), 27), -8.0);
+}
+
+TEST(MlpTest, LearnsNonlinearBoundary) {
+  MlpModel::Options o;
+  o.hidden_size = 32;
+  o.max_epochs = 80;
+  MlpModel m(o, 1);
+  Dataset d = MakeMoons(400, 0.15, 28);
+  EXPECT_GT(HoldoutScore(&m, d, 29), 0.9);
+}
+
+TEST(MlpTest, TwoLayerTanhRegression) {
+  MlpModel::Options o;
+  o.hidden_size = 24;
+  o.num_hidden_layers = 2;
+  o.activation = MlpModel::Activation::kTanh;
+  o.learning_rate = 0.01;
+  o.max_epochs = 100;
+  MlpModel m(o, 1);
+  EXPECT_GT(HoldoutScore(&m, RegData(), 30), -10.0);
+}
+
+TEST(AlgorithmsTest, RegistryShapes) {
+  EXPECT_EQ(AlgorithmsFor(TaskType::kClassification).size(), 12u);
+  EXPECT_EQ(AlgorithmsFor(TaskType::kRegression).size(), 9u);
+}
+
+TEST(AlgorithmsTest, FindByName) {
+  const Algorithm& a = FindAlgorithm("random_forest", TaskType::kClassification);
+  EXPECT_EQ(a.name, "random_forest");
+  EXPECT_GT(a.hp_space.NumParameters(), 0u);
+}
+
+class AlgorithmDefaultTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AlgorithmDefaultTest, DefaultConfigFitsAndBeatsChance) {
+  const Algorithm& algo =
+      FindAlgorithm(GetParam(), TaskType::kClassification);
+  std::unique_ptr<Model> model =
+      algo.create(algo.hp_space, algo.hp_space.Default(), 1);
+  double score = HoldoutScore(model.get(), EasyBinary(), 31);
+  EXPECT_GT(score, 0.7) << algo.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClassifiers, AlgorithmDefaultTest,
+    ::testing::Values("logistic_regression", "linear_svm", "decision_tree",
+                      "random_forest", "extra_trees", "knn", "gaussian_nb",
+                      "lda", "qda", "adaboost", "gradient_boosting", "mlp"));
+
+class RegressorDefaultTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegressorDefaultTest, DefaultConfigBeatsMeanPredictor) {
+  const Algorithm& algo = FindAlgorithm(GetParam(), TaskType::kRegression);
+  std::unique_ptr<Model> model =
+      algo.create(algo.hp_space, algo.hp_space.Default(), 1);
+  Dataset d = RegData();
+  double neg_mse = HoldoutScore(model.get(), d, 32);
+  double var = Variance(std::vector<double>(d.y()));
+  EXPECT_GT(neg_mse, -var) << algo.name;  // Better than predicting the mean.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegressors, RegressorDefaultTest,
+    ::testing::Values("ridge", "lasso", "sgd_reg", "decision_tree_reg",
+                      "random_forest_reg", "extra_trees_reg", "knn_reg",
+                      "gradient_boosting_reg", "mlp_reg"));
+
+class AlgorithmRandomConfigTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AlgorithmRandomConfigTest, RandomConfigsNeverCrash) {
+  // Property test: any sampled configuration must produce a model that
+  // fits and predicts without error (the search relies on this).
+  const Algorithm& algo =
+      FindAlgorithm(GetParam(), TaskType::kClassification);
+  Rng rng(33);
+  Dataset d = MakeBlobs(80, 4, 3, 2.0, 34);
+  for (int i = 0; i < 5; ++i) {
+    Configuration c = algo.hp_space.Sample(&rng);
+    std::unique_ptr<Model> model = algo.create(algo.hp_space, c, rng.Fork());
+    ASSERT_TRUE(model->Fit(d).ok()) << algo.name;
+    std::vector<double> pred = model->Predict(d.x());
+    ASSERT_EQ(pred.size(), d.NumSamples());
+    for (double p : pred) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LT(p, 3.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClassifiers, AlgorithmRandomConfigTest,
+    ::testing::Values("logistic_regression", "linear_svm", "decision_tree",
+                      "random_forest", "extra_trees", "knn", "gaussian_nb",
+                      "lda", "qda", "adaboost", "gradient_boosting", "mlp"));
+
+}  // namespace
+}  // namespace volcanoml

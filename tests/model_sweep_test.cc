@@ -1,0 +1,112 @@
+// Parameterized property sweeps over model hyper-parameters: structural
+// invariants that must hold across HP grids (capacity monotonicity,
+// ensemble-size effects, determinism per seed).
+
+#include <memory>
+
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "ml/algorithms.h"
+#include "ml/forest.h"
+#include "ml/metrics.h"
+#include "ml/tree.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+Dataset TrainData() { return MakeBlobs(240, 6, 3, 2.5, 77); }
+
+class TreeDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeDepthSweep, TrainAccuracyNonDecreasingInDepth) {
+  Dataset d = TrainData();
+  TreeOptions shallow_opts;
+  shallow_opts.max_depth = GetParam();
+  TreeOptions deeper_opts;
+  deeper_opts.max_depth = GetParam() + 4;
+  DecisionTree shallow(shallow_opts, 1), deeper(deeper_opts, 1);
+  ASSERT_TRUE(shallow.Fit(d.x(), d.y(), d.NumClasses()).ok());
+  ASSERT_TRUE(deeper.Fit(d.x(), d.y(), d.NumClasses()).ok());
+  double acc_shallow = Accuracy(d.y(), shallow.Predict(d.x()));
+  double acc_deeper = Accuracy(d.y(), deeper.Predict(d.x()));
+  // Deeper trees can only fit the training data at least as well (same
+  // greedy split path, extended further).
+  EXPECT_GE(acc_deeper + 1e-12, acc_shallow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeDepthSweep, ::testing::Values(1, 2, 4));
+
+class ForestSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ForestSizeSweep, BuildsRequestedTreesAndPredictsDeterministically) {
+  ForestOptions options;
+  options.num_trees = GetParam();
+  options.tree.max_depth = 6;
+  Dataset d = TrainData();
+  ForestModel a(options, 9), b(options, 9);
+  ASSERT_TRUE(a.Fit(d).ok());
+  ASSERT_TRUE(b.Fit(d).ok());
+  EXPECT_EQ(a.NumTrees(), GetParam());
+  EXPECT_EQ(a.Predict(d.x()), b.Predict(d.x()));  // Same seed, same model.
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ForestSizeSweep,
+                         ::testing::Values(1u, 5u, 25u));
+
+struct HpGridCase {
+  std::string algorithm;
+  std::string param;
+};
+
+class HpGridSweep : public ::testing::TestWithParam<HpGridCase> {};
+
+TEST_P(HpGridSweep, EveryGridPointOfParamFitsCleanly) {
+  // Sweep one hyper-parameter across its domain (5 grid points) with all
+  // others at defaults; every resulting model must fit and predict.
+  const Algorithm& algo =
+      FindAlgorithm(GetParam().algorithm, TaskType::kClassification);
+  Dataset d = MakeBlobs(100, 4, 2, 2.0, 11);
+  size_t index = algo.hp_space.IndexOf(GetParam().param);
+  const Parameter& p = algo.hp_space.param(index);
+  for (int g = 0; g < 5; ++g) {
+    Configuration c = algo.hp_space.Default();
+    double frac = static_cast<double>(g) / 4.0;
+    double value;
+    if (p.type == volcanoml::ParamType::kCategorical) {
+      value = std::min(static_cast<double>(p.choices.size() - 1),
+                       std::floor(frac * static_cast<double>(p.choices.size())));
+    } else if (p.log_scale) {
+      value = p.lo * std::pow(p.hi / p.lo, frac);
+    } else {
+      value = p.lo + frac * (p.hi - p.lo);
+      if (p.type == volcanoml::ParamType::kInteger) value = std::round(value);
+    }
+    algo.hp_space.SetValue(&c, GetParam().param, value);
+    std::unique_ptr<Model> model = algo.create(algo.hp_space, c, 3);
+    ASSERT_TRUE(model->Fit(d).ok())
+        << GetParam().algorithm << " " << GetParam().param << "=" << value;
+    EXPECT_EQ(model->Predict(d.x()).size(), d.NumSamples());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, HpGridSweep,
+    ::testing::Values(HpGridCase{"logistic_regression", "c"},
+                      HpGridCase{"decision_tree", "max_depth"},
+                      HpGridCase{"decision_tree", "max_features"},
+                      HpGridCase{"random_forest", "n_estimators"},
+                      HpGridCase{"knn", "k"},
+                      HpGridCase{"gaussian_nb", "var_smoothing"},
+                      HpGridCase{"lda", "shrinkage"},
+                      HpGridCase{"qda", "reg_param"},
+                      HpGridCase{"adaboost", "learning_rate"},
+                      HpGridCase{"gradient_boosting", "subsample"},
+                      HpGridCase{"mlp", "hidden_size"}),
+    [](const ::testing::TestParamInfo<HpGridCase>& info) {
+      return info.param.algorithm + "_" + info.param.param;
+    });
+
+}  // namespace
+}  // namespace volcanoml

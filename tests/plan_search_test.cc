@@ -1,0 +1,45 @@
+#include "core/plan_search.h"
+
+#include "data/suite.h"
+#include "gtest/gtest.h"
+#include "util/stats.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(PlanSearchTest, RanksEveryPlanAndPicksArgmin) {
+  std::vector<DatasetSpec> workload = {MediumClassificationSuite()[0],
+                                       MediumClassificationSuite()[20]};
+  PlanSearchOptions options;
+  options.space.preset = SpacePreset::kSmall;
+  options.budget_per_run = 10.0;
+  options.seed = 3;
+  PlanSearchResult result = SearchBestPlan(workload, options);
+  ASSERT_EQ(result.plans.size(), AllPlanKinds().size());
+  ASSERT_EQ(result.average_ranks.size(), result.plans.size());
+  double best_rank = 1e9;
+  for (size_t p = 0; p < result.plans.size(); ++p) {
+    EXPECT_GE(result.average_ranks[p], 1.0);
+    EXPECT_LE(result.average_ranks[p],
+              static_cast<double>(result.plans.size()));
+    if (result.average_ranks[p] < best_rank) {
+      best_rank = result.average_ranks[p];
+      EXPECT_EQ(result.plans[ArgMin(result.average_ranks)], result.best);
+    }
+  }
+}
+
+TEST(PlanSearchTest, DeterministicForSameSeed) {
+  std::vector<DatasetSpec> workload = {MediumClassificationSuite()[1]};
+  PlanSearchOptions options;
+  options.space.preset = SpacePreset::kSmall;
+  options.budget_per_run = 8.0;
+  options.seed = 4;
+  PlanSearchResult a = SearchBestPlan(workload, options);
+  PlanSearchResult b = SearchBestPlan(workload, options);
+  EXPECT_EQ(a.average_ranks, b.average_ranks);
+  EXPECT_EQ(a.best, b.best);
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,219 @@
+// Cross-module property tests: invariants that must hold for arbitrary
+// random inputs, plus failure-injection paths.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bandit/eu.h"
+#include "core/conditioning_block.h"
+#include "core/plans.h"
+#include "core/volcano_ml.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "fe/pipeline.h"
+#include "fe/registry.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(EuPropertyTest, UpperNeverBelowLowerAndMonotoneInBudget) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random non-decreasing curve.
+    size_t len = 1 + rng.Index(30);
+    std::vector<double> curve(len);
+    double value = rng.Uniform(-1.0, 1.0);
+    for (size_t i = 0; i < len; ++i) {
+      if (rng.Bernoulli(0.4)) value += rng.Uniform(0.0, 0.3);
+      curve[i] = value;
+    }
+    EuBounds small_budget = RisingBanditBounds(curve, 5.0);
+    EuBounds large_budget = RisingBanditBounds(curve, 50.0);
+    EXPECT_GE(small_budget.upper, small_budget.lower);
+    EXPECT_GE(large_budget.upper, small_budget.upper);
+    EXPECT_DOUBLE_EQ(small_budget.lower, large_budget.lower);
+  }
+}
+
+TEST(EuPropertyTest, ZeroBudgetCollapsesToCurrent) {
+  std::vector<double> curve = {0.1, 0.4, 0.5, 0.5};
+  EuBounds bounds = RisingBanditBounds(curve, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.lower, 0.5);
+  EXPECT_DOUBLE_EQ(bounds.upper, 0.5);
+}
+
+TEST(EuiPropertyTest, NonNegativeForBestSoFarCurves) {
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> utilities(2 + rng.Index(20));
+    for (double& u : utilities) u = rng.Uniform(-1.0, 1.0);
+    double eui = MeanImprovementEui(BestSoFarCurve(utilities));
+    EXPECT_GE(eui, 0.0);
+  }
+}
+
+TEST(FePipelinePropertyTest, RandomChainsKeepTrainTestWidthConsistent) {
+  // Any random combination of one operator per stage must produce the
+  // same feature width for train (via FitTransform) and test (via
+  // Transform), and never zero columns.
+  Rng rng(3);
+  Dataset data = MakeBlobs(120, 6, 3, 2.0, 4);
+  for (int trial = 0; trial < 25; ++trial) {
+    FePipeline pipeline;
+    for (FeStage stage : {FeStage::kPreprocessing, FeStage::kRescaling,
+                          FeStage::kBalancing, FeStage::kTransform}) {
+      std::vector<FeOperatorInfo> ops = OperatorsFor(stage, true);
+      const FeOperatorInfo& op = ops[rng.Index(ops.size())];
+      Configuration config = op.hp_space.empty()
+                                 ? Configuration{}
+                                 : op.hp_space.Sample(&rng);
+      if (op.hp_space.empty()) config = op.hp_space.Default();
+      pipeline.Add(op.create(op.hp_space, config, rng.Fork()));
+    }
+    Result<Dataset> engineered = pipeline.FitTransform(data);
+    ASSERT_TRUE(engineered.ok()) << engineered.status().ToString();
+    EXPECT_GT(engineered.value().NumFeatures(), 0u);
+    Matrix replay = pipeline.Transform(data.x());
+    EXPECT_EQ(replay.cols(), engineered.value().NumFeatures());
+    EXPECT_EQ(replay.rows(), data.NumSamples());
+  }
+}
+
+TEST(SearchSpacePropertyTest, AssignmentRoundTripForRandomConfigs) {
+  Rng rng(5);
+  for (SpacePreset preset :
+       {SpacePreset::kSmall, SpacePreset::kMedium, SpacePreset::kLarge}) {
+    SearchSpaceOptions options;
+    options.preset = preset;
+    options.include_smote = true;
+    SearchSpace space(options);
+    for (int trial = 0; trial < 20; ++trial) {
+      Configuration config = space.joint().Sample(&rng);
+      Assignment assignment = space.joint().ToAssignment(config);
+      Configuration back = space.joint().FromAssignment(assignment);
+      EXPECT_EQ(back, config);
+    }
+  }
+}
+
+TEST(SearchSpacePropertyTest, EncodeDimensionsStable) {
+  SearchSpaceOptions options;
+  options.preset = SpacePreset::kLarge;
+  SearchSpace space(options);
+  Rng rng(6);
+  size_t dim = space.joint().Encode(space.joint().Default()).size();
+  for (int trial = 0; trial < 50; ++trial) {
+    Configuration config = space.joint().Sample(&rng);
+    std::vector<double> encoded = space.joint().Encode(config);
+    EXPECT_EQ(encoded.size(), dim);
+    for (double v : encoded) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(BlockPropertyTest, BestUtilityEqualsPullHistoryMax) {
+  SearchSpaceOptions options;
+  options.preset = SpacePreset::kSmall;
+  SearchSpace space(options);
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 7);
+  PipelineEvaluator evaluator(&space, &data, {});
+  std::unique_ptr<BuildingBlock> root =
+      BuildPlan(PlanKind::kConditioningAlternating, space, &evaluator,
+                JointOptimizerKind::kSmac, 8);
+  for (int i = 0; i < 6; ++i) root->DoNext(20.0);
+  double history_max = *std::max_element(root->pull_history().begin(),
+                                         root->pull_history().end());
+  EXPECT_DOUBLE_EQ(root->BestUtility(), history_max);
+}
+
+TEST(BlockPropertyTest, ConditioningNeverEliminatesLastArm) {
+  // Adversarial case: all arms identical and flat -> bounds collapse but
+  // at least one arm must survive.
+  SearchSpaceOptions options;
+  options.preset = SpacePreset::kSmall;
+  SearchSpace space(options);
+  Dataset data = MakeBlobs(100, 4, 2, 0.5, 9);  // Trivial data: all ~1.0.
+  PipelineEvaluator evaluator(&space, &data, {});
+  std::unique_ptr<BuildingBlock> root =
+      BuildPlan(PlanKind::kConditioningAlternating, space, &evaluator,
+                JointOptimizerKind::kRandom, 10);
+  auto* cond = dynamic_cast<ConditioningBlock*>(root.get());
+  ASSERT_NE(cond, nullptr);
+  for (int i = 0; i < 12; ++i) root->DoNext(1.0);  // Tiny k_more.
+  EXPECT_GE(cond->NumActiveChildren(), 1u);
+}
+
+TEST(FailureInjectionTest, UnfittablePipelineYieldsFailureUtility) {
+  // A dataset whose features are all constant: variance_threshold keeps
+  // one column, PCA degenerates, models see zero-variance input. Every
+  // configuration must still return a finite utility.
+  Matrix x(60, 3, /*fill=*/1.0);
+  std::vector<double> y(60);
+  for (size_t i = 0; i < 60; ++i) y[i] = static_cast<double>(i % 2);
+  Dataset degenerate("constant", std::move(x), std::move(y),
+                     TaskType::kClassification);
+  SearchSpaceOptions options;
+  options.preset = SpacePreset::kLarge;
+  SearchSpace space(options);
+  PipelineEvaluator evaluator(&space, &degenerate, {});
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    Configuration config = space.joint().Sample(&rng);
+    double utility = evaluator.Evaluate(space.joint().ToAssignment(config));
+    EXPECT_TRUE(std::isfinite(utility));
+    EXPECT_GE(utility, FailureUtility(TaskType::kClassification));
+  }
+}
+
+TEST(FailureInjectionTest, SearchSurvivesDegenerateData) {
+  // Full AutoML run on near-degenerate data must terminate and return
+  // something evaluable.
+  Matrix x(80, 2);
+  Rng noise(12);
+  for (size_t i = 0; i < 80; ++i) {
+    x(i, 0) = 1.0;                    // Constant column.
+    x(i, 1) = noise.Gaussian() * 1e-9;  // Near-constant column.
+  }
+  std::vector<double> y(80);
+  for (size_t i = 0; i < 80; ++i) y[i] = static_cast<double>(i % 2);
+  Dataset data("degenerate", std::move(x), std::move(y),
+               TaskType::kClassification);
+  VolcanoMlOptions options;
+  options.space.preset = SpacePreset::kSmall;
+  options.budget = 10.0;
+  options.seed = 13;
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(data);
+  EXPECT_TRUE(std::isfinite(result.best_utility));
+}
+
+TEST(TrajectoryPropertyTest, MonotoneAndBudgetBounded) {
+  Rng rng(14);
+  for (PlanKind plan : AllPlanKinds()) {
+    VolcanoMlOptions options;
+    options.space.preset = SpacePreset::kSmall;
+    options.plan = plan;
+    options.budget = 12.0;
+    options.seed = rng.Fork();
+    VolcanoML automl(options);
+    Dataset data = MakeBlobs(120, 4, 2, 1.5, 15);
+    AutoMlResult result = automl.Fit(data);
+    ASSERT_FALSE(result.trajectory.empty()) << PlanKindName(plan);
+    for (size_t i = 1; i < result.trajectory.size(); ++i) {
+      EXPECT_GE(result.trajectory[i].utility,
+                result.trajectory[i - 1].utility);
+      EXPECT_GE(result.trajectory[i].budget,
+                result.trajectory[i - 1].budget);
+    }
+    // The loop stops within one root-pull of the budget; a root pull is
+    // at most one evaluation per conditioning arm.
+    EXPECT_LE(result.trajectory.back().budget,
+              options.budget + 2.0 * 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,86 @@
+// Parameterized sweeps over the full benchmark suites: every dataset
+// recipe must materialize into healthy data (shape, label universe,
+// determinism, finite values), since the experiment harness depends on
+// all 71 of them.
+
+#include <cmath>
+
+#include "data/suite.h"
+#include "gtest/gtest.h"
+
+namespace volcanoml {
+namespace {
+
+struct SuiteCase {
+  std::string suite;
+  std::string dataset;
+};
+
+std::vector<SuiteCase> AllSuiteCases() {
+  std::vector<SuiteCase> cases;
+  auto add = [&cases](const char* suite_name,
+                      const std::vector<DatasetSpec>& suite) {
+    for (const DatasetSpec& spec : suite) {
+      cases.push_back({suite_name, spec.name});
+    }
+  };
+  add("medium_cls", MediumClassificationSuite());
+  add("regression", RegressionSuite());
+  add("large_cls", LargeClassificationSuite());
+  add("imbalanced", ImbalancedSuite());
+  add("kaggle", KaggleSuite());
+  return cases;
+}
+
+class SuiteSweepTest : public ::testing::TestWithParam<SuiteCase> {};
+
+TEST_P(SuiteSweepTest, MaterializesHealthyData) {
+  DatasetSpec spec = FindDatasetSpec(GetParam().dataset);
+  Dataset data = spec.make(123);
+
+  EXPECT_GE(data.NumSamples(), 100u) << spec.name;
+  EXPECT_GE(data.NumFeatures(), 2u) << spec.name;
+
+  // All finite.
+  for (double v : data.x().data()) {
+    ASSERT_TRUE(std::isfinite(v)) << spec.name;
+  }
+  for (double v : data.y()) {
+    ASSERT_TRUE(std::isfinite(v)) << spec.name;
+  }
+
+  if (data.task() == TaskType::kClassification) {
+    EXPECT_GE(data.NumClasses(), 2u) << spec.name;
+    // Every class has at least two members (needed for stratified CV).
+    for (size_t count : data.ClassCounts()) {
+      EXPECT_GE(count, 2u) << spec.name;
+    }
+  } else {
+    // Non-degenerate target.
+    double lo = 1e300, hi = -1e300;
+    for (double v : data.y()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_GT(hi - lo, 1e-6) << spec.name;
+  }
+
+  // Deterministic per (spec, seed); different across seeds.
+  Dataset again = spec.make(123);
+  EXPECT_EQ(again.x().data(), data.x().data()) << spec.name;
+  Dataset other = spec.make(124);
+  EXPECT_NE(other.x().data(), data.x().data()) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuites, SuiteSweepTest, ::testing::ValuesIn(AllSuiteCases()),
+    [](const ::testing::TestParamInfo<SuiteCase>& info) {
+      std::string name = info.param.suite + "_" + info.param.dataset;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace volcanoml

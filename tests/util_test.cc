@@ -1,0 +1,158 @@
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(2);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(3);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) counts[rng.Categorical(weights)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.5);
+}
+
+TEST(RngTest, ForkGivesIndependentStreams) {
+  Rng parent(11);
+  Rng child_a(parent.Fork());
+  Rng child_b(parent.Fork());
+  EXPECT_NE(child_a.Uniform(), child_b.Uniform());
+}
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(Variance(v), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+}
+
+TEST(StatsTest, ArgMaxArgMin) {
+  std::vector<double> v = {3.0, 9.0, -1.0};
+  EXPECT_EQ(ArgMax(v), 1u);
+  EXPECT_EQ(ArgMin(v), 2u);
+}
+
+TEST(StatsTest, RankScoresHigherIsBetter) {
+  std::vector<double> ranks = RankScores({0.9, 0.5, 0.7}, true);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(StatsTest, RankScoresLowerIsBetter) {
+  std::vector<double> ranks = RankScores({0.9, 0.5, 0.7}, false);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+}
+
+TEST(StatsTest, RankScoresAverageTies) {
+  std::vector<double> ranks = RankScores({0.5, 0.5, 0.1}, true);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(StatsTest, AverageRanksAcrossDatasets) {
+  // System 0 wins on both datasets, system 1 always second.
+  std::vector<std::vector<double>> scores = {{0.9, 0.8, 0.1},
+                                             {0.7, 0.6, 0.5}};
+  std::vector<double> avg = AverageRanks(scores, true);
+  EXPECT_DOUBLE_EQ(avg[0], 1.0);
+  EXPECT_DOUBLE_EQ(avg[1], 2.0);
+  EXPECT_DOUBLE_EQ(avg[2], 3.0);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+  std::vector<double> c = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch sw;
+  double t1 = sw.ElapsedSeconds();
+  double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0.0);
+}
+
+}  // namespace
+}  // namespace volcanoml
