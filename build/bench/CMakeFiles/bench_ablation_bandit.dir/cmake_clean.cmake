@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bandit.dir/bench_ablation_bandit.cc.o"
+  "CMakeFiles/bench_ablation_bandit.dir/bench_ablation_bandit.cc.o.d"
+  "bench_ablation_bandit"
+  "bench_ablation_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

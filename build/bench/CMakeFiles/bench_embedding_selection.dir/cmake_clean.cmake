@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embedding_selection.dir/bench_embedding_selection.cc.o"
+  "CMakeFiles/bench_embedding_selection.dir/bench_embedding_selection.cc.o.d"
+  "bench_embedding_selection"
+  "bench_embedding_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embedding_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

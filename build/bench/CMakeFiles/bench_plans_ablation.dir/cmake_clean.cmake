@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plans_ablation.dir/bench_plans_ablation.cc.o"
+  "CMakeFiles/bench_plans_ablation.dir/bench_plans_ablation.cc.o.d"
+  "bench_plans_ablation"
+  "bench_plans_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plans_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_enrichment.dir/bench_table2_enrichment.cc.o"
+  "CMakeFiles/bench_table2_enrichment.dir/bench_table2_enrichment.cc.o.d"
+  "bench_table2_enrichment"
+  "bench_table2_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

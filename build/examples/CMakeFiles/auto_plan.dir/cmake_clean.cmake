@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_plan.dir/auto_plan.cpp.o"
+  "CMakeFiles/auto_plan.dir/auto_plan.cpp.o.d"
+  "auto_plan"
+  "auto_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_plan.dir/custom_plan.cpp.o"
+  "CMakeFiles/custom_plan.dir/custom_plan.cpp.o.d"
+  "custom_plan"
+  "custom_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

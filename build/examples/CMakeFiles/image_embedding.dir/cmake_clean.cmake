@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_embedding.dir/image_embedding.cpp.o"
+  "CMakeFiles/image_embedding.dir/image_embedding.cpp.o.d"
+  "image_embedding"
+  "image_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

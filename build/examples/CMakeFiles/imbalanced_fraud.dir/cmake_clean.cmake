@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imbalanced_fraud.dir/imbalanced_fraud.cpp.o"
+  "CMakeFiles/imbalanced_fraud.dir/imbalanced_fraud.cpp.o.d"
+  "imbalanced_fraud"
+  "imbalanced_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imbalanced_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

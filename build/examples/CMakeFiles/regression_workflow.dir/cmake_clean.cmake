@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_workflow.dir/regression_workflow.cpp.o"
+  "CMakeFiles/regression_workflow.dir/regression_workflow.cpp.o.d"
+  "regression_workflow"
+  "regression_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volcanoml_cli.dir/volcanoml_cli.cpp.o"
+  "CMakeFiles/volcanoml_cli.dir/volcanoml_cli.cpp.o.d"
+  "volcanoml_cli"
+  "volcanoml_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volcanoml_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bandit/eu.cc" "src/CMakeFiles/volcanoml.dir/bandit/eu.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/bandit/eu.cc.o.d"
+  "/root/repo/src/bandit/mfes.cc" "src/CMakeFiles/volcanoml.dir/bandit/mfes.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/bandit/mfes.cc.o.d"
+  "/root/repo/src/bandit/successive_halving.cc" "src/CMakeFiles/volcanoml.dir/bandit/successive_halving.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/bandit/successive_halving.cc.o.d"
+  "/root/repo/src/baselines/auto_sklearn.cc" "src/CMakeFiles/volcanoml.dir/baselines/auto_sklearn.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/baselines/auto_sklearn.cc.o.d"
+  "/root/repo/src/baselines/hyperopt.cc" "src/CMakeFiles/volcanoml.dir/baselines/hyperopt.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/baselines/hyperopt.cc.o.d"
+  "/root/repo/src/baselines/platforms.cc" "src/CMakeFiles/volcanoml.dir/baselines/platforms.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/baselines/platforms.cc.o.d"
+  "/root/repo/src/baselines/tpot.cc" "src/CMakeFiles/volcanoml.dir/baselines/tpot.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/baselines/tpot.cc.o.d"
+  "/root/repo/src/bo/acquisition.cc" "src/CMakeFiles/volcanoml.dir/bo/acquisition.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/bo/acquisition.cc.o.d"
+  "/root/repo/src/bo/optimizer.cc" "src/CMakeFiles/volcanoml.dir/bo/optimizer.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/bo/optimizer.cc.o.d"
+  "/root/repo/src/bo/smac.cc" "src/CMakeFiles/volcanoml.dir/bo/smac.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/bo/smac.cc.o.d"
+  "/root/repo/src/bo/surrogate.cc" "src/CMakeFiles/volcanoml.dir/bo/surrogate.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/bo/surrogate.cc.o.d"
+  "/root/repo/src/bo/tpe.cc" "src/CMakeFiles/volcanoml.dir/bo/tpe.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/bo/tpe.cc.o.d"
+  "/root/repo/src/core/alternating_block.cc" "src/CMakeFiles/volcanoml.dir/core/alternating_block.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/core/alternating_block.cc.o.d"
+  "/root/repo/src/core/building_block.cc" "src/CMakeFiles/volcanoml.dir/core/building_block.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/core/building_block.cc.o.d"
+  "/root/repo/src/core/conditioning_block.cc" "src/CMakeFiles/volcanoml.dir/core/conditioning_block.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/core/conditioning_block.cc.o.d"
+  "/root/repo/src/core/ensemble.cc" "src/CMakeFiles/volcanoml.dir/core/ensemble.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/core/ensemble.cc.o.d"
+  "/root/repo/src/core/joint_block.cc" "src/CMakeFiles/volcanoml.dir/core/joint_block.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/core/joint_block.cc.o.d"
+  "/root/repo/src/core/plan_search.cc" "src/CMakeFiles/volcanoml.dir/core/plan_search.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/core/plan_search.cc.o.d"
+  "/root/repo/src/core/plans.cc" "src/CMakeFiles/volcanoml.dir/core/plans.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/core/plans.cc.o.d"
+  "/root/repo/src/core/volcano_ml.cc" "src/CMakeFiles/volcanoml.dir/core/volcano_ml.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/core/volcano_ml.cc.o.d"
+  "/root/repo/src/cs/configuration_space.cc" "src/CMakeFiles/volcanoml.dir/cs/configuration_space.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/cs/configuration_space.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/volcanoml.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/volcanoml.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/libsvm.cc" "src/CMakeFiles/volcanoml.dir/data/libsvm.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/data/libsvm.cc.o.d"
+  "/root/repo/src/data/matrix.cc" "src/CMakeFiles/volcanoml.dir/data/matrix.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/data/matrix.cc.o.d"
+  "/root/repo/src/data/meta_features.cc" "src/CMakeFiles/volcanoml.dir/data/meta_features.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/data/meta_features.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/volcanoml.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/data/splits.cc.o.d"
+  "/root/repo/src/data/suite.cc" "src/CMakeFiles/volcanoml.dir/data/suite.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/data/suite.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/volcanoml.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/embed/pretrained.cc" "src/CMakeFiles/volcanoml.dir/embed/pretrained.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/embed/pretrained.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/volcanoml.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/search_space.cc" "src/CMakeFiles/volcanoml.dir/eval/search_space.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/eval/search_space.cc.o.d"
+  "/root/repo/src/fe/agglomeration.cc" "src/CMakeFiles/volcanoml.dir/fe/agglomeration.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/fe/agglomeration.cc.o.d"
+  "/root/repo/src/fe/balancers.cc" "src/CMakeFiles/volcanoml.dir/fe/balancers.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/fe/balancers.cc.o.d"
+  "/root/repo/src/fe/pipeline.cc" "src/CMakeFiles/volcanoml.dir/fe/pipeline.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/fe/pipeline.cc.o.d"
+  "/root/repo/src/fe/registry.cc" "src/CMakeFiles/volcanoml.dir/fe/registry.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/fe/registry.cc.o.d"
+  "/root/repo/src/fe/scalers.cc" "src/CMakeFiles/volcanoml.dir/fe/scalers.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/fe/scalers.cc.o.d"
+  "/root/repo/src/fe/transforms.cc" "src/CMakeFiles/volcanoml.dir/fe/transforms.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/fe/transforms.cc.o.d"
+  "/root/repo/src/meta/bootstrap.cc" "src/CMakeFiles/volcanoml.dir/meta/bootstrap.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/meta/bootstrap.cc.o.d"
+  "/root/repo/src/meta/knowledge_base.cc" "src/CMakeFiles/volcanoml.dir/meta/knowledge_base.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/meta/knowledge_base.cc.o.d"
+  "/root/repo/src/ml/algorithms.cc" "src/CMakeFiles/volcanoml.dir/ml/algorithms.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/ml/algorithms.cc.o.d"
+  "/root/repo/src/ml/boosting.cc" "src/CMakeFiles/volcanoml.dir/ml/boosting.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/ml/boosting.cc.o.d"
+  "/root/repo/src/ml/discriminant.cc" "src/CMakeFiles/volcanoml.dir/ml/discriminant.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/ml/discriminant.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/CMakeFiles/volcanoml.dir/ml/forest.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/ml/forest.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/volcanoml.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/CMakeFiles/volcanoml.dir/ml/linear.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/ml/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/volcanoml.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/volcanoml.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/volcanoml.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/CMakeFiles/volcanoml.dir/ml/tree.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/ml/tree.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/volcanoml.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/volcanoml.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/volcanoml.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/volcanoml.dir/util/status.cc.o" "gcc" "src/CMakeFiles/volcanoml.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocks_test.dir/blocks_test.cc.o"
+  "CMakeFiles/blocks_test.dir/blocks_test.cc.o.d"
+  "blocks_test"
+  "blocks_test.pdb"
+  "blocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohb_test.dir/bohb_test.cc.o"
+  "CMakeFiles/bohb_test.dir/bohb_test.cc.o.d"
+  "bohb_test"
+  "bohb_test.pdb"
+  "bohb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

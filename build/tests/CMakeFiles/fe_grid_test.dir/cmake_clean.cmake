@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fe_grid_test.dir/fe_grid_test.cc.o"
+  "CMakeFiles/fe_grid_test.dir/fe_grid_test.cc.o.d"
+  "fe_grid_test"
+  "fe_grid_test.pdb"
+  "fe_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fe_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

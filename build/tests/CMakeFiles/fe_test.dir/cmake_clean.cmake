@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fe_test.dir/fe_test.cc.o"
+  "CMakeFiles/fe_test.dir/fe_test.cc.o.d"
+  "fe_test"
+  "fe_test.pdb"
+  "fe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_sweep_test.dir/model_sweep_test.cc.o"
+  "CMakeFiles/model_sweep_test.dir/model_sweep_test.cc.o.d"
+  "model_sweep_test"
+  "model_sweep_test.pdb"
+  "model_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpe_test.dir/tpe_test.cc.o"
+  "CMakeFiles/tpe_test.dir/tpe_test.cc.o.d"
+  "tpe_test"
+  "tpe_test.pdb"
+  "tpe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

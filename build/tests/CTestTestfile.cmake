@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/algorithm_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/bandit_test[1]_include.cmake")
+include("/root/repo/build/tests/blocks_test[1]_include.cmake")
+include("/root/repo/build/tests/bo_test[1]_include.cmake")
+include("/root/repo/build/tests/bohb_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/cs_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/ensemble_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/fe_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/fe_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/libsvm_test[1]_include.cmake")
+include("/root/repo/build/tests/logging_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/model_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_search_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/suite_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/tpe_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
