@@ -64,31 +64,31 @@ class ConfigurationSpace {
                     std::set<size_t> parent_choice_indices);
 
   /// Total number of hyper-parameters (the scalability axis of Table 1).
-  size_t NumParameters() const { return params_.size(); }
-  bool empty() const { return params_.empty(); }
+  [[nodiscard]] size_t NumParameters() const { return params_.size(); }
+  [[nodiscard]] bool empty() const { return params_.empty(); }
 
-  const Parameter& param(size_t i) const { return params_[i]; }
-  bool Contains(const std::string& name) const {
+  [[nodiscard]] const Parameter& param(size_t i) const { return params_[i]; }
+  [[nodiscard]] bool Contains(const std::string& name) const {
     return index_.count(name) > 0;
   }
-  size_t IndexOf(const std::string& name) const;
+  [[nodiscard]] size_t IndexOf(const std::string& name) const;
 
   /// Configuration with every parameter at its default.
-  Configuration Default() const;
+  [[nodiscard]] Configuration Default() const;
 
   /// Uniform random sample (conditionals sampled regardless of activity;
   /// inactive values are simply unused).
-  Configuration Sample(Rng* rng) const;
+  [[nodiscard]] Configuration Sample(Rng* rng) const;
 
   /// Whether parameter i is active under `config` (follows the parent
   /// chain).
-  bool IsActive(const Configuration& config, size_t i) const;
+  [[nodiscard]] bool IsActive(const Configuration& config, size_t i) const;
 
   /// Raw value accessors by name.
-  double GetValue(const Configuration& config, const std::string& name) const;
-  int GetInt(const Configuration& config, const std::string& name) const;
-  size_t GetChoice(const Configuration& config, const std::string& name) const;
-  const std::string& GetChoiceName(const Configuration& config,
+  [[nodiscard]] double GetValue(const Configuration& config, const std::string& name) const;
+  [[nodiscard]] int GetInt(const Configuration& config, const std::string& name) const;
+  [[nodiscard]] size_t GetChoice(const Configuration& config, const std::string& name) const;
+  [[nodiscard]] const std::string& GetChoiceName(const Configuration& config,
                                    const std::string& name) const;
   void SetValue(Configuration* config, const std::string& name,
                 double value) const;
@@ -96,11 +96,11 @@ class ConfigurationSpace {
   /// Encodes a configuration for surrogate models: one dimension per
   /// parameter; continuous/integer scaled to [0,1] (log scale honored),
   /// categorical encoded as choice index; inactive dimensions -> -1.
-  std::vector<double> Encode(const Configuration& config) const;
+  [[nodiscard]] std::vector<double> Encode(const Configuration& config) const;
 
   /// A random neighbor: perturbs one active parameter (Gaussian step of
   /// ~20% range for numeric, resample for categorical).
-  Configuration Neighbor(const Configuration& config, Rng* rng) const;
+  [[nodiscard]] Configuration Neighbor(const Configuration& config, Rng* rng) const;
 
   /// Merges `other` into this space with all parameter (and parent) names
   /// prefixed by `prefix`. Used to assemble the joint end-to-end space
@@ -116,14 +116,14 @@ class ConfigurationSpace {
                         size_t parent_choice);
 
   /// Converts a configuration to / from the cross-space Assignment form.
-  Assignment ToAssignment(const Configuration& config) const;
-  Configuration FromAssignment(const Assignment& assignment) const;
+  [[nodiscard]] Assignment ToAssignment(const Configuration& config) const;
+  [[nodiscard]] Configuration FromAssignment(const Assignment& assignment) const;
 
   /// Human-readable "name=value" rendering of the active parameters.
-  std::string ToString(const Configuration& config) const;
+  [[nodiscard]] std::string ToString(const Configuration& config) const;
 
   /// All parameter names, in insertion order.
-  std::vector<std::string> ParameterNames() const;
+  [[nodiscard]] std::vector<std::string> ParameterNames() const;
 
  private:
   double SampleParam(const Parameter& p, Rng* rng) const;

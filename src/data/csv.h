@@ -10,11 +10,11 @@ namespace volcanoml {
 
 /// Loads a headerless numeric CSV whose last column is the target into a
 /// Dataset. For classification, targets must be integer class ids.
-Result<Dataset> LoadCsvDataset(const std::string& path, TaskType task,
+[[nodiscard]] Result<Dataset> LoadCsvDataset(const std::string& path, TaskType task,
                                const std::string& name);
 
 /// Writes a dataset as numeric CSV (features then target per row).
-Status SaveCsvDataset(const Dataset& data, const std::string& path);
+[[nodiscard]] Status SaveCsvDataset(const Dataset& data, const std::string& path);
 
 }  // namespace volcanoml
 

@@ -21,15 +21,15 @@ class Dataset {
   Dataset() : task_(TaskType::kClassification), num_classes_(0) {}
   Dataset(std::string name, Matrix x, std::vector<double> y, TaskType task);
 
-  const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  TaskType task() const { return task_; }
-  size_t NumSamples() const { return x_.rows(); }
-  size_t NumFeatures() const { return x_.cols(); }
+  [[nodiscard]] TaskType task() const { return task_; }
+  [[nodiscard]] size_t NumSamples() const { return x_.rows(); }
+  [[nodiscard]] size_t NumFeatures() const { return x_.cols(); }
 
   /// Number of distinct classes (classification only; 0 for regression).
-  size_t NumClasses() const { return num_classes_; }
+  [[nodiscard]] size_t NumClasses() const { return num_classes_; }
 
   const Matrix& x() const { return x_; }
   Matrix& mutable_x() { return x_; }
@@ -37,19 +37,19 @@ class Dataset {
   std::vector<double>& mutable_y() { return y_; }
 
   /// Integer label of sample i (classification only).
-  int Label(size_t i) const;
+  [[nodiscard]] int Label(size_t i) const;
 
   /// Returns the subset of samples selected by `indices`, preserving task
   /// metadata (class count is kept from the parent so that folds missing a
   /// rare class still agree on the label universe).
-  Dataset Subset(const std::vector<size_t>& indices) const;
+  [[nodiscard]] Dataset Subset(const std::vector<size_t>& indices) const;
 
   /// Replaces the feature matrix, keeping targets and metadata. Used by
   /// feature-engineering operators that change dimensionality.
-  Dataset WithFeatures(Matrix new_x) const;
+  [[nodiscard]] Dataset WithFeatures(Matrix new_x) const;
 
   /// Per-class sample counts (classification only).
-  std::vector<size_t> ClassCounts() const;
+  [[nodiscard]] std::vector<size_t> ClassCounts() const;
 
  private:
   std::string name_;

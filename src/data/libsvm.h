@@ -13,11 +13,11 @@ namespace volcanoml {
 /// features are zero. For classification, labels may be arbitrary
 /// integers (including {-1, +1}); they are remapped to 0..k-1 in order of
 /// first appearance by value.
-Result<Dataset> LoadLibSvmDataset(const std::string& path, TaskType task,
+[[nodiscard]] Result<Dataset> LoadLibSvmDataset(const std::string& path, TaskType task,
                                   const std::string& name);
 
 /// Writes a dataset in LibSVM format (all features listed, 1-based).
-Status SaveLibSvmDataset(const Dataset& data, const std::string& path);
+[[nodiscard]] Status SaveLibSvmDataset(const Dataset& data, const std::string& path);
 
 }  // namespace volcanoml
 

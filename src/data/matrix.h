@@ -20,9 +20,9 @@ class Matrix {
   Matrix(size_t rows, size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
-  size_t rows() const { return rows_; }
-  size_t cols() const { return cols_; }
-  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] size_t rows() const { return rows_; }
+  [[nodiscard]] size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
 
   double& operator()(size_t i, size_t j) {
     VOLCANOML_DCHECK(i < rows_ && j < cols_);
@@ -44,34 +44,34 @@ class Matrix {
   }
 
   /// Copies row i into a vector.
-  std::vector<double> Row(size_t i) const;
+  [[nodiscard]] std::vector<double> Row(size_t i) const;
 
   /// Copies column j into a vector.
-  std::vector<double> Col(size_t j) const;
+  [[nodiscard]] std::vector<double> Col(size_t j) const;
 
   /// Returns the rows selected by `indices`, in order (gather).
-  Matrix SelectRows(const std::vector<size_t>& indices) const;
+  [[nodiscard]] Matrix SelectRows(const std::vector<size_t>& indices) const;
 
   /// Returns the columns selected by `indices`, in order.
-  Matrix SelectCols(const std::vector<size_t>& indices) const;
+  [[nodiscard]] Matrix SelectCols(const std::vector<size_t>& indices) const;
 
   /// Horizontal concatenation; both matrices must have equal row counts.
-  static Matrix ConcatCols(const Matrix& a, const Matrix& b);
+  [[nodiscard]] static Matrix ConcatCols(const Matrix& a, const Matrix& b);
 
   /// Vertical concatenation; both matrices must have equal column counts.
-  static Matrix ConcatRows(const Matrix& a, const Matrix& b);
+  [[nodiscard]] static Matrix ConcatRows(const Matrix& a, const Matrix& b);
 
   /// Per-column means.
-  std::vector<double> ColMeans() const;
+  [[nodiscard]] std::vector<double> ColMeans() const;
 
   /// Per-column sample standard deviations (0 for constant columns).
-  std::vector<double> ColStdDevs() const;
+  [[nodiscard]] std::vector<double> ColStdDevs() const;
 
   /// Matrix transpose.
-  Matrix Transpose() const;
+  [[nodiscard]] Matrix Transpose() const;
 
   /// Dense product this * other.
-  Matrix Multiply(const Matrix& other) const;
+  [[nodiscard]] Matrix Multiply(const Matrix& other) const;
 
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }

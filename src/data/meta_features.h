@@ -22,11 +22,11 @@ namespace volcanoml {
 ///   7  mean |correlation| between features and target
 ///   8  1-NN landmarker (holdout accuracy / negative MSE on a subsample)
 ///   9  decision-stump landmarker (same protocol)
-std::vector<double> ComputeMetaFeatures(const Dataset& data, uint64_t seed);
+[[nodiscard]] std::vector<double> ComputeMetaFeatures(const Dataset& data, uint64_t seed);
 
 /// Euclidean distance between two meta-feature vectors after per-dimension
 /// scaling by `scales` (pass empty for unscaled distance).
-double MetaFeatureDistance(const std::vector<double>& a,
+[[nodiscard]] double MetaFeatureDistance(const std::vector<double>& a,
                            const std::vector<double>& b,
                            const std::vector<double>& scales = {});
 

@@ -18,17 +18,17 @@ struct Split {
 /// Random train/test split; stratified by class for classification so that
 /// every fold sees the full label distribution (as in the paper's 4/5 vs
 /// 1/5 protocol). `test_fraction` is in (0, 1).
-Split TrainTestSplit(const Dataset& data, double test_fraction, Rng* rng);
+[[nodiscard]] Split TrainTestSplit(const Dataset& data, double test_fraction, Rng* rng);
 
 /// K-fold cross-validation splits; stratified for classification.
 /// Returns k Split objects whose test sets partition the sample indices.
-std::vector<Split> KFoldSplits(const Dataset& data, size_t k, Rng* rng);
+[[nodiscard]] std::vector<Split> KFoldSplits(const Dataset& data, size_t k, Rng* rng);
 
 /// Uniform random subsample of `fraction` of the samples (at least
 /// `min_samples`), stratified for classification. This is the fidelity
 /// knob used by multi-fidelity optimization (MFES-HB) and by building
 /// blocks' subsampled evaluations.
-std::vector<size_t> SubsampleIndices(const Dataset& data, double fraction,
+[[nodiscard]] std::vector<size_t> SubsampleIndices(const Dataset& data, double fraction,
                                      size_t min_samples, Rng* rng);
 
 }  // namespace volcanoml

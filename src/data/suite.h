@@ -19,26 +19,26 @@ struct DatasetSpec {
 
 /// 30 medium classification datasets (the paper's 30 OpenML medium CLS
 /// tasks, 1k-12k samples there; scaled to a few hundred samples here).
-std::vector<DatasetSpec> MediumClassificationSuite();
+[[nodiscard]] std::vector<DatasetSpec> MediumClassificationSuite();
 
 /// 20 regression datasets (paper: 20 OpenML REG tasks).
-std::vector<DatasetSpec> RegressionSuite();
+[[nodiscard]] std::vector<DatasetSpec> RegressionSuite();
 
 /// 10 larger classification datasets (paper: 20k-110k samples; scaled to
 /// a few thousand here). Used by the Figure 5 time-budget experiment.
-std::vector<DatasetSpec> LargeClassificationSuite();
+[[nodiscard]] std::vector<DatasetSpec> LargeClassificationSuite();
 
 /// 5 imbalanced classification datasets for the Table 2 smote_balancer
 /// enrichment experiment; names follow the paper's pc2-style datasets.
-std::vector<DatasetSpec> ImbalancedSuite();
+[[nodiscard]] std::vector<DatasetSpec> ImbalancedSuite();
 
 /// 6 "Kaggle competition" stand-ins named after the competitions in
 /// Figure 6 (Influence Network, Virus Prediction, Employee Access,
 /// Customer Satisfaction, Business Value, Flavours).
-std::vector<DatasetSpec> KaggleSuite();
+[[nodiscard]] std::vector<DatasetSpec> KaggleSuite();
 
 /// Looks a spec up by name across all suites; aborts if absent.
-DatasetSpec FindDatasetSpec(const std::string& name);
+[[nodiscard]] DatasetSpec FindDatasetSpec(const std::string& name);
 
 }  // namespace volcanoml
 

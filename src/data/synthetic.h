@@ -32,56 +32,56 @@ struct ClassificationOptions {
 
 /// Gaussian class centroids in an informative subspace, plus redundant
 /// linear combinations and pure-noise features.
-Dataset MakeClassification(const ClassificationOptions& opts, uint64_t seed,
+[[nodiscard]] Dataset MakeClassification(const ClassificationOptions& opts, uint64_t seed,
                            const std::string& name = "classification");
 
 /// Isotropic Gaussian blobs, one per class.
-Dataset MakeBlobs(size_t num_samples, size_t num_features, size_t num_classes,
+[[nodiscard]] Dataset MakeBlobs(size_t num_samples, size_t num_features, size_t num_classes,
                   double cluster_std, uint64_t seed,
                   const std::string& name = "blobs");
 
 /// Two interleaved half-moons (binary, nonlinear boundary).
-Dataset MakeMoons(size_t num_samples, double noise, uint64_t seed,
+[[nodiscard]] Dataset MakeMoons(size_t num_samples, double noise, uint64_t seed,
                   const std::string& name = "moons");
 
 /// Two concentric circles (binary, radially separable).
-Dataset MakeCircles(size_t num_samples, double noise, double factor,
+[[nodiscard]] Dataset MakeCircles(size_t num_samples, double noise, double factor,
                     uint64_t seed, const std::string& name = "circles");
 
 /// Madelon-like XOR/parity task on hypercube vertices with distractor
 /// noise features; hard for linear models, easy for trees.
-Dataset MakeXorParity(size_t num_samples, size_t num_parity_bits,
+[[nodiscard]] Dataset MakeXorParity(size_t num_samples, size_t num_parity_bits,
                       size_t num_noise_features, double flip_y, uint64_t seed,
                       const std::string& name = "xor_parity");
 
 /// Friedman #1 regression: y = 10 sin(pi x1 x2) + 20 (x3-.5)^2 + 10 x4
 /// + 5 x5 + noise, with extra irrelevant features.
-Dataset MakeFriedman1(size_t num_samples, size_t num_features, double noise,
+[[nodiscard]] Dataset MakeFriedman1(size_t num_samples, size_t num_features, double noise,
                       uint64_t seed, const std::string& name = "friedman1");
 
 /// Friedman #2 regression (nonlinear interaction of 4 variables).
-Dataset MakeFriedman2(size_t num_samples, double noise, uint64_t seed,
+[[nodiscard]] Dataset MakeFriedman2(size_t num_samples, double noise, uint64_t seed,
                       const std::string& name = "friedman2");
 
 /// Friedman #3 regression (arctangent response).
-Dataset MakeFriedman3(size_t num_samples, double noise, uint64_t seed,
+[[nodiscard]] Dataset MakeFriedman3(size_t num_samples, double noise, uint64_t seed,
                       const std::string& name = "friedman3");
 
 /// Sparse linear regression with Gaussian design.
-Dataset MakeLinearRegression(size_t num_samples, size_t num_features,
+[[nodiscard]] Dataset MakeLinearRegression(size_t num_samples, size_t num_features,
                              size_t num_informative, double noise,
                              uint64_t seed,
                              const std::string& name = "linreg");
 
 /// Downsamples classes 1..k-1 so the minority:majority ratio becomes
 /// roughly 1:`ratio`; used by the Table 2 imbalanced-dataset experiments.
-Dataset Imbalance(const Dataset& data, double ratio, uint64_t seed);
+[[nodiscard]] Dataset Imbalance(const Dataset& data, double ratio, uint64_t seed);
 
 /// Synthetic "image" task: each sample is a flattened pixel grid whose
 /// class signal lives in localized patterns plus heavy pixel noise; raw
 /// pixels are nearly useless to shallow models, mirroring dogs-vs-cats.
 /// Used by the embedding-selection experiment (E5).
-Dataset MakeSyntheticImages(size_t num_samples, size_t image_side,
+[[nodiscard]] Dataset MakeSyntheticImages(size_t num_samples, size_t image_side,
                             double noise, uint64_t seed,
                             const std::string& name = "synthetic_images");
 

@@ -19,7 +19,7 @@ namespace volcanoml {
 /// Utility value reported for pipelines that fail to train. Low enough
 /// that any functioning pipeline dominates it, finite so surrogate models
 /// can still be fitted on it.
-double FailureUtility(TaskType task);
+[[nodiscard]] double FailureUtility(TaskType task);
 
 /// A fully materialized ML pipeline: fitted feature engineering plus a
 /// fitted model. Returned by PipelineEvaluator::FitFinal for deployment
@@ -30,7 +30,7 @@ class FittedPipeline {
       : fe_(std::move(fe)), model_(std::move(model)) {}
 
   /// Predicts targets for raw (un-engineered) features.
-  std::vector<double> Predict(const Matrix& x) const {
+  [[nodiscard]] std::vector<double> Predict(const Matrix& x) const {
     return model_->Predict(fe_.Transform(x));
   }
 
@@ -70,15 +70,15 @@ class PipelineEvaluator {
 
   /// Validation utility of `assignment` at the given fidelity (training-
   /// set subsample fraction in (0, 1]).
-  double Evaluate(const Assignment& assignment, double fidelity = 1.0);
+  [[nodiscard]] double Evaluate(const Assignment& assignment, double fidelity = 1.0);
 
   /// Trains the configured pipeline on ALL of this evaluator's data and
   /// returns it for test-time prediction.
-  Result<FittedPipeline> FitFinal(const Assignment& assignment);
+  [[nodiscard]] Result<FittedPipeline> FitFinal(const Assignment& assignment);
 
   /// Budget units consumed so far (sum of fidelities evaluated).
-  double consumed_budget() const { return consumed_budget_; }
-  size_t num_evaluations() const { return num_evaluations_; }
+  [[nodiscard]] double consumed_budget() const { return consumed_budget_; }
+  [[nodiscard]] size_t num_evaluations() const { return num_evaluations_; }
 
   /// Every full-fidelity (assignment, utility) observation, in evaluation
   /// order. Feeds post-hoc ensemble selection (core/ensemble.h).
@@ -91,7 +91,7 @@ class PipelineEvaluator {
 
  private:
   /// Builds (unfitted) FE pipeline + model from an assignment.
-  Status BuildPipeline(const Assignment& assignment, uint64_t seed,
+  [[nodiscard]] Status BuildPipeline(const Assignment& assignment, uint64_t seed,
                        FePipeline* fe, std::unique_ptr<Model>* model) const;
 
   double EvaluateOnSplit(const Assignment& assignment, const Split& split,

@@ -42,36 +42,36 @@ class SearchSpace {
  public:
   explicit SearchSpace(const SearchSpaceOptions& options);
 
-  TaskType task() const { return options_.task; }
-  const SearchSpaceOptions& options() const { return options_; }
+  [[nodiscard]] TaskType task() const { return options_.task; }
+  [[nodiscard]] const SearchSpaceOptions& options() const { return options_; }
 
   /// Algorithm names included in this preset.
-  const std::vector<std::string>& algorithms() const { return algorithms_; }
+  [[nodiscard]] const std::vector<std::string>& algorithms() const { return algorithms_; }
 
   /// FE stages included in this preset, in pipeline order.
-  const std::vector<FeStage>& stages() const { return stages_; }
+  [[nodiscard]] const std::vector<FeStage>& stages() const { return stages_; }
 
   /// The joint configuration space over everything (what auto-sklearn
   /// optimizes in one block).
-  const ConfigurationSpace& joint() const { return joint_; }
+  [[nodiscard]] const ConfigurationSpace& joint() const { return joint_; }
 
   /// Total number of hyper-parameters in the joint space.
-  size_t NumParameters() const { return joint_.NumParameters(); }
+  [[nodiscard]] size_t NumParameters() const { return joint_.NumParameters(); }
 
   /// Subspace of all feature-engineering variables (stage choices plus
   /// operator hyper-parameters) — one side of the alternating block.
-  ConfigurationSpace FeSubspace() const;
+  [[nodiscard]] ConfigurationSpace FeSubspace() const;
 
   /// Subspace of one algorithm's hyper-parameters (prefixed names) — the
   /// other side of the alternating block, per conditioning-arm.
-  ConfigurationSpace HpSubspaceFor(const std::string& algorithm) const;
+  [[nodiscard]] ConfigurationSpace HpSubspaceFor(const std::string& algorithm) const;
 
   /// Default assignment over the full space (default algorithm, default
   /// operators and hyper-parameters).
-  Assignment DefaultAssignment() const;
+  [[nodiscard]] Assignment DefaultAssignment() const;
 
   /// Operators available for `stage` under this space's options.
-  std::vector<FeOperatorInfo> StageOperators(FeStage stage) const;
+  [[nodiscard]] std::vector<FeOperatorInfo> StageOperators(FeStage stage) const;
 
  private:
   SearchSpaceOptions options_;

@@ -2,11 +2,26 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace volcanoml {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Serializes emission so concurrent log lines never interleave once
+/// evaluators run in parallel. The annotations make clang's
+/// -Wthread-safety prove the counter is only touched under the mutex.
+std::mutex g_log_mu;
+uint64_t g_emitted_lines VOLCANOML_GUARDED_BY(g_log_mu) = 0;
+
+void Emit(const std::string& line) VOLCANOML_LOCKS_EXCLUDED(g_log_mu) {
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  ++g_emitted_lines;
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,6 +46,11 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load());
 }
 
+uint64_t GetEmittedLogLines() {
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  return g_emitted_lines;
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -43,7 +63,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    Emit(stream_.str());
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef VOLCANOML_UTIL_LOGGING_H_
 #define VOLCANOML_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -12,7 +13,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets the minimum severity that is emitted to stderr. Defaults to
 /// kWarning so library users are not spammed; benches raise it to kInfo.
 void SetLogLevel(LogLevel level);
-LogLevel GetLogLevel();
+[[nodiscard]] LogLevel GetLogLevel();
+
+/// Number of log lines emitted to stderr so far (all severities). Emission
+/// is serialized by a mutex, so the count is exact even with concurrent
+/// loggers; used by tests and by the TSan gate.
+[[nodiscard]] uint64_t GetEmittedLogLines();
 
 namespace internal_logging {
 

@@ -23,7 +23,11 @@ enum class StatusCode {
 /// Lightweight error-or-success value, in the style of arrow::Status /
 /// rocksdb::Status. Functions that can fail at runtime return Status (or
 /// Result<T> below) instead of throwing.
-class Status {
+///
+/// The class-level [[nodiscard]] makes dropping any returned Status a
+/// compile error under -Werror: every fallible call site must either
+/// inspect the status or route it through VOLCANOML_RETURN_IF_ERROR.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -50,12 +54,12 @@ class Status {
     return Status(StatusCode::kIoError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Human-readable rendering, e.g. "InvalidArgument: bad k".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_;
@@ -64,7 +68,7 @@ class Status {
 
 /// Holds either a value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or from an error Status keeps call
   /// sites of `return value;` / `return Status::...;` natural.
@@ -73,19 +77,19 @@ class Result {
     VOLCANOML_CHECK_MSG(!status_.ok(), "Result built from OK status");
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Returns the contained value; the Result must be ok().
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     VOLCANOML_CHECK_MSG(ok(), status_.ToString().c_str());
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     VOLCANOML_CHECK_MSG(ok(), status_.ToString().c_str());
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     VOLCANOML_CHECK_MSG(ok(), status_.ToString().c_str());
     return *std::move(value_);
   }
@@ -96,5 +100,16 @@ class Result {
 };
 
 }  // namespace volcanoml
+
+/// Propagates a non-OK Status to the caller. Use inside functions that
+/// themselves return Status; keeps fallible call chains single-line while
+/// satisfying the [[nodiscard]] gate.
+#define VOLCANOML_RETURN_IF_ERROR(expr)              \
+  do {                                               \
+    ::volcanoml::Status _volcanoml_status = (expr);  \
+    if (!_volcanoml_status.ok()) {                   \
+      return _volcanoml_status;                      \
+    }                                                \
+  } while (0)
 
 #endif  // VOLCANOML_UTIL_STATUS_H_

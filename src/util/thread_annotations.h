@@ -1,0 +1,50 @@
+#ifndef VOLCANOML_UTIL_THREAD_ANNOTATIONS_H_
+#define VOLCANOML_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety analysis annotations (abseil-style spellings).
+///
+/// Under clang with -Wthread-safety these let the compiler prove that
+/// shared state is only touched with the right mutex held — the static
+/// complement to the TSan preset (see DESIGN.md "Error handling &
+/// analysis gates"). Under GCC they expand to nothing; the dynamic TSan
+/// gate still covers the same invariants there.
+///
+/// Usage:
+///   std::mutex mu_;
+///   int counter_ VOLCANOML_GUARDED_BY(mu_);
+///   void Bump() VOLCANOML_LOCKS_EXCLUDED(mu_);
+
+#if defined(__clang__) && (!defined(SWIG))
+#define VOLCANOML_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VOLCANOML_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Marks a member as protected by the given mutex.
+#define VOLCANOML_GUARDED_BY(x) VOLCANOML_THREAD_ANNOTATION(guarded_by(x))
+
+/// Marks a pointer whose pointee is protected by the given mutex.
+#define VOLCANOML_PT_GUARDED_BY(x) \
+  VOLCANOML_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that the function requires the given capabilities held.
+#define VOLCANOML_EXCLUSIVE_LOCKS_REQUIRED(...) \
+  VOLCANOML_THREAD_ANNOTATION(exclusive_locks_required(__VA_ARGS__))
+
+/// Declares that the function must NOT be called with the locks held.
+#define VOLCANOML_LOCKS_EXCLUDED(...) \
+  VOLCANOML_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Marks a function that acquires the capability.
+#define VOLCANOML_EXCLUSIVE_LOCK_FUNCTION(...) \
+  VOLCANOML_THREAD_ANNOTATION(exclusive_lock_function(__VA_ARGS__))
+
+/// Marks a function that releases the capability.
+#define VOLCANOML_UNLOCK_FUNCTION(...) \
+  VOLCANOML_THREAD_ANNOTATION(unlock_function(__VA_ARGS__))
+
+/// Opts a function out of the analysis (e.g. locking through aliases).
+#define VOLCANOML_NO_THREAD_SAFETY_ANALYSIS \
+  VOLCANOML_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // VOLCANOML_UTIL_THREAD_ANNOTATIONS_H_

@@ -144,7 +144,8 @@ TEST(EvaluatorTest, FidelityConsumesFractionalBudget) {
   SearchSpace space(ClsOptions(SpacePreset::kSmall));
   Dataset data = MakeBlobs(300, 4, 2, 1.0, 5);
   PipelineEvaluator evaluator(&space, &data, {});
-  evaluator.Evaluate(space.DefaultAssignment(), 1.0 / 3.0);
+  double utility = evaluator.Evaluate(space.DefaultAssignment(), 1.0 / 3.0);
+  EXPECT_TRUE(std::isfinite(utility));
   EXPECT_NEAR(evaluator.consumed_budget(), 1.0 / 3.0, 1e-12);
 }
 

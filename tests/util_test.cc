@@ -1,7 +1,11 @@
 #include <cmath>
 #include <set>
+#include <string>
+#include <utility>
 
 #include "gtest/gtest.h"
+#include "util/check.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -33,6 +37,98 @@ TEST(ResultTest, HoldsError) {
   Result<int> r(Status::NotFound("missing"));
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, EveryConstructorRoundTripsCodeMessageToString) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* rendered;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       "InvalidArgument: m"},
+      {Status::NotFound("m"), StatusCode::kNotFound, "NotFound: m"},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange, "OutOfRange: m"},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition: m"},
+      {Status::Internal("m"), StatusCode::kInternal, "Internal: m"},
+      {Status::IoError("m"), StatusCode::kIoError, "IoError: m"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(c.status.ToString(), c.rendered);
+  }
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().message(), "");
+}
+
+TEST(StatusTest, EmptyMessageRendersBareCodeName) {
+  EXPECT_EQ(Status::Internal("").ToString(), "Internal");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesFirstFailure) {
+  auto fail_at = [](int failing_step, int step) -> Status {
+    if (step == failing_step) return Status::Internal("step failed");
+    return Status::Ok();
+  };
+  auto chain = [&](int failing_step) -> Status {
+    for (int step = 0; step < 3; ++step) {
+      VOLCANOML_RETURN_IF_ERROR(fail_at(failing_step, step));
+    }
+    return Status::Ok();
+  };
+  EXPECT_TRUE(chain(99).ok());
+  Status s = chain(1);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "step failed");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, MutableValueAccess) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+TEST(UtilDeathTest, CheckAbortsWithExpressionText) {
+  EXPECT_DEATH(VOLCANOML_CHECK(1 + 1 == 3), "CHECK failed at .*: 1 \\+ 1 == 3");
+}
+
+TEST(UtilDeathTest, CheckPassesSilently) {
+  VOLCANOML_CHECK(2 + 2 == 4);  // must not abort
+}
+
+TEST(UtilDeathTest, CheckMsgAbortsWithMessage) {
+  EXPECT_DEATH(VOLCANOML_CHECK_MSG(false, "k must be positive"),
+               "k must be positive");
+}
+
+TEST(UtilDeathTest, ResultValueOnErrorAborts) {
+  Result<int> r(Status::OutOfRange("index 9"));
+  EXPECT_DEATH({ [[maybe_unused]] int v = r.value(); }, "OutOfRange: index 9");
+}
+
+TEST(UtilDeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH({ Result<int> r{Status::Ok()}; }, "Result built from OK status");
+}
+
+TEST(LoggingTest, EmittedLineCountIncrementsOnEmission) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  uint64_t before = GetEmittedLogLines();
+  VOLCANOML_LOG(Error) << "counted line";
+  VOLCANOML_LOG(Debug) << "suppressed line";
+  EXPECT_EQ(GetEmittedLogLines(), before + 1);
+  SetLogLevel(saved);
 }
 
 TEST(RngTest, DeterministicForSameSeed) {

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Full correctness gate for volcanoml (see DESIGN.md "Error handling &
+# analysis gates"). Runs, in order:
+#
+#   1. tools/lint.py                    repo-invariant lint
+#   2. release preset                   configure + build (-Werror) + ctest
+#   3. asan-ubsan preset                ASan+UBSan build + ctest
+#   4. tsan preset                      TSan build + ctest
+#   5. clang-tidy over src/ (optional)  skipped when clang-tidy is absent
+#
+# Any failure exits non-zero. Usage:
+#   tools/check.sh            # everything
+#   tools/check.sh --fast     # lint + release only (pre-commit loop)
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+failures=()
+
+step() {  # step <name> <cmd...>
+  local name="$1"
+  shift
+  echo "==== ${name} ===="
+  if "$@"; then
+    echo "==== ${name}: OK ===="
+  else
+    echo "==== ${name}: FAILED ====" >&2
+    failures+=("${name}")
+  fi
+}
+
+run_preset() {  # run_preset <preset>
+  local preset="$1"
+  step "configure:${preset}" cmake --preset "${preset}"
+  step "build:${preset}" cmake --build --preset "${preset}" -j "${JOBS}"
+  step "test:${preset}" ctest --preset "${preset}" -j "${JOBS}"
+}
+
+step "lint" python3 tools/lint.py
+
+run_preset release
+if [[ "${FAST}" -eq 0 ]]; then
+  run_preset asan-ubsan
+  run_preset tsan
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The release tree has the compile database; -p points clang-tidy at it.
+  [[ -f build-release/compile_commands.json ]] ||
+    cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t tidy_sources < <(git ls-files 'src/*.cc')
+  step "clang-tidy" clang-tidy -p build-release "${tidy_sources[@]}"
+else
+  echo "==== clang-tidy: not installed, skipped ===="
+fi
+
+echo
+if [[ "${#failures[@]}" -gt 0 ]]; then
+  echo "check.sh: FAILED steps: ${failures[*]}" >&2
+  exit 1
+fi
+echo "check.sh: all gates green"

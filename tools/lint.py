@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for volcanoml.
+
+Enforces project invariants that generic tools (clang-tidy, compiler
+warnings) cannot know about:
+
+  R1 determinism   No rand()/srand()/std::random_device outside
+                   src/util/rng.* — all randomness flows through the
+                   seeded volcanoml::Rng so every search run is
+                   reproducible (the paper's headline claim).
+  R2 no-exceptions No `throw` outside third-party headers. Recoverable
+                   failures return volcanoml::Status; contract violations
+                   abort through VOLCANOML_CHECK (DESIGN.md).
+  R3 stdout        No printf/std::cout/puts to stdout in src/ or tests/.
+                   Library diagnostics go through src/util/logging.*
+                   (stderr). Benches and examples are reporting binaries
+                   whose stdout IS their product, so they are exempt.
+  R4 guards        Include guards must be VOLCANOML_<PATH>_H_ (path
+                   relative to repo root, src/ prefix stripped).
+  R5 artifacts     No build artifacts committed to git (build trees,
+                   objects, CMake caches).
+  R6 status-gate   src/util/status.h must keep the class-level
+                   [[nodiscard]] on Status and Result — it is the compile-
+                   time gate that forces call sites to inspect errors.
+  R7 includes      No relative ("../") includes; include paths are rooted
+                   at src/.
+
+Usage: tools/lint.py [--root DIR]
+Prints "file:line: [rule] message" per violation; exits non-zero if any.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+CXX_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+
+# R1: determinism. Unseeded randomness breaks run-to-run reproducibility.
+RANDOMNESS_RE = re.compile(
+    r"\bstd::random_device\b|\brandom_device\b|(?<![\w:])s?rand\s*\(")
+RANDOMNESS_ALLOWED = ("src/util/rng.h", "src/util/rng.cc")
+
+# R2: no-exceptions policy.
+THROW_RE = re.compile(r"(?<![\w.])throw\b(?!\w)")
+
+# R3: stdout writes. fprintf(stderr, ...) is fine; bare printf, puts and
+# std::cout are not. fprintf(stdout, ...) is spelled-out intent to hit
+# stdout and equally banned.
+STDOUT_RE = re.compile(
+    r"\bstd::cout\b|(?<![\w:])printf\s*\(|(?<![\w:])puts\s*\(|"
+    r"(?<![\w:])putchar\s*\(|\bfprintf\s*\(\s*stdout\b")
+STDOUT_ZONES = ("src", "tests")
+STDOUT_ALLOWED = ("src/util/logging.h", "src/util/logging.cc")
+
+# R5: committed build artifacts.
+ARTIFACT_RE = re.compile(
+    r"(^|/)build[^/]*/|\.o$|\.obj$|\.a$|\.so$|\.dylib$|"
+    r"(^|/)CMakeCache\.txt$|(^|/)CMakeFiles/|(^|/)cmake_install\.cmake$|"
+    r"(^|/)CTestTestfile\.cmake$")
+
+GUARD_EXEMPT: tuple[str, ...] = ()  # no third-party headers vendored yet
+
+
+def strip_comments_and_strings(line: str, in_block_comment: bool):
+    """Blanks out string/char literals and comments, preserving length.
+
+    Returns (cleaned_line, still_in_block_comment). Line-based scanning is
+    enough here: the codebase has no raw strings or multi-line literals in
+    linted positions, and false negatives from exotic formatting are caught
+    by review.
+    """
+    out = []
+    i, n = 0, len(line)
+    state = "block" if in_block_comment else "code"
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                break  # rest of line is a comment
+            if c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                state = "dq"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "sq"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+            else:
+                i += 1
+        elif state in ("dq", "sq"):
+            quote = '"' if state == "dq" else "'"
+            if c == "\\":
+                i += 2
+            elif c == quote:
+                state = "code"
+                i += 1
+            else:
+                i += 1
+            out.append(" ")
+    return "".join(out), state == "block"
+
+
+class Linter:
+    def __init__(self, root: str):
+        self.root = root
+        self.violations: list[str] = []
+
+    def report(self, path: str, line_no: int, rule: str, message: str):
+        self.violations.append(f"{path}:{line_no}: [{rule}] {message}")
+
+    # -- per-file checks ---------------------------------------------------
+
+    def lint_file(self, rel: str):
+        path = os.path.join(self.root, rel)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                raw_lines = f.readlines()
+        except OSError as e:
+            self.report(rel, 0, "io", f"unreadable: {e}")
+            return
+
+        cleaned = []
+        in_block = False
+        for line in raw_lines:
+            text, in_block = strip_comments_and_strings(line, in_block)
+            cleaned.append(text)
+
+        self.check_randomness(rel, cleaned)
+        self.check_throw(rel, cleaned)
+        self.check_stdout(rel, cleaned)
+        self.check_relative_includes(rel, cleaned)
+        if rel.endswith((".h", ".hpp")):
+            self.check_include_guard(rel, raw_lines)
+        if rel == "src/util/status.h":
+            self.check_status_gate(rel, raw_lines)
+
+    def check_randomness(self, rel: str, lines: list[str]):
+        if rel in RANDOMNESS_ALLOWED:
+            return
+        for i, line in enumerate(lines, 1):
+            if RANDOMNESS_RE.search(line):
+                self.report(rel, i, "R1-determinism",
+                            "unseeded randomness; use volcanoml::Rng "
+                            "(src/util/rng.h) so runs stay reproducible")
+
+    def check_throw(self, rel: str, lines: list[str]):
+        for i, line in enumerate(lines, 1):
+            if THROW_RE.search(line):
+                self.report(rel, i, "R2-no-exceptions",
+                            "throw is banned (DESIGN.md); return "
+                            "volcanoml::Status or VOLCANOML_CHECK")
+
+    def check_stdout(self, rel: str, lines: list[str]):
+        if not rel.startswith(STDOUT_ZONES) or rel in STDOUT_ALLOWED:
+            return
+        for i, line in enumerate(lines, 1):
+            if STDOUT_RE.search(line):
+                self.report(rel, i, "R3-stdout",
+                            "stdout writes in the library/tests; use "
+                            "VOLCANOML_LOG (stderr) instead")
+
+    def check_relative_includes(self, rel: str, lines: list[str]):
+        for i, line in enumerate(lines, 1):
+            if re.search(r'#\s*include\s+"\.\.', line):
+                self.report(rel, i, "R7-includes",
+                            "relative include; use a path rooted at src/")
+
+    def expected_guard(self, rel: str) -> str:
+        trimmed = rel[4:] if rel.startswith("src/") else rel
+        token = re.sub(r"[^A-Za-z0-9]", "_", trimmed).upper()
+        return f"VOLCANOML_{token}_"
+
+    def check_include_guard(self, rel: str, raw_lines: list[str]):
+        if rel in GUARD_EXEMPT:
+            return
+        expected = self.expected_guard(rel)
+        ifndef_re = re.compile(r"^#ifndef\s+(\S+)")
+        for i, line in enumerate(raw_lines, 1):
+            m = ifndef_re.match(line)
+            if not m:
+                if line.strip() and not line.lstrip().startswith("//"):
+                    # First non-comment line must open the guard.
+                    self.report(rel, i, "R4-guards",
+                                f"missing include guard {expected}")
+                    return
+                continue
+            if m.group(1) != expected:
+                self.report(rel, i, "R4-guards",
+                            f"guard {m.group(1)} != expected {expected}")
+            nxt = raw_lines[i].strip() if i < len(raw_lines) else ""
+            if nxt != f"#define {m.group(1)}":
+                self.report(rel, i + 1, "R4-guards",
+                            "#define must immediately follow #ifndef")
+            return
+        self.report(rel, 1, "R4-guards", f"missing include guard {expected}")
+
+    def check_status_gate(self, rel: str, raw_lines: list[str]):
+        text = "".join(raw_lines)
+        for cls in ("Status", "Result"):
+            if not re.search(
+                    rf"class\s+\[\[nodiscard\]\]\s+{cls}\b", text):
+                self.report(rel, 1, "R6-status-gate",
+                            f"class {cls} lost its [[nodiscard]]; the "
+                            "dropped-error compile gate depends on it")
+
+    # -- repo-level checks -------------------------------------------------
+
+    def check_git_artifacts(self, tracked: list[str]):
+        for rel in tracked:
+            if ARTIFACT_RE.search(rel):
+                self.report(rel, 0, "R5-artifacts",
+                            "build artifact committed to git; remove and "
+                            "rely on .gitignore")
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> int:
+        try:
+            tracked = subprocess.run(
+                ["git", "ls-files"], cwd=self.root, capture_output=True,
+                text=True, check=True).stdout.splitlines()
+        except (OSError, subprocess.CalledProcessError):
+            tracked = None
+
+        if tracked is not None:
+            self.check_git_artifacts(tracked)
+            candidates = tracked
+        else:  # not a git checkout (e.g. exported tarball): walk the tree
+            candidates = []
+            for d in SOURCE_DIRS:
+                for dirpath, _, files in os.walk(os.path.join(self.root, d)):
+                    for name in files:
+                        candidates.append(os.path.relpath(
+                            os.path.join(dirpath, name), self.root))
+
+        for rel in sorted(candidates):
+            if rel.startswith(SOURCE_DIRS) and rel.endswith(CXX_EXTENSIONS):
+                self.lint_file(rel)
+
+        for v in self.violations:
+            print(v)
+        if self.violations:
+            print(f"lint: {len(self.violations)} violation(s)",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))),
+        help="repo root (default: parent of tools/)")
+    args = parser.parse_args()
+    return Linter(args.root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
