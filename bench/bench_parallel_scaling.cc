@@ -1,0 +1,113 @@
+// Parallel-evaluation scaling: throughput of EvalEngine::EvaluateBatch
+// as a function of worker-thread count, plus the memo-cache effect.
+// Results are recorded in EXPERIMENTS.md ("Parallel evaluation scaling").
+//
+// The batch holds distinct sampled configurations so every request is a
+// real pipeline training; speedup over the 1-thread row is the headline
+// number (bounded by the host's core count — on a single-core container
+// all rows land near 1.0x by construction).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/search_space.h"
+#include "util/timer.h"
+
+namespace volcanoml {
+namespace bench {
+namespace {
+
+constexpr size_t kBatchSize = 32;
+constexpr int kRepetitions = 3;
+
+std::vector<EvalRequest> SampleBatch(const SearchSpace& space, size_t n,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EvalRequest> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    requests.push_back(
+        {space.joint().ToAssignment(space.joint().Sample(&rng)), 1.0});
+  }
+  return requests;
+}
+
+/// Best-of-k wall-clock seconds for one cold EvaluateBatch at the given
+/// thread count (a fresh evaluator per repetition: empty cache).
+double ColdBatchSeconds(const SearchSpace& space, const Dataset& data,
+                        const std::vector<EvalRequest>& requests,
+                        size_t num_threads, std::vector<double>* utilities) {
+  double best = 1e300;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    EvaluatorOptions options;
+    options.num_threads = num_threads;
+    PipelineEvaluator evaluator(&space, &data, options);
+    Stopwatch timer;
+    std::vector<double> result = evaluator.EvaluateBatch(requests);
+    double elapsed = timer.ElapsedSeconds();
+    if (elapsed < best) best = elapsed;
+    *utilities = std::move(result);
+  }
+  return best;
+}
+
+int Main() {
+  SearchSpaceOptions space_options;
+  space_options.task = TaskType::kClassification;
+  space_options.preset = SpacePreset::kSmall;
+  SearchSpace space(space_options);
+  Dataset data = MakeBlobs(400, 6, 3, 1.5, 1);
+  std::vector<EvalRequest> requests = SampleBatch(space, kBatchSize, 2);
+
+  std::printf("== Parallel evaluation scaling ==\n");
+  std::printf("batch of %zu distinct configs, small space, blobs(400x6), "
+              "best of %d reps\n\n", kBatchSize, kRepetitions);
+  std::printf("%-10s %12s %14s %10s\n", "threads", "seconds", "evals/sec",
+              "speedup");
+
+  std::vector<double> reference;
+  double serial_seconds = 0.0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    std::vector<double> utilities;
+    double seconds =
+        ColdBatchSeconds(space, data, requests, threads, &utilities);
+    if (threads == 1) {
+      serial_seconds = seconds;
+      reference = utilities;
+    } else {
+      // Determinism sanity: thread count must not change any utility.
+      for (size_t i = 0; i < utilities.size(); ++i) {
+        if (utilities[i] != reference[i]) {
+          std::fprintf(stderr, "FATAL: utility drift at %zu threads\n",
+                       threads);
+          return 1;
+        }
+      }
+    }
+    std::printf("%-10zu %12.4f %14.1f %9.2fx\n", threads, seconds,
+                static_cast<double>(kBatchSize) / seconds,
+                serial_seconds / seconds);
+  }
+
+  // Memo-cache effect: resubmitting a known batch skips all training.
+  EvaluatorOptions options;
+  options.num_threads = 4;
+  PipelineEvaluator evaluator(&space, &data, options);
+  (void)evaluator.EvaluateBatch(requests);  // warm the cache
+  Stopwatch timer;
+  (void)evaluator.EvaluateBatch(requests);
+  double warm_seconds = timer.ElapsedSeconds();
+  std::printf("\ncached resubmission of the same batch: %.6f s "
+              "(%.0fx faster than cold serial)\n", warm_seconds,
+              serial_seconds / warm_seconds);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace volcanoml
+
+int main() { return volcanoml::bench::Main(); }

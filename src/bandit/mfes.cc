@@ -175,6 +175,20 @@ MfesHbOptimizer::Proposal MfesHbOptimizer::Next() {
   return p;
 }
 
+std::vector<MfesHbOptimizer::Proposal> MfesHbOptimizer::NextBatch(
+    size_t max_count) {
+  VOLCANOML_CHECK(max_count >= 1);
+  std::vector<Proposal> batch;
+  batch.reserve(max_count);
+  batch.push_back(Next());  // Refills pending_ when the rung is done.
+  // Drain only what is already pending: once pending_ empties, promotion
+  // must wait for this batch's observations.
+  while (batch.size() < max_count && !pending_.empty()) {
+    batch.push_back(Next());
+  }
+  return batch;
+}
+
 void MfesHbOptimizer::Observe(const Configuration& config, double fidelity,
                               double utility) {
   rung_configs_.push_back(config);

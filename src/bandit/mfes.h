@@ -53,7 +53,14 @@ class MfesHbOptimizer {
                   uint64_t seed);
 
   /// The next evaluation to perform.
-  Proposal Next();
+  [[nodiscard]] Proposal Next();
+
+  /// Up to `max_count` pending evaluations (at least one). The batch
+  /// never crosses a rung boundary: rung promotion needs every rung
+  /// member observed first, so only the evaluations already pending in
+  /// the current rung — which are mutually independent — may run
+  /// concurrently. Observe() each result afterwards, in any order.
+  [[nodiscard]] std::vector<Proposal> NextBatch(size_t max_count);
 
   /// Records the result of a proposal returned by Next().
   void Observe(const Configuration& config, double fidelity, double utility);

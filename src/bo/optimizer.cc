@@ -1,5 +1,7 @@
 #include "bo/optimizer.h"
 
+#include <algorithm>
+
 namespace volcanoml {
 
 void BlackBoxOptimizer::Observe(const Configuration& config, double utility) {
@@ -9,6 +11,44 @@ void BlackBoxOptimizer::Observe(const Configuration& config, double utility) {
     best_utility_ = utility;
     best_config_ = config;
   }
+}
+
+void BlackBoxOptimizer::DrainInitialQueue(size_t n,
+                                          std::vector<Configuration>* batch) {
+  while (batch->size() < n && !initial_queue_.empty()) {
+    batch->push_back(initial_queue_.front());
+    initial_queue_.erase(initial_queue_.begin());
+  }
+}
+
+std::vector<Configuration> BlackBoxOptimizer::SuggestBatch(size_t n) {
+  VOLCANOML_CHECK(n >= 1);
+  std::vector<Configuration> batch;
+  batch.reserve(n);
+  batch.push_back(Suggest());
+  if (n == 1) return batch;
+
+  // Constant-liar fantasization: each already-proposed configuration is
+  // observed at the worst utility seen so far (pessimistic, so the
+  // incumbent never moves), the next proposal is drawn against that
+  // fantasy history, and the fantasies are retracted afterwards.
+  const size_t real_observations = history_utilities_.size();
+  const Configuration saved_best_config = best_config_;
+  const double saved_best_utility = best_utility_;
+  const double lie =
+      history_utilities_.empty()
+          ? 0.0
+          : *std::min_element(history_utilities_.begin(),
+                              history_utilities_.end());
+  while (batch.size() < n) {
+    Observe(batch.back(), lie);
+    batch.push_back(Suggest());
+  }
+  history_configs_.resize(real_observations);
+  history_utilities_.resize(real_observations);
+  best_config_ = saved_best_config;
+  best_utility_ = saved_best_utility;
+  return batch;
 }
 
 Configuration RandomSearchOptimizer::Suggest() {

@@ -1,6 +1,7 @@
 #ifndef VOLCANOML_BO_OPTIMIZER_H_
 #define VOLCANOML_BO_OPTIMIZER_H_
 
+#include <cstddef>
 #include <limits>
 #include <vector>
 
@@ -21,7 +22,17 @@ class BlackBoxOptimizer {
   virtual ~BlackBoxOptimizer() = default;
 
   /// Proposes the next configuration to evaluate.
-  virtual Configuration Suggest() = 0;
+  [[nodiscard]] virtual Configuration Suggest() = 0;
+
+  /// Proposes `n` configurations to evaluate as one batch (the feed for
+  /// EvalEngine::EvaluateBatch). The base implementation runs n
+  /// sequential Suggest() calls, fantasizing a constant-liar observation
+  /// (the worst utility seen so far) between them so model-based
+  /// optimizers spread the batch instead of proposing n near-duplicates;
+  /// the fantasies are retracted before returning. SuggestBatch(1) is
+  /// exactly Suggest() — same proposal, same internal state evolution —
+  /// which is what keeps batch_size=1 runs bit-identical to serial ones.
+  [[nodiscard]] virtual std::vector<Configuration> SuggestBatch(size_t n);
 
   /// Records the utility observed for a configuration (higher is better).
   virtual void Observe(const Configuration& config, double utility);
@@ -33,24 +44,32 @@ class BlackBoxOptimizer {
     initial_queue_.push_back(config);
   }
 
-  bool HasObservations() const { return !history_utilities_.empty(); }
-  size_t NumObservations() const { return history_utilities_.size(); }
+  [[nodiscard]] bool HasObservations() const {
+    return !history_utilities_.empty();
+  }
+  [[nodiscard]] size_t NumObservations() const {
+    return history_utilities_.size();
+  }
 
   /// Best configuration observed so far (requires >= 1 observation).
-  const Configuration& best() const {
+  [[nodiscard]] const Configuration& best() const {
     VOLCANOML_CHECK(HasObservations());
     return best_config_;
   }
-  double best_utility() const { return best_utility_; }
+  [[nodiscard]] double best_utility() const { return best_utility_; }
 
   /// Utility of every observation in arrival order.
-  const std::vector<double>& history_utilities() const {
+  [[nodiscard]] const std::vector<double>& history_utilities() const {
     return history_utilities_;
   }
 
-  const ConfigurationSpace& space() const { return *space_; }
+  [[nodiscard]] const ConfigurationSpace& space() const { return *space_; }
 
  protected:
+  /// Pops up to `n` pending warm-start seeds into `batch` (helper for
+  /// SuggestBatch overrides; keeps the drain order of Suggest()).
+  void DrainInitialQueue(size_t n, std::vector<Configuration>* batch);
+
   const ConfigurationSpace* space_;
   std::vector<Configuration> initial_queue_;
   std::vector<Configuration> history_configs_;
@@ -66,7 +85,7 @@ class RandomSearchOptimizer : public BlackBoxOptimizer {
   RandomSearchOptimizer(const ConfigurationSpace* space, uint64_t seed)
       : BlackBoxOptimizer(space), rng_(seed) {}
 
-  Configuration Suggest() override;
+  [[nodiscard]] Configuration Suggest() override;
 
  private:
   Rng rng_;

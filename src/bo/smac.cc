@@ -10,23 +10,9 @@ SmacOptimizer::SmacOptimizer(const ConfigurationSpace* space,
                              const Options& options, uint64_t seed)
     : BlackBoxOptimizer(space), options_(options), rng_(seed) {}
 
-Configuration SmacOptimizer::Suggest() {
-  ++suggest_count_;
-  if (!initial_queue_.empty()) {
-    Configuration c = initial_queue_.front();
-    initial_queue_.erase(initial_queue_.begin());
-    return c;
-  }
-  bool explore =
-      NumObservations() < options_.min_observations ||
-      (options_.random_interleave > 0 &&
-       suggest_count_ % options_.random_interleave == 0);
-  if (explore) {
-    return space_->Sample(&rng_);
-  }
-
-  // Fit the surrogate. Long histories are capped to bound the refit
-  // cost: keep the best half of the cap plus the most recent half.
+RandomForestSurrogate SmacOptimizer::FitSurrogate() {
+  // Long histories are capped to bound the refit cost: keep the best half
+  // of the cap plus the most recent half.
   std::vector<size_t> fit_indices;
   const size_t n = history_configs_.size();
   if (n <= options_.max_surrogate_points) {
@@ -56,8 +42,10 @@ Configuration SmacOptimizer::Suggest() {
     utilities.push_back(history_utilities_[i]);
   }
   surrogate.Fit(encoded, utilities);
+  return surrogate;
+}
 
-  // Candidate pool: random samples + neighbors of the best incumbents.
+std::vector<Configuration> SmacOptimizer::CandidatePool() {
   std::vector<Configuration> candidates;
   candidates.reserve(options_.num_random_candidates +
                      options_.num_incumbent_neighbors);
@@ -72,23 +60,91 @@ Configuration SmacOptimizer::Suggest() {
   });
   size_t num_incumbents = std::min<size_t>(3, order.size());
   for (size_t i = 0; i < options_.num_incumbent_neighbors; ++i) {
-    const Configuration& base =
-        history_configs_[order[i % num_incumbents]];
+    const Configuration& base = history_configs_[order[i % num_incumbents]];
     candidates.push_back(space_->Neighbor(base, &rng_));
   }
+  return candidates;
+}
 
-  double best_ei = -1.0;
-  size_t best_idx = 0;
+std::vector<size_t> SmacOptimizer::RankByEi(
+    const RandomForestSurrogate& surrogate,
+    const std::vector<Configuration>& candidates) const {
+  std::vector<double> ei(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
     double mean, variance;
     surrogate.PredictMeanVar(space_->Encode(candidates[i]), &mean, &variance);
-    double ei = ExpectedImprovement(mean, variance, best_utility_);
-    if (ei > best_ei) {
-      best_ei = ei;
-      best_idx = i;
-    }
+    ei[i] = ExpectedImprovement(mean, variance, best_utility_);
   }
-  return candidates[best_idx];
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Stable: among EI ties the earlier pool index wins, exactly like the
+  // strict-greater argmax scan this replaced — required for bit-for-bit
+  // serial reproduction.
+  std::stable_sort(order.begin(), order.end(),
+                   [&ei](size_t a, size_t b) { return ei[a] > ei[b]; });
+  return order;
+}
+
+Configuration SmacOptimizer::Suggest() {
+  ++suggest_count_;
+  if (!initial_queue_.empty()) {
+    Configuration c = initial_queue_.front();
+    initial_queue_.erase(initial_queue_.begin());
+    return c;
+  }
+  bool explore =
+      NumObservations() < options_.min_observations ||
+      (options_.random_interleave > 0 &&
+       suggest_count_ % options_.random_interleave == 0);
+  if (explore) {
+    return space_->Sample(&rng_);
+  }
+  RandomForestSurrogate surrogate = FitSurrogate();
+  std::vector<Configuration> candidates = CandidatePool();
+  return candidates[RankByEi(surrogate, candidates).front()];
+}
+
+std::vector<Configuration> SmacOptimizer::SuggestBatch(size_t n) {
+  VOLCANOML_CHECK(n >= 1);
+  if (n == 1) return {Suggest()};
+
+  std::vector<Configuration> batch;
+  batch.reserve(n);
+  DrainInitialQueue(n, &batch);
+  suggest_count_ += n;
+  if (batch.size() == n) return batch;
+
+  if (NumObservations() < options_.min_observations) {
+    while (batch.size() < n) batch.push_back(space_->Sample(&rng_));
+    return batch;
+  }
+
+  // The interleave schedule, applied per batch: one random slot for every
+  // `random_interleave` model-based proposals keeps the exploration
+  // guarantee at any batch size.
+  size_t num_random =
+      options_.random_interleave > 0
+          ? (n - batch.size()) / options_.random_interleave
+          : 0;
+  RandomForestSurrogate surrogate = FitSurrogate();
+  std::vector<Configuration> candidates = CandidatePool();
+  std::vector<size_t> ranked = RankByEi(surrogate, candidates);
+  // Top-EI distinct candidates fill the model-based slots; duplicates in
+  // the pool would make the batch evaluate one point twice for nothing.
+  for (size_t r : ranked) {
+    if (batch.size() + num_random >= n) break;
+    const Configuration& candidate = candidates[r];
+    bool duplicate = false;
+    for (const Configuration& chosen : batch) {
+      if (chosen == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) batch.push_back(candidate);
+  }
+  while (batch.size() < n) batch.push_back(space_->Sample(&rng_));
+  return batch;
 }
 
 }  // namespace volcanoml

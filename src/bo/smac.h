@@ -2,6 +2,7 @@
 #define VOLCANOML_BO_SMAC_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "bo/optimizer.h"
 #include "bo/surrogate.h"
@@ -35,9 +36,28 @@ class SmacOptimizer : public BlackBoxOptimizer {
   SmacOptimizer(const ConfigurationSpace* space, const Options& options,
                 uint64_t seed);
 
-  Configuration Suggest() override;
+  [[nodiscard]] Configuration Suggest() override;
+
+  /// Batched proposals from ONE surrogate fit: the EI ranking over one
+  /// candidate pool supplies the top-n distinct configurations (plus the
+  /// usual random-interleave slots), instead of n refits under the base
+  /// class's constant liar. SuggestBatch(1) delegates to Suggest().
+  [[nodiscard]] std::vector<Configuration> SuggestBatch(size_t n) override;
 
  private:
+  /// Fits the surrogate on the (possibly capped) history. Requires
+  /// NumObservations() >= 2; consumes one rng fork.
+  [[nodiscard]] RandomForestSurrogate FitSurrogate();
+
+  /// Random samples + neighbors of the best incumbents — the pool EI is
+  /// maximized over.
+  [[nodiscard]] std::vector<Configuration> CandidatePool();
+
+  /// Candidate indices sorted by expected improvement, best first.
+  [[nodiscard]] std::vector<size_t> RankByEi(
+      const RandomForestSurrogate& surrogate,
+      const std::vector<Configuration>& candidates) const;
+
   Options options_;
   Rng rng_;
   size_t suggest_count_ = 0;

@@ -98,6 +98,22 @@ double TpeOptimizer::LogLikelihoodRatio(
   return ratio;
 }
 
+void TpeOptimizer::SplitGoodBad(std::vector<size_t>* good,
+                                std::vector<size_t>* bad) const {
+  const size_t n = history_utilities_.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return history_utilities_[a] > history_utilities_[b];
+  });
+  size_t num_good = std::max<size_t>(
+      2, static_cast<size_t>(std::ceil(options_.gamma *
+                                       static_cast<double>(n))));
+  num_good = std::min(num_good, n - 1);
+  good->assign(order.begin(), order.begin() + static_cast<long>(num_good));
+  bad->assign(order.begin() + static_cast<long>(num_good), order.end());
+}
+
 Configuration TpeOptimizer::Suggest() {
   ++suggest_count_;
   if (!initial_queue_.empty()) {
@@ -114,20 +130,8 @@ Configuration TpeOptimizer::Suggest() {
   }
 
   // Split history into good (top gamma) and bad.
-  const size_t n = history_utilities_.size();
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return history_utilities_[a] > history_utilities_[b];
-  });
-  size_t num_good = std::max<size_t>(
-      2, static_cast<size_t>(std::ceil(options_.gamma *
-                                       static_cast<double>(n))));
-  num_good = std::min(num_good, n - 1);
-  std::vector<size_t> good(order.begin(),
-                           order.begin() + static_cast<long>(num_good));
-  std::vector<size_t> bad(order.begin() + static_cast<long>(num_good),
-                          order.end());
+  std::vector<size_t> good, bad;
+  SplitGoodBad(&good, &bad);
 
   Configuration best_candidate;
   double best_ratio = -std::numeric_limits<double>::infinity();
@@ -140,6 +144,60 @@ Configuration TpeOptimizer::Suggest() {
     }
   }
   return best_candidate;
+}
+
+std::vector<Configuration> TpeOptimizer::SuggestBatch(size_t n) {
+  VOLCANOML_CHECK(n >= 1);
+  if (n == 1) return {Suggest()};
+
+  std::vector<Configuration> batch;
+  batch.reserve(n);
+  DrainInitialQueue(n, &batch);
+  suggest_count_ += n;
+  if (batch.size() == n) return batch;
+
+  if (NumObservations() < options_.min_observations) {
+    while (batch.size() < n) batch.push_back(space_->Sample(&rng_));
+    return batch;
+  }
+
+  // One density split serves the whole batch; one random slot per
+  // `random_interleave` model-based proposals keeps the exploration
+  // guarantee at any batch size.
+  size_t num_random =
+      options_.random_interleave > 0
+          ? (n - batch.size()) / options_.random_interleave
+          : 0;
+  std::vector<size_t> good, bad;
+  SplitGoodBad(&good, &bad);
+
+  size_t pool_size = std::max<size_t>(options_.num_candidates, n);
+  std::vector<Configuration> pool;
+  std::vector<double> ratio(pool_size);
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(SampleFromGood(good));
+    ratio[i] = LogLikelihoodRatio(pool[i], good, bad);
+  }
+  std::vector<size_t> order(pool_size);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&ratio](size_t a, size_t b) {
+    return ratio[a] > ratio[b];
+  });
+  for (size_t r : order) {
+    if (batch.size() + num_random >= n) break;
+    const Configuration& candidate = pool[r];
+    bool duplicate = false;
+    for (const Configuration& chosen : batch) {
+      if (chosen == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) batch.push_back(candidate);
+  }
+  while (batch.size() < n) batch.push_back(space_->Sample(&rng_));
+  return batch;
 }
 
 }  // namespace volcanoml

@@ -32,9 +32,21 @@ class TpeOptimizer : public BlackBoxOptimizer {
   TpeOptimizer(const ConfigurationSpace* space, const Options& options,
                uint64_t seed);
 
-  Configuration Suggest() override;
+  [[nodiscard]] Configuration Suggest() override;
+
+  /// Batched proposals from ONE good/bad density split: candidates are
+  /// sampled from l(x) once and the top-n by likelihood ratio fill the
+  /// batch (plus the usual random-interleave slots), instead of n refits
+  /// under the base class's constant liar. SuggestBatch(1) delegates to
+  /// Suggest().
+  [[nodiscard]] std::vector<Configuration> SuggestBatch(size_t n) override;
 
  private:
+  /// Partitions history indices into the good (top gamma) set and the
+  /// rest. Requires at least two observations.
+  void SplitGoodBad(std::vector<size_t>* good,
+                    std::vector<size_t>* bad) const;
+
   /// Samples one configuration from the good-set kernel density.
   Configuration SampleFromGood(const std::vector<size_t>& good_indices);
 

@@ -46,22 +46,22 @@ void AlternatingBlock::ShareBest(const BuildingBlock& from,
 
 void AlternatingBlock::Pull(BuildingBlock* winner, const BuildingBlock& other,
                             const std::vector<std::string>& other_vars,
-                            double k_more) {
+                            double k_more, size_t batch_size) {
   // Algorithm 3 lines 4-6 / 8-10: substitute the loser's incumbent into
   // the winner before pulling it.
   ShareBest(other, other_vars, winner);
-  winner->DoNext(k_more);
+  winner->DoNext(k_more, batch_size);
   AbsorbBest(*winner);
 }
 
-void AlternatingBlock::DoNextImpl(double k_more) {
+void AlternatingBlock::DoNextImpl(double k_more, size_t batch_size) {
   if (init_pulls_remaining_ > 0) {
     // Algorithm 2: strict round-robin with best-exchange.
     --init_pulls_remaining_;
     if (next_init_is_a_) {
-      Pull(a_.get(), *b_, vars_b_, k_more);
+      Pull(a_.get(), *b_, vars_b_, k_more, batch_size);
     } else {
-      Pull(b_.get(), *a_, vars_a_, k_more);
+      Pull(b_.get(), *a_, vars_a_, k_more, batch_size);
     }
     next_init_is_a_ = !next_init_is_a_;
     return;
@@ -71,9 +71,9 @@ void AlternatingBlock::DoNextImpl(double k_more) {
   double eui_a = a_->GetEui();
   double eui_b = b_->GetEui();
   if (eui_a >= eui_b) {
-    Pull(a_.get(), *b_, vars_b_, k_more);
+    Pull(a_.get(), *b_, vars_b_, k_more, batch_size);
   } else {
-    Pull(b_.get(), *a_, vars_a_, k_more);
+    Pull(b_.get(), *a_, vars_a_, k_more, batch_size);
   }
 }
 

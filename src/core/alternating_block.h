@@ -31,11 +31,11 @@ class AlternatingBlock : public BuildingBlock {
   void SetVar(const Assignment& vars) override;
   void WarmStart(const Assignment& assignment) override;
 
-  const BuildingBlock& block_a() const { return *a_; }
-  const BuildingBlock& block_b() const { return *b_; }
+  [[nodiscard]] const BuildingBlock& block_a() const { return *a_; }
+  [[nodiscard]] const BuildingBlock& block_b() const { return *b_; }
 
  protected:
-  void DoNextImpl(double k_more) override;
+  void DoNextImpl(double k_more, size_t batch_size) override;
 
  private:
   /// Copies the `variables` entries of `from`'s best assignment into the
@@ -45,7 +45,8 @@ class AlternatingBlock : public BuildingBlock {
                  BuildingBlock* to);
 
   void Pull(BuildingBlock* winner, const BuildingBlock& other,
-            const std::vector<std::string>& other_vars, double k_more);
+            const std::vector<std::string>& other_vars, double k_more,
+            size_t batch_size);
 
   std::unique_ptr<BuildingBlock> a_;
   std::vector<std::string> vars_a_;

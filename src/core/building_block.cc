@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace volcanoml {
 
-void BuildingBlock::DoNext(double k_more) {
-  DoNextImpl(k_more);
+void BuildingBlock::DoNext(double k_more, size_t batch_size) {
+  VOLCANOML_CHECK(batch_size >= 1);
+  DoNextImpl(k_more, batch_size);
   // One pull-history entry per DoNext call: the incumbent after the pull.
   pull_history_.push_back(best_utility_);
 }

@@ -1,6 +1,7 @@
 #ifndef VOLCANOML_CORE_BUILDING_BLOCK_H_
 #define VOLCANOML_CORE_BUILDING_BLOCK_H_
 
+#include <cstddef>
 #include <limits>
 #include <string>
 #include <vector>
@@ -32,27 +33,40 @@ class BuildingBlock {
   BuildingBlock(const BuildingBlock&) = delete;
   BuildingBlock& operator=(const BuildingBlock&) = delete;
 
-  const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Advances the block by one iteration (one pull). `k_more` is the
   /// caller's estimate of the remaining budget in pulls, forwarded to
   /// elimination decisions inside composite blocks.
-  void DoNext(double k_more);
+  ///
+  /// `batch_size` widens the pull: the leaf reached by this call proposes
+  /// up to `batch_size` configurations at once and evaluates them as one
+  /// EvalEngine batch (concurrently when the engine has threads).
+  /// batch_size = 1 is the paper's serial semantics, bit-for-bit: one
+  /// suggest, one evaluation, one observe. Pull accounting is per DoNext
+  /// call regardless of batch size — a batched pull contributes one
+  /// pull-history entry (the incumbent after the whole batch), keeping
+  /// rising-bandit bounds comparable across batch sizes.
+  void DoNext(double k_more, size_t batch_size = 1);
 
   /// Best full assignment observed anywhere in this block's subtree
   /// (own variables plus the context they were evaluated under).
-  const Assignment& BestAssignment() const { return best_assignment_; }
-  double BestUtility() const { return best_utility_; }
-  bool HasObservations() const { return !pull_history_.empty(); }
+  [[nodiscard]] const Assignment& BestAssignment() const {
+    return best_assignment_;
+  }
+  [[nodiscard]] double BestUtility() const { return best_utility_; }
+  [[nodiscard]] bool HasObservations() const { return !pull_history_.empty(); }
 
   /// Rising-bandit bounds on this block's utility after `k_more` more
   /// pulls (paper's get_eu; see bandit/eu.h).
-  EuBounds GetEu(double k_more) const {
+  [[nodiscard]] EuBounds GetEu(double k_more) const {
     return RisingBanditBounds(pull_history_, k_more);
   }
 
   /// Expected utility improvement per pull (paper's get_eui).
-  double GetEui() const { return MeanImprovementEui(pull_history_); }
+  [[nodiscard]] double GetEui() const {
+    return MeanImprovementEui(pull_history_);
+  }
 
   /// Substitutes values for variables outside this block's subspace
   /// (the paper's set_var). Composite blocks propagate to children.
@@ -63,12 +77,14 @@ class BuildingBlock {
   virtual void WarmStart(const Assignment& assignment) { (void)assignment; }
 
   /// Best-so-far utility after each pull (drives GetEu / GetEui).
-  const std::vector<double>& pull_history() const { return pull_history_; }
-  size_t NumPulls() const { return pull_history_.size(); }
+  [[nodiscard]] const std::vector<double>& pull_history() const {
+    return pull_history_;
+  }
+  [[nodiscard]] size_t NumPulls() const { return pull_history_.size(); }
 
  protected:
-  /// Subclass hook performing one iteration.
-  virtual void DoNextImpl(double k_more) = 0;
+  /// Subclass hook performing one (possibly batched) iteration.
+  virtual void DoNextImpl(double k_more, size_t batch_size) = 0;
 
   /// Records an evaluated (full assignment, utility) observation and
   /// updates the incumbent.

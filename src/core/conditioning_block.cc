@@ -54,11 +54,13 @@ void ConditioningBlock::WarmStart(const Assignment& assignment) {
   }
 }
 
-void ConditioningBlock::DoNextImpl(double k_more) {
-  // One round-robin pass over the active arms (Algorithm 1, inner loop).
+void ConditioningBlock::DoNextImpl(double k_more, size_t batch_size) {
+  // One round-robin pass over the active arms (Algorithm 1, inner loop);
+  // the batch width is forwarded so each arm's leaf evaluates its batch
+  // concurrently.
   for (size_t i = 0; i < children_.size(); ++i) {
     if (!active_[i]) continue;
-    children_[i]->DoNext(k_more);
+    children_[i]->DoNext(k_more, batch_size);
     AbsorbBest(*children_[i]);
   }
   ++rounds_completed_;

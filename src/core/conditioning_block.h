@@ -48,12 +48,14 @@ class ConditioningBlock : public BuildingBlock {
   void SetVar(const Assignment& vars) override;
   void WarmStart(const Assignment& assignment) override;
 
-  size_t NumActiveChildren() const;
-  bool IsChildActive(size_t i) const { return active_[i]; }
-  const BuildingBlock& child(size_t i) const { return *children_[i]; }
+  [[nodiscard]] size_t NumActiveChildren() const;
+  [[nodiscard]] bool IsChildActive(size_t i) const { return active_[i]; }
+  [[nodiscard]] const BuildingBlock& child(size_t i) const {
+    return *children_[i];
+  }
 
  protected:
-  void DoNextImpl(double k_more) override;
+  void DoNextImpl(double k_more, size_t batch_size) override;
 
  private:
   void EliminateDominated(double k_more);

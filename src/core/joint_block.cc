@@ -51,32 +51,69 @@ void JointBlock::WarmStart(const Assignment& assignment) {
   // proposals once observations exist, so they are skipped there.
 }
 
-void JointBlock::DoNextImpl(double /*k_more*/) {
-  if (kind_ == JointOptimizerKind::kMfesHb) {
-    MfesHbOptimizer::Proposal proposal = mfes_->Next();
-    Assignment full = context_;
-    for (const auto& [name, value] :
-         space_.ToAssignment(proposal.config)) {
-      full[name] = value;
-    }
-    double utility = evaluator_->Evaluate(full, proposal.fidelity);
-    mfes_->Observe(proposal.config, proposal.fidelity, utility);
-    // Only full-fidelity measurements update the incumbent: subsampled
-    // utilities are not comparable to full-data ones.
-    if (proposal.fidelity >= 1.0) {
-      RecordObservation(full, utility);
-    }
-    return;
-  }
-
-  Configuration config = optimizer_->Suggest();
+Assignment JointBlock::FullAssignment(const Configuration& config) const {
   Assignment full = context_;
   for (const auto& [name, value] : space_.ToAssignment(config)) {
     full[name] = value;
   }
-  double utility = evaluator_->Evaluate(full);
-  optimizer_->Observe(config, utility);
-  RecordObservation(full, utility);
+  return full;
+}
+
+void JointBlock::DoNextImpl(double /*k_more*/, size_t batch_size) {
+  if (kind_ == JointOptimizerKind::kMfesHb) {
+    if (batch_size == 1) {
+      MfesHbOptimizer::Proposal proposal = mfes_->Next();
+      Assignment full = FullAssignment(proposal.config);
+      double utility = evaluator_->Evaluate(full, proposal.fidelity);
+      mfes_->Observe(proposal.config, proposal.fidelity, utility);
+      // Only full-fidelity measurements update the incumbent: subsampled
+      // utilities are not comparable to full-data ones.
+      if (proposal.fidelity >= 1.0) {
+        RecordObservation(full, utility);
+      }
+      return;
+    }
+    // Batched: evaluate the rung's pending proposals concurrently, then
+    // observe in proposal order (NextBatch never crosses a rung boundary,
+    // so the batch members are mutually independent).
+    std::vector<MfesHbOptimizer::Proposal> proposals =
+        mfes_->NextBatch(batch_size);
+    std::vector<EvalRequest> requests;
+    requests.reserve(proposals.size());
+    for (const MfesHbOptimizer::Proposal& proposal : proposals) {
+      requests.push_back({FullAssignment(proposal.config), proposal.fidelity});
+    }
+    std::vector<double> utilities = evaluator_->EvaluateBatch(requests);
+    for (size_t i = 0; i < proposals.size(); ++i) {
+      mfes_->Observe(proposals[i].config, proposals[i].fidelity,
+                     utilities[i]);
+      if (proposals[i].fidelity >= 1.0) {
+        RecordObservation(requests[i].assignment, utilities[i]);
+      }
+    }
+    return;
+  }
+
+  if (batch_size == 1) {
+    Configuration config = optimizer_->Suggest();
+    Assignment full = FullAssignment(config);
+    double utility = evaluator_->Evaluate(full);
+    optimizer_->Observe(config, utility);
+    RecordObservation(full, utility);
+    return;
+  }
+
+  std::vector<Configuration> configs = optimizer_->SuggestBatch(batch_size);
+  std::vector<EvalRequest> requests;
+  requests.reserve(configs.size());
+  for (const Configuration& config : configs) {
+    requests.push_back({FullAssignment(config), 1.0});
+  }
+  std::vector<double> utilities = evaluator_->EvaluateBatch(requests);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    optimizer_->Observe(configs[i], utilities[i]);
+    RecordObservation(requests[i].assignment, utilities[i]);
+  }
 }
 
 }  // namespace volcanoml

@@ -24,6 +24,12 @@ enum class JointOptimizerKind {
 /// Bayesian optimization. One DoNext = one suggest/evaluate/observe step;
 /// with kMfesHb the evaluation may run at reduced fidelity (subsampled
 /// training data), consuming proportionally less budget.
+///
+/// Batched pulls (batch_size > 1): the optimizer proposes the whole batch
+/// up front (SuggestBatch / MFES NextBatch), the evaluator runs it as one
+/// EvalEngine batch, and the observations are fed back in proposal order
+/// — so the optimizer sees the same deterministic history a serial replay
+/// of the batch would produce.
 class JointBlock : public BuildingBlock {
  public:
   JointBlock(std::string name, ConfigurationSpace space,
@@ -32,12 +38,15 @@ class JointBlock : public BuildingBlock {
 
   void WarmStart(const Assignment& assignment) override;
 
-  const ConfigurationSpace& subspace() const { return space_; }
+  [[nodiscard]] const ConfigurationSpace& subspace() const { return space_; }
 
  protected:
-  void DoNextImpl(double k_more) override;
+  void DoNextImpl(double k_more, size_t batch_size) override;
 
  private:
+  /// Substitutes the block's context around a subspace configuration.
+  [[nodiscard]] Assignment FullAssignment(const Configuration& config) const;
+
   ConfigurationSpace space_;
   PipelineEvaluator* evaluator_;
   JointOptimizerKind kind_;

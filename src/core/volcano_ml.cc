@@ -12,6 +12,7 @@ namespace volcanoml {
 VolcanoML::VolcanoML(const VolcanoMlOptions& options)
     : options_(options), space_(options.space) {
   VOLCANOML_CHECK(options_.budget > 0.0);
+  VOLCANOML_CHECK(options_.batch_size >= 1);
 }
 
 AutoMlResult VolcanoML::Fit(const Dataset& train) {
@@ -62,7 +63,7 @@ AutoMlResult VolcanoML::Fit(const Dataset& train) {
       double mean_cost = consumed() / static_cast<double>(root->NumPulls());
       k_more = remaining / std::max(mean_cost, 1e-6);
     }
-    root->DoNext(k_more);
+    root->DoNext(k_more, options_.batch_size);
     result_.trajectory.push_back({consumed(), root->BestUtility()});
   }
 

@@ -37,6 +37,11 @@ struct VolcanoMlOptions {
   /// Budget in evaluation units (one full-fidelity pipeline evaluation
   /// costs one unit; subsampled evaluations cost their fidelity).
   double budget = 150.0;
+  /// Evaluations proposed and evaluated per leaf pull. 1 reproduces the
+  /// paper's serial semantics bit-for-bit; > 1 turns every leaf pull into
+  /// an EvalEngine batch, which `eval.num_threads` workers evaluate
+  /// concurrently.
+  size_t batch_size = 1;
   /// Meta-learning warm start: non-null enables the "+meta" variant.
   const MetaKnowledgeBase* knowledge = nullptr;
   size_t num_warm_starts = 5;

@@ -1,4 +1,4 @@
-#include "eval/evaluator.h"
+#include "eval/eval_context.h"
 
 #include <algorithm>
 #include <cmath>
@@ -8,8 +8,8 @@
 #include "ml/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
-#include "util/timer.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace volcanoml {
 
@@ -40,9 +40,8 @@ double FailureUtility(TaskType task) {
   return task == TaskType::kClassification ? 0.0 : -1e9;
 }
 
-PipelineEvaluator::PipelineEvaluator(const SearchSpace* space,
-                                     const Dataset* data,
-                                     const EvaluatorOptions& options)
+EvalContext::EvalContext(const SearchSpace* space, const Dataset* data,
+                         const EvaluatorOptions& options)
     : space_(space), data_(data), options_(options) {
   VOLCANOML_CHECK(space_ != nullptr && data_ != nullptr);
   VOLCANOML_CHECK(space_->task() == data_->task());
@@ -54,9 +53,9 @@ PipelineEvaluator::PipelineEvaluator(const SearchSpace* space,
   }
 }
 
-Status PipelineEvaluator::BuildPipeline(const Assignment& assignment,
-                                        uint64_t seed, FePipeline* fe,
-                                        std::unique_ptr<Model>* model) const {
+Status EvalContext::BuildPipeline(const Assignment& assignment, uint64_t seed,
+                                  FePipeline* fe,
+                                  std::unique_ptr<Model>* model) const {
   const ConfigurationSpace& joint = space_->joint();
   Configuration config = joint.FromAssignment(assignment);
   Rng rng(seed);
@@ -95,9 +94,9 @@ Status PipelineEvaluator::BuildPipeline(const Assignment& assignment,
   return Status::Ok();
 }
 
-double PipelineEvaluator::EvaluateOnSplit(const Assignment& assignment,
-                                          const Split& split, double fidelity,
-                                          uint64_t seed) {
+double EvalContext::EvaluateOnSplit(const Assignment& assignment,
+                                    const Split& split, double fidelity,
+                                    uint64_t seed) const {
   Dataset train = data_->Subset(split.train);
   Dataset valid = data_->Subset(split.test);
   if (fidelity < 1.0) {
@@ -128,8 +127,8 @@ double PipelineEvaluator::EvaluateOnSplit(const Assignment& assignment,
   return utility;
 }
 
-double PipelineEvaluator::Evaluate(const Assignment& assignment,
-                                   double fidelity) {
+EvalContext::Measurement EvalContext::EvaluateOnce(
+    const Assignment& assignment, double fidelity) const {
   VOLCANOML_CHECK(fidelity > 0.0 && fidelity <= 1.0);
   uint64_t seed = HashAssignment(assignment) ^ options_.seed;
   Stopwatch timer;
@@ -137,23 +136,34 @@ double PipelineEvaluator::Evaluate(const Assignment& assignment,
   for (const Split& split : splits_) {
     total += EvaluateOnSplit(assignment, split, fidelity, seed);
   }
-  if (options_.budget_in_seconds) {
-    // Time-metered budget; floor it so instantly-failing pipelines cannot
-    // consume the loop forever.
-    consumed_budget_ += std::max(timer.ElapsedSeconds(), 1e-4);
-  } else {
-    consumed_budget_ += fidelity;
-  }
-  ++num_evaluations_;
-  double utility = total / static_cast<double>(splits_.size());
-  if (fidelity >= 1.0) {
-    observations_.push_back({assignment, utility});
-  }
-  return utility;
+  Measurement m;
+  m.utility = total / static_cast<double>(splits_.size());
+  m.elapsed_seconds = timer.ElapsedSeconds();
+  return m;
 }
 
-Result<FittedPipeline> PipelineEvaluator::FitFinal(
-    const Assignment& assignment) {
+std::string EvalContext::CacheKey(const Assignment& assignment,
+                                  double fidelity) const {
+  std::string key;
+  key.reserve(assignment.size() * 16 + sizeof(double));
+  auto append_bits = [&key](double v) {
+    char bits[sizeof(double)];
+    std::memcpy(bits, &v, sizeof(bits));
+    key.append(bits, sizeof(bits));
+  };
+  for (const auto& [name, value] : assignment) {
+    key.append(name);
+    key.push_back('=');
+    append_bits(value);
+    key.push_back(';');
+  }
+  key.push_back('@');
+  append_bits(fidelity);
+  return key;
+}
+
+Result<FittedPipeline> EvalContext::FitFinal(
+    const Assignment& assignment) const {
   uint64_t seed = HashAssignment(assignment) ^ options_.seed;
   FePipeline fe;
   std::unique_ptr<Model> model;

@@ -1,0 +1,124 @@
+#ifndef VOLCANOML_EVAL_EVAL_CONTEXT_H_
+#define VOLCANOML_EVAL_EVAL_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cs/configuration.h"
+#include "data/dataset.h"
+#include "data/splits.h"
+#include "eval/search_space.h"
+#include "fe/pipeline.h"
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// Utility value reported for pipelines that fail to train. Low enough
+/// that any functioning pipeline dominates it, finite so surrogate models
+/// can still be fitted on it.
+[[nodiscard]] double FailureUtility(TaskType task);
+
+/// A fully materialized ML pipeline: fitted feature engineering plus a
+/// fitted model. Returned by EvalContext::FitFinal for deployment on
+/// unseen data.
+class FittedPipeline {
+ public:
+  FittedPipeline(FePipeline fe, std::unique_ptr<Model> model)
+      : fe_(std::move(fe)), model_(std::move(model)) {}
+
+  /// Predicts targets for raw (un-engineered) features.
+  [[nodiscard]] std::vector<double> Predict(const Matrix& x) const {
+    return model_->Predict(fe_.Transform(x));
+  }
+
+ private:
+  FePipeline fe_;
+  std::unique_ptr<Model> model_;
+};
+
+/// Options for validation-based utility estimation.
+struct EvaluatorOptions {
+  /// Fraction of the training data held out for validation (holdout mode).
+  double validation_fraction = 0.25;
+  /// > 1 switches to k-fold cross-validation.
+  size_t cv_folds = 1;
+  /// Budget currency. false: one full-fidelity evaluation costs one unit
+  /// (deterministic; used by tests). true: an evaluation costs its
+  /// wall-clock seconds — the paper's actual budget model, under which
+  /// cheap pipelines buy more search (used by the benchmarks).
+  bool budget_in_seconds = false;
+  uint64_t seed = 1;
+  /// Workers inside the evaluation engine. <= 1 evaluates inline on the
+  /// calling thread (the serial path); > 1 runs batch requests on a
+  /// ThreadPool of this size.
+  size_t num_threads = 1;
+  /// Memoize utilities per (configuration, fidelity). Hits skip the
+  /// pipeline training but still meter budget / observations exactly as a
+  /// recomputation would, so deterministic-budget trajectories are
+  /// unaffected (evaluation is a pure function of the request).
+  bool memoize = true;
+};
+
+/// The immutable half of the evaluator: search space, dataset, validation
+/// splits, options. Everything here is fixed after construction and every
+/// method is const, so one context can be shared by any number of
+/// concurrent evaluation workers without synchronization.
+///
+/// Randomness scheme: each request derives its RNG seed as
+/// `HashAssignment(assignment) ^ options.seed` — a per-request stream
+/// independent of evaluation order, which is what makes a batched run
+/// reproduce the serial run's utilities bit-for-bit.
+class EvalContext {
+ public:
+  EvalContext(const SearchSpace* space, const Dataset* data,
+              const EvaluatorOptions& options);
+
+  /// One evaluation's outcome plus its wall-clock cost (the seconds
+  /// currency of EvaluatorOptions::budget_in_seconds).
+  struct Measurement {
+    double utility = 0.0;
+    double elapsed_seconds = 0.0;
+  };
+
+  /// Validation utility of `assignment` at the given fidelity (training-
+  /// set subsample fraction in (0, 1]). Pure: same request, same result.
+  [[nodiscard]] Measurement EvaluateOnce(const Assignment& assignment,
+                                         double fidelity) const;
+
+  /// Trains the configured pipeline on ALL of this context's data and
+  /// returns it for test-time prediction.
+  [[nodiscard]] Result<FittedPipeline> FitFinal(
+      const Assignment& assignment) const;
+
+  /// Stable memoization key for a request: the full assignment contents
+  /// (name + value bit patterns, in map order) plus the fidelity — not a
+  /// lossy hash, so distinct configurations never alias in the cache.
+  [[nodiscard]] std::string CacheKey(const Assignment& assignment,
+                                     double fidelity) const;
+
+  [[nodiscard]] const SearchSpace& space() const { return *space_; }
+  [[nodiscard]] const Dataset& data() const { return *data_; }
+  [[nodiscard]] const EvaluatorOptions& options() const { return options_; }
+
+ private:
+  /// Builds (unfitted) FE pipeline + model from an assignment.
+  [[nodiscard]] Status BuildPipeline(const Assignment& assignment,
+                                     uint64_t seed, FePipeline* fe,
+                                     std::unique_ptr<Model>* model) const;
+
+  [[nodiscard]] double EvaluateOnSplit(const Assignment& assignment,
+                                       const Split& split, double fidelity,
+                                       uint64_t seed) const;
+
+  const SearchSpace* space_;
+  const Dataset* data_;
+  EvaluatorOptions options_;
+  std::vector<Split> splits_;  ///< Fixed validation splits.
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_EVAL_EVAL_CONTEXT_H_

@@ -1,0 +1,147 @@
+#include "eval/eval_engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+/// Floor on the seconds cost of one committed request: instantly-failing
+/// pipelines and cache hits cannot consume the budget loop forever.
+constexpr double kMinSecondsCost = 1e-4;
+}  // namespace
+
+EvalEngine::EvalEngine(const EvalContext* context) : context_(context) {
+  VOLCANOML_CHECK(context_ != nullptr);
+  if (context_->options().num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(context_->options().num_threads);
+  }
+}
+
+size_t EvalEngine::num_threads() const {
+  return pool_ != nullptr ? pool_->num_threads() : 1;
+}
+
+std::vector<double> EvalEngine::EvaluateBatch(
+    const std::vector<EvalRequest>& requests) {
+  const size_t n = requests.size();
+  std::vector<double> utilities(n, 0.0);
+  if (n == 0) return utilities;
+  const EvaluatorOptions& options = context_->options();
+  for (const EvalRequest& request : requests) {
+    VOLCANOML_CHECK(request.fidelity > 0.0 && request.fidelity <= 1.0);
+  }
+
+  // Phase 1 — resolve. Each request is answered by the memo cache, by a
+  // computation slot it owns (primary), or by another request's slot
+  // (in-batch duplicate). Slots are computed once, concurrently.
+  struct Slot {
+    size_t primary;  ///< Request index that computes this slot.
+    EvalContext::Measurement measurement;
+  };
+  std::vector<std::string> keys(n);
+  std::vector<double> cached(n, 0.0);
+  std::vector<bool> from_cache(n, false);
+  constexpr size_t kNoSlot = static_cast<size_t>(-1);
+  std::vector<size_t> slot_of(n, kNoSlot);
+  std::vector<Slot> slots;
+  slots.reserve(n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unordered_map<std::string, size_t> batch_slots;
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = context_->CacheKey(requests[i].assignment,
+                                   requests[i].fidelity);
+      if (options.memoize) {
+        auto hit = cache_.find(keys[i]);
+        if (hit != cache_.end()) {
+          cached[i] = hit->second;
+          from_cache[i] = true;
+          continue;
+        }
+        auto [it, inserted] = batch_slots.try_emplace(keys[i], slots.size());
+        if (inserted) slots.push_back({i, {}});
+        slot_of[i] = it->second;
+      } else {
+        slot_of[i] = slots.size();
+        slots.push_back({i, {}});
+      }
+    }
+  }
+
+  // Phase 2 — compute the slots, off-lock. Workers only read the shared
+  // immutable context and write disjoint slots, so no synchronization is
+  // needed here; each slot's utility is a pure function of its request.
+  auto compute = [&](size_t s) {
+    const EvalRequest& request = requests[slots[s].primary];
+    slots[s].measurement =
+        context_->EvaluateOnce(request.assignment, request.fidelity);
+  };
+  if (pool_ != nullptr && slots.size() > 1) {
+    pool_->ParallelFor(slots.size(), compute);
+  } else {
+    for (size_t s = 0; s < slots.size(); ++s) compute(s);
+  }
+
+  // Phase 3 — commit in request order: the budget meter, evaluation
+  // count, observation log and cache advance deterministically no matter
+  // how the computations were scheduled.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      double utility;
+      double seconds_cost;
+      if (from_cache[i]) {
+        utility = cached[i];
+        seconds_cost = kMinSecondsCost;
+        ++cache_hits_;
+      } else {
+        const Slot& slot = slots[slot_of[i]];
+        utility = slot.measurement.utility;
+        if (slot.primary == i) {
+          seconds_cost =
+              std::max(slot.measurement.elapsed_seconds, kMinSecondsCost);
+          if (options.memoize) cache_.emplace(keys[i], utility);
+        } else {  // In-batch duplicate: answered by the primary's result.
+          seconds_cost = kMinSecondsCost;
+          ++cache_hits_;
+        }
+      }
+      consumed_budget_ +=
+          options.budget_in_seconds ? seconds_cost : requests[i].fidelity;
+      ++num_evaluations_;
+      if (requests[i].fidelity >= 1.0) {
+        observations_.push_back({requests[i].assignment, utility});
+      }
+      utilities[i] = utility;
+    }
+  }
+  return utilities;
+}
+
+double EvalEngine::Evaluate(const Assignment& assignment, double fidelity) {
+  return EvaluateBatch({{assignment, fidelity}})[0];
+}
+
+double EvalEngine::consumed_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consumed_budget_;
+}
+
+size_t EvalEngine::num_evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_evaluations_;
+}
+
+size_t EvalEngine::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_hits_;
+}
+
+size_t EvalEngine::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,97 @@
+#ifndef VOLCANOML_EVAL_EVAL_ENGINE_H_
+#define VOLCANOML_EVAL_EVAL_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cs/configuration.h"
+#include "eval/eval_context.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace volcanoml {
+
+/// One evaluation request: a full joint assignment plus the training-set
+/// subsample fraction to evaluate it at.
+struct EvalRequest {
+  Assignment assignment;
+  double fidelity = 1.0;
+};
+
+/// The mutable half of the evaluator: accepts batches of EvalRequests,
+/// runs them on a ThreadPool against a shared immutable EvalContext,
+/// memoizes repeat configurations, and commits observations and budget
+/// metering in deterministic request order under one mutex.
+///
+/// Determinism contract: utilities are a pure function of the request
+/// (per-request seed streams, see EvalContext), and all bookkeeping is
+/// committed in request order after the batch completes — so the same
+/// request sequence yields the same budget/observation trajectory
+/// regardless of thread count, and a batch of one reproduces the legacy
+/// serial evaluator bit-for-bit.
+///
+/// Cache semantics: a hit skips the pipeline training but is metered
+/// exactly like a recomputation in deterministic-budget mode (adds its
+/// fidelity, counts as an evaluation, appends its observation). In
+/// wall-clock mode a hit meters only the floor cost — re-requesting a
+/// known configuration is nearly free, which buys more search per second.
+class EvalEngine {
+ public:
+  /// `context` must outlive the engine; options are taken from it
+  /// (num_threads, memoize, budget_in_seconds).
+  explicit EvalEngine(const EvalContext* context);
+
+  /// Evaluates every request and returns their utilities in request
+  /// order. Distinct configurations run concurrently on the pool;
+  /// duplicates within the batch are computed once. Thread-safe: multiple
+  /// callers may submit batches concurrently (commit order between
+  /// batches is then arrival order at the mutex).
+  [[nodiscard]] std::vector<double> EvaluateBatch(
+      const std::vector<EvalRequest>& requests)
+      VOLCANOML_LOCKS_EXCLUDED(mu_);
+
+  /// Single-request convenience — the legacy Evaluate() call.
+  [[nodiscard]] double Evaluate(const Assignment& assignment,
+                                double fidelity = 1.0)
+      VOLCANOML_LOCKS_EXCLUDED(mu_);
+
+  /// Budget units consumed so far (sum of fidelities, or seconds).
+  [[nodiscard]] double consumed_budget() const VOLCANOML_LOCKS_EXCLUDED(mu_);
+  /// Requests committed so far (cache hits included).
+  [[nodiscard]] size_t num_evaluations() const VOLCANOML_LOCKS_EXCLUDED(mu_);
+  /// Requests answered from the memo cache so far.
+  [[nodiscard]] size_t cache_hits() const VOLCANOML_LOCKS_EXCLUDED(mu_);
+  /// Distinct (configuration, fidelity) results memoized so far.
+  [[nodiscard]] size_t cache_size() const VOLCANOML_LOCKS_EXCLUDED(mu_);
+
+  /// Every full-fidelity (assignment, utility) observation, in commit
+  /// order. Feeds post-hoc ensemble selection. Not synchronized with
+  /// concurrent EvaluateBatch calls: read it only between batches.
+  [[nodiscard]] const std::vector<std::pair<Assignment, double>>&
+  observations() const {
+    return observations_;
+  }
+
+  [[nodiscard]] const EvalContext& context() const { return *context_; }
+  [[nodiscard]] size_t num_threads() const;
+
+ private:
+  const EvalContext* context_;
+  std::unique_ptr<ThreadPool> pool_;  ///< Null when running inline.
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, double> cache_ VOLCANOML_GUARDED_BY(mu_);
+  double consumed_budget_ VOLCANOML_GUARDED_BY(mu_) = 0.0;
+  size_t num_evaluations_ VOLCANOML_GUARDED_BY(mu_) = 0;
+  size_t cache_hits_ VOLCANOML_GUARDED_BY(mu_) = 0;
+  std::vector<std::pair<Assignment, double>> observations_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_EVAL_EVAL_ENGINE_H_

@@ -1,57 +1,18 @@
 #ifndef VOLCANOML_EVAL_EVALUATOR_H_
 #define VOLCANOML_EVAL_EVALUATOR_H_
 
-#include <cstdint>
-#include <memory>
-#include <string>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "cs/configuration.h"
 #include "data/dataset.h"
-#include "data/splits.h"
+#include "eval/eval_context.h"
+#include "eval/eval_engine.h"
 #include "eval/search_space.h"
-#include "fe/pipeline.h"
-#include "ml/model.h"
 #include "util/status.h"
 
 namespace volcanoml {
-
-/// Utility value reported for pipelines that fail to train. Low enough
-/// that any functioning pipeline dominates it, finite so surrogate models
-/// can still be fitted on it.
-[[nodiscard]] double FailureUtility(TaskType task);
-
-/// A fully materialized ML pipeline: fitted feature engineering plus a
-/// fitted model. Returned by PipelineEvaluator::FitFinal for deployment
-/// on unseen data.
-class FittedPipeline {
- public:
-  FittedPipeline(FePipeline fe, std::unique_ptr<Model> model)
-      : fe_(std::move(fe)), model_(std::move(model)) {}
-
-  /// Predicts targets for raw (un-engineered) features.
-  [[nodiscard]] std::vector<double> Predict(const Matrix& x) const {
-    return model_->Predict(fe_.Transform(x));
-  }
-
- private:
-  FePipeline fe_;
-  std::unique_ptr<Model> model_;
-};
-
-/// Options for validation-based utility estimation.
-struct EvaluatorOptions {
-  /// Fraction of the training data held out for validation (holdout mode).
-  double validation_fraction = 0.25;
-  /// > 1 switches to k-fold cross-validation.
-  size_t cv_folds = 1;
-  /// Budget currency. false: one full-fidelity evaluation costs one unit
-  /// (deterministic; used by tests). true: an evaluation costs its
-  /// wall-clock seconds — the paper's actual budget model, under which
-  /// cheap pipelines buy more search (used by the benchmarks).
-  bool budget_in_seconds = false;
-  uint64_t seed = 1;
-};
 
 /// Evaluates joint Assignments on a dataset: builds the FE pipeline and
 /// model a configuration describes, trains on the training portion, and
@@ -59,51 +20,64 @@ struct EvaluatorOptions {
 /// is better). This is the black-box f(x; D) that all building blocks and
 /// baselines optimize.
 ///
-/// The evaluator also meters consumption: each Evaluate() call adds
-/// `fidelity` budget units (a full-data evaluation costs 1; subsampled
-/// evaluations cost proportionally less), which is the budget currency
-/// shared by all search strategies in the benchmarks.
+/// Facade over the two real halves (see DESIGN.md "Evaluation engine &
+/// threading model"): an immutable EvalContext (space, data, splits) that
+/// any number of workers may share, and an EvalEngine that schedules
+/// request batches on a thread pool, memoizes repeat configurations, and
+/// commits observations + budget metering in request order. A serial
+/// Evaluate() call is a batch of one; EvaluatorOptions::num_threads > 1
+/// turns batches concurrent without changing any committed trajectory.
 class PipelineEvaluator {
  public:
   PipelineEvaluator(const SearchSpace* space, const Dataset* data,
-                    const EvaluatorOptions& options);
+                    const EvaluatorOptions& options)
+      : context_(space, data, options), engine_(&context_) {}
 
   /// Validation utility of `assignment` at the given fidelity (training-
   /// set subsample fraction in (0, 1]).
-  [[nodiscard]] double Evaluate(const Assignment& assignment, double fidelity = 1.0);
+  [[nodiscard]] double Evaluate(const Assignment& assignment,
+                                double fidelity = 1.0) {
+    return engine_.Evaluate(assignment, fidelity);
+  }
+
+  /// Evaluates a batch of requests (concurrently when the engine has
+  /// threads) and returns their utilities in request order.
+  [[nodiscard]] std::vector<double> EvaluateBatch(
+      const std::vector<EvalRequest>& requests) {
+    return engine_.EvaluateBatch(requests);
+  }
 
   /// Trains the configured pipeline on ALL of this evaluator's data and
   /// returns it for test-time prediction.
-  [[nodiscard]] Result<FittedPipeline> FitFinal(const Assignment& assignment);
+  [[nodiscard]] Result<FittedPipeline> FitFinal(const Assignment& assignment) {
+    return context_.FitFinal(assignment);
+  }
 
   /// Budget units consumed so far (sum of fidelities evaluated).
-  [[nodiscard]] double consumed_budget() const { return consumed_budget_; }
-  [[nodiscard]] size_t num_evaluations() const { return num_evaluations_; }
+  [[nodiscard]] double consumed_budget() const {
+    return engine_.consumed_budget();
+  }
+  [[nodiscard]] size_t num_evaluations() const {
+    return engine_.num_evaluations();
+  }
 
   /// Every full-fidelity (assignment, utility) observation, in evaluation
   /// order. Feeds post-hoc ensemble selection (core/ensemble.h).
-  const std::vector<std::pair<Assignment, double>>& observations() const {
-    return observations_;
+  [[nodiscard]] const std::vector<std::pair<Assignment, double>>&
+  observations() const {
+    return engine_.observations();
   }
 
-  const SearchSpace& space() const { return *space_; }
-  const Dataset& data() const { return *data_; }
+  [[nodiscard]] const SearchSpace& space() const { return context_.space(); }
+  [[nodiscard]] const Dataset& data() const { return context_.data(); }
+
+  [[nodiscard]] const EvalContext& context() const { return context_; }
+  [[nodiscard]] EvalEngine& engine() { return engine_; }
+  [[nodiscard]] const EvalEngine& engine() const { return engine_; }
 
  private:
-  /// Builds (unfitted) FE pipeline + model from an assignment.
-  [[nodiscard]] Status BuildPipeline(const Assignment& assignment, uint64_t seed,
-                       FePipeline* fe, std::unique_ptr<Model>* model) const;
-
-  double EvaluateOnSplit(const Assignment& assignment, const Split& split,
-                         double fidelity, uint64_t seed);
-
-  const SearchSpace* space_;
-  const Dataset* data_;
-  EvaluatorOptions options_;
-  std::vector<Split> splits_;  ///< Fixed validation splits.
-  double consumed_budget_ = 0.0;
-  size_t num_evaluations_ = 0;
-  std::vector<std::pair<Assignment, double>> observations_;
+  EvalContext context_;
+  EvalEngine engine_;
 };
 
 }  // namespace volcanoml

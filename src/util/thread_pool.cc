@@ -1,0 +1,72 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  VOLCANOML_CHECK(task != nullptr);
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VOLCANOML_CHECK_MSG(!shutting_down_, "Submit after ~ThreadPool");
+    queue_.push_back(std::move(packaged));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(Submit([&fn, i] { fn(i); }));
+  }
+  for (std::future<void>& future : futures) {
+    future.wait();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this]() VOLCANOML_EXCLUSIVE_LOCKS_REQUIRED(mu_) {
+            return shutting_down_ || !queue_.empty();
+          });
+      // Drain the queue even when shutting down: every submitted future
+      // must still become ready.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace volcanoml

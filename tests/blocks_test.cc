@@ -29,7 +29,7 @@ class ScriptedBlock : public BuildingBlock {
   void WarmStart(const Assignment&) override { ++warm_starts_received; }
 
  protected:
-  void DoNextImpl(double /*k_more*/) override {
+  void DoNextImpl(double /*k_more*/, size_t /*batch_size*/) override {
     double utility = cursor_ < schedule_.size() ? schedule_[cursor_]
                                                 : schedule_.back();
     ++cursor_;

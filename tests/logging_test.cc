@@ -1,10 +1,11 @@
 #include "util/logging.h"
 
 #include <cstdint>
-#include <thread>
+#include <future>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "util/thread_pool.h"
 
 namespace volcanoml {
 namespace {
@@ -66,17 +67,18 @@ TEST(LoggingTest, ConcurrentEmissionIsSerialized) {
   constexpr int kLinesPerThread = 50;
   uint64_t before = GetEmittedLogLines();
   testing::internal::CaptureStderr();
-  std::vector<std::thread> workers;
-  workers.reserve(kThreads);
+  ThreadPool pool(kThreads);
+  std::vector<std::future<void>> done;
+  done.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
-    workers.emplace_back([t] {
+    done.push_back(pool.Submit([t] {
       for (int i = 0; i < kLinesPerThread; ++i) {
         VOLCANOML_LOG(Error) << "thread " << t << " line " << i;
         VOLCANOML_LOG(Debug) << "suppressed " << t;  // must stay uncounted
       }
-    });
+    }));
   }
-  for (std::thread& w : workers) w.join();
+  for (std::future<void>& w : done) w.get();
   testing::internal::GetCapturedStderr();
   EXPECT_EQ(GetEmittedLogLines() - before,
             static_cast<uint64_t>(kThreads) * kLinesPerThread);

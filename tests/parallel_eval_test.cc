@@ -1,0 +1,323 @@
+// Determinism and concurrency tests for the batched evaluation engine:
+// a threaded EvalEngine must reproduce the serial evaluator bit-for-bit
+// (same seed, same requests), batches must commit in request order, the
+// memo cache must not perturb budget trajectories, and concurrent batch
+// submission must be race-free (this file is the TSan preset's target).
+
+#include <cmath>
+#include <future>
+#include <vector>
+
+#include "bo/optimizer.h"
+#include "bo/smac.h"
+#include "bo/tpe.h"
+#include "core/volcano_ml.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/search_space.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace volcanoml {
+namespace {
+
+SearchSpaceOptions SmallSpace() {
+  SearchSpaceOptions o;
+  o.task = TaskType::kClassification;
+  o.preset = SpacePreset::kSmall;
+  return o;
+}
+
+std::vector<Assignment> SampleAssignments(const SearchSpace& space, size_t n,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Assignment> assignments;
+  assignments.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    assignments.push_back(
+        space.joint().ToAssignment(space.joint().Sample(&rng)));
+  }
+  return assignments;
+}
+
+TEST(ParallelEvalTest, ThreadedBatchMatchesSerialBitForBit) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 3);
+  std::vector<Assignment> assignments = SampleAssignments(space, 8, 11);
+
+  EvaluatorOptions serial_options;  // num_threads = 1: inline evaluation.
+  PipelineEvaluator serial(&space, &data, serial_options);
+  std::vector<double> expected;
+  for (const Assignment& a : assignments) {
+    expected.push_back(serial.Evaluate(a));
+  }
+
+  EvaluatorOptions threaded_options;
+  threaded_options.num_threads = 4;
+  PipelineEvaluator threaded(&space, &data, threaded_options);
+  std::vector<EvalRequest> requests;
+  for (const Assignment& a : assignments) requests.push_back({a, 1.0});
+  std::vector<double> got = threaded.EvaluateBatch(requests);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "request " << i;  // exact, not NEAR
+  }
+  // Bookkeeping must match the serial run exactly too.
+  EXPECT_EQ(threaded.num_evaluations(), serial.num_evaluations());
+  EXPECT_EQ(threaded.consumed_budget(), serial.consumed_budget());
+  ASSERT_EQ(threaded.observations().size(), serial.observations().size());
+  for (size_t i = 0; i < serial.observations().size(); ++i) {
+    EXPECT_EQ(threaded.observations()[i].first,
+              serial.observations()[i].first);
+    EXPECT_EQ(threaded.observations()[i].second,
+              serial.observations()[i].second);
+  }
+}
+
+TEST(ParallelEvalTest, ObservationsCommitInRequestOrder) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 4);
+  std::vector<Assignment> assignments = SampleAssignments(space, 6, 12);
+
+  EvaluatorOptions options;
+  options.num_threads = 4;
+  PipelineEvaluator evaluator(&space, &data, options);
+  std::vector<EvalRequest> requests;
+  for (const Assignment& a : assignments) requests.push_back({a, 1.0});
+  std::vector<double> utilities = evaluator.EvaluateBatch(requests);
+
+  ASSERT_EQ(evaluator.observations().size(), assignments.size());
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    EXPECT_EQ(evaluator.observations()[i].first, assignments[i]);
+    EXPECT_EQ(evaluator.observations()[i].second, utilities[i]);
+  }
+}
+
+TEST(ParallelEvalTest, CacheHitsMeterLikeRecomputation) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 5);
+  PipelineEvaluator evaluator(&space, &data, {});
+  Assignment a = space.DefaultAssignment();
+
+  double first = evaluator.Evaluate(a);
+  double second = evaluator.Evaluate(a);  // memo hit
+  EXPECT_EQ(first, second);
+  // A hit skips the training but is metered exactly like a recomputation
+  // in deterministic-budget mode: trajectories must not depend on caching.
+  EXPECT_EQ(evaluator.num_evaluations(), 2u);
+  EXPECT_DOUBLE_EQ(evaluator.consumed_budget(), 2.0);
+  EXPECT_EQ(evaluator.observations().size(), 2u);
+  EXPECT_EQ(evaluator.engine().cache_hits(), 1u);
+  EXPECT_EQ(evaluator.engine().cache_size(), 1u);
+}
+
+TEST(ParallelEvalTest, DistinctFidelitiesDoNotAliasInCache) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(300, 4, 2, 1.5, 6);
+  PipelineEvaluator evaluator(&space, &data, {});
+  Assignment a = space.DefaultAssignment();
+  (void)evaluator.Evaluate(a, 0.5);
+  (void)evaluator.Evaluate(a, 1.0);
+  EXPECT_EQ(evaluator.engine().cache_hits(), 0u);
+  EXPECT_EQ(evaluator.engine().cache_size(), 2u);
+}
+
+TEST(ParallelEvalTest, InBatchDuplicatesComputeOnceAndCommitPerRequest) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 7);
+  EvaluatorOptions options;
+  options.num_threads = 2;
+  PipelineEvaluator evaluator(&space, &data, options);
+  Assignment a = space.DefaultAssignment();
+  std::vector<Assignment> sampled = SampleAssignments(space, 1, 13);
+
+  std::vector<double> utilities =
+      evaluator.EvaluateBatch({{a, 1.0}, {sampled[0], 1.0}, {a, 1.0}});
+  EXPECT_EQ(utilities[0], utilities[2]);
+  // Every request is committed: 3 evaluations, 3 budget units, 3
+  // observations — but the duplicate is computed once (1 cache hit).
+  EXPECT_EQ(evaluator.num_evaluations(), 3u);
+  EXPECT_DOUBLE_EQ(evaluator.consumed_budget(), 3.0);
+  EXPECT_EQ(evaluator.observations().size(), 3u);
+  EXPECT_EQ(evaluator.engine().cache_hits(), 1u);
+}
+
+TEST(ParallelEvalTest, MemoizeOffRecomputesEveryRequest) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 8);
+  EvaluatorOptions options;
+  options.memoize = false;
+  PipelineEvaluator evaluator(&space, &data, options);
+  Assignment a = space.DefaultAssignment();
+  double first = evaluator.Evaluate(a);
+  double second = evaluator.Evaluate(a);
+  EXPECT_EQ(first, second);  // still pure — just recomputed
+  EXPECT_EQ(evaluator.engine().cache_hits(), 0u);
+  EXPECT_EQ(evaluator.engine().cache_size(), 0u);
+}
+
+// The TSan target: several caller threads submit batches into one engine
+// concurrently while its own pool fans each batch out. Any missing lock
+// in the engine's commit path or the pool's queue shows up here.
+TEST(ParallelEvalTest, ConcurrentBatchSubmissionIsRaceFree) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 9);
+  EvaluatorOptions options;
+  options.num_threads = 4;
+  PipelineEvaluator evaluator(&space, &data, options);
+
+  constexpr size_t kCallers = 3;
+  constexpr size_t kPerBatch = 4;
+  std::vector<std::vector<EvalRequest>> batches(kCallers);
+  for (size_t c = 0; c < kCallers; ++c) {
+    for (const Assignment& a :
+         SampleAssignments(space, kPerBatch, 100 + c)) {
+      batches[c].push_back({a, 1.0});
+    }
+  }
+
+  ThreadPool callers(kCallers);
+  std::vector<std::future<void>> done;
+  std::vector<std::vector<double>> results(kCallers);
+  for (size_t c = 0; c < kCallers; ++c) {
+    done.push_back(callers.Submit([&evaluator, &batches, &results, c] {
+      results[c] = evaluator.EvaluateBatch(batches[c]);
+    }));
+  }
+  for (std::future<void>& f : done) f.get();
+
+  EXPECT_EQ(evaluator.num_evaluations(), kCallers * kPerBatch);
+  EXPECT_EQ(evaluator.observations().size(), kCallers * kPerBatch);
+  // Utilities are pure functions of the request, so each caller's answers
+  // match a serial recomputation even under contention.
+  PipelineEvaluator reference(&space, &data, {});
+  for (size_t c = 0; c < kCallers; ++c) {
+    ASSERT_EQ(results[c].size(), kPerBatch);
+    for (size_t i = 0; i < kPerBatch; ++i) {
+      EXPECT_EQ(results[c][i],
+                reference.Evaluate(batches[c][i].assignment));
+    }
+  }
+}
+
+TEST(SuggestBatchTest, BatchOfOneIsExactlySuggestForSmac) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  cs.AddContinuous("y", 0.0, 1.0, 0.5);
+  SmacOptimizer reference(&cs, {}, 5);
+  SmacOptimizer batched(&cs, {}, 5);
+  Rng noise(6);
+  for (int i = 0; i < 25; ++i) {
+    Configuration expected = reference.Suggest();
+    std::vector<Configuration> batch = batched.SuggestBatch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0], expected) << "step " << i;
+    double utility = noise.Uniform();
+    reference.Observe(expected, utility);
+    batched.Observe(batch[0], utility);
+  }
+}
+
+TEST(SuggestBatchTest, BatchOfOneIsExactlySuggestForTpe) {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  TpeOptimizer reference(&cs, {}, 5);
+  TpeOptimizer batched(&cs, {}, 5);
+  Rng noise(7);
+  for (int i = 0; i < 25; ++i) {
+    Configuration expected = reference.Suggest();
+    std::vector<Configuration> batch = batched.SuggestBatch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0], expected) << "step " << i;
+    double utility = noise.Uniform();
+    reference.Observe(expected, utility);
+    batched.Observe(batch[0], utility);
+  }
+}
+
+TEST(SuggestBatchTest, BatchLeavesObservationHistoryUntouched) {
+  // The constant-liar fantasization must be fully retracted: after
+  // SuggestBatch the optimizer's history and incumbent are as before.
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  SmacOptimizer smac(&cs, {}, 9);
+  Rng noise(10);
+  for (int i = 0; i < 12; ++i) {
+    Configuration c = smac.Suggest();
+    smac.Observe(c, noise.Uniform());
+  }
+  size_t observations_before = smac.NumObservations();
+  double best_before = smac.best_utility();
+  std::vector<Configuration> batch = smac.SuggestBatch(5);
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_EQ(smac.NumObservations(), observations_before);
+  EXPECT_EQ(smac.best_utility(), best_before);
+  // Batch members are pairwise distinct (the liar forces diversity).
+  for (size_t i = 0; i < batch.size(); ++i) {
+    for (size_t j = i + 1; j < batch.size(); ++j) {
+      EXPECT_FALSE(batch[i] == batch[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(DeterminismSweepTest, ThreadedBatchOneRunMatchesSerialRun) {
+  // The hard requirement of this refactor: same seed + batch_size 1 must
+  // reproduce the serial system trajectory bit-for-bit even with a
+  // 4-worker engine underneath.
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+  VolcanoMlOptions serial_options;
+  serial_options.space = SmallSpace();
+  serial_options.budget = 18.0;
+  serial_options.seed = 42;
+
+  VolcanoMlOptions threaded_options = serial_options;
+  threaded_options.eval.num_threads = 4;
+  threaded_options.batch_size = 1;
+
+  VolcanoML serial(serial_options);
+  AutoMlResult serial_result = serial.Fit(data);
+  VolcanoML threaded(threaded_options);
+  AutoMlResult threaded_result = threaded.Fit(data);
+
+  EXPECT_EQ(threaded_result.best_utility, serial_result.best_utility);
+  EXPECT_EQ(threaded_result.best_assignment, serial_result.best_assignment);
+  EXPECT_EQ(threaded_result.num_evaluations, serial_result.num_evaluations);
+  ASSERT_EQ(threaded_result.trajectory.size(),
+            serial_result.trajectory.size());
+  for (size_t i = 0; i < serial_result.trajectory.size(); ++i) {
+    EXPECT_EQ(threaded_result.trajectory[i].budget,
+              serial_result.trajectory[i].budget);
+    EXPECT_EQ(threaded_result.trajectory[i].utility,
+              serial_result.trajectory[i].utility);
+  }
+}
+
+TEST(DeterminismSweepTest, BatchedSearchCompletesAndFindsGoodPipeline) {
+  // Wider batches change the search trajectory (by design) but must stay
+  // deterministic for a fixed (seed, batch_size, thread count) and still
+  // find a good configuration. Runs under TSan via the tsan preset.
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+  VolcanoMlOptions options;
+  options.space = SmallSpace();
+  options.budget = 24.0;
+  options.seed = 42;
+  options.batch_size = 3;
+  options.eval.num_threads = 4;
+
+  VolcanoML first(options);
+  AutoMlResult first_result = first.Fit(data);
+  EXPECT_TRUE(std::isfinite(first_result.best_utility));
+  EXPECT_GT(first_result.best_utility, 0.8);  // easy blobs
+  EXPECT_GE(first_result.num_evaluations, 24u);
+
+  VolcanoML second(options);
+  AutoMlResult second_result = second.Fit(data);
+  EXPECT_EQ(second_result.best_utility, first_result.best_utility);
+  EXPECT_EQ(second_result.best_assignment, first_result.best_assignment);
+  EXPECT_EQ(second_result.num_evaluations, first_result.num_evaluations);
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,7 +1,10 @@
+#include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "util/check.h"
@@ -9,6 +12,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace volcanoml {
@@ -240,6 +244,54 @@ TEST(StatsTest, PearsonCorrelation) {
   EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
   std::vector<double> c = {5.0, 5.0, 5.0, 5.0};
   EXPECT_DOUBLE_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, ZeroRequestedThreadsStillRunsOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::future<void> f = pool.Submit([] {});
+  f.get();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  // Every submitted future must become ready even when the pool is torn
+  // down immediately after a burst of submissions.
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([&counter] { ++counter; }));
+    }
+  }
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 100;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(kN, [&hits](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsANoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "body must not run"; });
 }
 
 TEST(StopwatchTest, ElapsedIsMonotonic) {

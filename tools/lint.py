@@ -24,6 +24,11 @@ warnings) cannot know about:
                    time gate that forces call sites to inspect errors.
   R7 includes      No relative ("../") includes; include paths are rooted
                    at src/.
+  R8 threads       No raw std::thread / std::jthread / std::async outside
+                   src/util/. All concurrency flows through
+                   volcanoml::ThreadPool (src/util/thread_pool.h) so
+                   worker counts, shutdown, and thread-safety annotations
+                   live in one audited place.
 
 Usage: tools/lint.py [--root DIR]
 Prints "file:line: [rule] message" per violation; exits non-zero if any.
@@ -62,6 +67,10 @@ ARTIFACT_RE = re.compile(
     r"(^|/)build[^/]*/|\.o$|\.obj$|\.a$|\.so$|\.dylib$|"
     r"(^|/)CMakeCache\.txt$|(^|/)CMakeFiles/|(^|/)cmake_install\.cmake$|"
     r"(^|/)CTestTestfile\.cmake$")
+
+# R8: raw threading primitives. ThreadPool owns the only std::thread's.
+THREAD_RE = re.compile(r"\bstd::(?:jthread|thread|async)\b")
+THREAD_ALLOWED_PREFIX = "src/util/"
 
 GUARD_EXEMPT: tuple[str, ...] = ()  # no third-party headers vendored yet
 
@@ -147,6 +156,7 @@ class Linter:
         self.check_throw(rel, cleaned)
         self.check_stdout(rel, cleaned)
         self.check_relative_includes(rel, cleaned)
+        self.check_raw_threads(rel, cleaned)
         if rel.endswith((".h", ".hpp")):
             self.check_include_guard(rel, raw_lines)
         if rel == "src/util/status.h":
@@ -182,6 +192,16 @@ class Linter:
             if re.search(r'#\s*include\s+"\.\.', line):
                 self.report(rel, i, "R7-includes",
                             "relative include; use a path rooted at src/")
+
+    def check_raw_threads(self, rel: str, lines: list[str]):
+        if rel.startswith(THREAD_ALLOWED_PREFIX):
+            return
+        for i, line in enumerate(lines, 1):
+            if THREAD_RE.search(line):
+                self.report(rel, i, "R8-threads",
+                            "raw std::thread/std::async; use "
+                            "volcanoml::ThreadPool (src/util/thread_pool.h) "
+                            "so all concurrency is pooled and annotated")
 
     def expected_guard(self, rel: str) -> str:
         trimmed = rel[4:] if rel.startswith("src/") else rel
