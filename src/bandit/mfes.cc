@@ -165,14 +165,25 @@ void MfesHbOptimizer::StartNextRungOrBracket() {
 }
 
 MfesHbOptimizer::Proposal MfesHbOptimizer::Next() {
-  while (pending_.empty()) {
-    StartNextRungOrBracket();
+  // Quarantined rung members are skipped rather than re-evaluated; the
+  // skip count is bounded so a degenerate space whose every point is
+  // quarantined degrades to proposing one anyway (the evaluator's memo
+  // cache answers it for free) instead of spinning forever.
+  constexpr size_t kMaxQuarantineSkips = 64;
+  size_t skipped = 0;
+  for (;;) {
+    while (pending_.empty()) {
+      StartNextRungOrBracket();
+    }
+    Proposal p;
+    p.config = pending_.front();
+    p.fidelity = rung_fidelity_;
+    pending_.pop_front();
+    if (skipped >= kMaxQuarantineSkips || !quarantine_.Contains(p.config)) {
+      return p;
+    }
+    ++skipped;
   }
-  Proposal p;
-  p.config = pending_.front();
-  p.fidelity = rung_fidelity_;
-  pending_.pop_front();
-  return p;
 }
 
 std::vector<MfesHbOptimizer::Proposal> MfesHbOptimizer::NextBatch(

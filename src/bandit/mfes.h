@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bandit/successive_halving.h"
+#include "bo/quarantine.h"
 #include "bo/surrogate.h"
 #include "cs/configuration_space.h"
 
@@ -65,6 +66,15 @@ class MfesHbOptimizer {
   /// Records the result of a proposal returned by Next().
   void Observe(const Configuration& config, double fidelity, double utility);
 
+  /// Permanently bars a configuration from future proposals (trial-guard
+  /// retry cap). Quarantined rung members and survivors are skipped by
+  /// Next(), shrinking the rung instead of re-running a known-bad point.
+  void Quarantine(const Configuration& config) { quarantine_.Add(config); }
+  [[nodiscard]] bool IsQuarantined(const Configuration& config) const {
+    return quarantine_.Contains(config);
+  }
+  [[nodiscard]] size_t num_quarantined() const { return quarantine_.size(); }
+
   bool HasObservations() const { return total_observations_ > 0; }
 
   /// Best configuration among the highest-fidelity observations so far.
@@ -84,6 +94,7 @@ class MfesHbOptimizer {
   const ConfigurationSpace* space_;
   Options options_;
   Rng rng_;
+  QuarantineSet quarantine_;
 
   int s_max_ = 0;
   int current_s_ = 0;  ///< Bracket index, cycling s_max .. 0.

@@ -1,6 +1,7 @@
 #include "bo/optimizer.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace volcanoml {
 
@@ -16,9 +17,35 @@ void BlackBoxOptimizer::Observe(const Configuration& config, double utility) {
 void BlackBoxOptimizer::DrainInitialQueue(size_t n,
                                           std::vector<Configuration>* batch) {
   while (batch->size() < n && !initial_queue_.empty()) {
-    batch->push_back(initial_queue_.front());
+    Configuration seed = initial_queue_.front();
     initial_queue_.erase(initial_queue_.begin());
+    if (quarantine_.Contains(seed)) continue;
+    batch->push_back(std::move(seed));
   }
+}
+
+bool BlackBoxOptimizer::PopInitial(Configuration* out) {
+  while (!initial_queue_.empty()) {
+    Configuration seed = initial_queue_.front();
+    initial_queue_.erase(initial_queue_.begin());
+    if (quarantine_.Contains(seed)) continue;
+    *out = std::move(seed);
+    return true;
+  }
+  return false;
+}
+
+Configuration BlackBoxOptimizer::SampleAvoidingQuarantine(Rng* rng) const {
+  Configuration config = space_->Sample(rng);
+  // Bounded so a tiny space with every point quarantined cannot livelock;
+  // after the attempts run out the quarantined sample is proposed anyway
+  // (the evaluator's memo cache answers it for free).
+  constexpr int kMaxResamples = 16;
+  for (int attempt = 0;
+       attempt < kMaxResamples && quarantine_.Contains(config); ++attempt) {
+    config = space_->Sample(rng);
+  }
+  return config;
 }
 
 std::vector<Configuration> BlackBoxOptimizer::SuggestBatch(size_t n) {
@@ -52,12 +79,9 @@ std::vector<Configuration> BlackBoxOptimizer::SuggestBatch(size_t n) {
 }
 
 Configuration RandomSearchOptimizer::Suggest() {
-  if (!initial_queue_.empty()) {
-    Configuration c = initial_queue_.front();
-    initial_queue_.erase(initial_queue_.begin());
-    return c;
-  }
-  return space_->Sample(&rng_);
+  Configuration seed;
+  if (PopInitial(&seed)) return seed;
+  return SampleAvoidingQuarantine(&rng_);
 }
 
 }  // namespace volcanoml

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "bo/quarantine.h"
 #include "cs/configuration_space.h"
 #include "util/check.h"
 
@@ -44,6 +45,17 @@ class BlackBoxOptimizer {
     initial_queue_.push_back(config);
   }
 
+  /// Permanently bars a configuration from future proposals. The trial
+  /// guard calls this when a configuration exceeds its hard-failure retry
+  /// cap (repeated deadline timeouts / injected faults). Best-effort:
+  /// filtering is bounded, so a degenerate space whose every point is
+  /// quarantined may still resample one rather than livelock.
+  void Quarantine(const Configuration& config) { quarantine_.Add(config); }
+  [[nodiscard]] bool IsQuarantined(const Configuration& config) const {
+    return quarantine_.Contains(config);
+  }
+  [[nodiscard]] size_t num_quarantined() const { return quarantine_.size(); }
+
   [[nodiscard]] bool HasObservations() const {
     return !history_utilities_.empty();
   }
@@ -68,9 +80,20 @@ class BlackBoxOptimizer {
  protected:
   /// Pops up to `n` pending warm-start seeds into `batch` (helper for
   /// SuggestBatch overrides; keeps the drain order of Suggest()).
+  /// Quarantined seeds are discarded, not proposed.
   void DrainInitialQueue(size_t n, std::vector<Configuration>* batch);
 
+  /// Pops the next non-quarantined warm-start seed, if any (helper for
+  /// Suggest overrides; keeps the drain order of the queue).
+  [[nodiscard]] bool PopInitial(Configuration* out);
+
+  /// Samples from the space, resampling a bounded number of times to
+  /// avoid quarantined configurations. Draws no extra randomness while
+  /// the quarantine set is empty, so clean runs stay bit-identical.
+  [[nodiscard]] Configuration SampleAvoidingQuarantine(Rng* rng) const;
+
   const ConfigurationSpace* space_;
+  QuarantineSet quarantine_;
   std::vector<Configuration> initial_queue_;
   std::vector<Configuration> history_configs_;
   std::vector<double> history_utilities_;

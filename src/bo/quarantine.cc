@@ -1,0 +1,27 @@
+#include "bo/quarantine.h"
+
+#include <cstring>
+
+namespace volcanoml {
+
+std::string ConfigurationBitKey(const Configuration& config) {
+  std::string key;
+  key.reserve(config.values.size() * sizeof(double));
+  for (double v : config.values) {
+    char bits[sizeof(double)];
+    std::memcpy(bits, &v, sizeof(bits));
+    key.append(bits, sizeof(bits));
+  }
+  return key;
+}
+
+void QuarantineSet::Add(const Configuration& config) {
+  keys_.insert(ConfigurationBitKey(config));
+}
+
+bool QuarantineSet::Contains(const Configuration& config) const {
+  if (keys_.empty()) return false;
+  return keys_.count(ConfigurationBitKey(config)) > 0;
+}
+
+}  // namespace volcanoml

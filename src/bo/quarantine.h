@@ -1,0 +1,43 @@
+#ifndef VOLCANOML_BO_QUARANTINE_H_
+#define VOLCANOML_BO_QUARANTINE_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "cs/configuration.h"
+
+namespace volcanoml {
+
+/// Serializes a configuration's exact value bit patterns into a map key.
+/// Two configurations alias only if they are bitwise identical — the same
+/// identity the evaluation memo cache uses. Shared by QuarantineSet and
+/// the per-configuration retry accounting in JointBlock.
+[[nodiscard]] std::string ConfigurationBitKey(const Configuration& config);
+
+/// Set of configurations barred from future proposals. The trial-guard
+/// layer quarantines a configuration once it exceeds its hard-failure
+/// retry cap (repeated timeouts / injected faults), and every optimizer
+/// filters its suggestions against this set so the search stops paying
+/// for known-pathological points.
+///
+/// Keys are the exact value bit patterns, so two configurations alias
+/// only if they are bitwise identical — the same identity the evaluation
+/// memo cache uses.
+class QuarantineSet {
+ public:
+  void Add(const Configuration& config);
+
+  /// True if `config` was quarantined. O(1); returns false without
+  /// hashing when the set is empty, so clean runs pay nothing.
+  [[nodiscard]] bool Contains(const Configuration& config) const;
+
+  [[nodiscard]] size_t size() const { return keys_.size(); }
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+
+ private:
+  std::unordered_set<std::string> keys_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BO_QUARANTINE_H_

@@ -87,21 +87,24 @@ std::vector<size_t> SmacOptimizer::RankByEi(
 
 Configuration SmacOptimizer::Suggest() {
   ++suggest_count_;
-  if (!initial_queue_.empty()) {
-    Configuration c = initial_queue_.front();
-    initial_queue_.erase(initial_queue_.begin());
-    return c;
-  }
+  Configuration seed;
+  if (PopInitial(&seed)) return seed;
   bool explore =
       NumObservations() < options_.min_observations ||
       (options_.random_interleave > 0 &&
        suggest_count_ % options_.random_interleave == 0);
   if (explore) {
-    return space_->Sample(&rng_);
+    return SampleAvoidingQuarantine(&rng_);
   }
   RandomForestSurrogate surrogate = FitSurrogate();
   std::vector<Configuration> candidates = CandidatePool();
-  return candidates[RankByEi(surrogate, candidates).front()];
+  std::vector<size_t> ranked = RankByEi(surrogate, candidates);
+  // Best-EI candidate that is not quarantined; if the whole pool is
+  // quarantined (degenerate space), fall back to the overall best.
+  for (size_t r : ranked) {
+    if (!IsQuarantined(candidates[r])) return candidates[r];
+  }
+  return candidates[ranked.front()];
 }
 
 std::vector<Configuration> SmacOptimizer::SuggestBatch(size_t n) {
@@ -115,7 +118,9 @@ std::vector<Configuration> SmacOptimizer::SuggestBatch(size_t n) {
   if (batch.size() == n) return batch;
 
   if (NumObservations() < options_.min_observations) {
-    while (batch.size() < n) batch.push_back(space_->Sample(&rng_));
+    while (batch.size() < n) {
+      batch.push_back(SampleAvoidingQuarantine(&rng_));
+    }
     return batch;
   }
 
@@ -134,6 +139,7 @@ std::vector<Configuration> SmacOptimizer::SuggestBatch(size_t n) {
   for (size_t r : ranked) {
     if (batch.size() + num_random >= n) break;
     const Configuration& candidate = candidates[r];
+    if (IsQuarantined(candidate)) continue;
     bool duplicate = false;
     for (const Configuration& chosen : batch) {
       if (chosen == candidate) {
@@ -143,7 +149,9 @@ std::vector<Configuration> SmacOptimizer::SuggestBatch(size_t n) {
     }
     if (!duplicate) batch.push_back(candidate);
   }
-  while (batch.size() < n) batch.push_back(space_->Sample(&rng_));
+  while (batch.size() < n) {
+    batch.push_back(SampleAvoidingQuarantine(&rng_));
+  }
   return batch;
 }
 

@@ -116,25 +116,28 @@ void TpeOptimizer::SplitGoodBad(std::vector<size_t>* good,
 
 Configuration TpeOptimizer::Suggest() {
   ++suggest_count_;
-  if (!initial_queue_.empty()) {
-    Configuration c = initial_queue_.front();
-    initial_queue_.erase(initial_queue_.begin());
-    return c;
-  }
+  Configuration seed;
+  if (PopInitial(&seed)) return seed;
   bool explore =
       NumObservations() < options_.min_observations ||
       (options_.random_interleave > 0 &&
        suggest_count_ % options_.random_interleave == 0);
   if (explore) {
-    return space_->Sample(&rng_);
+    return SampleAvoidingQuarantine(&rng_);
   }
 
   // Split history into good (top gamma) and bad.
   std::vector<size_t> good, bad;
   SplitGoodBad(&good, &bad);
 
+  // Track both the best candidate overall and the best non-quarantined
+  // one; with an empty quarantine set the two are identical, so clean
+  // runs return the same proposal they always did.
   Configuration best_candidate;
   double best_ratio = -std::numeric_limits<double>::infinity();
+  Configuration best_allowed;
+  double best_allowed_ratio = -std::numeric_limits<double>::infinity();
+  bool has_allowed = false;
   for (size_t i = 0; i < options_.num_candidates; ++i) {
     Configuration candidate = SampleFromGood(good);
     double ratio = LogLikelihoodRatio(candidate, good, bad);
@@ -142,8 +145,13 @@ Configuration TpeOptimizer::Suggest() {
       best_ratio = ratio;
       best_candidate = candidate;
     }
+    if (ratio > best_allowed_ratio && !IsQuarantined(candidate)) {
+      best_allowed_ratio = ratio;
+      best_allowed = candidate;
+      has_allowed = true;
+    }
   }
-  return best_candidate;
+  return has_allowed ? best_allowed : best_candidate;
 }
 
 std::vector<Configuration> TpeOptimizer::SuggestBatch(size_t n) {
@@ -157,7 +165,9 @@ std::vector<Configuration> TpeOptimizer::SuggestBatch(size_t n) {
   if (batch.size() == n) return batch;
 
   if (NumObservations() < options_.min_observations) {
-    while (batch.size() < n) batch.push_back(space_->Sample(&rng_));
+    while (batch.size() < n) {
+      batch.push_back(SampleAvoidingQuarantine(&rng_));
+    }
     return batch;
   }
 
@@ -187,6 +197,7 @@ std::vector<Configuration> TpeOptimizer::SuggestBatch(size_t n) {
   for (size_t r : order) {
     if (batch.size() + num_random >= n) break;
     const Configuration& candidate = pool[r];
+    if (IsQuarantined(candidate)) continue;
     bool duplicate = false;
     for (const Configuration& chosen : batch) {
       if (chosen == candidate) {
@@ -196,7 +207,9 @@ std::vector<Configuration> TpeOptimizer::SuggestBatch(size_t n) {
     }
     if (!duplicate) batch.push_back(candidate);
   }
-  while (batch.size() < n) batch.push_back(space_->Sample(&rng_));
+  while (batch.size() < n) {
+    batch.push_back(SampleAvoidingQuarantine(&rng_));
+  }
   return batch;
 }
 

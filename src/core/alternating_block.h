@@ -34,6 +34,14 @@ class AlternatingBlock : public BuildingBlock {
   [[nodiscard]] const BuildingBlock& block_a() const { return *a_; }
   [[nodiscard]] const BuildingBlock& block_b() const { return *b_; }
 
+  /// Aggregated over the two halves (failure accounting spans both).
+  [[nodiscard]] size_t NumTrials() const override {
+    return a_->NumTrials() + b_->NumTrials();
+  }
+  [[nodiscard]] size_t NumHardFailures() const override {
+    return a_->NumHardFailures() + b_->NumHardFailures();
+  }
+
  protected:
   void DoNextImpl(double k_more, size_t batch_size) override;
 

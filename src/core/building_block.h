@@ -11,6 +11,21 @@
 
 namespace volcanoml {
 
+/// Trial-guard knobs shared by every block in an execution plan: how
+/// failure-prone configurations and arms are retired from the search.
+/// See DESIGN.md "Failure model & trial guard".
+struct TrialGuardPolicy {
+  /// Hard failures (deadline timeout / injected fault) one configuration
+  /// may accumulate before its joint block quarantines it — the config is
+  /// retried up to this many times, then never re-suggested.
+  size_t retry_cap = 2;
+  /// Conditioning blocks eliminate an active arm whose hard-failure rate
+  /// reaches this threshold, once the arm has run at least
+  /// `arm_failure_min_trials` trials (at least one arm always survives).
+  double arm_failure_rate_threshold = 0.5;
+  size_t arm_failure_min_trials = 8;
+};
+
 /// Abstract VolcanoML building block (paper Section 3.2).
 ///
 /// A block owns a subgoal: optimizing the objective over a subset of the
@@ -82,6 +97,22 @@ class BuildingBlock {
   }
   [[nodiscard]] size_t NumPulls() const { return pull_history_.size(); }
 
+  /// Evaluations this block's subtree has committed, and how many of
+  /// them ended in a hard failure (deadline timeout / injected fault).
+  /// Composite blocks aggregate over their children; conditioning blocks
+  /// read these per arm to retire failure-prone arms.
+  [[nodiscard]] virtual size_t NumTrials() const { return num_trials_; }
+  [[nodiscard]] virtual size_t NumHardFailures() const {
+    return num_hard_failures_;
+  }
+  [[nodiscard]] double HardFailureRate() const {
+    size_t trials = NumTrials();
+    return trials == 0
+               ? 0.0
+               : static_cast<double>(NumHardFailures()) /
+                     static_cast<double>(trials);
+  }
+
  protected:
   /// Subclass hook performing one (possibly batched) iteration.
   virtual void DoNextImpl(double k_more, size_t batch_size) = 0;
@@ -93,6 +124,13 @@ class BuildingBlock {
   /// Merges a child's incumbent into this block's (used by composites).
   void AbsorbBest(const BuildingBlock& child);
 
+  /// Records that one evaluation committed, and whether it was a hard
+  /// failure (leaf blocks call this once per committed outcome).
+  void RecordTrialOutcome(bool hard_failure) {
+    ++num_trials_;
+    if (hard_failure) ++num_hard_failures_;
+  }
+
   Assignment context_;
 
  private:
@@ -100,6 +138,8 @@ class BuildingBlock {
   std::vector<double> pull_history_;
   Assignment best_assignment_;
   double best_utility_ = -std::numeric_limits<double>::infinity();
+  size_t num_trials_ = 0;
+  size_t num_hard_failures_ = 0;
 };
 
 }  // namespace volcanoml

@@ -11,11 +11,13 @@ ConditioningBlock::ConditioningBlock(std::string name, std::string variable,
                                      size_t num_choices,
                                      const ChildFactory& factory,
                                      size_t rounds_per_elimination,
-                                     EliminationPolicy policy)
+                                     EliminationPolicy policy,
+                                     TrialGuardPolicy guard)
     : BuildingBlock(std::move(name)),
       variable_(std::move(variable)),
       rounds_per_elimination_(rounds_per_elimination),
-      policy_(policy) {
+      policy_(policy),
+      guard_(guard) {
   VOLCANOML_CHECK(num_choices >= 1);
   VOLCANOML_CHECK(rounds_per_elimination_ >= 1);
   children_.reserve(num_choices);
@@ -29,6 +31,22 @@ ConditioningBlock::ConditioningBlock(std::string name, std::string variable,
 size_t ConditioningBlock::NumActiveChildren() const {
   return static_cast<size_t>(
       std::count(active_.begin(), active_.end(), true));
+}
+
+size_t ConditioningBlock::NumTrials() const {
+  size_t total = 0;
+  for (const std::unique_ptr<BuildingBlock>& child : children_) {
+    total += child->NumTrials();
+  }
+  return total;
+}
+
+size_t ConditioningBlock::NumHardFailures() const {
+  size_t total = 0;
+  for (const std::unique_ptr<BuildingBlock>& child : children_) {
+    total += child->NumHardFailures();
+  }
+  return total;
 }
 
 void ConditioningBlock::SetVar(const Assignment& vars) {
@@ -64,12 +82,31 @@ void ConditioningBlock::DoNextImpl(double k_more, size_t batch_size) {
     AbsorbBest(*children_[i]);
   }
   ++rounds_completed_;
+  // Failure-based elimination runs every round: an arm whose trials mostly
+  // time out is pure budget loss and need not wait for a bound checkpoint.
+  // Inert in clean runs (every arm's hard-failure rate is 0).
+  EliminateFailingArms();
   if (policy_ == EliminationPolicy::kRisingBandit) {
     if (rounds_completed_ >= rounds_per_elimination_) {
       EliminateDominated(k_more);
     }
   } else if (rounds_completed_ % rounds_per_elimination_ == 0) {
     HalveArms();
+  }
+}
+
+void ConditioningBlock::EliminateFailingArms() {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!active_[i] || NumActiveChildren() <= 1) continue;
+    const BuildingBlock& child = *children_[i];
+    if (child.NumTrials() < guard_.arm_failure_min_trials) continue;
+    if (child.HardFailureRate() >= guard_.arm_failure_rate_threshold) {
+      active_[i] = false;
+      VOLCANOML_LOG(Info) << name() << ": eliminated failing arm '"
+                          << child.name() << "' (hard-failure rate "
+                          << child.HardFailureRate() << " over "
+                          << child.NumTrials() << " trials)";
+    }
   }
 }
 

@@ -43,7 +43,8 @@ class ConditioningBlock : public BuildingBlock {
   ConditioningBlock(
       std::string name, std::string variable, size_t num_choices,
       const ChildFactory& factory, size_t rounds_per_elimination = 5,
-      EliminationPolicy policy = EliminationPolicy::kRisingBandit);
+      EliminationPolicy policy = EliminationPolicy::kRisingBandit,
+      TrialGuardPolicy guard = {});
 
   void SetVar(const Assignment& vars) override;
   void WarmStart(const Assignment& assignment) override;
@@ -54,18 +55,27 @@ class ConditioningBlock : public BuildingBlock {
     return *children_[i];
   }
 
+  /// Aggregated over the children (failure accounting spans all arms).
+  [[nodiscard]] size_t NumTrials() const override;
+  [[nodiscard]] size_t NumHardFailures() const override;
+
  protected:
   void DoNextImpl(double k_more, size_t batch_size) override;
 
  private:
   void EliminateDominated(double k_more);
   void HalveArms();
+  /// Retires arms whose hard-failure rate (timeouts / injected faults)
+  /// exceeds the trial-guard threshold — arms whose configurations mostly
+  /// fail waste budget that rising-bandit bounds alone would keep paying.
+  void EliminateFailingArms();
 
   std::string variable_;
   std::vector<std::unique_ptr<BuildingBlock>> children_;
   std::vector<bool> active_;
   size_t rounds_per_elimination_;
   EliminationPolicy policy_;
+  TrialGuardPolicy guard_;
   size_t rounds_completed_ = 0;
 };
 

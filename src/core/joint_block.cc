@@ -2,17 +2,19 @@
 
 #include <utility>
 
+#include "bo/quarantine.h"
 #include "util/check.h"
 
 namespace volcanoml {
 
 JointBlock::JointBlock(std::string name, ConfigurationSpace space,
                        PipelineEvaluator* evaluator, JointOptimizerKind kind,
-                       uint64_t seed)
+                       uint64_t seed, TrialGuardPolicy guard)
     : BuildingBlock(std::move(name)),
       space_(std::move(space)),
       evaluator_(evaluator),
-      kind_(kind) {
+      kind_(kind),
+      guard_(guard) {
   VOLCANOML_CHECK(evaluator_ != nullptr);
   VOLCANOML_CHECK(!space_.empty());
   switch (kind_) {
@@ -59,17 +61,42 @@ Assignment JointBlock::FullAssignment(const Configuration& config) const {
   return full;
 }
 
+size_t JointBlock::num_quarantined() const {
+  if (optimizer_ != nullptr) return optimizer_->num_quarantined();
+  if (mfes_ != nullptr) return mfes_->num_quarantined();
+  return 0;
+}
+
+void JointBlock::HandleOutcome(const Configuration& config,
+                               const EvalOutcome& outcome) {
+  RecordTrialOutcome(outcome.hard_failure());
+  if (!outcome.hard_failure()) return;
+  size_t count = ++hard_failure_counts_[ConfigurationBitKey(config)];
+  if (count >= guard_.retry_cap) {
+    if (optimizer_ != nullptr) optimizer_->Quarantine(config);
+    if (mfes_ != nullptr) mfes_->Quarantine(config);
+  }
+}
+
 void JointBlock::DoNextImpl(double /*k_more*/, size_t batch_size) {
+  // Every path below iterates over the COMMITTED prefix of outcomes: an
+  // engine budget limit may truncate the batch, and only committed
+  // evaluations are observed (a truncated proposal is simply dropped —
+  // the search is out of budget anyway).
   if (kind_ == JointOptimizerKind::kMfesHb) {
     if (batch_size == 1) {
       MfesHbOptimizer::Proposal proposal = mfes_->Next();
       Assignment full = FullAssignment(proposal.config);
-      double utility = evaluator_->Evaluate(full, proposal.fidelity);
-      mfes_->Observe(proposal.config, proposal.fidelity, utility);
+      std::vector<EvalOutcome> outcomes =
+          evaluator_->EvaluateBatchOutcomes({{full, proposal.fidelity}});
+      if (outcomes.empty()) return;
+      mfes_->Observe(proposal.config, proposal.fidelity,
+                     outcomes[0].utility);
+      HandleOutcome(proposal.config, outcomes[0]);
       // Only full-fidelity measurements update the incumbent: subsampled
       // utilities are not comparable to full-data ones.
       if (proposal.fidelity >= 1.0) {
-        RecordObservation(full, utility);
+        RecordObservation(full, outcomes[0].utility);
       }
       return;
     }
@@ -83,12 +110,14 @@ void JointBlock::DoNextImpl(double /*k_more*/, size_t batch_size) {
     for (const MfesHbOptimizer::Proposal& proposal : proposals) {
       requests.push_back({FullAssignment(proposal.config), proposal.fidelity});
     }
-    std::vector<double> utilities = evaluator_->EvaluateBatch(requests);
-    for (size_t i = 0; i < proposals.size(); ++i) {
+    std::vector<EvalOutcome> outcomes =
+        evaluator_->EvaluateBatchOutcomes(requests);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
       mfes_->Observe(proposals[i].config, proposals[i].fidelity,
-                     utilities[i]);
+                     outcomes[i].utility);
+      HandleOutcome(proposals[i].config, outcomes[i]);
       if (proposals[i].fidelity >= 1.0) {
-        RecordObservation(requests[i].assignment, utilities[i]);
+        RecordObservation(requests[i].assignment, outcomes[i].utility);
       }
     }
     return;
@@ -97,9 +126,12 @@ void JointBlock::DoNextImpl(double /*k_more*/, size_t batch_size) {
   if (batch_size == 1) {
     Configuration config = optimizer_->Suggest();
     Assignment full = FullAssignment(config);
-    double utility = evaluator_->Evaluate(full);
-    optimizer_->Observe(config, utility);
-    RecordObservation(full, utility);
+    std::vector<EvalOutcome> outcomes =
+        evaluator_->EvaluateBatchOutcomes({{full, 1.0}});
+    if (outcomes.empty()) return;
+    optimizer_->Observe(config, outcomes[0].utility);
+    HandleOutcome(config, outcomes[0]);
+    RecordObservation(full, outcomes[0].utility);
     return;
   }
 
@@ -109,10 +141,12 @@ void JointBlock::DoNextImpl(double /*k_more*/, size_t batch_size) {
   for (const Configuration& config : configs) {
     requests.push_back({FullAssignment(config), 1.0});
   }
-  std::vector<double> utilities = evaluator_->EvaluateBatch(requests);
-  for (size_t i = 0; i < configs.size(); ++i) {
-    optimizer_->Observe(configs[i], utilities[i]);
-    RecordObservation(requests[i].assignment, utilities[i]);
+  std::vector<EvalOutcome> outcomes =
+      evaluator_->EvaluateBatchOutcomes(requests);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    optimizer_->Observe(configs[i], outcomes[i].utility);
+    HandleOutcome(configs[i], outcomes[i]);
+    RecordObservation(requests[i].assignment, outcomes[i].utility);
   }
 }
 

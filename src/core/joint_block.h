@@ -2,6 +2,8 @@
 #define VOLCANOML_CORE_JOINT_BLOCK_H_
 
 #include <memory>
+#include <string>
+#include <unordered_map>
 
 #include "bandit/mfes.h"
 #include "bo/smac.h"
@@ -34,11 +36,14 @@ class JointBlock : public BuildingBlock {
  public:
   JointBlock(std::string name, ConfigurationSpace space,
              PipelineEvaluator* evaluator, JointOptimizerKind kind,
-             uint64_t seed);
+             uint64_t seed, TrialGuardPolicy guard = {});
 
   void WarmStart(const Assignment& assignment) override;
 
   [[nodiscard]] const ConfigurationSpace& subspace() const { return space_; }
+
+  /// Configurations this block has quarantined at the retry cap.
+  [[nodiscard]] size_t num_quarantined() const;
 
  protected:
   void DoNextImpl(double k_more, size_t batch_size) override;
@@ -47,11 +52,18 @@ class JointBlock : public BuildingBlock {
   /// Substitutes the block's context around a subspace configuration.
   [[nodiscard]] Assignment FullAssignment(const Configuration& config) const;
 
+  /// Trial-guard bookkeeping for one committed outcome: counts it, and
+  /// quarantines the configuration once its hard failures hit the cap.
+  void HandleOutcome(const Configuration& config, const EvalOutcome& outcome);
+
   ConfigurationSpace space_;
   PipelineEvaluator* evaluator_;
   JointOptimizerKind kind_;
+  TrialGuardPolicy guard_;
   std::unique_ptr<BlackBoxOptimizer> optimizer_;  ///< SMAC or random.
   std::unique_ptr<MfesHbOptimizer> mfes_;         ///< kMfesHb only.
+  /// Hard failures per subspace configuration (retry-cap accounting).
+  std::unordered_map<std::string, size_t> hard_failure_counts_;
 };
 
 }  // namespace volcanoml

@@ -15,13 +15,14 @@ namespace {
 std::unique_ptr<BuildingBlock> MakeArmJointBlock(const SearchSpace& space,
                                                  PipelineEvaluator* evaluator,
                                                  JointOptimizerKind optimizer,
-                                                 size_t arm, uint64_t seed) {
+                                                 size_t arm, uint64_t seed,
+                                                 TrialGuardPolicy guard) {
   const std::string& algorithm = space.algorithms()[arm];
   ConfigurationSpace sub = space.FeSubspace();
   sub.Merge(space.HpSubspaceFor(algorithm), "");
   auto block = std::make_unique<JointBlock>("joint[" + algorithm + "]",
                                             std::move(sub), evaluator,
-                                            optimizer, seed);
+                                            optimizer, seed, guard);
   block->SetVar({{"algorithm", static_cast<double>(arm)}});
   return block;
 }
@@ -30,7 +31,8 @@ std::unique_ptr<BuildingBlock> MakeArmJointBlock(const SearchSpace& space,
 /// subtree of Figure 2.
 std::unique_ptr<BuildingBlock> MakeArmAlternatingBlock(
     const SearchSpace& space, PipelineEvaluator* evaluator,
-    JointOptimizerKind optimizer, size_t arm, bool hp_first, uint64_t seed) {
+    JointOptimizerKind optimizer, size_t arm, bool hp_first, uint64_t seed,
+    TrialGuardPolicy guard) {
   const std::string& algorithm = space.algorithms()[arm];
   Rng rng(seed);
 
@@ -41,7 +43,7 @@ std::unique_ptr<BuildingBlock> MakeArmAlternatingBlock(
 
   auto fe_block = std::make_unique<JointBlock>(
       "fe[" + algorithm + "]", std::move(fe_space), evaluator, optimizer,
-      rng.Fork());
+      rng.Fork(), guard);
   std::unique_ptr<BuildingBlock> hp_block;
   if (hp_space.empty()) {
     // Algorithms without hyper-parameters cannot host a joint block; the
@@ -51,7 +53,7 @@ std::unique_ptr<BuildingBlock> MakeArmAlternatingBlock(
   }
   hp_block = std::make_unique<JointBlock>("hp[" + algorithm + "]",
                                           std::move(hp_space), evaluator,
-                                          optimizer, rng.Fork());
+                                          optimizer, rng.Fork(), guard);
 
   std::unique_ptr<AlternatingBlock> alt;
   if (hp_first) {
@@ -96,7 +98,8 @@ std::unique_ptr<BuildingBlock> BuildPlan(PlanKind kind,
                                          const SearchSpace& space,
                                          PipelineEvaluator* evaluator,
                                          JointOptimizerKind optimizer,
-                                         uint64_t seed) {
+                                         uint64_t seed,
+                                         TrialGuardPolicy guard) {
   VOLCANOML_CHECK(evaluator != nullptr);
   Rng rng(seed);
   const size_t num_algorithms = space.algorithms().size();
@@ -104,16 +107,20 @@ std::unique_ptr<BuildingBlock> BuildPlan(PlanKind kind,
   switch (kind) {
     case PlanKind::kJoint:
       return std::make_unique<JointBlock>("joint[all]", space.joint(),
-                                          evaluator, optimizer, rng.Fork());
+                                          evaluator, optimizer, rng.Fork(),
+                                          guard);
 
     case PlanKind::kConditioningJoint: {
       uint64_t child_seed = rng.Fork();
       return std::make_unique<ConditioningBlock>(
           "cond[algorithm]", "algorithm", num_algorithms,
-          [&space, evaluator, optimizer, child_seed](size_t arm) {
+          [&space, evaluator, optimizer, child_seed, guard](size_t arm) {
             return MakeArmJointBlock(space, evaluator, optimizer, arm,
-                                     child_seed ^ (arm * 0x9e3779b9ULL));
-          });
+                                     child_seed ^ (arm * 0x9e3779b9ULL),
+                                     guard);
+          },
+          /*rounds_per_elimination=*/5,
+          ConditioningBlock::EliminationPolicy::kRisingBandit, guard);
     }
 
     case PlanKind::kConditioningAlternating:
@@ -122,11 +129,14 @@ std::unique_ptr<BuildingBlock> BuildPlan(PlanKind kind,
       uint64_t child_seed = rng.Fork();
       return std::make_unique<ConditioningBlock>(
           "cond[algorithm]", "algorithm", num_algorithms,
-          [&space, evaluator, optimizer, hp_first, child_seed](size_t arm) {
+          [&space, evaluator, optimizer, hp_first, child_seed,
+           guard](size_t arm) {
             return MakeArmAlternatingBlock(
                 space, evaluator, optimizer, arm, hp_first,
-                child_seed ^ (arm * 0x9e3779b9ULL));
-          });
+                child_seed ^ (arm * 0x9e3779b9ULL), guard);
+          },
+          /*rounds_per_elimination=*/5,
+          ConditioningBlock::EliminationPolicy::kRisingBandit, guard);
     }
 
     case PlanKind::kAlternatingFeConditioning: {
@@ -134,13 +144,13 @@ std::unique_ptr<BuildingBlock> BuildPlan(PlanKind kind,
       std::vector<std::string> fe_vars = fe_space.ParameterNames();
       auto fe_block = std::make_unique<JointBlock>(
           "fe[global]", std::move(fe_space), evaluator, optimizer,
-          rng.Fork());
+          rng.Fork(), guard);
 
       // HP side: conditioning over algorithms, each arm a joint HP block.
       uint64_t child_seed = rng.Fork();
       auto hp_cond = std::make_unique<ConditioningBlock>(
           "cond[algorithm]", "algorithm", num_algorithms,
-          [&space, evaluator, optimizer, child_seed](size_t arm) {
+          [&space, evaluator, optimizer, child_seed, guard](size_t arm) {
             const std::string& algorithm = space.algorithms()[arm];
             ConfigurationSpace hp_space = space.HpSubspaceFor(algorithm);
             std::unique_ptr<BuildingBlock> block;
@@ -154,15 +164,17 @@ std::unique_ptr<BuildingBlock> BuildPlan(PlanKind kind,
               block = std::make_unique<JointBlock>(
                   "hp[" + algorithm + "]", std::move(fixed), evaluator,
                   JointOptimizerKind::kRandom,
-                  child_seed ^ (arm * 0x2545f491ULL));
+                  child_seed ^ (arm * 0x2545f491ULL), guard);
             } else {
               block = std::make_unique<JointBlock>(
                   "hp[" + algorithm + "]", std::move(hp_space), evaluator,
-                  optimizer, child_seed ^ (arm * 0x2545f491ULL));
+                  optimizer, child_seed ^ (arm * 0x2545f491ULL), guard);
             }
             block->SetVar({{"algorithm", static_cast<double>(arm)}});
             return block;
-          });
+          },
+          /*rounds_per_elimination=*/5,
+          ConditioningBlock::EliminationPolicy::kRisingBandit, guard);
 
       // The HP side owns "algorithm" plus every algorithm's HP names.
       std::vector<std::string> hp_vars = {"algorithm"};

@@ -39,13 +39,16 @@ std::string PlanKindName(PlanKind kind);
 
 /// Materializes the execution plan `kind` for `space`, evaluating through
 /// `evaluator`. Joint blocks use `optimizer` (SMAC by default; MFES-HB
-/// for early-stopping mode). The returned root is ready for the Volcano
-/// execution loop: repeatedly call DoNext until the budget is exhausted.
+/// for early-stopping mode). Every block in the plan shares the same
+/// trial-guard policy (retry cap, arm failure-rate elimination). The
+/// returned root is ready for the Volcano execution loop: repeatedly call
+/// DoNext until the budget is exhausted.
 std::unique_ptr<BuildingBlock> BuildPlan(PlanKind kind,
                                          const SearchSpace& space,
                                          PipelineEvaluator* evaluator,
                                          JointOptimizerKind optimizer,
-                                         uint64_t seed);
+                                         uint64_t seed,
+                                         TrialGuardPolicy guard = {});
 
 }  // namespace volcanoml
 

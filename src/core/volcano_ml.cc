@@ -25,11 +25,21 @@ AutoMlResult VolcanoML::Fit(const Dataset& train) {
   eval_options.seed ^= options_.seed;
   evaluator_ = std::make_unique<PipelineEvaluator>(&space_, data_.get(),
                                                    eval_options);
+  // The engine refuses to dispatch evaluations past the run budget: a
+  // wide batch near the end is truncated to the affordable prefix
+  // instead of overshooting. At batch_size=1 every pull costs at most
+  // one unit, so the limit never fires before the loop guard below.
+  // Seconds budgets stay wall-clock-bounded by the loop itself (the
+  // engine meters summed evaluation seconds, which exceed wall-clock
+  // when threads run concurrently).
+  if (!eval_options.budget_in_seconds) {
+    evaluator_->engine().set_budget_limit(options_.budget);
+  }
 
   Rng rng(options_.seed);
   std::unique_ptr<BuildingBlock> root =
       BuildPlan(options_.plan, space_, evaluator_.get(), options_.optimizer,
-                rng.Fork());
+                rng.Fork(), options_.guard);
 
   // Meta-learning warm start: inject the k most similar past winners.
   if (options_.knowledge != nullptr) {

@@ -45,6 +45,11 @@ struct VolcanoMlOptions {
   /// Meta-learning warm start: non-null enables the "+meta" variant.
   const MetaKnowledgeBase* knowledge = nullptr;
   size_t num_warm_starts = 5;
+  /// Trial-guard policy shared by the whole plan: per-configuration
+  /// retry cap (then quarantine) and failure-rate arm elimination. The
+  /// defaults are active but inert unless trials actually fail hard
+  /// (time out or hit an injected fault).
+  TrialGuardPolicy guard;
   uint64_t seed = 1;
 };
 

@@ -1,12 +1,15 @@
 #include "eval/eval_context.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "ml/algorithms.h"
 #include "ml/metrics.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -38,6 +41,28 @@ uint64_t HashAssignment(const Assignment& assignment) {
 
 double FailureUtility(TaskType task) {
   return task == TaskType::kClassification ? 0.0 : -1e9;
+}
+
+const char* TrialOutcomeName(TrialOutcome outcome) {
+  switch (outcome) {
+    case TrialOutcome::kOk:
+      return "ok";
+    case TrialOutcome::kBuildFailed:
+      return "build_failed";
+    case TrialOutcome::kTrainFailed:
+      return "train_failed";
+    case TrialOutcome::kNonFinite:
+      return "non_finite";
+    case TrialOutcome::kTimedOut:
+      return "timed_out";
+    case TrialOutcome::kFaultInjected:
+      return "fault_injected";
+  }
+  return "unknown";
+}
+
+uint64_t EvalContext::RequestHash(const Assignment& assignment) {
+  return HashAssignment(assignment);
 }
 
 EvalContext::EvalContext(const SearchSpace* space, const Dataset* data,
@@ -94,9 +119,10 @@ Status EvalContext::BuildPipeline(const Assignment& assignment, uint64_t seed,
   return Status::Ok();
 }
 
-double EvalContext::EvaluateOnSplit(const Assignment& assignment,
-                                    const Split& split, double fidelity,
-                                    uint64_t seed) const {
+EvalContext::SplitResult EvalContext::EvaluateOnSplit(
+    const Assignment& assignment, const Split& split, double fidelity,
+    uint64_t seed) const {
+  const double failure = FailureUtility(space_->task());
   Dataset train = data_->Subset(split.train);
   Dataset valid = data_->Subset(split.test);
   if (fidelity < 1.0) {
@@ -105,41 +131,107 @@ double EvalContext::EvaluateOnSplit(const Assignment& assignment,
     train = train.Subset(idx);
   }
 
+  // A DeadlineExceeded Status from any fit stage reclassifies the split
+  // as timed out rather than genuinely failed.
+  auto classify = [](const Status& status) {
+    return status.code() == StatusCode::kDeadlineExceeded
+               ? TrialOutcome::kTimedOut
+               : TrialOutcome::kTrainFailed;
+  };
+
   FePipeline fe;
   std::unique_ptr<Model> model;
   Status s = BuildPipeline(assignment, seed, &fe, &model);
-  if (!s.ok()) return FailureUtility(space_->task());
+  if (!s.ok()) return {failure, TrialOutcome::kBuildFailed};
 
   Result<Dataset> engineered = fe.FitTransform(train);
   if (!engineered.ok()) {
     VOLCANOML_LOG(Debug) << "FE failed: " << engineered.status().ToString();
-    return FailureUtility(space_->task());
+    return {failure, classify(engineered.status())};
   }
   s = model->Fit(engineered.value());
   if (!s.ok()) {
     VOLCANOML_LOG(Debug) << "model fit failed: " << s.ToString();
-    return FailureUtility(space_->task());
+    return {failure, classify(s)};
   }
   Matrix valid_x = fe.Transform(valid.x());
   std::vector<double> pred = model->Predict(valid_x);
   double utility = Utility(valid, pred);
-  if (!std::isfinite(utility)) return FailureUtility(space_->task());
-  return utility;
+  if (!std::isfinite(utility)) return {failure, TrialOutcome::kNonFinite};
+  return {utility, TrialOutcome::kOk};
 }
 
-EvalContext::Measurement EvalContext::EvaluateOnce(
-    const Assignment& assignment, double fidelity) const {
+EvalOutcome EvalContext::EvaluateOnce(const Assignment& assignment,
+                                      double fidelity) const {
   VOLCANOML_CHECK(fidelity > 0.0 && fidelity <= 1.0);
-  uint64_t seed = HashAssignment(assignment) ^ options_.seed;
+  const uint64_t hash = HashAssignment(assignment);
+  const uint64_t seed = hash ^ options_.seed;
   Stopwatch timer;
-  double total = 0.0;
-  for (const Split& split : splits_) {
-    total += EvaluateOnSplit(assignment, split, fidelity, seed);
+
+  // Install this trial's deadline for every cooperation point below us.
+  Deadline deadline = options_.trial_timeout_seconds > 0.0
+                          ? Deadline::After(options_.trial_timeout_seconds)
+                          : Deadline::Never();
+  ScopedTrialDeadline scoped(deadline);
+
+  EvalOutcome out;
+  FaultInjector::Fault fault = options_.fault_injector != nullptr
+                                   ? options_.fault_injector->Decide(hash)
+                                   : FaultInjector::Fault::kNone;
+  if (fault == FaultInjector::Fault::kFail) {
+    out.utility = FailureUtility(space_->task());
+    out.outcome = TrialOutcome::kFaultInjected;
+    out.elapsed_seconds = timer.ElapsedSeconds();
+    return out;
   }
-  Measurement m;
-  m.utility = total / static_cast<double>(splits_.size());
-  m.elapsed_seconds = timer.ElapsedSeconds();
-  return m;
+  if (fault == FaultInjector::Fault::kStall) {
+    // Simulate a hung trial: block until the deadline fires, proving the
+    // guard bounds the damage. Without a deadline the stall degenerates
+    // to an immediate injected failure instead of hanging the search.
+    if (deadline.unlimited()) {
+      out.outcome = TrialOutcome::kFaultInjected;
+    } else {
+      while (!TrialDeadlineExpired()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      out.outcome = TrialOutcome::kTimedOut;
+    }
+    out.utility = FailureUtility(space_->task());
+    out.elapsed_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+  if (fault == FaultInjector::Fault::kNan) {
+    // Pretend training produced a non-finite utility; the sentinel
+    // substitution below is exactly what the real non-finite guard does.
+    out.utility = FailureUtility(space_->task());
+    out.outcome = TrialOutcome::kNonFinite;
+    out.elapsed_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  double total = 0.0;
+  TrialOutcome outcome = TrialOutcome::kOk;
+  bool timed_out_between_splits = false;
+  for (size_t si = 0; si < splits_.size(); ++si) {
+    if (si > 0 && TrialDeadlineExpired()) {
+      // Don't start another fold once the trial deadline has fired.
+      timed_out_between_splits = true;
+      break;
+    }
+    SplitResult split_result =
+        EvaluateOnSplit(assignment, splits_[si], fidelity, seed);
+    total += split_result.utility;
+    if (outcome == TrialOutcome::kOk) outcome = split_result.outcome;
+  }
+  if (timed_out_between_splits) {
+    out.utility = FailureUtility(space_->task());
+    out.outcome = TrialOutcome::kTimedOut;
+  } else {
+    out.utility = total / static_cast<double>(splits_.size());
+    out.outcome = outcome;
+  }
+  out.elapsed_seconds = timer.ElapsedSeconds();
+  return out;
 }
 
 std::string EvalContext::CacheKey(const Assignment& assignment,

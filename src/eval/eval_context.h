@@ -9,6 +9,7 @@
 #include "cs/configuration.h"
 #include "data/dataset.h"
 #include "data/splits.h"
+#include "eval/fault_injector.h"
 #include "eval/search_space.h"
 #include "fe/pipeline.h"
 #include "ml/model.h"
@@ -20,6 +21,43 @@ namespace volcanoml {
 /// that any functioning pipeline dominates it, finite so surrogate models
 /// can still be fitted on it.
 [[nodiscard]] double FailureUtility(TaskType task);
+
+/// Why a trial ended the way it did. Everything except kOk reports the
+/// FailureUtility sentinel; the taxonomy is what lets the search layer
+/// treat a timing-out configuration differently from a NaN-producing one.
+enum class TrialOutcome {
+  kOk = 0,
+  kBuildFailed,     ///< Pipeline/model construction rejected the config.
+  kTrainFailed,     ///< FE or model fitting returned a non-OK Status.
+  kNonFinite,       ///< Training succeeded but the utility was NaN/inf.
+  kTimedOut,        ///< The trial deadline fired at a cooperation point.
+  kFaultInjected,   ///< A FaultInjector forced this trial to fail.
+};
+
+inline constexpr size_t kNumTrialOutcomes = 6;
+
+/// Short stable name for logging/telemetry, e.g. "timed_out".
+[[nodiscard]] const char* TrialOutcomeName(TrialOutcome outcome);
+
+/// One evaluation's result: the utility (FailureUtility sentinel on any
+/// failure), its wall-clock cost, and why it ended. This is the structured
+/// replacement for the bare utility double; the utility-only API survives
+/// as a facade on top of it.
+struct EvalOutcome {
+  double utility = 0.0;
+  double elapsed_seconds = 0.0;
+  TrialOutcome outcome = TrialOutcome::kOk;
+
+  [[nodiscard]] bool ok() const { return outcome == TrialOutcome::kOk; }
+  /// Hard failures are the ones the search layer reacts to (retry caps,
+  /// quarantine, arm failure rates): deadline overruns and injected
+  /// faults. Genuine build/train/non-finite failures keep their historic
+  /// sentinel-utility treatment so clean runs are unchanged.
+  [[nodiscard]] bool hard_failure() const {
+    return outcome == TrialOutcome::kTimedOut ||
+           outcome == TrialOutcome::kFaultInjected;
+  }
+};
 
 /// A fully materialized ML pipeline: fitted feature engineering plus a
 /// fitted model. Returned by EvalContext::FitFinal for deployment on
@@ -60,6 +98,14 @@ struct EvaluatorOptions {
   /// recomputation would, so deterministic-budget trajectories are
   /// unaffected (evaluation is a pure function of the request).
   bool memoize = true;
+  /// Per-trial deadline in wall-clock seconds; 0 (the default) disables
+  /// it. Training loops poll the deadline cooperatively, so a trial can
+  /// overrun by at most one cooperation interval (one epoch / tree /
+  /// boosting round / FE operator).
+  double trial_timeout_seconds = 0.0;
+  /// Optional deterministic fault injection (not owned; may be null).
+  /// Faulted trials report kFaultInjected / kTimedOut / kNonFinite.
+  const FaultInjector* fault_injector = nullptr;
 };
 
 /// The immutable half of the evaluator: search space, dataset, validation
@@ -76,17 +122,17 @@ class EvalContext {
   EvalContext(const SearchSpace* space, const Dataset* data,
               const EvaluatorOptions& options);
 
-  /// One evaluation's outcome plus its wall-clock cost (the seconds
-  /// currency of EvaluatorOptions::budget_in_seconds).
-  struct Measurement {
-    double utility = 0.0;
-    double elapsed_seconds = 0.0;
-  };
-
   /// Validation utility of `assignment` at the given fidelity (training-
-  /// set subsample fraction in (0, 1]). Pure: same request, same result.
-  [[nodiscard]] Measurement EvaluateOnce(const Assignment& assignment,
+  /// set subsample fraction in (0, 1]), with failure taxonomy and elapsed
+  /// cost. Pure: same request, same result (wall-clock timeouts excepted —
+  /// see DESIGN.md "Failure model & trial guard").
+  [[nodiscard]] EvalOutcome EvaluateOnce(const Assignment& assignment,
                                          double fidelity) const;
+
+  /// Deterministic per-configuration hash; the key both for per-request
+  /// seeding and for FaultInjector decisions. Exposed so tests and benches
+  /// can predict which configurations an injector will fault.
+  [[nodiscard]] static uint64_t RequestHash(const Assignment& assignment);
 
   /// Trains the configured pipeline on ALL of this context's data and
   /// returns it for test-time prediction.
@@ -109,9 +155,16 @@ class EvalContext {
                                      uint64_t seed, FePipeline* fe,
                                      std::unique_ptr<Model>* model) const;
 
-  [[nodiscard]] double EvaluateOnSplit(const Assignment& assignment,
-                                       const Split& split, double fidelity,
-                                       uint64_t seed) const;
+  /// One split's utility plus its failure classification.
+  struct SplitResult {
+    double utility = 0.0;
+    TrialOutcome outcome = TrialOutcome::kOk;
+  };
+
+  [[nodiscard]] SplitResult EvaluateOnSplit(const Assignment& assignment,
+                                            const Split& split,
+                                            double fidelity,
+                                            uint64_t seed) const;
 
   const SearchSpace* space_;
   const Dataset* data_;

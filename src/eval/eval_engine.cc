@@ -23,11 +23,16 @@ size_t EvalEngine::num_threads() const {
   return pool_ != nullptr ? pool_->num_threads() : 1;
 }
 
-std::vector<double> EvalEngine::EvaluateBatch(
+void EvalEngine::set_budget_limit(double limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_limit_ = limit;
+}
+
+std::vector<EvalOutcome> EvalEngine::EvaluateBatchOutcomes(
     const std::vector<EvalRequest>& requests) {
   const size_t n = requests.size();
-  std::vector<double> utilities(n, 0.0);
-  if (n == 0) return utilities;
+  std::vector<EvalOutcome> results;
+  if (n == 0) return results;
   const EvaluatorOptions& options = context_->options();
   for (const EvalRequest& request : requests) {
     VOLCANOML_CHECK(request.fidelity > 0.0 && request.fidelity <= 1.0);
@@ -35,22 +40,36 @@ std::vector<double> EvalEngine::EvaluateBatch(
 
   // Phase 1 — resolve. Each request is answered by the memo cache, by a
   // computation slot it owns (primary), or by another request's slot
-  // (in-batch duplicate). Slots are computed once, concurrently.
+  // (in-batch duplicate). Slots are computed once, concurrently. Dispatch
+  // stops at the first request for which the (projected) budget is
+  // already exhausted; requests past that point are never computed.
   struct Slot {
     size_t primary;  ///< Request index that computes this slot.
-    EvalContext::Measurement measurement;
+    EvalOutcome outcome;
   };
   std::vector<std::string> keys(n);
-  std::vector<double> cached(n, 0.0);
+  std::vector<CachedResult> cached(n);
   std::vector<bool> from_cache(n, false);
   constexpr size_t kNoSlot = static_cast<size_t>(-1);
   std::vector<size_t> slot_of(n, kNoSlot);
   std::vector<Slot> slots;
   slots.reserve(n);
+  size_t dispatched = n;
   {
     std::lock_guard<std::mutex> lock(mu_);
     std::unordered_map<std::string, size_t> batch_slots;
+    // Projected budget after the requests resolved so far. Deterministic
+    // mode projects exactly (a request costs its fidelity); seconds mode
+    // projects the known floor cost and relies on the commit-time guard
+    // for the rest.
+    double projected = consumed_budget_;
     for (size_t i = 0; i < n; ++i) {
+      if (projected >= budget_limit_) {
+        dispatched = i;
+        break;
+      }
+      projected += options.budget_in_seconds ? kMinSecondsCost
+                                             : requests[i].fidelity;
       keys[i] = context_->CacheKey(requests[i].assignment,
                                    requests[i].fidelity);
       if (options.memoize) {
@@ -72,10 +91,10 @@ std::vector<double> EvalEngine::EvaluateBatch(
 
   // Phase 2 — compute the slots, off-lock. Workers only read the shared
   // immutable context and write disjoint slots, so no synchronization is
-  // needed here; each slot's utility is a pure function of its request.
+  // needed here; each slot's outcome is a pure function of its request.
   auto compute = [&](size_t s) {
     const EvalRequest& request = requests[slots[s].primary];
-    slots[s].measurement =
+    slots[s].outcome =
         context_->EvaluateOnce(request.assignment, request.fidelity);
   };
   if (pool_ != nullptr && slots.size() > 1) {
@@ -85,43 +104,79 @@ std::vector<double> EvalEngine::EvaluateBatch(
   }
 
   // Phase 3 — commit in request order: the budget meter, evaluation
-  // count, observation log and cache advance deterministically no matter
-  // how the computations were scheduled.
+  // count, observation log, telemetry and cache advance deterministically
+  // no matter how the computations were scheduled. Committing stops once
+  // the budget limit is crossed (only relevant in seconds mode, where the
+  // phase-1 projection is a lower bound).
+  results.reserve(dispatched);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < n; ++i) {
-      double utility;
+    for (size_t i = 0; i < dispatched; ++i) {
+      if (consumed_budget_ >= budget_limit_) break;
+      EvalOutcome result;
       double seconds_cost;
       if (from_cache[i]) {
-        utility = cached[i];
+        result.utility = cached[i].utility;
+        result.outcome = cached[i].outcome;
         seconds_cost = kMinSecondsCost;
         ++cache_hits_;
       } else {
         const Slot& slot = slots[slot_of[i]];
-        utility = slot.measurement.utility;
+        result.utility = slot.outcome.utility;
+        result.outcome = slot.outcome.outcome;
         if (slot.primary == i) {
           seconds_cost =
-              std::max(slot.measurement.elapsed_seconds, kMinSecondsCost);
-          if (options.memoize) cache_.emplace(keys[i], utility);
+              std::max(slot.outcome.elapsed_seconds, kMinSecondsCost);
+          if (options.memoize) {
+            cache_.emplace(keys[i],
+                           CachedResult{result.utility, result.outcome});
+          }
         } else {  // In-batch duplicate: answered by the primary's result.
           seconds_cost = kMinSecondsCost;
           ++cache_hits_;
         }
       }
-      consumed_budget_ +=
+      double cost_units =
           options.budget_in_seconds ? seconds_cost : requests[i].fidelity;
+      result.elapsed_seconds = seconds_cost;
+      consumed_budget_ += cost_units;
       ++num_evaluations_;
-      if (requests[i].fidelity >= 1.0) {
-        observations_.push_back({requests[i].assignment, utility});
+      outcome_counts_[static_cast<size_t>(result.outcome)] += 1;
+      if (!result.ok()) budget_lost_to_failures_ += cost_units;
+      if (result.hard_failure()) {
+        // Keyed on the assignment alone (fidelity 0 is outside the valid
+        // request range, so this cannot collide with a memo key).
+        hard_failures_by_config_[context_->CacheKey(requests[i].assignment,
+                                                    0.0)] += 1;
       }
-      utilities[i] = utility;
+      if (requests[i].fidelity >= 1.0) {
+        observations_.push_back({requests[i].assignment, result.utility});
+      }
+      results.push_back(result);
     }
+  }
+  return results;
+}
+
+std::vector<double> EvalEngine::EvaluateBatch(
+    const std::vector<EvalRequest>& requests) {
+  std::vector<EvalOutcome> outcomes = EvaluateBatchOutcomes(requests);
+  std::vector<double> utilities;
+  utilities.reserve(outcomes.size());
+  for (const EvalOutcome& outcome : outcomes) {
+    utilities.push_back(outcome.utility);
   }
   return utilities;
 }
 
 double EvalEngine::Evaluate(const Assignment& assignment, double fidelity) {
-  return EvaluateBatch({{assignment, fidelity}})[0];
+  std::vector<EvalOutcome> outcomes =
+      EvaluateBatchOutcomes({{assignment, fidelity}});
+  if (outcomes.empty()) {
+    // Budget limit truncated the request before dispatch.
+    return FailureUtility(context_->space().task());
+  }
+  return outcomes[0].utility;
 }
 
 double EvalEngine::consumed_budget() const {
@@ -142,6 +197,30 @@ size_t EvalEngine::cache_hits() const {
 size_t EvalEngine::cache_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
+}
+
+size_t EvalEngine::outcome_count(TrialOutcome outcome) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outcome_counts_[static_cast<size_t>(outcome)];
+}
+
+double EvalEngine::budget_lost_to_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_lost_to_failures_;
+}
+
+size_t EvalEngine::MaxHardFailuresPerConfig() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t max_count = 0;
+  for (const auto& [key, count] : hard_failures_by_config_) {
+    max_count = std::max(max_count, count);
+  }
+  return max_count;
+}
+
+std::vector<std::pair<Assignment, double>> EvalEngine::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_;
 }
 
 }  // namespace volcanoml

@@ -1,7 +1,9 @@
 #ifndef VOLCANOML_EVAL_EVAL_ENGINE_H_
 #define VOLCANOML_EVAL_EVAL_ENGINE_H_
 
+#include <array>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -40,25 +42,43 @@ struct EvalRequest {
 /// fidelity, counts as an evaluation, appends its observation). In
 /// wall-clock mode a hit meters only the floor cost — re-requesting a
 /// known configuration is nearly free, which buys more search per second.
+///
+/// Budget limit: when set_budget_limit() is called, dispatch is truncated
+/// at the first request for which the budget is already exhausted, and
+/// only the completed prefix is committed — the returned vector is then
+/// SHORTER than the request vector. The default limit is infinite, which
+/// reproduces the unlimited pre-guard behavior exactly.
 class EvalEngine {
  public:
   /// `context` must outlive the engine; options are taken from it
-  /// (num_threads, memoize, budget_in_seconds).
+  /// (num_threads, memoize, budget_in_seconds, fault injection).
   explicit EvalEngine(const EvalContext* context);
 
-  /// Evaluates every request and returns their utilities in request
-  /// order. Distinct configurations run concurrently on the pool;
+  /// Evaluates every dispatched request and returns the committed prefix
+  /// of outcomes in request order (the full batch unless a budget limit
+  /// truncates it). Distinct configurations run concurrently on the pool;
   /// duplicates within the batch are computed once. Thread-safe: multiple
   /// callers may submit batches concurrently (commit order between
   /// batches is then arrival order at the mutex).
+  [[nodiscard]] std::vector<EvalOutcome> EvaluateBatchOutcomes(
+      const std::vector<EvalRequest>& requests)
+      VOLCANOML_LOCKS_EXCLUDED(mu_);
+
+  /// Utility-only facade over EvaluateBatchOutcomes (same truncation
+  /// semantics: the result can be shorter than `requests`).
   [[nodiscard]] std::vector<double> EvaluateBatch(
       const std::vector<EvalRequest>& requests)
       VOLCANOML_LOCKS_EXCLUDED(mu_);
 
-  /// Single-request convenience — the legacy Evaluate() call.
+  /// Single-request convenience — the legacy Evaluate() call. Returns the
+  /// FailureUtility sentinel if the budget limit truncated the request.
   [[nodiscard]] double Evaluate(const Assignment& assignment,
                                 double fidelity = 1.0)
       VOLCANOML_LOCKS_EXCLUDED(mu_);
+
+  /// Stops dispatching new requests once consumed_budget() reaches this
+  /// limit (default: unlimited).
+  void set_budget_limit(double limit) VOLCANOML_LOCKS_EXCLUDED(mu_);
 
   /// Budget units consumed so far (sum of fidelities, or seconds).
   [[nodiscard]] double consumed_budget() const VOLCANOML_LOCKS_EXCLUDED(mu_);
@@ -69,27 +89,57 @@ class EvalEngine {
   /// Distinct (configuration, fidelity) results memoized so far.
   [[nodiscard]] size_t cache_size() const VOLCANOML_LOCKS_EXCLUDED(mu_);
 
+  // -- failure telemetry ----------------------------------------------------
+
+  /// Committed requests that ended with the given outcome (cache hits
+  /// recommit their memoized outcome).
+  [[nodiscard]] size_t outcome_count(TrialOutcome outcome) const
+      VOLCANOML_LOCKS_EXCLUDED(mu_);
+  /// Budget units spent on requests that did not end kOk.
+  [[nodiscard]] double budget_lost_to_failures() const
+      VOLCANOML_LOCKS_EXCLUDED(mu_);
+  /// Largest number of hard failures (timed out / fault injected) any
+  /// single configuration has accumulated; the quarantine assertion in
+  /// tests reads this.
+  [[nodiscard]] size_t MaxHardFailuresPerConfig() const
+      VOLCANOML_LOCKS_EXCLUDED(mu_);
+
   /// Every full-fidelity (assignment, utility) observation, in commit
-  /// order. Feeds post-hoc ensemble selection. Not synchronized with
-  /// concurrent EvaluateBatch calls: read it only between batches.
-  [[nodiscard]] const std::vector<std::pair<Assignment, double>>&
-  observations() const {
-    return observations_;
-  }
+  /// order, copied under the engine mutex so it is safe to call while
+  /// other threads submit batches. Feeds post-hoc ensemble selection.
+  [[nodiscard]] std::vector<std::pair<Assignment, double>> observations()
+      const VOLCANOML_LOCKS_EXCLUDED(mu_);
 
   [[nodiscard]] const EvalContext& context() const { return *context_; }
   [[nodiscard]] size_t num_threads() const;
 
  private:
+  /// Memoized result of one (configuration, fidelity) computation.
+  struct CachedResult {
+    double utility = 0.0;
+    TrialOutcome outcome = TrialOutcome::kOk;
+  };
+
   const EvalContext* context_;
   std::unique_ptr<ThreadPool> pool_;  ///< Null when running inline.
 
   mutable std::mutex mu_;
-  std::unordered_map<std::string, double> cache_ VOLCANOML_GUARDED_BY(mu_);
+  std::unordered_map<std::string, CachedResult> cache_
+      VOLCANOML_GUARDED_BY(mu_);
   double consumed_budget_ VOLCANOML_GUARDED_BY(mu_) = 0.0;
+  double budget_limit_ VOLCANOML_GUARDED_BY(mu_) =
+      std::numeric_limits<double>::infinity();
   size_t num_evaluations_ VOLCANOML_GUARDED_BY(mu_) = 0;
   size_t cache_hits_ VOLCANOML_GUARDED_BY(mu_) = 0;
-  std::vector<std::pair<Assignment, double>> observations_;
+  std::array<size_t, kNumTrialOutcomes> outcome_counts_
+      VOLCANOML_GUARDED_BY(mu_) = {};
+  double budget_lost_to_failures_ VOLCANOML_GUARDED_BY(mu_) = 0.0;
+  /// Hard-failure (timed out / fault injected) count per configuration,
+  /// keyed by the assignment's serialized contents across fidelities.
+  std::unordered_map<std::string, size_t> hard_failures_by_config_
+      VOLCANOML_GUARDED_BY(mu_);
+  std::vector<std::pair<Assignment, double>> observations_
+      VOLCANOML_GUARDED_BY(mu_);
 };
 
 }  // namespace volcanoml

@@ -41,10 +41,19 @@ class PipelineEvaluator {
   }
 
   /// Evaluates a batch of requests (concurrently when the engine has
-  /// threads) and returns their utilities in request order.
+  /// threads) and returns their utilities in request order. Under an
+  /// engine budget limit the result is the committed prefix and can be
+  /// shorter than `requests`.
   [[nodiscard]] std::vector<double> EvaluateBatch(
       const std::vector<EvalRequest>& requests) {
     return engine_.EvaluateBatch(requests);
+  }
+
+  /// Structured variant: utilities plus failure taxonomy and elapsed
+  /// cost, in request order (same truncation semantics as EvaluateBatch).
+  [[nodiscard]] std::vector<EvalOutcome> EvaluateBatchOutcomes(
+      const std::vector<EvalRequest>& requests) {
+    return engine_.EvaluateBatchOutcomes(requests);
   }
 
   /// Trains the configured pipeline on ALL of this evaluator's data and
@@ -62,9 +71,10 @@ class PipelineEvaluator {
   }
 
   /// Every full-fidelity (assignment, utility) observation, in evaluation
-  /// order. Feeds post-hoc ensemble selection (core/ensemble.h).
-  [[nodiscard]] const std::vector<std::pair<Assignment, double>>&
-  observations() const {
+  /// order, copied under the engine mutex. Feeds post-hoc ensemble
+  /// selection (core/ensemble.h).
+  [[nodiscard]] std::vector<std::pair<Assignment, double>> observations()
+      const {
     return engine_.observations();
   }
 

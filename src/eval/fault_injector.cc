@@ -1,0 +1,40 @@
+#include "eval/fault_injector.h"
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates the configuration hash from the
+/// injector seed so fault assignment looks uniform over configurations.
+uint64_t Mix(uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const Options& options) : options_(options) {
+  VOLCANOML_CHECK(options_.fail_fraction >= 0.0);
+  VOLCANOML_CHECK(options_.stall_fraction >= 0.0);
+  VOLCANOML_CHECK(options_.nan_fraction >= 0.0);
+  VOLCANOML_CHECK(options_.fail_fraction + options_.stall_fraction +
+                      options_.nan_fraction <=
+                  1.0);
+}
+
+FaultInjector::Fault FaultInjector::Decide(uint64_t request_hash) const {
+  double u = static_cast<double>(Mix(request_hash ^ options_.seed) >> 11) *
+             (1.0 / 9007199254740992.0);  // 53-bit mantissa -> [0, 1).
+  if (u < options_.fail_fraction) return Fault::kFail;
+  u -= options_.fail_fraction;
+  if (u < options_.stall_fraction) return Fault::kStall;
+  u -= options_.stall_fraction;
+  if (u < options_.nan_fraction) return Fault::kNan;
+  return Fault::kNone;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,49 @@
+#ifndef VOLCANOML_EVAL_FAULT_INJECTOR_H_
+#define VOLCANOML_EVAL_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+namespace volcanoml {
+
+/// Deterministic fault-injection hook for the evaluation stack: the test
+/// substrate for the trial-guard layer. A FaultInjector decides, from the
+/// request's configuration hash alone, whether a trial should fail
+/// immediately, stall until its deadline fires, or produce a NaN utility.
+///
+/// Decisions are keyed on the request hash — not on call order or thread —
+/// so the same configuration always draws the same fault under the same
+/// injector seed, regardless of batch size or thread count. That keeps
+/// fault-injected searches as reproducible as clean ones.
+class FaultInjector {
+ public:
+  enum class Fault {
+    kNone = 0,
+    kFail,   ///< Trial reports an immediate injected failure.
+    kStall,  ///< Trial blocks until its deadline expires (then times out).
+    kNan,    ///< Trial yields a non-finite utility.
+  };
+
+  struct Options {
+    /// Fractions of requests (by hash measure) drawing each fault; their
+    /// sum must be <= 1, the remainder runs clean.
+    double fail_fraction = 0.0;
+    double stall_fraction = 0.0;
+    double nan_fraction = 0.0;
+    uint64_t seed = 0;
+  };
+
+  explicit FaultInjector(const Options& options);
+
+  /// The fault assigned to a request with the given configuration hash.
+  /// Pure and thread-safe.
+  [[nodiscard]] Fault Decide(uint64_t request_hash) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_EVAL_FAULT_INJECTOR_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/rng.h"
 
 namespace volcanoml {
@@ -132,6 +133,10 @@ Dataset SmoteBalancer::ResampleTrain(const Dataset& train) const {
     size_t k = std::min<size_t>(static_cast<size_t>(k_neighbors_),
                                 members.size() - 1);
     for (size_t s = 0; s < deficit; ++s) {
+      // ResampleTrain cannot return Status, so cooperate by stopping the
+      // synthesis early; the expired deadline is then reported by the next
+      // Status-returning checkpoint in the pipeline.
+      if (TrialDeadlineExpired()) break;
       size_t base = members[rng.Index(members.size())];
       // k nearest same-class neighbors of `base` (brute force).
       std::vector<std::pair<double, size_t>> dists;

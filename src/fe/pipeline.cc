@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/deadline.h"
 
 namespace volcanoml {
 
@@ -14,6 +15,10 @@ void FePipeline::Add(std::unique_ptr<FeOperator> op) {
 Result<Dataset> FePipeline::FitTransform(const Dataset& train) {
   Dataset current = train;
   for (const std::unique_ptr<FeOperator>& op : ops_) {
+    if (TrialDeadlineExpired()) {
+      return Status::DeadlineExceeded(
+          "feature-engineering pipeline interrupted by trial deadline");
+    }
     Status s = op->Fit(current);
     if (!s.ok()) return s;
     if (op->ResamplesRows()) {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -94,6 +95,11 @@ Status PcaTransform::Fit(const Dataset& train) {
     }
   }
 
+  // The eigendecomposition below is the expensive O(d^3) step; bail out
+  // here if the trial deadline fired while accumulating the covariance.
+  if (TrialDeadlineExpired()) {
+    return Status::DeadlineExceeded("pca fit interrupted by trial deadline");
+  }
   std::vector<double> eigenvalues;
   Matrix eigenvectors;
   SymmetricEigen(cov, &eigenvalues, &eigenvectors);
@@ -251,6 +257,10 @@ NystroemRbf::NystroemRbf(size_t num_components, double gamma, uint64_t seed)
 Status NystroemRbf::Fit(const Dataset& train) {
   Status s = CheckNonEmpty(train);
   if (!s.ok()) return s;
+  if (TrialDeadlineExpired()) {
+    return Status::DeadlineExceeded(
+        "nystroem fit interrupted by trial deadline");
+  }
   const Matrix& x = train.x();
   means_ = x.ColMeans();
   scales_ = x.ColStdDevs();

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/rng.h"
 
 namespace volcanoml {
@@ -38,6 +39,10 @@ Status AdaBoostModel::Fit(const Dataset& train) {
   tree_opts.min_samples_leaf = 1;
 
   for (size_t round = 0; round < options_.num_estimators; ++round) {
+    if (TrialDeadlineExpired()) {
+      return Status::DeadlineExceeded(
+          "adaboost fit interrupted by trial deadline");
+    }
     DecisionTree tree(tree_opts, rng.Fork());
     Status s = tree.Fit(train.x(), train.y(), num_classes_, weights);
     if (!s.ok()) return s;
@@ -130,6 +135,10 @@ Status GradientBoostingModel::Fit(const Dataset& train) {
 
     std::vector<double> current(n, base_score_);
     for (size_t round = 0; round < options_.num_estimators; ++round) {
+      if (TrialDeadlineExpired()) {
+        return Status::DeadlineExceeded(
+            "gradient boosting fit interrupted by trial deadline");
+      }
       std::vector<double> residual(n);
       for (size_t i = 0; i < n; ++i) residual[i] = train.y()[i] - current[i];
 
@@ -161,6 +170,10 @@ Status GradientBoostingModel::Fit(const Dataset& train) {
   Matrix raw(n, num_classes_);  // Current raw scores.
   std::vector<double> proba(num_classes_);
   for (size_t round = 0; round < options_.num_estimators; ++round) {
+    if (TrialDeadlineExpired()) {
+      return Status::DeadlineExceeded(
+          "gradient boosting fit interrupted by trial deadline");
+    }
     std::vector<double> weights;
     if (options_.subsample < 1.0) {
       weights.assign(n, 0.0);

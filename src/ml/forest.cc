@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/deadline.h"
 
 namespace volcanoml {
 
@@ -21,6 +22,10 @@ Status ForestModel::Fit(const Dataset& train) {
   trees_.reserve(options_.num_trees);
   const size_t n = train.NumSamples();
   for (size_t t = 0; t < options_.num_trees; ++t) {
+    if (TrialDeadlineExpired()) {
+      return Status::DeadlineExceeded(
+          "forest fit interrupted by trial deadline");
+    }
     DecisionTree tree(options_.tree, rng_.Fork());
     Status s;
     if (options_.bootstrap) {

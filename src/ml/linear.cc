@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/rng.h"
 
 namespace volcanoml {
@@ -93,6 +94,10 @@ Status LogisticRegressionModel::Fit(const Dataset& train) {
   std::vector<double> scores(num_classes_);
 
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    if (TrialDeadlineExpired()) {
+      return Status::DeadlineExceeded(
+          "logistic regression fit interrupted by trial deadline");
+    }
     rng.Shuffle(&order);
     // 1/t learning-rate decay keeps early epochs exploratory.
     double lr = options_.learning_rate / (1.0 + 0.05 * epoch);
@@ -184,6 +189,10 @@ Status LinearSvmModel::Fit(const Dataset& train) {
   // Pegasos: step 1/(lambda * t) with per-class hinge updates.
   double t = 1.0;
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    if (TrialDeadlineExpired()) {
+      return Status::DeadlineExceeded(
+          "linear svm fit interrupted by trial deadline");
+    }
     rng.Shuffle(&order);
     for (size_t i : order) {
       for (size_t f = 0; f < num_features_; ++f) {
@@ -336,6 +345,10 @@ Status LassoRegressionModel::Fit(const Dataset& train) {
 
   const double threshold = options_.alpha * static_cast<double>(n);
   for (int iter = 0; iter < options_.max_iters; ++iter) {
+    if (TrialDeadlineExpired()) {
+      return Status::DeadlineExceeded(
+          "lasso coordinate descent interrupted by trial deadline");
+    }
     double max_delta = 0.0;
     for (size_t f = 0; f < d; ++f) {
       if (col_sq[f] <= 1e-12) continue;
@@ -407,6 +420,10 @@ Status SgdRegressorModel::Fit(const Dataset& train) {
   std::iota(order.begin(), order.end(), 0);
   std::vector<double> z(d);
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    if (TrialDeadlineExpired()) {
+      return Status::DeadlineExceeded(
+          "sgd regressor fit interrupted by trial deadline");
+    }
     rng.Shuffle(&order);
     double lr = options_.learning_rate / (1.0 + 0.02 * epoch);
     for (size_t i : order) {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/rng.h"
 
 namespace volcanoml {
@@ -86,6 +87,9 @@ Status MlpModel::Fit(const Dataset& train) {
   std::vector<std::vector<double>> deltas(layers_.size());
 
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    if (TrialDeadlineExpired()) {
+      return Status::DeadlineExceeded("mlp fit interrupted by trial deadline");
+    }
     rng.Shuffle(&order);
     double lr = options_.learning_rate / (1.0 + 0.02 * epoch);
     for (size_t i : order) {

@@ -1,0 +1,44 @@
+#include "util/deadline.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// The per-thread trial deadline. Owned by ScopedTrialDeadline; defaults
+/// to Never() so code outside a guarded trial never observes expiry.
+thread_local Deadline t_trial_deadline = Deadline::Never();
+
+}  // namespace
+
+Deadline Deadline::After(double seconds) {
+  if (seconds <= 0.0) return AlreadyExpired();
+  return Deadline(Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds)));
+}
+
+Deadline Deadline::AlreadyExpired() {
+  return Deadline(Clock::time_point::min());
+}
+
+double Deadline::RemainingSeconds() const {
+  if (unlimited_) return std::numeric_limits<double>::infinity();
+  // Checked before subtracting: AlreadyExpired() sits at time_point::min()
+  // and `min - now` overflows the duration rep.
+  if (IsExpired()) return 0.0;
+  std::chrono::duration<double> remaining = expires_at_ - Clock::now();
+  return remaining.count() > 0.0 ? remaining.count() : 0.0;
+}
+
+ScopedTrialDeadline::ScopedTrialDeadline(const Deadline& deadline)
+    : previous_(t_trial_deadline) {
+  t_trial_deadline = deadline;
+}
+
+ScopedTrialDeadline::~ScopedTrialDeadline() { t_trial_deadline = previous_; }
+
+bool TrialDeadlineExpired() { return t_trial_deadline.IsExpired(); }
+
+const Deadline& CurrentTrialDeadline() { return t_trial_deadline; }
+
+}  // namespace volcanoml

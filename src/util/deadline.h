@@ -1,0 +1,75 @@
+#ifndef VOLCANOML_UTIL_DEADLINE_H_
+#define VOLCANOML_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+
+namespace volcanoml {
+
+/// Cooperative per-trial deadline. A Deadline is a point on the steady
+/// clock (or "never"); expensive training loops poll IsExpired() at their
+/// natural cooperation points (per epoch, per tree, per boosting round,
+/// between feature-engineering operators) and bail out with
+/// Status::DeadlineExceeded when it fires. There is no preemption: a trial
+/// can overrun its deadline by at most one cooperation interval.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A deadline that never expires (the default).
+  static Deadline Never() { return Deadline(); }
+
+  /// A deadline `seconds` from now. Non-positive values expire immediately.
+  static Deadline After(double seconds);
+
+  /// A deadline that is already expired; useful in tests to exercise every
+  /// cooperation point deterministically without waiting on wall clock.
+  static Deadline AlreadyExpired();
+
+  [[nodiscard]] bool unlimited() const { return unlimited_; }
+
+  /// True once the deadline has passed. Never true for unlimited deadlines.
+  [[nodiscard]] bool IsExpired() const {
+    return !unlimited_ && Clock::now() >= expires_at_;
+  }
+
+  /// Seconds until expiry (clamped at 0); +inf for unlimited deadlines.
+  [[nodiscard]] double RemainingSeconds() const;
+
+ private:
+  Deadline() : unlimited_(true) {}
+  explicit Deadline(Clock::time_point expires_at)
+      : unlimited_(false), expires_at_(expires_at) {}
+
+  bool unlimited_;
+  Clock::time_point expires_at_{};
+};
+
+/// Installs `deadline` as the current thread's trial deadline for the
+/// lifetime of the scope, restoring the previous one on destruction. The
+/// evaluation engine runs one trial at a time per worker thread, so a
+/// thread-local is sufficient to reach every training loop without
+/// threading a token through each Fit signature.
+class ScopedTrialDeadline {
+ public:
+  explicit ScopedTrialDeadline(const Deadline& deadline);
+  ~ScopedTrialDeadline();
+
+  ScopedTrialDeadline(const ScopedTrialDeadline&) = delete;
+  ScopedTrialDeadline& operator=(const ScopedTrialDeadline&) = delete;
+
+ private:
+  Deadline previous_;
+};
+
+/// True if the calling thread's installed trial deadline has expired.
+/// False when no deadline is installed. This is the poll that training
+/// loops call at their cooperation points.
+[[nodiscard]] bool TrialDeadlineExpired();
+
+/// The calling thread's current trial deadline (Never() if none installed).
+[[nodiscard]] const Deadline& CurrentTrialDeadline();
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_UTIL_DEADLINE_H_

@@ -262,6 +262,76 @@ TEST(SuggestBatchTest, BatchLeavesObservationHistoryUntouched) {
   }
 }
 
+// Regression (PR 3): observations() used to hand out a reference into a
+// vector other threads were appending to — reading it during concurrent
+// batch submission was a data race. It now copies under the engine mutex;
+// TSan (the tsan preset runs this file) verifies the fix.
+TEST(ParallelEvalTest, ObservationsReadDuringSubmissionIsRaceFree) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 13);
+  EvaluatorOptions options;
+  options.num_threads = 2;
+  PipelineEvaluator evaluator(&space, &data, options);
+
+  constexpr size_t kBatches = 4;
+  std::vector<std::vector<EvalRequest>> batches(kBatches);
+  for (size_t b = 0; b < kBatches; ++b) {
+    for (const Assignment& a : SampleAssignments(space, 3, 200 + b)) {
+      batches[b].push_back({a, 1.0});
+    }
+  }
+
+  ThreadPool callers(2);
+  std::vector<std::future<void>> done;
+  done.push_back(callers.Submit([&evaluator, &batches] {
+    for (const std::vector<EvalRequest>& batch : batches) {
+      std::vector<double> utilities = evaluator.EvaluateBatch(batch);
+      EXPECT_EQ(utilities.size(), batch.size());
+    }
+  }));
+  done.push_back(callers.Submit([&evaluator] {
+    // Poll the observation log while the other caller is appending.
+    for (int i = 0; i < 200; ++i) {
+      std::vector<std::pair<Assignment, double>> snapshot =
+          evaluator.observations();
+      EXPECT_LE(snapshot.size(), 12u);
+    }
+  }));
+  for (std::future<void>& f : done) f.get();
+  EXPECT_EQ(evaluator.observations().size(), 12u);
+}
+
+// Regression (PR 3): a wide batch near the end of the budget used to be
+// dispatched in full, overshooting the limit. Dispatch is now truncated
+// to the affordable prefix and only that prefix is committed.
+TEST(ParallelEvalTest, BudgetLimitTruncatesDispatch) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 17);
+  EvaluatorOptions options;
+  options.num_threads = 4;
+  PipelineEvaluator evaluator(&space, &data, options);
+  evaluator.engine().set_budget_limit(3.0);
+
+  std::vector<EvalRequest> requests;
+  for (const Assignment& a : SampleAssignments(space, 8, 21)) {
+    requests.push_back({a, 1.0});
+  }
+  std::vector<EvalOutcome> outcomes =
+      evaluator.EvaluateBatchOutcomes(requests);
+  EXPECT_EQ(outcomes.size(), 3u);  // budget 3, one unit per request
+  EXPECT_EQ(evaluator.num_evaluations(), 3u);
+  EXPECT_EQ(evaluator.consumed_budget(), 3.0);
+  EXPECT_EQ(evaluator.observations().size(), 3u);
+
+  // The budget is exhausted: nothing further dispatches, including the
+  // serial facade (which answers with the failure sentinel).
+  std::vector<EvalOutcome> more = evaluator.EvaluateBatchOutcomes(requests);
+  EXPECT_TRUE(more.empty());
+  EXPECT_EQ(evaluator.Evaluate(requests[0].assignment),
+            FailureUtility(space.task()));
+  EXPECT_EQ(evaluator.num_evaluations(), 3u);
+}
+
 TEST(DeterminismSweepTest, ThreadedBatchOneRunMatchesSerialRun) {
   // The hard requirement of this refactor: same seed + batch_size 1 must
   // reproduce the serial system trajectory bit-for-bit even with a

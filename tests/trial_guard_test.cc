@@ -1,0 +1,561 @@
+// Tests for the trial-guard layer (PR 3): cooperative deadlines threaded
+// through training loops, the failure taxonomy (EvalOutcome), seeded
+// deterministic fault injection, failure telemetry, and quarantine-aware
+// search (retry caps, never re-suggesting known-bad configurations, arm
+// failure-rate elimination).
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bo/optimizer.h"
+#include "bo/smac.h"
+#include "bo/tpe.h"
+#include "core/volcano_ml.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/fault_injector.h"
+#include "eval/search_space.h"
+#include "fe/transforms.h"
+#include "gtest/gtest.h"
+#include "ml/boosting.h"
+#include "ml/forest.h"
+#include "ml/linear.h"
+#include "ml/mlp.h"
+#include "util/deadline.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace volcanoml {
+namespace {
+
+SearchSpaceOptions SmallSpace() {
+  SearchSpaceOptions o;
+  o.task = TaskType::kClassification;
+  o.preset = SpacePreset::kSmall;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Deadline primitives.
+
+TEST(DeadlineTest, NeverIsUnlimitedAndNeverExpires) {
+  Deadline d = Deadline::Never();
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.IsExpired());
+  EXPECT_EQ(d.RemainingSeconds(), std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, AlreadyExpiredAndNonPositiveAfterExpireImmediately) {
+  EXPECT_TRUE(Deadline::AlreadyExpired().IsExpired());
+  EXPECT_TRUE(Deadline::After(0.0).IsExpired());
+  EXPECT_TRUE(Deadline::After(-1.0).IsExpired());
+  EXPECT_EQ(Deadline::AlreadyExpired().RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, FutureDeadlineIsNotExpiredYet) {
+  Deadline d = Deadline::After(60.0);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_FALSE(d.IsExpired());
+  EXPECT_GT(d.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, ScopedTrialDeadlineInstallsAndRestores) {
+  EXPECT_FALSE(TrialDeadlineExpired());  // No deadline installed.
+  {
+    ScopedTrialDeadline outer(Deadline::AlreadyExpired());
+    EXPECT_TRUE(TrialDeadlineExpired());
+    {
+      ScopedTrialDeadline inner(Deadline::Never());
+      EXPECT_FALSE(TrialDeadlineExpired());
+    }
+    EXPECT_TRUE(TrialDeadlineExpired());  // Outer restored.
+  }
+  EXPECT_FALSE(TrialDeadlineExpired());
+}
+
+// ---------------------------------------------------------------------------
+// Cooperation points: expensive Fit loops bail out with DeadlineExceeded
+// when the installed trial deadline has expired. AlreadyExpired() hits the
+// first poll deterministically, without waiting on the wall clock.
+
+TEST(CooperationPointTest, ModelFitsBailOutOnExpiredDeadline) {
+  Dataset d = MakeBlobs(120, 4, 2, 1.0, 7);
+  ScopedTrialDeadline scoped(Deadline::AlreadyExpired());
+
+  MlpModel mlp(MlpModel::Options{}, 1);
+  EXPECT_EQ(mlp.Fit(d).code(), StatusCode::kDeadlineExceeded);
+
+  LogisticRegressionModel logistic(LogisticRegressionModel::Options{}, 1);
+  EXPECT_EQ(logistic.Fit(d).code(), StatusCode::kDeadlineExceeded);
+
+  LinearSvmModel svm(LinearSvmModel::Options{}, 1);
+  EXPECT_EQ(svm.Fit(d).code(), StatusCode::kDeadlineExceeded);
+
+  ForestModel forest(ForestOptions{}, 1);
+  EXPECT_EQ(forest.Fit(d).code(), StatusCode::kDeadlineExceeded);
+
+  AdaBoostModel ada(AdaBoostModel::Options{}, 1);
+  EXPECT_EQ(ada.Fit(d).code(), StatusCode::kDeadlineExceeded);
+
+  GradientBoostingModel gbm(GradientBoostingModel::Options{}, 1);
+  EXPECT_EQ(gbm.Fit(d).code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CooperationPointTest, RegressionLoopsBailOutOnExpiredDeadline) {
+  Dataset d = MakeFriedman1(150, 6, 0.5, 9);
+  ScopedTrialDeadline scoped(Deadline::AlreadyExpired());
+
+  LassoRegressionModel lasso(LassoRegressionModel::Options{});
+  EXPECT_EQ(lasso.Fit(d).code(), StatusCode::kDeadlineExceeded);
+
+  SgdRegressorModel sgd(SgdRegressorModel::Options{}, 1);
+  EXPECT_EQ(sgd.Fit(d).code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CooperationPointTest, FeOperatorsBailOutOnExpiredDeadline) {
+  Dataset d = MakeBlobs(120, 6, 2, 1.0, 11);
+  ScopedTrialDeadline scoped(Deadline::AlreadyExpired());
+
+  PcaTransform pca(0.95);
+  EXPECT_EQ(pca.Fit(d).code(), StatusCode::kDeadlineExceeded);
+
+  NystroemRbf nystroem(16, 0.5, 1);
+  EXPECT_EQ(nystroem.Fit(d).code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CooperationPointTest, FitsSucceedWithGenerousDeadline) {
+  Dataset d = MakeBlobs(120, 4, 2, 1.0, 7);
+  ScopedTrialDeadline scoped(Deadline::After(600.0));
+  MlpModel mlp(MlpModel::Options{}, 1);
+  EXPECT_TRUE(mlp.Fit(d).ok());
+  PcaTransform pca(0.95);
+  EXPECT_TRUE(pca.Fit(d).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector.
+
+TEST(FaultInjectorTest, DecideIsDeterministicPerHash) {
+  FaultInjector::Options o;
+  o.fail_fraction = 0.2;
+  o.stall_fraction = 0.1;
+  o.nan_fraction = 0.1;
+  o.seed = 99;
+  FaultInjector a(o), b(o);
+  for (uint64_t h = 0; h < 500; ++h) {
+    EXPECT_EQ(a.Decide(h), b.Decide(h));  // Pure function of (seed, hash).
+  }
+}
+
+TEST(FaultInjectorTest, ZeroFractionsNeverFault) {
+  FaultInjector injector(FaultInjector::Options{});
+  for (uint64_t h = 0; h < 500; ++h) {
+    EXPECT_EQ(injector.Decide(h), FaultInjector::Fault::kNone);
+  }
+}
+
+TEST(FaultInjectorTest, FullFailFractionAlwaysFails) {
+  FaultInjector::Options o;
+  o.fail_fraction = 1.0;
+  FaultInjector injector(o);
+  for (uint64_t h = 0; h < 100; ++h) {
+    EXPECT_EQ(injector.Decide(h), FaultInjector::Fault::kFail);
+  }
+}
+
+TEST(FaultInjectorTest, FractionsApproximateRates) {
+  FaultInjector::Options o;
+  o.fail_fraction = 0.3;
+  o.seed = 5;
+  FaultInjector injector(o);
+  size_t failed = 0;
+  constexpr size_t kTrials = 4000;
+  Rng rng(17);  // Hashes spread over the full 64-bit range.
+  for (size_t i = 0; i < kTrials; ++i) {
+    if (injector.Decide(rng.Fork()) == FaultInjector::Fault::kFail) ++failed;
+  }
+  double rate = static_cast<double>(failed) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(FaultInjectorTest, SeedChangesTheFaultedSet) {
+  FaultInjector::Options o;
+  o.fail_fraction = 0.5;
+  o.seed = 1;
+  FaultInjector a(o);
+  o.seed = 2;
+  FaultInjector b(o);
+  size_t differing = 0;
+  for (uint64_t h = 0; h < 200; ++h) {
+    if (a.Decide(h) != b.Decide(h)) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure taxonomy through the evaluator.
+
+TEST(TrialOutcomeTest, NamesCoverTheTaxonomy) {
+  EXPECT_STREQ(TrialOutcomeName(TrialOutcome::kOk), "ok");
+  EXPECT_STREQ(TrialOutcomeName(TrialOutcome::kBuildFailed), "build_failed");
+  EXPECT_STREQ(TrialOutcomeName(TrialOutcome::kTrainFailed), "train_failed");
+  EXPECT_STREQ(TrialOutcomeName(TrialOutcome::kNonFinite), "non_finite");
+  EXPECT_STREQ(TrialOutcomeName(TrialOutcome::kTimedOut), "timed_out");
+  EXPECT_STREQ(TrialOutcomeName(TrialOutcome::kFaultInjected),
+               "fault_injected");
+}
+
+TEST(TrialOutcomeTest, HardFailureCoversOnlyTimeoutAndInjection) {
+  EvalOutcome o;
+  o.outcome = TrialOutcome::kTimedOut;
+  EXPECT_TRUE(o.hard_failure());
+  o.outcome = TrialOutcome::kFaultInjected;
+  EXPECT_TRUE(o.hard_failure());
+  // Genuine failures keep their historic sentinel semantics and must NOT
+  // drive quarantine (they are informative observations for the search).
+  o.outcome = TrialOutcome::kTrainFailed;
+  EXPECT_FALSE(o.hard_failure());
+  o.outcome = TrialOutcome::kNonFinite;
+  EXPECT_FALSE(o.hard_failure());
+  o.outcome = TrialOutcome::kOk;
+  EXPECT_FALSE(o.hard_failure());
+}
+
+TEST(FailureUtilityTest, SentinelsPerTask) {
+  EXPECT_EQ(FailureUtility(TaskType::kClassification), 0.0);
+  EXPECT_EQ(FailureUtility(TaskType::kRegression), -1e9);
+}
+
+TEST(EvalOutcomeTest, InjectedFailYieldsFaultInjectedOutcome) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 3);
+  FaultInjector::Options fo;
+  fo.fail_fraction = 1.0;
+  FaultInjector injector(fo);
+  EvaluatorOptions options;
+  options.fault_injector = &injector;
+  PipelineEvaluator evaluator(&space, &data, options);
+
+  Assignment a = space.DefaultAssignment();
+  std::vector<EvalOutcome> outcomes =
+      evaluator.EvaluateBatchOutcomes({{a, 1.0}});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].outcome, TrialOutcome::kFaultInjected);
+  EXPECT_TRUE(outcomes[0].hard_failure());
+  EXPECT_EQ(outcomes[0].utility, FailureUtility(space.task()));
+  EXPECT_EQ(evaluator.engine().outcome_count(TrialOutcome::kFaultInjected),
+            1u);
+  EXPECT_GT(evaluator.engine().budget_lost_to_failures(), 0.0);
+}
+
+TEST(EvalOutcomeTest, InjectedNanYieldsNonFiniteOutcome) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 3);
+  FaultInjector::Options fo;
+  fo.nan_fraction = 1.0;
+  FaultInjector injector(fo);
+  EvaluatorOptions options;
+  options.fault_injector = &injector;
+  PipelineEvaluator evaluator(&space, &data, options);
+
+  std::vector<EvalOutcome> outcomes =
+      evaluator.EvaluateBatchOutcomes({{space.DefaultAssignment(), 1.0}});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].outcome, TrialOutcome::kNonFinite);
+  EXPECT_FALSE(outcomes[0].hard_failure());  // Soft failure.
+  EXPECT_EQ(outcomes[0].utility, FailureUtility(space.task()));
+}
+
+TEST(EvalOutcomeTest, InjectedStallTimesOutAgainstTrialDeadline) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 3);
+  FaultInjector::Options fo;
+  fo.stall_fraction = 1.0;
+  FaultInjector injector(fo);
+  EvaluatorOptions options;
+  options.fault_injector = &injector;
+  options.trial_timeout_seconds = 0.02;
+  PipelineEvaluator evaluator(&space, &data, options);
+
+  std::vector<EvalOutcome> outcomes =
+      evaluator.EvaluateBatchOutcomes({{space.DefaultAssignment(), 1.0}});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].outcome, TrialOutcome::kTimedOut);
+  EXPECT_TRUE(outcomes[0].hard_failure());
+  EXPECT_EQ(outcomes[0].utility, FailureUtility(space.task()));
+  // The stall cooperates with the deadline: it overruns by at most one
+  // cooperation interval (1ms polls), not unboundedly.
+  EXPECT_GE(outcomes[0].elapsed_seconds, 0.02);
+  EXPECT_LT(outcomes[0].elapsed_seconds, 1.0);
+  EXPECT_EQ(evaluator.engine().outcome_count(TrialOutcome::kTimedOut), 1u);
+}
+
+TEST(EvalOutcomeTest, StallWithoutDeadlineDegradesToImmediateFault) {
+  // A stall fault with no trial deadline would hang forever; the context
+  // degrades it to an immediate injected failure instead.
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 3);
+  FaultInjector::Options fo;
+  fo.stall_fraction = 1.0;
+  FaultInjector injector(fo);
+  EvaluatorOptions options;
+  options.fault_injector = &injector;  // trial_timeout_seconds stays 0.
+  PipelineEvaluator evaluator(&space, &data, options);
+
+  std::vector<EvalOutcome> outcomes =
+      evaluator.EvaluateBatchOutcomes({{space.DefaultAssignment(), 1.0}});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].outcome, TrialOutcome::kFaultInjected);
+}
+
+TEST(EvalOutcomeTest, CleanRunMatchesInjectorWithZeroFractions) {
+  // An injector with all fractions zero must be indistinguishable from no
+  // injector at all (determinism contract for clean runs).
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 3);
+  FaultInjector injector(FaultInjector::Options{});
+  EvaluatorOptions with;
+  with.fault_injector = &injector;
+  PipelineEvaluator a(&space, &data, with);
+  PipelineEvaluator b(&space, &data, EvaluatorOptions{});
+
+  Rng rng(23);
+  for (int i = 0; i < 5; ++i) {
+    Assignment assignment =
+        space.joint().ToAssignment(space.joint().Sample(&rng));
+    EXPECT_EQ(a.Evaluate(assignment), b.Evaluate(assignment));
+  }
+  EXPECT_EQ(a.engine().outcome_count(TrialOutcome::kFaultInjected), 0u);
+  EXPECT_EQ(a.engine().outcome_count(TrialOutcome::kTimedOut), 0u);
+}
+
+TEST(EvalOutcomeTest, EmptyBatchIsANoOp) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 3);
+  PipelineEvaluator evaluator(&space, &data, EvaluatorOptions{});
+  EXPECT_TRUE(evaluator.EvaluateBatchOutcomes({}).empty());
+  EXPECT_TRUE(evaluator.EvaluateBatch({}).empty());
+  EXPECT_EQ(evaluator.num_evaluations(), 0u);
+  EXPECT_EQ(evaluator.consumed_budget(), 0.0);
+}
+
+TEST(EvalOutcomeDeathTest, OutOfRangeFidelityIsRejected) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 3);
+  PipelineEvaluator evaluator(&space, &data, EvaluatorOptions{});
+  Assignment a = space.DefaultAssignment();
+  EXPECT_DEATH(
+      { auto r = evaluator.EvaluateBatchOutcomes({{a, 0.0}}); },
+      "CHECK failed");
+  EXPECT_DEATH(
+      { auto r = evaluator.EvaluateBatchOutcomes({{a, 1.5}}); },
+      "CHECK failed");
+}
+
+// ---------------------------------------------------------------------------
+// Surrogates stay finite when fed failure sentinels.
+
+TEST(FailureUtilityTest, SmacFitsFinitelyOnFailureSentinels) {
+  SearchSpace space(SmallSpace());
+  const ConfigurationSpace& joint = space.joint();
+  SmacOptimizer smac(&joint, SmacOptimizer::Options{}, 7);
+  Rng rng(3);
+  // A history dominated by regression-style -1e9 sentinels must not break
+  // the surrogate or the proposal step.
+  for (int i = 0; i < 12; ++i) {
+    Configuration c = joint.Sample(&rng);
+    smac.Observe(c, i % 3 == 0 ? 0.7 : FailureUtility(TaskType::kRegression));
+  }
+  for (int i = 0; i < 5; ++i) {
+    Configuration c = smac.Suggest();
+    for (double v : c.values) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(FailureUtilityTest, TpeFitsFinitelyOnFailureSentinels) {
+  SearchSpace space(SmallSpace());
+  const ConfigurationSpace& joint = space.joint();
+  TpeOptimizer tpe(&joint, TpeOptimizer::Options{}, 7);
+  Rng rng(3);
+  for (int i = 0; i < 12; ++i) {
+    Configuration c = joint.Sample(&rng);
+    tpe.Observe(c, i % 3 == 0 ? 0.7 : FailureUtility(TaskType::kRegression));
+  }
+  for (int i = 0; i < 5; ++i) {
+    Configuration c = tpe.Suggest();
+    for (double v : c.values) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine.
+
+TEST(QuarantineTest, SetMatchesOnExactBitPatterns) {
+  QuarantineSet set;
+  Configuration a;
+  a.values = {1.0, 2.5, 3.0};
+  Configuration b;
+  b.values = {1.0, 2.5, 3.0000001};
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.Contains(a));
+  set.Add(a);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.Contains(a));
+  EXPECT_FALSE(set.Contains(b));
+  set.Add(a);  // Idempotent.
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(QuarantineTest, RandomSearchNeverResuggestsQuarantined) {
+  SearchSpace space(SmallSpace());
+  const ConfigurationSpace& joint = space.joint();
+  RandomSearchOptimizer rs(&joint, 5);
+  // Quarantine the next few proposals, then verify they never reappear.
+  std::vector<Configuration> banned;
+  for (int i = 0; i < 3; ++i) {
+    Configuration c = rs.Suggest();
+    rs.Quarantine(c);
+    banned.push_back(c);
+  }
+  EXPECT_EQ(rs.num_quarantined(), 3u);
+  for (int i = 0; i < 100; ++i) {
+    Configuration c = rs.Suggest();
+    for (const Configuration& bad : banned) EXPECT_FALSE(c == bad);
+    EXPECT_FALSE(rs.IsQuarantined(c));
+  }
+}
+
+TEST(QuarantineTest, QuarantinedInitialSeedsAreDiscarded) {
+  SearchSpace space(SmallSpace());
+  const ConfigurationSpace& joint = space.joint();
+  RandomSearchOptimizer rs(&joint, 5);
+  Configuration seed = joint.Default();
+  rs.EnqueueInitial(seed);
+  rs.Quarantine(seed);
+  Configuration c = rs.Suggest();
+  EXPECT_FALSE(c == seed);
+}
+
+TEST(QuarantineTest, SmacNeverResuggestsQuarantined) {
+  SearchSpace space(SmallSpace());
+  const ConfigurationSpace& joint = space.joint();
+  SmacOptimizer smac(&joint, SmacOptimizer::Options{}, 11);
+  Rng rng(13);
+  std::vector<Configuration> banned;
+  for (int i = 0; i < 30; ++i) {
+    Configuration c = smac.Suggest();
+    // Make the quarantined points look attractive (high utility), so the
+    // surrogate would re-propose their region if it could.
+    bool ban = i % 4 == 0;
+    smac.Observe(c, ban ? 0.95 : 0.3);
+    if (ban) {
+      smac.Quarantine(c);
+      banned.push_back(c);
+    }
+  }
+  for (int i = 0; i < 40; ++i) {
+    Configuration c = smac.Suggest();
+    EXPECT_FALSE(smac.IsQuarantined(c));
+    smac.Observe(c, 0.3);
+  }
+  // Batched proposals honor the quarantine too.
+  for (const Configuration& c : smac.SuggestBatch(8)) {
+    EXPECT_FALSE(smac.IsQuarantined(c));
+  }
+}
+
+TEST(QuarantineTest, TpeNeverResuggestsQuarantined) {
+  SearchSpace space(SmallSpace());
+  const ConfigurationSpace& joint = space.joint();
+  TpeOptimizer tpe(&joint, TpeOptimizer::Options{}, 11);
+  std::vector<Configuration> banned;
+  for (int i = 0; i < 30; ++i) {
+    Configuration c = tpe.Suggest();
+    bool ban = i % 4 == 0;
+    tpe.Observe(c, ban ? 0.95 : 0.3);
+    if (ban) {
+      tpe.Quarantine(c);
+      banned.push_back(c);
+    }
+  }
+  for (int i = 0; i < 40; ++i) {
+    Configuration c = tpe.Suggest();
+    EXPECT_FALSE(tpe.IsQuarantined(c));
+    tpe.Observe(c, 0.3);
+  }
+  for (const Configuration& c : tpe.SuggestBatch(8)) {
+    EXPECT_FALSE(tpe.IsQuarantined(c));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-system fault tolerance.
+
+TEST(FaultTolerantSearchTest, SearchCompletesUnderThirtyPercentFaults) {
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+  FaultInjector::Options fo;
+  fo.fail_fraction = 0.2;
+  fo.nan_fraction = 0.1;
+  fo.seed = 77;
+  FaultInjector injector(fo);
+
+  VolcanoMlOptions options;
+  options.space = SmallSpace();
+  options.budget = 30.0;
+  options.seed = 42;
+  options.eval.fault_injector = &injector;
+
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(data);
+
+  // The search survives the fault storm, stays within budget, and still
+  // finds a working pipeline from the surviving clean trials.
+  const EvalEngine& engine = automl.evaluator()->engine();
+  EXPECT_LE(automl.evaluator()->consumed_budget(), options.budget);
+  EXPECT_GE(result.num_evaluations, 30u);
+  EXPECT_TRUE(std::isfinite(result.best_utility));
+  EXPECT_GT(result.best_utility, 0.5);
+  size_t injected = engine.outcome_count(TrialOutcome::kFaultInjected) +
+                    engine.outcome_count(TrialOutcome::kNonFinite);
+  EXPECT_GT(injected, 0u);  // The injector actually fired.
+  // Repeat offenders were quarantined at the retry cap: no configuration
+  // accumulated more hard failures than the cap allows.
+  EXPECT_LE(engine.MaxHardFailuresPerConfig(), options.guard.retry_cap);
+}
+
+TEST(FaultTolerantSearchTest, FaultedRunsAreDeterministic) {
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+  FaultInjector::Options fo;
+  fo.fail_fraction = 0.3;
+  fo.seed = 5;
+
+  auto run = [&]() {
+    FaultInjector injector(fo);
+    VolcanoMlOptions options;
+    options.space = SmallSpace();
+    options.budget = 20.0;
+    options.seed = 9;
+    options.eval.fault_injector = &injector;
+    VolcanoML automl(options);
+    return automl.Fit(data);
+  };
+  AutoMlResult first = run();
+  AutoMlResult second = run();
+  EXPECT_EQ(first.best_utility, second.best_utility);
+  EXPECT_EQ(first.best_assignment, second.best_assignment);
+  EXPECT_EQ(first.num_evaluations, second.num_evaluations);
+}
+
+TEST(FaultTolerantSearchTest, TrialGuardPolicyDefaultsAreSane) {
+  TrialGuardPolicy guard;
+  EXPECT_GE(guard.retry_cap, 1u);
+  EXPECT_GT(guard.arm_failure_rate_threshold, 0.0);
+  EXPECT_LE(guard.arm_failure_rate_threshold, 1.0);
+  EXPECT_GE(guard.arm_failure_min_trials, 1u);
+}
+
+}  // namespace
+}  // namespace volcanoml

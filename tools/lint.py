@@ -29,6 +29,12 @@ warnings) cannot know about:
                    volcanoml::ThreadPool (src/util/thread_pool.h) so
                    worker counts, shutdown, and thread-safety annotations
                    live in one audited place.
+  R9 no-catch-all  No `catch (...)` outside src/util/thread_pool.cc. The
+                   codebase compiles without exceptions of its own (R2);
+                   a swallow-everything handler can only hide memory
+                   exhaustion or third-party faults that must crash
+                   loudly. The pool's worker loop is the one audited
+                   place allowed to contain a task's stray exception.
 
 Usage: tools/lint.py [--root DIR]
 Prints "file:line: [rule] message" per violation; exits non-zero if any.
@@ -71,6 +77,10 @@ ARTIFACT_RE = re.compile(
 # R8: raw threading primitives. ThreadPool owns the only std::thread's.
 THREAD_RE = re.compile(r"\bstd::(?:jthread|thread|async)\b")
 THREAD_ALLOWED_PREFIX = "src/util/"
+
+# R9: catch-all exception handlers hide faults that must crash loudly.
+CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+CATCH_ALL_ALLOWED = ("src/util/thread_pool.cc",)
 
 GUARD_EXEMPT: tuple[str, ...] = ()  # no third-party headers vendored yet
 
@@ -157,6 +167,7 @@ class Linter:
         self.check_stdout(rel, cleaned)
         self.check_relative_includes(rel, cleaned)
         self.check_raw_threads(rel, cleaned)
+        self.check_catch_all(rel, cleaned)
         if rel.endswith((".h", ".hpp")):
             self.check_include_guard(rel, raw_lines)
         if rel == "src/util/status.h":
@@ -202,6 +213,16 @@ class Linter:
                             "raw std::thread/std::async; use "
                             "volcanoml::ThreadPool (src/util/thread_pool.h) "
                             "so all concurrency is pooled and annotated")
+
+    def check_catch_all(self, rel: str, lines: list[str]):
+        if rel in CATCH_ALL_ALLOWED:
+            return
+        for i, line in enumerate(lines, 1):
+            if CATCH_ALL_RE.search(line):
+                self.report(rel, i, "R9-no-catch-all",
+                            "catch (...) swallows faults that must crash "
+                            "loudly; only the ThreadPool worker loop "
+                            "(src/util/thread_pool.cc) may contain one")
 
     def expected_guard(self, rel: str) -> str:
         trimmed = rel[4:] if rel.startswith("src/") else rel
