@@ -1,0 +1,156 @@
+// Experiment E12 — FE prefix cache on a conditioning-heavy plan.
+// Results are recorded in EXPERIMENTS.md ("E12 — FE prefix cache").
+//
+// VolcanoML's conditioning blocks fix one FE sub-assignment and sweep the
+// algorithm/hyper-parameter half, so consecutive trials share their FE
+// prefix. This bench reproduces that access pattern directly: a handful
+// of FE prefixes (filtered to include an expensive feature_transform
+// choice — pca / nystroem / feature_agglomeration / polynomial) crossed
+// with cheap model variants, evaluated three ways:
+//   off   — fe_cache_capacity_mb = 0 (every trial refits FE);
+//   cold  — cache enabled, first pass (misses populate the cache);
+//   warm  — cache enabled, second identical pass (every FE lookup hits).
+// Memoization is disabled so every trial exercises the FE path; utilities
+// are asserted bit-identical across all three runs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace volcanoml {
+namespace bench {
+namespace {
+
+constexpr uint64_t kSeed = 33;
+constexpr size_t kNumFePrefixes = 6;
+constexpr size_t kModelsPerPrefix = 8;
+
+bool IsHeavyTransform(const SearchSpace& space, const Assignment& a) {
+  Configuration c = space.joint().FromAssignment(a);
+  std::string op = space.joint().GetChoiceName(c, "fe:feature_transform");
+  return op == "pca" || op == "nystroem" || op == "feature_agglomeration" ||
+         op == "polynomial";
+}
+
+bool IsCheapModel(const SearchSpace& space, const Assignment& a) {
+  Configuration c = space.joint().FromAssignment(a);
+  std::string algo = space.joint().GetChoiceName(c, "algorithm");
+  return algo == "gaussian_nb";
+}
+
+/// The conditioning plan: each FE prefix crossed with every model half.
+std::vector<EvalRequest> BuildPlan(const SearchSpace& space) {
+  Rng rng(kSeed);
+  std::vector<Assignment> fe_sources;
+  std::vector<Assignment> model_sources;
+  while (fe_sources.size() < kNumFePrefixes ||
+         model_sources.size() < kModelsPerPrefix) {
+    Assignment a = space.joint().ToAssignment(space.joint().Sample(&rng));
+    if (fe_sources.size() < kNumFePrefixes && IsHeavyTransform(space, a)) {
+      fe_sources.push_back(a);
+    } else if (model_sources.size() < kModelsPerPrefix &&
+               IsCheapModel(space, a)) {
+      model_sources.push_back(a);
+    }
+  }
+  std::vector<EvalRequest> plan;
+  for (const Assignment& fe_src : fe_sources) {
+    for (const Assignment& model_src : model_sources) {
+      Assignment mixed;
+      for (const auto& [name, value] : fe_src) {
+        if (name.rfind("fe:", 0) == 0) mixed[name] = value;
+      }
+      for (const auto& [name, value] : model_src) {
+        if (name.rfind("fe:", 0) != 0) mixed[name] = value;
+      }
+      plan.push_back({std::move(mixed), 1.0});
+    }
+  }
+  return plan;
+}
+
+struct RunResult {
+  std::vector<double> utilities;
+  double seconds = 0.0;
+  FeCache::Stats stats;
+};
+
+RunResult RunPlan(const SearchSpace& space, const Dataset& data,
+                  const std::vector<EvalRequest>& plan, size_t cache_mb,
+                  size_t passes) {
+  EvaluatorOptions options;
+  options.seed = kSeed;
+  options.memoize = false;
+  options.fe_cache_capacity_mb = cache_mb;
+  PipelineEvaluator evaluator(&space, &data, options);
+  RunResult result;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    Stopwatch timer;
+    result.utilities = evaluator.EvaluateBatch(plan);
+    result.seconds = timer.ElapsedSeconds();  // Last pass's wall time.
+    result.stats = evaluator.fe_cache_stats();
+  }
+  return result;
+}
+
+void Run() {
+  const int repeats = BenchScale() >= 1.0 ? 3 : 1;
+  SearchSpaceOptions space_options;
+  space_options.task = TaskType::kClassification;
+  space_options.preset = SpacePreset::kLarge;
+  SearchSpace space(space_options);
+  Dataset data = MakeBlobs(800, 40, 3, 1.5, kSeed);
+  std::vector<EvalRequest> plan = BuildPlan(space);
+
+  std::printf("E12 — FE prefix cache, conditioning-heavy plan\n");
+  std::printf("plan: %zu trials (%zu FE prefixes x %zu model configs), "
+              "%zux%zu blobs\n\n",
+              plan.size(), kNumFePrefixes, kModelsPerPrefix,
+              data.NumSamples(), data.NumFeatures());
+  std::printf("%-6s %12s %10s %10s %10s\n", "mode", "seconds", "hits",
+              "misses", "evict");
+
+  double best_off = 1e300, best_cold = 1e300, best_warm = 1e300;
+  std::vector<double> reference;
+  for (int rep = 0; rep < repeats; ++rep) {
+    RunResult off = RunPlan(space, data, plan, 0, 1);
+    RunResult cold = RunPlan(space, data, plan, 256, 1);
+    RunResult warm = RunPlan(space, data, plan, 256, 2);
+    if (reference.empty()) reference = off.utilities;
+    // The cache must be invisible in the results.
+    VOLCANOML_CHECK(off.utilities == reference);
+    VOLCANOML_CHECK(cold.utilities == reference);
+    VOLCANOML_CHECK(warm.utilities == reference);
+    best_off = std::min(best_off, off.seconds);
+    best_cold = std::min(best_cold, cold.seconds);
+    best_warm = std::min(best_warm, warm.seconds);
+  }
+  std::printf("%-6s %12.4f %10s %10s %10s\n", "off", best_off, "-", "-", "-");
+  RunResult cold = RunPlan(space, data, plan, 256, 1);
+  std::printf("%-6s %12.4f %10llu %10llu %10llu\n", "cold", best_cold,
+              static_cast<unsigned long long>(cold.stats.hits),
+              static_cast<unsigned long long>(cold.stats.misses),
+              static_cast<unsigned long long>(cold.stats.evictions));
+  RunResult warm = RunPlan(space, data, plan, 256, 2);
+  std::printf("%-6s %12.4f %10llu %10llu %10llu\n", "warm", best_warm,
+              static_cast<unsigned long long>(warm.stats.hits),
+              static_cast<unsigned long long>(warm.stats.misses),
+              static_cast<unsigned long long>(warm.stats.evictions));
+  std::printf("\nwarm speedup vs off: %.2fx  (cold overhead: %.2fx)\n",
+              best_off / best_warm, best_cold / best_off);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace volcanoml
+
+int main() {
+  volcanoml::bench::Run();
+  return 0;
+}

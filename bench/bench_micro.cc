@@ -9,6 +9,8 @@
 #include "bo/smac.h"
 #include "bo/surrogate.h"
 #include "core/joint_block.h"
+#include "data/kernels.h"
+#include "data/matrix.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "eval/search_space.h"
@@ -103,6 +105,104 @@ void BM_PipelineEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PipelineEvaluation);
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng.Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a = RandomMatrix(n, n, 12);
+  Matrix b = RandomMatrix(n, n, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256);
+
+void BM_GemmKernelOnly(benchmark::State& state) {
+  // The kernel without the Transpose() the Multiply() wrapper performs,
+  // i.e. the inner-loop cost the FE projections pay.
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a = RandomMatrix(n, n, 14);
+  Matrix bt = RandomMatrix(n, n, 15);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    GemmTransBKernel(a.data().data(), bt.data().data(), c.data().data(), n, n,
+                     n);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmKernelOnly)->Arg(64)->Arg(256);
+
+void BM_GemmNaive(benchmark::State& state) {
+  // Pre-kernel reference: the simple i-k-j triple loop Matrix::Multiply
+  // used before PR 4, kept here so the kernel speedup stays measured.
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a = RandomMatrix(n, n, 12);
+  Matrix b = RandomMatrix(n, n, 13);
+  for (auto _ : state) {
+    Matrix c(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t t = 0; t < n; ++t) {
+        const double aik = a(i, t);
+        if (aik == 0.0) continue;
+        for (size_t j = 0; j < n; ++j) c(i, j) += aik * b(t, j);
+      }
+    }
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(256);
+
+void BM_Transpose(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix m = RandomMatrix(n, n, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Transpose());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
+
+void BM_TransposeNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix m = RandomMatrix(n, n, 16);
+  for (auto _ : state) {
+    Matrix t(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) t(j, i) = m(i, j);
+    }
+    benchmark::DoNotOptimize(t.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_TransposeNaive)->Arg(256)->Arg(1024);
+
+void BM_Dot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a = RandomMatrix(1, n, 17);
+  Matrix b = RandomMatrix(1, n, 18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DotKernel(a.RowPtr(0), b.RowPtr(0), n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Dot)->Arg(1024)->Arg(65536);
 
 void BM_JointBlockPull(benchmark::State& state) {
   static Dataset* data = new Dataset(MakeBlobs(300, 8, 2, 1.5, 10));

@@ -49,9 +49,18 @@ Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
 
 Dataset Dataset::WithFeatures(Matrix new_x) const {
   VOLCANOML_CHECK(new_x.rows() == y_.size());
-  Dataset out = *this;
+  Dataset out;
+  out.name_ = name_;
   out.x_ = std::move(new_x);
+  out.y_ = y_;
+  out.task_ = task_;
+  out.num_classes_ = num_classes_;
   return out;
+}
+
+void Dataset::ReplaceFeatures(Matrix new_x) {
+  VOLCANOML_CHECK(new_x.rows() == y_.size());
+  x_ = std::move(new_x);
 }
 
 std::vector<size_t> Dataset::ClassCounts() const {

@@ -48,6 +48,10 @@ class Dataset {
   /// feature-engineering operators that change dimensionality.
   [[nodiscard]] Dataset WithFeatures(Matrix new_x) const;
 
+  /// In-place variant of WithFeatures: swaps in a new feature matrix
+  /// without touching targets or metadata.
+  void ReplaceFeatures(Matrix new_x);
+
   /// Per-class sample counts (classification only).
   [[nodiscard]] std::vector<size_t> ClassCounts() const;
 

@@ -1,0 +1,103 @@
+#include "data/kernels.h"
+
+#include <algorithm>
+
+namespace volcanoml {
+
+namespace {
+
+/// Tile edge for the blocked transpose: 32 * 32 doubles = 8 KiB, which
+/// fits two tiles (source + destination) comfortably in a 32 KiB L1.
+constexpr size_t kTransposeTile = 32;
+
+/// Row-block size for GemmTransB: how many rows of bt (columns of B) are
+/// kept hot while streaming rows of a. 64 rows x 256 doubles = 128 KiB
+/// upper bound, sized for L2.
+constexpr size_t kGemmColBlock = 64;
+
+}  // namespace
+
+double DotKernel(const double* a, const double* b, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+void AxpyKernel(double alpha, const double* x, double* y, size_t n) {
+  if (alpha == 0.0) return;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y[i] += alpha * x[i];
+    y[i + 1] += alpha * x[i + 1];
+    y[i + 2] += alpha * x[i + 2];
+    y[i + 3] += alpha * x[i + 3];
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleKernel(double alpha, double* x, size_t n) {
+  if (alpha == 1.0) return;
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double SquaredDistanceKernel(const double* a, const double* b, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    double d0 = a[i] - b[i];
+    double d1 = a[i + 1] - b[i + 1];
+    double d2 = a[i + 2] - b[i + 2];
+    double d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    double d = a[i] - b[i];
+    s0 += d * d;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+void TransposeKernel(const double* src, size_t rows, size_t cols,
+                     double* dst) {
+  for (size_t ib = 0; ib < rows; ib += kTransposeTile) {
+    const size_t imax = std::min(rows, ib + kTransposeTile);
+    for (size_t jb = 0; jb < cols; jb += kTransposeTile) {
+      const size_t jmax = std::min(cols, jb + kTransposeTile);
+      for (size_t i = ib; i < imax; ++i) {
+        const double* row = src + i * cols;
+        for (size_t j = jb; j < jmax; ++j) {
+          dst[j * rows + i] = row[j];
+        }
+      }
+    }
+  }
+}
+
+void GemmTransBKernel(const double* a, const double* bt, double* c,
+                      size_t m, size_t k, size_t n) {
+  // c(i, j) = dot(a row i, bt row j). Walking j in blocks keeps the
+  // active kGemmColBlock rows of bt cache-resident while every row of a
+  // streams past them once per block.
+  for (size_t jb = 0; jb < n; jb += kGemmColBlock) {
+    const size_t jmax = std::min(n, jb + kGemmColBlock);
+    for (size_t i = 0; i < m; ++i) {
+      const double* arow = a + i * k;
+      double* crow = c + i * n;
+      for (size_t j = jb; j < jmax; ++j) {
+        crow[j] = DotKernel(arow, bt + j * k, k);
+      }
+    }
+  }
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,56 @@
+#ifndef VOLCANOML_DATA_KERNELS_H_
+#define VOLCANOML_DATA_KERNELS_H_
+
+#include <cstddef>
+
+namespace volcanoml {
+
+/// Shared low-level compute kernels for the numeric hot paths.
+///
+/// Every dense inner loop in the system — matrix products, FE projections
+/// (PCA / random projection / Nystroem), the linear-model and MLP training
+/// loops, and brute-force kNN distances — bottoms out in one of these
+/// primitives. Centralizing them buys three things: one place to apply
+/// blocking/unrolling, one place to reason about determinism (all kernels
+/// are sequential-deterministic: the same inputs always produce the same
+/// bits, regardless of caller or thread), and one seam for a future SIMD
+/// or accelerator backend.
+///
+/// All kernels operate on raw pointers so both Matrix storage and plain
+/// std::vector buffers can use them without adapters.
+
+/// Dot product sum_i a[i] * b[i]. Four independent accumulators break the
+/// floating-point dependency chain; the lane sums are combined in a fixed
+/// order, so the result is deterministic (but not bit-identical to a
+/// single-accumulator loop).
+[[nodiscard]] double DotKernel(const double* a, const double* b, size_t n);
+
+/// y[i] += alpha * x[i]. No-op when alpha == 0.
+void AxpyKernel(double alpha, const double* x, double* y, size_t n);
+
+/// x[i] *= alpha.
+void ScaleKernel(double alpha, double* x, size_t n);
+
+/// Squared Euclidean distance sum_i (a[i] - b[i])^2, same four-lane
+/// scheme as DotKernel.
+[[nodiscard]] double SquaredDistanceKernel(const double* a, const double* b,
+                                           size_t n);
+
+/// Blocked transpose: dst (cols x rows, row-major) = src (rows x cols,
+/// row-major) transposed. Tiles the copy so both source rows and
+/// destination rows stay cache-resident; src and dst must not alias.
+void TransposeKernel(const double* src, size_t rows, size_t cols,
+                     double* dst);
+
+/// GEMM with a pre-transposed right operand:
+///   c (m x n, row-major) = a (m x k, row-major) * bt^T,
+/// where bt is n x k row-major (i.e. bt row j holds column j of B).
+/// Both operands are walked contiguously, so the kernel is cache-friendly
+/// for every shape; c is overwritten. Blocked over rows of bt so the
+/// active tile of B stays in cache across consecutive rows of a.
+void GemmTransBKernel(const double* a, const double* bt, double* c,
+                      size_t m, size_t k, size_t n);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DATA_KERNELS_H_

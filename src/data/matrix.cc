@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "data/kernels.h"
+
 namespace volcanoml {
 
 std::vector<double> Matrix::Row(size_t i) const {
@@ -87,25 +89,20 @@ std::vector<double> Matrix::ColStdDevs() const {
 
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
-  }
+  if (!empty()) TransposeKernel(data_.data(), rows_, cols_, out.data().data());
   return out;
 }
 
 Matrix Matrix::Multiply(const Matrix& other) const {
   VOLCANOML_CHECK(cols_ == other.rows());
   Matrix out(rows_, other.cols());
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = RowPtr(i);
-    double* o = out.RowPtr(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      double aik = a[k];
-      if (aik == 0.0) continue;
-      const double* b = other.RowPtr(k);
-      for (size_t j = 0; j < other.cols(); ++j) o[j] += aik * b[j];
-    }
-  }
+  if (empty() || other.cols() == 0) return out;
+  // One blocked transpose makes every inner product walk both operands
+  // contiguously; it pays for itself whenever k > a few dozen and is
+  // noise for the small matrices (its cost is one extra pass over B).
+  Matrix bt = other.Transpose();
+  GemmTransBKernel(data_.data(), bt.data().data(), out.data().data(), rows_,
+                   cols_, other.cols());
   return out;
 }
 

@@ -13,7 +13,10 @@ namespace volcanoml {
 /// This is the single numeric container shared by datasets, feature
 /// engineering operators, and models. It is intentionally minimal: the
 /// project needs contiguous row access, a few column statistics, and small
-/// dense products (for PCA/LDA), not a full BLAS.
+/// dense products (for PCA/LDA), not a full BLAS. Transpose() and
+/// Multiply() route through the blocked kernels in data/kernels.h; hot
+/// loops that want dot/axpy/distance primitives use those kernels on the
+/// RowPtr() storage directly.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}

@@ -18,16 +18,23 @@ namespace volcanoml {
 
 namespace {
 
+/// Whether a parameter belongs to the feature-engineering sub-assignment
+/// (stage choices "fe:<stage>" and operator params "fe:<stage>:<op>:<p>").
+bool IsFeParam(const std::string& name) { return name.rfind("fe:", 0) == 0; }
+
 /// FNV-style hash of an assignment, used to derive deterministic
 /// per-configuration seeds (the same configuration always trains with the
-/// same randomness, which stabilizes the search).
-uint64_t HashAssignment(const Assignment& assignment) {
+/// same randomness, which stabilizes the search). When `fe_only` is set,
+/// only FE parameters are mixed in, so the hash — and every seed derived
+/// from it — is a pure function of the FE prefix.
+uint64_t HashAssignment(const Assignment& assignment, bool fe_only = false) {
   uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](uint64_t v) {
     h ^= v;
     h *= 1099511628211ULL;
   };
   for (const auto& [name, value] : assignment) {
+    if (fe_only && !IsFeParam(name)) continue;
     for (char ch : name) mix(static_cast<uint64_t>(ch));
     uint64_t bits;
     static_assert(sizeof(bits) == sizeof(value));
@@ -65,6 +72,10 @@ uint64_t EvalContext::RequestHash(const Assignment& assignment) {
   return HashAssignment(assignment);
 }
 
+uint64_t EvalContext::FeRequestHash(const Assignment& assignment) {
+  return HashAssignment(assignment, /*fe_only=*/true);
+}
+
 EvalContext::EvalContext(const SearchSpace* space, const Dataset* data,
                          const EvaluatorOptions& options)
     : space_(space), data_(data), options_(options) {
@@ -76,16 +87,25 @@ EvalContext::EvalContext(const SearchSpace* space, const Dataset* data,
   } else {
     splits_ = {TrainTestSplit(*data_, options_.validation_fraction, &rng)};
   }
+  if (options_.fe_cache_capacity_mb > 0) {
+    fe_cache_ = std::make_unique<FeCache>(options_.fe_cache_capacity_mb *
+                                          (size_t{1} << 20));
+  }
 }
 
-Status EvalContext::BuildPipeline(const Assignment& assignment, uint64_t seed,
-                                  FePipeline* fe,
-                                  std::unique_ptr<Model>* model) const {
+FeCache::Stats EvalContext::fe_cache_stats() const {
+  return fe_cache_ != nullptr ? fe_cache_->GetStats() : FeCache::Stats{};
+}
+
+Status EvalContext::BuildFePipeline(const Assignment& assignment,
+                                    uint64_t fe_seed, FePipeline* fe) const {
   const ConfigurationSpace& joint = space_->joint();
   Configuration config = joint.FromAssignment(assignment);
-  Rng rng(seed);
+  Rng rng(fe_seed);
 
-  // Feature-engineering operators in stage order.
+  // Feature-engineering operators in stage order. Each operator's seed is
+  // a fork of the FE-sub-assignment stream, never of the full-assignment
+  // stream — the invariant the FE cache's exactness rests on.
   for (FeStage stage : space_->stages()) {
     std::string stage_param = std::string("fe:") + FeStageName(stage);
     size_t choice = joint.GetChoice(config, stage_param);
@@ -103,8 +123,14 @@ Status EvalContext::BuildPipeline(const Assignment& assignment, uint64_t seed,
     Configuration op_config = op.hp_space.FromAssignment(local);
     fe->Add(op.create(op.hp_space, op_config, rng.Fork()));
   }
+  return Status::Ok();
+}
 
-  // Model.
+Status EvalContext::BuildModel(const Assignment& assignment, uint64_t seed,
+                               std::unique_ptr<Model>* model) const {
+  const ConfigurationSpace& joint = space_->joint();
+  Configuration config = joint.FromAssignment(assignment);
+  Rng rng(seed);
   std::string algorithm = joint.GetChoiceName(config, "algorithm");
   const Algorithm& algo = FindAlgorithm(algorithm, space_->task());
   std::string prefix = "alg:" + algorithm + ":";
@@ -119,17 +145,40 @@ Status EvalContext::BuildPipeline(const Assignment& assignment, uint64_t seed,
   return Status::Ok();
 }
 
-EvalContext::SplitResult EvalContext::EvaluateOnSplit(
-    const Assignment& assignment, const Split& split, double fidelity,
-    uint64_t seed) const {
-  const double failure = FailureUtility(space_->task());
-  Dataset train = data_->Subset(split.train);
-  Dataset valid = data_->Subset(split.test);
-  if (fidelity < 1.0) {
-    Rng rng(seed ^ 0x5f5f5f5fULL);
-    std::vector<size_t> idx = SubsampleIndices(train, fidelity, 20, &rng);
-    train = train.Subset(idx);
+std::string EvalContext::FeCacheKeyFor(const Assignment& assignment,
+                                       size_t split_index,
+                                       double fidelity) const {
+  // Exact contents, not a hash: distinct FE sub-assignments must never
+  // alias to the same cached matrices.
+  std::string key;
+  key.reserve(assignment.size() * 16 + 3 * sizeof(double));
+  auto append_bits = [&key](uint64_t bits) {
+    char raw[sizeof(bits)];
+    std::memcpy(raw, &bits, sizeof(raw));
+    key.append(raw, sizeof(raw));
+  };
+  for (const auto& [name, value] : assignment) {
+    if (name.rfind("fe:", 0) != 0) continue;
+    key.append(name);
+    key.push_back('=');
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    append_bits(bits);
+    key.push_back(';');
   }
+  key.push_back('@');
+  append_bits(static_cast<uint64_t>(split_index));
+  uint64_t fidelity_bits;
+  std::memcpy(&fidelity_bits, &fidelity, sizeof(fidelity_bits));
+  append_bits(fidelity_bits);
+  append_bits(options_.seed);
+  return key;
+}
+
+EvalContext::SplitResult EvalContext::EvaluateOnSplit(
+    const Assignment& assignment, const Split& split, size_t split_index,
+    double fidelity, uint64_t seed, uint64_t fe_seed) const {
+  const double failure = FailureUtility(space_->task());
 
   // A DeadlineExceeded Status from any fit stage reclassifies the split
   // as timed out rather than genuinely failed.
@@ -139,24 +188,54 @@ EvalContext::SplitResult EvalContext::EvaluateOnSplit(
                : TrialOutcome::kTrainFailed;
   };
 
-  FePipeline fe;
-  std::unique_ptr<Model> model;
-  Status s = BuildPipeline(assignment, seed, &fe, &model);
-  if (!s.ok()) return {failure, TrialOutcome::kBuildFailed};
-
-  Result<Dataset> engineered = fe.FitTransform(train);
-  if (!engineered.ok()) {
-    VOLCANOML_LOG(Debug) << "FE failed: " << engineered.status().ToString();
-    return {failure, classify(engineered.status())};
+  // FE phase: reuse a cached prefix result when available, otherwise fit
+  // the pipeline and publish it. Only kOk FE results are cached — a
+  // deadline-truncated FitTransform is wall-clock dependent and must not
+  // be replayed as if it were the configuration's true behavior.
+  std::string fe_key;
+  std::shared_ptr<const FeCacheEntry> fe_entry;
+  if (fe_cache_ != nullptr) {
+    fe_key = FeCacheKeyFor(assignment, split_index, fidelity);
+    fe_entry = fe_cache_->Get(fe_key);
   }
-  s = model->Fit(engineered.value());
+  if (fe_entry == nullptr) {
+    Dataset train = data_->Subset(split.train);
+    if (fidelity < 1.0) {
+      // Subsample seed from the FE stream: the rows the model trains on
+      // are part of the cached FE result, so they too must be a pure
+      // function of the FE prefix.
+      Rng rng(fe_seed ^ 0x5f5f5f5fULL);
+      std::vector<size_t> idx = SubsampleIndices(train, fidelity, 20, &rng);
+      train = train.Subset(idx);
+    }
+    FePipeline fe;
+    Status s = BuildFePipeline(assignment, fe_seed, &fe);
+    if (!s.ok()) return {failure, TrialOutcome::kBuildFailed};
+    Result<Dataset> engineered = fe.FitTransform(std::move(train));
+    if (!engineered.ok()) {
+      VOLCANOML_LOG(Debug) << "FE failed: " << engineered.status().ToString();
+      return {failure, classify(engineered.status())};
+    }
+    Dataset valid = data_->Subset(split.test);
+    valid.ReplaceFeatures(fe.Transform(std::move(valid.mutable_x())));
+    auto entry = std::make_shared<FeCacheEntry>();
+    entry->fe = std::move(fe);
+    entry->train = std::move(engineered.value());
+    entry->valid = std::move(valid);
+    if (fe_cache_ != nullptr) fe_cache_->Put(fe_key, entry);
+    fe_entry = std::move(entry);
+  }
+
+  std::unique_ptr<Model> model;
+  Status s = BuildModel(assignment, seed, &model);
+  if (!s.ok()) return {failure, TrialOutcome::kBuildFailed};
+  s = model->Fit(fe_entry->train);
   if (!s.ok()) {
     VOLCANOML_LOG(Debug) << "model fit failed: " << s.ToString();
     return {failure, classify(s)};
   }
-  Matrix valid_x = fe.Transform(valid.x());
-  std::vector<double> pred = model->Predict(valid_x);
-  double utility = Utility(valid, pred);
+  std::vector<double> pred = model->Predict(fe_entry->valid.x());
+  double utility = Utility(fe_entry->valid, pred);
   if (!std::isfinite(utility)) return {failure, TrialOutcome::kNonFinite};
   return {utility, TrialOutcome::kOk};
 }
@@ -166,6 +245,7 @@ EvalOutcome EvalContext::EvaluateOnce(const Assignment& assignment,
   VOLCANOML_CHECK(fidelity > 0.0 && fidelity <= 1.0);
   const uint64_t hash = HashAssignment(assignment);
   const uint64_t seed = hash ^ options_.seed;
+  const uint64_t fe_seed = FeRequestHash(assignment) ^ options_.seed;
   Stopwatch timer;
 
   // Install this trial's deadline for every cooperation point below us.
@@ -219,7 +299,7 @@ EvalOutcome EvalContext::EvaluateOnce(const Assignment& assignment,
       break;
     }
     SplitResult split_result =
-        EvaluateOnSplit(assignment, splits_[si], fidelity, seed);
+        EvaluateOnSplit(assignment, splits_[si], si, fidelity, seed, fe_seed);
     total += split_result.utility;
     if (outcome == TrialOutcome::kOk) outcome = split_result.outcome;
   }
@@ -257,9 +337,12 @@ std::string EvalContext::CacheKey(const Assignment& assignment,
 Result<FittedPipeline> EvalContext::FitFinal(
     const Assignment& assignment) const {
   uint64_t seed = HashAssignment(assignment) ^ options_.seed;
+  uint64_t fe_seed = FeRequestHash(assignment) ^ options_.seed;
   FePipeline fe;
   std::unique_ptr<Model> model;
-  Status s = BuildPipeline(assignment, seed, &fe, &model);
+  Status s = BuildFePipeline(assignment, fe_seed, &fe);
+  if (!s.ok()) return s;
+  s = BuildModel(assignment, seed, &model);
   if (!s.ok()) return s;
   Result<Dataset> engineered = fe.FitTransform(*data_);
   if (!engineered.ok()) return engineered.status();

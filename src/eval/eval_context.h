@@ -10,6 +10,7 @@
 #include "data/dataset.h"
 #include "data/splits.h"
 #include "eval/fault_injector.h"
+#include "eval/fe_cache.h"
 #include "eval/search_space.h"
 #include "fe/pipeline.h"
 #include "ml/model.h"
@@ -103,6 +104,14 @@ struct EvaluatorOptions {
   /// overrun by at most one cooperation interval (one epoch / tree /
   /// boosting round / FE operator).
   double trial_timeout_seconds = 0.0;
+  /// Byte budget (in MiB) for the feature-engineering prefix cache; 0
+  /// (the default) disables it. When enabled, evaluations whose FE
+  /// sub-assignment, split, and fidelity match a cached entry skip
+  /// FitTransform and start the model phase from the cached matrices.
+  /// Because FE randomness derives from the FE sub-assignment alone, a
+  /// hit is bit-identical to recomputation; budget accounting is
+  /// unaffected in deterministic-unit mode.
+  size_t fe_cache_capacity_mb = 0;
   /// Optional deterministic fault injection (not owned; may be null).
   /// Faulted trials report kFaultInjected / kTimedOut / kNonFinite.
   const FaultInjector* fault_injector = nullptr;
@@ -113,10 +122,13 @@ struct EvaluatorOptions {
 /// method is const, so one context can be shared by any number of
 /// concurrent evaluation workers without synchronization.
 ///
-/// Randomness scheme: each request derives its RNG seed as
-/// `HashAssignment(assignment) ^ options.seed` — a per-request stream
-/// independent of evaluation order, which is what makes a batched run
-/// reproduce the serial run's utilities bit-for-bit.
+/// Randomness scheme: each request derives two seeds — the model seed from
+/// `RequestHash(assignment) ^ options.seed` and the FE seed from
+/// `FeRequestHash(assignment) ^ options.seed` (FE sub-assignment only).
+/// Both are per-request streams independent of evaluation order, which is
+/// what makes a batched run reproduce the serial run's utilities
+/// bit-for-bit; the FE seed depending only on the FE prefix is what makes
+/// the FE cache exact (see DESIGN.md "FE prefix cache & compute kernels").
 class EvalContext {
  public:
   EvalContext(const SearchSpace* space, const Dataset* data,
@@ -134,6 +146,13 @@ class EvalContext {
   /// can predict which configurations an injector will fault.
   [[nodiscard]] static uint64_t RequestHash(const Assignment& assignment);
 
+  /// Hash of the feature-engineering sub-assignment only (parameters whose
+  /// names start with "fe:"). FE-stage seeds and the fidelity-subsample
+  /// seed derive from this hash, so configurations sharing an FE prefix
+  /// train their FE stages with identical randomness — the property that
+  /// makes FE-cache hits bit-identical to recomputation.
+  [[nodiscard]] static uint64_t FeRequestHash(const Assignment& assignment);
+
   /// Trains the configured pipeline on ALL of this context's data and
   /// returns it for test-time prediction.
   [[nodiscard]] Result<FittedPipeline> FitFinal(
@@ -149,11 +168,27 @@ class EvalContext {
   [[nodiscard]] const Dataset& data() const { return *data_; }
   [[nodiscard]] const EvaluatorOptions& options() const { return options_; }
 
+  /// FE-cache telemetry (all zeros when the cache is disabled).
+  [[nodiscard]] FeCache::Stats fe_cache_stats() const;
+
  private:
-  /// Builds (unfitted) FE pipeline + model from an assignment.
-  [[nodiscard]] Status BuildPipeline(const Assignment& assignment,
-                                     uint64_t seed, FePipeline* fe,
-                                     std::unique_ptr<Model>* model) const;
+  /// Builds the (unfitted) FE pipeline from an assignment. `fe_seed` must
+  /// be derived from FeRequestHash so identical FE prefixes build
+  /// identically seeded operators.
+  [[nodiscard]] Status BuildFePipeline(const Assignment& assignment,
+                                       uint64_t fe_seed, FePipeline* fe) const;
+
+  /// Builds the (unfitted) model from an assignment. `seed` derives from
+  /// the full-assignment hash, so model randomness still varies across
+  /// configurations sharing an FE prefix.
+  [[nodiscard]] Status BuildModel(const Assignment& assignment, uint64_t seed,
+                                  std::unique_ptr<Model>* model) const;
+
+  /// Exact (non-hashed) FE-cache key: the serialized FE sub-assignment
+  /// plus split index, fidelity, and the cv seed.
+  [[nodiscard]] std::string FeCacheKeyFor(const Assignment& assignment,
+                                          size_t split_index,
+                                          double fidelity) const;
 
   /// One split's utility plus its failure classification.
   struct SplitResult {
@@ -163,13 +198,18 @@ class EvalContext {
 
   [[nodiscard]] SplitResult EvaluateOnSplit(const Assignment& assignment,
                                             const Split& split,
-                                            double fidelity,
-                                            uint64_t seed) const;
+                                            size_t split_index,
+                                            double fidelity, uint64_t seed,
+                                            uint64_t fe_seed) const;
 
   const SearchSpace* space_;
   const Dataset* data_;
   EvaluatorOptions options_;
   std::vector<Split> splits_;  ///< Fixed validation splits.
+  /// FE prefix cache; null when options_.fe_cache_capacity_mb == 0. The
+  /// cache is internally synchronized, so sharing one context across
+  /// evaluation workers stays safe.
+  std::unique_ptr<FeCache> fe_cache_;
 };
 
 }  // namespace volcanoml

@@ -62,6 +62,12 @@ class PipelineEvaluator {
     return context_.FitFinal(assignment);
   }
 
+  /// FE prefix cache telemetry (all zeros when
+  /// EvaluatorOptions::fe_cache_capacity_mb == 0).
+  [[nodiscard]] FeCache::Stats fe_cache_stats() const {
+    return context_.fe_cache_stats();
+  }
+
   /// Budget units consumed so far (sum of fidelities evaluated).
   [[nodiscard]] double consumed_budget() const {
     return engine_.consumed_budget();

@@ -1,0 +1,95 @@
+#include "eval/fe_cache.h"
+
+#include <functional>
+
+namespace volcanoml {
+
+namespace {
+
+/// Rough per-operator heap cost of a fitted pipeline (learned statistics,
+/// projection rows, reference quantiles). Deliberately generous so the
+/// byte budget errs toward under-filling rather than over-filling.
+constexpr size_t kPipelineBytesPerOp = 4096;
+
+size_t DatasetBytes(const Dataset& d) {
+  return d.x().rows() * d.x().cols() * sizeof(double) +
+         d.y().size() * sizeof(double);
+}
+
+}  // namespace
+
+size_t FeCacheEntry::ApproxBytes() const {
+  return sizeof(FeCacheEntry) + DatasetBytes(train) + DatasetBytes(valid) +
+         fe.NumOperators() * kPipelineBytesPerOp;
+}
+
+FeCache::FeCache(size_t capacity_bytes)
+    : shard_capacity_bytes_(capacity_bytes / kNumShards) {
+  shards_.reserve(kNumShards);
+  for (size_t i = 0; i < kNumShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+FeCache::Shard& FeCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+std::shared_ptr<const FeCacheEntry> FeCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  // Move the node to the front (most recently used).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->entry;
+}
+
+void FeCache::Put(const std::string& key,
+                  std::shared_ptr<const FeCacheEntry> entry) {
+  const size_t bytes = entry->ApproxBytes();
+  if (bytes > shard_capacity_bytes_) return;  // Never fits; don't thrash.
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace in place and refresh recency.
+    shard.bytes -= it->second->bytes;
+    it->second->entry = std::move(entry);
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Node{key, std::move(entry), bytes});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += bytes;
+    ++shard.insertions;
+  }
+  while (shard.bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
+    Node& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+FeCache::Stats FeCache::GetStats() const {
+  Stats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.insertions += shard->insertions;
+    stats.evictions += shard->evictions;
+    stats.bytes += shard->bytes;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,112 @@
+#ifndef VOLCANOML_EVAL_FE_CACHE_H_
+#define VOLCANOML_EVAL_FE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fe/pipeline.h"
+#include "util/thread_annotations.h"
+
+namespace volcanoml {
+
+/// One cached feature-engineering result for a (FE sub-assignment,
+/// validation split, fidelity, cv seed) request: the fitted pipeline, the
+/// engineered (possibly resampled/subsampled) training split, and the
+/// validation split with transformed features. Entries are immutable once
+/// published and handed out as shared_ptr<const>, so an eviction can never
+/// invalidate a reader that is mid-trial.
+struct FeCacheEntry {
+  FePipeline fe;
+  Dataset train;  ///< Engineered training split, ready for Model::Fit.
+  Dataset valid;  ///< Validation split with FE-transformed features.
+
+  /// Approximate heap footprint, used for the cache's byte budget.
+  [[nodiscard]] size_t ApproxBytes() const;
+};
+
+/// Byte-bounded, sharded LRU cache for feature-engineering results.
+///
+/// VolcanoML's decomposed search repeatedly evaluates configurations that
+/// share an FE sub-assignment (conditioning blocks fix the FE prefix while
+/// sweeping algorithms; alternating blocks hold the FE subspace constant
+/// during HPO). Because FE-stage randomness derives from the FE
+/// sub-assignment hash alone (see DESIGN.md "FE prefix cache & compute
+/// kernels"), a hit is bit-identical to recomputing FitTransform, and the
+/// model phase can start directly from the cached matrices.
+///
+/// Concurrency: the key space is split across kNumShards shards, each with
+/// its own mutex and LRU list, so worker threads evaluating different FE
+/// prefixes rarely contend. All methods are safe to call concurrently.
+class FeCache {
+ public:
+  /// Telemetry snapshot, aggregated across shards.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t bytes = 0;     ///< Bytes currently resident.
+    size_t entries = 0;   ///< Entries currently resident.
+  };
+
+  /// `capacity_bytes` is the total budget across all shards; each shard
+  /// gets an equal slice. A capacity of 0 constructs a cache that never
+  /// stores anything (every Get is a miss).
+  explicit FeCache(size_t capacity_bytes);
+
+  FeCache(const FeCache&) = delete;
+  FeCache& operator=(const FeCache&) = delete;
+
+  /// Returns the entry for `key` and marks it most-recently-used, or
+  /// nullptr on a miss.
+  [[nodiscard]] std::shared_ptr<const FeCacheEntry> Get(
+      const std::string& key);
+
+  /// Inserts `entry` under `key`, evicting least-recently-used entries
+  /// from the key's shard until the shard fits its byte budget. Entries
+  /// larger than a whole shard are not stored. Re-inserting an existing
+  /// key refreshes its recency and replaces the entry.
+  void Put(const std::string& key, std::shared_ptr<const FeCacheEntry> entry);
+
+  /// Aggregated hit/miss/eviction/size counters.
+  [[nodiscard]] Stats GetStats() const;
+
+ private:
+  static constexpr size_t kNumShards = 8;
+
+  struct Node {
+    std::string key;
+    std::shared_ptr<const FeCacheEntry> entry;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Most-recently-used at the front.
+    std::list<Node> lru VOLCANOML_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<Node>::iterator> index
+        VOLCANOML_GUARDED_BY(mu);
+    size_t bytes VOLCANOML_GUARDED_BY(mu) = 0;
+    uint64_t hits VOLCANOML_GUARDED_BY(mu) = 0;
+    uint64_t misses VOLCANOML_GUARDED_BY(mu) = 0;
+    uint64_t insertions VOLCANOML_GUARDED_BY(mu) = 0;
+    uint64_t evictions VOLCANOML_GUARDED_BY(mu) = 0;
+  };
+
+  [[nodiscard]] Shard& ShardFor(const std::string& key);
+
+  size_t shard_capacity_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_EVAL_FE_CACHE_H_

@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "data/kernels.h"
 #include "util/check.h"
 #include "util/stats.h"
 
@@ -23,14 +24,28 @@ Status FeatureAgglomeration::Fit(const Dataset& train) {
   const size_t d = x.cols();
   const size_t target = std::min(num_clusters_, d);
 
-  // Pairwise distance 1 - |corr|.
-  std::vector<std::vector<double>> columns(d);
-  for (size_t j = 0; j < d; ++j) columns[j] = x.Col(j);
+  // Pairwise distance 1 - |corr|. Centering and norming each column once
+  // turns every pair into a single dot product (the naive per-pair
+  // Pearson recomputes both means and both norms d times over).
+  const size_t n = x.rows();
+  Matrix centered(d, n);  // column-major view: row j = centered column j.
+  std::vector<double> norms(d);
+  std::vector<double> means = x.ColMeans();
+  for (size_t j = 0; j < d; ++j) {
+    double* col = centered.RowPtr(j);
+    for (size_t i = 0; i < n; ++i) col[i] = x(i, j) - means[j];
+    norms[j] = std::sqrt(DotKernel(col, col, n));
+  }
   Matrix dist(d, d);
   for (size_t a = 0; a < d; ++a) {
     for (size_t b = a + 1; b < d; ++b) {
-      double corr = std::abs(PearsonCorrelation(columns[a], columns[b]));
-      dist(a, b) = dist(b, a) = 1.0 - corr;
+      double denom = norms[a] * norms[b];
+      double corr =
+          denom > 1e-12
+              ? std::abs(DotKernel(centered.RowPtr(a), centered.RowPtr(b),
+                                   n)) / denom
+              : 0.0;
+      dist(a, b) = dist(b, a) = 1.0 - std::min(corr, 1.0);
     }
   }
 

@@ -26,6 +26,13 @@ class FeOperator {
   /// Applies the learned column transformation (identity for balancers).
   virtual Matrix Transform(const Matrix& x) const { return x; }
 
+  /// Transform() for a matrix the caller owns. Shape-preserving operators
+  /// override this to transform in place, so the pipeline's stage chain
+  /// moves one buffer along instead of materializing a fresh matrix per
+  /// operator. Default: delegates to Transform (dimension-changing
+  /// operators must allocate their new shape anyway).
+  virtual Matrix TransformOwned(Matrix x) const { return Transform(x); }
+
   /// Whether this operator resamples rows (balancers). Row operators are
   /// applied to the training split only.
   virtual bool ResamplesRows() const { return false; }

@@ -12,40 +12,41 @@ void FePipeline::Add(std::unique_ptr<FeOperator> op) {
   ops_.push_back(std::move(op));
 }
 
-Result<Dataset> FePipeline::FitTransform(const Dataset& train) {
-  Dataset current = train;
+Result<Dataset> FePipeline::FitTransform(Dataset train) {
   for (const std::unique_ptr<FeOperator>& op : ops_) {
     if (TrialDeadlineExpired()) {
       return Status::DeadlineExceeded(
           "feature-engineering pipeline interrupted by trial deadline");
     }
-    Status s = op->Fit(current);
+    Status s = op->Fit(train);
     if (!s.ok()) return s;
     if (op->ResamplesRows()) {
-      current = op->ResampleTrain(current);
-      if (current.NumSamples() == 0) {
+      train = op->ResampleTrain(train);
+      if (train.NumSamples() == 0) {
         return Status::Internal("balancer produced an empty dataset");
       }
     } else {
-      Matrix transformed = op->Transform(current.x());
+      // Hand the feature matrix to the operator and take the result back:
+      // shape-preserving operators mutate it in place, the rest allocate
+      // only their new shape. The dataset's targets/metadata never move.
+      Matrix transformed = op->TransformOwned(std::move(train.mutable_x()));
       if (transformed.cols() == 0) {
         return Status::Internal("operator produced zero features");
       }
-      current = current.WithFeatures(std::move(transformed));
+      train.ReplaceFeatures(std::move(transformed));
     }
   }
   fitted_ = true;
-  return current;
+  return train;
 }
 
-Matrix FePipeline::Transform(const Matrix& x) const {
+Matrix FePipeline::Transform(Matrix x) const {
   VOLCANOML_CHECK_MSG(fitted_, "Transform before FitTransform");
-  Matrix current = x;
   for (const std::unique_ptr<FeOperator>& op : ops_) {
     if (op->ResamplesRows()) continue;
-    current = op->Transform(current);
+    x = op->TransformOwned(std::move(x));
   }
-  return current;
+  return x;
 }
 
 }  // namespace volcanoml

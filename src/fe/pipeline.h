@@ -14,7 +14,10 @@ namespace volcanoml {
 /// FitTransform() fits each operator on the progressively transformed
 /// training data (balancers also resample it); Transform() replays the
 /// fitted column operators on new data (balancers are skipped, since test
-/// rows are never resampled).
+/// rows are never resampled). Both take their input by value and move it
+/// through the stage chain: callers that hand over ownership
+/// (std::move) pay zero copies, and shape-preserving operators transform
+/// the moving buffer in place via FeOperator::TransformOwned.
 class FePipeline {
  public:
   FePipeline() = default;
@@ -31,10 +34,10 @@ class FePipeline {
 
   /// Fits the chain on `train` and returns the fully transformed (and
   /// possibly resampled) training dataset.
-  Result<Dataset> FitTransform(const Dataset& train);
+  Result<Dataset> FitTransform(Dataset train);
 
   /// Applies the fitted column operators to a feature matrix.
-  Matrix Transform(const Matrix& x) const;
+  Matrix Transform(Matrix x) const;
 
  private:
   std::vector<std::unique_ptr<FeOperator>> ops_;

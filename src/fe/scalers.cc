@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "data/kernels.h"
 #include "util/check.h"
 #include "util/stats.h"
 
@@ -34,14 +35,17 @@ Status StandardScaler::Fit(const Dataset& train) {
 }
 
 Matrix StandardScaler::Transform(const Matrix& x) const {
+  return TransformOwned(x);
+}
+
+Matrix StandardScaler::TransformOwned(Matrix x) const {
   VOLCANOML_CHECK(x.cols() == means_.size());
-  Matrix out(x.rows(), x.cols());
   for (size_t i = 0; i < x.rows(); ++i) {
     for (size_t j = 0; j < x.cols(); ++j) {
-      out(i, j) = (x(i, j) - means_[j]) / scales_[j];
+      x(i, j) = (x(i, j) - means_[j]) / scales_[j];
     }
   }
-  return out;
+  return x;
 }
 
 // ---------------------------------------------------------------------------
@@ -67,14 +71,17 @@ Status MinMaxScaler::Fit(const Dataset& train) {
 }
 
 Matrix MinMaxScaler::Transform(const Matrix& x) const {
+  return TransformOwned(x);
+}
+
+Matrix MinMaxScaler::TransformOwned(Matrix x) const {
   VOLCANOML_CHECK(x.cols() == mins_.size());
-  Matrix out(x.rows(), x.cols());
   for (size_t i = 0; i < x.rows(); ++i) {
     for (size_t j = 0; j < x.cols(); ++j) {
-      out(i, j) = (x(i, j) - mins_[j]) / ranges_[j];
+      x(i, j) = (x(i, j) - mins_[j]) / ranges_[j];
     }
   }
-  return out;
+  return x;
 }
 
 // ---------------------------------------------------------------------------
@@ -100,14 +107,17 @@ Status RobustScaler::Fit(const Dataset& train) {
 }
 
 Matrix RobustScaler::Transform(const Matrix& x) const {
+  return TransformOwned(x);
+}
+
+Matrix RobustScaler::TransformOwned(Matrix x) const {
   VOLCANOML_CHECK(x.cols() == medians_.size());
-  Matrix out(x.rows(), x.cols());
   for (size_t i = 0; i < x.rows(); ++i) {
     for (size_t j = 0; j < x.cols(); ++j) {
-      out(i, j) = (x(i, j) - medians_[j]) / scales_[j];
+      x(i, j) = (x(i, j) - medians_[j]) / scales_[j];
     }
   }
-  return out;
+  return x;
 }
 
 // ---------------------------------------------------------------------------
@@ -116,15 +126,17 @@ Matrix RobustScaler::Transform(const Matrix& x) const {
 Status L2Normalizer::Fit(const Dataset& train) { return CheckNonEmpty(train); }
 
 Matrix L2Normalizer::Transform(const Matrix& x) const {
-  Matrix out(x.rows(), x.cols());
+  return TransformOwned(x);
+}
+
+Matrix L2Normalizer::TransformOwned(Matrix x) const {
   for (size_t i = 0; i < x.rows(); ++i) {
-    double norm = 0.0;
-    for (size_t j = 0; j < x.cols(); ++j) norm += x(i, j) * x(i, j);
-    norm = std::sqrt(norm);
+    double* row = x.RowPtr(i);
+    double norm = std::sqrt(DotKernel(row, row, x.cols()));
     if (norm <= 1e-12) norm = 1.0;
-    for (size_t j = 0; j < x.cols(); ++j) out(i, j) = x(i, j) / norm;
+    ScaleKernel(1.0 / norm, row, x.cols());
   }
-  return out;
+  return x;
 }
 
 // ---------------------------------------------------------------------------
@@ -158,19 +170,22 @@ Status QuantileTransformer::Fit(const Dataset& train) {
 }
 
 Matrix QuantileTransformer::Transform(const Matrix& x) const {
+  return TransformOwned(x);
+}
+
+Matrix QuantileTransformer::TransformOwned(Matrix x) const {
   VOLCANOML_CHECK(x.cols() == references_.size());
-  Matrix out(x.rows(), x.cols());
   for (size_t j = 0; j < x.cols(); ++j) {
     const std::vector<double>& ref = references_[j];
     double denom = static_cast<double>(ref.size() - 1);
     for (size_t i = 0; i < x.rows(); ++i) {
       // Rank of the value among the reference quantiles, interpolated.
       auto it = std::lower_bound(ref.begin(), ref.end(), x(i, j));
-      out(i, j) = static_cast<double>(std::distance(ref.begin(), it)) /
-                  std::max(denom, 1.0);
+      x(i, j) = static_cast<double>(std::distance(ref.begin(), it)) /
+                std::max(denom, 1.0);
     }
   }
-  return out;
+  return x;
 }
 
 // ---------------------------------------------------------------------------
@@ -195,14 +210,17 @@ Status Winsorizer::Fit(const Dataset& train) {
 }
 
 Matrix Winsorizer::Transform(const Matrix& x) const {
+  return TransformOwned(x);
+}
+
+Matrix Winsorizer::TransformOwned(Matrix x) const {
   VOLCANOML_CHECK(x.cols() == lower_.size());
-  Matrix out(x.rows(), x.cols());
   for (size_t i = 0; i < x.rows(); ++i) {
     for (size_t j = 0; j < x.cols(); ++j) {
-      out(i, j) = std::clamp(x(i, j), lower_[j], upper_[j]);
+      x(i, j) = std::clamp(x(i, j), lower_[j], upper_[j]);
     }
   }
-  return out;
+  return x;
 }
 
 }  // namespace volcanoml

@@ -12,6 +12,7 @@ class StandardScaler : public FeOperator {
  public:
   Status Fit(const Dataset& train) override;
   Matrix Transform(const Matrix& x) const override;
+  Matrix TransformOwned(Matrix x) const override;
 
  private:
   std::vector<double> means_, scales_;
@@ -22,6 +23,7 @@ class MinMaxScaler : public FeOperator {
  public:
   Status Fit(const Dataset& train) override;
   Matrix Transform(const Matrix& x) const override;
+  Matrix TransformOwned(Matrix x) const override;
 
  private:
   std::vector<double> mins_, ranges_;
@@ -36,6 +38,7 @@ class RobustScaler : public FeOperator {
 
   Status Fit(const Dataset& train) override;
   Matrix Transform(const Matrix& x) const override;
+  Matrix TransformOwned(Matrix x) const override;
 
  private:
   double quantile_;
@@ -47,6 +50,7 @@ class L2Normalizer : public FeOperator {
  public:
   Status Fit(const Dataset& train) override;
   Matrix Transform(const Matrix& x) const override;
+  Matrix TransformOwned(Matrix x) const override;
 };
 
 /// Maps each column through its empirical CDF (output in [0, 1]); an
@@ -58,6 +62,7 @@ class QuantileTransformer : public FeOperator {
 
   Status Fit(const Dataset& train) override;
   Matrix Transform(const Matrix& x) const override;
+  Matrix TransformOwned(Matrix x) const override;
 
  private:
   size_t num_quantiles_;
@@ -71,6 +76,7 @@ class Winsorizer : public FeOperator {
 
   Status Fit(const Dataset& train) override;
   Matrix Transform(const Matrix& x) const override;
+  Matrix TransformOwned(Matrix x) const override;
 
  private:
   double quantile_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "data/kernels.h"
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/rng.h"
@@ -79,12 +80,13 @@ Status PcaTransform::Fit(const Dataset& train) {
   means_ = x.ColMeans();
 
   Matrix cov(d, d);
+  std::vector<double> centered(d);
   for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    for (size_t a = 0; a < d; ++a) centered[a] = row[a] - means_[a];
+    // Upper-triangle rank-1 update, one axpy per pivot row.
     for (size_t a = 0; a < d; ++a) {
-      double da = x(i, a) - means_[a];
-      for (size_t b = a; b < d; ++b) {
-        cov(a, b) += da * (x(i, b) - means_[b]);
-      }
+      AxpyKernel(centered[a], centered.data() + a, cov.RowPtr(a) + a, d - a);
     }
   }
   double denom = std::max<double>(1.0, static_cast<double>(x.rows()) - 1.0);
@@ -125,16 +127,19 @@ Status PcaTransform::Fit(const Dataset& train) {
 Matrix PcaTransform::Transform(const Matrix& x) const {
   VOLCANOML_CHECK(components_.rows() > 0);
   VOLCANOML_CHECK(x.cols() == means_.size());
-  Matrix out(x.rows(), components_.rows());
+  // out = (x - means) * components^T; components_ is already stored
+  // row-major k x d, which is exactly the transposed-B layout the GEMM
+  // kernel wants.
+  Matrix centered(x.rows(), x.cols());
   for (size_t i = 0; i < x.rows(); ++i) {
-    for (size_t c = 0; c < components_.rows(); ++c) {
-      double acc = 0.0;
-      for (size_t j = 0; j < x.cols(); ++j) {
-        acc += (x(i, j) - means_[j]) * components_(c, j);
-      }
-      out(i, c) = acc;
-    }
+    const double* row = x.RowPtr(i);
+    double* crow = centered.RowPtr(i);
+    for (size_t j = 0; j < x.cols(); ++j) crow[j] = row[j] - means_[j];
   }
+  Matrix out(x.rows(), components_.rows());
+  GemmTransBKernel(centered.data().data(), components_.data().data(),
+                   out.data().data(), x.rows(), x.cols(),
+                   components_.rows());
   return out;
 }
 
@@ -292,11 +297,8 @@ Matrix NystroemRbf::Transform(const Matrix& x) const {
       z[j] = (x(i, j) - means_[j]) / scales_[j];
     }
     for (size_t r = 0; r < landmarks_.rows(); ++r) {
-      double dist = 0.0;
-      for (size_t j = 0; j < x.cols(); ++j) {
-        double diff = z[j] - landmarks_(r, j);
-        dist += diff * diff;
-      }
+      double dist = SquaredDistanceKernel(z.data(), landmarks_.RowPtr(r),
+                                          x.cols());
       out(i, r) = std::exp(-gamma_ * dist);
     }
   }
@@ -332,16 +334,12 @@ Status RandomProjection::Fit(const Dataset& train) {
 Matrix RandomProjection::Transform(const Matrix& x) const {
   VOLCANOML_CHECK(projection_.rows() > 0);
   VOLCANOML_CHECK(x.cols() == projection_.cols());
+  // out = x * projection^T; projection_ (k x d row-major) is the
+  // transposed-B operand directly.
   Matrix out(x.rows(), projection_.rows());
-  for (size_t i = 0; i < x.rows(); ++i) {
-    for (size_t r = 0; r < projection_.rows(); ++r) {
-      double acc = 0.0;
-      for (size_t j = 0; j < x.cols(); ++j) {
-        acc += projection_(r, j) * x(i, j);
-      }
-      out(i, r) = acc;
-    }
-  }
+  GemmTransBKernel(x.data().data(), projection_.data().data(),
+                   out.data().data(), x.rows(), x.cols(),
+                   projection_.rows());
   return out;
 }
 

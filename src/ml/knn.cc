@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "data/kernels.h"
 #include "util/check.h"
 
 namespace volcanoml {
@@ -35,15 +36,11 @@ Status KnnModel::Fit(const Dataset& train) {
 }
 
 double KnnModel::Distance(const double* a, const double* b) const {
-  double acc = 0.0;
   const size_t d = train_x_.cols();
   if (options_.p == 2) {
-    for (size_t f = 0; f < d; ++f) {
-      double diff = a[f] - b[f];
-      acc += diff * diff;
-    }
-    return std::sqrt(acc);
+    return std::sqrt(SquaredDistanceKernel(a, b, d));
   }
+  double acc = 0.0;
   for (size_t f = 0; f < d; ++f) acc += std::abs(a[f] - b[f]);
   return acc;
 }

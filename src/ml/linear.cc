@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "data/kernels.h"
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/rng.h"
@@ -107,9 +108,8 @@ Status LogisticRegressionModel::Fit(const Dataset& train) {
       }
       double max_score = -1e300;
       for (size_t c = 0; c < num_classes_; ++c) {
-        double s = bias_[c];
         const double* w = &weights_[c * num_features_];
-        for (size_t f = 0; f < num_features_; ++f) s += w[f] * z[f];
+        double s = bias_[c] + DotKernel(w, z.data(), num_features_);
         scores[c] = s;
         max_score = std::max(max_score, s);
       }
@@ -122,9 +122,10 @@ Status LogisticRegressionModel::Fit(const Dataset& train) {
       for (size_t c = 0; c < num_classes_; ++c) {
         double grad = scores[c] / denom - (c == label ? 1.0 : 0.0);
         double* w = &weights_[c * num_features_];
-        for (size_t f = 0; f < num_features_; ++f) {
-          w[f] -= lr * (grad * z[f] + lambda * w[f]);
-        }
+        // w -= lr * (grad * z + lambda * w), split into the L2 shrink
+        // followed by the gradient axpy.
+        ScaleKernel(1.0 - lr * lambda, w, num_features_);
+        AxpyKernel(-lr * grad, z.data(), w, num_features_);
         bias_[c] -= lr * grad;
       }
     }
@@ -134,14 +135,14 @@ Status LogisticRegressionModel::Fit(const Dataset& train) {
 
 std::vector<double> LogisticRegressionModel::DecisionFunction(
     const double* row) const {
+  std::vector<double> z(num_features_);
+  for (size_t f = 0; f < num_features_; ++f) {
+    z[f] = Std(row[f], feature_means_[f], feature_scales_[f]);
+  }
   std::vector<double> scores(num_classes_);
   for (size_t c = 0; c < num_classes_; ++c) {
-    double s = bias_[c];
-    const double* w = &weights_[c * num_features_];
-    for (size_t f = 0; f < num_features_; ++f) {
-      s += w[f] * Std(row[f], feature_means_[f], feature_scales_[f]);
-    }
-    scores[c] = s;
+    scores[c] = bias_[c] + DotKernel(&weights_[c * num_features_], z.data(),
+                                     num_features_);
   }
   return scores;
 }
@@ -205,15 +206,13 @@ Status LinearSvmModel::Fit(const Dataset& train) {
       for (size_t c = 0; c < num_classes_; ++c) {
         double target = (c == label) ? 1.0 : -1.0;
         double* w = &weights_[c * num_features_];
-        double margin = bias_[c];
-        for (size_t f = 0; f < num_features_; ++f) margin += w[f] * z[f];
-        margin *= target;
-        for (size_t f = 0; f < num_features_; ++f) {
-          double grad = lambda * w[f];
-          if (margin < 1.0) grad -= target * z[f];
-          w[f] -= lr * grad;
+        double margin =
+            (bias_[c] + DotKernel(w, z.data(), num_features_)) * target;
+        ScaleKernel(1.0 - lr * lambda, w, num_features_);
+        if (margin < 1.0) {
+          AxpyKernel(lr * target, z.data(), w, num_features_);
+          bias_[c] += lr * target;
         }
-        if (margin < 1.0) bias_[c] += lr * target;
       }
     }
   }
@@ -232,9 +231,8 @@ std::vector<double> LinearSvmModel::Predict(const Matrix& x) const {
     size_t best = 0;
     double best_score = -1e300;
     for (size_t c = 0; c < num_classes_; ++c) {
-      double s = bias_[c];
-      const double* w = &weights_[c * num_features_];
-      for (size_t f = 0; f < num_features_; ++f) s += w[f] * z[f];
+      double s = bias_[c] + DotKernel(&weights_[c * num_features_], z.data(),
+                                      num_features_);
       if (s > best_score) {
         best_score = s;
         best = c;
@@ -276,9 +274,10 @@ Status RidgeRegressionModel::Fit(const Dataset& train) {
       z[f] = Std(train.x()(i, f), feature_means_[f], feature_scales_[f]);
     }
     double target = train.y()[i] - y_mean;
+    AxpyKernel(target, z.data(), rhs.data(), d);
+    // Upper-triangle rank-1 update of the Gram matrix.
     for (size_t a = 0; a < d; ++a) {
-      rhs[a] += z[a] * target;
-      for (size_t b = a; b < d; ++b) gram(a, b) += z[a] * z[b];
+      AxpyKernel(z[a], z.data() + a, gram.RowPtr(a) + a, d - a);
     }
   }
   for (size_t a = 0; a < d; ++a) {
@@ -296,12 +295,12 @@ std::vector<double> RidgeRegressionModel::Predict(const Matrix& x) const {
   VOLCANOML_CHECK(!coef_.empty());
   VOLCANOML_CHECK(x.cols() == coef_.size());
   std::vector<double> out(x.rows());
+  std::vector<double> z(coef_.size());
   for (size_t i = 0; i < x.rows(); ++i) {
-    double pred = intercept_;
     for (size_t f = 0; f < coef_.size(); ++f) {
-      pred += coef_[f] * Std(x(i, f), feature_means_[f], feature_scales_[f]);
+      z[f] = Std(x(i, f), feature_means_[f], feature_scales_[f]);
     }
-    out[i] = pred;
+    out[i] = intercept_ + DotKernel(coef_.data(), z.data(), coef_.size());
   }
   return out;
 }
@@ -327,16 +326,19 @@ Status LassoRegressionModel::Fit(const Dataset& train) {
   y_mean /= static_cast<double>(n);
   intercept_ = y_mean;
 
-  // Precompute the standardized design and per-column squared norms.
-  Matrix z(n, d);
+  // Precompute the standardized design TRANSPOSED (d x n): coordinate
+  // descent walks one feature column at a time, and the transposed layout
+  // makes each of those walks a contiguous kernel call instead of an
+  // n-stride gather.
+  Matrix zt(d, n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t f = 0; f < d; ++f) {
-      z(i, f) = Std(train.x()(i, f), feature_means_[f], feature_scales_[f]);
+      zt(f, i) = Std(train.x()(i, f), feature_means_[f], feature_scales_[f]);
     }
   }
   std::vector<double> col_sq(d, 0.0);
   for (size_t f = 0; f < d; ++f) {
-    for (size_t i = 0; i < n; ++i) col_sq[f] += z(i, f) * z(i, f);
+    col_sq[f] = DotKernel(zt.RowPtr(f), zt.RowPtr(f), n);
   }
 
   coef_.assign(d, 0.0);
@@ -352,10 +354,11 @@ Status LassoRegressionModel::Fit(const Dataset& train) {
     double max_delta = 0.0;
     for (size_t f = 0; f < d; ++f) {
       if (col_sq[f] <= 1e-12) continue;
-      double rho = 0.0;
-      for (size_t i = 0; i < n; ++i) {
-        rho += z(i, f) * (residual[i] + coef_[f] * z(i, f));
-      }
+      const double* col = zt.RowPtr(f);
+      // rho = z_f . (residual + coef_f * z_f) = z_f . residual
+      //       + coef_f * ||z_f||^2, so the inner pass is one dot product.
+      double rho =
+          DotKernel(col, residual.data(), n) + coef_[f] * col_sq[f];
       double new_coef;
       if (rho > threshold) {
         new_coef = (rho - threshold) / col_sq[f];
@@ -366,7 +369,7 @@ Status LassoRegressionModel::Fit(const Dataset& train) {
       }
       double delta = new_coef - coef_[f];
       if (delta != 0.0) {
-        for (size_t i = 0; i < n; ++i) residual[i] -= delta * z(i, f);
+        AxpyKernel(-delta, col, residual.data(), n);
         coef_[f] = new_coef;
         max_delta = std::max(max_delta, std::abs(delta));
       }
@@ -380,12 +383,12 @@ std::vector<double> LassoRegressionModel::Predict(const Matrix& x) const {
   VOLCANOML_CHECK(!coef_.empty());
   VOLCANOML_CHECK(x.cols() == coef_.size());
   std::vector<double> out(x.rows());
+  std::vector<double> z(coef_.size());
   for (size_t i = 0; i < x.rows(); ++i) {
-    double pred = intercept_;
     for (size_t f = 0; f < coef_.size(); ++f) {
-      pred += coef_[f] * Std(x(i, f), feature_means_[f], feature_scales_[f]);
+      z[f] = Std(x(i, f), feature_means_[f], feature_scales_[f]);
     }
-    out[i] = pred;
+    out[i] = intercept_ + DotKernel(coef_.data(), z.data(), coef_.size());
   }
   return out;
 }
@@ -431,12 +434,10 @@ Status SgdRegressorModel::Fit(const Dataset& train) {
         z[f] = Std(train.x()(i, f), feature_means_[f], feature_scales_[f]);
       }
       double target = (train.y()[i] - target_mean_) / target_scale_;
-      double pred = intercept_;
-      for (size_t f = 0; f < d; ++f) pred += coef_[f] * z[f];
+      double pred = intercept_ + DotKernel(coef_.data(), z.data(), d);
       double grad = pred - target;
-      for (size_t f = 0; f < d; ++f) {
-        coef_[f] -= lr * (grad * z[f] + options_.alpha * coef_[f]);
-      }
+      ScaleKernel(1.0 - lr * options_.alpha, coef_.data(), d);
+      AxpyKernel(-lr * grad, z.data(), coef_.data(), d);
       intercept_ -= lr * grad;
     }
   }
@@ -447,11 +448,12 @@ std::vector<double> SgdRegressorModel::Predict(const Matrix& x) const {
   VOLCANOML_CHECK(!coef_.empty());
   VOLCANOML_CHECK(x.cols() == coef_.size());
   std::vector<double> out(x.rows());
+  std::vector<double> z(coef_.size());
   for (size_t i = 0; i < x.rows(); ++i) {
-    double pred = intercept_;
     for (size_t f = 0; f < coef_.size(); ++f) {
-      pred += coef_[f] * Std(x(i, f), feature_means_[f], feature_scales_[f]);
+      z[f] = Std(x(i, f), feature_means_[f], feature_scales_[f]);
     }
+    double pred = intercept_ + DotKernel(coef_.data(), z.data(), coef_.size());
     out[i] = pred * target_scale_ + target_mean_;
   }
   return out;

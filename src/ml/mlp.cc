@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "data/kernels.h"
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/rng.h"
@@ -127,11 +128,8 @@ Status MlpModel::Fit(const Dataset& train) {
         std::vector<double>& delta = deltas[l];
         delta.assign(activations[l + 1].size(), 0.0);
         for (size_t r = 0; r < upper.w.rows(); ++r) {
-          double up = deltas[l + 1][r];
-          if (up == 0.0) continue;
-          for (size_t c = 0; c < upper.w.cols(); ++c) {
-            delta[c] += up * upper.w(r, c);
-          }
+          AxpyKernel(deltas[l + 1][r], upper.w.RowPtr(r), delta.data(),
+                     upper.w.cols());
         }
         for (size_t c = 0; c < delta.size(); ++c) {
           delta[c] *= ActivateGrad(activations[l + 1][c], options_.activation);
@@ -139,19 +137,23 @@ Status MlpModel::Fit(const Dataset& train) {
         }
       }
 
-      // SGD + momentum updates.
+      // SGD + momentum updates. Per weight row:
+      //   vel = momentum * vel - lr * (delta * in_act + alpha * w)
+      //   w  += vel
+      // expressed as a scale plus two axpys against the pre-update w.
       for (size_t l = 0; l < layers_.size(); ++l) {
         Layer& layer = layers_[l];
         const std::vector<double>& in_act = activations[l];
         const std::vector<double>& delta = deltas[l];
+        const size_t cols = layer.w.cols();
         for (size_t r = 0; r < layer.w.rows(); ++r) {
           double d = delta[r];
-          for (size_t c = 0; c < layer.w.cols(); ++c) {
-            double grad = d * in_act[c] + options_.alpha * layer.w(r, c);
-            layer.w_vel(r, c) =
-                options_.momentum * layer.w_vel(r, c) - lr * grad;
-            layer.w(r, c) += layer.w_vel(r, c);
-          }
+          double* w = layer.w.RowPtr(r);
+          double* vel = layer.w_vel.RowPtr(r);
+          ScaleKernel(options_.momentum, vel, cols);
+          AxpyKernel(-lr * d, in_act.data(), vel, cols);
+          AxpyKernel(-lr * options_.alpha, w, vel, cols);
+          AxpyKernel(1.0, vel, w, cols);
           layer.b_vel[r] = options_.momentum * layer.b_vel[r] - lr * d;
           layer.b[r] += layer.b_vel[r];
         }
@@ -171,10 +173,8 @@ void MlpModel::Forward(const std::vector<double>& input,
     out.assign(layer.w.rows(), 0.0);
     const std::vector<double>& in = (*activations)[l];
     for (size_t r = 0; r < layer.w.rows(); ++r) {
-      double acc = layer.b[r];
-      for (size_t c = 0; c < layer.w.cols(); ++c) {
-        acc += layer.w(r, c) * in[c];
-      }
+      double acc =
+          layer.b[r] + DotKernel(layer.w.RowPtr(r), in.data(), layer.w.cols());
       // Hidden layers are nonlinear; the output layer is linear.
       out[r] = (l + 1 == layers_.size()) ? acc
                                          : Activate(acc, options_.activation);

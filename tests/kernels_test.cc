@@ -1,0 +1,181 @@
+// Golden tests for the low-level compute kernels (data/kernels.h): every
+// kernel is checked against a naive reference implementation over
+// randomized shapes, including the degenerate empty and 1xN cases. The
+// kernels use multi-lane accumulators with a fixed combine order, so
+// results are deterministic but not bit-identical to a single-accumulator
+// loop — comparisons use a tolerance scaled to the reduction length.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "data/kernels.h"
+#include "data/matrix.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+std::vector<double> RandomVector(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Uniform(-2.0, 2.0);
+  return v;
+}
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng->Uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+/// Absolute tolerance for a length-n reduction over O(1) magnitudes.
+double ReductionTolerance(size_t n) {
+  return 1e-12 * static_cast<double>(n + 1);
+}
+
+TEST(KernelsTest, DotMatchesNaiveOverRandomShapes) {
+  Rng rng(7);
+  for (size_t n : {0UL, 1UL, 2UL, 3UL, 4UL, 5UL, 7UL, 8UL, 64UL, 1000UL}) {
+    std::vector<double> a = RandomVector(n, &rng);
+    std::vector<double> b = RandomVector(n, &rng);
+    double naive = 0.0;
+    for (size_t i = 0; i < n; ++i) naive += a[i] * b[i];
+    EXPECT_NEAR(DotKernel(a.data(), b.data(), n), naive,
+                ReductionTolerance(n))
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, DotIsDeterministicAcrossCalls) {
+  Rng rng(8);
+  std::vector<double> a = RandomVector(513, &rng);
+  std::vector<double> b = RandomVector(513, &rng);
+  double first = DotKernel(a.data(), b.data(), a.size());
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(DotKernel(a.data(), b.data(), a.size()), first);
+  }
+}
+
+TEST(KernelsTest, SquaredDistanceMatchesNaive) {
+  Rng rng(9);
+  for (size_t n : {0UL, 1UL, 3UL, 4UL, 9UL, 257UL}) {
+    std::vector<double> a = RandomVector(n, &rng);
+    std::vector<double> b = RandomVector(n, &rng);
+    double naive = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = a[i] - b[i];
+      naive += d * d;
+    }
+    EXPECT_NEAR(SquaredDistanceKernel(a.data(), b.data(), n), naive,
+                ReductionTolerance(n))
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, AxpyMatchesNaiveAndZeroAlphaIsIdentity) {
+  Rng rng(10);
+  for (size_t n : {0UL, 1UL, 5UL, 128UL, 255UL}) {
+    std::vector<double> x = RandomVector(n, &rng);
+    std::vector<double> y = RandomVector(n, &rng);
+    std::vector<double> expected = y;
+    const double alpha = 0.37;
+    for (size_t i = 0; i < n; ++i) expected[i] += alpha * x[i];
+    std::vector<double> got = y;
+    AxpyKernel(alpha, x.data(), got.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(got[i], expected[i]) << "n=" << n << " i=" << i;
+    }
+    // alpha == 0 must leave y untouched bit-for-bit.
+    std::vector<double> untouched = y;
+    AxpyKernel(0.0, x.data(), untouched.data(), n);
+    EXPECT_EQ(untouched, y) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, ScaleMatchesNaiveAndUnitAlphaIsIdentity) {
+  Rng rng(11);
+  std::vector<double> x = RandomVector(130, &rng);
+  std::vector<double> expected = x;
+  for (double& v : expected) v *= -1.75;
+  std::vector<double> got = x;
+  ScaleKernel(-1.75, got.data(), got.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], expected[i]) << "i=" << i;
+  }
+  std::vector<double> untouched = x;
+  ScaleKernel(1.0, untouched.data(), untouched.size());
+  EXPECT_EQ(untouched, x);
+}
+
+TEST(KernelsTest, TransposeMatchesNaiveOverRandomShapes) {
+  Rng rng(12);
+  const size_t shapes[][2] = {{0, 0}, {0, 5}, {5, 0}, {1, 1},  {1, 17},
+                              {17, 1}, {3, 4}, {31, 33}, {32, 32}, {65, 70}};
+  for (const auto& shape : shapes) {
+    const size_t rows = shape[0], cols = shape[1];
+    Matrix m = RandomMatrix(rows, cols, &rng);
+    Matrix t(cols, rows);
+    if (rows * cols > 0) {
+      TransposeKernel(m.data().data(), rows, cols, t.data().data());
+    }
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        EXPECT_EQ(t(j, i), m(i, j)) << rows << "x" << cols;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, GemmMatchesNaiveOverRandomShapes) {
+  Rng rng(13);
+  const size_t shapes[][3] = {{1, 1, 1},  {1, 7, 1},   {4, 1, 4},
+                              {3, 5, 2},  {16, 16, 16}, {33, 9, 65},
+                              {2, 100, 70}};
+  for (const auto& shape : shapes) {
+    const size_t m = shape[0], k = shape[1], n = shape[2];
+    Matrix a = RandomMatrix(m, k, &rng);
+    Matrix b = RandomMatrix(k, n, &rng);
+    Matrix bt = b.Transpose();
+    Matrix c(m, n);
+    GemmTransBKernel(a.data().data(), bt.data().data(), c.data().data(), m, k,
+                     n);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double naive = 0.0;
+        for (size_t t = 0; t < k; ++t) naive += a(i, t) * b(t, j);
+        EXPECT_NEAR(c(i, j), naive, ReductionTolerance(k))
+            << m << "x" << k << "x" << n << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, MatrixMultiplyAndTransposeUseKernelsConsistently) {
+  // End-to-end through the Matrix API, including empty operands.
+  Rng rng(14);
+  Matrix a = RandomMatrix(6, 9, &rng);
+  Matrix b = RandomMatrix(9, 5, &rng);
+  Matrix c = a.Multiply(b);
+  ASSERT_EQ(c.rows(), 6u);
+  ASSERT_EQ(c.cols(), 5u);
+  for (size_t i = 0; i < c.rows(); ++i) {
+    for (size_t j = 0; j < c.cols(); ++j) {
+      double naive = 0.0;
+      for (size_t t = 0; t < 9; ++t) naive += a(i, t) * b(t, j);
+      EXPECT_NEAR(c(i, j), naive, ReductionTolerance(9));
+    }
+  }
+  Matrix empty(0, 4);
+  Matrix tall(4, 0);
+  Matrix product = empty.Multiply(Matrix(4, 3));
+  EXPECT_EQ(product.rows(), 0u);
+  EXPECT_EQ(product.cols(), 3u);
+  EXPECT_EQ(tall.Transpose().rows(), 0u);
+  EXPECT_EQ(tall.Transpose().cols(), 4u);
+}
+
+}  // namespace
+}  // namespace volcanoml
