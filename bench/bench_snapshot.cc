@@ -1,0 +1,107 @@
+// Snapshot overhead on a paper-scale search (150 evaluation units).
+// Results are recorded in EXPERIMENTS.md ("E13 — snapshot overhead").
+//
+// Three measurements:
+//   search    — the search itself, stepped with no snapshots;
+//   per-save  — SaveSnapshot after EVERY step (the most aggressive
+//               checkpoint cadence the CLI offers), isolated with its
+//               own stopwatch;
+//   load      — restoring the final snapshot into a fresh executor.
+// The checkpointed run's trajectory is asserted bit-identical to the
+// plain run's: snapshotting is observation-only and must not perturb the
+// search by a single bit.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace volcanoml {
+namespace bench {
+namespace {
+
+constexpr uint64_t kSeed = 17;
+
+VolcanoMlOptions Options() {
+  VolcanoMlOptions options;
+  options.space.task = TaskType::kClassification;
+  options.space.preset = SpacePreset::kSmall;
+  options.budget = 150.0 * BenchScale();
+  options.seed = kSeed;
+  return options;
+}
+
+void Run() {
+  // Large enough that one pipeline evaluation costs what it does on a
+  // small real dataset (tens of ms); snapshot cost is per-state, not
+  // per-sample, so a toy dataset would overstate the relative overhead.
+  Dataset data = MakeBlobs(6000, 20, 3, 1.4, kSeed);
+
+  // Plain stepped run, no snapshots.
+  VolcanoML plain(Options());
+  VOLCANOML_CHECK(plain.Prepare(data).ok());
+  Stopwatch search_timer;
+  plain.executor()->Run();
+  double search_seconds = search_timer.ElapsedSeconds();
+  size_t num_steps = plain.executor()->num_steps();
+
+  // Checkpointed run: SaveSnapshot after every step.
+  VolcanoML checkpointed(Options());
+  VOLCANOML_CHECK(checkpointed.Prepare(data).ok());
+  double snapshot_seconds = 0.0;
+  size_t num_snapshots = 0;
+  std::string last_snapshot;
+  while (checkpointed.executor()->Step()) {
+    Stopwatch save_timer;
+    last_snapshot = checkpointed.executor()->SaveSnapshot();
+    snapshot_seconds += save_timer.ElapsedSeconds();
+    ++num_snapshots;
+  }
+
+  // Snapshotting must be observation-only: bit-identical trajectories.
+  const auto& a = plain.executor()->trajectory();
+  const auto& b = checkpointed.executor()->trajectory();
+  VOLCANOML_CHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    VOLCANOML_CHECK(std::memcmp(&a[i].utility, &b[i].utility,
+                                sizeof(double)) == 0);
+    VOLCANOML_CHECK(std::memcmp(&a[i].budget, &b[i].budget,
+                                sizeof(double)) == 0);
+  }
+
+  // Restore cost: final snapshot into a fresh executor.
+  VolcanoML restored(Options());
+  VOLCANOML_CHECK(restored.Prepare(data).ok());
+  Stopwatch load_timer;
+  Status status = restored.executor()->LoadSnapshot(last_snapshot);
+  double load_seconds = load_timer.ElapsedSeconds();
+  VOLCANOML_CHECK(status.ok());
+
+  double per_save_ms =
+      num_snapshots > 0 ? 1e3 * snapshot_seconds / num_snapshots : 0.0;
+  double overhead_pct =
+      search_seconds > 0.0 ? 100.0 * snapshot_seconds / search_seconds : 0.0;
+  std::printf("budget_units            %.0f\n", Options().budget);
+  std::printf("steps                   %zu\n", num_steps);
+  std::printf("search_seconds          %.3f\n", search_seconds);
+  std::printf("snapshots_taken         %zu\n", num_snapshots);
+  std::printf("snapshot_total_seconds  %.4f\n", snapshot_seconds);
+  std::printf("snapshot_per_save_ms    %.3f\n", per_save_ms);
+  std::printf("snapshot_overhead_pct   %.2f\n", overhead_pct);
+  std::printf("snapshot_bytes          %zu\n", last_snapshot.size());
+  std::printf("load_seconds            %.4f\n", load_seconds);
+  std::printf("trajectory_bit_equal    yes\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace volcanoml
+
+int main() {
+  volcanoml::bench::Run();
+  return 0;
+}

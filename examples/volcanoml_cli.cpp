@@ -6,11 +6,24 @@
 //   --preset small|medium|large                     (default: medium)
 //   --budget <n>            evaluations, or seconds with --seconds
 //   --seconds               budget is wall-clock seconds
-//   --plan joint|cond|default|alt                   (default: default)
+//   --plan <name>           joint|cond|default|alt aliases, or a canonical
+//                           plan name such as "cond(alg)+alt(fe,hp)"
+//   --optimizer smac|random|mfes|tpe                (default: smac)
+//   --explain               print the logical plan and exit
 //   --cv <k>                k-fold CV utility       (default: holdout)
 //   --smote                 enrich the space with the SMOTE balancer
 //   --seed <n>              RNG seed                (default: 1)
+//   --checkpoint <path>     snapshot file to write (and --stop-after target)
+//   --checkpoint-every <n>  write the snapshot every n steps (default: off)
+//   --stop-after <n>        stop after n steps, write the snapshot, exit
+//   --resume <path>         restore a snapshot before stepping
+//   --trajectory-out <path> write "budget utility" per step (%.17g)
 //   --predict <test.csv>    score a held-out CSV after the search
+//
+// Flags also accept the --flag=value spelling. A search killed after
+// --stop-after resumes bit-for-bit: run once with --trajectory-out, run
+// again with --stop-after k --checkpoint s, then --resume s; the two
+// trajectory files are byte-identical (deterministic budget mode).
 //
 // CSV format: headerless, numeric, last column is the target (class ids
 // 0..k-1 for classification).
@@ -19,10 +32,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/volcano_ml.h"
 #include "data/csv.h"
 #include "ml/metrics.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -32,10 +47,64 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <train.csv> [--task cls|reg] [--preset "
                "small|medium|large]\n"
-               "       [--budget N] [--seconds] [--plan "
-               "joint|cond|default|alt]\n"
-               "       [--cv K] [--smote] [--seed N] [--predict test.csv]\n",
+               "       [--budget N] [--seconds] [--plan NAME] [--optimizer "
+               "smac|random|mfes|tpe]\n"
+               "       [--explain] [--cv K] [--smote] [--seed N]\n"
+               "       [--checkpoint FILE] [--checkpoint-every N] "
+               "[--stop-after N]\n"
+               "       [--resume FILE] [--trajectory-out FILE] "
+               "[--predict test.csv]\n",
                argv0);
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buffer[4096];
+  size_t n;
+  out->clear();
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out->append(buffer, n);
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  bool ok = written == contents.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+bool ParsePlanFlag(const std::string& value, PlanKind* out) {
+  // Short aliases kept from earlier CLI versions, then canonical names.
+  if (value == "joint") {
+    *out = PlanKind::kJoint;
+    return true;
+  }
+  if (value == "cond") {
+    *out = PlanKind::kConditioningJoint;
+    return true;
+  }
+  if (value == "alt") {
+    *out = PlanKind::kAlternatingFeConditioning;
+    return true;
+  }
+  if (value == "default") {
+    *out = PlanKind::kConditioningAlternating;
+    return true;
+  }
+  Result<PlanKind> parsed = ParsePlanKind(value);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--plan: %s\n", parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = parsed.value();
+  return true;
 }
 
 }  // namespace
@@ -47,18 +116,37 @@ int main(int argc, char** argv) {
   }
   std::string train_path = argv[1];
   std::string predict_path;
+  std::string checkpoint_path;
+  std::string resume_path;
+  std::string trajectory_path;
+  size_t checkpoint_every = 0;
+  size_t stop_after = 0;
+  bool explain = false;
   VolcanoMlOptions options;
   options.space.preset = SpacePreset::kMedium;
   options.budget = 100.0;
 
+  // Normalize "--flag=value" into "--flag value".
+  std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
+    size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+      if (i + 1 >= args.size()) {
         Usage(argv[0]);
         std::exit(2);
       }
-      return argv[++i];
+      return args[++i].c_str();
     };
     if (arg == "--task") {
       std::string task = next();
@@ -74,17 +162,31 @@ int main(int argc, char** argv) {
     } else if (arg == "--seconds") {
       options.eval.budget_in_seconds = true;
     } else if (arg == "--plan") {
-      std::string plan = next();
-      options.plan = plan == "joint"  ? PlanKind::kJoint
-                     : plan == "cond" ? PlanKind::kConditioningJoint
-                     : plan == "alt"  ? PlanKind::kAlternatingFeConditioning
-                                      : PlanKind::kConditioningAlternating;
+      if (!ParsePlanFlag(next(), &options.plan)) return 2;
+    } else if (arg == "--optimizer") {
+      std::string optimizer = next();
+      options.optimizer = optimizer == "random" ? JointOptimizerKind::kRandom
+                          : optimizer == "mfes" ? JointOptimizerKind::kMfesHb
+                          : optimizer == "tpe"  ? JointOptimizerKind::kTpe
+                                                : JointOptimizerKind::kSmac;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--cv") {
       options.eval.cv_folds = static_cast<size_t>(std::atoi(next()));
     } else if (arg == "--smote") {
       options.space.include_smote = true;
     } else if (arg == "--seed") {
       options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--stop-after") {
+      stop_after = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--resume") {
+      resume_path = next();
+    } else if (arg == "--trajectory-out") {
+      trajectory_path = next();
     } else if (arg == "--predict") {
       predict_path = next();
     } else {
@@ -92,6 +194,22 @@ int main(int argc, char** argv) {
       Usage(argv[0]);
       return 2;
     }
+  }
+  if ((checkpoint_every > 0 || stop_after > 0) && checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint-every/--stop-after require --checkpoint\n");
+    return 2;
+  }
+
+  if (explain) {
+    // The logical plan is a pure function of the options — no data needed.
+    SearchSpace space(options.space);
+    Rng rng(options.seed);
+    PlanSpec spec = BuildSpec(options.plan, space, options.optimizer,
+                              rng.Fork(), options.guard);
+    std::printf("plan %s (%zu nodes):\n%s", PlanKindName(options.plan).c_str(),
+                spec.NumNodes(), spec.Explain().c_str());
+    return 0;
   }
 
   Result<Dataset> train =
@@ -105,7 +223,74 @@ int main(int argc, char** argv) {
               train.value().NumSamples(), train.value().NumFeatures());
 
   VolcanoML automl(options);
-  AutoMlResult result = automl.Fit(train.value());
+  Status prepared = automl.Prepare(train.value());
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 prepared.ToString().c_str());
+    return 1;
+  }
+  PlanExecutor* executor = automl.executor();
+
+  if (!resume_path.empty()) {
+    std::string snapshot;
+    if (!ReadFile(resume_path, &snapshot)) {
+      std::fprintf(stderr, "failed to read snapshot %s\n",
+                   resume_path.c_str());
+      return 1;
+    }
+    Status restored = executor->LoadSnapshot(snapshot);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n",
+                   restored.ToString().c_str());
+      return 1;
+    }
+    std::printf("resumed at step %zu (budget consumed: %.3f)\n",
+                executor->num_steps(), executor->consumed_budget());
+  }
+
+  // The stepped Volcano loop: one pull per Step(), snapshots in between.
+  size_t steps_this_run = 0;
+  bool stopped_early = false;
+  while (executor->Step()) {
+    ++steps_this_run;
+    if (checkpoint_every > 0 && steps_this_run % checkpoint_every == 0) {
+      if (!WriteFile(checkpoint_path, executor->SaveSnapshot())) {
+        std::fprintf(stderr, "failed to write checkpoint %s\n",
+                     checkpoint_path.c_str());
+        return 1;
+      }
+    }
+    if (stop_after > 0 && steps_this_run >= stop_after) {
+      stopped_early = true;
+      break;
+    }
+  }
+  if (stopped_early) {
+    if (!WriteFile(checkpoint_path, executor->SaveSnapshot())) {
+      std::fprintf(stderr, "failed to write checkpoint %s\n",
+                   checkpoint_path.c_str());
+      return 1;
+    }
+    std::printf("stopped after %zu steps; snapshot written to %s\n",
+                steps_this_run, checkpoint_path.c_str());
+    return 0;
+  }
+
+  AutoMlResult result = automl.Finish();
+  if (!trajectory_path.empty()) {
+    std::string out;
+    char line[128];
+    for (const TrajectoryPoint& point : result.trajectory) {
+      std::snprintf(line, sizeof(line), "%.17g %.17g\n", point.budget,
+                    point.utility);
+      out += line;
+    }
+    if (!WriteFile(trajectory_path, out)) {
+      std::fprintf(stderr, "failed to write trajectory %s\n",
+                   trajectory_path.c_str());
+      return 1;
+    }
+  }
   std::printf("evaluations: %zu\nvalidation utility: %.4f\n",
               result.num_evaluations, result.best_utility);
   std::printf("best pipeline (plan %s):\n",

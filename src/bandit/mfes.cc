@@ -226,4 +226,79 @@ void MfesHbOptimizer::Observe(const Configuration& config, double fidelity,
   }
 }
 
+void MfesHbOptimizer::SaveState(SnapshotWriter* w) const {
+  w->Begin("mfes");
+  w->Str("rng", rng_.Serialize());
+  quarantine_.SaveState(w);
+  w->I64("current_s", current_s_);
+  w->F64("rung_fidelity", rung_fidelity_);
+  w->U64("pending", pending_.size());
+  for (const Configuration& config : pending_) {
+    SaveConfiguration(w, "pending_config", config);
+  }
+  w->U64("rung", rung_configs_.size());
+  for (size_t i = 0; i < rung_configs_.size(); ++i) {
+    SaveConfiguration(w, "rung_config", rung_configs_[i]);
+    w->F64("rung_score", rung_scores_[i]);
+  }
+  // std::map iterates fidelity levels in sorted order — deterministic.
+  w->U64("levels", by_fidelity_.size());
+  for (const auto& [fidelity, observations] : by_fidelity_) {
+    w->F64("level_fidelity", fidelity);
+    w->U64("level_observations", observations.size());
+    for (const LevelObservation& obs : observations) {
+      SaveConfiguration(w, "obs_config", obs.config);
+      w->F64("obs_utility", obs.utility);
+    }
+  }
+  w->U64("total_observations", total_observations_);
+  SaveDoubleVector(w, "history_utilities", history_utilities_);
+  SaveConfiguration(w, "best_config", best_config_);
+  w->F64("best_utility", best_utility_);
+  w->F64("best_fidelity", best_fidelity_);
+  w->Bool("has_best", has_best_);
+  w->End("mfes");
+}
+
+void MfesHbOptimizer::LoadState(SnapshotReader* r) {
+  r->Begin("mfes");
+  if (!rng_.Deserialize(r->Str("rng"))) {
+    r->Fail("mfes optimizer: malformed rng state");
+  }
+  quarantine_.LoadState(r);
+  current_s_ = static_cast<int>(r->I64("current_s"));
+  rung_fidelity_ = r->F64("rung_fidelity");
+  uint64_t num_pending = r->U64("pending");
+  pending_.clear();
+  for (uint64_t i = 0; i < num_pending && r->ok(); ++i) {
+    pending_.push_back(LoadConfiguration(r, "pending_config"));
+  }
+  uint64_t num_rung = r->U64("rung");
+  rung_configs_.clear();
+  rung_scores_.clear();
+  for (uint64_t i = 0; i < num_rung && r->ok(); ++i) {
+    rung_configs_.push_back(LoadConfiguration(r, "rung_config"));
+    rung_scores_.push_back(r->F64("rung_score"));
+  }
+  uint64_t num_levels = r->U64("levels");
+  by_fidelity_.clear();
+  for (uint64_t i = 0; i < num_levels && r->ok(); ++i) {
+    double fidelity = r->F64("level_fidelity");
+    uint64_t num_observations = r->U64("level_observations");
+    std::vector<LevelObservation>& level = by_fidelity_[fidelity];
+    for (uint64_t j = 0; j < num_observations && r->ok(); ++j) {
+      Configuration config = LoadConfiguration(r, "obs_config");
+      double utility = r->F64("obs_utility");
+      level.push_back({config, space_->Encode(config), utility});
+    }
+  }
+  total_observations_ = r->U64("total_observations");
+  history_utilities_ = LoadDoubleVector(r, "history_utilities");
+  best_config_ = LoadConfiguration(r, "best_config");
+  best_utility_ = r->F64("best_utility");
+  best_fidelity_ = r->F64("best_fidelity");
+  has_best_ = r->Bool("has_best");
+  r->End("mfes");
+}
+
 }  // namespace volcanoml

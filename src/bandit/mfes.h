@@ -87,6 +87,13 @@ class MfesHbOptimizer {
     return history_utilities_;
   }
 
+  /// Writes bracket/rung progress, pending evaluations, per-fidelity
+  /// observation history, and RNG engine state. Per-level surrogates are
+  /// rebuilt from the restored observations on the next proposal; encoded
+  /// vectors are recomputed from configs on load.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
+
  private:
   void StartNextRungOrBracket();
   std::vector<Configuration> ProposeBracketCandidates(size_t count);

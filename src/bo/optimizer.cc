@@ -84,4 +84,53 @@ Configuration RandomSearchOptimizer::Suggest() {
   return SampleAvoidingQuarantine(&rng_);
 }
 
+void BlackBoxOptimizer::SaveState(SnapshotWriter* w) const {
+  w->Begin("optimizer");
+  w->U64("history", history_configs_.size());
+  for (size_t i = 0; i < history_configs_.size(); ++i) {
+    SaveConfiguration(w, "history_config", history_configs_[i]);
+    w->F64("history_utility", history_utilities_[i]);
+  }
+  SaveConfiguration(w, "best_config", best_config_);
+  w->F64("best_utility", best_utility_);
+  w->U64("initial_queue", initial_queue_.size());
+  for (const Configuration& config : initial_queue_) {
+    SaveConfiguration(w, "initial_config", config);
+  }
+  quarantine_.SaveState(w);
+  w->End("optimizer");
+}
+
+void BlackBoxOptimizer::LoadState(SnapshotReader* r) {
+  r->Begin("optimizer");
+  uint64_t n = r->U64("history");
+  history_configs_.clear();
+  history_utilities_.clear();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    history_configs_.push_back(LoadConfiguration(r, "history_config"));
+    history_utilities_.push_back(r->F64("history_utility"));
+  }
+  best_config_ = LoadConfiguration(r, "best_config");
+  best_utility_ = r->F64("best_utility");
+  uint64_t m = r->U64("initial_queue");
+  initial_queue_.clear();
+  for (uint64_t i = 0; i < m && r->ok(); ++i) {
+    initial_queue_.push_back(LoadConfiguration(r, "initial_config"));
+  }
+  quarantine_.LoadState(r);
+  r->End("optimizer");
+}
+
+void RandomSearchOptimizer::SaveState(SnapshotWriter* w) const {
+  BlackBoxOptimizer::SaveState(w);
+  w->Str("rng", rng_.Serialize());
+}
+
+void RandomSearchOptimizer::LoadState(SnapshotReader* r) {
+  BlackBoxOptimizer::LoadState(r);
+  if (!rng_.Deserialize(r->Str("rng"))) {
+    r->Fail("random-search optimizer: malformed rng state");
+  }
+}
+
 }  // namespace volcanoml

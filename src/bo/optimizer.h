@@ -77,6 +77,16 @@ class BlackBoxOptimizer {
 
   [[nodiscard]] const ConfigurationSpace& space() const { return *space_; }
 
+  /// Snapshot support (see DESIGN.md "Logical plans, executor & snapshots"):
+  /// the base saves the observation history, incumbent, pending warm-start
+  /// seeds and quarantine set; engines with private randomness or counters
+  /// (random / SMAC / TPE) extend it. Surrogates are NOT serialized — they
+  /// are rebuilt deterministically from the restored history and RNG state
+  /// on the next Suggest(). A loaded optimizer continues the identical
+  /// proposal stream an uninterrupted run would produce.
+  virtual void SaveState(SnapshotWriter* w) const;
+  virtual void LoadState(SnapshotReader* r);
+
  protected:
   /// Pops up to `n` pending warm-start seeds into `batch` (helper for
   /// SuggestBatch overrides; keeps the drain order of Suggest()).
@@ -109,6 +119,9 @@ class RandomSearchOptimizer : public BlackBoxOptimizer {
       : BlackBoxOptimizer(space), rng_(seed) {}
 
   [[nodiscard]] Configuration Suggest() override;
+
+  void SaveState(SnapshotWriter* w) const override;
+  void LoadState(SnapshotReader* r) override;
 
  private:
   Rng rng_;

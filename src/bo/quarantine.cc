@@ -1,6 +1,8 @@
 #include "bo/quarantine.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 namespace volcanoml {
 
@@ -22,6 +24,21 @@ void QuarantineSet::Add(const Configuration& config) {
 bool QuarantineSet::Contains(const Configuration& config) const {
   if (keys_.empty()) return false;
   return keys_.count(ConfigurationBitKey(config)) > 0;
+}
+
+void QuarantineSet::SaveState(SnapshotWriter* w) const {
+  std::vector<std::string> sorted(keys_.begin(), keys_.end());
+  std::sort(sorted.begin(), sorted.end());
+  w->U64("quarantine_keys", sorted.size());
+  for (const std::string& key : sorted) w->Str("quarantine_keys", key);
+}
+
+void QuarantineSet::LoadState(SnapshotReader* r) {
+  keys_.clear();
+  uint64_t n = r->U64("quarantine_keys");
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    keys_.insert(r->Str("quarantine_keys"));
+  }
 }
 
 }  // namespace volcanoml

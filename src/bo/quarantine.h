@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "core/snapshot.h"
 #include "cs/configuration.h"
 
 namespace volcanoml {
@@ -33,6 +34,11 @@ class QuarantineSet {
 
   [[nodiscard]] size_t size() const { return keys_.size(); }
   [[nodiscard]] bool empty() const { return keys_.empty(); }
+
+  /// Snapshot support: keys are written in sorted order so identical sets
+  /// serialize to identical bytes regardless of insertion history.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
 
  private:
   std::unordered_set<std::string> keys_;

@@ -107,6 +107,20 @@ Configuration SmacOptimizer::Suggest() {
   return candidates[ranked.front()];
 }
 
+void SmacOptimizer::SaveState(SnapshotWriter* w) const {
+  BlackBoxOptimizer::SaveState(w);
+  w->Str("rng", rng_.Serialize());
+  w->U64("suggest_count", suggest_count_);
+}
+
+void SmacOptimizer::LoadState(SnapshotReader* r) {
+  BlackBoxOptimizer::LoadState(r);
+  if (!rng_.Deserialize(r->Str("rng"))) {
+    r->Fail("smac optimizer: malformed rng state");
+  }
+  suggest_count_ = r->U64("suggest_count");
+}
+
 std::vector<Configuration> SmacOptimizer::SuggestBatch(size_t n) {
   VOLCANOML_CHECK(n >= 1);
   if (n == 1) return {Suggest()};

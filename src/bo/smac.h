@@ -44,6 +44,11 @@ class SmacOptimizer : public BlackBoxOptimizer {
   /// class's constant liar. SuggestBatch(1) delegates to Suggest().
   [[nodiscard]] std::vector<Configuration> SuggestBatch(size_t n) override;
 
+  /// Adds the proposal counter and RNG engine state; the random-forest
+  /// surrogate is rebuilt from the restored history on the next Suggest.
+  void SaveState(SnapshotWriter* w) const override;
+  void LoadState(SnapshotReader* r) override;
+
  private:
   /// Fits the surrogate on the (possibly capped) history. Requires
   /// NumObservations() >= 2; consumes one rng fork.

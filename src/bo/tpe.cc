@@ -154,6 +154,20 @@ Configuration TpeOptimizer::Suggest() {
   return has_allowed ? best_allowed : best_candidate;
 }
 
+void TpeOptimizer::SaveState(SnapshotWriter* w) const {
+  BlackBoxOptimizer::SaveState(w);
+  w->Str("rng", rng_.Serialize());
+  w->U64("suggest_count", suggest_count_);
+}
+
+void TpeOptimizer::LoadState(SnapshotReader* r) {
+  BlackBoxOptimizer::LoadState(r);
+  if (!rng_.Deserialize(r->Str("rng"))) {
+    r->Fail("tpe optimizer: malformed rng state");
+  }
+  suggest_count_ = r->U64("suggest_count");
+}
+
 std::vector<Configuration> TpeOptimizer::SuggestBatch(size_t n) {
   VOLCANOML_CHECK(n >= 1);
   if (n == 1) return {Suggest()};

@@ -41,6 +41,11 @@ class TpeOptimizer : public BlackBoxOptimizer {
   /// Suggest().
   [[nodiscard]] std::vector<Configuration> SuggestBatch(size_t n) override;
 
+  /// Adds the proposal counter and RNG engine state; the good/bad density
+  /// split is recomputed from the restored history on the next Suggest.
+  void SaveState(SnapshotWriter* w) const override;
+  void LoadState(SnapshotReader* r) override;
+
  private:
   /// Partitions history indices into the good (top gamma) set and the
   /// rest. Requires at least two observations.

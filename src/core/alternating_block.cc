@@ -31,6 +31,26 @@ void AlternatingBlock::WarmStart(const Assignment& assignment) {
   b_->WarmStart(assignment);
 }
 
+void AlternatingBlock::SaveState(SnapshotWriter* w) const {
+  BuildingBlock::SaveState(w);
+  w->Begin("alternating");
+  w->U64("init_pulls_remaining", init_pulls_remaining_);
+  w->Bool("next_init_is_a", next_init_is_a_);
+  a_->SaveState(w);
+  b_->SaveState(w);
+  w->End("alternating");
+}
+
+void AlternatingBlock::LoadState(SnapshotReader* r) {
+  BuildingBlock::LoadState(r);
+  r->Begin("alternating");
+  init_pulls_remaining_ = r->U64("init_pulls_remaining");
+  next_init_is_a_ = r->Bool("next_init_is_a");
+  a_->LoadState(r);
+  b_->LoadState(r);
+  r->End("alternating");
+}
+
 void AlternatingBlock::ShareBest(const BuildingBlock& from,
                                  const std::vector<std::string>& variables,
                                  BuildingBlock* to) {

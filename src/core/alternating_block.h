@@ -42,6 +42,10 @@ class AlternatingBlock : public BuildingBlock {
     return a_->NumHardFailures() + b_->NumHardFailures();
   }
 
+  /// Adds the init-phase counters and both halves' state.
+  void SaveState(SnapshotWriter* w) const override;
+  void LoadState(SnapshotReader* r) override;
+
  protected:
   void DoNextImpl(double k_more, size_t batch_size) override;
 

@@ -33,4 +33,32 @@ void BuildingBlock::AbsorbBest(const BuildingBlock& child) {
   }
 }
 
+void BuildingBlock::SaveState(SnapshotWriter* w) const {
+  w->Begin("block");
+  w->Str("name", name_);
+  SaveDoubleVector(w, "pull_history", pull_history_);
+  SaveAssignment(w, "best_assignment", best_assignment_);
+  w->F64("best_utility", best_utility_);
+  w->U64("num_trials", num_trials_);
+  w->U64("num_hard_failures", num_hard_failures_);
+  SaveAssignment(w, "context", context_);
+  w->End("block");
+}
+
+void BuildingBlock::LoadState(SnapshotReader* r) {
+  r->Begin("block");
+  std::string saved_name = r->Str("name");
+  if (r->ok() && saved_name != name_) {
+    r->Fail("snapshot block '" + saved_name +
+            "' does not match plan block '" + name_ + "'");
+  }
+  pull_history_ = LoadDoubleVector(r, "pull_history");
+  best_assignment_ = LoadAssignment(r, "best_assignment");
+  best_utility_ = r->F64("best_utility");
+  num_trials_ = r->U64("num_trials");
+  num_hard_failures_ = r->U64("num_hard_failures");
+  context_ = LoadAssignment(r, "context");
+  r->End("block");
+}
+
 }  // namespace volcanoml

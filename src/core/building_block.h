@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bandit/eu.h"
+#include "core/snapshot.h"
 #include "cs/configuration.h"
 
 namespace volcanoml {
@@ -25,6 +26,15 @@ struct TrialGuardPolicy {
   double arm_failure_rate_threshold = 0.5;
   size_t arm_failure_min_trials = 8;
 };
+
+inline bool operator==(const TrialGuardPolicy& a, const TrialGuardPolicy& b) {
+  return a.retry_cap == b.retry_cap &&
+         a.arm_failure_rate_threshold == b.arm_failure_rate_threshold &&
+         a.arm_failure_min_trials == b.arm_failure_min_trials;
+}
+inline bool operator!=(const TrialGuardPolicy& a, const TrialGuardPolicy& b) {
+  return !(a == b);
+}
 
 /// Abstract VolcanoML building block (paper Section 3.2).
 ///
@@ -105,6 +115,14 @@ class BuildingBlock {
   [[nodiscard]] virtual size_t NumHardFailures() const {
     return num_hard_failures_;
   }
+  /// Serializes this block's search progress (pull history, incumbent,
+  /// trial counts, context). Composite blocks recurse into children;
+  /// joint blocks append their optimizer state. The block name is written
+  /// and verified on load, so a snapshot taken from a structurally
+  /// different plan is rejected instead of silently misapplied.
+  virtual void SaveState(SnapshotWriter* w) const;
+  virtual void LoadState(SnapshotReader* r);
+
   [[nodiscard]] double HardFailureRate() const {
     size_t trials = NumTrials();
     return trials == 0

@@ -72,6 +72,35 @@ void ConditioningBlock::WarmStart(const Assignment& assignment) {
   }
 }
 
+void ConditioningBlock::SaveState(SnapshotWriter* w) const {
+  BuildingBlock::SaveState(w);
+  w->Begin("conditioning");
+  w->U64("num_children", children_.size());
+  for (size_t i = 0; i < children_.size(); ++i) {
+    w->Bool("active", active_[i]);
+    children_[i]->SaveState(w);
+  }
+  w->U64("rounds_completed", rounds_completed_);
+  w->End("conditioning");
+}
+
+void ConditioningBlock::LoadState(SnapshotReader* r) {
+  BuildingBlock::LoadState(r);
+  r->Begin("conditioning");
+  uint64_t n = r->U64("num_children");
+  if (r->ok() && n != children_.size()) {
+    r->Fail("snapshot has " + std::to_string(n) +
+            " arms, plan has " + std::to_string(children_.size()));
+    return;
+  }
+  for (size_t i = 0; i < children_.size() && r->ok(); ++i) {
+    active_[i] = r->Bool("active");
+    children_[i]->LoadState(r);
+  }
+  rounds_completed_ = r->U64("rounds_completed");
+  r->End("conditioning");
+}
+
 void ConditioningBlock::DoNextImpl(double k_more, size_t batch_size) {
   // One round-robin pass over the active arms (Algorithm 1, inner loop);
   // the batch width is forwarded so each arm's leaf evaluates its batch

@@ -59,6 +59,11 @@ class ConditioningBlock : public BuildingBlock {
   [[nodiscard]] size_t NumTrials() const override;
   [[nodiscard]] size_t NumHardFailures() const override;
 
+  /// Adds the active-arm mask, bandit round counter, and each child's
+  /// state (children are saved/loaded in arm order, active or not).
+  void SaveState(SnapshotWriter* w) const override;
+  void LoadState(SnapshotReader* r) override;
+
  protected:
   void DoNextImpl(double k_more, size_t batch_size) override;
 

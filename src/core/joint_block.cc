@@ -1,6 +1,8 @@
 #include "core/joint_block.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "bo/quarantine.h"
 #include "util/check.h"
@@ -76,6 +78,43 @@ void JointBlock::HandleOutcome(const Configuration& config,
     if (optimizer_ != nullptr) optimizer_->Quarantine(config);
     if (mfes_ != nullptr) mfes_->Quarantine(config);
   }
+}
+
+void JointBlock::SaveState(SnapshotWriter* w) const {
+  BuildingBlock::SaveState(w);
+  w->Begin("joint");
+  // Sorted for byte-deterministic output (the map is unordered).
+  std::vector<std::pair<std::string, size_t>> counts(
+      hard_failure_counts_.begin(), hard_failure_counts_.end());
+  std::sort(counts.begin(), counts.end());
+  w->U64("hard_failure_counts", counts.size());
+  for (const auto& [key, count] : counts) {
+    w->Str("failure_key", key);
+    w->U64("failure_count", count);
+  }
+  if (mfes_ != nullptr) {
+    mfes_->SaveState(w);
+  } else {
+    optimizer_->SaveState(w);
+  }
+  w->End("joint");
+}
+
+void JointBlock::LoadState(SnapshotReader* r) {
+  BuildingBlock::LoadState(r);
+  r->Begin("joint");
+  uint64_t n = r->U64("hard_failure_counts");
+  hard_failure_counts_.clear();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    std::string key = r->Str("failure_key");
+    hard_failure_counts_[key] = r->U64("failure_count");
+  }
+  if (mfes_ != nullptr) {
+    mfes_->LoadState(r);
+  } else {
+    optimizer_->LoadState(r);
+  }
+  r->End("joint");
 }
 
 void JointBlock::DoNextImpl(double /*k_more*/, size_t batch_size) {

@@ -45,6 +45,11 @@ class JointBlock : public BuildingBlock {
   /// Configurations this block has quarantined at the retry cap.
   [[nodiscard]] size_t num_quarantined() const;
 
+  /// Adds retry-cap failure counts plus the owned optimizer's state
+  /// (SMAC / random / TPE via BlackBoxOptimizer, or MFES-HB).
+  void SaveState(SnapshotWriter* w) const override;
+  void LoadState(SnapshotReader* r) override;
+
  protected:
   void DoNextImpl(double k_more, size_t batch_size) override;
 

@@ -1,0 +1,142 @@
+#include "core/plan_executor.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+PlanExecutor::PlanExecutor(const PlanSpec& spec, PipelineEvaluator* evaluator,
+                           const PlanExecutorOptions& options)
+    : options_(options), evaluator_(evaluator) {
+  VOLCANOML_CHECK(evaluator_ != nullptr);
+  VOLCANOML_CHECK(options_.budget > 0.0);
+  VOLCANOML_CHECK(options_.batch_size >= 1);
+  root_ = Lower(spec, evaluator_);
+  plan_fingerprint_ = spec.Explain();
+  // The engine refuses to dispatch evaluations past the run budget: a
+  // wide batch near the end is truncated to the affordable prefix
+  // instead of overshooting. At batch_size=1 every pull costs at most
+  // one unit, so the limit never fires before the Step() guard. Seconds
+  // budgets stay wall-clock-bounded by the loop itself (the engine
+  // meters summed evaluation seconds, which exceed wall-clock when
+  // threads run concurrently).
+  if (!options_.budget_in_seconds) {
+    evaluator_->engine().set_budget_limit(options_.budget);
+  }
+}
+
+void PlanExecutor::WarmStart(const Assignment& assignment) {
+  root_->WarmStart(assignment);
+}
+
+double PlanExecutor::consumed_budget() const {
+  return options_.budget_in_seconds
+             ? base_seconds_ + run_timer_.ElapsedSeconds()
+             : evaluator_->consumed_budget();
+}
+
+bool PlanExecutor::Done() const { return consumed_budget() >= options_.budget; }
+
+bool PlanExecutor::Step() {
+  if (Done()) return false;
+  // Under a seconds budget the consumed amount is the run's total
+  // wall-clock (the paper's budget model): evaluation time AND optimizer
+  // overhead (surrogate fits, acquisition maximization) all count.
+  // DoNext's k_more argument is in *pulls*; remaining time is converted
+  // using the observed mean cost per pull.
+  double remaining = options_.budget - consumed_budget();
+  double k_more = remaining;
+  if (options_.budget_in_seconds && root_->NumPulls() > 0 &&
+      consumed_budget() > 0.0) {
+    double mean_cost =
+        consumed_budget() / static_cast<double>(root_->NumPulls());
+    k_more = remaining / std::max(mean_cost, 1e-6);
+  }
+  root_->DoNext(k_more, options_.batch_size);
+  trajectory_.push_back({consumed_budget(), root_->BestUtility()});
+  ++num_steps_;
+  return true;
+}
+
+void PlanExecutor::Run() {
+  while (Step()) {
+  }
+}
+
+std::string PlanExecutor::SaveSnapshot() const {
+  SnapshotWriter w;
+  w.Header();
+  w.Begin("search");
+  w.Begin("meta");
+  w.Str("plan", plan_fingerprint_);
+  w.F64("budget", options_.budget);
+  w.U64("batch_size", options_.batch_size);
+  w.Bool("budget_in_seconds", options_.budget_in_seconds);
+  w.U64("num_steps", num_steps_);
+  // Zero in deterministic mode (the engine meter is authoritative there),
+  // so identical deterministic states snapshot to identical bytes.
+  w.F64("consumed_seconds",
+        options_.budget_in_seconds ? consumed_budget() : 0.0);
+  w.End("meta");
+  root_->SaveState(&w);
+  evaluator_->SaveState(&w);
+  w.U64("trajectory", trajectory_.size());
+  for (const TrajectoryPoint& point : trajectory_) {
+    w.F64("trajectory_budget", point.budget);
+    w.F64("trajectory_utility", point.utility);
+  }
+  w.End("search");
+  return w.TakeStr();
+}
+
+Status PlanExecutor::LoadSnapshot(const std::string& data) {
+  if (num_steps_ > 0) {
+    return Status::FailedPrecondition(
+        "LoadSnapshot requires a freshly-prepared executor");
+  }
+  SnapshotReader r(data);
+  r.Header();
+  r.Begin("search");
+  r.Begin("meta");
+  std::string plan = r.Str("plan");
+  if (r.ok() && plan != plan_fingerprint_) {
+    return Status::InvalidArgument(
+        "snapshot was taken from a different plan; snapshot plan:\n" + plan);
+  }
+  // The budget may legitimately differ (a resume can extend it); batch
+  // size and budget mode change replay semantics, so they must match.
+  (void)r.F64("budget");
+  uint64_t batch_size = r.U64("batch_size");
+  if (r.ok() && batch_size != options_.batch_size) {
+    return Status::InvalidArgument(
+        "snapshot batch_size " + std::to_string(batch_size) +
+        " does not match executor batch_size " +
+        std::to_string(options_.batch_size));
+  }
+  bool budget_in_seconds = r.Bool("budget_in_seconds");
+  if (r.ok() && budget_in_seconds != options_.budget_in_seconds) {
+    return Status::InvalidArgument(
+        "snapshot and executor disagree on budget mode (seconds vs units)");
+  }
+  num_steps_ = r.U64("num_steps");
+  base_seconds_ = r.F64("consumed_seconds");
+  r.End("meta");
+  root_->LoadState(&r);
+  evaluator_->LoadState(&r);
+  uint64_t num_points = r.U64("trajectory");
+  trajectory_.clear();
+  for (uint64_t i = 0; i < num_points && r.ok(); ++i) {
+    double budget = r.F64("trajectory_budget");
+    double utility = r.F64("trajectory_utility");
+    trajectory_.push_back({budget, utility});
+  }
+  r.End("search");
+  if (!r.ok()) {
+    return Status::InvalidArgument("malformed snapshot: " + r.error());
+  }
+  run_timer_.Restart();
+  return Status::Ok();
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,113 @@
+#ifndef VOLCANOML_CORE_PLAN_EXECUTOR_H_
+#define VOLCANOML_CORE_PLAN_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/building_block.h"
+#include "core/plan_spec.h"
+#include "core/snapshot.h"
+#include "eval/evaluator.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace volcanoml {
+
+/// One point of a search trajectory: incumbent utility after spending
+/// `budget` evaluation units. Drives the time-budget figures (E2, E6).
+struct TrajectoryPoint {
+  double budget = 0.0;
+  double utility = 0.0;
+};
+
+/// Execution settings for one search run (the executor's slice of
+/// VolcanoMlOptions).
+struct PlanExecutorOptions {
+  /// Budget in evaluation units, or in wall-clock seconds when
+  /// `budget_in_seconds` is set.
+  double budget = 150.0;
+  /// Evaluations proposed and evaluated per leaf pull; 1 is the paper's
+  /// serial semantics, bit-for-bit.
+  size_t batch_size = 1;
+  /// Whether `budget` is wall-clock seconds (evaluation time plus
+  /// optimizer overhead) instead of evaluation units.
+  bool budget_in_seconds = false;
+};
+
+/// The PHYSICAL executor: lowers a logical PlanSpec into the block tree
+/// and drives it Volcano-style, one Step() per pull. The executor owns
+/// what the search loop needs — budget accounting, the trajectory, the
+/// stop condition — leaving VolcanoML::Fit as a thin pipeline of
+/// build-space -> build-spec -> lower -> run.
+///
+/// Stepping is externally controllable (the CLI checkpoints between
+/// steps), and the whole search state is snapshottable: SaveSnapshot()
+/// serializes the block tree, every optimizer, the evaluation engine and
+/// the trajectory into a versioned byte-exact text format, and
+/// LoadSnapshot() restores it so a killed run resumes bit-for-bit
+/// identical to one that never stopped (deterministic-budget mode;
+/// seconds budgets resume from the saved consumed time but wall-clock
+/// itself is inherently non-deterministic).
+class PlanExecutor {
+ public:
+  /// Lowers `spec` against `evaluator` and applies the deterministic
+  /// budget limit to the engine. `evaluator` must outlive the executor.
+  PlanExecutor(const PlanSpec& spec, PipelineEvaluator* evaluator,
+               const PlanExecutorOptions& options);
+
+  PlanExecutor(const PlanExecutor&) = delete;
+  PlanExecutor& operator=(const PlanExecutor&) = delete;
+
+  /// Injects a meta-learned candidate into the plan (before stepping).
+  void WarmStart(const Assignment& assignment);
+
+  /// Whether the stop condition holds (budget exhausted).
+  [[nodiscard]] bool Done() const;
+
+  /// One pull: DoNext on the root plus budget/trajectory accounting.
+  /// Returns false (and does nothing) once Done().
+  bool Step();
+
+  /// Steps until Done().
+  void Run();
+
+  /// Budget consumed so far (engine units, or seconds incl. resumed
+  /// time).
+  [[nodiscard]] double consumed_budget() const;
+  [[nodiscard]] size_t num_steps() const { return num_steps_; }
+  [[nodiscard]] const std::vector<TrajectoryPoint>& trajectory() const {
+    return trajectory_;
+  }
+  [[nodiscard]] const BuildingBlock& root() const { return *root_; }
+
+  /// Serializes the complete search state (versioned; see
+  /// core/snapshot.h). Two executors in identical states produce
+  /// byte-identical snapshots.
+  [[nodiscard]] std::string SaveSnapshot() const;
+
+  /// Restores a SaveSnapshot() payload into this freshly-prepared
+  /// executor. The executor must not have stepped yet, and must have
+  /// been built from the same plan (the snapshot embeds a structural
+  /// fingerprint that is validated, and every block re-checks its name).
+  /// On error the executor state is unspecified; discard it.
+  [[nodiscard]] Status LoadSnapshot(const std::string& data);
+
+ private:
+  PlanExecutorOptions options_;
+  PipelineEvaluator* evaluator_;
+  std::unique_ptr<BuildingBlock> root_;
+  /// Structural fingerprint of the lowered plan (PlanSpec::Explain),
+  /// embedded in snapshots to reject resumes across different plans.
+  std::string plan_fingerprint_;
+  std::vector<TrajectoryPoint> trajectory_;
+  size_t num_steps_ = 0;
+  /// Seconds-budget bookkeeping: consumed seconds restored from a
+  /// snapshot, plus the running stopwatch since construction/load.
+  double base_seconds_ = 0.0;
+  Stopwatch run_timer_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CORE_PLAN_EXECUTOR_H_

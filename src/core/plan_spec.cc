@@ -1,0 +1,362 @@
+#include "core/plan_spec.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// Appends the entries of `src` that `dst` does not yet contain,
+/// preserving first-appearance order.
+void AppendUnique(std::vector<std::string>* dst,
+                  const std::vector<std::string>& src) {
+  for (const std::string& name : src) {
+    bool present = false;
+    for (const std::string& existing : *dst) {
+      if (existing == name) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) dst->push_back(name);
+  }
+}
+
+/// Leaf spec: one joint block over `space`, owning its parameter names.
+PlanSpec JointNode(std::string name, ConfigurationSpace space,
+                   JointOptimizerKind optimizer, uint64_t seed,
+                   TrialGuardPolicy guard) {
+  PlanSpec node;
+  node.kind = PlanNodeKind::kJoint;
+  node.name = std::move(name);
+  node.space = std::move(space);
+  node.variables = node.space.ParameterNames();
+  node.optimizer = optimizer;
+  node.seed = seed;
+  node.guard = guard;
+  return node;
+}
+
+/// Per-arm spec of kConditioningJoint: FE + one algorithm's HPs jointly,
+/// the algorithm fixed in context (the per-arm block of Plan 2).
+PlanSpec ArmJointSpec(const SearchSpace& space, JointOptimizerKind optimizer,
+                      size_t arm, uint64_t seed, TrialGuardPolicy guard) {
+  const std::string& algorithm = space.algorithms()[arm];
+  ConfigurationSpace sub = space.FeSubspace();
+  sub.Merge(space.HpSubspaceFor(algorithm), "");
+  PlanSpec node = JointNode("joint[" + algorithm + "]", std::move(sub),
+                            optimizer, seed, guard);
+  node.context = {{"algorithm", static_cast<double>(arm)}};
+  return node;
+}
+
+/// Per-arm spec of the conditioning+alternating plans: alternating(FE
+/// joint, HP joint) — Figure 2's per-arm subtree. Replicates the legacy
+/// seed forks: one local Rng per arm, FE fork first, HP fork only when
+/// the algorithm has hyper-parameters (otherwise the arm degenerates to
+/// FE-only search).
+PlanSpec ArmAlternatingSpec(const SearchSpace& space,
+                            JointOptimizerKind optimizer, size_t arm,
+                            bool hp_first, uint64_t seed,
+                            TrialGuardPolicy guard) {
+  const std::string& algorithm = space.algorithms()[arm];
+  Rng rng(seed);
+
+  ConfigurationSpace fe_space = space.FeSubspace();
+  ConfigurationSpace hp_space = space.HpSubspaceFor(algorithm);
+  uint64_t fe_seed = rng.Fork();
+  if (hp_space.empty()) {
+    PlanSpec fe = JointNode("fe[" + algorithm + "]", std::move(fe_space),
+                            optimizer, fe_seed, guard);
+    fe.context = {{"algorithm", static_cast<double>(arm)}};
+    return fe;
+  }
+  PlanSpec fe = JointNode("fe[" + algorithm + "]", std::move(fe_space),
+                          optimizer, fe_seed, guard);
+  PlanSpec hp = JointNode("hp[" + algorithm + "]", std::move(hp_space),
+                          optimizer, rng.Fork(), guard);
+
+  PlanSpec alt;
+  alt.kind = PlanNodeKind::kAlternating;
+  alt.name = "alt[" + algorithm + "]";
+  alt.guard = guard;
+  if (hp_first) {
+    alt.children.push_back(std::move(hp));
+    alt.children.push_back(std::move(fe));
+  } else {
+    alt.children.push_back(std::move(fe));
+    alt.children.push_back(std::move(hp));
+  }
+  AppendUnique(&alt.variables, alt.children[0].variables);
+  AppendUnique(&alt.variables, alt.children[1].variables);
+  alt.context = {{"algorithm", static_cast<double>(arm)}};
+  return alt;
+}
+
+std::string PolicyName(ConditioningBlock::EliminationPolicy policy) {
+  return policy == ConditioningBlock::EliminationPolicy::kRisingBandit
+             ? "rising-bandit"
+             : "successive-halving";
+}
+
+std::string FormatValue(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+void ExplainNode(const PlanSpec& spec, size_t depth, std::string* out) {
+  out->append(depth * 3, ' ');
+  out->append("-> ");
+  switch (spec.kind) {
+    case PlanNodeKind::kJoint:
+      out->append("joint " + spec.name + " (" +
+                  JointOptimizerKindName(spec.optimizer) + ", " +
+                  std::to_string(spec.space.NumParameters()) + " vars)");
+      break;
+    case PlanNodeKind::kConditioning:
+      out->append("conditioning " + spec.name + " on '" + spec.variable +
+                  "' (" + std::to_string(spec.children.size()) + " arms, " +
+                  PolicyName(spec.policy) + ", every " +
+                  std::to_string(spec.rounds_per_elimination) + " rounds)");
+      break;
+    case PlanNodeKind::kAlternating:
+      out->append("alternating " + spec.name + " (init_rounds=" +
+                  std::to_string(spec.init_rounds) + ")");
+      break;
+  }
+  if (!spec.context.empty()) {
+    out->append(" [");
+    bool first = true;
+    for (const auto& [key, value] : spec.context) {
+      if (!first) out->append(", ");
+      first = false;
+      out->append(key + "=" + FormatValue(value));
+    }
+    out->append("]");
+  }
+  out->append("\n");
+  for (const PlanSpec& child : spec.children) {
+    ExplainNode(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<PlanKind> AllPlanKinds() {
+  return {PlanKind::kJoint, PlanKind::kConditioningJoint,
+          PlanKind::kConditioningAlternating,
+          PlanKind::kAlternatingFeConditioning,
+          PlanKind::kConditioningAlternatingHpFirst};
+}
+
+std::string PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kJoint:
+      return "joint";
+    case PlanKind::kConditioningJoint:
+      return "cond(alg)+joint";
+    case PlanKind::kConditioningAlternating:
+      return "cond(alg)+alt(fe,hp)";
+    case PlanKind::kAlternatingFeConditioning:
+      return "alt(fe,cond(alg)+hp)";
+    case PlanKind::kConditioningAlternatingHpFirst:
+      return "cond(alg)+alt(hp,fe)";
+  }
+  return "?";
+}
+
+Result<PlanKind> ParsePlanKind(const std::string& name) {
+  for (PlanKind kind : AllPlanKinds()) {
+    if (PlanKindName(kind) == name) return kind;
+  }
+  std::string valid;
+  for (PlanKind kind : AllPlanKinds()) {
+    if (!valid.empty()) valid += ", ";
+    valid += "'" + PlanKindName(kind) + "'";
+  }
+  return Status::InvalidArgument("unknown plan kind '" + name +
+                                 "'; expected one of " + valid);
+}
+
+std::string JointOptimizerKindName(JointOptimizerKind kind) {
+  switch (kind) {
+    case JointOptimizerKind::kSmac:
+      return "smac";
+    case JointOptimizerKind::kRandom:
+      return "random";
+    case JointOptimizerKind::kMfesHb:
+      return "mfes-hb";
+    case JointOptimizerKind::kTpe:
+      return "tpe";
+  }
+  return "?";
+}
+
+std::string PlanSpec::Explain() const {
+  std::string out;
+  ExplainNode(*this, 0, &out);
+  return out;
+}
+
+size_t PlanSpec::NumNodes() const {
+  size_t total = 1;
+  for (const PlanSpec& child : children) total += child.NumNodes();
+  return total;
+}
+
+bool operator==(const PlanSpec& a, const PlanSpec& b) {
+  if (a.kind != b.kind || a.name != b.name || a.variables != b.variables ||
+      a.context != b.context || a.guard != b.guard ||
+      a.optimizer != b.optimizer || a.seed != b.seed ||
+      a.variable != b.variable ||
+      a.rounds_per_elimination != b.rounds_per_elimination ||
+      a.policy != b.policy || a.init_rounds != b.init_rounds ||
+      a.space.ParameterNames() != b.space.ParameterNames() ||
+      a.children.size() != b.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!(a.children[i] == b.children[i])) return false;
+  }
+  return true;
+}
+
+bool operator!=(const PlanSpec& a, const PlanSpec& b) { return !(a == b); }
+
+PlanSpec BuildSpec(PlanKind kind, const SearchSpace& space,
+                   JointOptimizerKind optimizer, uint64_t seed,
+                   TrialGuardPolicy guard) {
+  Rng rng(seed);
+  const size_t num_algorithms = space.algorithms().size();
+
+  switch (kind) {
+    case PlanKind::kJoint:
+      return JointNode("joint[all]", space.joint(), optimizer, rng.Fork(),
+                       guard);
+
+    case PlanKind::kConditioningJoint: {
+      uint64_t child_seed = rng.Fork();
+      PlanSpec cond;
+      cond.kind = PlanNodeKind::kConditioning;
+      cond.name = "cond[algorithm]";
+      cond.variable = "algorithm";
+      cond.guard = guard;
+      cond.variables.push_back("algorithm");
+      for (size_t arm = 0; arm < num_algorithms; ++arm) {
+        cond.children.push_back(
+            ArmJointSpec(space, optimizer, arm,
+                         child_seed ^ (arm * 0x9e3779b9ULL), guard));
+        AppendUnique(&cond.variables, cond.children.back().variables);
+      }
+      return cond;
+    }
+
+    case PlanKind::kConditioningAlternating:
+    case PlanKind::kConditioningAlternatingHpFirst: {
+      bool hp_first = kind == PlanKind::kConditioningAlternatingHpFirst;
+      uint64_t child_seed = rng.Fork();
+      PlanSpec cond;
+      cond.kind = PlanNodeKind::kConditioning;
+      cond.name = "cond[algorithm]";
+      cond.variable = "algorithm";
+      cond.guard = guard;
+      cond.variables.push_back("algorithm");
+      for (size_t arm = 0; arm < num_algorithms; ++arm) {
+        cond.children.push_back(
+            ArmAlternatingSpec(space, optimizer, arm, hp_first,
+                               child_seed ^ (arm * 0x9e3779b9ULL), guard));
+        AppendUnique(&cond.variables, cond.children.back().variables);
+      }
+      return cond;
+    }
+
+    case PlanKind::kAlternatingFeConditioning: {
+      ConfigurationSpace fe_space = space.FeSubspace();
+      PlanSpec fe = JointNode("fe[global]", std::move(fe_space), optimizer,
+                              rng.Fork(), guard);
+
+      // HP side: conditioning over algorithms, each arm a joint HP block.
+      uint64_t child_seed = rng.Fork();
+      PlanSpec cond;
+      cond.kind = PlanNodeKind::kConditioning;
+      cond.name = "cond[algorithm]";
+      cond.variable = "algorithm";
+      cond.guard = guard;
+      cond.variables.push_back("algorithm");
+      for (size_t arm = 0; arm < num_algorithms; ++arm) {
+        const std::string& algorithm = space.algorithms()[arm];
+        ConfigurationSpace hp_space = space.HpSubspaceFor(algorithm);
+        PlanSpec child;
+        if (hp_space.empty()) {
+          // No HPs: a joint block over an empty space is impossible; the
+          // arm re-evaluates its fixed pipeline through a one-choice
+          // probe parameter. The probe is synthetic, so the arm owns no
+          // joint-space variables.
+          ConfigurationSpace fixed;
+          fixed.AddCategorical("arm_probe", {"default"});
+          child = JointNode("hp[" + algorithm + "]", std::move(fixed),
+                            JointOptimizerKind::kRandom,
+                            child_seed ^ (arm * 0x2545f491ULL), guard);
+          child.variables.clear();
+        } else {
+          child = JointNode("hp[" + algorithm + "]", std::move(hp_space),
+                            optimizer, child_seed ^ (arm * 0x2545f491ULL),
+                            guard);
+        }
+        child.context = {{"algorithm", static_cast<double>(arm)}};
+        AppendUnique(&cond.variables, child.variables);
+        cond.children.push_back(std::move(child));
+      }
+
+      PlanSpec alt;
+      alt.kind = PlanNodeKind::kAlternating;
+      alt.name = "alt[fe,cond]";
+      alt.guard = guard;
+      alt.children.push_back(std::move(fe));
+      alt.children.push_back(std::move(cond));
+      AppendUnique(&alt.variables, alt.children[0].variables);
+      AppendUnique(&alt.variables, alt.children[1].variables);
+      return alt;
+    }
+  }
+  VOLCANOML_CHECK_MSG(false, "unknown plan kind");
+  return {};
+}
+
+std::unique_ptr<BuildingBlock> Lower(const PlanSpec& spec,
+                                     PipelineEvaluator* evaluator) {
+  VOLCANOML_CHECK(evaluator != nullptr);
+  std::unique_ptr<BuildingBlock> block;
+  switch (spec.kind) {
+    case PlanNodeKind::kJoint:
+      block = std::make_unique<JointBlock>(spec.name, spec.space, evaluator,
+                                           spec.optimizer, spec.seed,
+                                           spec.guard);
+      break;
+    case PlanNodeKind::kConditioning:
+      VOLCANOML_CHECK(!spec.children.empty());
+      block = std::make_unique<ConditioningBlock>(
+          spec.name, spec.variable, spec.children.size(),
+          [&spec, evaluator](size_t arm) {
+            return Lower(spec.children[arm], evaluator);
+          },
+          spec.rounds_per_elimination, spec.policy, spec.guard);
+      break;
+    case PlanNodeKind::kAlternating:
+      VOLCANOML_CHECK(spec.children.size() == 2);
+      block = std::make_unique<AlternatingBlock>(
+          spec.name, Lower(spec.children[0], evaluator),
+          spec.children[0].variables, Lower(spec.children[1], evaluator),
+          spec.children[1].variables, spec.init_rounds);
+      break;
+  }
+  if (!spec.context.empty()) block->SetVar(spec.context);
+  return block;
+}
+
+}  // namespace volcanoml

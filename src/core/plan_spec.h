@@ -1,0 +1,139 @@
+#ifndef VOLCANOML_CORE_PLAN_SPEC_H_
+#define VOLCANOML_CORE_PLAN_SPEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/alternating_block.h"
+#include "core/building_block.h"
+#include "core/conditioning_block.h"
+#include "core/joint_block.h"
+#include "cs/configuration_space.h"
+#include "eval/evaluator.h"
+#include "eval/search_space.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// The coarse-grained execution plans the paper enumerates (Section 4):
+/// Figure 1's Plan 1 / Plan 2 styles plus the alternating variants. Plan
+/// kConditioningAlternating is Figure 2 — VolcanoML's default; the others
+/// feed the automatic-plan-comparison experiment (E7).
+enum class PlanKind {
+  /// Plan 1: one joint block over the whole space (what AUSK does).
+  kJoint,
+  /// Conditioning on algorithm, then one joint block per arm (FE + HP).
+  kConditioningJoint,
+  /// Figure 2 default: conditioning on algorithm, then alternating
+  /// between an FE joint block and an HP joint block per arm.
+  kConditioningAlternating,
+  /// Alternating between a global FE joint block and a conditioning block
+  /// (algorithm -> HP joint) — decomposition order inverted.
+  kAlternatingFeConditioning,
+  /// As the default, but the alternation explores HP before FE.
+  kConditioningAlternatingHpFirst,
+};
+
+/// All plan kinds, in a stable order (for enumeration experiments).
+std::vector<PlanKind> AllPlanKinds();
+
+/// Short identifier, e.g. "cond(alg)+alt(fe,hp)".
+std::string PlanKindName(PlanKind kind);
+
+/// Inverse of PlanKindName: parses the exact short identifier. Unknown
+/// names return InvalidArgument listing the valid spellings.
+[[nodiscard]] Result<PlanKind> ParsePlanKind(const std::string& name);
+
+/// Short identifier for a joint block's optimizer engine, e.g. "smac".
+std::string JointOptimizerKindName(JointOptimizerKind kind);
+
+/// Kind of one node in a logical plan tree.
+enum class PlanNodeKind { kJoint, kConditioning, kAlternating };
+
+/// Declarative description of one execution-plan node — the LOGICAL plan.
+///
+/// A PlanSpec carries everything needed to materialize the corresponding
+/// BuildingBlock tree (names, subspaces, optimizer engines, per-node
+/// seeds, contexts, the trial-guard policy) but owns no evaluator, no
+/// optimizer instances and no search state: it is a pure value, cheap to
+/// build, compare and print. BuildSpec() derives one from a PlanKind and
+/// a SearchSpace; Lower() compiles it into the PHYSICAL executable block
+/// tree. The split mirrors a database optimizer: logical plan -> physical
+/// operators -> (plan_executor.h) the execution loop.
+///
+/// Seeds are assigned at BuildSpec time with exactly the fork sequence
+/// the legacy BuildPlan used, so Lower(BuildSpec(kind, space, ...)) is
+/// bit-for-bit identical to the block tree BuildPlan built.
+struct PlanSpec {
+  PlanNodeKind kind = PlanNodeKind::kJoint;
+  /// Block name Lower() assigns, e.g. "joint[all]" or "fe[knn]".
+  std::string name;
+  /// Joint-space variable names this node's subtree owns (alternating
+  /// nodes slice incumbents along their children's lists). Synthetic
+  /// probe parameters are excluded.
+  std::vector<std::string> variables;
+  /// Fixed variable values substituted into the subtree after lowering
+  /// (the paper's x_g = c_g), e.g. {"algorithm": 2} for an arm subtree.
+  Assignment context;
+  /// Trial-guard policy every block in the plan shares.
+  TrialGuardPolicy guard;
+
+  // -- kJoint ---------------------------------------------------------------
+  /// The subspace the joint block optimizes.
+  ConfigurationSpace space;
+  JointOptimizerKind optimizer = JointOptimizerKind::kSmac;
+  /// Seed for the block's optimizer, derived at BuildSpec time.
+  uint64_t seed = 0;
+
+  // -- kConditioning --------------------------------------------------------
+  /// The categorical joint-space variable the arms partition on.
+  std::string variable;
+  size_t rounds_per_elimination = 5;
+  ConditioningBlock::EliminationPolicy policy =
+      ConditioningBlock::EliminationPolicy::kRisingBandit;
+
+  // -- kAlternating ---------------------------------------------------------
+  size_t init_rounds = 2;
+
+  /// Arms (kConditioning, one per choice) or the two alternating halves
+  /// (kAlternating). Empty for kJoint.
+  std::vector<PlanSpec> children;
+
+  /// Query-plan-style pretty-printer, one node per line:
+  ///   -> conditioning cond[algorithm] on 'algorithm' (5 arms, ...)
+  ///      -> alternating alt[knn] (init_rounds=2) [algorithm=2]
+  ///         -> joint fe[knn] (smac, 6 vars)
+  /// Deterministic for a given spec (golden-testable); seeds are omitted
+  /// so the output is stable across seed choices.
+  [[nodiscard]] std::string Explain() const;
+
+  /// Total number of nodes in this subtree (including this one).
+  [[nodiscard]] size_t NumNodes() const;
+};
+
+/// Structural equality: kinds, names, owned variables, contexts, guard
+/// policies, optimizer engines, seeds, conditioning/alternating settings
+/// and children must all match. Subspaces are compared by their parameter
+/// name lists (the structural identity of a subspace within one
+/// SearchSpace).
+bool operator==(const PlanSpec& a, const PlanSpec& b);
+bool operator!=(const PlanSpec& a, const PlanSpec& b);
+
+/// Derives the logical plan for `kind` over `space` — a pure function of
+/// its arguments. Per-node seeds are forked from `seed` in the exact
+/// order the legacy BuildPlan consumed them.
+PlanSpec BuildSpec(PlanKind kind, const SearchSpace& space,
+                   JointOptimizerKind optimizer, uint64_t seed,
+                   TrialGuardPolicy guard = {});
+
+/// Compiles a logical plan into the physical block tree, evaluating
+/// through `evaluator`. The returned root is ready for the execution
+/// loop (core/plan_executor.h): repeatedly DoNext until out of budget.
+std::unique_ptr<BuildingBlock> Lower(const PlanSpec& spec,
+                                     PipelineEvaluator* evaluator);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CORE_PLAN_SPEC_H_

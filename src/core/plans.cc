@@ -1,98 +1,6 @@
 #include "core/plans.h"
 
-#include "core/alternating_block.h"
-#include "core/conditioning_block.h"
-#include "util/check.h"
-#include "util/rng.h"
-
 namespace volcanoml {
-
-namespace {
-
-/// Joint block over FE variables plus one algorithm's HP variables, with
-/// the algorithm fixed in context (the per-arm block of Plan 2 /
-/// kConditioningJoint).
-std::unique_ptr<BuildingBlock> MakeArmJointBlock(const SearchSpace& space,
-                                                 PipelineEvaluator* evaluator,
-                                                 JointOptimizerKind optimizer,
-                                                 size_t arm, uint64_t seed,
-                                                 TrialGuardPolicy guard) {
-  const std::string& algorithm = space.algorithms()[arm];
-  ConfigurationSpace sub = space.FeSubspace();
-  sub.Merge(space.HpSubspaceFor(algorithm), "");
-  auto block = std::make_unique<JointBlock>("joint[" + algorithm + "]",
-                                            std::move(sub), evaluator,
-                                            optimizer, seed, guard);
-  block->SetVar({{"algorithm", static_cast<double>(arm)}});
-  return block;
-}
-
-/// Alternating(FE joint, HP joint) for one algorithm arm — the per-arm
-/// subtree of Figure 2.
-std::unique_ptr<BuildingBlock> MakeArmAlternatingBlock(
-    const SearchSpace& space, PipelineEvaluator* evaluator,
-    JointOptimizerKind optimizer, size_t arm, bool hp_first, uint64_t seed,
-    TrialGuardPolicy guard) {
-  const std::string& algorithm = space.algorithms()[arm];
-  Rng rng(seed);
-
-  ConfigurationSpace fe_space = space.FeSubspace();
-  ConfigurationSpace hp_space = space.HpSubspaceFor(algorithm);
-  std::vector<std::string> fe_vars = fe_space.ParameterNames();
-  std::vector<std::string> hp_vars = hp_space.ParameterNames();
-
-  auto fe_block = std::make_unique<JointBlock>(
-      "fe[" + algorithm + "]", std::move(fe_space), evaluator, optimizer,
-      rng.Fork(), guard);
-  std::unique_ptr<BuildingBlock> hp_block;
-  if (hp_space.empty()) {
-    // Algorithms without hyper-parameters cannot host a joint block; the
-    // arm degenerates to FE-only search.
-    fe_block->SetVar({{"algorithm", static_cast<double>(arm)}});
-    return fe_block;
-  }
-  hp_block = std::make_unique<JointBlock>("hp[" + algorithm + "]",
-                                          std::move(hp_space), evaluator,
-                                          optimizer, rng.Fork(), guard);
-
-  std::unique_ptr<AlternatingBlock> alt;
-  if (hp_first) {
-    alt = std::make_unique<AlternatingBlock>(
-        "alt[" + algorithm + "]", std::move(hp_block), hp_vars,
-        std::move(fe_block), fe_vars);
-  } else {
-    alt = std::make_unique<AlternatingBlock>(
-        "alt[" + algorithm + "]", std::move(fe_block), fe_vars,
-        std::move(hp_block), hp_vars);
-  }
-  alt->SetVar({{"algorithm", static_cast<double>(arm)}});
-  return alt;
-}
-
-}  // namespace
-
-std::vector<PlanKind> AllPlanKinds() {
-  return {PlanKind::kJoint, PlanKind::kConditioningJoint,
-          PlanKind::kConditioningAlternating,
-          PlanKind::kAlternatingFeConditioning,
-          PlanKind::kConditioningAlternatingHpFirst};
-}
-
-std::string PlanKindName(PlanKind kind) {
-  switch (kind) {
-    case PlanKind::kJoint:
-      return "joint";
-    case PlanKind::kConditioningJoint:
-      return "cond(alg)+joint";
-    case PlanKind::kConditioningAlternating:
-      return "cond(alg)+alt(fe,hp)";
-    case PlanKind::kAlternatingFeConditioning:
-      return "alt(fe,cond(alg)+hp)";
-    case PlanKind::kConditioningAlternatingHpFirst:
-      return "cond(alg)+alt(hp,fe)";
-  }
-  return "?";
-}
 
 std::unique_ptr<BuildingBlock> BuildPlan(PlanKind kind,
                                          const SearchSpace& space,
@@ -100,97 +8,7 @@ std::unique_ptr<BuildingBlock> BuildPlan(PlanKind kind,
                                          JointOptimizerKind optimizer,
                                          uint64_t seed,
                                          TrialGuardPolicy guard) {
-  VOLCANOML_CHECK(evaluator != nullptr);
-  Rng rng(seed);
-  const size_t num_algorithms = space.algorithms().size();
-
-  switch (kind) {
-    case PlanKind::kJoint:
-      return std::make_unique<JointBlock>("joint[all]", space.joint(),
-                                          evaluator, optimizer, rng.Fork(),
-                                          guard);
-
-    case PlanKind::kConditioningJoint: {
-      uint64_t child_seed = rng.Fork();
-      return std::make_unique<ConditioningBlock>(
-          "cond[algorithm]", "algorithm", num_algorithms,
-          [&space, evaluator, optimizer, child_seed, guard](size_t arm) {
-            return MakeArmJointBlock(space, evaluator, optimizer, arm,
-                                     child_seed ^ (arm * 0x9e3779b9ULL),
-                                     guard);
-          },
-          /*rounds_per_elimination=*/5,
-          ConditioningBlock::EliminationPolicy::kRisingBandit, guard);
-    }
-
-    case PlanKind::kConditioningAlternating:
-    case PlanKind::kConditioningAlternatingHpFirst: {
-      bool hp_first = kind == PlanKind::kConditioningAlternatingHpFirst;
-      uint64_t child_seed = rng.Fork();
-      return std::make_unique<ConditioningBlock>(
-          "cond[algorithm]", "algorithm", num_algorithms,
-          [&space, evaluator, optimizer, hp_first, child_seed,
-           guard](size_t arm) {
-            return MakeArmAlternatingBlock(
-                space, evaluator, optimizer, arm, hp_first,
-                child_seed ^ (arm * 0x9e3779b9ULL), guard);
-          },
-          /*rounds_per_elimination=*/5,
-          ConditioningBlock::EliminationPolicy::kRisingBandit, guard);
-    }
-
-    case PlanKind::kAlternatingFeConditioning: {
-      ConfigurationSpace fe_space = space.FeSubspace();
-      std::vector<std::string> fe_vars = fe_space.ParameterNames();
-      auto fe_block = std::make_unique<JointBlock>(
-          "fe[global]", std::move(fe_space), evaluator, optimizer,
-          rng.Fork(), guard);
-
-      // HP side: conditioning over algorithms, each arm a joint HP block.
-      uint64_t child_seed = rng.Fork();
-      auto hp_cond = std::make_unique<ConditioningBlock>(
-          "cond[algorithm]", "algorithm", num_algorithms,
-          [&space, evaluator, optimizer, child_seed, guard](size_t arm) {
-            const std::string& algorithm = space.algorithms()[arm];
-            ConfigurationSpace hp_space = space.HpSubspaceFor(algorithm);
-            std::unique_ptr<BuildingBlock> block;
-            if (hp_space.empty()) {
-              // No HPs: a trivial joint block over the algorithm's empty
-              // space is impossible; fall back to the full joint space of
-              // that algorithm (only its FE defaults vary). Use a
-              // one-parameter dummy: re-evaluate the fixed arm.
-              ConfigurationSpace fixed;
-              fixed.AddCategorical("arm_probe", {"default"});
-              block = std::make_unique<JointBlock>(
-                  "hp[" + algorithm + "]", std::move(fixed), evaluator,
-                  JointOptimizerKind::kRandom,
-                  child_seed ^ (arm * 0x2545f491ULL), guard);
-            } else {
-              block = std::make_unique<JointBlock>(
-                  "hp[" + algorithm + "]", std::move(hp_space), evaluator,
-                  optimizer, child_seed ^ (arm * 0x2545f491ULL), guard);
-            }
-            block->SetVar({{"algorithm", static_cast<double>(arm)}});
-            return block;
-          },
-          /*rounds_per_elimination=*/5,
-          ConditioningBlock::EliminationPolicy::kRisingBandit, guard);
-
-      // The HP side owns "algorithm" plus every algorithm's HP names.
-      std::vector<std::string> hp_vars = {"algorithm"};
-      for (const std::string& algorithm : space.algorithms()) {
-        for (const std::string& name :
-             space.HpSubspaceFor(algorithm).ParameterNames()) {
-          hp_vars.push_back(name);
-        }
-      }
-      return std::make_unique<AlternatingBlock>(
-          "alt[fe,cond]", std::move(fe_block), fe_vars, std::move(hp_cond),
-          hp_vars);
-    }
-  }
-  VOLCANOML_CHECK_MSG(false, "unknown plan kind");
-  return nullptr;
+  return Lower(BuildSpec(kind, space, optimizer, seed, guard), evaluator);
 }
 
 }  // namespace volcanoml

@@ -2,47 +2,22 @@
 #define VOLCANOML_CORE_PLANS_H_
 
 #include <memory>
-#include <string>
-#include <vector>
 
 #include "core/building_block.h"
 #include "core/joint_block.h"
+#include "core/plan_spec.h"
 #include "eval/evaluator.h"
 #include "eval/search_space.h"
 
 namespace volcanoml {
 
-/// The coarse-grained execution plans the paper enumerates (Section 4):
-/// Figure 1's Plan 1 / Plan 2 styles plus the alternating variants. Plan
-/// kConditioningAlternating is Figure 2 — VolcanoML's default; the others
-/// feed the automatic-plan-comparison experiment (E7).
-enum class PlanKind {
-  /// Plan 1: one joint block over the whole space (what AUSK does).
-  kJoint,
-  /// Conditioning on algorithm, then one joint block per arm (FE + HP).
-  kConditioningJoint,
-  /// Figure 2 default: conditioning on algorithm, then alternating
-  /// between an FE joint block and an HP joint block per arm.
-  kConditioningAlternating,
-  /// Alternating between a global FE joint block and a conditioning block
-  /// (algorithm -> HP joint) — decomposition order inverted.
-  kAlternatingFeConditioning,
-  /// As the default, but the alternation explores HP before FE.
-  kConditioningAlternatingHpFirst,
-};
-
-/// All plan kinds, in a stable order (for enumeration experiments).
-std::vector<PlanKind> AllPlanKinds();
-
-/// Short identifier, e.g. "cond+alt(fe,hp)".
-std::string PlanKindName(PlanKind kind);
-
 /// Materializes the execution plan `kind` for `space`, evaluating through
-/// `evaluator`. Joint blocks use `optimizer` (SMAC by default; MFES-HB
-/// for early-stopping mode). Every block in the plan shares the same
-/// trial-guard policy (retry cap, arm failure-rate elimination). The
-/// returned root is ready for the Volcano execution loop: repeatedly call
-/// DoNext until the budget is exhausted.
+/// `evaluator` — a convenience wrapper equivalent to
+/// `Lower(BuildSpec(kind, space, optimizer, seed, guard), evaluator)`.
+/// See core/plan_spec.h for the logical/physical split: PlanKind and the
+/// plan-name helpers live there now. The returned root is ready for the
+/// Volcano execution loop: repeatedly call DoNext until the budget is
+/// exhausted.
 std::unique_ptr<BuildingBlock> BuildPlan(PlanKind kind,
                                          const SearchSpace& space,
                                          PipelineEvaluator* evaluator,

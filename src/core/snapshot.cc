@@ -1,0 +1,325 @@
+#include "core/snapshot.h"
+
+#include <cstring>
+
+namespace volcanoml {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string HexEncode(const std::string& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHexDigits[c >> 4]);
+    out.push_back(kHexDigits[c & 0xf]);
+  }
+  return out;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+bool HexDecode(const std::string& hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::string U64ToHex(uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHexDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool HexToU64(const std::string& hex, uint64_t* out) {
+  if (hex.size() != 16) return false;
+  uint64_t v = 0;
+  for (char c : hex) {
+    int d = HexValue(c);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseU64Decimal(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+// -- SnapshotWriter --------------------------------------------------------
+
+void SnapshotWriter::Line(const char* key, char type,
+                          const std::string& payload) {
+  out_.append(key);
+  out_.push_back(' ');
+  out_.push_back(type);
+  out_.push_back(' ');
+  out_.append(payload);
+  out_.push_back('\n');
+}
+
+void SnapshotWriter::Header() {
+  out_.append(kSnapshotMagic);
+  out_.push_back(' ');
+  out_.append(std::to_string(kSnapshotVersion));
+  out_.push_back('\n');
+}
+
+void SnapshotWriter::Begin(const std::string& section) {
+  out_.append("[ ");
+  out_.append(section);
+  out_.push_back('\n');
+}
+
+void SnapshotWriter::End(const std::string& section) {
+  out_.append("] ");
+  out_.append(section);
+  out_.push_back('\n');
+}
+
+void SnapshotWriter::U64(const char* key, uint64_t value) {
+  Line(key, 'u', std::to_string(value));
+}
+
+void SnapshotWriter::I64(const char* key, int64_t value) {
+  Line(key, 'i', std::to_string(value));
+}
+
+void SnapshotWriter::F64(const char* key, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  Line(key, 'd', U64ToHex(bits));
+}
+
+void SnapshotWriter::Bool(const char* key, bool value) {
+  Line(key, 'b', value ? "1" : "0");
+}
+
+void SnapshotWriter::Str(const char* key, const std::string& value) {
+  Line(key, 's', HexEncode(value));
+}
+
+// -- SnapshotReader --------------------------------------------------------
+
+SnapshotReader::SnapshotReader(const std::string& data) {
+  size_t start = 0;
+  while (start < data.size()) {
+    size_t end = data.find('\n', start);
+    if (end == std::string::npos) end = data.size();
+    lines_.push_back(data.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+std::vector<std::string> SnapshotReader::NextTokens() {
+  std::vector<std::string> tokens;
+  if (!ok()) return tokens;
+  if (next_line_ >= lines_.size()) {
+    Fail("unexpected end of snapshot");
+    return tokens;
+  }
+  const std::string& line = lines_[next_line_++];
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t end = line.find(' ', start);
+    if (end == std::string::npos) end = line.size();
+    tokens.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+  return tokens;
+}
+
+void SnapshotReader::Fail(const std::string& message) {
+  if (!error_.empty()) return;
+  error_ = "snapshot line " + std::to_string(next_line_) + ": " + message;
+}
+
+void SnapshotReader::Header() {
+  std::vector<std::string> tokens = NextTokens();
+  if (!ok()) return;
+  if (tokens.size() != 2 || tokens[0] != kSnapshotMagic) {
+    Fail("not a volcanoml snapshot");
+    return;
+  }
+  uint64_t version = 0;
+  if (!ParseU64Decimal(tokens[1], &version)) {
+    Fail("malformed snapshot version '" + tokens[1] + "'");
+    return;
+  }
+  if (version != kSnapshotVersion) {
+    Fail("snapshot version " + tokens[1] + " != supported version " +
+         std::to_string(kSnapshotVersion));
+  }
+}
+
+void SnapshotReader::Begin(const std::string& section) {
+  std::vector<std::string> tokens = NextTokens();
+  if (!ok()) return;
+  if (tokens.size() != 2 || tokens[0] != "[" || tokens[1] != section) {
+    Fail("expected section begin '[ " + section + "'");
+  }
+}
+
+void SnapshotReader::End(const std::string& section) {
+  std::vector<std::string> tokens = NextTokens();
+  if (!ok()) return;
+  if (tokens.size() != 2 || tokens[0] != "]" || tokens[1] != section) {
+    Fail("expected section end '] " + section + "'");
+  }
+}
+
+std::string SnapshotReader::Payload(const char* key, char type) {
+  std::vector<std::string> tokens = NextTokens();
+  if (!ok()) return "";
+  if (tokens.size() != 3) {
+    Fail(std::string("malformed line while reading key '") + key + "'");
+    return "";
+  }
+  if (tokens[0] != key) {
+    Fail("expected key '" + std::string(key) + "', found '" + tokens[0] +
+         "'");
+    return "";
+  }
+  if (tokens[1].size() != 1 || tokens[1][0] != type) {
+    Fail("key '" + std::string(key) + "' has type '" + tokens[1] +
+         "', expected '" + std::string(1, type) + "'");
+    return "";
+  }
+  return tokens[2];
+}
+
+uint64_t SnapshotReader::U64(const char* key) {
+  std::string payload = Payload(key, 'u');
+  if (!ok()) return 0;
+  uint64_t v = 0;
+  if (!ParseU64Decimal(payload, &v)) {
+    Fail("key '" + std::string(key) + "': malformed u64 '" + payload + "'");
+    return 0;
+  }
+  return v;
+}
+
+int64_t SnapshotReader::I64(const char* key) {
+  std::string payload = Payload(key, 'i');
+  if (!ok()) return 0;
+  bool negative = !payload.empty() && payload[0] == '-';
+  uint64_t magnitude = 0;
+  if (!ParseU64Decimal(negative ? payload.substr(1) : payload, &magnitude)) {
+    Fail("key '" + std::string(key) + "': malformed i64 '" + payload + "'");
+    return 0;
+  }
+  return negative ? -static_cast<int64_t>(magnitude)
+                  : static_cast<int64_t>(magnitude);
+}
+
+double SnapshotReader::F64(const char* key) {
+  std::string payload = Payload(key, 'd');
+  if (!ok()) return 0.0;
+  uint64_t bits = 0;
+  if (!HexToU64(payload, &bits)) {
+    Fail("key '" + std::string(key) + "': malformed f64 bits '" + payload +
+         "'");
+    return 0.0;
+  }
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+bool SnapshotReader::Bool(const char* key) {
+  std::string payload = Payload(key, 'b');
+  if (!ok()) return false;
+  if (payload == "1") return true;
+  if (payload == "0") return false;
+  Fail("key '" + std::string(key) + "': malformed bool '" + payload + "'");
+  return false;
+}
+
+std::string SnapshotReader::Str(const char* key) {
+  std::string payload = Payload(key, 's');
+  if (!ok()) return "";
+  std::string out;
+  if (!HexDecode(payload, &out)) {
+    Fail("key '" + std::string(key) + "': malformed hex string");
+    return "";
+  }
+  return out;
+}
+
+// -- aggregate helpers -----------------------------------------------------
+
+void SaveDoubleVector(SnapshotWriter* w, const char* key,
+                      const std::vector<double>& v) {
+  w->U64(key, v.size());
+  for (double x : v) w->F64(key, x);
+}
+
+std::vector<double> LoadDoubleVector(SnapshotReader* r, const char* key) {
+  std::vector<double> v;
+  uint64_t n = r->U64(key);
+  if (!r->ok()) return v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n && r->ok(); ++i) v.push_back(r->F64(key));
+  return v;
+}
+
+void SaveConfiguration(SnapshotWriter* w, const char* key,
+                       const Configuration& config) {
+  SaveDoubleVector(w, key, config.values);
+}
+
+Configuration LoadConfiguration(SnapshotReader* r, const char* key) {
+  Configuration config;
+  config.values = LoadDoubleVector(r, key);
+  return config;
+}
+
+void SaveAssignment(SnapshotWriter* w, const char* key,
+                    const Assignment& assignment) {
+  w->U64(key, assignment.size());
+  for (const auto& [name, value] : assignment) {  // std::map: sorted order.
+    w->Str(key, name);
+    w->F64(key, value);
+  }
+}
+
+Assignment LoadAssignment(SnapshotReader* r, const char* key) {
+  Assignment assignment;
+  uint64_t n = r->U64(key);
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    std::string name = r->Str(key);
+    double value = r->F64(key);
+    assignment[name] = value;
+  }
+  return assignment;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,118 @@
+#ifndef VOLCANOML_CORE_SNAPSHOT_H_
+#define VOLCANOML_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cs/configuration.h"
+
+namespace volcanoml {
+
+/// Version of the SearchSnapshot schema. Bump it whenever the layout of
+/// any SaveState/LoadState pair changes shape; LoadState of a snapshot
+/// with a different version fails cleanly instead of misreading bytes.
+/// (Adding fields is also a version bump — the reader is strictly
+/// sequential and key-checked, so old snapshots cannot satisfy new
+/// readers.) See DESIGN.md "Logical plans, executor & snapshots".
+inline constexpr uint64_t kSnapshotVersion = 1;
+
+/// First line of every snapshot; lets readers reject arbitrary files with
+/// a clear error before attempting to parse anything.
+inline constexpr const char* kSnapshotMagic = "volcanoml-snapshot";
+
+/// Byte-exact, dependency-free text serializer for search state.
+///
+/// The format is line-based: one `<key> <type> <payload>` triple per line,
+/// with `[ <name>` / `] <name>` section brackets for structure. Doubles
+/// are written as the 16-hex-digit bit pattern of their IEEE-754
+/// representation (NaN, infinities and -0.0 round-trip exactly); strings
+/// are hex-encoded so binary payloads (configuration bit keys, RNG engine
+/// dumps) survive untouched. Two identical in-memory states therefore
+/// serialize to identical bytes, and a load never perturbs a single bit —
+/// the foundation of the resume bit-equality guarantee.
+class SnapshotWriter {
+ public:
+  /// Writes the magic + version header. Call exactly once, first.
+  void Header();
+
+  void Begin(const std::string& section);
+  void End(const std::string& section);
+
+  void U64(const char* key, uint64_t value);
+  void I64(const char* key, int64_t value);
+  /// IEEE-754 bit pattern as 16 hex digits — byte-exact round trip.
+  void F64(const char* key, double value);
+  void Bool(const char* key, bool value);
+  /// Hex-encoded, so embedded NULs and arbitrary bytes are safe.
+  void Str(const char* key, const std::string& value);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string TakeStr() { return std::move(out_); }
+
+ private:
+  void Line(const char* key, char type, const std::string& payload);
+
+  std::string out_;
+};
+
+/// Strictly sequential reader over a SnapshotWriter's output. Every read
+/// names the key (and section) it expects; any mismatch — wrong key,
+/// wrong type, truncated input, malformed payload — latches the first
+/// error and every subsequent read returns a default value. Callers check
+/// status() once at the end instead of after every field.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(const std::string& data);
+
+  /// Checks the magic + version header. Call exactly once, first.
+  void Header();
+
+  void Begin(const std::string& section);
+  void End(const std::string& section);
+
+  [[nodiscard]] uint64_t U64(const char* key);
+  [[nodiscard]] int64_t I64(const char* key);
+  [[nodiscard]] double F64(const char* key);
+  [[nodiscard]] bool Bool(const char* key);
+  [[nodiscard]] std::string Str(const char* key);
+
+  /// Latches a caller-detected semantic error (e.g. a value read fine but
+  /// violates an invariant).
+  void Fail(const std::string& message);
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  /// First error encountered, with its line number; empty when ok().
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  /// Next line split at single spaces; empty when exhausted.
+  [[nodiscard]] std::vector<std::string> NextTokens();
+  /// Reads one `<key> <type> <payload>` line; empty payload on error.
+  [[nodiscard]] std::string Payload(const char* key, char type);
+
+  std::vector<std::string> lines_;
+  size_t next_line_ = 0;
+  std::string error_;
+};
+
+// -- aggregate helpers (shared by every SaveState/LoadState pair) ----------
+
+void SaveDoubleVector(SnapshotWriter* w, const char* key,
+                      const std::vector<double>& v);
+[[nodiscard]] std::vector<double> LoadDoubleVector(SnapshotReader* r,
+                                                   const char* key);
+
+/// A Configuration is its raw value vector.
+void SaveConfiguration(SnapshotWriter* w, const char* key,
+                       const Configuration& config);
+[[nodiscard]] Configuration LoadConfiguration(SnapshotReader* r,
+                                              const char* key);
+
+void SaveAssignment(SnapshotWriter* w, const char* key,
+                    const Assignment& assignment);
+[[nodiscard]] Assignment LoadAssignment(SnapshotReader* r, const char* key);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CORE_SNAPSHOT_H_

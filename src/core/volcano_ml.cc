@@ -1,11 +1,8 @@
 #include "core/volcano_ml.h"
 
-#include <algorithm>
-
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/rng.h"
-#include "util/timer.h"
 
 namespace volcanoml {
 
@@ -15,9 +12,15 @@ VolcanoML::VolcanoML(const VolcanoMlOptions& options)
   VOLCANOML_CHECK(options_.batch_size >= 1);
 }
 
-AutoMlResult VolcanoML::Fit(const Dataset& train) {
-  VOLCANOML_CHECK_MSG(!fitted_, "Fit may be called once per instance");
-  VOLCANOML_CHECK(train.task() == space_.task());
+Status VolcanoML::Prepare(const Dataset& train) {
+  if (fitted_) {
+    return Status::FailedPrecondition(
+        "Fit/Prepare may be called once per instance");
+  }
+  if (train.task() != space_.task()) {
+    return Status::InvalidArgument(
+        "dataset task does not match the search-space task");
+  }
   fitted_ = true;
 
   data_ = std::make_unique<Dataset>(train);
@@ -25,21 +28,19 @@ AutoMlResult VolcanoML::Fit(const Dataset& train) {
   eval_options.seed ^= options_.seed;
   evaluator_ = std::make_unique<PipelineEvaluator>(&space_, data_.get(),
                                                    eval_options);
-  // The engine refuses to dispatch evaluations past the run budget: a
-  // wide batch near the end is truncated to the affordable prefix
-  // instead of overshooting. At batch_size=1 every pull costs at most
-  // one unit, so the limit never fires before the loop guard below.
-  // Seconds budgets stay wall-clock-bounded by the loop itself (the
-  // engine meters summed evaluation seconds, which exceed wall-clock
-  // when threads run concurrently).
-  if (!eval_options.budget_in_seconds) {
-    evaluator_->engine().set_budget_limit(options_.budget);
-  }
 
+  // Logical plan -> physical executor. BuildSpec assigns per-node seeds
+  // with the legacy fork order, so this pipeline is bit-identical to the
+  // old monolithic BuildPlan path.
   Rng rng(options_.seed);
-  std::unique_ptr<BuildingBlock> root =
-      BuildPlan(options_.plan, space_, evaluator_.get(), options_.optimizer,
-                rng.Fork(), options_.guard);
+  PlanSpec spec = BuildSpec(options_.plan, space_, options_.optimizer,
+                            rng.Fork(), options_.guard);
+  PlanExecutorOptions exec_options;
+  exec_options.budget = options_.budget;
+  exec_options.batch_size = options_.batch_size;
+  exec_options.budget_in_seconds = options_.eval.budget_in_seconds;
+  executor_ =
+      std::make_unique<PlanExecutor>(spec, evaluator_.get(), exec_options);
 
   // Meta-learning warm start: inject the k most similar past winners.
   if (options_.knowledge != nullptr) {
@@ -48,37 +49,24 @@ AutoMlResult VolcanoML::Fit(const Dataset& train) {
     VOLCANOML_LOG(Info) << "meta-learning: " << warm.size()
                         << " warm-start candidates";
     for (const Assignment& assignment : warm) {
-      root->WarmStart(assignment);
+      executor_->WarmStart(assignment);
     }
   }
+  return Status::Ok();
+}
 
-  // Volcano-style execution: pull the root until the budget is gone.
-  //
-  // Under a seconds budget the consumed amount is the run's total
-  // wall-clock (the paper's budget model): evaluation time AND optimizer
-  // overhead (surrogate fits, acquisition maximization) all count.
-  // DoNext's k_more argument is in *pulls*; remaining time is converted
-  // using the observed mean cost per pull.
-  Stopwatch run_timer;
-  auto consumed = [&]() {
-    return options_.eval.budget_in_seconds
-               ? run_timer.ElapsedSeconds()
-               : evaluator_->consumed_budget();
-  };
-  while (consumed() < options_.budget) {
-    double remaining = options_.budget - consumed();
-    double k_more = remaining;
-    if (options_.eval.budget_in_seconds && root->NumPulls() > 0 &&
-        consumed() > 0.0) {
-      double mean_cost = consumed() / static_cast<double>(root->NumPulls());
-      k_more = remaining / std::max(mean_cost, 1e-6);
-    }
-    root->DoNext(k_more, options_.batch_size);
-    result_.trajectory.push_back({consumed(), root->BestUtility()});
-  }
+AutoMlResult VolcanoML::Fit(const Dataset& train) {
+  Status status = Prepare(train);
+  VOLCANOML_CHECK_MSG(status.ok(), status.ToString().c_str());
+  executor_->Run();
+  return Finish();
+}
 
-  result_.best_assignment = root->BestAssignment();
-  result_.best_utility = root->BestUtility();
+AutoMlResult VolcanoML::Finish() {
+  VOLCANOML_CHECK_MSG(executor_ != nullptr, "call Prepare first");
+  result_.best_assignment = executor_->root().BestAssignment();
+  result_.best_utility = executor_->root().BestUtility();
+  result_.trajectory = executor_->trajectory();
   result_.num_evaluations = evaluator_->num_evaluations();
   return result_;
 }

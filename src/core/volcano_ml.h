@@ -4,19 +4,13 @@
 #include <memory>
 #include <vector>
 
+#include "core/plan_executor.h"
 #include "core/plans.h"
 #include "eval/evaluator.h"
 #include "eval/search_space.h"
 #include "meta/knowledge_base.h"
 
 namespace volcanoml {
-
-/// One point of a search trajectory: incumbent utility after spending
-/// `budget` evaluation units. Drives the time-budget figures (E2, E6).
-struct TrajectoryPoint {
-  double budget = 0.0;
-  double utility = 0.0;
-};
 
 /// Result of an AutoML search run.
 struct AutoMlResult {
@@ -54,27 +48,51 @@ struct VolcanoMlOptions {
 };
 
 /// The end-to-end AutoML system (paper Sections 3-4): builds the search
-/// space, composes the execution plan, and drives it Volcano-style until
-/// the budget is exhausted.
+/// space, derives the logical plan (BuildSpec), lowers it to the physical
+/// block tree, and drives the executor Volcano-style until the budget is
+/// exhausted. See core/plan_spec.h and core/plan_executor.h for the
+/// logical/physical layers.
 ///
 /// Usage:
 ///   VolcanoML automl(options);
 ///   AutoMlResult result = automl.Fit(train_data);
 ///   auto pipeline = automl.FitFinalPipeline();   // train on all data
 ///   auto predictions = pipeline.value().Predict(test_x);
+///
+/// Stepped usage (checkpointing between pulls):
+///   VolcanoML automl(options);
+///   Status st = automl.Prepare(train_data);             // build, don't run
+///   while (automl.executor()->Step()) { /* snapshot */ }
+///   AutoMlResult result = automl.Finish();
 class VolcanoML {
  public:
   explicit VolcanoML(const VolcanoMlOptions& options);
 
+  /// Builds the evaluator, derives and lowers the plan, and injects
+  /// meta-learned warm starts — everything Fit does except stepping.
+  /// Fails with FailedPrecondition when the instance was already
+  /// prepared/fitted, and InvalidArgument on a task mismatch.
+  [[nodiscard]] Status Prepare(const Dataset& train);
+
   /// Runs the search on `train` and returns the best configuration found
-  /// with its trajectory. May be called once per instance.
+  /// with its trajectory. May be called once per instance (a second call
+  /// aborts via VOLCANOML_CHECK — see Prepare for the recoverable form).
   AutoMlResult Fit(const Dataset& train);
+
+  /// Collects the result after the executor finished stepping (call
+  /// after Prepare; Fit calls this internally).
+  AutoMlResult Finish();
 
   /// Trains the best pipeline on all of the Fit data (call after Fit).
   Result<FittedPipeline> FitFinalPipeline();
 
   const SearchSpace& space() const { return space_; }
   const AutoMlResult& result() const { return result_; }
+
+  /// The stepped execution loop (null before Prepare/Fit); exposes
+  /// Step(), the trajectory, and snapshot save/load for resume.
+  PlanExecutor* executor() { return executor_.get(); }
+  const PlanExecutor* executor() const { return executor_.get(); }
 
   /// The evaluator used by Fit (null before Fit); exposes the full
   /// observation history for post-hoc ensembling.
@@ -85,6 +103,7 @@ class VolcanoML {
   SearchSpace space_;
   std::unique_ptr<Dataset> data_;
   std::unique_ptr<PipelineEvaluator> evaluator_;
+  std::unique_ptr<PlanExecutor> executor_;
   AutoMlResult result_;
   bool fitted_ = false;
 };

@@ -223,4 +223,82 @@ std::vector<std::pair<Assignment, double>> EvalEngine::observations() const {
   return observations_;
 }
 
+void EvalEngine::SaveState(SnapshotWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w->Begin("engine");
+  w->F64("consumed_budget", consumed_budget_);
+  w->U64("num_evaluations", num_evaluations_);
+  w->U64("cache_hits", cache_hits_);
+  for (size_t i = 0; i < kNumTrialOutcomes; ++i) {
+    w->U64("outcome_count", outcome_counts_[i]);
+  }
+  w->F64("budget_lost_to_failures", budget_lost_to_failures_);
+  // Unordered maps are written in sorted key order so identical engine
+  // state always produces byte-identical snapshots.
+  std::vector<std::pair<std::string, size_t>> failures(
+      hard_failures_by_config_.begin(), hard_failures_by_config_.end());
+  std::sort(failures.begin(), failures.end());
+  w->U64("hard_failures", failures.size());
+  for (const auto& [key, count] : failures) {
+    w->Str("failure_key", key);
+    w->U64("failure_count", count);
+  }
+  w->U64("observations", observations_.size());
+  for (const auto& [assignment, utility] : observations_) {
+    SaveAssignment(w, "obs_assignment", assignment);
+    w->F64("obs_utility", utility);
+  }
+  std::vector<std::pair<std::string, CachedResult>> entries(cache_.begin(),
+                                                            cache_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w->U64("cache", entries.size());
+  for (const auto& [key, result] : entries) {
+    w->Str("cache_key", key);
+    w->F64("cache_utility", result.utility);
+    w->U64("cache_outcome", static_cast<size_t>(result.outcome));
+  }
+  w->End("engine");
+}
+
+void EvalEngine::LoadState(SnapshotReader* r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  r->Begin("engine");
+  consumed_budget_ = r->F64("consumed_budget");
+  num_evaluations_ = r->U64("num_evaluations");
+  cache_hits_ = r->U64("cache_hits");
+  for (size_t i = 0; i < kNumTrialOutcomes; ++i) {
+    outcome_counts_[i] = r->U64("outcome_count");
+  }
+  budget_lost_to_failures_ = r->F64("budget_lost_to_failures");
+  uint64_t num_failures = r->U64("hard_failures");
+  hard_failures_by_config_.clear();
+  for (uint64_t i = 0; i < num_failures && r->ok(); ++i) {
+    std::string key = r->Str("failure_key");
+    hard_failures_by_config_[key] = r->U64("failure_count");
+  }
+  uint64_t num_observations = r->U64("observations");
+  observations_.clear();
+  for (uint64_t i = 0; i < num_observations && r->ok(); ++i) {
+    Assignment assignment = LoadAssignment(r, "obs_assignment");
+    double utility = r->F64("obs_utility");
+    observations_.push_back({std::move(assignment), utility});
+  }
+  uint64_t num_cached = r->U64("cache");
+  cache_.clear();
+  for (uint64_t i = 0; i < num_cached && r->ok(); ++i) {
+    std::string key = r->Str("cache_key");
+    CachedResult result;
+    result.utility = r->F64("cache_utility");
+    uint64_t outcome = r->U64("cache_outcome");
+    if (outcome >= kNumTrialOutcomes) {
+      r->Fail("engine cache entry has out-of-range outcome");
+      break;
+    }
+    result.outcome = static_cast<TrialOutcome>(outcome);
+    cache_.emplace(std::move(key), result);
+  }
+  r->End("engine");
+}
+
 }  // namespace volcanoml

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/snapshot.h"
 #include "cs/configuration.h"
 #include "eval/eval_context.h"
 #include "util/thread_annotations.h"
@@ -112,6 +113,15 @@ class EvalEngine {
 
   [[nodiscard]] const EvalContext& context() const { return *context_; }
   [[nodiscard]] size_t num_threads() const;
+
+  /// Serializes the budget meter, counters, failure telemetry, the
+  /// observation log, and the memo cache. The budget *limit* is NOT
+  /// saved — the executor re-applies it on resume. The memo cache is an
+  /// optimization, not state: in deterministic-budget mode a hit is
+  /// metered exactly like a recomputation, so a resume from a snapshot
+  /// with a dropped cache still replays bit-for-bit (it just recomputes).
+  void SaveState(SnapshotWriter* w) const VOLCANOML_LOCKS_EXCLUDED(mu_);
+  void LoadState(SnapshotReader* r) VOLCANOML_LOCKS_EXCLUDED(mu_);
 
  private:
   /// Memoized result of one (configuration, fidelity) computation.

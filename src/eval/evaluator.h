@@ -84,6 +84,10 @@ class PipelineEvaluator {
     return engine_.observations();
   }
 
+  /// Snapshot passthrough to the engine (see EvalEngine::SaveState).
+  void SaveState(SnapshotWriter* w) const { engine_.SaveState(w); }
+  void LoadState(SnapshotReader* r) { engine_.LoadState(r); }
+
   [[nodiscard]] const SearchSpace& space() const { return context_.space(); }
   [[nodiscard]] const Dataset& data() const { return context_.data(); }
 

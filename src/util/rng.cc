@@ -1,8 +1,21 @@
 #include "util/rng.h"
 
 #include <numeric>
+#include <sstream>
 
 namespace volcanoml {
+
+std::string Rng::Serialize() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::Deserialize(const std::string& state) {
+  std::istringstream in(state);
+  in >> engine_;
+  return !in.fail();
+}
 
 size_t Rng::Categorical(const std::vector<double>& weights) {
   VOLCANOML_CHECK(!weights.empty());

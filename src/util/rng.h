@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "util/check.h"
@@ -60,6 +61,15 @@ class Rng {
   uint64_t Fork() {
     return std::uniform_int_distribution<uint64_t>()(engine_);
   }
+
+  /// Exact engine state as text (the mt19937_64 stream form): a
+  /// deserialized Rng continues the identical random stream, which is what
+  /// lets snapshots resume a search bit-for-bit.
+  [[nodiscard]] std::string Serialize() const;
+
+  /// Restores state written by Serialize(); false on malformed input
+  /// (state unspecified then — callers must treat it as a load error).
+  [[nodiscard]] bool Deserialize(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -1,0 +1,226 @@
+// The logical plan layer: golden Explain() output for every PlanKind,
+// ParsePlanKind round-trips, structural equality, and the guarantee that
+// Lower(BuildSpec(...)) is bit-identical to the legacy BuildPlan path.
+
+#include "core/plan_spec.h"
+
+#include <cstring>
+#include <memory>
+
+#include "core/plans.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace volcanoml {
+namespace {
+
+SearchSpace SmallClsSpace() {
+  SearchSpaceOptions options;
+  options.task = TaskType::kClassification;
+  options.preset = SpacePreset::kSmall;
+  return SearchSpace(options);
+}
+
+TEST(ParsePlanKindTest, RoundTripsEveryKind) {
+  for (PlanKind kind : AllPlanKinds()) {
+    Result<PlanKind> parsed = ParsePlanKind(PlanKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << PlanKindName(kind);
+    EXPECT_EQ(parsed.value(), kind);
+  }
+}
+
+TEST(ParsePlanKindTest, RejectsUnknownNameListingValidOnes) {
+  Result<PlanKind> parsed = ParsePlanKind("no-such-plan");
+  ASSERT_FALSE(parsed.ok());
+  std::string message = parsed.status().ToString();
+  EXPECT_NE(message.find("no-such-plan"), std::string::npos);
+  for (PlanKind kind : AllPlanKinds()) {
+    EXPECT_NE(message.find(PlanKindName(kind)), std::string::npos)
+        << "error should list '" << PlanKindName(kind) << "'";
+  }
+}
+
+TEST(PlanSpecTest, GoldenExplainJoint) {
+  SearchSpace space = SmallClsSpace();
+  PlanSpec spec =
+      BuildSpec(PlanKind::kJoint, space, JointOptimizerKind::kSmac, 1);
+  EXPECT_EQ(spec.NumNodes(), 1u);
+  EXPECT_EQ(spec.Explain(), "-> joint joint[all] (smac, 20 vars)\n");
+}
+
+TEST(PlanSpecTest, GoldenExplainConditioningJoint) {
+  SearchSpace space = SmallClsSpace();
+  PlanSpec spec = BuildSpec(PlanKind::kConditioningJoint, space,
+                            JointOptimizerKind::kSmac, 1);
+  EXPECT_EQ(spec.NumNodes(), 6u);
+  EXPECT_EQ(
+      spec.Explain(),
+      "-> conditioning cond[algorithm] on 'algorithm' (5 arms, "
+      "rising-bandit, every 5 rounds)\n"
+      "   -> joint joint[logistic_regression] (smac, 9 vars) [algorithm=0]\n"
+      "   -> joint joint[decision_tree] (smac, 11 vars) [algorithm=1]\n"
+      "   -> joint joint[knn] (smac, 9 vars) [algorithm=2]\n"
+      "   -> joint joint[gaussian_nb] (smac, 7 vars) [algorithm=3]\n"
+      "   -> joint joint[lda] (smac, 7 vars) [algorithm=4]\n");
+}
+
+TEST(PlanSpecTest, GoldenExplainConditioningAlternating) {
+  SearchSpace space = SmallClsSpace();
+  PlanSpec spec = BuildSpec(PlanKind::kConditioningAlternating, space,
+                            JointOptimizerKind::kSmac, 1);
+  EXPECT_EQ(spec.NumNodes(), 16u);
+  EXPECT_EQ(
+      spec.Explain(),
+      "-> conditioning cond[algorithm] on 'algorithm' (5 arms, "
+      "rising-bandit, every 5 rounds)\n"
+      "   -> alternating alt[logistic_regression] (init_rounds=2) "
+      "[algorithm=0]\n"
+      "      -> joint fe[logistic_regression] (smac, 6 vars)\n"
+      "      -> joint hp[logistic_regression] (smac, 3 vars)\n"
+      "   -> alternating alt[decision_tree] (init_rounds=2) [algorithm=1]\n"
+      "      -> joint fe[decision_tree] (smac, 6 vars)\n"
+      "      -> joint hp[decision_tree] (smac, 5 vars)\n"
+      "   -> alternating alt[knn] (init_rounds=2) [algorithm=2]\n"
+      "      -> joint fe[knn] (smac, 6 vars)\n"
+      "      -> joint hp[knn] (smac, 3 vars)\n"
+      "   -> alternating alt[gaussian_nb] (init_rounds=2) [algorithm=3]\n"
+      "      -> joint fe[gaussian_nb] (smac, 6 vars)\n"
+      "      -> joint hp[gaussian_nb] (smac, 1 vars)\n"
+      "   -> alternating alt[lda] (init_rounds=2) [algorithm=4]\n"
+      "      -> joint fe[lda] (smac, 6 vars)\n"
+      "      -> joint hp[lda] (smac, 1 vars)\n");
+}
+
+TEST(PlanSpecTest, GoldenExplainAlternatingFeConditioning) {
+  SearchSpace space = SmallClsSpace();
+  PlanSpec spec = BuildSpec(PlanKind::kAlternatingFeConditioning, space,
+                            JointOptimizerKind::kSmac, 1);
+  EXPECT_EQ(spec.NumNodes(), 8u);
+  EXPECT_EQ(
+      spec.Explain(),
+      "-> alternating alt[fe,cond] (init_rounds=2)\n"
+      "   -> joint fe[global] (smac, 6 vars)\n"
+      "   -> conditioning cond[algorithm] on 'algorithm' (5 arms, "
+      "rising-bandit, every 5 rounds)\n"
+      "      -> joint hp[logistic_regression] (smac, 3 vars) [algorithm=0]\n"
+      "      -> joint hp[decision_tree] (smac, 5 vars) [algorithm=1]\n"
+      "      -> joint hp[knn] (smac, 3 vars) [algorithm=2]\n"
+      "      -> joint hp[gaussian_nb] (smac, 1 vars) [algorithm=3]\n"
+      "      -> joint hp[lda] (smac, 1 vars) [algorithm=4]\n");
+}
+
+TEST(PlanSpecTest, GoldenExplainConditioningAlternatingHpFirst) {
+  SearchSpace space = SmallClsSpace();
+  PlanSpec spec = BuildSpec(PlanKind::kConditioningAlternatingHpFirst, space,
+                            JointOptimizerKind::kSmac, 1);
+  EXPECT_EQ(spec.NumNodes(), 16u);
+  EXPECT_EQ(
+      spec.Explain(),
+      "-> conditioning cond[algorithm] on 'algorithm' (5 arms, "
+      "rising-bandit, every 5 rounds)\n"
+      "   -> alternating alt[logistic_regression] (init_rounds=2) "
+      "[algorithm=0]\n"
+      "      -> joint hp[logistic_regression] (smac, 3 vars)\n"
+      "      -> joint fe[logistic_regression] (smac, 6 vars)\n"
+      "   -> alternating alt[decision_tree] (init_rounds=2) [algorithm=1]\n"
+      "      -> joint hp[decision_tree] (smac, 5 vars)\n"
+      "      -> joint fe[decision_tree] (smac, 6 vars)\n"
+      "   -> alternating alt[knn] (init_rounds=2) [algorithm=2]\n"
+      "      -> joint hp[knn] (smac, 3 vars)\n"
+      "      -> joint fe[knn] (smac, 6 vars)\n"
+      "   -> alternating alt[gaussian_nb] (init_rounds=2) [algorithm=3]\n"
+      "      -> joint hp[gaussian_nb] (smac, 1 vars)\n"
+      "      -> joint fe[gaussian_nb] (smac, 6 vars)\n"
+      "   -> alternating alt[lda] (init_rounds=2) [algorithm=4]\n"
+      "      -> joint hp[lda] (smac, 1 vars)\n"
+      "      -> joint fe[lda] (smac, 6 vars)\n");
+}
+
+TEST(PlanSpecTest, BuildSpecIsDeterministicAndSeedSensitive) {
+  SearchSpace space = SmallClsSpace();
+  for (PlanKind kind : AllPlanKinds()) {
+    PlanSpec a = BuildSpec(kind, space, JointOptimizerKind::kSmac, 1);
+    PlanSpec b = BuildSpec(kind, space, JointOptimizerKind::kSmac, 1);
+    EXPECT_EQ(a, b) << PlanKindName(kind);
+    PlanSpec other_seed = BuildSpec(kind, space, JointOptimizerKind::kSmac, 2);
+    EXPECT_NE(a, other_seed) << PlanKindName(kind);
+    PlanSpec other_optimizer =
+        BuildSpec(kind, space, JointOptimizerKind::kRandom, 1);
+    EXPECT_NE(a, other_optimizer) << PlanKindName(kind);
+  }
+}
+
+TEST(PlanSpecTest, DifferentKindsProduceDifferentSpecs) {
+  SearchSpace space = SmallClsSpace();
+  std::vector<PlanSpec> specs;
+  for (PlanKind kind : AllPlanKinds()) {
+    specs.push_back(BuildSpec(kind, space, JointOptimizerKind::kSmac, 1));
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    for (size_t j = i + 1; j < specs.size(); ++j) {
+      EXPECT_NE(specs[i], specs[j]);
+    }
+  }
+}
+
+TEST(PlanSpecTest, ExplainFingerprintsDistinguishAllKinds) {
+  SearchSpace space = SmallClsSpace();
+  std::vector<std::string> fingerprints;
+  for (PlanKind kind : AllPlanKinds()) {
+    fingerprints.push_back(
+        BuildSpec(kind, space, JointOptimizerKind::kSmac, 1).Explain());
+  }
+  for (size_t i = 0; i < fingerprints.size(); ++i) {
+    for (size_t j = i + 1; j < fingerprints.size(); ++j) {
+      EXPECT_NE(fingerprints[i], fingerprints[j]);
+    }
+  }
+}
+
+/// Lower(BuildSpec(...)) must reproduce the legacy BuildPlan search
+/// bit-for-bit: identical pull-by-pull trajectories for every plan kind.
+TEST(PlanSpecTest, LowerOfBuildSpecMatchesBuildPlanBitForBit) {
+  SearchSpace space = SmallClsSpace();
+  Dataset data = MakeBlobs(80, 4, 2, 1.1, 5);
+  for (PlanKind kind : AllPlanKinds()) {
+    PipelineEvaluator eval_a(&space, &data, {});
+    std::unique_ptr<BuildingBlock> via_plan = BuildPlan(
+        kind, space, &eval_a, JointOptimizerKind::kSmac, /*seed=*/42);
+    PipelineEvaluator eval_b(&space, &data, {});
+    std::unique_ptr<BuildingBlock> via_spec =
+        Lower(BuildSpec(kind, space, JointOptimizerKind::kSmac, /*seed=*/42),
+              &eval_b);
+    for (int pull = 0; pull < 12; ++pull) {
+      via_plan->DoNext(1.0, 1);
+      via_spec->DoNext(1.0, 1);
+      uint64_t bits_a, bits_b;
+      double utility_a = via_plan->BestUtility();
+      double utility_b = via_spec->BestUtility();
+      std::memcpy(&bits_a, &utility_a, sizeof(utility_a));
+      std::memcpy(&bits_b, &utility_b, sizeof(utility_b));
+      ASSERT_EQ(bits_a, bits_b)
+          << PlanKindName(kind) << " diverges at pull " << pull;
+    }
+    EXPECT_EQ(via_plan->BestAssignment(), via_spec->BestAssignment())
+        << PlanKindName(kind);
+  }
+}
+
+TEST(PlanSpecTest, JointNodeOwnsAllJointVariables) {
+  SearchSpace space = SmallClsSpace();
+  PlanSpec spec =
+      BuildSpec(PlanKind::kJoint, space, JointOptimizerKind::kSmac, 1);
+  EXPECT_EQ(spec.variables, space.joint().ParameterNames());
+}
+
+TEST(PlanSpecTest, ConditioningOwnsTheConditionVariableFirst) {
+  SearchSpace space = SmallClsSpace();
+  PlanSpec spec = BuildSpec(PlanKind::kConditioningJoint, space,
+                            JointOptimizerKind::kSmac, 1);
+  ASSERT_FALSE(spec.variables.empty());
+  EXPECT_EQ(spec.variables.front(), "algorithm");
+  EXPECT_EQ(spec.variable, "algorithm");
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,232 @@
+// Kill-and-resume correctness: a search restored from a snapshot must
+// continue bit-for-bit identical to one that never stopped, for every
+// plan kind and every joint optimizer.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/volcano_ml.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace volcanoml {
+namespace {
+
+bool BitEqual(double a, double b) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  return ab == bb;
+}
+
+struct RunOutput {
+  std::vector<TrajectoryPoint> trajectory;
+  Assignment best_assignment;
+  double best_utility = 0.0;
+  std::string final_snapshot;
+};
+
+VolcanoMlOptions SmallOptions(PlanKind plan, JointOptimizerKind optimizer,
+                              double budget) {
+  VolcanoMlOptions options;
+  options.space.task = TaskType::kClassification;
+  options.space.preset = SpacePreset::kSmall;
+  options.plan = plan;
+  options.optimizer = optimizer;
+  options.budget = budget;
+  options.seed = 7;
+  return options;
+}
+
+RunOutput Collect(VolcanoML* automl) {
+  AutoMlResult result = automl->Finish();
+  return {result.trajectory, result.best_assignment, result.best_utility,
+          automl->executor()->SaveSnapshot()};
+}
+
+/// One uninterrupted search.
+RunOutput FullRun(const VolcanoMlOptions& options, const Dataset& data) {
+  VolcanoML automl(options);
+  Status prepared = automl.Prepare(data);
+  EXPECT_TRUE(prepared.ok()) << prepared.ToString();
+  automl.executor()->Run();
+  return Collect(&automl);
+}
+
+/// The same search killed after `kill_after` steps (only a snapshot
+/// survives the first instance) and resumed in a fresh instance.
+RunOutput KilledAndResumedRun(const VolcanoMlOptions& options,
+                              const Dataset& data, size_t kill_after) {
+  std::string snapshot;
+  {
+    VolcanoML automl(options);
+    Status prepared = automl.Prepare(data);
+    EXPECT_TRUE(prepared.ok()) << prepared.ToString();
+    for (size_t i = 0; i < kill_after && automl.executor()->Step(); ++i) {
+    }
+    snapshot = automl.executor()->SaveSnapshot();
+  }
+  VolcanoML automl(options);
+  Status prepared = automl.Prepare(data);
+  EXPECT_TRUE(prepared.ok()) << prepared.ToString();
+  Status restored = automl.executor()->LoadSnapshot(snapshot);
+  EXPECT_TRUE(restored.ok()) << restored.ToString();
+  automl.executor()->Run();
+  return Collect(&automl);
+}
+
+void ExpectBitIdentical(const RunOutput& full, const RunOutput& resumed,
+                        const std::string& label) {
+  ASSERT_EQ(full.trajectory.size(), resumed.trajectory.size()) << label;
+  for (size_t i = 0; i < full.trajectory.size(); ++i) {
+    EXPECT_TRUE(
+        BitEqual(full.trajectory[i].budget, resumed.trajectory[i].budget))
+        << label << " diverges at trajectory point " << i;
+    EXPECT_TRUE(
+        BitEqual(full.trajectory[i].utility, resumed.trajectory[i].utility))
+        << label << " diverges at trajectory point " << i;
+  }
+  EXPECT_EQ(full.best_assignment, resumed.best_assignment) << label;
+  EXPECT_TRUE(BitEqual(full.best_utility, resumed.best_utility)) << label;
+  // The strongest assertion: the COMPLETE serialized search states —
+  // every optimizer observation, RNG engine, rung, counter — are
+  // byte-identical at the end of both runs.
+  EXPECT_EQ(full.final_snapshot, resumed.final_snapshot) << label;
+}
+
+TEST(ResumeTest, BitIdenticalForEveryPlanAndOptimizer) {
+  Dataset data = MakeBlobs(80, 4, 2, 1.1, 11);
+  const JointOptimizerKind optimizers[] = {
+      JointOptimizerKind::kRandom, JointOptimizerKind::kSmac,
+      JointOptimizerKind::kTpe, JointOptimizerKind::kMfesHb};
+  for (PlanKind plan : AllPlanKinds()) {
+    for (JointOptimizerKind optimizer : optimizers) {
+      std::string label = PlanKindName(plan) + " / " +
+                          JointOptimizerKindName(optimizer);
+      VolcanoMlOptions options = SmallOptions(plan, optimizer, 12.0);
+      RunOutput full = FullRun(options, data);
+      RunOutput resumed = KilledAndResumedRun(options, data, 5);
+      ExpectBitIdentical(full, resumed, label);
+    }
+  }
+}
+
+TEST(ResumeTest, ResumeAtEveryStepOfOneSearch) {
+  // Kill points across the whole run, including before the first step
+  // (snapshot of a fresh executor) and after the last (nothing to redo).
+  Dataset data = MakeBlobs(80, 4, 2, 1.1, 11);
+  VolcanoMlOptions options = SmallOptions(
+      PlanKind::kConditioningAlternating, JointOptimizerKind::kSmac, 10.0);
+  RunOutput full = FullRun(options, data);
+  for (size_t kill_after : {0u, 1u, 3u, 7u, 100u}) {
+    RunOutput resumed = KilledAndResumedRun(options, data, kill_after);
+    ExpectBitIdentical(full, resumed,
+                       "kill after " + std::to_string(kill_after));
+  }
+}
+
+TEST(ResumeTest, ResumeCanExtendTheBudget) {
+  Dataset data = MakeBlobs(80, 4, 2, 1.1, 11);
+  VolcanoMlOptions options = SmallOptions(
+      PlanKind::kConditioningJoint, JointOptimizerKind::kSmac, 8.0);
+  std::string snapshot;
+  {
+    VolcanoML automl(options);
+    ASSERT_TRUE(automl.Prepare(data).ok());
+    automl.executor()->Run();
+    snapshot = automl.executor()->SaveSnapshot();
+  }
+  options.budget = 14.0;
+  VolcanoML automl(options);
+  ASSERT_TRUE(automl.Prepare(data).ok());
+  ASSERT_TRUE(automl.executor()->LoadSnapshot(snapshot).ok());
+  size_t steps_at_load = automl.executor()->num_steps();
+  automl.executor()->Run();
+  EXPECT_GT(automl.executor()->num_steps(), steps_at_load);
+  AutoMlResult result = automl.Finish();
+  EXPECT_GT(result.trajectory.back().budget, 8.0 - 1.0);
+  for (size_t i = 1; i < result.trajectory.size(); ++i) {
+    EXPECT_GE(result.trajectory[i].utility, result.trajectory[i - 1].utility);
+  }
+}
+
+TEST(ResumeTest, LoadRejectsSnapshotFromDifferentPlan) {
+  Dataset data = MakeBlobs(60, 4, 2, 1.1, 3);
+  VolcanoMlOptions joint = SmallOptions(PlanKind::kJoint,
+                                        JointOptimizerKind::kRandom, 5.0);
+  std::string snapshot;
+  {
+    VolcanoML automl(joint);
+    ASSERT_TRUE(automl.Prepare(data).ok());
+    snapshot = automl.executor()->SaveSnapshot();
+  }
+  VolcanoMlOptions cond = SmallOptions(PlanKind::kConditioningJoint,
+                                       JointOptimizerKind::kRandom, 5.0);
+  VolcanoML automl(cond);
+  ASSERT_TRUE(automl.Prepare(data).ok());
+  Status status = automl.executor()->LoadSnapshot(snapshot);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("different plan"), std::string::npos);
+}
+
+TEST(ResumeTest, LoadRejectsBatchSizeMismatch) {
+  Dataset data = MakeBlobs(60, 4, 2, 1.1, 3);
+  VolcanoMlOptions options = SmallOptions(PlanKind::kJoint,
+                                          JointOptimizerKind::kRandom, 5.0);
+  std::string snapshot;
+  {
+    VolcanoML automl(options);
+    ASSERT_TRUE(automl.Prepare(data).ok());
+    snapshot = automl.executor()->SaveSnapshot();
+  }
+  options.batch_size = 4;
+  VolcanoML automl(options);
+  ASSERT_TRUE(automl.Prepare(data).ok());
+  Status status = automl.executor()->LoadSnapshot(snapshot);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("batch_size"), std::string::npos);
+}
+
+TEST(ResumeTest, LoadRejectsCorruptAndTruncatedSnapshots) {
+  Dataset data = MakeBlobs(60, 4, 2, 1.1, 3);
+  VolcanoMlOptions options = SmallOptions(PlanKind::kJoint,
+                                          JointOptimizerKind::kRandom, 5.0);
+  VolcanoML automl(options);
+  ASSERT_TRUE(automl.Prepare(data).ok());
+  std::string snapshot = automl.executor()->SaveSnapshot();
+
+  auto fresh_load = [&](const std::string& payload) {
+    VolcanoML instance(options);
+    EXPECT_TRUE(instance.Prepare(data).ok());
+    return instance.executor()->LoadSnapshot(payload);
+  };
+  EXPECT_FALSE(fresh_load("").ok());
+  EXPECT_FALSE(fresh_load("not a snapshot at all\n").ok());
+  EXPECT_FALSE(fresh_load(snapshot.substr(0, snapshot.size() / 2)).ok());
+}
+
+TEST(ResumeTest, LoadRequiresFreshExecutor) {
+  Dataset data = MakeBlobs(60, 4, 2, 1.1, 3);
+  VolcanoMlOptions options = SmallOptions(PlanKind::kJoint,
+                                          JointOptimizerKind::kRandom, 5.0);
+  VolcanoML automl(options);
+  ASSERT_TRUE(automl.Prepare(data).ok());
+  std::string snapshot = automl.executor()->SaveSnapshot();
+  ASSERT_TRUE(automl.executor()->Step());
+  Status status = automl.executor()->LoadSnapshot(snapshot);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("freshly-prepared"), std::string::npos);
+}
+
+TEST(ResumeDeathTest, SecondFitAborts) {
+  Dataset data = MakeBlobs(60, 4, 2, 1.1, 3);
+  VolcanoMlOptions options = SmallOptions(PlanKind::kJoint,
+                                          JointOptimizerKind::kRandom, 3.0);
+  VolcanoML automl(options);
+  (void)automl.Fit(data);
+  EXPECT_DEATH((void)automl.Fit(data), "once per instance");
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,183 @@
+#include "core/snapshot.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(SnapshotTest, ScalarRoundTrip) {
+  SnapshotWriter w;
+  w.Header();
+  w.U64("u", 18446744073709551615ULL);
+  w.I64("i", -42);
+  w.F64("f", 0.1);
+  w.Bool("yes", true);
+  w.Bool("no", false);
+  const std::string binary("with newline\nand nul\0inside", 27);
+  w.Str("s", binary);
+
+  SnapshotReader r(w.str());
+  r.Header();
+  EXPECT_EQ(r.U64("u"), 18446744073709551615ULL);
+  EXPECT_EQ(r.I64("i"), -42);
+  EXPECT_EQ(r.F64("f"), 0.1);
+  EXPECT_TRUE(r.Bool("yes"));
+  EXPECT_FALSE(r.Bool("no"));
+  EXPECT_EQ(r.Str("s"), binary);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SnapshotTest, DoubleBitPatternsRoundTripExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::denorm_min(),
+                           -1.7976931348623157e308};
+  SnapshotWriter w;
+  w.Header();
+  for (double value : values) w.F64("d", value);
+  SnapshotReader r(w.str());
+  r.Header();
+  for (double value : values) {
+    double loaded = r.F64("d");
+    uint64_t expected_bits, loaded_bits;
+    std::memcpy(&expected_bits, &value, sizeof(value));
+    std::memcpy(&loaded_bits, &loaded, sizeof(loaded));
+    EXPECT_EQ(loaded_bits, expected_bits);
+  }
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SnapshotTest, IdenticalStatesSerializeToIdenticalBytes) {
+  auto write = [] {
+    SnapshotWriter w;
+    w.Header();
+    w.Begin("demo");
+    w.F64("x", 3.14159);
+    w.Str("name", "block");
+    w.End("demo");
+    return w.TakeStr();
+  };
+  EXPECT_EQ(write(), write());
+}
+
+TEST(SnapshotTest, SectionsMustNest) {
+  SnapshotWriter w;
+  w.Header();
+  w.Begin("outer");
+  w.U64("k", 7);
+  w.End("outer");
+
+  SnapshotReader r(w.str());
+  r.Header();
+  r.Begin("outer");
+  EXPECT_EQ(r.U64("k"), 7u);
+  r.End("outer");
+  EXPECT_TRUE(r.ok());
+
+  SnapshotReader wrong(w.str());
+  wrong.Header();
+  wrong.Begin("inner");  // mismatched section name
+  EXPECT_FALSE(wrong.ok());
+}
+
+TEST(SnapshotTest, KeyMismatchLatchesError) {
+  SnapshotWriter w;
+  w.Header();
+  w.U64("alpha", 1);
+  w.U64("beta", 2);
+
+  SnapshotReader r(w.str());
+  r.Header();
+  EXPECT_EQ(r.U64("wrong_key"), 0u);  // default after the latched error
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.error().empty());
+  // Subsequent reads keep returning defaults and keep the FIRST error.
+  std::string first_error = r.error();
+  EXPECT_EQ(r.U64("beta"), 0u);
+  EXPECT_EQ(r.error(), first_error);
+}
+
+TEST(SnapshotTest, TypeMismatchLatchesError) {
+  SnapshotWriter w;
+  w.Header();
+  w.U64("k", 5);
+  SnapshotReader r(w.str());
+  r.Header();
+  EXPECT_EQ(r.F64("k"), 0.0);  // wrong type for the stored line
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SnapshotTest, RejectsForeignAndTruncatedInput) {
+  SnapshotReader garbage("this is not a snapshot\n");
+  garbage.Header();
+  EXPECT_FALSE(garbage.ok());
+
+  SnapshotWriter w;
+  w.Header();
+  w.U64("k", 5);
+  std::string data = w.str();
+  SnapshotReader truncated(data.substr(0, data.size() / 2));
+  truncated.Header();
+  (void)truncated.U64("k");
+  EXPECT_FALSE(truncated.ok());
+
+  SnapshotReader empty("");
+  empty.Header();
+  EXPECT_FALSE(empty.ok());
+}
+
+TEST(SnapshotTest, RejectsWrongVersion) {
+  SnapshotWriter w;
+  w.Header();
+  std::string data = w.str();
+  size_t pos = data.find(std::to_string(kSnapshotVersion));
+  ASSERT_NE(pos, std::string::npos);
+  data.replace(pos, 1, "9");
+  SnapshotReader r(data);
+  r.Header();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SnapshotTest, CallerFailLatches) {
+  SnapshotWriter w;
+  w.Header();
+  w.U64("k", 5);
+  SnapshotReader r(w.str());
+  r.Header();
+  EXPECT_EQ(r.U64("k"), 5u);
+  EXPECT_TRUE(r.ok());
+  r.Fail("semantic violation");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("semantic violation"), std::string::npos);
+}
+
+TEST(SnapshotTest, AggregateHelpersRoundTrip) {
+  std::vector<double> vec = {1.5, -2.25, 0.0};
+  Configuration config;
+  config.values = {0.25, 0.75};
+  Assignment assignment = {{"algorithm", 2.0}, {"fe:rescaling", 1.0}};
+
+  SnapshotWriter w;
+  w.Header();
+  SaveDoubleVector(&w, "vec", vec);
+  SaveConfiguration(&w, "config", config);
+  SaveAssignment(&w, "assignment", assignment);
+
+  SnapshotReader r(w.str());
+  r.Header();
+  EXPECT_EQ(LoadDoubleVector(&r, "vec"), vec);
+  EXPECT_EQ(LoadConfiguration(&r, "config").values, config.values);
+  EXPECT_EQ(LoadAssignment(&r, "assignment"), assignment);
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace volcanoml

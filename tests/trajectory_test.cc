@@ -1,0 +1,104 @@
+// Trajectory invariants of the stepped executor: monotone incumbents,
+// budget accounting, and batch_size=1 re-run determinism.
+
+#include <cstring>
+
+#include "core/volcano_ml.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace volcanoml {
+namespace {
+
+VolcanoMlOptions BaseOptions(double budget) {
+  VolcanoMlOptions options;
+  options.space.task = TaskType::kClassification;
+  options.space.preset = SpacePreset::kSmall;
+  options.budget = budget;
+  options.seed = 9;
+  return options;
+}
+
+TEST(TrajectoryTest, IncumbentIsMonotoneNonDecreasing) {
+  Dataset data = MakeBlobs(80, 4, 2, 1.1, 21);
+  for (PlanKind plan : AllPlanKinds()) {
+    VolcanoMlOptions options = BaseOptions(15.0);
+    options.plan = plan;
+    VolcanoML automl(options);
+    AutoMlResult result = automl.Fit(data);
+    ASSERT_FALSE(result.trajectory.empty()) << PlanKindName(plan);
+    for (size_t i = 1; i < result.trajectory.size(); ++i) {
+      EXPECT_GE(result.trajectory[i].utility,
+                result.trajectory[i - 1].utility)
+          << PlanKindName(plan) << " at point " << i;
+      EXPECT_GE(result.trajectory[i].budget, result.trajectory[i - 1].budget)
+          << PlanKindName(plan) << " at point " << i;
+    }
+  }
+}
+
+TEST(TrajectoryTest, FullFidelityRunsLandExactlyWithinBudget) {
+  // SMAC evaluates at full fidelity only, so with an integer budget the
+  // engine's dispatch guard makes the final consumed budget land at or
+  // under the option budget exactly.
+  Dataset data = MakeBlobs(80, 4, 2, 1.1, 21);
+  VolcanoMlOptions options = BaseOptions(12.0);
+  options.optimizer = JointOptimizerKind::kSmac;
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(data);
+  EXPECT_LE(result.trajectory.back().budget, options.budget);
+  EXPECT_TRUE(automl.executor()->Done());
+}
+
+TEST(TrajectoryTest, FractionalFidelityOvershootIsBoundedByOneUnit) {
+  // MFES-HB evaluates at fractional fidelities; the last pull may start
+  // strictly below the budget and finish past it, but never by a full
+  // evaluation unit.
+  Dataset data = MakeBlobs(80, 4, 2, 1.1, 21);
+  VolcanoMlOptions options = BaseOptions(12.0);
+  options.optimizer = JointOptimizerKind::kMfesHb;
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(data);
+  EXPECT_LT(result.trajectory.back().budget, options.budget + 1.0);
+}
+
+TEST(TrajectoryTest, SerialRunsReproduceBitForBit) {
+  Dataset data = MakeBlobs(80, 4, 2, 1.1, 21);
+  for (PlanKind plan : AllPlanKinds()) {
+    VolcanoMlOptions options = BaseOptions(10.0);
+    options.plan = plan;
+    options.batch_size = 1;
+    VolcanoML first(options);
+    AutoMlResult a = first.Fit(data);
+    VolcanoML second(options);
+    AutoMlResult b = second.Fit(data);
+    ASSERT_EQ(a.trajectory.size(), b.trajectory.size()) << PlanKindName(plan);
+    for (size_t i = 0; i < a.trajectory.size(); ++i) {
+      uint64_t bits_a, bits_b;
+      std::memcpy(&bits_a, &a.trajectory[i].utility, sizeof(double));
+      std::memcpy(&bits_b, &b.trajectory[i].utility, sizeof(double));
+      EXPECT_EQ(bits_a, bits_b) << PlanKindName(plan) << " at point " << i;
+      std::memcpy(&bits_a, &a.trajectory[i].budget, sizeof(double));
+      std::memcpy(&bits_b, &b.trajectory[i].budget, sizeof(double));
+      EXPECT_EQ(bits_a, bits_b) << PlanKindName(plan) << " at point " << i;
+    }
+    EXPECT_EQ(a.best_assignment, b.best_assignment) << PlanKindName(plan);
+  }
+}
+
+TEST(TrajectoryTest, StepCountMatchesTrajectoryLength) {
+  Dataset data = MakeBlobs(80, 4, 2, 1.1, 21);
+  VolcanoMlOptions options = BaseOptions(8.0);
+  VolcanoML automl(options);
+  ASSERT_TRUE(automl.Prepare(data).ok());
+  size_t steps = 0;
+  while (automl.executor()->Step()) ++steps;
+  EXPECT_EQ(automl.executor()->num_steps(), steps);
+  EXPECT_EQ(automl.executor()->trajectory().size(), steps);
+  // A finished executor refuses further steps without side effects.
+  EXPECT_FALSE(automl.executor()->Step());
+  EXPECT_EQ(automl.executor()->num_steps(), steps);
+}
+
+}  // namespace
+}  // namespace volcanoml
