@@ -1,8 +1,9 @@
 #include "bo/quarantine.h"
 
-#include <algorithm>
 #include <cstring>
-#include <vector>
+#include <string>
+
+#include "util/sorted_view.h"
 
 namespace volcanoml {
 
@@ -27,8 +28,7 @@ bool QuarantineSet::Contains(const Configuration& config) const {
 }
 
 void QuarantineSet::SaveState(SnapshotWriter* w) const {
-  std::vector<std::string> sorted(keys_.begin(), keys_.end());
-  std::sort(sorted.begin(), sorted.end());
+  const auto sorted = SortedKeys(keys_);
   w->U64("quarantine_keys", sorted.size());
   for (const std::string& key : sorted) w->Str("quarantine_keys", key);
 }

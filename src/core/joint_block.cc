@@ -1,11 +1,11 @@
 #include "core/joint_block.h"
 
-#include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "bo/quarantine.h"
 #include "util/check.h"
+#include "util/sorted_view.h"
 
 namespace volcanoml {
 
@@ -83,10 +83,8 @@ void JointBlock::HandleOutcome(const Configuration& config,
 void JointBlock::SaveState(SnapshotWriter* w) const {
   BuildingBlock::SaveState(w);
   w->Begin("joint");
-  // Sorted for byte-deterministic output (the map is unordered).
-  std::vector<std::pair<std::string, size_t>> counts(
-      hard_failure_counts_.begin(), hard_failure_counts_.end());
-  std::sort(counts.begin(), counts.end());
+  // SortedItems for byte-deterministic output (the map is unordered).
+  const auto counts = SortedItems(hard_failure_counts_);
   w->U64("hard_failure_counts", counts.size());
   for (const auto& [key, count] : counts) {
     w->Str("failure_key", key);

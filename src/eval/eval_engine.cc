@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/sorted_view.h"
 
 namespace volcanoml {
 
@@ -24,8 +25,36 @@ size_t EvalEngine::num_threads() const {
 }
 
 void EvalEngine::set_budget_limit(double limit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   budget_limit_ = limit;
+}
+
+bool EvalEngine::LookupCacheLocked(const std::string& key,
+                                   CachedResult* result) const {
+  auto hit = cache_.find(key);
+  if (hit == cache_.end()) return false;
+  *result = hit->second;
+  return true;
+}
+
+void EvalEngine::CommitLocked(const EvalRequest& request, EvalOutcome* result,
+                              double seconds_cost) {
+  const EvaluatorOptions& options = context_->options();
+  double cost_units =
+      options.budget_in_seconds ? seconds_cost : request.fidelity;
+  result->elapsed_seconds = seconds_cost;
+  consumed_budget_ += cost_units;
+  ++num_evaluations_;
+  outcome_counts_[static_cast<size_t>(result->outcome)] += 1;
+  if (!result->ok()) budget_lost_to_failures_ += cost_units;
+  if (result->hard_failure()) {
+    // Keyed on the assignment alone (fidelity 0 is outside the valid
+    // request range, so this cannot collide with a memo key).
+    hard_failures_by_config_[context_->CacheKey(request.assignment, 0.0)] += 1;
+  }
+  if (request.fidelity >= 1.0) {
+    observations_.push_back({request.assignment, result->utility});
+  }
 }
 
 std::vector<EvalOutcome> EvalEngine::EvaluateBatchOutcomes(
@@ -56,7 +85,7 @@ std::vector<EvalOutcome> EvalEngine::EvaluateBatchOutcomes(
   slots.reserve(n);
   size_t dispatched = n;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::unordered_map<std::string, size_t> batch_slots;
     // Projected budget after the requests resolved so far. Deterministic
     // mode projects exactly (a request costs its fidelity); seconds mode
@@ -73,9 +102,7 @@ std::vector<EvalOutcome> EvalEngine::EvaluateBatchOutcomes(
       keys[i] = context_->CacheKey(requests[i].assignment,
                                    requests[i].fidelity);
       if (options.memoize) {
-        auto hit = cache_.find(keys[i]);
-        if (hit != cache_.end()) {
-          cached[i] = hit->second;
+        if (LookupCacheLocked(keys[i], &cached[i])) {
           from_cache[i] = true;
           continue;
         }
@@ -110,7 +137,7 @@ std::vector<EvalOutcome> EvalEngine::EvaluateBatchOutcomes(
   // phase-1 projection is a lower bound).
   results.reserve(dispatched);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 0; i < dispatched; ++i) {
       if (consumed_budget_ >= budget_limit_) break;
       EvalOutcome result;
@@ -136,22 +163,7 @@ std::vector<EvalOutcome> EvalEngine::EvaluateBatchOutcomes(
           ++cache_hits_;
         }
       }
-      double cost_units =
-          options.budget_in_seconds ? seconds_cost : requests[i].fidelity;
-      result.elapsed_seconds = seconds_cost;
-      consumed_budget_ += cost_units;
-      ++num_evaluations_;
-      outcome_counts_[static_cast<size_t>(result.outcome)] += 1;
-      if (!result.ok()) budget_lost_to_failures_ += cost_units;
-      if (result.hard_failure()) {
-        // Keyed on the assignment alone (fidelity 0 is outside the valid
-        // request range, so this cannot collide with a memo key).
-        hard_failures_by_config_[context_->CacheKey(requests[i].assignment,
-                                                    0.0)] += 1;
-      }
-      if (requests[i].fidelity >= 1.0) {
-        observations_.push_back({requests[i].assignment, result.utility});
-      }
+      CommitLocked(requests[i], &result, seconds_cost);
       results.push_back(result);
     }
   }
@@ -180,37 +192,37 @@ double EvalEngine::Evaluate(const Assignment& assignment, double fidelity) {
 }
 
 double EvalEngine::consumed_budget() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return consumed_budget_;
 }
 
 size_t EvalEngine::num_evaluations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return num_evaluations_;
 }
 
 size_t EvalEngine::cache_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_hits_;
 }
 
 size_t EvalEngine::cache_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_.size();
 }
 
 size_t EvalEngine::outcome_count(TrialOutcome outcome) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return outcome_counts_[static_cast<size_t>(outcome)];
 }
 
 double EvalEngine::budget_lost_to_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return budget_lost_to_failures_;
 }
 
 size_t EvalEngine::MaxHardFailuresPerConfig() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t max_count = 0;
   for (const auto& [key, count] : hard_failures_by_config_) {
     max_count = std::max(max_count, count);
@@ -219,12 +231,16 @@ size_t EvalEngine::MaxHardFailuresPerConfig() const {
 }
 
 std::vector<std::pair<Assignment, double>> EvalEngine::observations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return observations_;
 }
 
 void EvalEngine::SaveState(SnapshotWriter* w) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  SaveStateLocked(w);
+}
+
+void EvalEngine::SaveStateLocked(SnapshotWriter* w) const {
   w->Begin("engine");
   w->F64("consumed_budget", consumed_budget_);
   w->U64("num_evaluations", num_evaluations_);
@@ -233,11 +249,9 @@ void EvalEngine::SaveState(SnapshotWriter* w) const {
     w->U64("outcome_count", outcome_counts_[i]);
   }
   w->F64("budget_lost_to_failures", budget_lost_to_failures_);
-  // Unordered maps are written in sorted key order so identical engine
-  // state always produces byte-identical snapshots.
-  std::vector<std::pair<std::string, size_t>> failures(
-      hard_failures_by_config_.begin(), hard_failures_by_config_.end());
-  std::sort(failures.begin(), failures.end());
+  // Unordered maps are written through SortedItems so identical engine
+  // state always produces byte-identical snapshots (determinism R11).
+  const auto failures = SortedItems(hard_failures_by_config_);
   w->U64("hard_failures", failures.size());
   for (const auto& [key, count] : failures) {
     w->Str("failure_key", key);
@@ -248,10 +262,7 @@ void EvalEngine::SaveState(SnapshotWriter* w) const {
     SaveAssignment(w, "obs_assignment", assignment);
     w->F64("obs_utility", utility);
   }
-  std::vector<std::pair<std::string, CachedResult>> entries(cache_.begin(),
-                                                            cache_.end());
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const auto entries = SortedItems(cache_);
   w->U64("cache", entries.size());
   for (const auto& [key, result] : entries) {
     w->Str("cache_key", key);
@@ -262,7 +273,11 @@ void EvalEngine::SaveState(SnapshotWriter* w) const {
 }
 
 void EvalEngine::LoadState(SnapshotReader* r) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  LoadStateLocked(r);
+}
+
+void EvalEngine::LoadStateLocked(SnapshotReader* r) {
   r->Begin("engine");
   consumed_budget_ = r->F64("consumed_budget");
   num_evaluations_ = r->U64("num_evaluations");

@@ -5,7 +5,6 @@
 #include <cstddef>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -14,6 +13,7 @@
 #include "core/snapshot.h"
 #include "cs/configuration.h"
 #include "eval/eval_context.h"
+#include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
@@ -63,53 +63,53 @@ class EvalEngine {
   /// batches is then arrival order at the mutex).
   [[nodiscard]] std::vector<EvalOutcome> EvaluateBatchOutcomes(
       const std::vector<EvalRequest>& requests)
-      VOLCANOML_LOCKS_EXCLUDED(mu_);
+      VOLCANOML_EXCLUDES(mu_);
 
   /// Utility-only facade over EvaluateBatchOutcomes (same truncation
   /// semantics: the result can be shorter than `requests`).
   [[nodiscard]] std::vector<double> EvaluateBatch(
       const std::vector<EvalRequest>& requests)
-      VOLCANOML_LOCKS_EXCLUDED(mu_);
+      VOLCANOML_EXCLUDES(mu_);
 
   /// Single-request convenience — the legacy Evaluate() call. Returns the
   /// FailureUtility sentinel if the budget limit truncated the request.
   [[nodiscard]] double Evaluate(const Assignment& assignment,
                                 double fidelity = 1.0)
-      VOLCANOML_LOCKS_EXCLUDED(mu_);
+      VOLCANOML_EXCLUDES(mu_);
 
   /// Stops dispatching new requests once consumed_budget() reaches this
   /// limit (default: unlimited).
-  void set_budget_limit(double limit) VOLCANOML_LOCKS_EXCLUDED(mu_);
+  void set_budget_limit(double limit) VOLCANOML_EXCLUDES(mu_);
 
   /// Budget units consumed so far (sum of fidelities, or seconds).
-  [[nodiscard]] double consumed_budget() const VOLCANOML_LOCKS_EXCLUDED(mu_);
+  [[nodiscard]] double consumed_budget() const VOLCANOML_EXCLUDES(mu_);
   /// Requests committed so far (cache hits included).
-  [[nodiscard]] size_t num_evaluations() const VOLCANOML_LOCKS_EXCLUDED(mu_);
+  [[nodiscard]] size_t num_evaluations() const VOLCANOML_EXCLUDES(mu_);
   /// Requests answered from the memo cache so far.
-  [[nodiscard]] size_t cache_hits() const VOLCANOML_LOCKS_EXCLUDED(mu_);
+  [[nodiscard]] size_t cache_hits() const VOLCANOML_EXCLUDES(mu_);
   /// Distinct (configuration, fidelity) results memoized so far.
-  [[nodiscard]] size_t cache_size() const VOLCANOML_LOCKS_EXCLUDED(mu_);
+  [[nodiscard]] size_t cache_size() const VOLCANOML_EXCLUDES(mu_);
 
   // -- failure telemetry ----------------------------------------------------
 
   /// Committed requests that ended with the given outcome (cache hits
   /// recommit their memoized outcome).
   [[nodiscard]] size_t outcome_count(TrialOutcome outcome) const
-      VOLCANOML_LOCKS_EXCLUDED(mu_);
+      VOLCANOML_EXCLUDES(mu_);
   /// Budget units spent on requests that did not end kOk.
   [[nodiscard]] double budget_lost_to_failures() const
-      VOLCANOML_LOCKS_EXCLUDED(mu_);
+      VOLCANOML_EXCLUDES(mu_);
   /// Largest number of hard failures (timed out / fault injected) any
   /// single configuration has accumulated; the quarantine assertion in
   /// tests reads this.
   [[nodiscard]] size_t MaxHardFailuresPerConfig() const
-      VOLCANOML_LOCKS_EXCLUDED(mu_);
+      VOLCANOML_EXCLUDES(mu_);
 
   /// Every full-fidelity (assignment, utility) observation, in commit
   /// order, copied under the engine mutex so it is safe to call while
   /// other threads submit batches. Feeds post-hoc ensemble selection.
   [[nodiscard]] std::vector<std::pair<Assignment, double>> observations()
-      const VOLCANOML_LOCKS_EXCLUDED(mu_);
+      const VOLCANOML_EXCLUDES(mu_);
 
   [[nodiscard]] const EvalContext& context() const { return *context_; }
   [[nodiscard]] size_t num_threads() const;
@@ -120,8 +120,8 @@ class EvalEngine {
   /// optimization, not state: in deterministic-budget mode a hit is
   /// metered exactly like a recomputation, so a resume from a snapshot
   /// with a dropped cache still replays bit-for-bit (it just recomputes).
-  void SaveState(SnapshotWriter* w) const VOLCANOML_LOCKS_EXCLUDED(mu_);
-  void LoadState(SnapshotReader* r) VOLCANOML_LOCKS_EXCLUDED(mu_);
+  void SaveState(SnapshotWriter* w) const VOLCANOML_EXCLUDES(mu_);
+  void LoadState(SnapshotReader* r) VOLCANOML_EXCLUDES(mu_);
 
  private:
   /// Memoized result of one (configuration, fidelity) computation.
@@ -130,10 +130,27 @@ class EvalEngine {
     TrialOutcome outcome = TrialOutcome::kOk;
   };
 
+  /// Commits one resolved outcome under the engine mutex: meters the
+  /// budget, advances the counters and failure telemetry, and appends the
+  /// full-fidelity observation. `seconds_cost` is the request's wall cost
+  /// (already floored); `result->elapsed_seconds` is overwritten with it.
+  void CommitLocked(const EvalRequest& request, EvalOutcome* result,
+                    double seconds_cost) VOLCANOML_REQUIRES(mu_);
+
+  /// Memo-cache probe for one request key; returns true and fills
+  /// `result` on a hit. Only meaningful when options().memoize is set.
+  [[nodiscard]] bool LookupCacheLocked(const std::string& key,
+                                       CachedResult* result) const
+      VOLCANOML_REQUIRES(mu_);
+
+  /// SaveState/LoadState bodies; the public wrappers only take the lock.
+  void SaveStateLocked(SnapshotWriter* w) const VOLCANOML_REQUIRES(mu_);
+  void LoadStateLocked(SnapshotReader* r) VOLCANOML_REQUIRES(mu_);
+
   const EvalContext* context_;
   std::unique_ptr<ThreadPool> pool_;  ///< Null when running inline.
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::unordered_map<std::string, CachedResult> cache_
       VOLCANOML_GUARDED_BY(mu_);
   double consumed_budget_ VOLCANOML_GUARDED_BY(mu_) = 0.0;

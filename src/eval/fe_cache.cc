@@ -37,7 +37,7 @@ FeCache::Shard& FeCache::ShardFor(const std::string& key) {
 
 std::shared_ptr<const FeCacheEntry> FeCache::Get(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -54,7 +54,7 @@ void FeCache::Put(const std::string& key,
   const size_t bytes = entry->ApproxBytes();
   if (bytes > shard_capacity_bytes_) return;  // Never fits; don't thrash.
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Replace in place and refresh recency.
@@ -69,6 +69,10 @@ void FeCache::Put(const std::string& key,
     shard.bytes += bytes;
     ++shard.insertions;
   }
+  EvictToFitLocked(shard);
+}
+
+void FeCache::EvictToFitLocked(Shard& shard) {
   while (shard.bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
     Node& victim = shard.lru.back();
     shard.bytes -= victim.bytes;
@@ -81,7 +85,7 @@ void FeCache::Put(const std::string& key,
 FeCache::Stats FeCache::GetStats() const {
   Stats stats;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.insertions += shard->insertions;

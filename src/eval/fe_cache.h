@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -13,6 +12,7 @@
 
 #include "data/dataset.h"
 #include "fe/pipeline.h"
+#include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace volcanoml {
@@ -89,7 +89,7 @@ class FeCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// Most-recently-used at the front.
     std::list<Node> lru VOLCANOML_GUARDED_BY(mu);
     std::unordered_map<std::string, std::list<Node>::iterator> index
@@ -102,6 +102,10 @@ class FeCache {
   };
 
   [[nodiscard]] Shard& ShardFor(const std::string& key);
+
+  /// Evicts least-recently-used nodes until `shard` fits its byte
+  /// budget. Caller holds the shard's mutex (Put's insert path).
+  void EvictToFitLocked(Shard& shard) VOLCANOML_REQUIRES(shard.mu);
 
   size_t shard_capacity_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
+#include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace volcanoml {
@@ -14,11 +14,11 @@ std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 /// Serializes emission so concurrent log lines never interleave once
 /// evaluators run in parallel. The annotations make clang's
 /// -Wthread-safety prove the counter is only touched under the mutex.
-std::mutex g_log_mu;
+Mutex g_log_mu;
 uint64_t g_emitted_lines VOLCANOML_GUARDED_BY(g_log_mu) = 0;
 
-void Emit(const std::string& line) VOLCANOML_LOCKS_EXCLUDED(g_log_mu) {
-  std::lock_guard<std::mutex> lock(g_log_mu);
+void Emit(const std::string& line) VOLCANOML_EXCLUDES(g_log_mu) {
+  MutexLock lock(g_log_mu);
   ++g_emitted_lines;
   std::fprintf(stderr, "%s\n", line.c_str());
 }
@@ -47,7 +47,7 @@ LogLevel GetLogLevel() {
 }
 
 uint64_t GetEmittedLogLines() {
-  std::lock_guard<std::mutex> lock(g_log_mu);
+  MutexLock lock(g_log_mu);
   return g_emitted_lines;
 }
 

@@ -1,0 +1,84 @@
+#ifndef VOLCANOML_UTIL_MUTEX_H_
+#define VOLCANOML_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace volcanoml {
+
+/// Annotated mutex — the repo's only lock type outside the standard
+/// library internals.
+///
+/// Clang's -Wthread-safety analysis cannot see through std::mutex /
+/// std::lock_guard (libstdc++ carries no capability annotations), so raw
+/// standard mutexes make every VOLCANOML_GUARDED_BY contract unprovable.
+/// This wrapper gives the analysis an annotated capability while staying
+/// a plain std::mutex underneath, so the TSan preset still instruments
+/// the exact same synchronization. Lock with MutexLock; wait with
+/// CondVar. Direct Lock()/Unlock() calls are for the rare manual
+/// protocols and must keep the analysis happy on every path.
+class VOLCANOML_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() VOLCANOML_ACQUIRE() { mu_.lock(); }
+  void Unlock() VOLCANOML_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() VOLCANOML_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, annotated so the analysis tracks the critical
+/// section through scopes and early returns.
+class VOLCANOML_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VOLCANOML_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~MutexLock() VOLCANOML_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable working with the annotated Mutex. Wait() must be
+/// called with the mutex held (the analysis enforces it); as with every
+/// condition variable, re-check the predicate in a loop after waking.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and re-acquires
+  /// `mu` before returning.
+  void Wait(Mutex& mu) VOLCANOML_REQUIRES(mu) {
+    // Adopt the already-held native mutex so std::condition_variable can
+    // drive it, then release the handle so ownership stays with the
+    // caller's MutexLock.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_UTIL_MUTEX_H_

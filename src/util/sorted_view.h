@@ -1,0 +1,60 @@
+#ifndef VOLCANOML_UTIL_SORTED_VIEW_H_
+#define VOLCANOML_UTIL_SORTED_VIEW_H_
+
+#include <algorithm>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace volcanoml {
+
+/// Deterministic views over unordered containers.
+///
+/// Iterating an unordered_map/unordered_set directly yields
+/// implementation-defined (and libc++/libstdc++-divergent) order, which
+/// silently corrupts any byte-deterministic output: snapshots, Explain()
+/// strings, trajectories, telemetry. Every serialization path must route
+/// such iteration through these helpers — tools/determinism_check.py
+/// rule R11 flags direct iteration in those paths, and recognizes
+/// SortedKeys/SortedItems calls as the sanctioned spelling.
+///
+/// Both helpers copy: snapshot and telemetry paths are cold, and a copy
+/// keeps them safe to use while other threads mutate nothing (callers
+/// hold the owning lock where one exists).
+
+/// The container's keys in ascending order. Works for unordered_set
+/// (value_type == key) and unordered_map (extracts .first).
+template <typename Container>
+[[nodiscard]] std::vector<typename Container::key_type> SortedKeys(
+    const Container& container) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(container.size());
+  for (const auto& element : container) {
+    if constexpr (std::is_same_v<typename Container::value_type,
+                                 typename Container::key_type>) {
+      keys.push_back(element);
+    } else {
+      keys.push_back(element.first);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// The map's (key, value) pairs in ascending key order. Values are
+/// compared only through their keys, so mapped types never need
+/// operator<.
+template <typename Map>
+[[nodiscard]] std::vector<
+    std::pair<typename Map::key_type, typename Map::mapped_type>>
+SortedItems(const Map& map) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items(map.begin(), map.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_UTIL_SORTED_VIEW_H_

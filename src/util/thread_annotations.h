@@ -6,19 +6,35 @@
 /// Under clang with -Wthread-safety these let the compiler prove that
 /// shared state is only touched with the right mutex held — the static
 /// complement to the TSan preset (see DESIGN.md "Error handling &
-/// analysis gates"). Under GCC they expand to nothing; the dynamic TSan
-/// gate still covers the same invariants there.
+/// analysis gates"). The `clang-analyze` CMake preset compiles the whole
+/// tree with -Wthread-safety -Werror, so a missing or wrong annotation is
+/// a build break, not a lint note. Under GCC they expand to nothing; the
+/// dynamic TSan gate still covers the same invariants there.
+///
+/// The analysis only understands capabilities it can see, so locking goes
+/// through the annotated volcanoml::Mutex / MutexLock / CondVar wrappers
+/// (src/util/mutex.h) rather than raw std::mutex — std::lock_guard is
+/// opaque to clang and would make every contract unprovable.
 ///
 /// Usage:
-///   std::mutex mu_;
+///   Mutex mu_;
 ///   int counter_ VOLCANOML_GUARDED_BY(mu_);
-///   void Bump() VOLCANOML_LOCKS_EXCLUDED(mu_);
+///   void Bump() VOLCANOML_EXCLUDES(mu_);           // takes the lock itself
+///   void BumpLocked() VOLCANOML_REQUIRES(mu_);     // caller holds the lock
 
 #if defined(__clang__) && (!defined(SWIG))
 #define VOLCANOML_THREAD_ANNOTATION(x) __attribute__((x))
 #else
 #define VOLCANOML_THREAD_ANNOTATION(x)  // no-op
 #endif
+
+/// Marks a class as a capability (lockable) type, e.g. a mutex wrapper.
+#define VOLCANOML_CAPABILITY(x) VOLCANOML_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (e.g. MutexLock).
+#define VOLCANOML_SCOPED_CAPABILITY \
+  VOLCANOML_THREAD_ANNOTATION(scoped_lockable)
 
 /// Marks a member as protected by the given mutex.
 #define VOLCANOML_GUARDED_BY(x) VOLCANOML_THREAD_ANNOTATION(guarded_by(x))
@@ -27,23 +43,61 @@
 #define VOLCANOML_PT_GUARDED_BY(x) \
   VOLCANOML_THREAD_ANNOTATION(pt_guarded_by(x))
 
-/// Declares that the function requires the given capabilities held.
-#define VOLCANOML_EXCLUSIVE_LOCKS_REQUIRED(...) \
-  VOLCANOML_THREAD_ANNOTATION(exclusive_locks_required(__VA_ARGS__))
+/// Declares that the function requires the given capabilities held
+/// exclusively — the caller locks, the function does not.
+#define VOLCANOML_REQUIRES(...) \
+  VOLCANOML_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
 
-/// Declares that the function must NOT be called with the locks held.
-#define VOLCANOML_LOCKS_EXCLUDED(...) \
+/// Shared (reader) variant of VOLCANOML_REQUIRES.
+#define VOLCANOML_REQUIRES_SHARED(...) \
+  VOLCANOML_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Marks a function that acquires the capability itself (and returns with
+/// it held).
+#define VOLCANOML_ACQUIRE(...) \
+  VOLCANOML_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of VOLCANOML_ACQUIRE.
+#define VOLCANOML_ACQUIRE_SHARED(...) \
+  VOLCANOML_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Marks a function that releases the capability before returning.
+#define VOLCANOML_RELEASE(...) \
+  VOLCANOML_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of VOLCANOML_RELEASE.
+#define VOLCANOML_RELEASE_SHARED(...) \
+  VOLCANOML_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Marks a function that attempts to acquire the capability; the first
+/// argument is the return value meaning "acquired".
+#define VOLCANOML_TRY_ACQUIRE(...) \
+  VOLCANOML_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that the function must NOT be called with the locks held —
+/// it takes them itself, so calling it locked would self-deadlock.
+#define VOLCANOML_EXCLUDES(...) \
   VOLCANOML_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 
-/// Marks a function that acquires the capability.
-#define VOLCANOML_EXCLUSIVE_LOCK_FUNCTION(...) \
-  VOLCANOML_THREAD_ANNOTATION(exclusive_lock_function(__VA_ARGS__))
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume it from here on.
+#define VOLCANOML_ASSERT_CAPABILITY(x) \
+  VOLCANOML_THREAD_ANNOTATION(assert_capability(x))
 
-/// Marks a function that releases the capability.
-#define VOLCANOML_UNLOCK_FUNCTION(...) \
-  VOLCANOML_THREAD_ANNOTATION(unlock_function(__VA_ARGS__))
+/// Marks a function returning a reference to the capability that guards
+/// the returned-from object.
+#define VOLCANOML_RETURN_CAPABILITY(x) \
+  VOLCANOML_THREAD_ANNOTATION(lock_returned(x))
+
+/// Documents (and enforces) lock-ordering between two mutexes.
+#define VOLCANOML_ACQUIRED_BEFORE(...) \
+  VOLCANOML_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define VOLCANOML_ACQUIRED_AFTER(...) \
+  VOLCANOML_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
 
 /// Opts a function out of the analysis (e.g. locking through aliases).
+/// Zero uses outside src/util/mutex.h is an acceptance criterion of the
+/// clang-analyze gate; prefer fixing the contract to suppressing it.
 #define VOLCANOML_NO_THREAD_SAFETY_ANALYSIS \
   VOLCANOML_THREAD_ANNOTATION(no_thread_safety_analysis)
 

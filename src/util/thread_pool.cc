@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -31,11 +31,11 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     VOLCANOML_CHECK_MSG(!shutting_down_, "Submit after ~ThreadPool");
     queue_.push_back(std::move(packaged));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   return future;
 }
 
@@ -54,11 +54,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this]() VOLCANOML_EXCLUSIVE_LOCKS_REQUIRED(mu_) {
-            return shutting_down_ || !queue_.empty();
-          });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.Wait(mu_);
+      }
       // Drain the queue even when shutting down: every submitted future
       // must still become ready.
       if (queue_.empty()) return;

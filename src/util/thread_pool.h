@@ -1,15 +1,14 @@
 #ifndef VOLCANOML_UTIL_THREAD_POOL_H_
 #define VOLCANOML_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace volcanoml {
@@ -31,7 +30,7 @@ class ThreadPool {
   explicit ThreadPool(size_t num_threads);
 
   /// Blocks until every queued task finished, then joins the workers.
-  ~ThreadPool();
+  ~ThreadPool() VOLCANOML_EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -40,21 +39,21 @@ class ThreadPool {
   /// run. Futures may be awaited from any thread, including after the
   /// submitting call returns.
   [[nodiscard]] std::future<void> Submit(std::function<void()> task)
-      VOLCANOML_LOCKS_EXCLUDED(mu_);
+      VOLCANOML_EXCLUDES(mu_);
 
   /// Runs fn(0) .. fn(n - 1) across the pool and blocks until all calls
   /// returned. Distinct indices may run concurrently; `fn` must tolerate
   /// that. A convenience wrapper over Submit for batch evaluation.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
-      VOLCANOML_LOCKS_EXCLUDED(mu_);
+      VOLCANOML_EXCLUDES(mu_);
 
   [[nodiscard]] size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop() VOLCANOML_LOCKS_EXCLUDED(mu_);
+  void WorkerLoop() VOLCANOML_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
+  Mutex mu_;
+  CondVar work_available_;
   std::deque<std::packaged_task<void()>> queue_ VOLCANOML_GUARDED_BY(mu_);
   bool shutting_down_ VOLCANOML_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;

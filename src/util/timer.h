@@ -21,7 +21,10 @@ class Stopwatch {
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
+  // Stopwatch is the audited telemetry clock: it feeds elapsed-seconds
+  // reporting and wall-budget metering, never search decisions, so runs
+  // stay bit-reproducible in deterministic-budget mode.
+  using Clock = std::chrono::steady_clock;  // NOLINT-determinism(telemetry-only monotonic stopwatch)
   Clock::time_point start_;
 };
 

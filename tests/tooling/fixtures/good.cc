@@ -1,0 +1,39 @@
+// Clean control fixture: exercises the patterns the analyzers look at,
+// spelled the sanctioned way. Must produce zero findings.
+#include "fixture/good.h"
+
+#include "util/sorted_view.h"
+
+namespace volcanoml {
+
+void GoodThing::SaveState(SnapshotWriter* w) const {
+  w->Begin("good");
+  const auto counts = SortedItems(counts_);
+  w->U64("count_entries", counts.size());
+  for (const auto& [key, value] : counts) {
+    w->Str("count_key", key);
+    w->U64("count_value", value);
+  }
+  w->End("good");
+}
+
+void GoodThing::LoadState(SnapshotReader* r) {
+  r->Begin("good");
+  uint64_t n = r->U64("count_entries");
+  counts_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key = r->Str("count_key");
+    counts_[key] = r->U64("count_value");
+  }
+  r->End("good");
+}
+
+size_t GoodThing::TotalCount() const {
+  // Unordered iteration outside a deterministic-output path is fine:
+  // the sum is order-independent.
+  size_t total = 0;
+  for (const auto& [key, value] : counts_) total += value;
+  return total;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,27 @@
+#ifndef VOLCANOML_FIXTURE_GOOD_H_
+#define VOLCANOML_FIXTURE_GOOD_H_
+
+// Header half of the clean control fixture: correct include guard, and
+// the unordered member the .cc iterates (the determinism checker reads
+// declarations across the header/source pair).
+#include <string>
+#include <unordered_map>
+
+namespace volcanoml {
+
+class SnapshotWriter;
+class SnapshotReader;
+
+class GoodThing {
+ public:
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
+  size_t TotalCount() const;
+
+ private:
+  std::unordered_map<std::string, uint64_t> counts_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_FIXTURE_GOOD_H_

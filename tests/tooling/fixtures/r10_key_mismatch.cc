@@ -1,0 +1,22 @@
+// expect: R10-snapshot-keys
+// Save/Load key drift, with the written key split across lines and one
+// key emitted under a conditional — the patterns the old line-based
+// regex could miss and the token-grade checker must not.
+#include "fixture/r10_key_mismatch.h"
+
+namespace volcanoml {
+
+void KeyDrift::SaveState(SnapshotWriter* w) const {
+  w->U64(
+      "written_only_key", value_);
+  if (value_ > 0) {
+    w->Bool("conditional_key", true);
+  }
+}
+
+void KeyDrift::LoadState(SnapshotReader* r) {
+  value_ = r->U64("read_only_key");
+  (void)r->Bool("conditional_key");
+}
+
+}  // namespace volcanoml

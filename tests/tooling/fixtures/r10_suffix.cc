@@ -1,0 +1,17 @@
+// expect: R10-snapshot-keys
+// Suffixed pair (SaveStateLocked/LoadStateLocked): the promoted checker
+// pairs by method-name suffix, which the old `::SaveState(` regex never
+// matched at all.
+#include "fixture/r10_suffix.h"
+
+namespace volcanoml {
+
+void SuffixDrift::SaveStateLocked(SnapshotWriter* w) const {
+  w->Str("locked_written", name_);
+}
+
+void SuffixDrift::LoadStateLocked(SnapshotReader* r) {
+  name_ = r->Str("locked_read");
+}
+
+}  // namespace volcanoml

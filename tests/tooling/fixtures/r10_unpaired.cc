@@ -1,0 +1,11 @@
+// expect: R10-snapshot-keys
+// SaveState with no LoadState anywhere: the snapshot cannot round-trip.
+#include "fixture/r10_unpaired.h"
+
+namespace volcanoml {
+
+void WriteOnly::SaveState(SnapshotWriter* w) const {
+  w->U64("orphan_key", 1);
+}
+
+}  // namespace volcanoml

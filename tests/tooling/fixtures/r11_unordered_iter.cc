@@ -1,0 +1,32 @@
+// expect: R11-unordered-iter
+// Direct unordered-container iteration in deterministic-output paths:
+// a range-for in SaveState and an iterator walk in Explain. Both must
+// route through SortedKeys/SortedItems instead.
+#include "fixture/r11_unordered_iter.h"
+
+namespace volcanoml {
+
+void IterLeak::SaveState(SnapshotWriter* w) const {
+  w->U64("entries", counts_.size());
+  for (const auto& [key, value] : counts_) {
+    w->Str("entries", key);
+  }
+}
+
+void IterLeak::LoadState(SnapshotReader* r) {
+  uint64_t n = r->U64("entries");
+  counts_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    counts_[r->Str("entries")] = i;
+  }
+}
+
+std::string IterLeak::Explain() const {
+  std::string out;
+  for (auto it = counts_.begin(); it != counts_.end(); ++it) {
+    out += it->first;
+  }
+  return out;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,26 @@
+#ifndef VOLCANOML_FIXTURE_R11_UNORDERED_ITER_H_
+#define VOLCANOML_FIXTURE_R11_UNORDERED_ITER_H_
+
+// Header for the R11 fixture: declares the unordered member the .cc
+// iterates, proving declarations are collected across the .h/.cc pair.
+#include <string>
+#include <unordered_map>
+
+namespace volcanoml {
+
+class SnapshotWriter;
+class SnapshotReader;
+
+class IterLeak {
+ public:
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
+  std::string Explain() const;
+
+ private:
+  std::unordered_map<std::string, uint64_t> counts_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_FIXTURE_R11_UNORDERED_ITER_H_

@@ -1,0 +1,15 @@
+// expect: R12-wall-clock
+// Wall-clock reads outside src/util/deadline.* and bench/: both the
+// chrono clock types and the libc entry points.
+#include <chrono>
+#include <ctime>
+
+namespace volcanoml {
+
+double SecondsSinceEpoch() {
+  auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count() +
+         static_cast<double>(time(nullptr));
+}
+
+}  // namespace volcanoml

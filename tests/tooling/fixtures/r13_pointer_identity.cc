@@ -1,0 +1,17 @@
+// expect: R13-nondet-source
+// Pointer-identity nondeterminism: hashing an address and ordering by a
+// pointer-to-integer cast both vary run to run under ASLR.
+#include <cstdint>
+#include <functional>
+
+namespace volcanoml {
+
+size_t HashByAddress(const void* p) {
+  return std::hash<const void*>{}(p);
+}
+
+bool OrderByAddress(const int* a, const int* b) {
+  return reinterpret_cast<uintptr_t>(a) < reinterpret_cast<uintptr_t>(b);
+}
+
+}  // namespace volcanoml

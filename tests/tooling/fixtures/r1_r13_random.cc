@@ -1,0 +1,14 @@
+// expect: R1-determinism
+// expect: R13-nondet-source
+// Unseeded randomness: caught by both the lint (R1) and the determinism
+// checker (R13) — neither gate depends on the other running.
+#include <random>
+
+namespace volcanoml {
+
+int UnseededDraw() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,9 @@
+// expect: R2-no-exceptions
+namespace volcanoml {
+
+int MightThrow(int v) {
+  if (v < 0) throw v;
+  return v;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,10 @@
+// expect: R3-stdout
+#include <iostream>
+
+namespace volcanoml {
+
+void Chatter() {
+  std::cout << "library code must not write to stdout\n";
+}
+
+}  // namespace volcanoml

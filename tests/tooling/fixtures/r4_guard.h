@@ -1,0 +1,9 @@
+// expect: R4-guards
+#ifndef SOME_OTHER_GUARD_H_
+#define SOME_OTHER_GUARD_H_
+
+namespace volcanoml {
+struct GuardedWrong {};
+}  // namespace volcanoml
+
+#endif  // SOME_OTHER_GUARD_H_

@@ -1,0 +1,6 @@
+// expect: R7-includes
+#include "../util/rng.h"
+
+namespace volcanoml {
+void UsesRelativeInclude() {}
+}  // namespace volcanoml

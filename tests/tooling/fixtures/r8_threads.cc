@@ -1,0 +1,11 @@
+// expect: R8-threads
+#include <thread>
+
+namespace volcanoml {
+
+void SpawnRaw() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,11 @@
+// expect: R9-no-catch-all
+namespace volcanoml {
+
+void Swallow(void (*f)()) {
+  try {
+    f();
+  } catch (...) {
+  }
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,16 @@
+// expect: R6-status-gate
+// Copied to src/util/status.h by the driver: Status/Result without the
+// class-level [[nodiscard]] must trip the dropped-error compile gate.
+#ifndef VOLCANOML_UTIL_STATUS_H_
+#define VOLCANOML_UTIL_STATUS_H_
+
+namespace volcanoml {
+
+class Status {};
+
+template <typename T>
+class Result {};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_UTIL_STATUS_H_

@@ -1,0 +1,12 @@
+// A violation suppressed by the per-line waiver syntax. Must produce no
+// finding — but the waiver itself must appear in the tool's inventory,
+// which the driver asserts.
+#include <ctime>
+
+namespace volcanoml {
+
+long FixtureEpoch() {
+  return time(nullptr);  // NOLINT-determinism(fixture: waiver inventory test)
+}
+
+}  // namespace volcanoml

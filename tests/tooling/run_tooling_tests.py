@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for tools/lint.py and tools/determinism_check.py.
+
+The analyzers are themselves gates: a rule that silently stops firing is
+a broken gate that every later PR walks through, and a rule that fires on
+clean code gets waived into irrelevance. This driver pins both directions:
+
+  1. Copies tests/tooling/fixtures/ into a temporary repo layout
+     (src/fixture/..., with status.h at src/util/status.h where the R6
+     gate looks), `git init`s it, and fabricates a committed
+     CMakeCache.txt to exercise the repo-level R5-artifacts rule.
+  2. Runs both tools against the temporary root and parses their
+     file:line: [rule] output.
+  3. Asserts that the SET of rules reported per file exactly matches the
+     `// expect: <rule-id>` declarations in that fixture — extra
+     findings (false positives) and missing findings (false negatives)
+     both fail.
+  4. Asserts the `// NOLINT-determinism(...)` waiver in waived.cc both
+     suppresses its finding and appears in the waiver inventory.
+  5. Asserts both tools report ZERO violations on the real repository —
+     the acceptance bar the CI analyze job enforces, pinned here so the
+     plain ctest run (tier-1) catches drift first.
+
+The determinism checker is pinned to --engine=tokens: fixtures are not
+compilable translation units, so a libclang parse would see unknown
+types; the token engine is also the one CI exercises.
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SCRIPT_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(SCRIPT_DIR))
+FIXTURES = os.path.join(SCRIPT_DIR, "fixtures")
+LINT = os.path.join(REPO_ROOT, "tools", "lint.py")
+DETERMINISM = os.path.join(REPO_ROOT, "tools", "determinism_check.py")
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*(\S+)")
+FINDING_RE = re.compile(r"^([^:]+):(\d+): \[([^\]]+)\] (.*)$")
+
+failures: list[str] = []
+
+
+def fail(message: str):
+    failures.append(message)
+    print(f"FAIL: {message}")
+
+
+def run_tool(tool: str, extra: list[str], root: str):
+    """Returns (findings: rel -> set of rules, waivers: rel -> set of
+    rules, exit_code)."""
+    proc = subprocess.run(
+        [sys.executable, tool, "--root", root, *extra],
+        capture_output=True, text=True)
+    findings: dict[str, set[str]] = {}
+    waivers: dict[str, set[str]] = {}
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        rel, rule = m.group(1), m.group(3)
+        if rule.startswith("waiver "):
+            waivers.setdefault(rel, set()).add(rule[len("waiver "):])
+        else:
+            findings.setdefault(rel, set()).add(rule)
+    return findings, waivers, proc.returncode
+
+
+def build_fixture_tree(tmp: str) -> dict[str, set[str]]:
+    """Copies fixtures into tmp and returns dest_rel -> expected rules."""
+    expected: dict[str, set[str]] = {}
+    for name in sorted(os.listdir(FIXTURES)):
+        if not name.endswith((".cc", ".h")):
+            continue
+        if name == "status.h":
+            dest_rel = "src/util/status.h"  # the path the R6 gate checks
+        else:
+            dest_rel = f"src/fixture/{name}"
+        dest = os.path.join(tmp, dest_rel)
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        shutil.copyfile(os.path.join(FIXTURES, name), dest)
+        with open(dest, encoding="utf-8") as f:
+            expected[dest_rel] = set(EXPECT_RE.findall(f.read()))
+    return expected
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="volcanoml_tooling_")
+    try:
+        expected = build_fixture_tree(tmp)
+
+        # Repo-level R5: a committed build artifact. Needs a real git
+        # index, since the rule scans `git ls-files`.
+        artifact_rel = "src/fixture/CMakeCache.txt"
+        with open(os.path.join(tmp, artifact_rel), "w",
+                  encoding="utf-8") as f:
+            f.write("# fabricated build artifact\n")
+        git_ok = subprocess.run(
+            ["git", "init", "-q"], cwd=tmp, capture_output=True
+        ).returncode == 0 and subprocess.run(
+            ["git", "add", "-A"], cwd=tmp, capture_output=True
+        ).returncode == 0
+        if git_ok:
+            expected[artifact_rel] = {"R5-artifacts"}
+        else:
+            print("note: git unavailable; R5-artifacts not exercised")
+            os.remove(os.path.join(tmp, artifact_rel))
+
+        lint_found, _, lint_rc = run_tool(LINT, [], tmp)
+        det_found, det_waived, det_rc = run_tool(
+            DETERMINISM, ["--engine", "tokens"], tmp)
+        if lint_rc != 1:
+            fail(f"lint.py exit code {lint_rc} on violating tree, want 1")
+        if det_rc != 1:
+            fail(f"determinism_check.py exit code {det_rc} on violating "
+                 "tree, want 1")
+
+        merged: dict[str, set[str]] = {}
+        for found in (lint_found, det_found):
+            for rel, rules in found.items():
+                merged.setdefault(rel, set()).update(rules)
+
+        for rel in sorted(set(expected) | set(merged)):
+            want = expected.get(rel, set())
+            got = merged.get(rel, set())
+            if got != want:
+                missing = ", ".join(sorted(want - got)) or "-"
+                extra = ", ".join(sorted(got - want)) or "-"
+                fail(f"{rel}: rules mismatch (not fired: {missing}; "
+                     f"unexpected: {extra})")
+
+        # The waiver must suppress the R12 finding AND be inventoried.
+        waived_rel = "src/fixture/waived.cc"
+        if det_waived.get(waived_rel) != {"R12-wall-clock"}:
+            fail(f"{waived_rel}: waiver not inventoried as R12-wall-clock "
+                 f"(got {sorted(det_waived.get(waived_rel, set()))})")
+
+        # Both analyzers must be clean on the real repository: this is
+        # the same bar the CI analyze job enforces.
+        _, _, repo_lint_rc = run_tool(LINT, [], REPO_ROOT)
+        repo_det_found, repo_det_waived, repo_det_rc = run_tool(
+            DETERMINISM, ["--engine", "tokens"], REPO_ROOT)
+        if repo_lint_rc != 0:
+            fail(f"lint.py not clean on the repository (exit "
+                 f"{repo_lint_rc})")
+        if repo_det_rc != 0:
+            fail(f"determinism_check.py not clean on the repository "
+                 f"(exit {repo_det_rc}): "
+                 f"{ {r: sorted(v) for r, v in repo_det_found.items()} }")
+        # Every repo waiver must carry a reason (inventory discipline).
+        for rel, rules in sorted(repo_det_waived.items()):
+            print(f"repo waiver inventory: {rel}: {sorted(rules)}")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    if failures:
+        print(f"tooling tests: {len(failures)} failure(s)")
+        return 1
+    print("tooling tests: all fixtures matched; analyzers clean on repo")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,14 +3,24 @@
 # analysis gates"). Runs, in order:
 #
 #   1. tools/lint.py                    repo-invariant lint
-#   2. release preset                   configure + build (-Werror) + ctest
-#   3. asan-ubsan preset                ASan+UBSan build + ctest
-#   4. tsan preset                      TSan build + ctest
-#   5. clang-tidy over src/ (optional)  skipped when clang-tidy is absent
+#   2. tools/determinism_check.py       determinism rules R10-R13
+#   3. release preset                   configure + build (-Werror) + ctest
+#   4. asan-ubsan preset                ASan+UBSan build + ctest
+#   5. tsan preset                      TSan build + ctest
+#   6. clang-tidy over src/             blocking in CI; loud skip locally
+#   7. clang-analyze preset             Clang -Wthread-safety as errors
+#                                       (blocking in CI; loud skip locally)
+#
+# The clang-backed steps (6, 7) need clang-tidy / clang++ on PATH (or
+# CLANG_TIDY / VOLCANOML_CLANGXX pointing at them). When the tools are
+# absent the steps FAIL if $CI is set — CI must never silently skip an
+# analysis gate — and are skipped with a loud notice otherwise.
 #
 # Any failure exits non-zero. Usage:
 #   tools/check.sh            # everything
-#   tools/check.sh --fast     # lint + release only (pre-commit loop)
+#   tools/check.sh --fast     # lint + determinism + release (pre-commit)
+#   tools/check.sh --analyze  # static analysis only: lint + determinism
+#                             #   + clang-tidy + clang-analyze preset
 
 set -u -o pipefail
 
@@ -18,7 +28,14 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+ANALYZE_ONLY=0
+case "${1:-}" in
+  --fast) FAST=1 ;;
+  --analyze) ANALYZE_ONLY=1 ;;
+esac
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+CLANGXX="${VOLCANOML_CLANGXX:-clang++}"
 
 failures=()
 
@@ -34,6 +51,18 @@ step() {  # step <name> <cmd...>
   fi
 }
 
+# missing_tool <step> <tool>: in CI a missing analyzer is a gate failure,
+# never a skip; locally it is skipped with a loud notice.
+missing_tool() {
+  local name="$1" tool="$2"
+  if [[ -n "${CI:-}" ]]; then
+    echo "==== ${name}: FAILED (${tool} not installed; CI must not skip analysis gates) ====" >&2
+    failures+=("${name}")
+  else
+    echo "==== ${name}: SKIPPED locally (${tool} not installed) ===="
+  fi
+}
+
 run_preset() {  # run_preset <preset>
   local preset="$1"
   step "configure:${preset}" cmake --preset "${preset}"
@@ -41,22 +70,48 @@ run_preset() {  # run_preset <preset>
   step "test:${preset}" ctest --preset "${preset}" -j "${JOBS}"
 }
 
-step "lint" python3 tools/lint.py
-
-run_preset release
-if [[ "${FAST}" -eq 0 ]]; then
-  run_preset asan-ubsan
-  run_preset tsan
-fi
-
-if command -v clang-tidy >/dev/null 2>&1; then
-  # The release tree has the compile database; -p points clang-tidy at it.
-  [[ -f build-release/compile_commands.json ]] ||
-    cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+run_clang_tidy() {
+  if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+    missing_tool "clang-tidy" "${CLANG_TIDY}"
+    return
+  fi
+  # The release preset always exports the compile database; configure the
+  # tree if this invocation has not built it yet (e.g. --analyze).
+  if [[ ! -f build-release/compile_commands.json ]]; then
+    step "configure:release" cmake --preset release
+  fi
   mapfile -t tidy_sources < <(git ls-files 'src/*.cc')
-  step "clang-tidy" clang-tidy -p build-release "${tidy_sources[@]}"
+  step "clang-tidy" "${CLANG_TIDY}" -p build-release "${tidy_sources[@]}"
+}
+
+run_clang_analyze() {
+  if ! command -v "${CLANGXX}" >/dev/null 2>&1; then
+    missing_tool "clang-analyze" "${CLANGXX}"
+    return
+  fi
+  # Thread-safety analysis is a compile-time pass: a clean build under
+  # -Wthread-safety -Werror IS the result, so no ctest step here (the
+  # release/sanitizer presets own runtime behavior).
+  step "configure:clang-analyze" \
+    cmake --preset clang-analyze "-DCMAKE_CXX_COMPILER=${CLANGXX}"
+  step "build:clang-analyze" \
+    cmake --build --preset clang-analyze -j "${JOBS}"
+}
+
+step "lint" python3 tools/lint.py
+step "determinism" python3 tools/determinism_check.py
+
+if [[ "${ANALYZE_ONLY}" -eq 1 ]]; then
+  run_clang_tidy
+  run_clang_analyze
 else
-  echo "==== clang-tidy: not installed, skipped ===="
+  run_preset release
+  if [[ "${FAST}" -eq 0 ]]; then
+    run_preset asan-ubsan
+    run_preset tsan
+    run_clang_tidy
+    run_clang_analyze
+  fi
 fi
 
 echo

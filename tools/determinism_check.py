@@ -1,0 +1,683 @@
+#!/usr/bin/env python3
+"""Determinism static checker for volcanoml.
+
+VolcanoML's headline guarantee is byte-determinism: the same seed and
+request sequence must yield bit-identical trajectories, snapshots, and
+Explain() strings (DESIGN.md "Logical plans, executor & snapshots").
+This tool proves the lexical half of that guarantee at analysis time,
+complementing the runtime bit-equality tests:
+
+  R10 snapshot-keys   Every Foo::SaveState[Suffix] must have a paired
+                      Foo::LoadState[Suffix] whose set of quoted snapshot
+                      keys is identical. Token-grade (promoted from the
+                      old lint R10 regex), so multi-line and
+                      conditionally-emitted keys cannot slip through.
+  R11 unordered-iter  No direct iteration over unordered_map /
+                      unordered_set inside a deterministic-output path
+                      (SaveState*, Explain*, *Trajectory*, *Telemetry*,
+                      Emit*, Report*, Dump*, Describe*, Print*).
+                      Iteration order there must be routed through
+                      SortedKeys / SortedItems (src/util/sorted_view.h).
+  R12 wall-clock      No wall-clock reads (std::chrono::{system,steady,
+                      high_resolution}_clock, time(), clock(),
+                      gettimeofday, localtime, ...) outside
+                      src/util/deadline.* — the audited deadline layer —
+                      and bench/. Clocks feeding search decisions break
+                      run-to-run reproducibility.
+  R13 nondet-source   No nondeterministic value sources outside
+                      src/util/rng.*: std::random_device, rand()/srand(),
+                      std::hash over pointer types, and pointer-to-
+                      integer casts (reinterpret_cast<...uintptr_t>) that
+                      enable pointer-value ordering. Addresses differ per
+                      run under ASLR; hashing or ordering by them is a
+                      silent nondeterminism bug.
+
+Waivers: append `// NOLINT-determinism(reason)` to the offending line.
+Waived lines are suppressed but inventoried in the report, so every
+exception stays visible and reviewable.
+
+Engines:
+  tokens  Pure-python tokenizer over the source text (always available,
+          so CI can never silently skip this check).
+  ast     adds a libclang-backed pass for R11 on top of the token pass:
+          it resolves real types, so aliased or auto-typed unordered
+          containers are caught too. Findings are unioned and
+          deduplicated — a degraded parse can never LOSE findings the
+          tokenizer reports. R10/R12/R13 stay token-based (they are
+          lexical properties).
+  auto    ast when the clang python bindings import, tokens otherwise
+          (the default).
+
+Usage: tools/determinism_check.py [--root DIR] [--engine auto|tokens|ast]
+Prints "file:line: [rule] message" per violation, an inventory of
+waivers, and a summary line; exits non-zero if any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from dataclasses import dataclass, field
+
+CXX_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
+# bench/ is exempt by design: benchmarks measure wall time.
+SOURCE_DIRS = ("src", "tests", "examples")
+# Analyzer test vectors are intentionally violating snippets.
+FIXTURE_DIR = "tests/tooling/fixtures"
+
+WAIVER_RE = re.compile(r"//\s*NOLINT-determinism\(([^)]*)\)")
+
+# R11: function names whose output must be byte-deterministic.
+DETERMINISTIC_PATH_RE = re.compile(
+    r"^(SaveState\w*|Explain\w*|\w*Trajectory\w*|\w*Telemetry\w*|"
+    r"Emit\w*|Report\w*|Dump\w*|Describe\w*|Print\w*)$")
+UNORDERED_TYPES = ("unordered_map", "unordered_set", "unordered_multimap",
+                   "unordered_multiset")
+SORTED_HELPERS = ("SortedKeys", "SortedItems", "SortedView")
+
+# R12: allowlisted wall-clock owners.
+WALL_CLOCK_ALLOWED = ("src/util/deadline.h", "src/util/deadline.cc")
+CLOCK_TYPES = ("system_clock", "steady_clock", "high_resolution_clock")
+CLOCK_CALLS = ("time", "clock", "gettimeofday", "localtime", "gmtime",
+               "mktime", "timespec_get", "clock_gettime")
+
+# R13: allowlisted randomness owner.
+NONDET_ALLOWED = ("src/util/rng.h", "src/util/rng.cc")
+POINTER_INT_TYPES = ("uintptr_t", "intptr_t")
+
+# R10: snapshot key primitives and aggregate helpers whose first string
+# argument is the key.
+SNAPSHOT_PRIMITIVES = ("U64", "I64", "F64", "Bool", "Str", "Begin", "End",
+                       "SaveDoubleVector", "LoadDoubleVector",
+                       "SaveConfiguration", "LoadConfiguration",
+                       "SaveAssignment", "LoadAssignment")
+
+
+@dataclass
+class Token:
+    kind: str  # "ident" | "number" | "string" | "char" | "punct"
+    text: str
+    line: int
+
+
+@dataclass
+class FileScan:
+    rel: str
+    tokens: list[Token]
+    waivers: dict[int, str]  # line -> reason
+
+
+@dataclass
+class Report:
+    violations: list[str] = field(default_factory=list)
+    rule_counts: dict[str, int] = field(default_factory=dict)
+    # (rel, line, rule, reason) for every suppressed finding.
+    waived: list[tuple[str, int, str, str]] = field(default_factory=list)
+    notices: list[str] = field(default_factory=list)
+
+    seen: set = field(default_factory=set)
+
+    def add(self, scan: FileScan, line: int, rule: str, message: str):
+        if (scan.rel, line, rule) in self.seen:
+            return  # token and AST engines agree; count once
+        self.seen.add((scan.rel, line, rule))
+        if line in scan.waivers:
+            self.waived.append((scan.rel, line, rule, scan.waivers[line]))
+            return
+        self.violations.append(f"{scan.rel}:{line}: [{rule}] {message}")
+        self.rule_counts[rule] = self.rule_counts.get(rule, 0) + 1
+
+
+def tokenize(text: str) -> tuple[list[Token], dict[int, str]]:
+    """Lexes C++ source into coarse tokens, collecting waiver comments.
+
+    Comments and preprocessor line continuations are skipped; string and
+    char literals become single tokens. Good enough for this codebase:
+    no raw strings, trigraphs, or digraphs in analyzed positions.
+    """
+    tokens: list[Token] = []
+    waivers: dict[int, str] = {}
+    i, n, line = 0, len(text), 1
+    ident_start = set(
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+    ident_chars = ident_start | set("0123456789")
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            m = WAIVER_RE.search(text[i:end])
+            if m:
+                waivers[line] = m.group(1).strip()
+            i = end
+            continue
+        if c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n - 2 if end == -1 else end
+            line += text.count("\n", i, end + 2)
+            i = end + 2
+            continue
+        if c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            tokens.append(Token("string", text[i:j + 1], line))
+            line += text.count("\n", i, j + 1)
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            tokens.append(Token("char", text[i:j + 1], line))
+            i = j + 1
+            continue
+        if c in ident_start:
+            j = i
+            while j < n and text[j] in ident_chars:
+                j += 1
+            tokens.append(Token("ident", text[i:j], line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "._'+-"
+                             and text[j - 1] in "eEpP"):
+                j += 1
+            tokens.append(Token("number", text[i:j], line))
+            i = j
+            continue
+        # Two-char punctuation that matters for our patterns.
+        if text[i:i + 2] in ("::", "->", "<<", ">>", "==", "!="):
+            tokens.append(Token("punct", text[i:i + 2], line))
+            i += 2
+            continue
+        tokens.append(Token("punct", c, line))
+        i += 1
+    return tokens, waivers
+
+
+def match_paren(tokens: list[Token], open_idx: int) -> int:
+    """Index of the `)` matching tokens[open_idx] == `(` (or len)."""
+    depth = 0
+    for j in range(open_idx, len(tokens)):
+        if tokens[j].text == "(":
+            depth += 1
+        elif tokens[j].text == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
+
+
+def match_brace(tokens: list[Token], open_idx: int) -> int:
+    """Index of the `}` matching tokens[open_idx] == `{` (or len)."""
+    depth = 0
+    for j in range(open_idx, len(tokens)):
+        if tokens[j].text == "{":
+            depth += 1
+        elif tokens[j].text == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
+
+
+def match_angle(tokens: list[Token], open_idx: int) -> int:
+    """Index of the `>` closing tokens[open_idx] == `<` (or len).
+
+    Treats `>>` as two closers (nested template argument lists).
+    """
+    depth = 0
+    for j in range(open_idx, len(tokens)):
+        t = tokens[j].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return j
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j
+        elif t in (";", "{"):
+            break  # not a template argument list after all
+    return len(tokens)
+
+
+@dataclass
+class FunctionBody:
+    name: str
+    qualifier: str  # enclosing class for out-of-line definitions, else ""
+    start: int  # token index of `{`
+    end: int    # token index of matching `}`
+
+
+def find_function_bodies(tokens: list[Token]) -> list[FunctionBody]:
+    """Finds function definitions: [Class ::] name ( ... ) [specs] `{`.
+
+    A deliberately shallow parse — enough to attribute statements to the
+    function whose determinism contract they fall under.
+    """
+    bodies = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind != "ident" or (i + 1 < n and tokens[i + 1].text != "("):
+            i += 1
+            continue
+        if t.text in ("if", "for", "while", "switch", "return", "sizeof",
+                      "catch", "alignof", "decltype"):
+            i += 1
+            continue
+        qualifier = ""
+        if i >= 2 and tokens[i - 1].text == "::" \
+                and tokens[i - 2].kind == "ident":
+            qualifier = tokens[i - 2].text
+        close = match_paren(tokens, i + 1)
+        j = close + 1
+        # Skip trailing specifiers: const, noexcept, override, attribute
+        # macros (possibly with an argument list), -> return types.
+        while j < n:
+            tj = tokens[j]
+            if tj.kind == "ident":
+                j += 1
+                if j < n and tokens[j].text == "(":
+                    j = match_paren(tokens, j) + 1
+                continue
+            if tj.text in ("->", "::", "<", ">", "&", "*", ","):
+                j += 1
+                continue
+            break
+        if j < n and tokens[j].text == "{":
+            end = match_brace(tokens, j)
+            bodies.append(FunctionBody(t.text, qualifier, j, end))
+            i = j + 1
+            continue
+        i = close + 1
+    return bodies
+
+
+def collect_unordered_names(tokens: list[Token]) -> set[str]:
+    """Names of variables/members declared with an unordered container
+    type, e.g. `std::unordered_map<K, V> cache_;`."""
+    names: set[str] = set()
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in UNORDERED_TYPES:
+            continue
+        j = i + 1
+        if j < len(tokens) and tokens[j].text == "<":
+            j = match_angle(tokens, j) + 1
+        # Skip references/pointers and find the declared identifier.
+        while j < len(tokens) and tokens[j].text in ("&", "*", "const"):
+            j += 1
+        if j < len(tokens) and tokens[j].kind == "ident":
+            names.add(tokens[j].text)
+    return names
+
+
+# -- rules -----------------------------------------------------------------
+
+
+def check_unordered_iteration(scan: FileScan, unordered_names: set[str],
+                              report: Report):
+    """R11 over one file, given the unordered-declared names in scope."""
+    if not unordered_names:
+        return
+    tokens = scan.tokens
+    for body in find_function_bodies(tokens):
+        if not DETERMINISTIC_PATH_RE.match(body.name):
+            continue
+        k = body.start
+        while k < body.end:
+            t = tokens[k]
+            # Range-for: `for ( decl : expr )`.
+            if t.text == "for" and k + 1 < len(tokens) \
+                    and tokens[k + 1].text == "(":
+                close = match_paren(tokens, k + 1)
+                inner = tokens[k + 2:close]
+                colon = next((x for x, tok in enumerate(inner)
+                              if tok.text == ":"), None)
+                if colon is not None:
+                    expr = inner[colon + 1:]
+                    expr_texts = [tok.text for tok in expr]
+                    if any(name in expr_texts for name in unordered_names) \
+                            and not any(h in expr_texts
+                                        for h in SORTED_HELPERS):
+                        report.add(
+                            scan, t.line, "R11-unordered-iter",
+                            f"{body.name}() iterates an unordered "
+                            "container directly; route through SortedKeys/"
+                            "SortedItems (src/util/sorted_view.h) so the "
+                            "emitted order is byte-deterministic")
+                k = close + 1
+                continue
+            # Iterator spelling: `name.begin()` / `name.cbegin()`.
+            if t.kind == "ident" and t.text in unordered_names \
+                    and k + 2 < len(tokens) \
+                    and tokens[k + 1].text in (".", "->") \
+                    and tokens[k + 2].text in ("begin", "cbegin", "rbegin"):
+                report.add(
+                    scan, t.line, "R11-unordered-iter",
+                    f"{body.name}() walks {t.text} via iterators; use "
+                    "SortedKeys/SortedItems (src/util/sorted_view.h) "
+                    "instead of hand-rolled ordering")
+            k += 1
+
+
+def check_wall_clock(scan: FileScan, report: Report):
+    """R12: wall-clock reads outside the deadline layer."""
+    if scan.rel in WALL_CLOCK_ALLOWED:
+        return
+    tokens = scan.tokens
+    for i, t in enumerate(tokens):
+        if t.kind != "ident":
+            continue
+        if t.text in CLOCK_TYPES:
+            report.add(
+                scan, t.line, "R12-wall-clock",
+                f"std::chrono::{t.text} outside src/util/deadline.* and "
+                "bench/; clocks feeding the library break run-to-run "
+                "reproducibility (use the deadline layer or Stopwatch)")
+            continue
+        if t.text in CLOCK_CALLS and i + 1 < len(tokens) \
+                and tokens[i + 1].text == "(":
+            prev = tokens[i - 1].text if i > 0 else ""
+            # Member/qualified calls like obj.time(...) are not libc time.
+            if prev in (".", "->"):
+                continue
+            report.add(
+                scan, t.line, "R12-wall-clock",
+                f"{t.text}() wall-clock call outside src/util/deadline.* "
+                "and bench/")
+
+
+def check_nondet_sources(scan: FileScan, report: Report):
+    """R13: nondeterministic value sources outside the rng layer."""
+    if scan.rel in NONDET_ALLOWED:
+        return
+    tokens = scan.tokens
+    for i, t in enumerate(tokens):
+        if t.kind != "ident":
+            continue
+        if t.text == "random_device":
+            report.add(scan, t.line, "R13-nondet-source",
+                       "std::random_device is unseeded; all randomness "
+                       "flows through volcanoml::Rng (src/util/rng.h)")
+            continue
+        if t.text in ("rand", "srand") and i + 1 < len(tokens) \
+                and tokens[i + 1].text == "(":
+            prev = tokens[i - 1].text if i > 0 else ""
+            if prev in (".", "->", "::"):
+                continue  # e.g. rng.rand() member spellings
+            report.add(scan, t.line, "R13-nondet-source",
+                       f"{t.text}() is unseeded global randomness; use "
+                       "volcanoml::Rng (src/util/rng.h)")
+            continue
+        if t.text == "hash" and i + 1 < len(tokens) \
+                and tokens[i + 1].text == "<":
+            close = match_angle(tokens, i + 1)
+            arg = [tok.text for tok in tokens[i + 2:close]]
+            if "*" in arg or "void*" in arg:
+                report.add(scan, t.line, "R13-nondet-source",
+                           "std::hash over a pointer type hashes an "
+                           "address; addresses vary per run under ASLR")
+            continue
+        if t.text == "reinterpret_cast" and i + 1 < len(tokens) \
+                and tokens[i + 1].text == "<":
+            close = match_angle(tokens, i + 1)
+            arg = [tok.text for tok in tokens[i + 2:close]]
+            if any(p in arg for p in POINTER_INT_TYPES):
+                report.add(scan, t.line, "R13-nondet-source",
+                           "pointer-to-integer cast enables pointer-value "
+                           "ordering/hashing, which varies per run under "
+                           "ASLR")
+
+
+def extract_snapshot_keys(tokens: list[Token], start: int,
+                          end: int) -> set[str]:
+    """Quoted keys passed to snapshot primitives inside [start, end)."""
+    keys: set[str] = set()
+    k = start
+    while k < end:
+        t = tokens[k]
+        if t.kind == "ident" and t.text in SNAPSHOT_PRIMITIVES \
+                and k + 1 < end and tokens[k + 1].text == "(":
+            close = match_paren(tokens, k + 1)
+            # The key is the first string literal among the call's leading
+            # arguments (aggregate helpers put the writer/reader first).
+            for tok in tokens[k + 2:min(close, k + 8)]:
+                if tok.kind == "string":
+                    keys.add(tok.text[1:-1])
+                    break
+            k += 2
+            continue
+        k += 1
+    return keys
+
+
+def check_snapshot_pairs(scans: list[FileScan], report: Report):
+    """R10 (promoted from lint): SaveState*/LoadState* key pairing.
+
+    Token-grade: keys split across lines or emitted under conditionals
+    are still collected, which the old line-based regex missed.
+    """
+    # (class, suffix) -> {"Save"/"Load": (scan, line, keys)}
+    methods: dict[tuple[str, str], dict[str, tuple[FileScan, int,
+                                                   set[str]]]] = {}
+    for scan in scans:
+        if not scan.rel.startswith("src/"):
+            continue
+        for body in find_function_bodies(scan.tokens):
+            if not body.qualifier:
+                continue
+            for kind in ("SaveState", "LoadState"):
+                if body.name.startswith(kind):
+                    suffix = body.name[len(kind):]
+                    keys = extract_snapshot_keys(scan.tokens,
+                                                 body.start, body.end)
+                    line = scan.tokens[body.start].line
+                    methods.setdefault((body.qualifier, suffix), {})[
+                        kind[:4]] = (scan, line, keys)
+    for (cls, suffix), pair in sorted(methods.items()):
+        if "Save" not in pair or "Load" not in pair:
+            present = "Save" if "Save" in pair else "Load"
+            missing = "LoadState" if present == "Save" else "SaveState"
+            scan, line, _ = pair[present]
+            report.add(scan, line, "R10-snapshot-keys",
+                       f"{cls}::{present}State{suffix} has no paired "
+                       f"{cls}::{missing}{suffix}; snapshots of this "
+                       "state cannot round-trip")
+            continue
+        save_scan, save_line, save_keys = pair["Save"]
+        _, _, load_keys = pair["Load"]
+        if save_keys != load_keys:
+            only_save = ", ".join(sorted(save_keys - load_keys)) or "-"
+            only_load = ", ".join(sorted(load_keys - save_keys)) or "-"
+            report.add(save_scan, save_line, "R10-snapshot-keys",
+                       f"{cls}::SaveState{suffix}/LoadState{suffix} "
+                       f"snapshot keys differ (written only: {only_save}; "
+                       f"read only: {only_load}); the sequential reader "
+                       "will fail every resume")
+
+
+# -- libclang engine (R11) -------------------------------------------------
+
+
+def try_import_libclang():
+    try:
+        from clang import cindex  # type: ignore
+        cindex.Index.create()
+        return cindex
+    except Exception:  # noqa: BLE001 - any failure means "unavailable"
+        return None
+
+
+def ast_unordered_iteration(cindex, root: str, scan: FileScan,
+                            report: Report) -> bool:
+    """Type-accurate R11 for one file, additive to the token pass.
+    Returns False when libclang could not parse the file."""
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(
+            os.path.join(root, scan.rel),
+            args=["-std=c++20", f"-I{os.path.join(root, 'src')}",
+                  "-fsyntax-only"])
+        if tu is None:
+            return False
+
+        def in_deterministic_path(cursor) -> bool:
+            node = cursor
+            while node is not None:
+                if node.kind in (cindex.CursorKind.CXX_METHOD,
+                                 cindex.CursorKind.FUNCTION_DECL):
+                    return bool(
+                        DETERMINISTIC_PATH_RE.match(node.spelling or ""))
+                node = node.semantic_parent
+            return False
+
+        def visit(cursor, enclosing_ok: bool):
+            kind = cursor.kind
+            if kind in (cindex.CursorKind.CXX_METHOD,
+                        cindex.CursorKind.FUNCTION_DECL):
+                enclosing_ok = bool(
+                    DETERMINISTIC_PATH_RE.match(cursor.spelling or ""))
+            if enclosing_ok and kind == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                children = list(cursor.get_children())
+                if children:
+                    init = children[-2] if len(children) >= 2 else None
+                    type_spelling = ""
+                    if init is not None:
+                        type_spelling = init.type.get_canonical().spelling
+                    token_texts = [t.spelling
+                                   for t in cursor.get_tokens()]
+                    if any(u in type_spelling for u in UNORDERED_TYPES) \
+                            and not any(h in token_texts
+                                        for h in SORTED_HELPERS):
+                        report.add(
+                            scan, cursor.location.line,
+                            "R11-unordered-iter",
+                            "range-for over an unordered container in a "
+                            "deterministic-output path; route through "
+                            "SortedKeys/SortedItems "
+                            "(src/util/sorted_view.h)")
+            for child in cursor.get_children():
+                if child.location.file is not None and \
+                        os.path.samefile(str(child.location.file),
+                                         os.path.join(root, scan.rel)):
+                    visit(child, enclosing_ok)
+
+        visit(tu.cursor, False)
+        return True
+    except Exception:  # noqa: BLE001 - fall back, never silently skip
+        return False
+
+
+# -- driver ----------------------------------------------------------------
+
+
+def list_candidates(root: str) -> list[str]:
+    try:
+        tracked = subprocess.run(
+            ["git", "ls-files"], cwd=root, capture_output=True,
+            text=True, check=True).stdout.splitlines()
+    except (OSError, subprocess.CalledProcessError):
+        tracked = []
+        for d in SOURCE_DIRS:
+            base = os.path.join(root, d)
+            for dirpath, _, files in os.walk(base):
+                for name in files:
+                    tracked.append(os.path.relpath(
+                        os.path.join(dirpath, name), root))
+    return sorted(
+        rel for rel in tracked
+        if rel.startswith(SOURCE_DIRS) and rel.endswith(CXX_EXTENSIONS)
+        and not rel.startswith(FIXTURE_DIR))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))),
+        help="repo root (default: parent of tools/)")
+    parser.add_argument(
+        "--engine", choices=("auto", "tokens", "ast"), default="auto",
+        help="analysis engine (default: ast when libclang imports, "
+             "else tokens)")
+    args = parser.parse_args()
+
+    cindex = None
+    if args.engine in ("auto", "ast"):
+        cindex = try_import_libclang()
+        if cindex is None and args.engine == "ast":
+            print("determinism_check: --engine=ast requested but libclang "
+                  "is unavailable", file=sys.stderr)
+            return 2
+
+    report = Report()
+    scans: list[FileScan] = []
+    for rel in list_candidates(args.root):
+        try:
+            with open(os.path.join(args.root, rel), encoding="utf-8",
+                      errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            report.violations.append(f"{rel}:0: [io] unreadable: {e}")
+            continue
+        tokens, waivers = tokenize(text)
+        scans.append(FileScan(rel, tokens, waivers))
+
+    # Unordered-container declarations are collected per file-pair (the
+    # .cc sees the members its header declares).
+    unordered_by_stem: dict[str, set[str]] = {}
+    for scan in scans:
+        stem = os.path.splitext(scan.rel)[0]
+        unordered_by_stem.setdefault(stem, set()).update(
+            collect_unordered_names(scan.tokens))
+
+    for scan in scans:
+        stem = os.path.splitext(scan.rel)[0]
+        names = unordered_by_stem.get(stem, set())
+        check_unordered_iteration(scan, names, report)
+        if cindex is not None and not ast_unordered_iteration(
+                cindex, args.root, scan, report):
+            report.notices.append(
+                f"determinism_check: libclang parse failed for {scan.rel}; "
+                "token-pass findings stand alone")
+        check_wall_clock(scan, report)
+        check_nondet_sources(scan, report)
+    check_snapshot_pairs(scans, report)
+
+    for v in report.violations:
+        print(v)
+    for rel, line, rule, reason in report.waived:
+        print(f"{rel}:{line}: [waiver {rule}] {reason}")
+    for notice in report.notices:
+        print(notice, file=sys.stderr)
+    engine = "ast+tokens" if cindex is not None else "tokens"
+    summary = ", ".join(f"{rule}={count}" for rule, count in
+                        sorted(report.rule_counts.items())) or "none"
+    print(f"determinism_check: engine={engine} files={len(scans)} "
+          f"violations={len(report.violations)} ({summary}) "
+          f"waivers={len(report.waived)}")
+    if report.violations:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
