@@ -1,0 +1,238 @@
+// Experiment E14 — session-daemon load test: N client threads × M
+// sessions each against one daemon instance. Reports end-to-end session
+// throughput, per-request latencies (create / status poll / evict), and
+// the daemon's scheduler step rate, then emits BENCH_daemon.json.
+//
+// Scale with VOLCANOML_BENCH_SCALE (multiplies the per-session budget)
+// and VOLCANOML_BENCH_CLIENTS / VOLCANOML_BENCH_SESSIONS.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "data/synthetic.h"
+#include "ipc/transport.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace volcanoml {
+namespace bench {
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  long value = std::atol(env);
+  return value > 0 ? static_cast<size_t>(value) : fallback;
+}
+
+std::string BlobsCsv() {
+  Dataset data = MakeBlobs(80, 5, 2, 1.2, 21);
+  std::ostringstream out;
+  out.precision(17);
+  for (size_t i = 0; i < data.NumSamples(); ++i) {
+    for (size_t j = 0; j < data.NumFeatures(); ++j) {
+      out << data.x()(i, j) << ',';
+    }
+    out << data.y()[i] << '\n';
+  }
+  return out.str();
+}
+
+/// Latencies one client thread collected, merged after the fan-in so the
+/// hot path never shares a vector across threads.
+struct ClientSamples {
+  std::vector<double> create_ms;
+  std::vector<double> poll_ms;
+  std::vector<double> evict_ms;
+  size_t failures = 0;
+};
+
+void Summarize(BenchJsonWriter* json, const std::string& label,
+               std::vector<double> samples) {
+  if (samples.empty()) return;
+  std::printf("| %-12s | %8.2f | %8.2f | %8.2f | %8.2f | %6zu |\n",
+              label.c_str(), Mean(samples), Quantile(samples, 0.5),
+              Quantile(samples, 0.95),
+              *std::max_element(samples.begin(), samples.end()),
+              samples.size());
+  json->Add(label + "_mean_ms", Mean(samples), "ms");
+  json->Add(label + "_p50_ms", Quantile(samples, 0.5), "ms");
+  json->Add(label + "_p95_ms", Quantile(samples, 0.95), "ms");
+  json->Add(label + "_max_ms",
+            *std::max_element(samples.begin(), samples.end()), "ms");
+}
+
+int Run() {
+  const size_t kClients = EnvSize("VOLCANOML_BENCH_CLIENTS", 4);
+  const size_t kSessions = EnvSize("VOLCANOML_BENCH_SESSIONS", 8);
+  const double budget = 6.0 * BenchScale();
+  const std::string socket = "/tmp/volcanoml_bench_daemon.sock";
+  const std::string csv = BlobsCsv();
+
+  std::printf("# E14 daemon load test: %zu clients x %zu sessions, "
+              "budget %.1f\n\n",
+              kClients, kSessions, budget);
+
+  DaemonOptions options;
+  options.socket_path = socket;
+  options.spool_dir = "/tmp";
+  options.max_resident = 6;  // Below the live session count: forces churn.
+  Daemon daemon(options);
+  ThreadPool serve_pool(1);
+  Status serve_status = Status::Ok();
+  std::future<void> served =
+      serve_pool.Submit([&] { serve_status = daemon.Serve(); });
+  {
+    DaemonClient probe(socket);
+    for (int i = 0; i < 1000; ++i) {
+      if (probe.ListSessions().ok()) break;
+      SleepMs(5);
+    }
+  }
+
+  const char* plans[] = {"joint", "cond(alg)+joint", "cond(alg)+alt(fe,hp)"};
+  std::vector<ClientSamples> samples(kClients);
+  Stopwatch wall;
+  {
+    ThreadPool clients(kClients);
+    clients.ParallelFor(kClients, [&](size_t client_index) {
+      DaemonClient client(socket);
+      ClientSamples& mine = samples[client_index];
+      std::vector<uint64_t> ids;
+      for (size_t s = 0; s < kSessions; ++s) {
+        CreateSessionRequest request;
+        request.tenant = "tenant-" + std::to_string(client_index);
+        request.csv = csv;
+        request.config.preset = 0;
+        request.config.plan = plans[(client_index + s) % 3];
+        request.config.optimizer = s % 2 == 0 ? "random" : "smac";
+        request.config.budget = budget;
+        request.config.seed = 31 + client_index * kSessions + s;
+        request.step_credit = kUnlimitedCredit;
+        Stopwatch create;
+        Result<uint64_t> created = client.CreateSession(request);
+        mine.create_ms.push_back(create.ElapsedMillis());
+        if (!created.ok()) {
+          ++mine.failures;
+          continue;
+        }
+        ids.push_back(created.value());
+      }
+      // One explicit mid-run evict per client: the restore cost shows up
+      // in the scheduler turn that picks the session back up.
+      if (!ids.empty()) {
+        Stopwatch evict;
+        if (!client.EvictSession(ids[0]).ok()) ++mine.failures;
+        mine.evict_ms.push_back(evict.ElapsedMillis());
+      }
+      for (uint64_t id : ids) {
+        while (true) {
+          QuerySessionRequest query;
+          query.session_id = id;
+          Stopwatch poll;
+          Result<QuerySessionReply> reply = client.QuerySession(query);
+          mine.poll_ms.push_back(poll.ElapsedMillis());
+          if (!reply.ok()) {
+            ++mine.failures;
+            break;
+          }
+          if (reply.value().status.state == SessionState::kFailed) {
+            ++mine.failures;
+            break;
+          }
+          if (reply.value().status.done) break;
+          SleepMs(10);
+        }
+      }
+    });
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  uint64_t total_steps = 0;
+  double total_budget = 0.0;
+  uint64_t total_evaluations = 0;
+  size_t done_sessions = 0;
+  size_t failures = 0;
+  for (const ClientSamples& s : samples) failures += s.failures;
+  DaemonClient client(socket);
+  Result<ListSessionsReply> listed = client.ListSessions();
+  if (listed.ok()) {
+    for (const SessionStatus& status : listed.value().sessions) {
+      total_steps += status.steps;
+      total_budget += status.consumed_budget;
+      total_evaluations += status.telemetry.num_evaluations;
+      if (status.done) ++done_sessions;
+    }
+  }
+  Result<uint64_t> open = client.Shutdown();
+  served.wait();
+
+  const size_t total_sessions = kClients * kSessions;
+  std::printf("| metric       |     mean |      p50 |      p95 |      max "
+              "|      n |\n");
+  std::printf("|--------------|----------|----------|----------|----------"
+              "|--------|\n");
+  BenchJsonWriter json("daemon");
+  json.Add("clients", static_cast<double>(kClients), "count");
+  json.Add("sessions", static_cast<double>(total_sessions), "count");
+  json.Add("budget_per_session", budget, "units");
+  std::vector<double> create_ms, poll_ms, evict_ms;
+  for (ClientSamples& s : samples) {
+    create_ms.insert(create_ms.end(), s.create_ms.begin(), s.create_ms.end());
+    poll_ms.insert(poll_ms.end(), s.poll_ms.begin(), s.poll_ms.end());
+    evict_ms.insert(evict_ms.end(), s.evict_ms.begin(), s.evict_ms.end());
+  }
+  Summarize(&json, "create", create_ms);
+  Summarize(&json, "poll", poll_ms);
+  Summarize(&json, "evict", evict_ms);
+
+  std::printf("\nsessions done:        %zu / %zu (failures: %zu)\n",
+              done_sessions, total_sessions, failures);
+  std::printf("wall time:            %.3f s\n", wall_seconds);
+  std::printf("session throughput:   %.2f sessions/s\n",
+              static_cast<double>(done_sessions) / wall_seconds);
+  std::printf("scheduler step rate:  %.1f steps/s (%llu steps)\n",
+              static_cast<double>(total_steps) / wall_seconds,
+              static_cast<unsigned long long>(total_steps));
+  std::printf("evaluation rate:      %.1f evals/s (%llu evaluations)\n",
+              static_cast<double>(total_evaluations) / wall_seconds,
+              static_cast<unsigned long long>(total_evaluations));
+  std::printf("budget consumed:      %.1f units\n", total_budget);
+  json.Add("sessions_done", static_cast<double>(done_sessions), "count");
+  json.Add("failures", static_cast<double>(failures), "count");
+  json.Add("wall_seconds", wall_seconds, "s");
+  json.Add("session_throughput",
+           static_cast<double>(done_sessions) / wall_seconds, "sessions/s");
+  json.Add("scheduler_step_rate",
+           static_cast<double>(total_steps) / wall_seconds, "steps/s");
+  json.Add("evaluation_rate",
+           static_cast<double>(total_evaluations) / wall_seconds, "evals/s");
+  if (!json.WriteFile()) return 1;
+
+  if (!serve_status.ok()) {
+    std::fprintf(stderr, "daemon serve failed: %s\n",
+                 serve_status.ToString().c_str());
+    return 1;
+  }
+  if (!open.ok() || failures != 0 || done_sessions != total_sessions) {
+    std::fprintf(stderr, "load test incomplete\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace volcanoml
+
+int main() { return volcanoml::bench::Run(); }

@@ -1,0 +1,117 @@
+#ifndef VOLCANOML_BENCH_BENCH_JSON_H_
+#define VOLCANOML_BENCH_BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace volcanoml {
+namespace bench {
+
+/// Machine-readable benchmark emitter. Every bench harness funnels its
+/// headline numbers through this writer so CI and EXPERIMENTS.md pull
+/// from the same artifact:
+///
+///   {
+///     "suite": "daemon",
+///     "metrics": [
+///       {"name": "throughput", "value": 12.5, "unit": "sessions/s"},
+///       ...
+///     ]
+///   }
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string suite) : suite_(std::move(suite)) {}
+
+  void Add(const std::string& name, double value, const std::string& unit) {
+    metrics_.push_back({name, value, unit});
+  }
+
+  /// Serializes the collected metrics. Stable field order, one metric
+  /// per line, non-finite values rendered as null (JSON has no NaN).
+  std::string ToJson() const {
+    std::string out = "{\n  \"suite\": " + Quote(suite_) +
+                      ",\n  \"metrics\": [";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      const Metric& m = metrics_[i];
+      out += "    {\"name\": " + Quote(m.name) + ", \"value\": " +
+             Number(m.value) + ", \"unit\": " + Quote(m.unit) + "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<suite>.json (or `path` when given) in the current
+  /// directory. Returns false (with a note on stderr) on I/O failure.
+  bool WriteFile(const std::string& path = "") const {
+    std::string target = path.empty() ? "BENCH_" + suite_ + ".json" : path;
+    std::FILE* f = std::fopen(target.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", target.c_str());
+      return false;
+    }
+    std::string json = ToJson();
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    bool ok = written == json.size() && std::fclose(f) == 0;
+    if (!ok) std::fprintf(stderr, "bench_json: short write to %s\n",
+                          target.c_str());
+    std::printf("wrote %s (%zu metrics)\n", target.c_str(), metrics_.size());
+    return ok;
+  }
+
+  size_t num_metrics() const { return metrics_.size(); }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string Number(double value) {
+    if (!std::isfinite(value)) return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+  }
+
+  std::string suite_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace bench
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_BENCH_BENCH_JSON_H_

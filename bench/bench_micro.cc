@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "bo/acquisition.h"
 #include "bo/smac.h"
 #include "bo/surrogate.h"
@@ -215,7 +216,39 @@ void BM_JointBlockPull(benchmark::State& state) {
 }
 BENCHMARK(BM_JointBlockPull);
 
+// Console output plus machine capture: every finished run's real time
+// also lands in BENCH_micro.json through the shared emitter, so the
+// micro numbers are diffable the same way the daemon bench's are.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(bench::BenchJsonWriter* json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      json_->Add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                 benchmark::GetTimeUnitString(run.time_unit));
+      if (run.counters.find("items_per_second") != run.counters.end()) {
+        json_->Add(run.benchmark_name() + "/items_per_second",
+                   run.counters.at("items_per_second"), "items/s");
+      }
+    }
+  }
+
+ private:
+  bench::BenchJsonWriter* json_;
+};
+
 }  // namespace
 }  // namespace volcanoml
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  volcanoml::bench::BenchJsonWriter json("micro");
+  volcanoml::JsonCapturingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return json.WriteFile() ? 0 : 1;
+}

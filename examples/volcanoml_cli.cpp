@@ -1,40 +1,33 @@
-// Command-line AutoML: run VolcanoML on a numeric CSV file.
+// Command-line AutoML: run VolcanoML on a numeric CSV file, either
+// in-process or against the multi-tenant session daemon.
 //
-//   volcanoml_cli <train.csv> [options]
+//   volcanoml_cli <train.csv> [options]       in-process search
+//   volcanoml_cli serve    --socket PATH      start the session daemon
+//   volcanoml_cli submit   <train.csv> --socket PATH [--wait]
+//   volcanoml_cli status   --socket PATH [--session ID]
+//   volcanoml_cli result   --socket PATH --session ID
+//   volcanoml_cli shutdown --socket PATH
 //
-//   --task cls|reg          task type               (default: cls)
-//   --preset small|medium|large                     (default: medium)
-//   --budget <n>            evaluations, or seconds with --seconds
-//   --seconds               budget is wall-clock seconds
-//   --plan <name>           joint|cond|default|alt aliases, or a canonical
-//                           plan name such as "cond(alg)+alt(fe,hp)"
-//   --optimizer smac|random|mfes|tpe                (default: smac)
-//   --explain               print the logical plan and exit
-//   --cv <k>                k-fold CV utility       (default: holdout)
-//   --smote                 enrich the space with the SMOTE balancer
-//   --seed <n>              RNG seed                (default: 1)
-//   --checkpoint <path>     snapshot file to write (and --stop-after target)
-//   --checkpoint-every <n>  write the snapshot every n steps (default: off)
-//   --stop-after <n>        stop after n steps, write the snapshot, exit
-//   --resume <path>         restore a snapshot before stepping
-//   --trajectory-out <path> write "budget utility" per step (%.17g)
-//   --predict <test.csv>    score a held-out CSV after the search
-//
-// Flags also accept the --flag=value spelling. A search killed after
-// --stop-after resumes bit-for-bit: run once with --trajectory-out, run
-// again with --stop-after k --checkpoint s, then --resume s; the two
-// trajectory files are byte-identical (deterministic budget mode).
+// Run with --help for the full flag reference (src/cli/args.h holds the
+// parse + validation layer). A daemon-driven session is bit-identical to
+// the same configuration run in-process: both paths build their options
+// through SessionConfigToOptions and write trajectories through
+// FormatTrajectory, so `submit` + `result --trajectory-out` and
+// `<train.csv> --trajectory-out` produce byte-identical files.
 //
 // CSV format: headerless, numeric, last column is the target (class ids
 // 0..k-1 for classification).
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "cli/args.h"
+#include "core/trajectory.h"
 #include "core/volcano_ml.h"
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "daemon/session.h"
 #include "data/csv.h"
 #include "ml/metrics.h"
 #include "util/rng.h"
@@ -42,20 +35,6 @@
 namespace {
 
 using namespace volcanoml;
-
-void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <train.csv> [--task cls|reg] [--preset "
-               "small|medium|large]\n"
-               "       [--budget N] [--seconds] [--plan NAME] [--optimizer "
-               "smac|random|mfes|tpe]\n"
-               "       [--explain] [--cv K] [--smote] [--seed N]\n"
-               "       [--checkpoint FILE] [--checkpoint-every N] "
-               "[--stop-after N]\n"
-               "       [--resume FILE] [--trajectory-out FILE] "
-               "[--predict test.csv]\n",
-               argv0);
-}
 
 bool ReadFile(const std::string& path, std::string* out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -80,128 +59,164 @@ bool WriteFile(const std::string& path, const std::string& contents) {
   return ok;
 }
 
-bool ParsePlanFlag(const std::string& value, PlanKind* out) {
-  // Short aliases kept from earlier CLI versions, then canonical names.
-  if (value == "joint") {
-    *out = PlanKind::kJoint;
-    return true;
+const char* StateName(SessionState state) {
+  switch (state) {
+    case SessionState::kResident:
+      return "resident";
+    case SessionState::kEvicted:
+      return "evicted";
+    case SessionState::kFailed:
+      return "failed";
   }
-  if (value == "cond") {
-    *out = PlanKind::kConditioningJoint;
-    return true;
-  }
-  if (value == "alt") {
-    *out = PlanKind::kAlternatingFeConditioning;
-    return true;
-  }
-  if (value == "default") {
-    *out = PlanKind::kConditioningAlternating;
-    return true;
-  }
-  Result<PlanKind> parsed = ParsePlanKind(value);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "--plan: %s\n", parsed.status().ToString().c_str());
-    return false;
-  }
-  *out = parsed.value();
-  return true;
+  return "?";
 }
 
-}  // namespace
+void PrintSessionStatus(const SessionStatus& status) {
+  std::printf(
+      "session %llu tenant %s state %s done %s steps %llu budget %.3f "
+      "utility %.4f credit %llu evaluations %llu\n",
+      static_cast<unsigned long long>(status.session_id),
+      status.tenant.c_str(), StateName(status.state),
+      status.done ? "yes" : "no",
+      static_cast<unsigned long long>(status.steps), status.consumed_budget,
+      status.best_utility,
+      static_cast<unsigned long long>(status.pending_credit),
+      static_cast<unsigned long long>(status.telemetry.num_evaluations));
+}
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    Usage(argv[0]);
-    return 2;
+int RunServe(const CliArgs& args) {
+  DaemonOptions options;
+  options.socket_path = args.socket_path;
+  options.spool_dir = args.spool_dir;
+  options.max_resident = args.max_resident;
+  Daemon daemon(options);
+  Status served = daemon.Serve();
+  if (!served.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", served.ToString().c_str());
+    return 1;
   }
-  std::string train_path = argv[1];
-  std::string predict_path;
-  std::string checkpoint_path;
-  std::string resume_path;
-  std::string trajectory_path;
-  size_t checkpoint_every = 0;
-  size_t stop_after = 0;
-  bool explain = false;
-  VolcanoMlOptions options;
-  options.space.preset = SpacePreset::kMedium;
-  options.budget = 100.0;
+  return 0;
+}
 
-  // Normalize "--flag=value" into "--flag value".
-  std::vector<std::string> args;
-  for (int i = 2; i < argc; ++i) {
-    std::string arg = argv[i];
-    size_t eq = arg.find('=');
-    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
-      args.push_back(arg.substr(0, eq));
-      args.push_back(arg.substr(eq + 1));
-    } else {
-      args.push_back(arg);
+int RunSubmit(const CliArgs& args) {
+  CreateSessionRequest request;
+  request.tenant = args.tenant;
+  request.dataset_name = "train";
+  if (!ReadFile(args.train_path, &request.csv)) {
+    std::fprintf(stderr, "failed to read %s\n", args.train_path.c_str());
+    return 1;
+  }
+  request.config = args.config;
+  request.step_credit = args.step_credit;
+  DaemonClient client(args.socket_path);
+  Result<uint64_t> session = client.CreateSession(request);
+  if (!session.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("session %llu\n",
+              static_cast<unsigned long long>(session.value()));
+  if (!args.wait) return 0;
+  Result<SessionStatus> done = client.WaitUntilDone(session.value());
+  if (!done.ok()) {
+    std::fprintf(stderr, "wait failed: %s\n",
+                 done.status().ToString().c_str());
+    return 1;
+  }
+  PrintSessionStatus(done.value());
+  return 0;
+}
+
+int RunStatus(const CliArgs& args) {
+  DaemonClient client(args.socket_path);
+  if (args.session_id != 0) {
+    QuerySessionRequest request;
+    request.session_id = args.session_id;
+    Result<QuerySessionReply> reply = client.QuerySession(request);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "status failed: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    PrintSessionStatus(reply.value().status);
+    return 0;
+  }
+  Result<ListSessionsReply> listed = client.ListSessions();
+  if (!listed.ok()) {
+    std::fprintf(stderr, "status failed: %s\n",
+                 listed.status().ToString().c_str());
+    return 1;
+  }
+  for (const SessionStatus& status : listed.value().sessions) {
+    PrintSessionStatus(status);
+  }
+  for (const TenantAccount& account : listed.value().tenants) {
+    std::printf("tenant %s sessions %llu steps %llu budget %.3f\n",
+                account.tenant.c_str(),
+                static_cast<unsigned long long>(account.sessions_created),
+                static_cast<unsigned long long>(account.steps_executed),
+                account.budget_consumed);
+  }
+  return 0;
+}
+
+int RunResult(const CliArgs& args) {
+  DaemonClient client(args.socket_path);
+  QuerySessionRequest request;
+  request.session_id = args.session_id;
+  request.include_trajectory = true;
+  request.include_assignment = true;
+  Result<QuerySessionReply> reply = client.QuerySession(request);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "result failed: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  if (!args.trajectory_path.empty()) {
+    if (!WriteFile(args.trajectory_path,
+                   FormatTrajectory(reply.value().trajectory))) {
+      std::fprintf(stderr, "failed to write trajectory %s\n",
+                   args.trajectory_path.c_str());
+      return 1;
     }
   }
-
-  for (size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= args.size()) {
-        Usage(argv[0]);
-        std::exit(2);
-      }
-      return args[++i].c_str();
-    };
-    if (arg == "--task") {
-      std::string task = next();
-      options.space.task = task == "reg" ? TaskType::kRegression
-                                         : TaskType::kClassification;
-    } else if (arg == "--preset") {
-      std::string preset = next();
-      options.space.preset = preset == "small"   ? SpacePreset::kSmall
-                             : preset == "large" ? SpacePreset::kLarge
-                                                 : SpacePreset::kMedium;
-    } else if (arg == "--budget") {
-      options.budget = std::atof(next());
-    } else if (arg == "--seconds") {
-      options.eval.budget_in_seconds = true;
-    } else if (arg == "--plan") {
-      if (!ParsePlanFlag(next(), &options.plan)) return 2;
-    } else if (arg == "--optimizer") {
-      std::string optimizer = next();
-      options.optimizer = optimizer == "random" ? JointOptimizerKind::kRandom
-                          : optimizer == "mfes" ? JointOptimizerKind::kMfesHb
-                          : optimizer == "tpe"  ? JointOptimizerKind::kTpe
-                                                : JointOptimizerKind::kSmac;
-    } else if (arg == "--explain") {
-      explain = true;
-    } else if (arg == "--cv") {
-      options.eval.cv_folds = static_cast<size_t>(std::atoi(next()));
-    } else if (arg == "--smote") {
-      options.space.include_smote = true;
-    } else if (arg == "--seed") {
-      options.seed = static_cast<uint64_t>(std::atoll(next()));
-    } else if (arg == "--checkpoint") {
-      checkpoint_path = next();
-    } else if (arg == "--checkpoint-every") {
-      checkpoint_every = static_cast<size_t>(std::atoll(next()));
-    } else if (arg == "--stop-after") {
-      stop_after = static_cast<size_t>(std::atoll(next()));
-    } else if (arg == "--resume") {
-      resume_path = next();
-    } else if (arg == "--trajectory-out") {
-      trajectory_path = next();
-    } else if (arg == "--predict") {
-      predict_path = next();
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      Usage(argv[0]);
-      return 2;
-    }
+  const SessionStatus& status = reply.value().status;
+  std::printf("evaluations: %llu\nvalidation utility: %.4f\n",
+              static_cast<unsigned long long>(
+                  status.telemetry.num_evaluations),
+              status.best_utility);
+  std::printf("best pipeline:\n");
+  for (const auto& [name, value] : reply.value().best_assignment) {
+    std::printf("  %s = %g\n", name.c_str(), value);
   }
-  if ((checkpoint_every > 0 || stop_after > 0) && checkpoint_path.empty()) {
-    std::fprintf(stderr,
-                 "--checkpoint-every/--stop-after require --checkpoint\n");
+  return 0;
+}
+
+int RunShutdown(const CliArgs& args) {
+  DaemonClient client(args.socket_path);
+  Result<uint64_t> open = client.Shutdown();
+  if (!open.ok()) {
+    std::fprintf(stderr, "shutdown failed: %s\n",
+                 open.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("daemon stopped with %llu session(s) open\n",
+              static_cast<unsigned long long>(open.value()));
+  return 0;
+}
+
+int RunLocal(const CliArgs& args) {
+  Result<VolcanoMlOptions> converted = SessionConfigToOptions(args.config);
+  if (!converted.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 converted.status().ToString().c_str());
     return 2;
   }
+  VolcanoMlOptions options = converted.value();
+  options.eval.budget_in_seconds = args.budget_in_seconds;
 
-  if (explain) {
+  if (args.explain) {
     // The logical plan is a pure function of the options — no data needed.
     SearchSpace space(options.space);
     Rng rng(options.seed);
@@ -213,9 +228,9 @@ int main(int argc, char** argv) {
   }
 
   Result<Dataset> train =
-      LoadCsvDataset(train_path, options.space.task, "train");
+      LoadCsvDataset(args.train_path, options.space.task, "train");
   if (!train.ok()) {
-    std::fprintf(stderr, "failed to load %s: %s\n", train_path.c_str(),
+    std::fprintf(stderr, "failed to load %s: %s\n", args.train_path.c_str(),
                  train.status().ToString().c_str());
     return 1;
   }
@@ -225,23 +240,21 @@ int main(int argc, char** argv) {
   VolcanoML automl(options);
   Status prepared = automl.Prepare(train.value());
   if (!prepared.ok()) {
-    std::fprintf(stderr, "prepare failed: %s\n",
-                 prepared.ToString().c_str());
+    std::fprintf(stderr, "prepare failed: %s\n", prepared.ToString().c_str());
     return 1;
   }
   PlanExecutor* executor = automl.executor();
 
-  if (!resume_path.empty()) {
+  if (!args.resume_path.empty()) {
     std::string snapshot;
-    if (!ReadFile(resume_path, &snapshot)) {
+    if (!ReadFile(args.resume_path, &snapshot)) {
       std::fprintf(stderr, "failed to read snapshot %s\n",
-                   resume_path.c_str());
+                   args.resume_path.c_str());
       return 1;
     }
     Status restored = executor->LoadSnapshot(snapshot);
     if (!restored.ok()) {
-      std::fprintf(stderr, "resume failed: %s\n",
-                   restored.ToString().c_str());
+      std::fprintf(stderr, "resume failed: %s\n", restored.ToString().c_str());
       return 1;
     }
     std::printf("resumed at step %zu (budget consumed: %.3f)\n",
@@ -253,41 +266,36 @@ int main(int argc, char** argv) {
   bool stopped_early = false;
   while (executor->Step()) {
     ++steps_this_run;
-    if (checkpoint_every > 0 && steps_this_run % checkpoint_every == 0) {
-      if (!WriteFile(checkpoint_path, executor->SaveSnapshot())) {
+    if (args.checkpoint_every > 0 &&
+        steps_this_run % args.checkpoint_every == 0) {
+      if (!WriteFile(args.checkpoint_path, executor->SaveSnapshot())) {
         std::fprintf(stderr, "failed to write checkpoint %s\n",
-                     checkpoint_path.c_str());
+                     args.checkpoint_path.c_str());
         return 1;
       }
     }
-    if (stop_after > 0 && steps_this_run >= stop_after) {
+    if (args.stop_after > 0 && steps_this_run >= args.stop_after) {
       stopped_early = true;
       break;
     }
   }
   if (stopped_early) {
-    if (!WriteFile(checkpoint_path, executor->SaveSnapshot())) {
+    if (!WriteFile(args.checkpoint_path, executor->SaveSnapshot())) {
       std::fprintf(stderr, "failed to write checkpoint %s\n",
-                   checkpoint_path.c_str());
+                   args.checkpoint_path.c_str());
       return 1;
     }
     std::printf("stopped after %zu steps; snapshot written to %s\n",
-                steps_this_run, checkpoint_path.c_str());
+                steps_this_run, args.checkpoint_path.c_str());
     return 0;
   }
 
   AutoMlResult result = automl.Finish();
-  if (!trajectory_path.empty()) {
-    std::string out;
-    char line[128];
-    for (const TrajectoryPoint& point : result.trajectory) {
-      std::snprintf(line, sizeof(line), "%.17g %.17g\n", point.budget,
-                    point.utility);
-      out += line;
-    }
-    if (!WriteFile(trajectory_path, out)) {
+  if (!args.trajectory_path.empty()) {
+    if (!WriteFile(args.trajectory_path,
+                   FormatTrajectory(result.trajectory))) {
       std::fprintf(stderr, "failed to write trajectory %s\n",
-                   trajectory_path.c_str());
+                   args.trajectory_path.c_str());
       return 1;
     }
   }
@@ -299,12 +307,12 @@ int main(int argc, char** argv) {
     std::printf("  %s = %g\n", name.c_str(), value);
   }
 
-  if (predict_path.empty()) return 0;
+  if (args.predict_path.empty()) return 0;
 
   Result<Dataset> test =
-      LoadCsvDataset(predict_path, options.space.task, "test");
+      LoadCsvDataset(args.predict_path, options.space.task, "test");
   if (!test.ok()) {
-    std::fprintf(stderr, "failed to load %s: %s\n", predict_path.c_str(),
+    std::fprintf(stderr, "failed to load %s: %s\n", args.predict_path.c_str(),
                  test.status().ToString().c_str());
     return 1;
   }
@@ -320,8 +328,38 @@ int main(int argc, char** argv) {
                 BalancedAccuracy(test.value().y(), pred,
                                  train.value().NumClasses()));
   } else {
-    std::printf("test MSE: %.4f\n",
-                MeanSquaredError(test.value().y(), pred));
+    std::printf("test MSE: %.4f\n", MeanSquaredError(test.value().y(), pred));
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<CliArgs> parsed = ParseCliArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n%s",
+                 parsed.status().message().c_str(),
+                 CliUsage(argv[0]).c_str());
+    return 2;
+  }
+  const CliArgs& args = parsed.value();
+  switch (args.command) {
+    case CliCommand::kHelp:
+      std::printf("%s", CliUsage(argv[0]).c_str());
+      return 0;
+    case CliCommand::kServe:
+      return RunServe(args);
+    case CliCommand::kSubmit:
+      return RunSubmit(args);
+    case CliCommand::kStatus:
+      return RunStatus(args);
+    case CliCommand::kResult:
+      return RunResult(args);
+    case CliCommand::kShutdown:
+      return RunShutdown(args);
+    case CliCommand::kRun:
+      return RunLocal(args);
+  }
+  return 2;
 }

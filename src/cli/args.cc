@@ -1,0 +1,356 @@
+#include "cli/args.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "core/plan_spec.h"
+
+namespace volcanoml {
+
+namespace {
+
+Result<uint64_t> ParseU64Flag(const std::string& flag,
+                              const std::string& value) {
+  if (value.empty()) {
+    return Status::InvalidArgument(flag + ": expected a number");
+  }
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size() || value[0] == '-') {
+    return Status::InvalidArgument(flag + ": '" + value +
+                                   "' is not a non-negative integer");
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+Result<double> ParseF64Flag(const std::string& flag,
+                            const std::string& value) {
+  if (value.empty()) {
+    return Status::InvalidArgument(flag + ": expected a number");
+  }
+  char* end = nullptr;
+  double parsed = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size()) {
+    return Status::InvalidArgument(flag + ": '" + value +
+                                   "' is not a number");
+  }
+  return parsed;
+}
+
+/// Short aliases kept from earlier CLI versions, then canonical names.
+Result<std::string> CanonicalPlanName(const std::string& value) {
+  if (value == "joint") return PlanKindName(PlanKind::kJoint);
+  if (value == "cond") return PlanKindName(PlanKind::kConditioningJoint);
+  if (value == "alt") return PlanKindName(PlanKind::kAlternatingFeConditioning);
+  if (value == "default") {
+    return PlanKindName(PlanKind::kConditioningAlternating);
+  }
+  Result<PlanKind> parsed = ParsePlanKind(value);
+  VOLCANOML_RETURN_IF_ERROR(parsed.status());
+  return PlanKindName(parsed.value());
+}
+
+Result<std::string> CanonicalOptimizerName(const std::string& value) {
+  if (value == "mfes") return JointOptimizerKindName(JointOptimizerKind::kMfesHb);
+  Result<JointOptimizerKind> parsed = ParseJointOptimizerKind(value);
+  VOLCANOML_RETURN_IF_ERROR(parsed.status());
+  return JointOptimizerKindName(parsed.value());
+}
+
+}  // namespace
+
+std::string CliUsage(const std::string& argv0) {
+  return "usage: " + argv0 +
+         " <train.csv> [options]            in-process search\n"
+         "       " +
+         argv0 +
+         " serve    --socket PATH [--spool DIR] [--max-resident N]\n"
+         "       " +
+         argv0 +
+         " submit   <train.csv> --socket PATH [--tenant T] [--credit N]\n"
+         "                [--wait] [search options]\n"
+         "       " +
+         argv0 +
+         " status   --socket PATH [--session ID]\n"
+         "       " +
+         argv0 +
+         " result   --socket PATH --session ID [--trajectory-out FILE]\n"
+         "       " +
+         argv0 +
+         " shutdown --socket PATH\n"
+         "\n"
+         "search options:\n"
+         "  --task cls|reg          task type               (default: cls)\n"
+         "  --preset small|medium|large                     (default: "
+         "medium)\n"
+         "  --budget <n>            evaluations, or seconds with --seconds\n"
+         "  --seconds               budget is wall-clock seconds (in-process "
+         "only)\n"
+         "  --plan <name>           joint|cond|default|alt aliases, or a\n"
+         "                          canonical name like "
+         "\"cond(alg)+alt(fe,hp)\"\n"
+         "  --optimizer smac|random|mfes|tpe                (default: smac)\n"
+         "  --explain               print the logical plan and exit\n"
+         "  --cv <k>                k-fold CV utility       (default: "
+         "holdout)\n"
+         "  --smote                 enrich the space with the SMOTE "
+         "balancer\n"
+         "  --batch <n>             evaluations per pull    (default: 1)\n"
+         "  --seed <n>              RNG seed                (default: 1)\n"
+         "\n"
+         "in-process options:\n"
+         "  --checkpoint <path>     snapshot file to write\n"
+         "  --checkpoint-every <n>  write the snapshot every n steps\n"
+         "  --stop-after <n>        stop after n steps, write snapshot, "
+         "exit\n"
+         "  --resume <path>         restore a snapshot before stepping\n"
+         "  --trajectory-out <path> write \"budget utility\" per step "
+         "(%.17g)\n"
+         "  --predict <test.csv>    score a held-out CSV after the search\n";
+}
+
+Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
+  CliArgs parsed;
+  int first = 1;
+  if (argc >= 2) {
+    std::string command = argv[1];
+    if (command == "serve") {
+      parsed.command = CliCommand::kServe;
+      first = 2;
+    } else if (command == "submit") {
+      parsed.command = CliCommand::kSubmit;
+      first = 2;
+    } else if (command == "status") {
+      parsed.command = CliCommand::kStatus;
+      first = 2;
+    } else if (command == "result") {
+      parsed.command = CliCommand::kResult;
+      first = 2;
+    } else if (command == "shutdown") {
+      parsed.command = CliCommand::kShutdown;
+      first = 2;
+    }
+  }
+
+  // Normalize "--flag=value" into "--flag value".
+  std::vector<std::string> args;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> positional;
+  bool have_session = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      parsed.command = CliCommand::kHelp;
+      return parsed;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument(arg + ": missing operand");
+      }
+      return args[++i];
+    };
+    // Every flag handler: fetch the operand, validate, store.
+    if (arg == "--task") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      if (value.value() == "cls") {
+        parsed.config.task = 0;
+      } else if (value.value() == "reg") {
+        parsed.config.task = 1;
+      } else {
+        return Status::InvalidArgument("--task: expected cls or reg, got '" +
+                                       value.value() + "'");
+      }
+    } else if (arg == "--preset") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      if (value.value() == "small") {
+        parsed.config.preset = 0;
+      } else if (value.value() == "medium") {
+        parsed.config.preset = 1;
+      } else if (value.value() == "large") {
+        parsed.config.preset = 2;
+      } else {
+        return Status::InvalidArgument(
+            "--preset: expected small, medium or large, got '" +
+            value.value() + "'");
+      }
+    } else if (arg == "--budget") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<double> budget = ParseF64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(budget.status());
+      if (!(budget.value() > 0.0) || !std::isfinite(budget.value())) {
+        return Status::InvalidArgument(
+            "--budget: must be positive and finite");
+      }
+      parsed.config.budget = budget.value();
+    } else if (arg == "--seconds") {
+      parsed.budget_in_seconds = true;
+    } else if (arg == "--plan") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<std::string> plan = CanonicalPlanName(value.value());
+      VOLCANOML_RETURN_IF_ERROR(plan.status());
+      parsed.config.plan = plan.value();
+    } else if (arg == "--optimizer") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<std::string> optimizer = CanonicalOptimizerName(value.value());
+      VOLCANOML_RETURN_IF_ERROR(optimizer.status());
+      parsed.config.optimizer = optimizer.value();
+    } else if (arg == "--explain") {
+      parsed.explain = true;
+    } else if (arg == "--cv") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> folds = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(folds.status());
+      if (folds.value() < 1) {
+        return Status::InvalidArgument("--cv: must be >= 1");
+      }
+      parsed.config.cv_folds = folds.value();
+    } else if (arg == "--smote") {
+      parsed.config.include_smote = true;
+    } else if (arg == "--batch") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> batch = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(batch.status());
+      if (batch.value() < 1) {
+        return Status::InvalidArgument("--batch: must be >= 1");
+      }
+      parsed.config.batch_size = batch.value();
+    } else if (arg == "--seed") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> seed = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(seed.status());
+      parsed.config.seed = seed.value();
+    } else if (arg == "--checkpoint") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      parsed.checkpoint_path = value.value();
+    } else if (arg == "--checkpoint-every") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> every = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(every.status());
+      parsed.checkpoint_every = static_cast<size_t>(every.value());
+    } else if (arg == "--stop-after") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> after = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(after.status());
+      parsed.stop_after = static_cast<size_t>(after.value());
+    } else if (arg == "--resume") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      parsed.resume_path = value.value();
+    } else if (arg == "--trajectory-out") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      parsed.trajectory_path = value.value();
+    } else if (arg == "--predict") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      parsed.predict_path = value.value();
+    } else if (arg == "--socket") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      parsed.socket_path = value.value();
+    } else if (arg == "--spool") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      parsed.spool_dir = value.value();
+    } else if (arg == "--max-resident") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> cap = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(cap.status());
+      if (cap.value() < 1) {
+        return Status::InvalidArgument("--max-resident: must be >= 1");
+      }
+      parsed.max_resident = static_cast<size_t>(cap.value());
+    } else if (arg == "--tenant") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      if (value.value().empty()) {
+        return Status::InvalidArgument("--tenant: must be non-empty");
+      }
+      parsed.tenant = value.value();
+    } else if (arg == "--credit") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> credit = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(credit.status());
+      parsed.step_credit = credit.value();
+    } else if (arg == "--session") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> id = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(id.status());
+      if (id.value() == 0) {
+        return Status::InvalidArgument("--session: ids start at 1");
+      }
+      parsed.session_id = id.value();
+      have_session = true;
+    } else if (arg == "--wait") {
+      parsed.wait = true;
+    } else {
+      return Status::InvalidArgument("unknown option: " + arg);
+    }
+  }
+
+  // Positional and per-command requirements.
+  bool needs_train = parsed.command == CliCommand::kRun ||
+                     parsed.command == CliCommand::kSubmit;
+  if (needs_train) {
+    if (positional.empty() && !(parsed.command == CliCommand::kRun &&
+                                parsed.explain)) {
+      return Status::InvalidArgument("missing <train.csv> operand");
+    }
+    if (!positional.empty()) parsed.train_path = positional[0];
+    if (positional.size() > 1) {
+      return Status::InvalidArgument("unexpected operand: " + positional[1]);
+    }
+  } else if (!positional.empty()) {
+    return Status::InvalidArgument("unexpected operand: " + positional[0]);
+  }
+  bool needs_socket = parsed.command != CliCommand::kRun;
+  if (needs_socket && parsed.socket_path.empty()) {
+    return Status::InvalidArgument("--socket is required");
+  }
+  if (parsed.command == CliCommand::kResult && !have_session) {
+    return Status::InvalidArgument("result: --session is required");
+  }
+  if (parsed.command == CliCommand::kRun &&
+      (parsed.checkpoint_every > 0 || parsed.stop_after > 0) &&
+      parsed.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "--checkpoint-every/--stop-after require --checkpoint");
+  }
+  if (parsed.command == CliCommand::kSubmit && parsed.budget_in_seconds) {
+    return Status::InvalidArgument(
+        "--seconds is in-process only (daemon sessions use deterministic "
+        "budgets)");
+  }
+  return parsed;
+}
+
+}  // namespace volcanoml

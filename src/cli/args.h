@@ -1,0 +1,72 @@
+#ifndef VOLCANOML_CLI_ARGS_H_
+#define VOLCANOML_CLI_ARGS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ipc/messages.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// What the CLI was asked to do.
+enum class CliCommand {
+  kRun,       ///< Legacy in-process search: volcanoml_cli <train.csv> [...]
+  kServe,     ///< Start the session daemon on --socket.
+  kSubmit,    ///< Submit a session to a running daemon.
+  kStatus,    ///< Show one session (--session) or list all.
+  kResult,    ///< Fetch a finished session's trajectory + incumbent.
+  kShutdown,  ///< Ask the daemon to exit.
+  kHelp,      ///< --help anywhere: print usage, exit 0.
+};
+
+/// Fully-validated CLI invocation. ParseCliArgs owns ALL argument
+/// validation — numeric flags are range-checked here (budget > 0,
+/// cv/batch >= 1, ...), so bad input surfaces as an InvalidArgument with
+/// a usage hint and a nonzero exit instead of tripping a
+/// VOLCANOML_CHECK abort deep in the engine.
+struct CliArgs {
+  CliCommand command = CliCommand::kRun;
+
+  /// Search configuration (kRun and kSubmit). Plan/optimizer aliases are
+  /// resolved to their canonical names at parse time, so this is exactly
+  /// what travels over the wire — the single source both the in-process
+  /// and the daemon path build their options from.
+  SessionConfig config;
+  /// kRun only: budget is wall-clock seconds (daemon sessions always use
+  /// deterministic evaluation-unit budgets).
+  bool budget_in_seconds = false;
+
+  std::string train_path;
+  bool explain = false;
+
+  // kRun extras (checkpoint/resume loop).
+  std::string predict_path;
+  std::string checkpoint_path;
+  std::string resume_path;
+  std::string trajectory_path;
+  size_t checkpoint_every = 0;
+  size_t stop_after = 0;
+
+  // Daemon-facing flags.
+  std::string socket_path;
+  std::string spool_dir = ".";
+  size_t max_resident = 8;
+  std::string tenant = "default";
+  uint64_t step_credit = kUnlimitedCredit;
+  uint64_t session_id = 0;  ///< Session ids start at 1; 0 = not given.
+  bool wait = false;        ///< kSubmit: block until the session is done.
+};
+
+/// Parses argv into a validated CliArgs. Accepts both "--flag value" and
+/// "--flag=value". Any error (unknown flag, missing operand, value out
+/// of range, missing required flag for the subcommand) is returned as
+/// InvalidArgument; nothing here prints or exits.
+[[nodiscard]] Result<CliArgs> ParseCliArgs(int argc, const char* const* argv);
+
+/// The full usage text (for --help and error messages).
+[[nodiscard]] std::string CliUsage(const std::string& argv0);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CLI_ARGS_H_

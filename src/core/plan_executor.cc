@@ -53,9 +53,14 @@ bool PlanExecutor::Step() {
         consumed_budget() / static_cast<double>(root_->NumPulls());
     k_more = remaining / std::max(mean_cost, 1e-6);
   }
+  double before = consumed_budget();
   root_->DoNext(k_more, options_.batch_size);
   trajectory_.push_back({consumed_budget(), root_->BestUtility()});
   ++num_steps_;
+  if (step_hook_) {
+    step_hook_({num_steps_, consumed_budget() - before, consumed_budget(),
+                root_->BestUtility()});
+  }
   return true;
 }
 

@@ -1,6 +1,7 @@
 #ifndef VOLCANOML_CORE_PLAN_EXECUTOR_H_
 #define VOLCANOML_CORE_PLAN_EXECUTOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,17 +9,25 @@
 #include "core/building_block.h"
 #include "core/plan_spec.h"
 #include "core/snapshot.h"
+#include "core/trajectory.h"
 #include "eval/evaluator.h"
 #include "util/status.h"
 #include "util/timer.h"
 
 namespace volcanoml {
 
-/// One point of a search trajectory: incumbent utility after spending
-/// `budget` evaluation units. Drives the time-budget figures (E2, E6).
-struct TrajectoryPoint {
-  double budget = 0.0;
-  double utility = 0.0;
+/// What one Step() accomplished — handed to the step hook so external
+/// drivers (the session daemon, checkpointing loops) can meter progress
+/// without polling the executor between pulls.
+struct StepEvent {
+  /// 1-based index of the completed step (equals num_steps()).
+  size_t step = 0;
+  /// Budget units (or seconds) the step consumed.
+  double budget_delta = 0.0;
+  /// Total budget consumed after the step.
+  double consumed_budget = 0.0;
+  /// Incumbent utility after the step.
+  double best_utility = 0.0;
 };
 
 /// Execution settings for one search run (the executor's slice of
@@ -72,6 +81,23 @@ class PlanExecutor {
   /// Steps until Done().
   void Run();
 
+  /// Registers a hook invoked after every successful Step() with that
+  /// step's StepEvent — the lifecycle seam external drivers (the session
+  /// daemon's scheduler, telemetry collectors) attach to. The hook must
+  /// not call back into the executor. Pass an empty function to clear.
+  /// Hooks are observation-only and never serialized into snapshots, so
+  /// hooked and hook-free runs stay bit-identical.
+  void set_step_hook(std::function<void(const StepEvent&)> hook) {
+    step_hook_ = std::move(hook);
+  }
+
+  /// Incumbent utility / assignment of the lowered plan — convenience
+  /// passthroughs so external drivers need not walk the block tree.
+  [[nodiscard]] double BestUtility() const { return root_->BestUtility(); }
+  [[nodiscard]] Assignment BestAssignment() const {
+    return root_->BestAssignment();
+  }
+
   /// Budget consumed so far (engine units, or seconds incl. resumed
   /// time).
   [[nodiscard]] double consumed_budget() const;
@@ -100,6 +126,7 @@ class PlanExecutor {
   /// Structural fingerprint of the lowered plan (PlanSpec::Explain),
   /// embedded in snapshots to reject resumes across different plans.
   std::string plan_fingerprint_;
+  std::function<void(const StepEvent&)> step_hook_;
   std::vector<TrajectoryPoint> trajectory_;
   size_t num_steps_ = 0;
   /// Seconds-budget bookkeeping: consumed seconds restored from a

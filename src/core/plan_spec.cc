@@ -177,7 +177,9 @@ Result<PlanKind> ParsePlanKind(const std::string& name) {
   std::string valid;
   for (PlanKind kind : AllPlanKinds()) {
     if (!valid.empty()) valid += ", ";
-    valid += "'" + PlanKindName(kind) + "'";
+    valid += '\'';
+    valid += PlanKindName(kind);
+    valid += '\'';
   }
   return Status::InvalidArgument("unknown plan kind '" + name +
                                  "'; expected one of " + valid);
@@ -195,6 +197,26 @@ std::string JointOptimizerKindName(JointOptimizerKind kind) {
       return "tpe";
   }
   return "?";
+}
+
+std::vector<JointOptimizerKind> AllJointOptimizerKinds() {
+  return {JointOptimizerKind::kSmac, JointOptimizerKind::kRandom,
+          JointOptimizerKind::kMfesHb, JointOptimizerKind::kTpe};
+}
+
+Result<JointOptimizerKind> ParseJointOptimizerKind(const std::string& name) {
+  for (JointOptimizerKind kind : AllJointOptimizerKinds()) {
+    if (JointOptimizerKindName(kind) == name) return kind;
+  }
+  std::string valid;
+  for (JointOptimizerKind kind : AllJointOptimizerKinds()) {
+    if (!valid.empty()) valid += ", ";
+    valid += '\'';
+    valid += JointOptimizerKindName(kind);
+    valid += '\'';
+  }
+  return Status::InvalidArgument("unknown optimizer '" + name +
+                                 "'; expected one of " + valid);
 }
 
 std::string PlanSpec::Explain() const {

@@ -49,6 +49,14 @@ std::string PlanKindName(PlanKind kind);
 /// Short identifier for a joint block's optimizer engine, e.g. "smac".
 std::string JointOptimizerKindName(JointOptimizerKind kind);
 
+/// All joint-optimizer kinds, in a stable order.
+std::vector<JointOptimizerKind> AllJointOptimizerKinds();
+
+/// Inverse of JointOptimizerKindName: parses the exact short identifier.
+/// Unknown names return InvalidArgument listing the valid spellings.
+[[nodiscard]] Result<JointOptimizerKind> ParseJointOptimizerKind(
+    const std::string& name);
+
 /// Kind of one node in a logical plan tree.
 enum class PlanNodeKind { kJoint, kConditioning, kAlternating };
 

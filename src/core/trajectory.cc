@@ -1,0 +1,18 @@
+#include "core/trajectory.h"
+
+#include <cstdio>
+
+namespace volcanoml {
+
+std::string FormatTrajectory(const std::vector<TrajectoryPoint>& trajectory) {
+  std::string out;
+  char line[128];
+  for (const TrajectoryPoint& point : trajectory) {
+    std::snprintf(line, sizeof(line), "%.17g %.17g\n", point.budget,
+                  point.utility);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace volcanoml

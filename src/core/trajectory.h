@@ -1,0 +1,28 @@
+#ifndef VOLCANOML_CORE_TRAJECTORY_H_
+#define VOLCANOML_CORE_TRAJECTORY_H_
+
+#include <string>
+#include <vector>
+
+namespace volcanoml {
+
+/// One point of a search trajectory: incumbent utility after spending
+/// `budget` evaluation units. Drives the time-budget figures (E2, E6)
+/// and the daemon's per-session progress reporting.
+struct TrajectoryPoint {
+  double budget = 0.0;
+  double utility = 0.0;
+};
+
+/// Renders a trajectory as one "budget utility" line per point with
+/// %.17g precision — enough digits that re-parsing reproduces the exact
+/// doubles. Both the in-process CLI run and the daemon-driven `result`
+/// subcommand emit through this single function, so the byte-equality
+/// smoke test (`cmp` of the two files) exercises the search itself, not
+/// two formatting code paths.
+[[nodiscard]] std::string FormatTrajectory(
+    const std::vector<TrajectoryPoint>& trajectory);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_CORE_TRAJECTORY_H_

@@ -1,0 +1,125 @@
+#include "daemon/client.h"
+
+#include <utility>
+
+#include "ipc/transport.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// One connection-per-request round trip: sends `request` as a frame of
+/// `request_type`, expects a frame of `reply_type` back (or kErrorReply,
+/// which is decoded into its carried Status).
+template <typename Reply, typename Request>
+Result<Reply> RoundTrip(const std::string& socket_path, int timeout_ms,
+                        MessageType request_type, const Request& request,
+                        MessageType reply_type) {
+  Result<FdHandle> conn = ConnectUnix(socket_path);
+  VOLCANOML_RETURN_IF_ERROR(conn.status());
+  VOLCANOML_RETURN_IF_ERROR(SendFrame(
+      conn.value(), static_cast<uint8_t>(request_type),
+      EncodeMessage(request)));
+  uint8_t type = 0;
+  std::string payload;
+  VOLCANOML_RETURN_IF_ERROR(
+      RecvFrame(conn.value(), &type, &payload, timeout_ms));
+  if (type == static_cast<uint8_t>(MessageType::kErrorReply)) {
+    Result<ErrorReply> error = DecodeMessage<ErrorReply>(payload);
+    VOLCANOML_RETURN_IF_ERROR(error.status());
+    return error.value().ToStatus();
+  }
+  if (type != static_cast<uint8_t>(reply_type)) {
+    return Status::Internal("unexpected reply type " + std::to_string(type) +
+                            " (wanted " +
+                            std::to_string(static_cast<uint8_t>(reply_type)) +
+                            ")");
+  }
+  return DecodeMessage<Reply>(payload);
+}
+
+}  // namespace
+
+DaemonClient::DaemonClient(std::string socket_path, int timeout_ms)
+    : socket_path_(std::move(socket_path)), timeout_ms_(timeout_ms) {}
+
+Result<uint64_t> DaemonClient::CreateSession(
+    const CreateSessionRequest& request) const {
+  Result<CreateSessionReply> reply = RoundTrip<CreateSessionReply>(
+      socket_path_, timeout_ms_, MessageType::kCreateSessionRequest, request,
+      MessageType::kCreateSessionReply);
+  VOLCANOML_RETURN_IF_ERROR(reply.status());
+  return reply.value().session_id;
+}
+
+Result<SessionStatus> DaemonClient::StepSession(uint64_t session_id,
+                                                uint64_t steps) const {
+  StepSessionRequest request;
+  request.session_id = session_id;
+  request.steps = steps;
+  Result<StepSessionReply> reply = RoundTrip<StepSessionReply>(
+      socket_path_, timeout_ms_, MessageType::kStepSessionRequest, request,
+      MessageType::kStepSessionReply);
+  VOLCANOML_RETURN_IF_ERROR(reply.status());
+  return reply.value().status;
+}
+
+Result<QuerySessionReply> DaemonClient::QuerySession(
+    const QuerySessionRequest& request) const {
+  return RoundTrip<QuerySessionReply>(
+      socket_path_, timeout_ms_, MessageType::kQuerySessionRequest, request,
+      MessageType::kQuerySessionReply);
+}
+
+Result<std::string> DaemonClient::SnapshotSession(uint64_t session_id) const {
+  SnapshotSessionRequest request;
+  request.session_id = session_id;
+  Result<SnapshotSessionReply> reply = RoundTrip<SnapshotSessionReply>(
+      socket_path_, timeout_ms_, MessageType::kSnapshotSessionRequest, request,
+      MessageType::kSnapshotSessionReply);
+  VOLCANOML_RETURN_IF_ERROR(reply.status());
+  return std::move(reply.value().snapshot);
+}
+
+Result<bool> DaemonClient::EvictSession(uint64_t session_id) const {
+  EvictSessionRequest request;
+  request.session_id = session_id;
+  Result<EvictSessionReply> reply = RoundTrip<EvictSessionReply>(
+      socket_path_, timeout_ms_, MessageType::kEvictSessionRequest, request,
+      MessageType::kEvictSessionReply);
+  VOLCANOML_RETURN_IF_ERROR(reply.status());
+  return reply.value().evicted;
+}
+
+Result<ListSessionsReply> DaemonClient::ListSessions() const {
+  return RoundTrip<ListSessionsReply>(
+      socket_path_, timeout_ms_, MessageType::kListSessionsRequest,
+      ListSessionsRequest{}, MessageType::kListSessionsReply);
+}
+
+Result<uint64_t> DaemonClient::Shutdown() const {
+  Result<ShutdownReply> reply = RoundTrip<ShutdownReply>(
+      socket_path_, timeout_ms_, MessageType::kShutdownRequest,
+      ShutdownRequest{}, MessageType::kShutdownReply);
+  VOLCANOML_RETURN_IF_ERROR(reply.status());
+  return reply.value().sessions_open;
+}
+
+Result<SessionStatus> DaemonClient::WaitUntilDone(uint64_t session_id,
+                                                  int poll_ms) const {
+  for (;;) {
+    QuerySessionRequest request;
+    request.session_id = session_id;
+    Result<QuerySessionReply> reply = QuerySession(request);
+    VOLCANOML_RETURN_IF_ERROR(reply.status());
+    const SessionStatus& status = reply.value().status;
+    if (status.state == SessionState::kFailed) {
+      return Status::Internal("session " + std::to_string(session_id) +
+                              " failed");
+    }
+    if (status.done) return status;
+    SleepMs(poll_ms);
+  }
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,56 @@
+#ifndef VOLCANOML_DAEMON_CLIENT_H_
+#define VOLCANOML_DAEMON_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ipc/messages.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// Thin synchronous client for the session daemon. Each call is one
+/// connection-per-request round trip: connect, send one frame, read one
+/// reply, close. The client holds no connection state, so one instance
+/// may be shared across threads (each call opens its own socket).
+class DaemonClient {
+ public:
+  /// `timeout_ms` bounds each receive; a daemon that takes longer to
+  /// answer (e.g. restoring a large evicted session) fails the call, it
+  /// does not wedge the client.
+  explicit DaemonClient(std::string socket_path, int timeout_ms = 30000);
+
+  [[nodiscard]] Result<uint64_t> CreateSession(
+      const CreateSessionRequest& request) const;
+
+  /// Grants `steps` more scheduler turns; returns current status.
+  [[nodiscard]] Result<SessionStatus> StepSession(uint64_t session_id,
+                                                  uint64_t steps) const;
+
+  [[nodiscard]] Result<QuerySessionReply> QuerySession(
+      const QuerySessionRequest& request) const;
+
+  [[nodiscard]] Result<std::string> SnapshotSession(uint64_t session_id) const;
+
+  [[nodiscard]] Result<bool> EvictSession(uint64_t session_id) const;
+
+  [[nodiscard]] Result<ListSessionsReply> ListSessions() const;
+
+  /// Returns the number of sessions still open at shutdown.
+  [[nodiscard]] Result<uint64_t> Shutdown() const;
+
+  /// Polls the session status every `poll_ms` until it is done or
+  /// failed; returns the final status (or the failure as an error).
+  [[nodiscard]] Result<SessionStatus> WaitUntilDone(uint64_t session_id,
+                                                    int poll_ms = 20) const;
+
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  std::string socket_path_;
+  int timeout_ms_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DAEMON_CLIENT_H_

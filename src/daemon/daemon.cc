@@ -1,0 +1,332 @@
+#include "daemon/daemon.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "ipc/messages.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace volcanoml {
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {}
+
+Status Daemon::Serve() {
+  Result<UnixListener> listener = UnixListener::Bind(options_.socket_path);
+  VOLCANOML_RETURN_IF_ERROR(listener.status());
+  VOLCANOML_LOG(Info) << "daemon serving on " << options_.socket_path;
+  while (!StopRequested()) {
+    // Poll without blocking while sessions have work; otherwise sleep in
+    // the listener so an idle daemon costs ~0 CPU.
+    int timeout_ms = scheduler_.HasRunnable() ? 0 : options_.idle_poll_ms;
+    Result<bool> readable = listener.value().WaitReadable(timeout_ms);
+    VOLCANOML_RETURN_IF_ERROR(readable.status());
+    if (readable.value()) {
+      Result<FdHandle> conn = listener.value().Accept();
+      if (conn.ok()) {
+        HandleConnection(conn.value());
+      } else {
+        VOLCANOML_LOG(Warning) << "accept failed: " << conn.status().message();
+      }
+    }
+    RunOneTurn();
+  }
+  VOLCANOML_LOG(Info) << "daemon stopping with " << sessions_.size()
+                      << " session(s) registered";
+  return Status::Ok();
+}
+
+void Daemon::RequestStop() {
+  MutexLock lock(mu_);
+  stop_ = true;
+}
+
+bool Daemon::StopRequested() {
+  MutexLock lock(mu_);
+  return stop_ || shutdown_requested_;
+}
+
+void Daemon::HandleConnection(const FdHandle& conn) {
+  uint8_t type = 0;
+  std::string payload;
+  Status received =
+      RecvFrame(conn, &type, &payload, options_.request_timeout_ms);
+  if (!received.ok()) {
+    VOLCANOML_LOG(Warning) << "dropping request: " << received.message();
+    return;
+  }
+  uint8_t reply_type = 0;
+  std::string reply;
+  Status handled = Dispatch(type, payload, &reply_type, &reply);
+  if (!handled.ok()) {
+    reply_type = static_cast<uint8_t>(MessageType::kErrorReply);
+    reply = EncodeMessage(ErrorReply::FromStatus(handled));
+  }
+  Status sent = SendFrame(conn, reply_type, reply);
+  if (!sent.ok()) {
+    VOLCANOML_LOG(Warning) << "dropping reply: " << sent.message();
+  }
+}
+
+Status Daemon::Dispatch(uint8_t type, const std::string& payload,
+                        uint8_t* reply_type, std::string* reply) {
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kCreateSessionRequest:
+      *reply_type = static_cast<uint8_t>(MessageType::kCreateSessionReply);
+      return HandleCreate(payload, reply);
+    case MessageType::kStepSessionRequest:
+      *reply_type = static_cast<uint8_t>(MessageType::kStepSessionReply);
+      return HandleStep(payload, reply);
+    case MessageType::kQuerySessionRequest:
+      *reply_type = static_cast<uint8_t>(MessageType::kQuerySessionReply);
+      return HandleQuery(payload, reply);
+    case MessageType::kSnapshotSessionRequest:
+      *reply_type = static_cast<uint8_t>(MessageType::kSnapshotSessionReply);
+      return HandleSnapshot(payload, reply);
+    case MessageType::kEvictSessionRequest:
+      *reply_type = static_cast<uint8_t>(MessageType::kEvictSessionReply);
+      return HandleEvict(payload, reply);
+    case MessageType::kListSessionsRequest:
+      *reply_type = static_cast<uint8_t>(MessageType::kListSessionsReply);
+      return HandleList(payload, reply);
+    case MessageType::kShutdownRequest:
+      *reply_type = static_cast<uint8_t>(MessageType::kShutdownReply);
+      return HandleShutdown(payload, reply);
+    default:
+      return Status::InvalidArgument("unknown request type " +
+                                     std::to_string(type));
+  }
+}
+
+Status Daemon::HandleCreate(const std::string& payload, std::string* reply) {
+  Result<CreateSessionRequest> request =
+      DecodeMessage<CreateSessionRequest>(payload);
+  VOLCANOML_RETURN_IF_ERROR(request.status());
+  if (request.value().tenant.empty()) {
+    return Status::InvalidArgument("tenant must be non-empty");
+  }
+  uint64_t id = next_session_id_;
+  // Namespaced by the socket name so daemons sharing a spool directory
+  // (tests, several daemons on one host) never collide.
+  size_t slash = options_.socket_path.find_last_of('/');
+  std::string socket_name = slash == std::string::npos
+                                ? options_.socket_path
+                                : options_.socket_path.substr(slash + 1);
+  std::string spool_path = options_.spool_dir + "/" + socket_name +
+                           ".session-" + std::to_string(id) + ".snapshot";
+  DaemonSession::Spec spec;
+  spec.tenant = request.value().tenant;
+  spec.dataset_name = request.value().dataset_name;
+  spec.csv = std::move(request.value().csv);
+  spec.config = request.value().config;
+  auto session = std::make_unique<DaemonSession>(id, std::move(spec),
+                                                 std::move(spool_path));
+  // A session that cannot even build is rejected outright rather than
+  // registered as a permanently-failed zombie.
+  VOLCANOML_RETURN_IF_ERROR(session->Activate());
+  ++next_session_id_;
+  Touch(session.get());
+  scheduler_.AdmitSession(session->tenant(), id, request.value().step_credit);
+  sessions_[id] = std::move(session);
+  EnforceResidencyCap(id);
+  CreateSessionReply created;
+  created.session_id = id;
+  *reply = EncodeMessage(created);
+  return Status::Ok();
+}
+
+Status Daemon::HandleStep(const std::string& payload, std::string* reply) {
+  Result<StepSessionRequest> request =
+      DecodeMessage<StepSessionRequest>(payload);
+  VOLCANOML_RETURN_IF_ERROR(request.status());
+  Result<DaemonSession*> session = FindSession(request.value().session_id);
+  VOLCANOML_RETURN_IF_ERROR(session.status());
+  // Credit for a finished or failed session would spin the scheduler on
+  // no-op turns; grant only to live sessions.
+  if (!session.value()->done() && !session.value()->failed()) {
+    scheduler_.GrantCredit(session.value()->tenant(),
+                           session.value()->id(), request.value().steps);
+  }
+  StepSessionReply stepped;
+  stepped.status = StatusOf(*session.value());
+  *reply = EncodeMessage(stepped);
+  return Status::Ok();
+}
+
+Status Daemon::HandleQuery(const std::string& payload, std::string* reply) {
+  Result<QuerySessionRequest> request =
+      DecodeMessage<QuerySessionRequest>(payload);
+  VOLCANOML_RETURN_IF_ERROR(request.status());
+  Result<DaemonSession*> session = FindSession(request.value().session_id);
+  VOLCANOML_RETURN_IF_ERROR(session.status());
+  QuerySessionReply queried;
+  if (request.value().include_trajectory) {
+    Result<std::vector<TrajectoryPoint>> trajectory =
+        session.value()->Trajectory();
+    VOLCANOML_RETURN_IF_ERROR(trajectory.status());
+    queried.trajectory = std::move(trajectory.value());
+  }
+  if (request.value().include_assignment) {
+    Result<Assignment> assignment = session.value()->BestAssignment();
+    VOLCANOML_RETURN_IF_ERROR(assignment.status());
+    queried.best_assignment = std::move(assignment.value());
+  }
+  if (request.value().include_trajectory ||
+      request.value().include_assignment) {
+    // The payload reads restored an evicted executor: that counts as a
+    // touch, and may push another session over the residency cap.
+    Touch(session.value());
+    EnforceResidencyCap(session.value()->id());
+  }
+  queried.status = StatusOf(*session.value());
+  *reply = EncodeMessage(queried);
+  return Status::Ok();
+}
+
+Status Daemon::HandleSnapshot(const std::string& payload, std::string* reply) {
+  Result<SnapshotSessionRequest> request =
+      DecodeMessage<SnapshotSessionRequest>(payload);
+  VOLCANOML_RETURN_IF_ERROR(request.status());
+  Result<DaemonSession*> session = FindSession(request.value().session_id);
+  VOLCANOML_RETURN_IF_ERROR(session.status());
+  Result<std::string> snapshot = session.value()->Snapshot();
+  VOLCANOML_RETURN_IF_ERROR(snapshot.status());
+  Touch(session.value());
+  EnforceResidencyCap(session.value()->id());
+  SnapshotSessionReply snapshotted;
+  snapshotted.snapshot = std::move(snapshot.value());
+  *reply = EncodeMessage(snapshotted);
+  return Status::Ok();
+}
+
+Status Daemon::HandleEvict(const std::string& payload, std::string* reply) {
+  Result<EvictSessionRequest> request =
+      DecodeMessage<EvictSessionRequest>(payload);
+  VOLCANOML_RETURN_IF_ERROR(request.status());
+  Result<DaemonSession*> session = FindSession(request.value().session_id);
+  VOLCANOML_RETURN_IF_ERROR(session.status());
+  Result<bool> evicted = session.value()->Evict();
+  VOLCANOML_RETURN_IF_ERROR(evicted.status());
+  EvictSessionReply reply_message;
+  reply_message.evicted = evicted.value();
+  *reply = EncodeMessage(reply_message);
+  return Status::Ok();
+}
+
+Status Daemon::HandleList(const std::string& payload, std::string* reply) {
+  Result<ListSessionsRequest> request =
+      DecodeMessage<ListSessionsRequest>(payload);
+  VOLCANOML_RETURN_IF_ERROR(request.status());
+  ListSessionsReply listed;
+  for (const auto& [id, session] : sessions_) {
+    listed.sessions.push_back(StatusOf(*session));
+  }
+  listed.tenants = scheduler_.Accounts();
+  *reply = EncodeMessage(listed);
+  return Status::Ok();
+}
+
+Status Daemon::HandleShutdown(const std::string& payload, std::string* reply) {
+  Result<ShutdownRequest> request = DecodeMessage<ShutdownRequest>(payload);
+  VOLCANOML_RETURN_IF_ERROR(request.status());
+  shutdown_requested_ = true;
+  ShutdownReply stopped;
+  stopped.sessions_open = sessions_.size();
+  *reply = EncodeMessage(stopped);
+  return Status::Ok();
+}
+
+void Daemon::RunOneTurn() {
+  FairShareScheduler::Turn turn;
+  if (!scheduler_.NextTurn(&turn)) return;
+  auto it = sessions_.find(turn.session_id);
+  VOLCANOML_CHECK(it != sessions_.end());
+  DaemonSession* session = it->second.get();
+  Status resident = session->EnsureResident();
+  if (!resident.ok()) {
+    VOLCANOML_LOG(Warning) << "session " << session->id()
+                           << " failed to restore: " << resident.message();
+    scheduler_.RemoveSession(turn.tenant, turn.session_id);
+    return;
+  }
+  Touch(session);
+  EnforceResidencyCap(session->id());
+  Result<DaemonSession::StepOutcome> outcome = session->Step();
+  if (!outcome.ok()) {
+    VOLCANOML_LOG(Warning) << "session " << session->id()
+                           << " failed to step: " << outcome.status().message();
+    scheduler_.RemoveSession(turn.tenant, turn.session_id);
+    return;
+  }
+  if (outcome.value().progressed) {
+    scheduler_.RecordStep(turn.tenant, outcome.value().event.budget_delta);
+  }
+  if (session->done()) {
+    scheduler_.RemoveSession(turn.tenant, turn.session_id);
+  }
+}
+
+Result<DaemonSession*> Daemon::FindSession(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session with id " +
+                            std::to_string(session_id));
+  }
+  return it->second.get();
+}
+
+void Daemon::Touch(DaemonSession* session) {
+  session->set_last_touch(++touch_clock_);
+}
+
+void Daemon::EnforceResidencyCap(uint64_t keep_resident) {
+  size_t resident = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session->resident()) ++resident;
+  }
+  if (resident <= options_.max_resident) return;
+  // Eviction candidates ordered: idle (credit-free) before runnable, then
+  // least-recently-touched first. Logical touch ticks are unique, so the
+  // order — and thus the whole eviction sequence — is deterministic.
+  struct Candidate {
+    bool runnable;
+    uint64_t last_touch;
+    uint64_t id;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [id, session] : sessions_) {
+    if (!session->resident() || id == keep_resident) continue;
+    candidates.push_back(
+        {scheduler_.pending_credit(id) > 0, session->last_touch(), id});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.runnable != b.runnable) return !a.runnable;
+              return a.last_touch < b.last_touch;
+            });
+  for (const Candidate& candidate : candidates) {
+    if (resident <= options_.max_resident) break;
+    Result<bool> evicted = sessions_[candidate.id]->Evict();
+    if (!evicted.ok()) {
+      VOLCANOML_LOG(Warning)
+          << "session " << candidate.id
+          << " failed to evict: " << evicted.status().message();
+      scheduler_.RemoveSession(sessions_[candidate.id]->tenant(),
+                               candidate.id);
+      // A failed eviction still released the executor (the session
+      // latched the error), so it no longer counts as resident.
+      --resident;
+      continue;
+    }
+    if (evicted.value()) --resident;
+  }
+}
+
+SessionStatus Daemon::StatusOf(const DaemonSession& session) {
+  SessionStatus status = session.status();
+  status.pending_credit = scheduler_.pending_credit(session.id());
+  return status;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,127 @@
+#ifndef VOLCANOML_DAEMON_DAEMON_H_
+#define VOLCANOML_DAEMON_DAEMON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "daemon/scheduler.h"
+#include "daemon/session.h"
+#include "ipc/transport.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace volcanoml {
+
+/// Settings of one daemon process.
+struct DaemonOptions {
+  /// Unix-domain socket to serve on.
+  std::string socket_path;
+  /// Directory for evicted-session snapshots (must exist).
+  std::string spool_dir = ".";
+  /// Resident-executor cap: when exceeded, least-recently-touched idle
+  /// sessions are auto-evicted to the spool.
+  size_t max_resident = 8;
+  /// Listener poll granularity when no session is runnable.
+  int idle_poll_ms = 20;
+  /// Per-chunk receive timeout for client frames.
+  int request_timeout_ms = 5000;
+};
+
+/// The multi-tenant AutoML session daemon: owns the session registry and
+/// drives every search from one single-threaded serve loop.
+///
+/// The loop interleaves two duties, one unit of each per iteration:
+///   1. accept + answer one client request (connection-per-request:
+///      a client connects, sends one frame, reads one reply);
+///   2. run one scheduler turn — step the session the fair-share
+///      round-robin picks next.
+///
+/// Single-threading is what makes the daemon deterministic: requests and
+/// steps form one serialized sequence, so no interleaving can perturb a
+/// session's trajectory. Sessions are fully independent (each owns its
+/// evaluator and executor), so a daemon-driven session is bit-identical
+/// to the same config stepped in-process, regardless of what other
+/// tenants do. Only RequestStop() may be called from other threads.
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket and serves until a Shutdown request or
+  /// RequestStop(). Returns the bind error if the socket cannot be
+  /// created. The socket file is removed on return.
+  [[nodiscard]] Status Serve();
+
+  /// Asks the serve loop to exit after the current iteration.
+  /// Thread-safe (the only entry point that is).
+  void RequestStop();
+
+  /// Number of registered sessions (test hook; serve-loop thread only).
+  [[nodiscard]] size_t num_sessions() const { return sessions_.size(); }
+
+ private:
+  [[nodiscard]] bool StopRequested() VOLCANOML_EXCLUDES(mu_);
+
+  /// Receives one frame from `conn`, dispatches it, sends the reply.
+  /// Transport errors are logged, never fatal to the daemon.
+  void HandleConnection(const FdHandle& conn);
+
+  /// Routes a decoded request to its handler. On error the caller sends
+  /// an ErrorReply instead of `reply_type`.
+  [[nodiscard]] Status Dispatch(uint8_t type, const std::string& payload,
+                                uint8_t* reply_type, std::string* reply);
+
+  [[nodiscard]] Status HandleCreate(const std::string& payload,
+                                    std::string* reply);
+  [[nodiscard]] Status HandleStep(const std::string& payload,
+                                  std::string* reply);
+  [[nodiscard]] Status HandleQuery(const std::string& payload,
+                                   std::string* reply);
+  [[nodiscard]] Status HandleSnapshot(const std::string& payload,
+                                      std::string* reply);
+  [[nodiscard]] Status HandleEvict(const std::string& payload,
+                                   std::string* reply);
+  [[nodiscard]] Status HandleList(const std::string& payload,
+                                  std::string* reply);
+  [[nodiscard]] Status HandleShutdown(const std::string& payload,
+                                      std::string* reply);
+
+  /// Runs one fair-share scheduler turn (restore if evicted, step,
+  /// account). No-op when nothing is runnable.
+  void RunOneTurn();
+
+  /// Looks up a session or returns NotFound.
+  [[nodiscard]] Result<DaemonSession*> FindSession(uint64_t session_id);
+
+  /// Bumps the session's logical LRU clock.
+  void Touch(DaemonSession* session);
+
+  /// Evicts least-recently-touched sessions (sparing `keep_resident`)
+  /// until at most max_resident executors are in memory. Sessions with
+  /// pending credit are evicted only after all idle ones.
+  void EnforceResidencyCap(uint64_t keep_resident);
+
+  /// The session's wire status with scheduler-owned fields filled in.
+  [[nodiscard]] SessionStatus StatusOf(const DaemonSession& session);
+
+  const DaemonOptions options_;
+  /// Registry, ordered by session id (ListSessions iterates it).
+  std::map<uint64_t, std::unique_ptr<DaemonSession>> sessions_;
+  FairShareScheduler scheduler_;
+  uint64_t next_session_id_ = 1;
+  /// Logical clock driving LRU eviction; bumped on every touch.
+  uint64_t touch_clock_ = 0;
+  bool shutdown_requested_ = false;
+
+  Mutex mu_;
+  bool stop_ VOLCANOML_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DAEMON_DAEMON_H_

@@ -1,0 +1,100 @@
+#include "daemon/scheduler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  if (a == kUnlimitedCredit || b == kUnlimitedCredit) return kUnlimitedCredit;
+  uint64_t sum = a + b;
+  return sum < a ? kUnlimitedCredit : sum;
+}
+
+}  // namespace
+
+void FairShareScheduler::AdmitSession(const std::string& tenant,
+                                      uint64_t session_id, uint64_t credit) {
+  TenantState& state = tenants_[tenant];
+  ++state.sessions_created;
+  VOLCANOML_CHECK(credit_.find(session_id) == credit_.end());
+  credit_[session_id] = credit;
+  if (credit > 0) state.queue.push_back(session_id);
+}
+
+void FairShareScheduler::GrantCredit(const std::string& tenant,
+                                     uint64_t session_id, uint64_t steps) {
+  auto credit = credit_.find(session_id);
+  VOLCANOML_CHECK(credit != credit_.end());
+  if (steps == 0) return;
+  bool was_idle = credit->second == 0;
+  credit->second = SaturatingAdd(credit->second, steps);
+  if (was_idle) tenants_[tenant].queue.push_back(session_id);
+}
+
+void FairShareScheduler::RemoveSession(const std::string& tenant,
+                                       uint64_t session_id) {
+  credit_.erase(session_id);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  std::deque<uint64_t>& queue = it->second.queue;
+  queue.erase(std::remove(queue.begin(), queue.end(), session_id),
+              queue.end());
+}
+
+bool FairShareScheduler::HasRunnable() const {
+  for (const auto& [tenant, state] : tenants_) {
+    if (!state.queue.empty()) return true;
+  }
+  return false;
+}
+
+bool FairShareScheduler::NextTurn(Turn* turn) {
+  if (tenants_.empty()) return false;
+  auto it = tenants_.upper_bound(cursor_);
+  for (size_t i = 0; i < tenants_.size(); ++i, ++it) {
+    if (it == tenants_.end()) it = tenants_.begin();
+    if (it->second.queue.empty()) continue;
+    uint64_t session_id = it->second.queue.front();
+    it->second.queue.pop_front();
+    auto credit = credit_.find(session_id);
+    VOLCANOML_CHECK(credit != credit_.end() && credit->second > 0);
+    if (credit->second != kUnlimitedCredit) --credit->second;
+    if (credit->second > 0) it->second.queue.push_back(session_id);
+    cursor_ = it->first;
+    turn->tenant = it->first;
+    turn->session_id = session_id;
+    return true;
+  }
+  return false;
+}
+
+void FairShareScheduler::RecordStep(const std::string& tenant,
+                                    double budget_delta) {
+  TenantState& state = tenants_[tenant];
+  ++state.steps_executed;
+  state.budget_consumed += budget_delta;
+}
+
+uint64_t FairShareScheduler::pending_credit(uint64_t session_id) const {
+  auto credit = credit_.find(session_id);
+  return credit == credit_.end() ? 0 : credit->second;
+}
+
+std::vector<TenantAccount> FairShareScheduler::Accounts() const {
+  std::vector<TenantAccount> accounts;
+  for (const auto& [tenant, state] : tenants_) {
+    TenantAccount account;
+    account.tenant = tenant;
+    account.sessions_created = state.sessions_created;
+    account.steps_executed = state.steps_executed;
+    account.budget_consumed = state.budget_consumed;
+    accounts.push_back(account);
+  }
+  return accounts;
+}
+
+}  // namespace volcanoml

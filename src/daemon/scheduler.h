@@ -1,0 +1,88 @@
+#ifndef VOLCANOML_DAEMON_SCHEDULER_H_
+#define VOLCANOML_DAEMON_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ipc/messages.h"
+
+namespace volcanoml {
+
+/// Deterministic fair-share scheduler for daemon sessions.
+///
+/// Fairness invariant: turns round-robin over tenants in sorted tenant-
+/// name order, and FIFO over each tenant's runnable sessions — so a
+/// tenant with 10 runnable sessions gets the same share of turns as a
+/// tenant with 1, and the turn sequence is a pure function of the
+/// admit/grant/remove call sequence (no clocks, no randomness).
+///
+/// A session is runnable while it has step credit. Credit is granted in
+/// whole steps by StepSession requests (kUnlimitedCredit = run to
+/// completion) and spent one step per turn. The invariant maintained
+/// throughout: a session sits in its tenant's queue iff its remaining
+/// credit is non-zero.
+///
+/// The scheduler only decides ordering; the daemon owns the sessions and
+/// actually steps them. Not thread-safe; the daemon serializes access.
+class FairShareScheduler {
+ public:
+  struct Turn {
+    std::string tenant;
+    uint64_t session_id = 0;
+  };
+
+  /// Registers a session under `tenant` with `credit` initial steps and
+  /// bumps the tenant's sessions_created account.
+  void AdmitSession(const std::string& tenant, uint64_t session_id,
+                    uint64_t credit);
+
+  /// Adds `steps` credit (saturating; kUnlimitedCredit is absorbing) and
+  /// enqueues the session if it was idle.
+  void GrantCredit(const std::string& tenant, uint64_t session_id,
+                   uint64_t steps);
+
+  /// Drops the session's credit and queue entry (done/failed/destroyed).
+  /// The tenant's account survives for reporting.
+  void RemoveSession(const std::string& tenant, uint64_t session_id);
+
+  /// Whether any session holds credit.
+  [[nodiscard]] bool HasRunnable() const;
+
+  /// Picks the next turn and spends one credit: the first tenant in
+  /// sorted order strictly after the previously-served tenant (wrapping)
+  /// that has a runnable session, FIFO within the tenant. Returns false
+  /// when nothing is runnable.
+  [[nodiscard]] bool NextTurn(Turn* turn);
+
+  /// Accounts one executed step for `tenant`.
+  void RecordStep(const std::string& tenant, double budget_delta);
+
+  /// Remaining credit of `session_id` (0 when unknown/idle).
+  [[nodiscard]] uint64_t pending_credit(uint64_t session_id) const;
+
+  /// All tenant accounts, sorted by tenant name.
+  [[nodiscard]] std::vector<TenantAccount> Accounts() const;
+
+ private:
+  struct TenantState {
+    /// Runnable sessions, FIFO. Invariant: ids here have credit > 0.
+    std::deque<uint64_t> queue;
+    uint64_t sessions_created = 0;
+    uint64_t steps_executed = 0;
+    double budget_consumed = 0.0;
+  };
+
+  /// Sorted by tenant name — the round-robin order.
+  std::map<std::string, TenantState> tenants_;
+  /// Remaining step credit per session.
+  std::map<uint64_t, uint64_t> credit_;
+  /// Tenant served by the previous NextTurn (round-robin cursor).
+  std::string cursor_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DAEMON_SCHEDULER_H_

@@ -1,0 +1,216 @@
+#include "daemon/session.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "data/csv.h"
+#include "util/check.h"
+
+namespace volcanoml {
+
+namespace {
+
+Result<std::string> ReadSpoolFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open spool file " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failed for spool file " + path);
+  }
+  return buffer.str();
+}
+
+Status WriteSpoolFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open spool file " + path + " for writing");
+  }
+  out << contents;
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("write failed for spool file " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<VolcanoMlOptions> SessionConfigToOptions(const SessionConfig& config) {
+  VolcanoMlOptions options;
+  switch (config.task) {
+    case 0:
+      options.space.task = TaskType::kClassification;
+      break;
+    case 1:
+      options.space.task = TaskType::kRegression;
+      break;
+    default:
+      return Status::InvalidArgument(
+          "task must be 0 (classification) or 1 (regression), got " +
+          std::to_string(config.task));
+  }
+  switch (config.preset) {
+    case 0:
+      options.space.preset = SpacePreset::kSmall;
+      break;
+    case 1:
+      options.space.preset = SpacePreset::kMedium;
+      break;
+    case 2:
+      options.space.preset = SpacePreset::kLarge;
+      break;
+    default:
+      return Status::InvalidArgument(
+          "preset must be 0 (small), 1 (medium) or 2 (large), got " +
+          std::to_string(config.preset));
+  }
+  options.space.include_smote = config.include_smote;
+  Result<PlanKind> plan = ParsePlanKind(config.plan);
+  VOLCANOML_RETURN_IF_ERROR(plan.status());
+  options.plan = plan.value();
+  Result<JointOptimizerKind> optimizer =
+      ParseJointOptimizerKind(config.optimizer);
+  VOLCANOML_RETURN_IF_ERROR(optimizer.status());
+  options.optimizer = optimizer.value();
+  // `> 0` rejects NaN too (any comparison with NaN is false).
+  if (!(config.budget > 0.0) || !std::isfinite(config.budget)) {
+    return Status::InvalidArgument("budget must be positive and finite");
+  }
+  options.budget = config.budget;
+  if (config.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  options.batch_size = static_cast<size_t>(config.batch_size);
+  if (config.cv_folds < 1) {
+    return Status::InvalidArgument("cv_folds must be >= 1");
+  }
+  options.eval.cv_folds = static_cast<size_t>(config.cv_folds);
+  options.seed = config.seed;
+  return options;
+}
+
+DaemonSession::DaemonSession(uint64_t id, Spec spec, std::string spool_path)
+    : id_(id), spec_(std::move(spec)), spool_path_(std::move(spool_path)) {}
+
+DaemonSession::~DaemonSession() { std::remove(spool_path_.c_str()); }
+
+Status DaemonSession::Activate() {
+  VOLCANOML_CHECK(!activated_);
+  activated_ = true;
+  return Build(nullptr);
+}
+
+Status DaemonSession::EnsureResident() {
+  VOLCANOML_CHECK(activated_);
+  if (failed()) return error_;
+  if (resident()) return Status::Ok();
+  Result<std::string> snapshot = ReadSpoolFile(spool_path_);
+  if (!snapshot.ok()) return LatchError(snapshot.status());
+  return Build(&snapshot.value());
+}
+
+Result<bool> DaemonSession::Evict() {
+  VOLCANOML_CHECK(activated_);
+  if (failed()) return error_;
+  if (!resident()) return false;
+  RefreshSummary();
+  VOLCANOML_RETURN_IF_ERROR(
+      WriteSpoolFile(spool_path_, automl_->executor()->SaveSnapshot()));
+  automl_.reset();
+  return true;
+}
+
+Result<DaemonSession::StepOutcome> DaemonSession::Step() {
+  VOLCANOML_CHECK(activated_);
+  if (failed()) return error_;
+  VOLCANOML_CHECK(resident());
+  StepOutcome outcome;
+  StepEvent event;
+  automl_->executor()->set_step_hook(
+      [&event](const StepEvent& e) { event = e; });
+  outcome.progressed = automl_->executor()->Step();
+  automl_->executor()->set_step_hook({});
+  if (outcome.progressed) outcome.event = event;
+  RefreshSummary();
+  return outcome;
+}
+
+Result<std::string> DaemonSession::Snapshot() {
+  VOLCANOML_RETURN_IF_ERROR(EnsureResident());
+  return automl_->executor()->SaveSnapshot();
+}
+
+Result<std::vector<TrajectoryPoint>> DaemonSession::Trajectory() {
+  VOLCANOML_RETURN_IF_ERROR(EnsureResident());
+  return automl_->executor()->trajectory();
+}
+
+Result<Assignment> DaemonSession::BestAssignment() {
+  VOLCANOML_RETURN_IF_ERROR(EnsureResident());
+  return automl_->executor()->BestAssignment();
+}
+
+SessionStatus DaemonSession::status() const {
+  SessionStatus status;
+  status.session_id = id_;
+  status.tenant = spec_.tenant;
+  status.state = failed()     ? SessionState::kFailed
+                 : resident() ? SessionState::kResident
+                              : SessionState::kEvicted;
+  status.done = done_;
+  status.steps = steps_;
+  status.consumed_budget = consumed_budget_;
+  status.best_utility = best_utility_;
+  status.telemetry = telemetry_;
+  return status;
+}
+
+Status DaemonSession::Build(const std::string* snapshot) {
+  Result<VolcanoMlOptions> options = SessionConfigToOptions(spec_.config);
+  if (!options.ok()) return LatchError(options.status());
+  Result<Dataset> data =
+      ParseCsvDataset(spec_.csv, options.value().space.task,
+                      spec_.dataset_name,
+                      "session " + std::to_string(id_) + " dataset");
+  if (!data.ok()) return LatchError(data.status());
+  auto automl = std::make_unique<VolcanoML>(options.value());
+  Status prepared = automl->Prepare(data.value());
+  if (!prepared.ok()) return LatchError(prepared);
+  if (snapshot != nullptr) {
+    Status loaded = automl->executor()->LoadSnapshot(*snapshot);
+    if (!loaded.ok()) return LatchError(loaded);
+  }
+  automl_ = std::move(automl);
+  RefreshSummary();
+  return Status::Ok();
+}
+
+void DaemonSession::RefreshSummary() {
+  const PlanExecutor* executor = automl_->executor();
+  steps_ = executor->num_steps();
+  consumed_budget_ = executor->consumed_budget();
+  best_utility_ = executor->BestUtility();
+  done_ = executor->Done();
+  const PipelineEvaluator* evaluator = automl_->evaluator();
+  telemetry_.num_evaluations = evaluator->num_evaluations();
+  FeCache::Stats fe = evaluator->fe_cache_stats();
+  telemetry_.fe_cache_hits = fe.hits;
+  telemetry_.fe_cache_misses = fe.misses;
+  telemetry_.fe_cache_evictions = fe.evictions;
+  telemetry_.fe_cache_bytes = fe.bytes;
+}
+
+Status DaemonSession::LatchError(Status status) {
+  VOLCANOML_CHECK(!status.ok());
+  if (error_.ok()) error_ = status;
+  automl_.reset();
+  return error_;
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,127 @@
+#ifndef VOLCANOML_DAEMON_SESSION_H_
+#define VOLCANOML_DAEMON_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/volcano_ml.h"
+#include "ipc/messages.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// Validates a wire SessionConfig and converts it into VolcanoMlOptions.
+/// This is the single options-construction seam shared by the daemon and
+/// the in-process CLI path: a daemon-driven session and a local run built
+/// from the same SessionConfig step bit-identically.
+[[nodiscard]] Result<VolcanoMlOptions> SessionConfigToOptions(
+    const SessionConfig& config);
+
+/// One tenant's search session inside the daemon: a VolcanoML instance
+/// plus the bookkeeping to park it on disk and bring it back.
+///
+/// Lifecycle:
+///   - Activate() builds the executor from the stored CSV + config and
+///     must succeed once before anything else.
+///   - Evict() snapshots the executor to the spool file and releases the
+///     in-memory engine; EnsureResident() restores it on demand by
+///     re-preparing a fresh VolcanoML and loading the snapshot — the
+///     restored executor is bit-identical to the evicted one, so evict/
+///     restore churn never changes a trajectory.
+///   - Step() advances the search one pull (resident sessions only; the
+///     daemon calls EnsureResident() first).
+///
+/// Any failure latches: the session flips to kFailed and every later
+/// operation returns the original error. Not thread-safe; the daemon
+/// serializes all access on its serve loop.
+class DaemonSession {
+ public:
+  /// Immutable creation-time description (what CreateSession shipped).
+  struct Spec {
+    std::string tenant;
+    std::string dataset_name;
+    std::string csv;
+    SessionConfig config;
+  };
+
+  /// `spool_path` is where Evict() parks the executor snapshot; the file
+  /// is removed when the session is destroyed.
+  DaemonSession(uint64_t id, Spec spec, std::string spool_path);
+  ~DaemonSession();
+
+  DaemonSession(const DaemonSession&) = delete;
+  DaemonSession& operator=(const DaemonSession&) = delete;
+
+  /// First build: validates the config, parses the CSV and prepares the
+  /// executor. Must be called exactly once, before any other operation.
+  [[nodiscard]] Status Activate();
+
+  /// Restores the executor from the spool snapshot if evicted. No-op
+  /// when already resident.
+  [[nodiscard]] Status EnsureResident();
+
+  /// Snapshots to the spool file and releases the in-memory executor.
+  /// Returns false without touching anything when not resident.
+  [[nodiscard]] Result<bool> Evict();
+
+  /// One executor Step(). Requires residency. Returns the StepEvent of
+  /// the pull, or `done = true` without an event once the budget is
+  /// exhausted.
+  struct StepOutcome {
+    bool progressed = false;
+    StepEvent event;
+  };
+  [[nodiscard]] Result<StepOutcome> Step();
+
+  /// Current executor snapshot (restores first if evicted).
+  [[nodiscard]] Result<std::string> Snapshot();
+
+  /// Trajectory / incumbent of the session (restore first if evicted).
+  [[nodiscard]] Result<std::vector<TrajectoryPoint>> Trajectory();
+  [[nodiscard]] Result<Assignment> BestAssignment();
+
+  /// Cheap cached summary — answered from the last refresh, never
+  /// restores an evicted executor. `pending_credit` is filled in by the
+  /// daemon, not here.
+  [[nodiscard]] SessionStatus status() const;
+
+  [[nodiscard]] uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& tenant() const { return spec_.tenant; }
+  [[nodiscard]] bool resident() const { return automl_ != nullptr; }
+  [[nodiscard]] bool failed() const { return !error_.ok(); }
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Logical-clock LRU bookkeeping for the daemon's eviction policy
+  /// (counter-based, not wall-clock, so eviction order is deterministic).
+  [[nodiscard]] uint64_t last_touch() const { return last_touch_; }
+  void set_last_touch(uint64_t tick) { last_touch_ = tick; }
+
+ private:
+  /// Builds a fresh VolcanoML from the spec; when `snapshot` is non-null
+  /// the prepared executor loads it (the restore path).
+  [[nodiscard]] Status Build(const std::string* snapshot);
+  /// Re-derives the cached summary from the resident executor.
+  void RefreshSummary();
+  /// Latches `status` as the session's permanent error and returns it.
+  Status LatchError(Status status);
+
+  const uint64_t id_;
+  const Spec spec_;
+  const std::string spool_path_;
+  std::unique_ptr<VolcanoML> automl_;
+  /// First failure, latched; kFailed state over the wire.
+  Status error_ = Status::Ok();
+  bool activated_ = false;
+  bool done_ = false;
+  uint64_t steps_ = 0;
+  double consumed_budget_ = 0.0;
+  double best_utility_ = 0.0;
+  SessionTelemetry telemetry_;
+  uint64_t last_touch_ = 0;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DAEMON_SESSION_H_

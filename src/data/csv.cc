@@ -9,10 +9,22 @@ namespace volcanoml {
 
 Result<Dataset> LoadCsvDataset(const std::string& path, TaskType task,
                                const std::string& name) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IoError("cannot open " + path);
   }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failed for " + path);
+  }
+  return ParseCsvDataset(buffer.str(), task, name, path);
+}
+
+Result<Dataset> ParseCsvDataset(const std::string& contents, TaskType task,
+                                const std::string& name,
+                                const std::string& origin) {
+  std::stringstream in(contents);
   std::vector<std::vector<double>> rows;
   std::string line;
   size_t width = 0;
@@ -29,7 +41,7 @@ Result<Dataset> LoadCsvDataset(const std::string& path, TaskType task,
       if (end == cell.c_str()) {
         return Status::InvalidArgument("non-numeric cell at line " +
                                        std::to_string(line_no) + " in " +
-                                       path);
+                                       origin);
       }
       fields.push_back(v);
     }
@@ -46,7 +58,7 @@ Result<Dataset> LoadCsvDataset(const std::string& path, TaskType task,
     rows.push_back(std::move(fields));
   }
   if (rows.empty()) {
-    return Status::InvalidArgument("empty CSV file " + path);
+    return Status::InvalidArgument("empty CSV input " + origin);
   }
   Matrix x(rows.size(), width - 1);
   std::vector<double> y(rows.size());

@@ -13,6 +13,16 @@ namespace volcanoml {
 [[nodiscard]] Result<Dataset> LoadCsvDataset(const std::string& path, TaskType task,
                                const std::string& name);
 
+/// Parses the same CSV format from an in-memory buffer — the path the
+/// session daemon takes for datasets shipped inline over IPC, and the
+/// parser LoadCsvDataset itself delegates to, so file-loaded and
+/// wire-shipped datasets are bit-identical. `origin` labels error
+/// messages (a path or a session description).
+[[nodiscard]] Result<Dataset> ParseCsvDataset(const std::string& contents,
+                                              TaskType task,
+                                              const std::string& name,
+                                              const std::string& origin);
+
 /// Writes a dataset as numeric CSV (features then target per row).
 [[nodiscard]] Status SaveCsvDataset(const Dataset& data, const std::string& path);
 

@@ -1,0 +1,322 @@
+#include "ipc/messages.h"
+
+namespace volcanoml {
+
+namespace {
+
+void EncodeAssignment(WireWriter* w, const Assignment& assignment) {
+  w->U32(static_cast<uint32_t>(assignment.size()));
+  // Assignment is a std::map: iteration order is sorted and stable, so
+  // identical assignments encode to identical bytes.
+  for (const auto& [name, value] : assignment) {
+    w->Str(name);
+    w->F64(value);
+  }
+}
+
+Assignment DecodeAssignment(WireReader* r) {
+  Assignment assignment;
+  uint32_t n = r->U32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    std::string name = r->Str();
+    double value = r->F64();
+    assignment[name] = value;
+  }
+  return assignment;
+}
+
+void EncodeTrajectory(WireWriter* w,
+                      const std::vector<TrajectoryPoint>& trajectory) {
+  w->U32(static_cast<uint32_t>(trajectory.size()));
+  for (const TrajectoryPoint& point : trajectory) {
+    w->F64(point.budget);
+    w->F64(point.utility);
+  }
+}
+
+std::vector<TrajectoryPoint> DecodeTrajectory(WireReader* r) {
+  std::vector<TrajectoryPoint> trajectory;
+  uint32_t n = r->U32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    double budget = r->F64();
+    double utility = r->F64();
+    trajectory.push_back({budget, utility});
+  }
+  return trajectory;
+}
+
+}  // namespace
+
+void SessionConfig::Encode(WireWriter* w) const {
+  w->U8(task);
+  w->U8(preset);
+  w->Str(plan);
+  w->Str(optimizer);
+  w->F64(budget);
+  w->U64(seed);
+  w->U64(cv_folds);
+  w->Bool(include_smote);
+  w->U64(batch_size);
+}
+
+SessionConfig SessionConfig::Decode(WireReader* r) {
+  SessionConfig config;
+  config.task = r->U8();
+  config.preset = r->U8();
+  config.plan = r->Str();
+  config.optimizer = r->Str();
+  config.budget = r->F64();
+  config.seed = r->U64();
+  config.cv_folds = r->U64();
+  config.include_smote = r->Bool();
+  config.batch_size = r->U64();
+  return config;
+}
+
+void CreateSessionRequest::Encode(WireWriter* w) const {
+  w->Str(tenant);
+  w->Str(dataset_name);
+  w->Str(csv);
+  config.Encode(w);
+  w->U64(step_credit);
+}
+
+CreateSessionRequest CreateSessionRequest::Decode(WireReader* r) {
+  CreateSessionRequest request;
+  request.tenant = r->Str();
+  request.dataset_name = r->Str();
+  request.csv = r->Str();
+  request.config = SessionConfig::Decode(r);
+  request.step_credit = r->U64();
+  return request;
+}
+
+void CreateSessionReply::Encode(WireWriter* w) const { w->U64(session_id); }
+
+CreateSessionReply CreateSessionReply::Decode(WireReader* r) {
+  CreateSessionReply reply;
+  reply.session_id = r->U64();
+  return reply;
+}
+
+void SessionTelemetry::Encode(WireWriter* w) const {
+  w->U64(num_evaluations);
+  w->U64(fe_cache_hits);
+  w->U64(fe_cache_misses);
+  w->U64(fe_cache_evictions);
+  w->U64(fe_cache_bytes);
+}
+
+SessionTelemetry SessionTelemetry::Decode(WireReader* r) {
+  SessionTelemetry telemetry;
+  telemetry.num_evaluations = r->U64();
+  telemetry.fe_cache_hits = r->U64();
+  telemetry.fe_cache_misses = r->U64();
+  telemetry.fe_cache_evictions = r->U64();
+  telemetry.fe_cache_bytes = r->U64();
+  return telemetry;
+}
+
+void SessionStatus::Encode(WireWriter* w) const {
+  w->U64(session_id);
+  w->Str(tenant);
+  w->U8(static_cast<uint8_t>(state));
+  w->Bool(done);
+  w->U64(steps);
+  w->F64(consumed_budget);
+  w->F64(best_utility);
+  w->U64(pending_credit);
+  telemetry.Encode(w);
+}
+
+SessionStatus SessionStatus::Decode(WireReader* r) {
+  SessionStatus status;
+  status.session_id = r->U64();
+  status.tenant = r->Str();
+  uint8_t state = r->U8();
+  if (state > static_cast<uint8_t>(SessionState::kFailed)) {
+    r->Fail("unknown session state " + std::to_string(state));
+  }
+  status.state = static_cast<SessionState>(state);
+  status.done = r->Bool();
+  status.steps = r->U64();
+  status.consumed_budget = r->F64();
+  status.best_utility = r->F64();
+  status.pending_credit = r->U64();
+  status.telemetry = SessionTelemetry::Decode(r);
+  return status;
+}
+
+void StepSessionRequest::Encode(WireWriter* w) const {
+  w->U64(session_id);
+  w->U64(steps);
+}
+
+StepSessionRequest StepSessionRequest::Decode(WireReader* r) {
+  StepSessionRequest request;
+  request.session_id = r->U64();
+  request.steps = r->U64();
+  return request;
+}
+
+void StepSessionReply::Encode(WireWriter* w) const { status.Encode(w); }
+
+StepSessionReply StepSessionReply::Decode(WireReader* r) {
+  StepSessionReply reply;
+  reply.status = SessionStatus::Decode(r);
+  return reply;
+}
+
+void QuerySessionRequest::Encode(WireWriter* w) const {
+  w->U64(session_id);
+  w->Bool(include_trajectory);
+  w->Bool(include_assignment);
+}
+
+QuerySessionRequest QuerySessionRequest::Decode(WireReader* r) {
+  QuerySessionRequest request;
+  request.session_id = r->U64();
+  request.include_trajectory = r->Bool();
+  request.include_assignment = r->Bool();
+  return request;
+}
+
+void QuerySessionReply::Encode(WireWriter* w) const {
+  status.Encode(w);
+  EncodeTrajectory(w, trajectory);
+  EncodeAssignment(w, best_assignment);
+}
+
+QuerySessionReply QuerySessionReply::Decode(WireReader* r) {
+  QuerySessionReply reply;
+  reply.status = SessionStatus::Decode(r);
+  reply.trajectory = DecodeTrajectory(r);
+  reply.best_assignment = DecodeAssignment(r);
+  return reply;
+}
+
+void SnapshotSessionRequest::Encode(WireWriter* w) const {
+  w->U64(session_id);
+}
+
+SnapshotSessionRequest SnapshotSessionRequest::Decode(WireReader* r) {
+  SnapshotSessionRequest request;
+  request.session_id = r->U64();
+  return request;
+}
+
+void SnapshotSessionReply::Encode(WireWriter* w) const { w->Str(snapshot); }
+
+SnapshotSessionReply SnapshotSessionReply::Decode(WireReader* r) {
+  SnapshotSessionReply reply;
+  reply.snapshot = r->Str();
+  return reply;
+}
+
+void EvictSessionRequest::Encode(WireWriter* w) const { w->U64(session_id); }
+
+EvictSessionRequest EvictSessionRequest::Decode(WireReader* r) {
+  EvictSessionRequest request;
+  request.session_id = r->U64();
+  return request;
+}
+
+void EvictSessionReply::Encode(WireWriter* w) const { w->Bool(evicted); }
+
+EvictSessionReply EvictSessionReply::Decode(WireReader* r) {
+  EvictSessionReply reply;
+  reply.evicted = r->Bool();
+  return reply;
+}
+
+void ListSessionsRequest::Encode(WireWriter*) const {}
+
+ListSessionsRequest ListSessionsRequest::Decode(WireReader*) {
+  return ListSessionsRequest{};
+}
+
+void TenantAccount::Encode(WireWriter* w) const {
+  w->Str(tenant);
+  w->U64(sessions_created);
+  w->U64(steps_executed);
+  w->F64(budget_consumed);
+}
+
+TenantAccount TenantAccount::Decode(WireReader* r) {
+  TenantAccount account;
+  account.tenant = r->Str();
+  account.sessions_created = r->U64();
+  account.steps_executed = r->U64();
+  account.budget_consumed = r->F64();
+  return account;
+}
+
+void ListSessionsReply::Encode(WireWriter* w) const {
+  w->U32(static_cast<uint32_t>(sessions.size()));
+  for (const SessionStatus& status : sessions) {
+    status.Encode(w);
+  }
+  w->U32(static_cast<uint32_t>(tenants.size()));
+  for (const TenantAccount& account : tenants) {
+    account.Encode(w);
+  }
+}
+
+ListSessionsReply ListSessionsReply::Decode(WireReader* r) {
+  ListSessionsReply reply;
+  uint32_t num_sessions = r->U32();
+  for (uint32_t i = 0; i < num_sessions && r->ok(); ++i) {
+    reply.sessions.push_back(SessionStatus::Decode(r));
+  }
+  uint32_t num_tenants = r->U32();
+  for (uint32_t i = 0; i < num_tenants && r->ok(); ++i) {
+    reply.tenants.push_back(TenantAccount::Decode(r));
+  }
+  return reply;
+}
+
+void ShutdownRequest::Encode(WireWriter*) const {}
+
+ShutdownRequest ShutdownRequest::Decode(WireReader*) {
+  return ShutdownRequest{};
+}
+
+void ShutdownReply::Encode(WireWriter* w) const { w->U64(sessions_open); }
+
+ShutdownReply ShutdownReply::Decode(WireReader* r) {
+  ShutdownReply reply;
+  reply.sessions_open = r->U64();
+  return reply;
+}
+
+void ErrorReply::Encode(WireWriter* w) const {
+  w->U32(code);
+  w->Str(message);
+}
+
+ErrorReply ErrorReply::Decode(WireReader* r) {
+  ErrorReply reply;
+  reply.code = r->U32();
+  reply.message = r->Str();
+  return reply;
+}
+
+Status ErrorReply::ToStatus() const {
+  // Unknown codes (a newer daemon) degrade to kInternal rather than
+  // being misread as success.
+  StatusCode status_code = StatusCode::kInternal;
+  if (code <= static_cast<uint32_t>(StatusCode::kDeadlineExceeded) &&
+      code != static_cast<uint32_t>(StatusCode::kOk)) {
+    status_code = static_cast<StatusCode>(code);
+  }
+  return Status(status_code, message);
+}
+
+ErrorReply ErrorReply::FromStatus(const Status& status) {
+  ErrorReply reply;
+  reply.code = static_cast<uint32_t>(status.code());
+  reply.message = status.message();
+  return reply;
+}
+
+}  // namespace volcanoml

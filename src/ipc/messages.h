@@ -1,0 +1,276 @@
+#ifndef VOLCANOML_IPC_MESSAGES_H_
+#define VOLCANOML_IPC_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "cs/configuration.h"
+#include "ipc/wire.h"
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// Frame types of the daemon protocol (the `type` byte of every frame;
+/// see ipc/transport.h for the framing grammar). Requests are odd jobs a
+/// client asks of the daemon; every request has exactly one reply type,
+/// and any request may instead be answered with kErrorReply.
+enum class MessageType : uint8_t {
+  kErrorReply = 0,
+  kCreateSessionRequest = 1,
+  kCreateSessionReply = 2,
+  kStepSessionRequest = 3,
+  kStepSessionReply = 4,
+  kQuerySessionRequest = 5,
+  kQuerySessionReply = 6,
+  kSnapshotSessionRequest = 7,
+  kSnapshotSessionReply = 8,
+  kEvictSessionRequest = 9,
+  kEvictSessionReply = 10,
+  kListSessionsRequest = 11,
+  kListSessionsReply = 12,
+  kShutdownRequest = 13,
+  kShutdownReply = 14,
+};
+
+/// Step credit that never runs out: the scheduler drives the session to
+/// completion.
+inline constexpr uint64_t kUnlimitedCredit = UINT64_MAX;
+
+/// Everything needed to reconstruct a VolcanoMlOptions on the daemon
+/// side. Plan and optimizer travel as their canonical short names
+/// (PlanKindName / JointOptimizerKindName) so the wire format is
+/// self-describing and stable across enum reorderings. Conversion +
+/// validation lives in daemon/session.h (SessionConfigToOptions); both
+/// the daemon and the in-process CLI path build their options through
+/// it, which is what makes daemon-driven runs bit-identical twins of
+/// local ones.
+struct SessionConfig {
+  /// TaskType as u8: 0 = classification, 1 = regression.
+  uint8_t task = 0;
+  /// SpacePreset as u8: 0 = small, 1 = medium, 2 = large.
+  uint8_t preset = 1;
+  std::string plan = "cond(alg)+alt(fe,hp)";
+  std::string optimizer = "smac";
+  double budget = 100.0;
+  uint64_t seed = 1;
+  uint64_t cv_folds = 1;
+  bool include_smote = false;
+  uint64_t batch_size = 1;
+
+  void Encode(WireWriter* w) const;
+  static SessionConfig Decode(WireReader* r);
+};
+
+/// CreateSession: registers a new search session for `tenant`, shipping
+/// the training CSV inline, and grants it `step_credit` scheduler turns
+/// (kUnlimitedCredit = run to completion).
+struct CreateSessionRequest {
+  std::string tenant = "default";
+  std::string dataset_name = "train";
+  std::string csv;
+  SessionConfig config;
+  uint64_t step_credit = kUnlimitedCredit;
+
+  void Encode(WireWriter* w) const;
+  static CreateSessionRequest Decode(WireReader* r);
+};
+
+struct CreateSessionReply {
+  uint64_t session_id = 0;
+
+  void Encode(WireWriter* w) const;
+  static CreateSessionReply Decode(WireReader* r);
+};
+
+/// Lifecycle of a session as seen over IPC.
+enum class SessionState : uint8_t {
+  kResident = 0,  ///< Executor in memory; steppable immediately.
+  kEvicted = 1,   ///< Snapshot on disk; restored on the next request.
+  kFailed = 2,    ///< Restore/step failed; query returns the error.
+};
+
+/// Per-session evaluation-engine telemetry (eval layer surfaced over
+/// IPC): evaluation counts plus FE-prefix-cache effectiveness.
+struct SessionTelemetry {
+  uint64_t num_evaluations = 0;
+  uint64_t fe_cache_hits = 0;
+  uint64_t fe_cache_misses = 0;
+  uint64_t fe_cache_evictions = 0;
+  uint64_t fe_cache_bytes = 0;
+
+  void Encode(WireWriter* w) const;
+  static SessionTelemetry Decode(WireReader* r);
+};
+
+/// Summary of one session, cheap enough to answer from the registry's
+/// cached metadata without restoring an evicted executor.
+struct SessionStatus {
+  uint64_t session_id = 0;
+  std::string tenant;
+  SessionState state = SessionState::kResident;
+  bool done = false;
+  uint64_t steps = 0;
+  double consumed_budget = 0.0;
+  double best_utility = 0.0;
+  uint64_t pending_credit = 0;
+  SessionTelemetry telemetry;
+
+  void Encode(WireWriter* w) const;
+  static SessionStatus Decode(WireReader* r);
+};
+
+/// StepSession: grants `steps` more scheduler turns (saturating with any
+/// outstanding credit; kUnlimitedCredit = run to completion). Stepping
+/// itself happens on the daemon's fair-share schedule — the reply
+/// reports current progress, it does not wait for the steps to run.
+struct StepSessionRequest {
+  uint64_t session_id = 0;
+  uint64_t steps = 1;
+
+  void Encode(WireWriter* w) const;
+  static StepSessionRequest Decode(WireReader* r);
+};
+
+struct StepSessionReply {
+  SessionStatus status;
+
+  void Encode(WireWriter* w) const;
+  static StepSessionReply Decode(WireReader* r);
+};
+
+/// QuerySession: current status, optionally with the full trajectory and
+/// incumbent assignment (these restore an evicted session first; the
+/// plain status answer never does).
+struct QuerySessionRequest {
+  uint64_t session_id = 0;
+  bool include_trajectory = false;
+  bool include_assignment = false;
+
+  void Encode(WireWriter* w) const;
+  static QuerySessionRequest Decode(WireReader* r);
+};
+
+struct QuerySessionReply {
+  SessionStatus status;
+  /// Present iff requested (budget/utility pairs, bit-exact doubles).
+  std::vector<TrajectoryPoint> trajectory;
+  /// Present iff requested.
+  Assignment best_assignment;
+
+  void Encode(WireWriter* w) const;
+  static QuerySessionReply Decode(WireReader* r);
+};
+
+/// SnapshotSession: the session's full executor snapshot (the byte-exact
+/// core/snapshot.h text format), restoring it first if evicted.
+struct SnapshotSessionRequest {
+  uint64_t session_id = 0;
+
+  void Encode(WireWriter* w) const;
+  static SnapshotSessionRequest Decode(WireReader* r);
+};
+
+struct SnapshotSessionReply {
+  std::string snapshot;
+
+  void Encode(WireWriter* w) const;
+  static SnapshotSessionReply Decode(WireReader* r);
+};
+
+/// EvictSession: checkpoint the session to the daemon's spool directory
+/// and release its in-memory executor. A no-op (evicted=false) when the
+/// session is already evicted.
+struct EvictSessionRequest {
+  uint64_t session_id = 0;
+
+  void Encode(WireWriter* w) const;
+  static EvictSessionRequest Decode(WireReader* r);
+};
+
+struct EvictSessionReply {
+  bool evicted = false;
+
+  void Encode(WireWriter* w) const;
+  static EvictSessionReply Decode(WireReader* r);
+};
+
+struct ListSessionsRequest {
+  void Encode(WireWriter* w) const;
+  static ListSessionsRequest Decode(WireReader* r);
+};
+
+/// Per-tenant fair-share accounting, as tracked by the scheduler.
+struct TenantAccount {
+  std::string tenant;
+  uint64_t sessions_created = 0;
+  uint64_t steps_executed = 0;
+  double budget_consumed = 0.0;
+
+  void Encode(WireWriter* w) const;
+  static TenantAccount Decode(WireReader* r);
+};
+
+struct ListSessionsReply {
+  /// All sessions, ordered by ascending session id.
+  std::vector<SessionStatus> sessions;
+  /// All tenants, ordered by tenant name.
+  std::vector<TenantAccount> tenants;
+
+  void Encode(WireWriter* w) const;
+  static ListSessionsReply Decode(WireReader* r);
+};
+
+struct ShutdownRequest {
+  void Encode(WireWriter* w) const;
+  static ShutdownRequest Decode(WireReader* r);
+};
+
+struct ShutdownReply {
+  /// Sessions still registered at shutdown (unfinished work).
+  uint64_t sessions_open = 0;
+
+  void Encode(WireWriter* w) const;
+  static ShutdownReply Decode(WireReader* r);
+};
+
+/// Any request may be answered with this instead of its reply type.
+struct ErrorReply {
+  /// StatusCode as u32.
+  uint32_t code = 0;
+  std::string message;
+
+  void Encode(WireWriter* w) const;
+  static ErrorReply Decode(WireReader* r);
+
+  [[nodiscard]] Status ToStatus() const;
+  static ErrorReply FromStatus(const Status& status);
+};
+
+/// Encodes `message` (any struct above) into a frame payload.
+template <typename Message>
+[[nodiscard]] std::string EncodeMessage(const Message& message) {
+  WireWriter w;
+  message.Encode(&w);
+  return w.TakeStr();
+}
+
+/// Decodes a frame payload, rejecting malformed bytes and trailing
+/// garbage with InvalidArgument.
+template <typename Message>
+[[nodiscard]] Result<Message> DecodeMessage(const std::string& payload) {
+  WireReader r(payload);
+  Message message = Message::Decode(&r);
+  if (r.ok() && !r.AtEnd()) {
+    r.Fail("trailing bytes after message");
+  }
+  if (!r.ok()) {
+    return Status::InvalidArgument("malformed message: " + r.error());
+  }
+  return message;
+}
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_IPC_MESSAGES_H_

@@ -1,0 +1,221 @@
+#include "ipc/transport.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "ipc/wire.h"
+
+namespace volcanoml {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;  // magic + type + length
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// poll() one fd for readability; EINTR retries, negative timeout blocks.
+Result<bool> PollReadable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    return rc > 0;
+  }
+}
+
+/// Reads exactly `n` bytes, polling up to `timeout_ms` before each chunk.
+Status ReadExact(int fd, char* buffer, size_t n, int timeout_ms) {
+  size_t got = 0;
+  while (got < n) {
+    Result<bool> readable = PollReadable(fd, timeout_ms);
+    VOLCANOML_RETURN_IF_ERROR(readable.status());
+    if (!readable.value()) {
+      return Status::DeadlineExceeded("peer sent no data within timeout");
+    }
+    ssize_t rc = ::recv(fd, buffer + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (rc == 0) {
+      return Status::IoError("peer closed the connection mid-frame");
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return Status::Ok();
+}
+
+/// Writes all of `data`, looping over partial sends. MSG_NOSIGNAL turns a
+/// vanished peer into EPIPE instead of a process-killing SIGPIPE.
+Status WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t rc =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void FdHandle::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UnixListener::~UnixListener() {
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+  }
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+      ::unlink(path_.c_str());
+    }
+    fd_ = std::move(other.fd_);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Result<UnixListener> UnixListener::Bind(const std::string& path) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        "socket path exceeds the sockaddr_un limit (" +
+        std::to_string(sizeof(addr.sun_path) - 1) + " bytes): " + path);
+  }
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Errno("socket");
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  // A stale socket file from a killed daemon would make bind fail; a
+  // fresh daemon owns its path.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind(" + path + ")");
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    return Errno("listen(" + path + ")");
+  }
+  UnixListener listener;
+  listener.fd_ = std::move(fd);
+  listener.path_ = path;
+  return listener;
+}
+
+Result<bool> UnixListener::WaitReadable(int timeout_ms) const {
+  return PollReadable(fd_.get(), timeout_ms);
+}
+
+Result<FdHandle> UnixListener::Accept() const {
+  for (;;) {
+    int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Errno("accept");
+    }
+    return FdHandle(fd);
+  }
+}
+
+Result<FdHandle> ConnectUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        "socket path exceeds the sockaddr_un limit: " + path);
+  }
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Errno("socket");
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Errno("connect(" + path + ")");
+  }
+}
+
+Status SendFrame(const FdHandle& fd, uint8_t type,
+                 const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte limit");
+  }
+  WireWriter header;
+  header.U32(kFrameMagic);
+  header.U8(type);
+  header.U32(static_cast<uint32_t>(payload.size()));
+  VOLCANOML_RETURN_IF_ERROR(WriteAll(fd.get(), header.str()));
+  return WriteAll(fd.get(), payload);
+}
+
+Status RecvFrame(const FdHandle& fd, uint8_t* type, std::string* payload,
+                 int timeout_ms) {
+  std::string header(kFrameHeaderBytes, '\0');
+  VOLCANOML_RETURN_IF_ERROR(
+      ReadExact(fd.get(), header.data(), header.size(), timeout_ms));
+  WireReader reader(header);
+  uint32_t magic = reader.U32();
+  uint8_t frame_type = reader.U8();
+  uint32_t length = reader.U32();
+  if (!reader.ok() || magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic; not a volcanoml peer");
+  }
+  if (length > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame length " + std::to_string(length) + " exceeds the " +
+        std::to_string(kMaxFramePayload) + "-byte limit");
+  }
+  payload->assign(length, '\0');
+  if (length > 0) {
+    VOLCANOML_RETURN_IF_ERROR(
+        ReadExact(fd.get(), payload->data(), length, timeout_ms));
+  }
+  *type = frame_type;
+  return Status::Ok();
+}
+
+void SleepMs(int ms) {
+  // poll with no fds is a portable, signal-tolerant sleep.
+  struct pollfd none;
+  std::memset(&none, 0, sizeof(none));
+  (void)::poll(&none, 0, ms);
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,112 @@
+#ifndef VOLCANOML_IPC_TRANSPORT_H_
+#define VOLCANOML_IPC_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// Every request/response frame on the wire starts with this header,
+/// written with the ipc/wire.h codec:
+///
+///   frame   := magic:u32 type:u8 length:u32 payload:length bytes
+///   magic   := 0x564d4950 ("VMIP" little-endian)
+///   type    := ipc::MessageType (see ipc/messages.h)
+///   payload := the message's WireWriter encoding
+///
+/// Frames above kMaxFramePayload are rejected on both sides so a corrupt
+/// length prefix cannot trigger an unbounded allocation.
+inline constexpr uint32_t kFrameMagic = 0x564d4950;
+inline constexpr uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/// Move-only RAII owner of a file descriptor. This file (with
+/// transport.cc) is the repo's only home for raw socket/read/write
+/// syscalls — determinism rule R14 confines them here so every byte of
+/// I/O flows through one audited framing layer.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { Reset(); }
+
+  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  /// Closes the owned descriptor (no-op when invalid).
+  void Reset();
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening Unix-domain socket bound to a filesystem path. The path is
+/// unlinked both before bind (stale socket from a killed daemon) and in
+/// the destructor (clean shutdown leaves no socket file behind).
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener();
+
+  UnixListener(UnixListener&& other) noexcept
+      : fd_(std::move(other.fd_)), path_(std::move(other.path_)) {
+    other.path_.clear();
+  }
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Binds and listens on `path`. Fails when the path exceeds the
+  /// sockaddr_un limit or any syscall fails.
+  [[nodiscard]] static Result<UnixListener> Bind(const std::string& path);
+
+  /// Waits up to `timeout_ms` for a pending connection (0 polls without
+  /// blocking). Returns true when Accept() will not block.
+  [[nodiscard]] Result<bool> WaitReadable(int timeout_ms) const;
+
+  /// Accepts one pending connection.
+  [[nodiscard]] Result<FdHandle> Accept() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+
+ private:
+  FdHandle fd_;
+  std::string path_;
+};
+
+/// Connects to the daemon's Unix socket at `path`.
+[[nodiscard]] Result<FdHandle> ConnectUnix(const std::string& path);
+
+/// Writes one complete frame (header + payload), looping over partial
+/// writes. `type` is the raw MessageType byte.
+[[nodiscard]] Status SendFrame(const FdHandle& fd, uint8_t type,
+                               const std::string& payload);
+
+/// Reads one complete frame, waiting up to `timeout_ms` for each chunk
+/// (so a stalled peer cannot wedge the daemon forever). On success fills
+/// `*type` and `*payload`.
+[[nodiscard]] Status RecvFrame(const FdHandle& fd, uint8_t* type,
+                               std::string* payload, int timeout_ms);
+
+/// Sleeps for `ms` milliseconds (poll-based; keeps the raw syscall inside
+/// the transport layer for client-side retry loops).
+void SleepMs(int ms);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_IPC_TRANSPORT_H_

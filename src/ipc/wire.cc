@@ -1,0 +1,99 @@
+#include "ipc/wire.h"
+
+#include <cstring>
+
+namespace volcanoml {
+
+namespace {
+
+/// Little-endian regardless of host byte order, so frames written by one
+/// build are readable by any other.
+void AppendLe(std::string* out, uint64_t value, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadLe(const char* p, size_t bytes) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < bytes; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(p[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void WireWriter::U8(uint8_t value) { AppendLe(&out_, value, 1); }
+void WireWriter::U32(uint32_t value) { AppendLe(&out_, value, 4); }
+void WireWriter::U64(uint64_t value) { AppendLe(&out_, value, 8); }
+
+void WireWriter::F64(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Bool(bool value) { U8(value ? 1 : 0); }
+
+void WireWriter::Str(const std::string& value) {
+  U32(static_cast<uint32_t>(value.size()));
+  out_.append(value);
+}
+
+const char* WireReader::Take(size_t n) {
+  if (!ok()) return nullptr;
+  if (data_.size() - pos_ < n) {
+    Fail("truncated: need " + std::to_string(n) + " more byte(s)");
+    return nullptr;
+  }
+  const char* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+uint8_t WireReader::U8() {
+  const char* p = Take(1);
+  return p == nullptr ? 0 : static_cast<uint8_t>(ReadLe(p, 1));
+}
+
+uint32_t WireReader::U32() {
+  const char* p = Take(4);
+  return p == nullptr ? 0 : static_cast<uint32_t>(ReadLe(p, 4));
+}
+
+uint64_t WireReader::U64() {
+  const char* p = Take(8);
+  return p == nullptr ? 0 : ReadLe(p, 8);
+}
+
+double WireReader::F64() {
+  uint64_t bits = U64();
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+bool WireReader::Bool() { return U8() != 0; }
+
+std::string WireReader::Str() {
+  uint32_t len = U32();
+  if (!ok()) return std::string();
+  if (data_.size() - pos_ < len) {
+    Fail("string length " + std::to_string(len) +
+         " exceeds remaining payload");
+    return std::string();
+  }
+  const char* p = Take(len);
+  return p == nullptr ? std::string() : std::string(p, len);
+}
+
+void WireReader::Fail(const std::string& message) {
+  if (error_.empty()) {
+    error_ = "at byte " + std::to_string(pos_) + ": " + message;
+  }
+}
+
+}  // namespace volcanoml

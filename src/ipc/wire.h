@@ -1,0 +1,74 @@
+#ifndef VOLCANOML_IPC_WIRE_H_
+#define VOLCANOML_IPC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace volcanoml {
+
+/// Byte-exact, dependency-free binary codec for the daemon protocol —
+/// the binary sibling of core/snapshot.h's text serializer, built on the
+/// same idioms: fixed little-endian integer widths, doubles as their
+/// IEEE-754 bit pattern (NaN, infinities and -0.0 round-trip exactly),
+/// strings as a u32 length prefix plus raw bytes (embedded NULs and
+/// snapshot payloads survive untouched), and a strictly sequential
+/// latching reader so malformed frames degrade into one clear error
+/// instead of undefined parses. Two identical in-memory messages encode
+/// to identical bytes on every platform.
+class WireWriter {
+ public:
+  void U8(uint8_t value);
+  void U32(uint32_t value);
+  void U64(uint64_t value);
+  /// IEEE-754 bit pattern as a little-endian u64 — byte-exact round trip.
+  void F64(double value);
+  void Bool(bool value);
+  /// u32 byte-length prefix + raw bytes; arbitrary binary payloads are
+  /// safe (snapshots, CSV bytes).
+  void Str(const std::string& value);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string TakeStr() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Strictly sequential reader over a WireWriter's output. Any failed read
+/// — truncated input, an over-long string length — latches the first
+/// error; every subsequent read returns a default value, and callers
+/// check ok() once at the end (the SnapshotReader contract).
+class WireReader {
+ public:
+  explicit WireReader(const std::string& data) : data_(data) {}
+
+  [[nodiscard]] uint8_t U8();
+  [[nodiscard]] uint32_t U32();
+  [[nodiscard]] uint64_t U64();
+  [[nodiscard]] double F64();
+  [[nodiscard]] bool Bool();
+  [[nodiscard]] std::string Str();
+
+  /// Latches a caller-detected semantic error (e.g. an enum value out of
+  /// range).
+  void Fail(const std::string& message);
+
+  /// True when every byte has been consumed — decoders call this to
+  /// reject trailing garbage.
+  [[nodiscard]] bool AtEnd() const { return pos_ == data_.size(); }
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  /// First error encountered, with its byte offset; empty when ok().
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  /// Takes `n` raw bytes, or latches an error and returns nullptr.
+  [[nodiscard]] const char* Take(size_t n);
+
+  const std::string& data_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_IPC_WIRE_H_

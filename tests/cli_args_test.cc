@@ -1,0 +1,161 @@
+// CLI argument layer: structured usage errors instead of aborts. Every
+// malformed invocation must come back as an InvalidArgument Status — no
+// VOLCANOML_CHECK fires, so no death tests are needed here.
+
+#include <string>
+#include <vector>
+
+#include "cli/args.h"
+#include "gtest/gtest.h"
+
+namespace volcanoml {
+namespace {
+
+Result<CliArgs> Parse(std::vector<std::string> args) {
+  std::vector<const char*> argv = {"volcanoml_cli"};
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  return ParseCliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, LegacyRunInvocationParses) {
+  Result<CliArgs> parsed =
+      Parse({"train.csv", "--task", "reg", "--preset", "small", "--budget",
+             "12.5", "--plan", "joint", "--optimizer", "tpe", "--cv", "3",
+             "--smote", "--seed", "42", "--trajectory-out", "t.txt"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const CliArgs& args = parsed.value();
+  EXPECT_EQ(args.command, CliCommand::kRun);
+  EXPECT_EQ(args.train_path, "train.csv");
+  EXPECT_EQ(args.config.task, 1);
+  EXPECT_EQ(args.config.preset, 0);
+  EXPECT_DOUBLE_EQ(args.config.budget, 12.5);
+  EXPECT_EQ(args.config.plan, "joint");
+  EXPECT_EQ(args.config.optimizer, "tpe");
+  EXPECT_EQ(args.config.cv_folds, 3u);
+  EXPECT_TRUE(args.config.include_smote);
+  EXPECT_EQ(args.config.seed, 42u);
+  EXPECT_EQ(args.trajectory_path, "t.txt");
+}
+
+TEST(CliArgs, FlagEqualsValueSpellingWorks) {
+  Result<CliArgs> parsed = Parse({"train.csv", "--budget=7", "--seed=3"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().config.budget, 7.0);
+  EXPECT_EQ(parsed.value().config.seed, 3u);
+}
+
+TEST(CliArgs, AliasesResolveToCanonicalNames) {
+  Result<CliArgs> parsed =
+      Parse({"train.csv", "--plan", "default", "--optimizer", "mfes"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().config.plan, "cond(alg)+alt(fe,hp)");
+  EXPECT_EQ(parsed.value().config.optimizer, "mfes-hb");
+}
+
+TEST(CliArgs, NonPositiveBudgetIsAUsageErrorNotAnAbort) {
+  // This invocation used to sail through parsing and trip a
+  // VOLCANOML_CHECK(budget > 0) inside the executor; now it is rejected
+  // at the CLI boundary.
+  Result<CliArgs> zero = Parse({"train.csv", "--budget", "0"});
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+  Result<CliArgs> negative = Parse({"train.csv", "--budget", "-5"});
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+  Result<CliArgs> nan = Parse({"train.csv", "--budget", "nan"});
+  EXPECT_EQ(nan.status().code(), StatusCode::kInvalidArgument);
+  Result<CliArgs> garbage = Parse({"train.csv", "--budget", "12abc"});
+  EXPECT_EQ(garbage.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliArgs, MalformedInvocationsReturnInvalidArgument) {
+  EXPECT_FALSE(Parse({}).ok());                              // no train.csv
+  EXPECT_FALSE(Parse({"train.csv", "--frobnicate"}).ok());   // unknown flag
+  EXPECT_FALSE(Parse({"train.csv", "--budget"}).ok());       // missing operand
+  EXPECT_FALSE(Parse({"train.csv", "--task", "foo"}).ok());  // bad enum
+  EXPECT_FALSE(Parse({"train.csv", "--preset", "tiny"}).ok());
+  EXPECT_FALSE(Parse({"train.csv", "--plan", "nope"}).ok());
+  EXPECT_FALSE(Parse({"train.csv", "--optimizer", "sgd"}).ok());
+  EXPECT_FALSE(Parse({"train.csv", "--cv", "0"}).ok());
+  EXPECT_FALSE(Parse({"train.csv", "--batch", "0"}).ok());
+  EXPECT_FALSE(Parse({"train.csv", "--seed", "-1"}).ok());
+  EXPECT_FALSE(Parse({"train.csv", "extra.csv"}).ok());      // stray operand
+  EXPECT_FALSE(
+      Parse({"train.csv", "--stop-after", "3"}).ok());  // needs --checkpoint
+}
+
+TEST(CliArgs, ServeRequiresASocket) {
+  EXPECT_FALSE(Parse({"serve"}).ok());
+  Result<CliArgs> parsed = Parse({"serve", "--socket", "/tmp/d.sock",
+                                  "--spool", "/tmp/spool", "--max-resident",
+                                  "2"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().command, CliCommand::kServe);
+  EXPECT_EQ(parsed.value().socket_path, "/tmp/d.sock");
+  EXPECT_EQ(parsed.value().spool_dir, "/tmp/spool");
+  EXPECT_EQ(parsed.value().max_resident, 2u);
+  EXPECT_FALSE(Parse({"serve", "--socket", "/tmp/d.sock", "--max-resident",
+                      "0"})
+                   .ok());
+}
+
+TEST(CliArgs, SubmitParsesTenantCreditAndConfig) {
+  Result<CliArgs> parsed =
+      Parse({"submit", "train.csv", "--socket", "/tmp/d.sock", "--tenant",
+             "alice", "--credit", "5", "--budget", "9", "--wait"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().command, CliCommand::kSubmit);
+  EXPECT_EQ(parsed.value().train_path, "train.csv");
+  EXPECT_EQ(parsed.value().tenant, "alice");
+  EXPECT_EQ(parsed.value().step_credit, 5u);
+  EXPECT_DOUBLE_EQ(parsed.value().config.budget, 9.0);
+  EXPECT_TRUE(parsed.value().wait);
+  // Daemon sessions always run deterministic budgets.
+  EXPECT_FALSE(
+      Parse({"submit", "train.csv", "--socket", "/tmp/d.sock", "--seconds"})
+          .ok());
+  EXPECT_FALSE(Parse({"submit", "--socket", "/tmp/d.sock"}).ok());
+  EXPECT_FALSE(Parse({"submit", "train.csv", "--socket", "/tmp/d.sock",
+                      "--tenant", ""})
+                   .ok());
+}
+
+TEST(CliArgs, ResultRequiresASessionId) {
+  EXPECT_FALSE(Parse({"result", "--socket", "/tmp/d.sock"}).ok());
+  EXPECT_FALSE(
+      Parse({"result", "--socket", "/tmp/d.sock", "--session", "0"}).ok());
+  Result<CliArgs> parsed = Parse({"result", "--socket", "/tmp/d.sock",
+                                  "--session", "4", "--trajectory-out",
+                                  "t.txt"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().command, CliCommand::kResult);
+  EXPECT_EQ(parsed.value().session_id, 4u);
+  EXPECT_EQ(parsed.value().trajectory_path, "t.txt");
+}
+
+TEST(CliArgs, StatusListsWithoutASession) {
+  Result<CliArgs> parsed = Parse({"status", "--socket", "/tmp/d.sock"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().command, CliCommand::kStatus);
+  EXPECT_EQ(parsed.value().session_id, 0u);
+  // Stray operands are rejected on daemon subcommands too.
+  EXPECT_FALSE(Parse({"status", "x.csv", "--socket", "/tmp/d.sock"}).ok());
+}
+
+TEST(CliArgs, HelpShortCircuits) {
+  Result<CliArgs> parsed = Parse({"--help"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().command, CliCommand::kHelp);
+  Result<CliArgs> sub = Parse({"submit", "--help"});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().command, CliCommand::kHelp);
+  EXPECT_FALSE(CliUsage("volcanoml_cli").empty());
+}
+
+TEST(CliArgs, DefaultCreditIsUnlimited) {
+  Result<CliArgs> parsed =
+      Parse({"submit", "train.csv", "--socket", "/tmp/d.sock"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().step_credit, kUnlimitedCredit);
+}
+
+}  // namespace
+}  // namespace volcanoml

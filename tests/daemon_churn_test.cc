@@ -1,0 +1,156 @@
+// Evict/restore churn: randomized interleavings of Step, Evict and
+// restore across several sessions must leave every session bit-identical
+// to a twin that was stepped straight through and never evicted.
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/volcano_ml.h"
+#include "daemon/session.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+std::string BlobsCsv() {
+  Dataset data = MakeBlobs(60, 4, 2, 1.1, 11);
+  std::ostringstream out;
+  out.precision(17);
+  for (size_t i = 0; i < data.NumSamples(); ++i) {
+    for (size_t j = 0; j < data.NumFeatures(); ++j) {
+      out << data.x()(i, j) << ',';
+    }
+    out << data.y()[i] << '\n';
+  }
+  return out.str();
+}
+
+SessionConfig ChurnConfig(size_t index) {
+  // Three genuinely different searches: distinct plans, optimizers and
+  // seeds, so cross-session state bleed would be caught.
+  SessionConfig config;
+  config.preset = 0;
+  config.budget = 6.0;
+  const PlanKind plans[] = {PlanKind::kJoint,
+                            PlanKind::kConditioningAlternating,
+                            PlanKind::kConditioningJoint};
+  const JointOptimizerKind optimizers[] = {JointOptimizerKind::kRandom,
+                                           JointOptimizerKind::kSmac,
+                                           JointOptimizerKind::kTpe};
+  config.plan = PlanKindName(plans[index % 3]);
+  config.optimizer = JointOptimizerKindName(optimizers[index % 3]);
+  config.seed = 7 + index;
+  return config;
+}
+
+std::string NeverEvictedSnapshot(const SessionConfig& config,
+                                 const std::string& csv) {
+  Result<VolcanoMlOptions> options = SessionConfigToOptions(config);
+  EXPECT_TRUE(options.ok());
+  Result<Dataset> data =
+      ParseCsvDataset(csv, options.value().space.task, "train", "ref");
+  EXPECT_TRUE(data.ok());
+  VolcanoML automl(options.value());
+  EXPECT_TRUE(automl.Prepare(data.value()).ok());
+  automl.executor()->Run();
+  return automl.executor()->SaveSnapshot();
+}
+
+TEST(DaemonChurn, RandomEvictRestoreInterleavingsAreInvisible) {
+  std::string csv = BlobsCsv();
+  constexpr size_t kSessions = 3;
+
+  std::vector<std::string> reference;
+  for (size_t i = 0; i < kSessions; ++i) {
+    reference.push_back(NeverEvictedSnapshot(ChurnConfig(i), csv));
+  }
+
+  // Several distinct interleavings, each driven by a seeded Rng so the
+  // schedule is reproducible.
+  for (uint64_t round = 0; round < 3; ++round) {
+    Rng rng(100 + round);
+    std::vector<std::unique_ptr<DaemonSession>> sessions;
+    for (size_t i = 0; i < kSessions; ++i) {
+      DaemonSession::Spec spec;
+      spec.tenant = "churn";
+      spec.dataset_name = "train";
+      spec.csv = csv;
+      spec.config = ChurnConfig(i);
+      auto session = std::make_unique<DaemonSession>(
+          static_cast<uint64_t>(i + 1), std::move(spec),
+          "/tmp/volcanoml_churn_" + std::to_string(round) + "_" +
+              std::to_string(i) + ".snapshot");
+      ASSERT_TRUE(session->Activate().ok());
+      sessions.push_back(std::move(session));
+    }
+
+    auto all_done = [&] {
+      for (const auto& session : sessions) {
+        if (!session->done()) return false;
+      }
+      return true;
+    };
+    while (!all_done()) {
+      size_t victim = rng.Index(kSessions);
+      DaemonSession* session = sessions[victim].get();
+      switch (rng.UniformInt(0, 3)) {
+        case 0: {  // Evict (no-op when already evicted).
+          Result<bool> evicted = session->Evict();
+          ASSERT_TRUE(evicted.ok()) << evicted.status().ToString();
+          break;
+        }
+        case 1: {  // Restore without stepping.
+          ASSERT_TRUE(session->EnsureResident().ok());
+          break;
+        }
+        default: {  // Step (restoring first if needed).
+          if (session->done()) break;
+          ASSERT_TRUE(session->EnsureResident().ok());
+          Result<DaemonSession::StepOutcome> outcome = session->Step();
+          ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+          break;
+        }
+      }
+    }
+
+    for (size_t i = 0; i < kSessions; ++i) {
+      SCOPED_TRACE("round " + std::to_string(round) + " session " +
+                   std::to_string(i));
+      Result<std::string> final_snapshot = sessions[i]->Snapshot();
+      ASSERT_TRUE(final_snapshot.ok());
+      // Byte-identical to the never-evicted twin.
+      EXPECT_EQ(final_snapshot.value(), reference[i]);
+    }
+  }
+}
+
+TEST(DaemonChurn, EvictionSurvivesSessionReuseOfTheSpoolFile) {
+  // Same spool path, sequential sessions: each session's destructor
+  // removes its spool file, so a new session starting at the same path
+  // must not see stale bytes.
+  std::string csv = BlobsCsv();
+  std::string spool = "/tmp/volcanoml_churn_reuse.snapshot";
+  for (int iteration = 0; iteration < 2; ++iteration) {
+    DaemonSession::Spec spec;
+    spec.tenant = "reuse";
+    spec.dataset_name = "train";
+    spec.csv = csv;
+    spec.config = ChurnConfig(static_cast<size_t>(iteration));
+    DaemonSession session(1, std::move(spec), spool);
+    ASSERT_TRUE(session.Activate().ok());
+    ASSERT_TRUE(session.Step().ok());
+    Result<bool> evicted = session.Evict();
+    ASSERT_TRUE(evicted.ok());
+    EXPECT_TRUE(evicted.value());
+    ASSERT_TRUE(session.EnsureResident().ok());
+    EXPECT_EQ(session.status().steps, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,101 @@
+// Concurrent clients against one daemon: N threads submit and drive
+// sessions at once. The daemon's single serve loop serializes them, so
+// this is primarily a TSan target for the client/transport/daemon
+// boundary (the only sanctioned cross-thread edges are the socket and
+// RequestStop).
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "ipc/transport.h"
+#include "util/thread_pool.h"
+
+namespace volcanoml {
+namespace {
+
+std::string BlobsCsv() {
+  Dataset data = MakeBlobs(40, 3, 2, 1.2, 13);
+  std::ostringstream out;
+  out.precision(17);
+  for (size_t i = 0; i < data.NumSamples(); ++i) {
+    for (size_t j = 0; j < data.NumFeatures(); ++j) {
+      out << data.x()(i, j) << ',';
+    }
+    out << data.y()[i] << '\n';
+  }
+  return out.str();
+}
+
+TEST(DaemonConcurrent, ParallelClientsSubmitAndFinishCleanly) {
+  const std::string socket = "/tmp/volcanoml_daemon_concurrent_test.sock";
+  const std::string csv = BlobsCsv();
+  constexpr size_t kClients = 4;
+  constexpr size_t kSessionsPerClient = 2;
+
+  DaemonOptions options;
+  options.socket_path = socket;
+  options.spool_dir = "/tmp";
+  options.max_resident = 3;  // Force evict/restore churn under load.
+  Daemon daemon(options);
+  ThreadPool serve_pool(1);
+  Status serve_status = Status::Ok();
+  std::future<void> served =
+      serve_pool.Submit([&] { serve_status = daemon.Serve(); });
+  {
+    DaemonClient probe(socket);
+    for (int i = 0; i < 1000; ++i) {
+      if (probe.ListSessions().ok()) break;
+      SleepMs(5);
+    }
+  }
+
+  std::atomic<int> failures{0};
+  {
+    ThreadPool clients(kClients);
+    clients.ParallelFor(kClients, [&](size_t client_index) {
+      DaemonClient client(socket);
+      for (size_t s = 0; s < kSessionsPerClient; ++s) {
+        CreateSessionRequest request;
+        request.tenant = "client-" + std::to_string(client_index);
+        request.csv = csv;
+        request.config.preset = 0;
+        request.config.plan = "joint";
+        request.config.optimizer = "random";
+        request.config.budget = 3.0;
+        request.config.seed = 17 + client_index * kSessionsPerClient + s;
+        request.step_credit = kUnlimitedCredit;
+        Result<uint64_t> created = client.CreateSession(request);
+        if (!created.ok()) {
+          ++failures;
+          continue;
+        }
+        Result<SessionStatus> done = client.WaitUntilDone(created.value());
+        if (!done.ok() || !done.value().done) ++failures;
+      }
+    });
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  DaemonClient client(socket);
+  Result<ListSessionsReply> listed = client.ListSessions();
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value().sessions.size(), kClients * kSessionsPerClient);
+  EXPECT_EQ(listed.value().tenants.size(), kClients);
+  for (const SessionStatus& status : listed.value().sessions) {
+    EXPECT_TRUE(status.done);
+  }
+
+  daemon.RequestStop();
+  served.wait();
+  EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,397 @@
+// Session daemon end-to-end over a real Unix socket: every daemon-driven
+// trajectory must be bit-identical to the equivalent in-process run, for
+// every plan kind x joint optimizer, including mid-run evict + restore.
+//
+// The daemon serves from a ThreadPool worker while the test thread plays
+// the clients — the same two-thread shape as production (serve loop +
+// RequestStop are the only cross-thread edges).
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "core/volcano_ml.h"
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "daemon/session.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "ipc/transport.h"
+#include "util/thread_pool.h"
+
+namespace volcanoml {
+namespace {
+
+std::string BlobsCsv() {
+  Dataset data = MakeBlobs(60, 4, 2, 1.1, 11);
+  std::ostringstream out;
+  out.precision(17);
+  for (size_t i = 0; i < data.NumSamples(); ++i) {
+    for (size_t j = 0; j < data.NumFeatures(); ++j) {
+      out << data.x()(i, j) << ',';
+    }
+    out << data.y()[i] << '\n';
+  }
+  return out.str();
+}
+
+SessionConfig SmallConfig(PlanKind plan, JointOptimizerKind optimizer) {
+  SessionConfig config;
+  config.task = 0;
+  config.preset = 0;  // small
+  config.plan = PlanKindName(plan);
+  config.optimizer = JointOptimizerKindName(optimizer);
+  config.budget = 6.0;
+  config.seed = 7;
+  return config;
+}
+
+struct TwinOutput {
+  std::vector<TrajectoryPoint> trajectory;
+  Assignment best_assignment;
+  std::string snapshot;
+};
+
+/// The in-process twin: same config, same CSV bytes, same options seam.
+TwinOutput RunInProcess(const SessionConfig& config, const std::string& csv) {
+  TwinOutput out;
+  Result<VolcanoMlOptions> options = SessionConfigToOptions(config);
+  EXPECT_TRUE(options.ok()) << options.status().ToString();
+  if (!options.ok()) return out;
+  Result<Dataset> data =
+      ParseCsvDataset(csv, options.value().space.task, "train", "twin");
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  if (!data.ok()) return out;
+  VolcanoML automl(options.value());
+  Status prepared = automl.Prepare(data.value());
+  EXPECT_TRUE(prepared.ok()) << prepared.ToString();
+  if (!prepared.ok()) return out;
+  automl.executor()->Run();
+  out.trajectory = automl.executor()->trajectory();
+  out.best_assignment = automl.executor()->BestAssignment();
+  out.snapshot = automl.executor()->SaveSnapshot();
+  return out;
+}
+
+/// Runs a daemon on a ThreadPool worker for the lifetime of the fixture.
+class DaemonFixture {
+ public:
+  explicit DaemonFixture(const std::string& socket_path,
+                         size_t max_resident = 8)
+      : pool_(1), client_(socket_path) {
+    DaemonOptions options;
+    options.socket_path = socket_path;
+    options.spool_dir = "/tmp";
+    options.max_resident = max_resident;
+    daemon_ = std::make_unique<Daemon>(options);
+    served_ = pool_.Submit([this] { serve_status_ = daemon_->Serve(); });
+    // Wait until the socket answers (the daemon binds asynchronously).
+    for (int i = 0; i < 1000; ++i) {
+      if (client_.ListSessions().ok()) return;
+      SleepMs(5);
+    }
+  }
+
+  ~DaemonFixture() {
+    daemon_->RequestStop();
+    served_.wait();
+    EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  }
+
+  DaemonClient& client() { return client_; }
+  Daemon& daemon() { return *daemon_; }
+
+ private:
+  ThreadPool pool_;
+  DaemonClient client_;
+  std::unique_ptr<Daemon> daemon_;
+  std::future<void> served_;
+  Status serve_status_ = Status::Ok();
+};
+
+TEST(Daemon, MatchesInProcessForEveryPlanAndOptimizer) {
+  std::string csv = BlobsCsv();
+  std::string socket = "/tmp/volcanoml_daemon_matrix_test.sock";
+  DaemonFixture fixture(socket);
+
+  struct Case {
+    SessionConfig config;
+    uint64_t session_id = 0;
+  };
+  std::vector<Case> cases;
+  int tenant_index = 0;
+  for (PlanKind plan : AllPlanKinds()) {
+    for (JointOptimizerKind optimizer : AllJointOptimizerKinds()) {
+      Case c;
+      c.config = SmallConfig(plan, optimizer);
+      CreateSessionRequest request;
+      // Spread the matrix over three tenants so the fair-share rotation
+      // actually interleaves different searches.
+      request.tenant = "tenant-" + std::to_string(tenant_index++ % 3);
+      request.csv = csv;
+      request.config = c.config;
+      request.step_credit = kUnlimitedCredit;
+      Result<uint64_t> created = fixture.client().CreateSession(request);
+      ASSERT_TRUE(created.ok()) << created.status().ToString();
+      c.session_id = created.value();
+      cases.push_back(c);
+    }
+  }
+
+  // Mid-run churn: evict every session once while the scheduler is still
+  // stepping the fleet. The daemon restores each on its next turn, and
+  // nothing downstream may notice.
+  for (const Case& c : cases) {
+    Result<bool> evicted = fixture.client().EvictSession(c.session_id);
+    ASSERT_TRUE(evicted.ok()) << evicted.status().ToString();
+  }
+
+  for (const Case& c : cases) {
+    Result<SessionStatus> done = fixture.client().WaitUntilDone(c.session_id);
+    ASSERT_TRUE(done.ok()) << done.status().ToString();
+
+    TwinOutput twin = RunInProcess(c.config, csv);
+    QuerySessionRequest query;
+    query.session_id = c.session_id;
+    query.include_trajectory = true;
+    query.include_assignment = true;
+    Result<QuerySessionReply> reply = fixture.client().QuerySession(query);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+    SCOPED_TRACE("plan " + c.config.plan + " optimizer " +
+                 c.config.optimizer);
+    // Trajectories must agree bit-for-bit (FormatTrajectory prints
+    // round-trip-exact %.17g, so string equality is bit equality).
+    EXPECT_EQ(FormatTrajectory(reply.value().trajectory),
+              FormatTrajectory(twin.trajectory));
+    EXPECT_EQ(reply.value().best_assignment, twin.best_assignment);
+    Result<std::string> snapshot =
+        fixture.client().SnapshotSession(c.session_id);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    EXPECT_EQ(snapshot.value(), twin.snapshot);
+  }
+}
+
+TEST(Daemon, ParkedSessionStepsOnlyWhenGrantedCredit) {
+  std::string csv = BlobsCsv();
+  DaemonFixture fixture("/tmp/volcanoml_daemon_credit_test.sock");
+  CreateSessionRequest request;
+  request.csv = csv;
+  request.config =
+      SmallConfig(PlanKind::kConditioningAlternating, JointOptimizerKind::kSmac);
+  // One step can consume several budget units (one pull per conditioning
+  // arm); a roomy budget keeps 3 steps well short of done.
+  request.config.budget = 30.0;
+  request.step_credit = 0;  // Parked: admitted but never scheduled.
+  Result<uint64_t> created = fixture.client().CreateSession(request);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  uint64_t id = created.value();
+
+  SleepMs(50);
+  QuerySessionRequest query;
+  query.session_id = id;
+  Result<QuerySessionReply> before = fixture.client().QuerySession(query);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().status.steps, 0u);
+
+  // Grant exactly 3 steps and wait for them to be consumed.
+  Result<SessionStatus> granted = fixture.client().StepSession(id, 3);
+  ASSERT_TRUE(granted.ok());
+  for (int i = 0; i < 1000; ++i) {
+    Result<QuerySessionReply> now = fixture.client().QuerySession(query);
+    ASSERT_TRUE(now.ok());
+    if (now.value().status.pending_credit == 0 &&
+        now.value().status.steps >= 3) {
+      break;
+    }
+    SleepMs(5);
+  }
+  Result<QuerySessionReply> after = fixture.client().QuerySession(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().status.steps, 3u);
+  EXPECT_FALSE(after.value().status.done);
+}
+
+TEST(Daemon, EvictedSessionRestoresTransparently) {
+  std::string csv = BlobsCsv();
+  DaemonFixture fixture("/tmp/volcanoml_daemon_evict_test.sock");
+  CreateSessionRequest request;
+  request.csv = csv;
+  request.config =
+      SmallConfig(PlanKind::kJoint, JointOptimizerKind::kRandom);
+  request.step_credit = 2;
+  Result<uint64_t> created = fixture.client().CreateSession(request);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  uint64_t id = created.value();
+
+  // Let the 2 granted steps run dry, then evict.
+  QuerySessionRequest query;
+  query.session_id = id;
+  for (int i = 0; i < 1000; ++i) {
+    Result<QuerySessionReply> now = fixture.client().QuerySession(query);
+    ASSERT_TRUE(now.ok());
+    if (now.value().status.steps >= 2) break;
+    SleepMs(5);
+  }
+  Result<std::string> before = fixture.client().SnapshotSession(id);
+  ASSERT_TRUE(before.ok());
+  Result<bool> evicted = fixture.client().EvictSession(id);
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_TRUE(evicted.value());
+  // Double-evict is a no-op.
+  Result<bool> again = fixture.client().EvictSession(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value());
+
+  Result<QuerySessionReply> status = fixture.client().QuerySession(query);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().status.state, SessionState::kEvicted);
+  EXPECT_EQ(status.value().status.steps, 2u);
+
+  // Snapshotting restores the executor; the restored state is
+  // byte-identical to the pre-eviction snapshot.
+  Result<std::string> after = fixture.client().SnapshotSession(id);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), before.value());
+  Result<QuerySessionReply> restored = fixture.client().QuerySession(query);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().status.state, SessionState::kResident);
+}
+
+TEST(Daemon, ResidencyCapEvictsIdleSessions) {
+  std::string csv = BlobsCsv();
+  DaemonFixture fixture("/tmp/volcanoml_daemon_cap_test.sock",
+                        /*max_resident=*/2);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    CreateSessionRequest request;
+    request.csv = csv;
+    request.config =
+        SmallConfig(PlanKind::kJoint, JointOptimizerKind::kRandom);
+    request.config.seed = 7 + static_cast<uint64_t>(i);
+    request.step_credit = 0;  // Idle: prime eviction candidates.
+    Result<uint64_t> created = fixture.client().CreateSession(request);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    ids.push_back(created.value());
+  }
+  Result<ListSessionsReply> listed = fixture.client().ListSessions();
+  ASSERT_TRUE(listed.ok());
+  size_t resident = 0;
+  for (const SessionStatus& status : listed.value().sessions) {
+    if (status.state == SessionState::kResident) ++resident;
+  }
+  EXPECT_LE(resident, 2u);
+  // The two oldest-touched sessions were evicted first.
+  EXPECT_EQ(listed.value().sessions[0].state, SessionState::kEvicted);
+  EXPECT_EQ(listed.value().sessions[1].state, SessionState::kEvicted);
+}
+
+TEST(Daemon, ErrorsComeBackAsStatusesAndTheDaemonKeepsServing) {
+  DaemonFixture fixture("/tmp/volcanoml_daemon_error_test.sock");
+  // Unknown session.
+  Result<SessionStatus> missing = fixture.client().StepSession(42, 1);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // Invalid config: unknown plan name.
+  CreateSessionRequest bad_plan;
+  bad_plan.csv = "1,2,0\n3,4,1\n";
+  bad_plan.config.plan = "not-a-plan";
+  Result<uint64_t> rejected = fixture.client().CreateSession(bad_plan);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  // Invalid config: non-positive budget never reaches the executor's
+  // VOLCANOML_CHECK — it is rejected at the validation seam.
+  CreateSessionRequest bad_budget;
+  bad_budget.csv = "1,2,0\n3,4,1\n";
+  bad_budget.config.budget = -1.0;
+  Result<uint64_t> rejected_budget =
+      fixture.client().CreateSession(bad_budget);
+  EXPECT_EQ(rejected_budget.status().code(), StatusCode::kInvalidArgument);
+  // Malformed CSV.
+  CreateSessionRequest bad_csv;
+  bad_csv.csv = "not,numbers,at\nall";
+  Result<uint64_t> rejected_csv = fixture.client().CreateSession(bad_csv);
+  EXPECT_EQ(rejected_csv.status().code(), StatusCode::kInvalidArgument);
+  // Empty tenant.
+  CreateSessionRequest bad_tenant;
+  bad_tenant.tenant = "";
+  bad_tenant.csv = "1,2,0\n3,4,1\n";
+  Result<uint64_t> rejected_tenant =
+      fixture.client().CreateSession(bad_tenant);
+  EXPECT_EQ(rejected_tenant.status().code(), StatusCode::kInvalidArgument);
+  // None of the rejected creates registered anything; the daemon still
+  // answers.
+  Result<ListSessionsReply> listed = fixture.client().ListSessions();
+  ASSERT_TRUE(listed.ok());
+  EXPECT_TRUE(listed.value().sessions.empty());
+}
+
+TEST(Daemon, ListSessionsReportsTenantAccounts) {
+  std::string csv = BlobsCsv();
+  DaemonFixture fixture("/tmp/volcanoml_daemon_list_test.sock");
+  for (const char* tenant : {"beta", "alpha", "beta"}) {
+    CreateSessionRequest request;
+    request.tenant = tenant;
+    request.csv = csv;
+    request.config =
+        SmallConfig(PlanKind::kJoint, JointOptimizerKind::kRandom);
+    request.step_credit = kUnlimitedCredit;
+    ASSERT_TRUE(fixture.client().CreateSession(request).ok());
+  }
+  for (uint64_t id : {1u, 2u, 3u}) {
+    ASSERT_TRUE(fixture.client().WaitUntilDone(id).ok());
+  }
+  Result<ListSessionsReply> listed = fixture.client().ListSessions();
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed.value().sessions.size(), 3u);
+  // Sessions ordered by id, tenants by name.
+  EXPECT_EQ(listed.value().sessions[0].session_id, 1u);
+  EXPECT_EQ(listed.value().sessions[2].session_id, 3u);
+  ASSERT_EQ(listed.value().tenants.size(), 2u);
+  EXPECT_EQ(listed.value().tenants[0].tenant, "alpha");
+  EXPECT_EQ(listed.value().tenants[0].sessions_created, 1u);
+  EXPECT_EQ(listed.value().tenants[1].tenant, "beta");
+  EXPECT_EQ(listed.value().tenants[1].sessions_created, 2u);
+  // Every executed step was accounted to some tenant, with its budget.
+  uint64_t total_steps = 0;
+  double total_budget = 0.0;
+  for (const TenantAccount& account : listed.value().tenants) {
+    total_steps += account.steps_executed;
+    total_budget += account.budget_consumed;
+  }
+  uint64_t session_steps = 0;
+  for (const SessionStatus& status : listed.value().sessions) {
+    session_steps += status.steps;
+    EXPECT_GT(status.telemetry.num_evaluations, 0u);
+  }
+  EXPECT_EQ(total_steps, session_steps);
+  EXPECT_GT(total_budget, 0.0);
+}
+
+TEST(Daemon, ShutdownStopsTheServeLoopAndRemovesTheSocket) {
+  std::string socket = "/tmp/volcanoml_daemon_shutdown_test.sock";
+  ThreadPool pool(1);
+  DaemonOptions options;
+  options.socket_path = socket;
+  options.spool_dir = "/tmp";
+  Daemon daemon(options);
+  Status serve_status = Status::Ok();
+  std::future<void> served =
+      pool.Submit([&] { serve_status = daemon.Serve(); });
+  DaemonClient client(socket);
+  for (int i = 0; i < 1000; ++i) {
+    if (client.ListSessions().ok()) break;
+    SleepMs(5);
+  }
+  Result<uint64_t> open = client.Shutdown();
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open.value(), 0u);
+  served.wait();
+  EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
+  // The listener unlinked its socket on the way out.
+  EXPECT_FALSE(ConnectUnix(socket).ok());
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,239 @@
+// IPC layer: wire codec round trips (bit-exact doubles, embedded NULs),
+// malformed-payload rejection, and framed transport over a real
+// Unix-domain socket.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "ipc/messages.h"
+#include "ipc/transport.h"
+#include "ipc/wire.h"
+
+namespace volcanoml {
+namespace {
+
+bool BitEqual(double a, double b) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  return ab == bb;
+}
+
+TEST(WireCodec, RoundTripsScalars) {
+  WireWriter w;
+  w.U8(0xab);
+  w.U32(0xdeadbeef);
+  w.U64(UINT64_MAX);
+  w.Bool(true);
+  w.Bool(false);
+  w.F64(-0.0);
+  w.Str(std::string("nul\0inside", 10));
+  WireReader r(w.str());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), UINT64_MAX);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_FALSE(r.Bool());
+  EXPECT_TRUE(BitEqual(r.F64(), -0.0));
+  EXPECT_EQ(r.Str(), std::string("nul\0inside", 10));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireCodec, DoublesAreBitExact) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max()};
+  for (double value : values) {
+    WireWriter w;
+    w.F64(value);
+    WireReader r(w.str());
+    EXPECT_TRUE(BitEqual(r.F64(), value));
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(WireCodec, TruncationLatchesAnError) {
+  WireWriter w;
+  w.U64(42);
+  std::string bytes = w.str();
+  bytes.resize(bytes.size() - 1);
+  WireReader r(bytes);
+  (void)r.U64();
+  EXPECT_FALSE(r.ok());
+  // Later reads stay failed (latched), and return zero values.
+  EXPECT_EQ(r.U32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireCodec, OverlongStringLengthFails) {
+  WireWriter w;
+  w.U32(1000);  // Claims 1000 bytes; provides 3.
+  WireReader r(w.str() + "abc");
+  (void)r.Str();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Messages, SessionConfigRoundTrips) {
+  SessionConfig config;
+  config.task = 1;
+  config.preset = 2;
+  config.plan = "joint";
+  config.optimizer = "tpe";
+  config.budget = 12.25;
+  config.seed = 99;
+  config.cv_folds = 5;
+  config.include_smote = true;
+  config.batch_size = 3;
+  Result<SessionConfig> round =
+      DecodeMessage<SessionConfig>(EncodeMessage(config));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().task, config.task);
+  EXPECT_EQ(round.value().preset, config.preset);
+  EXPECT_EQ(round.value().plan, config.plan);
+  EXPECT_EQ(round.value().optimizer, config.optimizer);
+  EXPECT_TRUE(BitEqual(round.value().budget, config.budget));
+  EXPECT_EQ(round.value().seed, config.seed);
+  EXPECT_EQ(round.value().cv_folds, config.cv_folds);
+  EXPECT_EQ(round.value().include_smote, config.include_smote);
+  EXPECT_EQ(round.value().batch_size, config.batch_size);
+}
+
+TEST(Messages, QueryReplyRoundTripsTrajectoryAndAssignment) {
+  QuerySessionReply reply;
+  reply.status.session_id = 7;
+  reply.status.tenant = "alice";
+  reply.status.state = SessionState::kEvicted;
+  reply.status.done = true;
+  reply.status.steps = 12;
+  reply.status.consumed_budget = 12.0;
+  reply.status.best_utility = 0.875;
+  reply.status.pending_credit = kUnlimitedCredit;
+  reply.status.telemetry.num_evaluations = 12;
+  reply.status.telemetry.fe_cache_hits = 4;
+  reply.trajectory = {{1.0, 0.5}, {2.0, 0.75}};
+  reply.best_assignment = {{"algorithm", 2.0}, {"alpha", 0.125}};
+  Result<QuerySessionReply> round =
+      DecodeMessage<QuerySessionReply>(EncodeMessage(reply));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().status.session_id, 7u);
+  EXPECT_EQ(round.value().status.tenant, "alice");
+  EXPECT_EQ(round.value().status.state, SessionState::kEvicted);
+  EXPECT_TRUE(round.value().status.done);
+  EXPECT_EQ(round.value().status.pending_credit, kUnlimitedCredit);
+  EXPECT_EQ(round.value().status.telemetry.num_evaluations, 12u);
+  ASSERT_EQ(round.value().trajectory.size(), 2u);
+  EXPECT_TRUE(BitEqual(round.value().trajectory[1].utility, 0.75));
+  EXPECT_EQ(round.value().best_assignment, reply.best_assignment);
+}
+
+TEST(Messages, TrailingBytesAreRejected) {
+  CreateSessionReply reply;
+  reply.session_id = 3;
+  Result<CreateSessionReply> round =
+      DecodeMessage<CreateSessionReply>(EncodeMessage(reply) + "x");
+  EXPECT_FALSE(round.ok());
+  EXPECT_EQ(round.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Messages, UnknownSessionStateIsRejected) {
+  SessionStatus status;
+  WireWriter w;
+  status.Encode(&w);
+  std::string bytes = w.TakeStr();
+  // The state byte sits right after the u64 id and the empty-tenant
+  // length prefix.
+  bytes[8 + 4] = 9;
+  Result<SessionStatus> round = DecodeMessage<SessionStatus>(bytes);
+  EXPECT_FALSE(round.ok());
+}
+
+TEST(Messages, ErrorReplyCarriesStatusAcrossTheWire) {
+  Status original = Status::NotFound("no session with id 4");
+  Result<ErrorReply> round =
+      DecodeMessage<ErrorReply>(EncodeMessage(ErrorReply::FromStatus(original)));
+  ASSERT_TRUE(round.ok());
+  Status decoded = round.value().ToStatus();
+  EXPECT_EQ(decoded.code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded.message(), original.message());
+}
+
+TEST(Messages, UnknownErrorCodeDegradesToInternal) {
+  ErrorReply reply;
+  reply.code = 250;
+  reply.message = "from the future";
+  EXPECT_EQ(reply.ToStatus().code(), StatusCode::kInternal);
+}
+
+TEST(Transport, FramesRoundTripOverAUnixSocket) {
+  std::string path = "/tmp/volcanoml_ipc_codec_test.sock";
+  Result<UnixListener> listener = UnixListener::Bind(path);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  Result<FdHandle> client = ConnectUnix(path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<bool> readable = listener.value().WaitReadable(1000);
+  ASSERT_TRUE(readable.ok());
+  ASSERT_TRUE(readable.value());
+  Result<FdHandle> server = listener.value().Accept();
+  ASSERT_TRUE(server.ok());
+
+  std::string payload("framed\0bytes", 12);
+  ASSERT_TRUE(SendFrame(client.value(), 5, payload).ok());
+  uint8_t type = 0;
+  std::string received;
+  ASSERT_TRUE(RecvFrame(server.value(), &type, &received, 1000).ok());
+  EXPECT_EQ(type, 5);
+  EXPECT_EQ(received, payload);
+
+  // Empty payloads frame fine too (ListSessions, Shutdown).
+  ASSERT_TRUE(SendFrame(server.value(), 11, "").ok());
+  ASSERT_TRUE(RecvFrame(client.value(), &type, &received, 1000).ok());
+  EXPECT_EQ(type, 11);
+  EXPECT_TRUE(received.empty());
+}
+
+TEST(Transport, RecvTimesOutOnASilentPeer) {
+  std::string path = "/tmp/volcanoml_ipc_timeout_test.sock";
+  Result<UnixListener> listener = UnixListener::Bind(path);
+  ASSERT_TRUE(listener.ok());
+  Result<FdHandle> client = ConnectUnix(path);
+  ASSERT_TRUE(client.ok());
+  Result<FdHandle> server = listener.value().Accept();
+  ASSERT_TRUE(server.ok());
+  uint8_t type = 0;
+  std::string payload;
+  Status received = RecvFrame(server.value(), &type, &payload, 10);
+  EXPECT_EQ(received.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Transport, OversizePayloadIsRejectedBeforeSending) {
+  std::string path = "/tmp/volcanoml_ipc_oversize_test.sock";
+  Result<UnixListener> listener = UnixListener::Bind(path);
+  ASSERT_TRUE(listener.ok());
+  Result<FdHandle> client = ConnectUnix(path);
+  ASSERT_TRUE(client.ok());
+  std::string oversize(kMaxFramePayload + 1, 'x');
+  Status sent = SendFrame(client.value(), 1, oversize);
+  EXPECT_EQ(sent.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Transport, ListenerUnlinksItsSocketOnDestruction) {
+  std::string path = "/tmp/volcanoml_ipc_unlink_test.sock";
+  {
+    Result<UnixListener> listener = UnixListener::Bind(path);
+    ASSERT_TRUE(listener.ok());
+    EXPECT_TRUE(ConnectUnix(path).ok());
+  }
+  EXPECT_FALSE(ConnectUnix(path).ok());
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,136 @@
+// Fair-share scheduler: deterministic round-robin over tenants, FIFO
+// within a tenant, credit accounting, and per-tenant bookkeeping.
+
+#include <string>
+#include <vector>
+
+#include "daemon/scheduler.h"
+#include "gtest/gtest.h"
+
+namespace volcanoml {
+namespace {
+
+std::vector<uint64_t> Drain(FairShareScheduler* scheduler, size_t max_turns) {
+  std::vector<uint64_t> order;
+  FairShareScheduler::Turn turn;
+  while (order.size() < max_turns && scheduler->NextTurn(&turn)) {
+    order.push_back(turn.session_id);
+  }
+  return order;
+}
+
+TEST(FairShareScheduler, RoundRobinsOverTenantsInSortedOrder) {
+  FairShareScheduler scheduler;
+  scheduler.AdmitSession("bob", 2, 3);
+  scheduler.AdmitSession("alice", 1, 3);
+  scheduler.AdmitSession("carol", 3, 3);
+  // Admission order is bob/alice/carol, but turns go alphabetically.
+  EXPECT_EQ(Drain(&scheduler, 100),
+            (std::vector<uint64_t>{1, 2, 3, 1, 2, 3, 1, 2, 3}));
+  EXPECT_FALSE(scheduler.HasRunnable());
+}
+
+TEST(FairShareScheduler, TenantShareIsIndependentOfSessionCount) {
+  FairShareScheduler scheduler;
+  // alice floods with 3 sessions; bob has 1. Per-tenant turns alternate,
+  // and alice's sessions rotate FIFO within her share.
+  scheduler.AdmitSession("alice", 1, 2);
+  scheduler.AdmitSession("alice", 2, 2);
+  scheduler.AdmitSession("alice", 3, 2);
+  scheduler.AdmitSession("bob", 4, 3);
+  EXPECT_EQ(Drain(&scheduler, 100),
+            (std::vector<uint64_t>{1, 4, 2, 4, 3, 4, 1, 2, 3}));
+}
+
+TEST(FairShareScheduler, TurnSequenceIsAPureFunctionOfTheCalls) {
+  auto build = [] {
+    FairShareScheduler scheduler;
+    scheduler.AdmitSession("t1", 10, 2);
+    scheduler.AdmitSession("t0", 11, 1);
+    scheduler.AdmitSession("t2", 12, 4);
+    return scheduler;
+  };
+  FairShareScheduler a = build();
+  FairShareScheduler b = build();
+  EXPECT_EQ(Drain(&a, 100), Drain(&b, 100));
+}
+
+TEST(FairShareScheduler, CreditIsSpentOncePerTurnAndRefillable) {
+  FairShareScheduler scheduler;
+  scheduler.AdmitSession("alice", 1, 1);
+  EXPECT_EQ(scheduler.pending_credit(1), 1u);
+  EXPECT_EQ(Drain(&scheduler, 100), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(scheduler.pending_credit(1), 0u);
+  EXPECT_FALSE(scheduler.HasRunnable());
+  scheduler.GrantCredit("alice", 1, 2);
+  EXPECT_EQ(scheduler.pending_credit(1), 2u);
+  EXPECT_EQ(Drain(&scheduler, 100), (std::vector<uint64_t>{1, 1}));
+}
+
+TEST(FairShareScheduler, UnlimitedCreditNeverDrains) {
+  FairShareScheduler scheduler;
+  scheduler.AdmitSession("alice", 1, kUnlimitedCredit);
+  FairShareScheduler::Turn turn;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(scheduler.NextTurn(&turn));
+    EXPECT_EQ(turn.session_id, 1u);
+  }
+  EXPECT_EQ(scheduler.pending_credit(1), kUnlimitedCredit);
+  // Saturating grant keeps it unlimited.
+  scheduler.GrantCredit("alice", 1, 5);
+  EXPECT_EQ(scheduler.pending_credit(1), kUnlimitedCredit);
+}
+
+TEST(FairShareScheduler, ZeroCreditSessionsAreAdmittedParked) {
+  FairShareScheduler scheduler;
+  scheduler.AdmitSession("alice", 1, 0);
+  EXPECT_FALSE(scheduler.HasRunnable());
+  scheduler.GrantCredit("alice", 1, 1);
+  EXPECT_EQ(Drain(&scheduler, 100), (std::vector<uint64_t>{1}));
+}
+
+TEST(FairShareScheduler, RemoveSessionDropsQueueAndCredit) {
+  FairShareScheduler scheduler;
+  scheduler.AdmitSession("alice", 1, 5);
+  scheduler.AdmitSession("alice", 2, 5);
+  scheduler.RemoveSession("alice", 1);
+  EXPECT_EQ(scheduler.pending_credit(1), 0u);
+  EXPECT_EQ(Drain(&scheduler, 100), (std::vector<uint64_t>{2, 2, 2, 2, 2}));
+}
+
+TEST(FairShareScheduler, AccountsTrackStepsAndBudgetPerTenant) {
+  FairShareScheduler scheduler;
+  scheduler.AdmitSession("bob", 1, 1);
+  scheduler.AdmitSession("alice", 2, 1);
+  scheduler.AdmitSession("alice", 3, 1);
+  scheduler.RecordStep("alice", 0.5);
+  scheduler.RecordStep("alice", 0.25);
+  scheduler.RecordStep("bob", 1.0);
+  std::vector<TenantAccount> accounts = scheduler.Accounts();
+  ASSERT_EQ(accounts.size(), 2u);
+  EXPECT_EQ(accounts[0].tenant, "alice");
+  EXPECT_EQ(accounts[0].sessions_created, 2u);
+  EXPECT_EQ(accounts[0].steps_executed, 2u);
+  EXPECT_DOUBLE_EQ(accounts[0].budget_consumed, 0.75);
+  EXPECT_EQ(accounts[1].tenant, "bob");
+  EXPECT_EQ(accounts[1].sessions_created, 1u);
+  EXPECT_EQ(accounts[1].steps_executed, 1u);
+}
+
+TEST(FairShareScheduler, ResumesAfterTheCursorTenant) {
+  FairShareScheduler scheduler;
+  scheduler.AdmitSession("alice", 1, 1);
+  scheduler.AdmitSession("bob", 2, 1);
+  FairShareScheduler::Turn turn;
+  ASSERT_TRUE(scheduler.NextTurn(&turn));
+  EXPECT_EQ(turn.tenant, "alice");
+  // A grant to alice mid-rotation must not let her jump bob's turn.
+  scheduler.GrantCredit("alice", 1, 1);
+  ASSERT_TRUE(scheduler.NextTurn(&turn));
+  EXPECT_EQ(turn.tenant, "bob");
+  ASSERT_TRUE(scheduler.NextTurn(&turn));
+  EXPECT_EQ(turn.tenant, "alice");
+}
+
+}  // namespace
+}  // namespace volcanoml

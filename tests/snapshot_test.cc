@@ -56,7 +56,7 @@ TEST(SnapshotTest, DoubleBitPatternsRoundTripExactly) {
 }
 
 TEST(SnapshotTest, IdenticalStatesSerializeToIdenticalBytes) {
-  auto write = [] {
+  auto write_snapshot = [] {
     SnapshotWriter w;
     w.Header();
     w.Begin("demo");
@@ -65,7 +65,7 @@ TEST(SnapshotTest, IdenticalStatesSerializeToIdenticalBytes) {
     w.End("demo");
     return w.TakeStr();
   };
-  EXPECT_EQ(write(), write());
+  EXPECT_EQ(write_snapshot(), write_snapshot());
 }
 
 TEST(SnapshotTest, SectionsMustNest) {
@@ -140,7 +140,7 @@ TEST(SnapshotTest, RejectsWrongVersion) {
   std::string data = w.str();
   size_t pos = data.find(std::to_string(kSnapshotVersion));
   ASSERT_NE(pos, std::string::npos);
-  data.replace(pos, 1, "9");
+  data[pos] = '9';
   SnapshotReader r(data);
   r.Header();
   EXPECT_FALSE(r.ok());

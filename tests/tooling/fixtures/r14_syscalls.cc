@@ -1,0 +1,38 @@
+// expect: R14-syscalls
+// Raw socket / file-descriptor syscalls outside src/ipc/: the framed
+// transport layer is the only audited owner of partial-read, EINTR and
+// SIGPIPE handling. Member calls and std::-qualified names must not
+// fire (negative cases at the bottom).
+#include <cstddef>
+
+extern "C" {
+int socket(int, int, int);
+long write(int, const void*, unsigned long);
+long read(int, void*, unsigned long);
+}
+
+namespace volcanoml {
+
+int OpenRawSocket() {
+  return socket(1, 1, 0);  // R14: raw socket() outside src/ipc/
+}
+
+void PushBytes(int fd, const void* data, unsigned long size) {
+  write(fd, data, size);  // R14: raw write() outside src/ipc/
+}
+
+void PullBytes(int fd, void* data, unsigned long size) {
+  read(fd, data, size);  // R14: raw read() outside src/ipc/
+}
+
+struct FramedReader {
+  void read(std::size_t) {}
+};
+
+void MemberReadDoesNotFire(FramedReader* reader) {
+  reader->read(16);  // member call, not a syscall
+  FramedReader local;
+  local.read(16);
+}
+
+}  // namespace volcanoml

@@ -31,6 +31,15 @@ complementing the runtime bit-equality tests:
                       enable pointer-value ordering. Addresses differ per
                       run under ASLR; hashing or ordering by them is a
                       silent nondeterminism bug.
+  R14 syscalls        Raw POSIX socket / file-descriptor syscalls
+                      (socket, bind, connect, recv, send, read, write,
+                      poll, select, unlink, ...) are confined to
+                      src/ipc/ — the audited transport layer. Everything
+                      else goes through its framed Send/Recv API, so
+                      partial reads, EINTR, and SIGPIPE handling live in
+                      exactly one place. std::-qualified names
+                      (std::bind) and member calls (reader.read) are not
+                      syscalls and do not fire.
 
 Waivers: append `// NOLINT-determinism(reason)` to the offending line.
 Waived lines are suppressed but inventoried in the report, so every
@@ -87,6 +96,13 @@ CLOCK_CALLS = ("time", "clock", "gettimeofday", "localtime", "gmtime",
 # R13: allowlisted randomness owner.
 NONDET_ALLOWED = ("src/util/rng.h", "src/util/rng.cc")
 POINTER_INT_TYPES = ("uintptr_t", "intptr_t")
+
+# R14: raw POSIX I/O confined to the transport layer.
+SYSCALL_ALLOWED_PREFIX = "src/ipc/"
+SYSCALL_NAMES = ("socket", "bind", "listen", "accept", "accept4",
+                 "connect", "recv", "send", "recvfrom", "sendto",
+                 "recvmsg", "sendmsg", "read", "write", "pread", "pwrite",
+                 "poll", "ppoll", "select", "unlink")
 
 # R10: snapshot key primitives and aggregate helpers whose first string
 # argument is the key.
@@ -447,6 +463,35 @@ def check_nondet_sources(scan: FileScan, report: Report):
                            "ASLR")
 
 
+def check_raw_syscalls(scan: FileScan, report: Report):
+    """R14: raw socket/fd syscalls outside src/ipc/."""
+    if scan.rel.startswith(SYSCALL_ALLOWED_PREFIX):
+        return
+    tokens = scan.tokens
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in SYSCALL_NAMES:
+            continue
+        if i + 1 >= len(tokens) or tokens[i + 1].text != "(":
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        if prev is not None:
+            if prev.text in (".", "->"):
+                continue  # member call, e.g. reader.read(...)
+            if prev.text == "::":
+                before = tokens[i - 2].text if i >= 2 else ""
+                if before == "std":
+                    continue  # std::bind and friends are not syscalls
+            # `Type select(args);` is a declaration, not a call.
+            if prev.kind == "ident" and prev.text != "return":
+                continue
+        report.add(
+            scan, t.line, "R14-syscalls",
+            f"raw {t.text}() syscall outside src/ipc/; go through the "
+            "framed transport API (src/ipc/transport.h) so partial "
+            "reads, EINTR and SIGPIPE handling stay in one audited "
+            "place")
+
+
 def extract_snapshot_keys(tokens: list[Token], start: int,
                           end: int) -> set[str]:
     """Quoted keys passed to snapshot primitives inside [start, end)."""
@@ -660,6 +705,7 @@ def main() -> int:
                 "token-pass findings stand alone")
         check_wall_clock(scan, report)
         check_nondet_sources(scan, report)
+        check_raw_syscalls(scan, report)
     check_snapshot_pairs(scans, report)
 
     for v in report.violations:
