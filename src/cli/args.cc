@@ -1,5 +1,6 @@
 #include "cli/args.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <vector>
@@ -16,10 +17,18 @@ Result<uint64_t> ParseU64Flag(const std::string& flag,
     return Status::InvalidArgument(flag + ": expected a number");
   }
   char* end = nullptr;
+  errno = 0;
   unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
   if (end != value.c_str() + value.size() || value[0] == '-') {
     return Status::InvalidArgument(flag + ": '" + value +
                                    "' is not a non-negative integer");
+  }
+  // strtoull clamps an overflowing value to ULLONG_MAX and sets ERANGE;
+  // silently accepting the clamp would e.g. turn an oversized --credit
+  // into kUnlimitedCredit.
+  if (errno == ERANGE) {
+    return Status::InvalidArgument(flag + ": '" + value +
+                                   "' is out of range for a 64-bit integer");
   }
   return static_cast<uint64_t>(parsed);
 }

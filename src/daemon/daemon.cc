@@ -307,19 +307,20 @@ void Daemon::EnforceResidencyCap(uint64_t keep_resident) {
             });
   for (const Candidate& candidate : candidates) {
     if (resident <= options_.max_resident) break;
-    Result<bool> evicted = sessions_[candidate.id]->Evict();
+    DaemonSession* victim = sessions_[candidate.id].get();
+    Result<bool> evicted = victim->Evict();
     if (!evicted.ok()) {
       VOLCANOML_LOG(Warning)
           << "session " << candidate.id
           << " failed to evict: " << evicted.status().message();
-      scheduler_.RemoveSession(sessions_[candidate.id]->tenant(),
-                               candidate.id);
-      // A failed eviction still released the executor (the session
-      // latched the error), so it no longer counts as resident.
-      --resident;
-      continue;
+      // Evict() latched the failure, so the session is kFailed (clients
+      // observe the error instead of a forever-pending session); drop it
+      // from the scheduler so it is never stepped again.
+      scheduler_.RemoveSession(victim->tenant(), candidate.id);
     }
-    if (evicted.value()) --resident;
+    // Count a freed slot only when the executor was actually released;
+    // trusting the call outcome alone would let the cap silently drift.
+    if (!victim->resident()) --resident;
   }
 }
 

@@ -28,7 +28,10 @@ void FairShareScheduler::AdmitSession(const std::string& tenant,
 void FairShareScheduler::GrantCredit(const std::string& tenant,
                                      uint64_t session_id, uint64_t steps) {
   auto credit = credit_.find(session_id);
-  VOLCANOML_CHECK(credit != credit_.end());
+  // Unknown ids are client-reachable state (a step request for a session
+  // the daemon has already retired from scheduling), so they must be
+  // ignored, not CHECK-aborted.
+  if (credit == credit_.end()) return;
   if (steps == 0) return;
   bool was_idle = credit->second == 0;
   credit->second = SaturatingAdd(credit->second, steps);

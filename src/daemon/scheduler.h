@@ -40,7 +40,8 @@ class FairShareScheduler {
                     uint64_t credit);
 
   /// Adds `steps` credit (saturating; kUnlimitedCredit is absorbing) and
-  /// enqueues the session if it was idle.
+  /// enqueues the session if it was idle. A no-op for session ids the
+  /// scheduler no longer tracks (already retired by RemoveSession).
   void GrantCredit(const std::string& tenant, uint64_t session_id,
                    uint64_t steps);
 

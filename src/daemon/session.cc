@@ -120,8 +120,12 @@ Result<bool> DaemonSession::Evict() {
   if (failed()) return error_;
   if (!resident()) return false;
   RefreshSummary();
-  VOLCANOML_RETURN_IF_ERROR(
-      WriteSpoolFile(spool_path_, automl_->executor()->SaveSnapshot()));
+  Status spooled =
+      WriteSpoolFile(spool_path_, automl_->executor()->SaveSnapshot());
+  // A spool-write failure must latch (LatchError also releases the
+  // executor): the session has to surface kFailed to clients rather than
+  // linger resident while the daemon believes a snapshot exists on disk.
+  if (!spooled.ok()) return LatchError(spooled);
   automl_.reset();
   return true;
 }

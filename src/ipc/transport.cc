@@ -1,6 +1,7 @@
 #include "ipc/transport.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 
 #include <poll.h>
@@ -9,6 +10,7 @@
 #include <unistd.h>
 
 #include "ipc/wire.h"
+#include "util/deadline.h"
 
 namespace volcanoml {
 
@@ -36,10 +38,21 @@ Result<bool> PollReadable(int fd, int timeout_ms) {
   }
 }
 
-/// Reads exactly `n` bytes, polling up to `timeout_ms` before each chunk.
-Status ReadExact(int fd, char* buffer, size_t n, int timeout_ms) {
+/// Reads exactly `n` bytes before `deadline` expires. The deadline is
+/// absolute and shared across chunks, so a slow-loris peer dribbling one
+/// byte per poll interval cannot extend its wait indefinitely.
+Status ReadExact(int fd, char* buffer, size_t n, const Deadline& deadline) {
   size_t got = 0;
   while (got < n) {
+    int timeout_ms = -1;
+    if (!deadline.unlimited()) {
+      double remaining = deadline.RemainingSeconds();
+      if (remaining <= 0.0) {
+        return Status::DeadlineExceeded(
+            "peer did not deliver the frame within the timeout");
+      }
+      timeout_ms = static_cast<int>(std::ceil(remaining * 1000.0));
+    }
     Result<bool> readable = PollReadable(fd, timeout_ms);
     VOLCANOML_RETURN_IF_ERROR(readable.status());
     if (!readable.value()) {
@@ -72,6 +85,26 @@ Status WriteAll(int fd, const std::string& data) {
     sent += static_cast<size_t>(rc);
   }
   return Status::Ok();
+}
+
+/// True when something is accepting connections on `path` — i.e. the
+/// socket file belongs to a live daemon, not a stale leftover. ENOENT and
+/// ECONNREFUSED (nothing bound / dead socket file) both mean "not live".
+Result<bool> HasLiveListener(const std::string& path,
+                             const struct sockaddr_un& addr) {
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Errno("socket");
+  }
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return true;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ENOENT || errno == ECONNREFUSED) return false;
+    return Errno("connect(" + path + ")");
+  }
 }
 
 }  // namespace
@@ -115,8 +148,16 @@ Result<UnixListener> UnixListener::Bind(const std::string& path) {
   }
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, path.c_str(), path.size());
-  // A stale socket file from a killed daemon would make bind fail; a
-  // fresh daemon owns its path.
+  // A stale socket file from a killed daemon would make bind fail, so the
+  // path is unlinked first — but only after probing that no live daemon is
+  // accepting on it, or starting a second daemon on the same path would
+  // silently steal the first one's clients.
+  Result<bool> live = HasLiveListener(path, addr);
+  VOLCANOML_RETURN_IF_ERROR(live.status());
+  if (live.value()) {
+    return Status::IoError("socket path " + path +
+                           " is in use by a live daemon");
+  }
   ::unlink(path.c_str());
   if (::bind(fd.get(), reinterpret_cast<const struct sockaddr*>(&addr),
              sizeof(addr)) != 0) {
@@ -187,9 +228,14 @@ Status SendFrame(const FdHandle& fd, uint8_t type,
 
 Status RecvFrame(const FdHandle& fd, uint8_t* type, std::string* payload,
                  int timeout_ms) {
+  // One absolute deadline covers the whole frame — header and payload —
+  // so the daemon's single-threaded serve loop is blocked for at most
+  // `timeout_ms` per request no matter how slowly the peer trickles.
+  Deadline deadline = timeout_ms < 0 ? Deadline::Never()
+                                     : Deadline::After(timeout_ms / 1000.0);
   std::string header(kFrameHeaderBytes, '\0');
   VOLCANOML_RETURN_IF_ERROR(
-      ReadExact(fd.get(), header.data(), header.size(), timeout_ms));
+      ReadExact(fd.get(), header.data(), header.size(), deadline));
   WireReader reader(header);
   uint32_t magic = reader.U32();
   uint8_t frame_type = reader.U8();
@@ -205,10 +251,14 @@ Status RecvFrame(const FdHandle& fd, uint8_t* type, std::string* payload,
   payload->assign(length, '\0');
   if (length > 0) {
     VOLCANOML_RETURN_IF_ERROR(
-        ReadExact(fd.get(), payload->data(), length, timeout_ms));
+        ReadExact(fd.get(), payload->data(), length, deadline));
   }
   *type = frame_type;
   return Status::Ok();
+}
+
+Status SendBytes(const FdHandle& fd, const std::string& data) {
+  return WriteAll(fd.get(), data);
 }
 
 void SleepMs(int ms) {

@@ -54,9 +54,11 @@ class FdHandle {
   int fd_ = -1;
 };
 
-/// Listening Unix-domain socket bound to a filesystem path. The path is
-/// unlinked both before bind (stale socket from a killed daemon) and in
-/// the destructor (clean shutdown leaves no socket file behind).
+/// Listening Unix-domain socket bound to a filesystem path. A stale path
+/// (no live listener accepting on it) is unlinked before bind; a path
+/// with a live daemon behind it makes Bind fail instead of stealing its
+/// clients. The destructor unlinks the path (clean shutdown leaves no
+/// socket file behind).
 class UnixListener {
  public:
   UnixListener() = default;
@@ -71,7 +73,8 @@ class UnixListener {
   UnixListener& operator=(const UnixListener&) = delete;
 
   /// Binds and listens on `path`. Fails when the path exceeds the
-  /// sockaddr_un limit or any syscall fails.
+  /// sockaddr_un limit, when a live daemon already listens on it, or
+  /// when any syscall fails. A stale socket file is reclaimed.
   [[nodiscard]] static Result<UnixListener> Bind(const std::string& path);
 
   /// Waits up to `timeout_ms` for a pending connection (0 polls without
@@ -97,11 +100,18 @@ class UnixListener {
 [[nodiscard]] Status SendFrame(const FdHandle& fd, uint8_t type,
                                const std::string& payload);
 
-/// Reads one complete frame, waiting up to `timeout_ms` for each chunk
-/// (so a stalled peer cannot wedge the daemon forever). On success fills
-/// `*type` and `*payload`.
+/// Reads one complete frame. `timeout_ms` bounds the WHOLE frame (header
+/// plus payload) with one absolute deadline, so neither a stalled peer
+/// nor a slow-loris one dribbling a byte per interval can wedge the
+/// daemon past it. Negative means wait forever. On success fills `*type`
+/// and `*payload`.
 [[nodiscard]] Status RecvFrame(const FdHandle& fd, uint8_t* type,
                                std::string* payload, int timeout_ms);
+
+/// Writes raw unframed bytes, looping over partial sends. Exists so test
+/// harnesses can drive partial or dribbled frames while keeping raw
+/// send() confined to this layer (determinism rule R14).
+[[nodiscard]] Status SendBytes(const FdHandle& fd, const std::string& data);
 
 /// Sleeps for `ms` milliseconds (poll-based; keeps the raw syscall inside
 /// the transport layer for client-side retry loops).

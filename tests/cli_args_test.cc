@@ -150,6 +150,25 @@ TEST(CliArgs, HelpShortCircuits) {
   EXPECT_FALSE(CliUsage("volcanoml_cli").empty());
 }
 
+TEST(CliArgs, OverflowingIntegerFlagsAreRejectedNotClamped) {
+  // strtoull would clamp this to ULLONG_MAX (== kUnlimitedCredit), which
+  // must surface as a usage error, not as unlimited credit.
+  Result<CliArgs> credit =
+      Parse({"submit", "train.csv", "--socket", "/tmp/d.sock", "--credit",
+             "99999999999999999999"});
+  ASSERT_FALSE(credit.ok());
+  EXPECT_EQ(credit.status().code(), StatusCode::kInvalidArgument);
+  Result<CliArgs> seed = Parse({"train.csv", "--seed", "18446744073709551616"});
+  ASSERT_FALSE(seed.ok());
+  EXPECT_EQ(seed.status().code(), StatusCode::kInvalidArgument);
+  // The largest representable value still parses.
+  Result<CliArgs> max = Parse({"submit", "train.csv", "--socket",
+                               "/tmp/d.sock", "--credit",
+                               "18446744073709551615"});
+  ASSERT_TRUE(max.ok()) << max.status().ToString();
+  EXPECT_EQ(max.value().step_credit, kUnlimitedCredit);
+}
+
 TEST(CliArgs, DefaultCreditIsUnlimited) {
   Result<CliArgs> parsed =
       Parse({"submit", "train.csv", "--socket", "/tmp/d.sock"});

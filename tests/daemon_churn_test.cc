@@ -152,5 +152,30 @@ TEST(DaemonChurn, EvictionSurvivesSessionReuseOfTheSpoolFile) {
   }
 }
 
+TEST(DaemonChurn, SpoolWriteFailureLatchesTheSession) {
+  std::string csv = BlobsCsv();
+  DaemonSession::Spec spec;
+  spec.tenant = "churn";
+  spec.dataset_name = "train";
+  spec.csv = csv;
+  spec.config = ChurnConfig(0);
+  // Spool path inside a directory that does not exist: the snapshot
+  // write in Evict() must fail.
+  DaemonSession session(1, std::move(spec),
+                        "/tmp/volcanoml_no_such_spool_dir/churn.snapshot");
+  ASSERT_TRUE(session.Activate().ok());
+  Result<bool> evicted = session.Evict();
+  ASSERT_FALSE(evicted.ok());
+  EXPECT_EQ(evicted.status().code(), StatusCode::kIoError);
+  // The failure latched: the executor is released, the state is kFailed
+  // (not a healthy-looking resident session), and every later operation
+  // reports the original error instead of pretending to progress.
+  EXPECT_FALSE(session.resident());
+  EXPECT_TRUE(session.failed());
+  EXPECT_EQ(session.status().state, SessionState::kFailed);
+  EXPECT_EQ(session.Step().status().code(), StatusCode::kIoError);
+  EXPECT_EQ(session.EnsureResident().code(), StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace volcanoml

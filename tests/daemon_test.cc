@@ -80,11 +80,12 @@ TwinOutput RunInProcess(const SessionConfig& config, const std::string& csv) {
 class DaemonFixture {
  public:
   explicit DaemonFixture(const std::string& socket_path,
-                         size_t max_resident = 8)
+                         size_t max_resident = 8,
+                         const std::string& spool_dir = "/tmp")
       : pool_(1), client_(socket_path) {
     DaemonOptions options;
     options.socket_path = socket_path;
-    options.spool_dir = "/tmp";
+    options.spool_dir = spool_dir;
     options.max_resident = max_resident;
     daemon_ = std::make_unique<Daemon>(options);
     served_ = pool_.Submit([this] { serve_status_ = daemon_->Serve(); });
@@ -287,6 +288,56 @@ TEST(Daemon, ResidencyCapEvictsIdleSessions) {
   // The two oldest-touched sessions were evicted first.
   EXPECT_EQ(listed.value().sessions[0].state, SessionState::kEvicted);
   EXPECT_EQ(listed.value().sessions[1].state, SessionState::kEvicted);
+}
+
+TEST(Daemon, EvictionFailureFailsOneSessionNotTheDaemon) {
+  std::string csv = BlobsCsv();
+  // An unwritable spool directory makes every cap-driven eviction fail.
+  // One tenant's spool I/O failure must fail that session only — never
+  // abort the daemon or wedge the survivors.
+  DaemonFixture fixture("/tmp/volcanoml_daemon_badspool_test.sock",
+                        /*max_resident=*/1,
+                        "/tmp/volcanoml_no_such_spool_dir");
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 2; ++i) {
+    CreateSessionRequest request;
+    request.csv = csv;
+    request.config =
+        SmallConfig(PlanKind::kJoint, JointOptimizerKind::kRandom);
+    request.config.seed = 7 + static_cast<uint64_t>(i);
+    request.step_credit = 0;
+    Result<uint64_t> created = fixture.client().CreateSession(request);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    ids.push_back(created.value());
+  }
+  // The second create pushed the first session over the cap; its failed
+  // eviction latched it to kFailed while the newcomer stayed resident.
+  Result<ListSessionsReply> listed = fixture.client().ListSessions();
+  ASSERT_TRUE(listed.ok()) << listed.status().ToString();
+  ASSERT_EQ(listed.value().sessions.size(), 2u);
+  EXPECT_EQ(listed.value().sessions[0].state, SessionState::kFailed);
+  EXPECT_EQ(listed.value().sessions[1].state, SessionState::kResident);
+  // A step request for the failed session must not crash the scheduler
+  // (the credit entry is gone); the reply surfaces the failed state.
+  Result<SessionStatus> stepped = fixture.client().StepSession(ids[0], 5);
+  ASSERT_TRUE(stepped.ok()) << stepped.status().ToString();
+  EXPECT_EQ(stepped.value().state, SessionState::kFailed);
+  EXPECT_EQ(stepped.value().pending_credit, 0u);
+  // The healthy session still runs to completion.
+  Result<SessionStatus> granted =
+      fixture.client().StepSession(ids[1], kUnlimitedCredit);
+  ASSERT_TRUE(granted.ok()) << granted.status().ToString();
+  QuerySessionRequest query;
+  query.session_id = ids[1];
+  for (int i = 0; i < 1000; ++i) {
+    Result<QuerySessionReply> now = fixture.client().QuerySession(query);
+    ASSERT_TRUE(now.ok()) << now.status().ToString();
+    if (now.value().status.done) break;
+    SleepMs(5);
+  }
+  Result<QuerySessionReply> done = fixture.client().QuerySession(query);
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(done.value().status.done);
 }
 
 TEST(Daemon, ErrorsComeBackAsStatusesAndTheDaemonKeepsServing) {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <string>
 
@@ -11,6 +12,7 @@
 #include "ipc/messages.h"
 #include "ipc/transport.h"
 #include "ipc/wire.h"
+#include "util/thread_pool.h"
 
 namespace volcanoml {
 namespace {
@@ -212,6 +214,57 @@ TEST(Transport, RecvTimesOutOnASilentPeer) {
   std::string payload;
   Status received = RecvFrame(server.value(), &type, &payload, 10);
   EXPECT_EQ(received.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Transport, FrameTimeoutIsTotalNotPerChunk) {
+  std::string path = "/tmp/volcanoml_ipc_loris_test.sock";
+  Result<UnixListener> listener = UnixListener::Bind(path);
+  ASSERT_TRUE(listener.ok());
+  Result<FdHandle> client = ConnectUnix(path);
+  ASSERT_TRUE(client.ok());
+  Result<FdHandle> server = listener.value().Accept();
+  ASSERT_TRUE(server.ok());
+
+  // A well-formed header dribbled one byte every 20ms: every byte lands
+  // within a per-chunk window, but the frame as a whole cannot complete
+  // before the 60ms total deadline — a slow-loris peer must not be able
+  // to hold the single-threaded serve loop past the timeout.
+  WireWriter header;
+  header.U32(kFrameMagic);
+  header.U8(1);
+  header.U32(0);
+  ThreadPool pool(1);
+  auto dribble = pool.Submit([&] {
+    for (char byte : header.str()) {
+      SleepMs(20);
+      if (!SendBytes(client.value(), std::string(1, byte)).ok()) return;
+    }
+  });
+  uint8_t type = 0;
+  std::string payload;
+  Status received = RecvFrame(server.value(), &type, &payload, 60);
+  dribble.wait();
+  EXPECT_EQ(received.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Transport, BindRefusesAPathWithALiveListener) {
+  std::string path = "/tmp/volcanoml_ipc_live_bind_test.sock";
+  Result<UnixListener> first = UnixListener::Bind(path);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // A second daemon on the same path must fail to bind...
+  Result<UnixListener> second = UnixListener::Bind(path);
+  EXPECT_FALSE(second.ok());
+  // ...and must not have unlinked the live daemon's socket.
+  EXPECT_TRUE(ConnectUnix(path).ok());
+}
+
+TEST(Transport, BindReclaimsAStalePath) {
+  std::string path = "/tmp/volcanoml_ipc_stale_bind_test.sock";
+  // A dead leftover (nothing accepting behind it) must be reclaimed.
+  { std::ofstream stale(path, std::ios::trunc); stale << "stale"; }
+  Result<UnixListener> listener = UnixListener::Bind(path);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_TRUE(ConnectUnix(path).ok());
 }
 
 TEST(Transport, OversizePayloadIsRejectedBeforeSending) {

@@ -89,6 +89,20 @@ TEST(FairShareScheduler, ZeroCreditSessionsAreAdmittedParked) {
   EXPECT_EQ(Drain(&scheduler, 100), (std::vector<uint64_t>{1}));
 }
 
+TEST(FairShareScheduler, GrantCreditToAnUnknownSessionIsANoOp) {
+  FairShareScheduler scheduler;
+  scheduler.AdmitSession("alice", 1, 1);
+  scheduler.RemoveSession("alice", 1);
+  // A client step request can still name the retired session; the grant
+  // must be swallowed, not CHECK-abort the daemon.
+  scheduler.GrantCredit("alice", 1, 5);
+  EXPECT_EQ(scheduler.pending_credit(1), 0u);
+  EXPECT_FALSE(scheduler.HasRunnable());
+  scheduler.GrantCredit("mallory", 99, 5);
+  EXPECT_EQ(scheduler.pending_credit(99), 0u);
+  EXPECT_FALSE(scheduler.HasRunnable());
+}
+
 TEST(FairShareScheduler, RemoveSessionDropsQueueAndCredit) {
   FairShareScheduler scheduler;
   scheduler.AdmitSession("alice", 1, 5);
