@@ -215,6 +215,7 @@ int RunLocal(const CliArgs& args) {
   }
   VolcanoMlOptions options = converted.value();
   options.eval.budget_in_seconds = args.budget_in_seconds;
+  options.eval.worker_binary = args.worker_binary;
 
   if (args.explain) {
     // The logical plan is a pure function of the options — no data needed.

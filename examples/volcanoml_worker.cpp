@@ -1,0 +1,11 @@
+// Out-of-process trial evaluator for the process-pool dispatch backend.
+// The binary is a thin shell: all process/protocol machinery lives in
+// src/worker/worker_main.cc so determinism rule R15 can confine
+// fork/exec/kill to src/worker/. Spawned by WorkerSupervisor with
+// `--fd N` (its end of the supervisor socketpair); never run by hand.
+
+#include "worker/worker_main.h"
+
+int main(int argc, char** argv) {
+  return volcanoml::RunWorkerMain(argc, argv);
+}

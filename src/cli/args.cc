@@ -107,6 +107,15 @@ std::string CliUsage(const std::string& argv0) {
          "balancer\n"
          "  --batch <n>             evaluations per pull    (default: 1)\n"
          "  --seed <n>              RNG seed                (default: 1)\n"
+         "  --eval-backend in-process|process-pool          (default: "
+         "in-process)\n"
+         "  --workers <n>           worker processes        (default: 2)\n"
+         "  --trial-hard-timeout <s> supervisor hard-kill per attempt "
+         "(0=off)\n"
+         "  --worker-retry-cap <n>  retries after a worker death "
+         "(default: 3)\n"
+         "  --worker-binary <path>  volcanoml_worker binary (in-process "
+         "CLI only)\n"
          "\n"
          "in-process options:\n"
          "  --checkpoint <path>     snapshot file to write\n"
@@ -251,6 +260,47 @@ Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
       Result<uint64_t> seed = ParseU64Flag(arg, value.value());
       VOLCANOML_RETURN_IF_ERROR(seed.status());
       parsed.config.seed = seed.value();
+    } else if (arg == "--eval-backend") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      if (value.value() == "in-process") {
+        parsed.config.eval_backend = 0;
+      } else if (value.value() == "process-pool") {
+        parsed.config.eval_backend = 1;
+      } else {
+        return Status::InvalidArgument(
+            "--eval-backend: expected in-process or process-pool, got '" +
+            value.value() + "'");
+      }
+    } else if (arg == "--workers") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> workers = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(workers.status());
+      if (workers.value() < 1) {
+        return Status::InvalidArgument("--workers: must be >= 1");
+      }
+      parsed.config.worker_pool_size = workers.value();
+    } else if (arg == "--trial-hard-timeout") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<double> timeout = ParseF64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(timeout.status());
+      if (timeout.value() < 0.0 || !std::isfinite(timeout.value())) {
+        return Status::InvalidArgument(
+            "--trial-hard-timeout: must be finite and >= 0");
+      }
+      parsed.config.trial_hard_timeout = timeout.value();
+    } else if (arg == "--worker-retry-cap") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> cap = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(cap.status());
+      parsed.config.worker_retry_cap = cap.value();
+    } else if (arg == "--worker-binary") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      parsed.worker_binary = value.value();
     } else if (arg == "--checkpoint") {
       Result<std::string> value = next();
       VOLCANOML_RETURN_IF_ERROR(value.status());
@@ -358,6 +408,11 @@ Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
     return Status::InvalidArgument(
         "--seconds is in-process only (daemon sessions use deterministic "
         "budgets)");
+  }
+  if (parsed.command == CliCommand::kSubmit && !parsed.worker_binary.empty()) {
+    return Status::InvalidArgument(
+        "--worker-binary is in-process only (the daemon resolves its own "
+        "worker binary; set $VOLCANOML_WORKER_BINARY in its environment)");
   }
   return parsed;
 }

@@ -39,6 +39,9 @@ struct CliArgs {
 
   std::string train_path;
   bool explain = false;
+  /// kRun only: explicit volcanoml_worker path for the process-pool
+  /// backend (empty = automatic resolution, see src/worker/).
+  std::string worker_binary;
 
   // kRun extras (checkpoint/resume loop).
   std::string predict_path;

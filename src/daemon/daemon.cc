@@ -1,6 +1,9 @@
 #include "daemon/daemon.h"
 
+#include <dirent.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
@@ -15,6 +18,7 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {}
 Status Daemon::Serve() {
   Result<UnixListener> listener = UnixListener::Bind(options_.socket_path);
   VOLCANOML_RETURN_IF_ERROR(listener.status());
+  SweepOrphanSpools();
   VOLCANOML_LOG(Info) << "daemon serving on " << options_.socket_path;
   while (!StopRequested()) {
     // Poll without blocking while sessions have work; otherwise sleep in
@@ -107,13 +111,7 @@ Status Daemon::HandleCreate(const std::string& payload, std::string* reply) {
     return Status::InvalidArgument("tenant must be non-empty");
   }
   uint64_t id = next_session_id_;
-  // Namespaced by the socket name so daemons sharing a spool directory
-  // (tests, several daemons on one host) never collide.
-  size_t slash = options_.socket_path.find_last_of('/');
-  std::string socket_name = slash == std::string::npos
-                                ? options_.socket_path
-                                : options_.socket_path.substr(slash + 1);
-  std::string spool_path = options_.spool_dir + "/" + socket_name +
+  std::string spool_path = options_.spool_dir + "/" + SocketName() +
                            ".session-" + std::to_string(id) + ".snapshot";
   DaemonSession::Spec spec;
   spec.tenant = request.value().tenant;
@@ -264,6 +262,45 @@ void Daemon::RunOneTurn() {
   }
   if (session->done()) {
     scheduler_.RemoveSession(turn.tenant, turn.session_id);
+    // A finished session keeps its executor resident for result queries;
+    // any snapshot still parked in the spool is stale and would sit on
+    // disk until daemon exit.
+    session->DiscardSpool();
+  }
+}
+
+std::string Daemon::SocketName() const {
+  // Namespaced by the socket name so daemons sharing a spool directory
+  // (tests, several daemons on one host) never collide.
+  size_t slash = options_.socket_path.find_last_of('/');
+  return slash == std::string::npos ? options_.socket_path
+                                    : options_.socket_path.substr(slash + 1);
+}
+
+void Daemon::SweepOrphanSpools() {
+  const std::string prefix = SocketName() + ".session-";
+  const std::string suffix = ".snapshot";
+  DIR* dir = ::opendir(options_.spool_dir.c_str());
+  if (dir == nullptr) return;  // surfaces later as a spool-write error
+  size_t removed = 0;
+  for (struct dirent* entry = ::readdir(dir); entry != nullptr;
+       entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    if (std::remove((options_.spool_dir + "/" + name).c_str()) == 0) {
+      ++removed;
+    }
+  }
+  ::closedir(dir);
+  if (removed > 0) {
+    VOLCANOML_LOG(Info) << "removed " << removed
+                        << " orphaned spool snapshot(s) from "
+                        << options_.spool_dir;
   }
 }
 

@@ -109,6 +109,17 @@ class Daemon {
   /// The session's wire status with scheduler-owned fields filled in.
   [[nodiscard]] SessionStatus StatusOf(const DaemonSession& session);
 
+  /// Basename of the socket path; namespaces spool files so daemons
+  /// sharing a spool directory never collide.
+  [[nodiscard]] std::string SocketName() const;
+
+  /// Deletes spool snapshots left behind by a previous daemon on this
+  /// socket name (a crash skips the session destructors that normally
+  /// clean them up). Runs once, right after the socket binds — at that
+  /// point no session of THIS daemon exists yet, so every match is an
+  /// orphan.
+  void SweepOrphanSpools();
+
   const DaemonOptions options_;
   /// Registry, ordered by session id (ListSessions iterates it).
   std::map<uint64_t, std::unique_ptr<DaemonSession>> sessions_;

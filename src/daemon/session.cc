@@ -91,6 +91,31 @@ Result<VolcanoMlOptions> SessionConfigToOptions(const SessionConfig& config) {
     return Status::InvalidArgument("cv_folds must be >= 1");
   }
   options.eval.cv_folds = static_cast<size_t>(config.cv_folds);
+  switch (config.eval_backend) {
+    case 0:
+      options.eval.backend = EvalBackendKind::kInProcess;
+      break;
+    case 1:
+      options.eval.backend = EvalBackendKind::kProcessPool;
+      break;
+    default:
+      return Status::InvalidArgument(
+          "eval_backend must be 0 (in-process) or 1 (process-pool), got " +
+          std::to_string(config.eval_backend));
+  }
+  if (config.worker_pool_size < 1) {
+    return Status::InvalidArgument("worker_pool_size must be >= 1");
+  }
+  options.eval.worker_pool_size =
+      static_cast<size_t>(config.worker_pool_size);
+  if (config.trial_hard_timeout < 0.0 ||
+      !std::isfinite(config.trial_hard_timeout)) {
+    return Status::InvalidArgument(
+        "trial_hard_timeout must be finite and >= 0");
+  }
+  options.eval.trial_hard_timeout_seconds = config.trial_hard_timeout;
+  options.eval.worker_retry_cap =
+      static_cast<size_t>(config.worker_retry_cap);
   options.seed = config.seed;
   return options;
 }
@@ -98,7 +123,9 @@ Result<VolcanoMlOptions> SessionConfigToOptions(const SessionConfig& config) {
 DaemonSession::DaemonSession(uint64_t id, Spec spec, std::string spool_path)
     : id_(id), spec_(std::move(spec)), spool_path_(std::move(spool_path)) {}
 
-DaemonSession::~DaemonSession() { std::remove(spool_path_.c_str()); }
+DaemonSession::~DaemonSession() { DiscardSpool(); }
+
+void DaemonSession::DiscardSpool() { std::remove(spool_path_.c_str()); }
 
 Status DaemonSession::Activate() {
   VOLCANOML_CHECK(!activated_);
@@ -208,6 +235,10 @@ void DaemonSession::RefreshSummary() {
   telemetry_.fe_cache_misses = fe.misses;
   telemetry_.fe_cache_evictions = fe.evictions;
   telemetry_.fe_cache_bytes = fe.bytes;
+  DispatchTelemetry dispatch = evaluator->engine().dispatch_telemetry();
+  telemetry_.worker_deaths = dispatch.worker_deaths;
+  telemetry_.worker_retries = dispatch.worker_retries;
+  telemetry_.worker_degraded = dispatch.degraded ? 1 : 0;
 }
 
 Status DaemonSession::LatchError(Status status) {

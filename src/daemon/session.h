@@ -66,6 +66,13 @@ class DaemonSession {
   /// Returns false without touching anything when not resident.
   [[nodiscard]] Result<bool> Evict();
 
+  /// Deletes the spool snapshot, if any. Called when the session
+  /// completes (a finished session stays resident for result queries, so
+  /// an earlier eviction's snapshot is stale) — without this, finished
+  /// sessions leak snapshots until daemon exit. Safe to call at any
+  /// time: a later Evict() simply rewrites the file.
+  void DiscardSpool();
+
   /// One executor Step(). Requires residency. Returns the StepEvent of
   /// the pull, or `done = true` without an event once the budget is
   /// exhausted.

@@ -1,0 +1,33 @@
+#include "eval/dispatch.h"
+
+#include "util/check.h"
+
+namespace volcanoml {
+
+InProcessDispatch::InProcessDispatch(const EvalContext* context)
+    : context_(context) {
+  VOLCANOML_CHECK(context_ != nullptr);
+  if (context_->options().num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(context_->options().num_threads);
+  }
+}
+
+size_t InProcessDispatch::parallelism() const {
+  return pool_ != nullptr ? pool_->num_threads() : 1;
+}
+
+void InProcessDispatch::Dispatch(const std::vector<EvalRequest>& requests,
+                                 std::vector<EvalOutcome>* outcomes) {
+  VOLCANOML_CHECK(outcomes->size() == requests.size());
+  auto compute = [&](size_t i) {
+    (*outcomes)[i] =
+        context_->EvaluateOnce(requests[i].assignment, requests[i].fidelity);
+  };
+  if (pool_ != nullptr && requests.size() > 1) {
+    pool_->ParallelFor(requests.size(), compute);
+  } else {
+    for (size_t i = 0; i < requests.size(); ++i) compute(i);
+  }
+}
+
+}  // namespace volcanoml

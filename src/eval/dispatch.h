@@ -1,0 +1,93 @@
+#ifndef VOLCANOML_EVAL_DISPATCH_H_
+#define VOLCANOML_EVAL_DISPATCH_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cs/configuration.h"
+#include "eval/eval_context.h"
+#include "util/thread_pool.h"
+
+namespace volcanoml {
+
+/// One evaluation request: a full joint assignment plus the training-set
+/// subsample fraction to evaluate it at.
+struct EvalRequest {
+  Assignment assignment;
+  double fidelity = 1.0;
+};
+
+/// Counters a backend accumulates across Dispatch calls. All zeros for
+/// the in-process backend; the process pool reports its supervision
+/// events here so tests and the daemon can surface them.
+struct DispatchTelemetry {
+  size_t worker_deaths = 0;     ///< Crash / nonzero exit / bad reply events.
+  size_t worker_retries = 0;    ///< Requests re-sent after a death.
+  size_t worker_respawns = 0;   ///< Workers restarted after a death.
+  size_t hard_timeouts = 0;     ///< Supervisor hard-kills on timeout.
+  size_t spawn_failures = 0;    ///< fork/exec/init failures.
+  bool degraded = false;        ///< Pool fell back to in-process compute.
+};
+
+/// Phase-2 compute seam of the EvalEngine (see DESIGN.md "Evaluation
+/// engine & threading model"): given a batch of DISTINCT requests, fill
+/// `outcomes[i]` with the pure-function result of request i.
+///
+/// Contract: outcomes must be bit-identical to calling
+/// `context->EvaluateOnce(requests[i])` directly — the engine's
+/// determinism guarantee (same request sequence, same trajectory,
+/// regardless of backend) rests on it. Failure modes a backend adds on
+/// top (worker death, supervisor hard timeouts) are mapped into the
+/// TrialOutcome taxonomy instead of breaking that contract. Dispatch is
+/// called with the engine mutex NOT held and must be safe to call from
+/// one thread at a time (the engine serializes batches per call site).
+class DispatchBackend {
+ public:
+  virtual ~DispatchBackend() = default;
+
+  /// Stable name for logging, e.g. "in-process".
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Worker parallelism the backend offers (>= 1).
+  [[nodiscard]] virtual size_t parallelism() const = 0;
+
+  /// Computes every request and writes outcomes[i] for request i.
+  /// `outcomes` is pre-sized to requests.size().
+  virtual void Dispatch(const std::vector<EvalRequest>& requests,
+                        std::vector<EvalOutcome>* outcomes) = 0;
+
+  /// Supervision counters accumulated so far (thread-safe snapshot).
+  [[nodiscard]] virtual DispatchTelemetry telemetry() const {
+    return DispatchTelemetry{};
+  }
+};
+
+/// The historic path: computes on the calling thread, or on an owned
+/// ThreadPool when the context asks for more than one thread. This is the
+/// bit-reproducible oracle every other backend is measured against.
+class InProcessDispatch : public DispatchBackend {
+ public:
+  explicit InProcessDispatch(const EvalContext* context);
+
+  [[nodiscard]] const char* name() const override { return "in-process"; }
+  [[nodiscard]] size_t parallelism() const override;
+  void Dispatch(const std::vector<EvalRequest>& requests,
+                std::vector<EvalOutcome>* outcomes) override;
+
+ private:
+  const EvalContext* context_;
+  std::unique_ptr<ThreadPool> pool_;  ///< Null when running inline.
+};
+
+/// Builds the backend selected by `context->options().backend`. Declared
+/// here but defined in src/worker/process_pool.cc so the eval layer never
+/// includes worker headers (the worker layer depends on eval, not the
+/// other way around; the link-time seam is fine because all of src/ is
+/// one library).
+[[nodiscard]] std::unique_ptr<DispatchBackend> CreateDispatchBackend(
+    const EvalContext* context);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_EVAL_DISPATCH_H_

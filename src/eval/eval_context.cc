@@ -64,6 +64,18 @@ const char* TrialOutcomeName(TrialOutcome outcome) {
       return "timed_out";
     case TrialOutcome::kFaultInjected:
       return "fault_injected";
+    case TrialOutcome::kWorkerDied:
+      return "worker_died";
+  }
+  return "unknown";
+}
+
+const char* EvalBackendKindName(EvalBackendKind kind) {
+  switch (kind) {
+    case EvalBackendKind::kInProcess:
+      return "in-process";
+    case EvalBackendKind::kProcessPool:
+      return "process-pool";
   }
   return "unknown";
 }

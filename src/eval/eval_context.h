@@ -33,9 +33,10 @@ enum class TrialOutcome {
   kNonFinite,       ///< Training succeeded but the utility was NaN/inf.
   kTimedOut,        ///< The trial deadline fired at a cooperation point.
   kFaultInjected,   ///< A FaultInjector forced this trial to fail.
+  kWorkerDied,      ///< An out-of-process worker crashed past the retry cap.
 };
 
-inline constexpr size_t kNumTrialOutcomes = 6;
+inline constexpr size_t kNumTrialOutcomes = 7;
 
 /// Short stable name for logging/telemetry, e.g. "timed_out".
 [[nodiscard]] const char* TrialOutcomeName(TrialOutcome outcome);
@@ -51,12 +52,14 @@ struct EvalOutcome {
 
   [[nodiscard]] bool ok() const { return outcome == TrialOutcome::kOk; }
   /// Hard failures are the ones the search layer reacts to (retry caps,
-  /// quarantine, arm failure rates): deadline overruns and injected
-  /// faults. Genuine build/train/non-finite failures keep their historic
-  /// sentinel-utility treatment so clean runs are unchanged.
+  /// quarantine, arm failure rates): deadline overruns, injected faults,
+  /// and worker deaths past the supervisor's retry cap. Genuine
+  /// build/train/non-finite failures keep their historic sentinel-utility
+  /// treatment so clean runs are unchanged.
   [[nodiscard]] bool hard_failure() const {
     return outcome == TrialOutcome::kTimedOut ||
-           outcome == TrialOutcome::kFaultInjected;
+           outcome == TrialOutcome::kFaultInjected ||
+           outcome == TrialOutcome::kWorkerDied;
   }
 };
 
@@ -77,6 +80,20 @@ class FittedPipeline {
   FePipeline fe_;
   std::unique_ptr<Model> model_;
 };
+
+/// Where trial computations run. kInProcess evaluates on the engine's
+/// own thread pool (the bit-reproducible oracle). kProcessPool ships
+/// each computation to a supervised out-of-process worker, so a
+/// segfaulting trainer kills one worker, not the search; utilities are
+/// bit-identical to the in-process path because evaluation is a pure
+/// function of the request and doubles travel as IEEE-754 bit patterns.
+enum class EvalBackendKind : uint8_t {
+  kInProcess = 0,
+  kProcessPool = 1,
+};
+
+/// Short stable name for logging/CLI, e.g. "process-pool".
+[[nodiscard]] const char* EvalBackendKindName(EvalBackendKind kind);
 
 /// Options for validation-based utility estimation.
 struct EvaluatorOptions {
@@ -115,6 +132,34 @@ struct EvaluatorOptions {
   /// Optional deterministic fault injection (not owned; may be null).
   /// Faulted trials report kFaultInjected / kTimedOut / kNonFinite.
   const FaultInjector* fault_injector = nullptr;
+
+  // -- dispatch backend (see src/worker/ and DESIGN.md "Worker pool &
+  //    supervision") -------------------------------------------------------
+
+  /// Which DispatchBackend computes trial outcomes.
+  EvalBackendKind backend = EvalBackendKind::kInProcess;
+  /// Worker processes in the pool (process-pool backend only; >= 1).
+  size_t worker_pool_size = 2;
+  /// Supervisor-enforced wall-clock limit per worker attempt, in seconds;
+  /// on expiry the worker is SIGKILLed and the trial reports kTimedOut.
+  /// 0 (the default) disables the hard kill — only the cooperative
+  /// trial_timeout_seconds applies then.
+  double trial_hard_timeout_seconds = 0.0;
+  /// How many times a request whose worker died is retried (on a fresh
+  /// worker) before the trial is committed as kWorkerDied and fed to the
+  /// quarantine path.
+  size_t worker_retry_cap = 3;
+  /// Exponential backoff before each respawn: base * 2^(attempt), capped.
+  int worker_backoff_base_ms = 5;
+  int worker_backoff_max_ms = 1000;
+  /// Restart-storm circuit breaker: this many consecutive deaths on one
+  /// worker slot (without an intervening successful reply) opens the
+  /// circuit and degrades the pool to in-process evaluation.
+  size_t worker_respawn_limit = 8;
+  /// Path to the volcanoml_worker binary. Empty = resolve automatically:
+  /// $VOLCANOML_WORKER_BINARY, then next to /proc/self/exe, then the
+  /// sibling examples/ directory of the running binary.
+  std::string worker_binary;
 };
 
 /// The immutable half of the evaluator: search space, dataset, validation

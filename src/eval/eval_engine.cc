@@ -15,14 +15,11 @@ constexpr double kMinSecondsCost = 1e-4;
 
 EvalEngine::EvalEngine(const EvalContext* context) : context_(context) {
   VOLCANOML_CHECK(context_ != nullptr);
-  if (context_->options().num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(context_->options().num_threads);
-  }
+  backend_ = CreateDispatchBackend(context_);
+  VOLCANOML_CHECK(backend_ != nullptr);
 }
 
-size_t EvalEngine::num_threads() const {
-  return pool_ != nullptr ? pool_->num_threads() : 1;
-}
+size_t EvalEngine::num_threads() const { return backend_->parallelism(); }
 
 void EvalEngine::set_budget_limit(double limit) {
   MutexLock lock(mu_);
@@ -116,18 +113,21 @@ std::vector<EvalOutcome> EvalEngine::EvaluateBatchOutcomes(
     }
   }
 
-  // Phase 2 — compute the slots, off-lock. Workers only read the shared
-  // immutable context and write disjoint slots, so no synchronization is
-  // needed here; each slot's outcome is a pure function of its request.
-  auto compute = [&](size_t s) {
-    const EvalRequest& request = requests[slots[s].primary];
-    slots[s].outcome =
-        context_->EvaluateOnce(request.assignment, request.fidelity);
-  };
-  if (pool_ != nullptr && slots.size() > 1) {
-    pool_->ParallelFor(slots.size(), compute);
-  } else {
-    for (size_t s = 0; s < slots.size(); ++s) compute(s);
+  // Phase 2 — compute the slots, off-lock, through the dispatch backend
+  // (in-process pool or supervised worker processes). Each slot's outcome
+  // is a pure function of its request, so any backend honoring the
+  // DispatchBackend contract leaves the committed trajectory unchanged.
+  if (!slots.empty()) {
+    std::vector<EvalRequest> slot_requests;
+    slot_requests.reserve(slots.size());
+    for (const Slot& slot : slots) {
+      slot_requests.push_back(requests[slot.primary]);
+    }
+    std::vector<EvalOutcome> slot_outcomes(slots.size());
+    backend_->Dispatch(slot_requests, &slot_outcomes);
+    for (size_t s = 0; s < slots.size(); ++s) {
+      slots[s].outcome = slot_outcomes[s];
+    }
   }
 
   // Phase 3 — commit in request order: the budget meter, evaluation

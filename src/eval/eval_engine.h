@@ -12,22 +12,16 @@
 
 #include "core/snapshot.h"
 #include "cs/configuration.h"
+#include "eval/dispatch.h"
 #include "eval/eval_context.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
-#include "util/thread_pool.h"
 
 namespace volcanoml {
 
-/// One evaluation request: a full joint assignment plus the training-set
-/// subsample fraction to evaluate it at.
-struct EvalRequest {
-  Assignment assignment;
-  double fidelity = 1.0;
-};
-
 /// The mutable half of the evaluator: accepts batches of EvalRequests,
-/// runs them on a ThreadPool against a shared immutable EvalContext,
+/// runs them on a DispatchBackend (in-process ThreadPool or supervised
+/// out-of-process worker pool) against a shared immutable EvalContext,
 /// memoizes repeat configurations, and commits observations and budget
 /// metering in deterministic request order under one mutex.
 ///
@@ -114,6 +108,13 @@ class EvalEngine {
   [[nodiscard]] const EvalContext& context() const { return *context_; }
   [[nodiscard]] size_t num_threads() const;
 
+  /// The phase-2 compute backend (selected by EvaluatorOptions::backend).
+  [[nodiscard]] const DispatchBackend& backend() const { return *backend_; }
+  /// Supervision counters of the backend (all zeros in-process).
+  [[nodiscard]] DispatchTelemetry dispatch_telemetry() const {
+    return backend_->telemetry();
+  }
+
   /// Serializes the budget meter, counters, failure telemetry, the
   /// observation log, and the memo cache. The budget *limit* is NOT
   /// saved — the executor re-applies it on resume. The memo cache is an
@@ -148,7 +149,7 @@ class EvalEngine {
   void LoadStateLocked(SnapshotReader* r) VOLCANOML_REQUIRES(mu_);
 
   const EvalContext* context_;
-  std::unique_ptr<ThreadPool> pool_;  ///< Null when running inline.
+  std::unique_ptr<DispatchBackend> backend_;
 
   mutable Mutex mu_;
   std::unordered_map<std::string, CachedResult> cache_

@@ -57,6 +57,10 @@ void SessionConfig::Encode(WireWriter* w) const {
   w->U64(cv_folds);
   w->Bool(include_smote);
   w->U64(batch_size);
+  w->U8(eval_backend);
+  w->U64(worker_pool_size);
+  w->F64(trial_hard_timeout);
+  w->U64(worker_retry_cap);
 }
 
 SessionConfig SessionConfig::Decode(WireReader* r) {
@@ -70,6 +74,10 @@ SessionConfig SessionConfig::Decode(WireReader* r) {
   config.cv_folds = r->U64();
   config.include_smote = r->Bool();
   config.batch_size = r->U64();
+  config.eval_backend = r->U8();
+  config.worker_pool_size = r->U64();
+  config.trial_hard_timeout = r->F64();
+  config.worker_retry_cap = r->U64();
   return config;
 }
 
@@ -105,6 +113,9 @@ void SessionTelemetry::Encode(WireWriter* w) const {
   w->U64(fe_cache_misses);
   w->U64(fe_cache_evictions);
   w->U64(fe_cache_bytes);
+  w->U64(worker_deaths);
+  w->U64(worker_retries);
+  w->U64(worker_degraded);
 }
 
 SessionTelemetry SessionTelemetry::Decode(WireReader* r) {
@@ -114,6 +125,9 @@ SessionTelemetry SessionTelemetry::Decode(WireReader* r) {
   telemetry.fe_cache_misses = r->U64();
   telemetry.fe_cache_evictions = r->U64();
   telemetry.fe_cache_bytes = r->U64();
+  telemetry.worker_deaths = r->U64();
+  telemetry.worker_retries = r->U64();
+  telemetry.worker_degraded = r->U64();
   return telemetry;
 }
 

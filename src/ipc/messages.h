@@ -58,6 +58,15 @@ struct SessionConfig {
   uint64_t cv_folds = 1;
   bool include_smote = false;
   uint64_t batch_size = 1;
+  /// EvalBackendKind as u8: 0 = in-process, 1 = process-pool (crash-
+  /// isolated out-of-process workers; see src/worker/).
+  uint8_t eval_backend = 0;
+  /// Worker processes for the process-pool backend (>= 1).
+  uint64_t worker_pool_size = 2;
+  /// Supervisor hard-kill timeout per trial attempt, seconds (0 = off).
+  double trial_hard_timeout = 0.0;
+  /// Worker-death retries before a trial commits as worker_died.
+  uint64_t worker_retry_cap = 3;
 
   void Encode(WireWriter* w) const;
   static SessionConfig Decode(WireReader* r);
@@ -99,6 +108,12 @@ struct SessionTelemetry {
   uint64_t fe_cache_misses = 0;
   uint64_t fe_cache_evictions = 0;
   uint64_t fe_cache_bytes = 0;
+  /// Worker-pool supervision counters (all zero with the in-process
+  /// backend; see src/worker/supervisor.h).
+  uint64_t worker_deaths = 0;
+  uint64_t worker_retries = 0;
+  /// 1 when the pool degraded to in-process evaluation.
+  uint64_t worker_degraded = 0;
 
   void Encode(WireWriter* w) const;
   static SessionTelemetry Decode(WireReader* r);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -208,6 +209,24 @@ Result<FdHandle> ConnectUnix(const std::string& path) {
     if (errno == EINTR) continue;
     return Errno("connect(" + path + ")");
   }
+}
+
+Result<SocketPair> CreateSocketPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Errno("socketpair");
+  }
+  SocketPair pair;
+  pair.parent = FdHandle(fds[0]);
+  pair.child = FdHandle(fds[1]);
+  // The parent end must not leak into exec'd workers (each worker should
+  // hold only its own child end); FD_CLOEXEC closes it across exec.
+  int flags = ::fcntl(pair.parent.get(), F_GETFD);
+  if (flags < 0 ||
+      ::fcntl(pair.parent.get(), F_SETFD, flags | FD_CLOEXEC) != 0) {
+    return Errno("fcntl(FD_CLOEXEC)");
+  }
+  return pair;
 }
 
 Status SendFrame(const FdHandle& fd, uint8_t type,

@@ -95,6 +95,19 @@ class UnixListener {
 /// Connects to the daemon's Unix socket at `path`.
 [[nodiscard]] Result<FdHandle> ConnectUnix(const std::string& path);
 
+/// A connected pair of stream sockets (socketpair): `parent` stays in
+/// the supervisor, `child` is inherited across fork/exec by a worker
+/// process. Both ends speak the same frame protocol as every other
+/// transport in this file.
+struct SocketPair {
+  FdHandle parent;
+  FdHandle child;
+};
+
+/// Creates a connected AF_UNIX SOCK_STREAM pair. The child end is NOT
+/// close-on-exec (a worker must inherit it); the parent end is.
+[[nodiscard]] Result<SocketPair> CreateSocketPair();
+
 /// Writes one complete frame (header + payload), looping over partial
 /// writes. `type` is the raw MessageType byte.
 [[nodiscard]] Status SendFrame(const FdHandle& fd, uint8_t type,

@@ -1,0 +1,160 @@
+#include "worker/process_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "ipc/messages.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "worker/worker_protocol.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// Directory part of `path` ("" when there is no slash).
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "";
+  return path.substr(0, slash);
+}
+
+bool IsExecutable(const std::string& path) {
+  return !path.empty() && ::access(path.c_str(), X_OK) == 0;
+}
+
+}  // namespace
+
+std::string ResolveWorkerBinary(const std::string& explicit_path) {
+  if (!explicit_path.empty()) return explicit_path;
+  const char* env = std::getenv("VOLCANOML_WORKER_BINARY");
+  if (env != nullptr && env[0] != '\0') return env;
+  // Relative to the running binary, so tests and examples find the
+  // worker regardless of the working directory: a sibling in the same
+  // build directory first, then the examples/ directory of a sibling
+  // build tree (tests live in build/tests, the worker in
+  // build/examples).
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string dir = DirName(buf);
+  for (const std::string& candidate :
+       {dir + "/volcanoml_worker", dir + "/../examples/volcanoml_worker"}) {
+    if (IsExecutable(candidate)) return candidate;
+  }
+  return "";
+}
+
+ProcessPoolDispatch::ProcessPoolDispatch(const EvalContext* context)
+    : context_(context),
+      pool_size_(std::max<size_t>(1, context->options().worker_pool_size)) {
+  VOLCANOML_CHECK(context_ != nullptr);
+}
+
+void ProcessPoolDispatch::EnsureStarted() {
+  if (started_) return;
+  started_ = true;
+  const EvaluatorOptions& options = context_->options();
+  std::string binary = ResolveWorkerBinary(options.worker_binary);
+  if (binary.empty()) {
+    degraded_ = true;
+    ++startup_spawn_failures_;
+    VOLCANOML_LOG(Warning)
+        << "worker pool degraded to in-process evaluation: no "
+           "volcanoml_worker binary found (set --worker-binary or "
+           "$VOLCANOML_WORKER_BINARY)";
+    return;
+  }
+  WorkerInitMessage init;
+  init.space = context_->space().options();
+  init.eval = options;
+  init.data = context_->data();
+  if (options.fault_injector != nullptr) {
+    init.has_injector = true;
+    init.injector = options.fault_injector->options();
+  }
+  WorkerSupervisor::Options supervisor_options;
+  supervisor_options.pool_size = pool_size_;
+  supervisor_options.worker_binary = binary;
+  supervisor_options.hard_timeout_seconds =
+      options.trial_hard_timeout_seconds;
+  supervisor_options.retry_cap = options.worker_retry_cap;
+  supervisor_options.backoff_base_ms = options.worker_backoff_base_ms;
+  supervisor_options.backoff_max_ms = options.worker_backoff_max_ms;
+  supervisor_options.respawn_limit = options.worker_respawn_limit;
+  supervisor_ = std::make_unique<WorkerSupervisor>(
+      std::move(supervisor_options), EncodeMessage(init),
+      context_->space().task());
+  if (!supervisor_->StartAll().ok()) {
+    // The supervisor logged the reason and opened its circuit; keep it
+    // around so its telemetry (spawn failures, degraded) stays visible.
+    degraded_ = true;
+    return;
+  }
+  if (pool_size_ > 1 && threads_ == nullptr) {
+    threads_ = std::make_unique<ThreadPool>(pool_size_);
+  }
+}
+
+void ProcessPoolDispatch::Dispatch(const std::vector<EvalRequest>& requests,
+                                   std::vector<EvalOutcome>* outcomes) {
+  VOLCANOML_CHECK(outcomes->size() == requests.size());
+  EnsureStarted();
+  const size_t n = requests.size();
+  if (n == 0) return;
+  const bool pool_live = !degraded_ && supervisor_ != nullptr &&
+                         !supervisor_->circuit_open();
+  const uint64_t base_id = next_request_id_;
+  next_request_id_ += n;
+  // Static partition: request i belongs to worker slot i mod k. Each
+  // slot is driven by exactly one thread, and a slot whose worker cannot
+  // be sustained computes in-process — same pure function, same bits.
+  const size_t k = std::min(pool_size_, n);
+  auto drive_slot = [&](size_t slot) {
+    for (size_t i = slot; i < n; i += k) {
+      std::optional<EvalOutcome> outcome;
+      if (pool_live) {
+        outcome = supervisor_->EvaluateOnWorker(slot, requests[i],
+                                                base_id + i);
+      }
+      if (!outcome.has_value()) {
+        outcome = context_->EvaluateOnce(requests[i].assignment,
+                                         requests[i].fidelity);
+      }
+      (*outcomes)[i] = *outcome;
+    }
+  };
+  if (k > 1) {
+    if (threads_ == nullptr) {
+      threads_ = std::make_unique<ThreadPool>(pool_size_);
+    }
+    threads_->ParallelFor(k, drive_slot);
+  } else {
+    drive_slot(0);
+  }
+}
+
+DispatchTelemetry ProcessPoolDispatch::telemetry() const {
+  DispatchTelemetry t;
+  if (supervisor_ != nullptr) t = supervisor_->telemetry();
+  t.spawn_failures += startup_spawn_failures_;
+  if (degraded_) t.degraded = true;
+  return t;
+}
+
+std::unique_ptr<DispatchBackend> CreateDispatchBackend(
+    const EvalContext* context) {
+  VOLCANOML_CHECK(context != nullptr);
+  switch (context->options().backend) {
+    case EvalBackendKind::kInProcess:
+      return std::make_unique<InProcessDispatch>(context);
+    case EvalBackendKind::kProcessPool:
+      return std::make_unique<ProcessPoolDispatch>(context);
+  }
+  return std::make_unique<InProcessDispatch>(context);
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,61 @@
+#ifndef VOLCANOML_WORKER_PROCESS_POOL_H_
+#define VOLCANOML_WORKER_PROCESS_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/dispatch.h"
+#include "eval/eval_context.h"
+#include "util/thread_pool.h"
+#include "worker/supervisor.h"
+
+namespace volcanoml {
+
+/// Resolves the volcanoml_worker binary path: `explicit_path` if
+/// non-empty, else $VOLCANOML_WORKER_BINARY, else an executable named
+/// `volcanoml_worker` next to the running binary or in the sibling
+/// examples/ build directory. Empty when nothing is found (the pool then
+/// degrades to in-process compute at its first dispatch).
+[[nodiscard]] std::string ResolveWorkerBinary(
+    const std::string& explicit_path);
+
+/// DispatchBackend computing trials on a supervised pool of
+/// out-of-process workers (see WorkerSupervisor for the failure
+/// handling). Requests are partitioned statically — request i goes to
+/// worker slot i mod k — so the assignment of work to workers is a pure
+/// function of the batch, never of timing. The pool spawns lazily on the
+/// first dispatch (evicted daemon sessions pay nothing), and every
+/// degradation path computes through the same pure EvaluateOnce the
+/// workers run, keeping outcomes bit-identical to the in-process oracle.
+class ProcessPoolDispatch : public DispatchBackend {
+ public:
+  explicit ProcessPoolDispatch(const EvalContext* context);
+
+  [[nodiscard]] const char* name() const override { return "process-pool"; }
+  [[nodiscard]] size_t parallelism() const override { return pool_size_; }
+  void Dispatch(const std::vector<EvalRequest>& requests,
+                std::vector<EvalOutcome>* outcomes) override;
+  [[nodiscard]] DispatchTelemetry telemetry() const override;
+
+ private:
+  /// First-dispatch startup: resolve the binary, encode the init
+  /// payload, spawn the pool. Leaves `degraded_` set on any failure.
+  void EnsureStarted();
+
+  const EvalContext* context_;
+  size_t pool_size_;
+  bool started_ = false;
+  /// Pool could not be brought up at all (missing binary, spawn
+  /// failure); distinct from the supervisor's own circuit breaker.
+  bool degraded_ = false;
+  size_t startup_spawn_failures_ = 0;
+  uint64_t next_request_id_ = 1;
+  std::unique_ptr<ThreadPool> threads_;  ///< Null when pool_size_ == 1.
+  std::unique_ptr<WorkerSupervisor> supervisor_;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_WORKER_PROCESS_POOL_H_

@@ -1,0 +1,268 @@
+#include "worker/supervisor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "ipc/messages.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "worker/worker_protocol.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// How long a freshly exec'd worker gets to decode the init message and
+/// report ready. Generous: it covers process startup plus rebuilding the
+/// evaluation context from the shipped dataset.
+constexpr int kInitTimeoutMs = 60'000;
+
+}  // namespace
+
+WorkerSupervisor::WorkerSupervisor(Options options, std::string init_payload,
+                                   TaskType task)
+    : options_(std::move(options)),
+      init_payload_(std::move(init_payload)),
+      task_(task) {
+  VOLCANOML_CHECK(options_.pool_size >= 1);
+  slots_.resize(options_.pool_size);
+}
+
+WorkerSupervisor::~WorkerSupervisor() {
+  for (size_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].pid < 0) continue;
+    // Best-effort graceful shutdown: a healthy worker exits on the frame
+    // (or on the EOF from the fd closing); SIGKILL covers a wedged one.
+    (void)SendFrame(slots_[slot].fd,
+                    static_cast<uint8_t>(WorkerMessageType::kShutdown),
+                    EncodeMessage(WorkerShutdown{}));
+    KillAndReapSlot(slot);
+  }
+}
+
+EvalOutcome WorkerSupervisor::FailedOutcome(TrialOutcome outcome,
+                                            double elapsed) const {
+  EvalOutcome result;
+  result.utility = FailureUtility(task_);
+  result.elapsed_seconds = elapsed;
+  result.outcome = outcome;
+  return result;
+}
+
+Status WorkerSupervisor::SpawnSlot(size_t slot) {
+  Slot& s = slots_[slot];
+  VOLCANOML_CHECK(s.pid < 0);
+  Result<SocketPair> pair = CreateSocketPair();
+  if (!pair.ok()) {
+    MutexLock lock(mu_);
+    ++telemetry_.spawn_failures;
+    return pair.status();
+  }
+  // Everything the child needs between fork and exec is prepared here:
+  // only async-signal-safe calls are legal in the child of a
+  // multithreaded parent (pool threads may hold the heap lock).
+  std::string fd_arg = std::to_string(pair.value().child.get());
+  const char* argv[] = {options_.worker_binary.c_str(), "--fd",
+                        fd_arg.c_str(), nullptr};
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    MutexLock lock(mu_);
+    ++telemetry_.spawn_failures;
+    return Status::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. The parent end carries FD_CLOEXEC, so exec leaves the
+    // worker holding exactly its own pipe end.
+    ::execv(options_.worker_binary.c_str(),
+            const_cast<char* const*>(argv));
+    ::_exit(127);  // exec failed; the parent sees the early exit.
+  }
+  s.pid = pid;
+  s.fd = std::move(pair.value().parent);
+  // Close the child's end in the parent immediately: if the worker dies
+  // (exec failure, early crash), the supervisor must see EOF rather than
+  // hanging on a socket it itself keeps open.
+  pair.value().child.Reset();
+  {
+    MutexLock lock(mu_);
+    ++telemetry_.worker_respawns;
+  }
+  // Prime the worker and wait for ready. Any failure here — exec'ing a
+  // nonexistent binary surfaces as EOF, a broken build as a non-ok
+  // reply — is a spawn failure, not a retryable death.
+  Status sent = SendFrame(s.fd,
+                          static_cast<uint8_t>(WorkerMessageType::kInit),
+                          init_payload_);
+  if (sent.ok()) {
+    uint8_t type = 0;
+    std::string payload;
+    sent = RecvFrame(s.fd, &type, &payload, kInitTimeoutMs);
+    if (sent.ok()) {
+      if (type != static_cast<uint8_t>(WorkerMessageType::kInitReply)) {
+        sent = Status::IoError("worker sent an unexpected init reply type");
+      } else {
+        Result<WorkerInitReply> reply = DecodeMessage<WorkerInitReply>(payload);
+        if (!reply.ok()) {
+          sent = reply.status();
+        } else if (!reply.value().ok) {
+          sent = Status::Internal("worker failed to initialize: " +
+                                  reply.value().error);
+        }
+      }
+    }
+  }
+  if (!sent.ok()) {
+    KillAndReapSlot(slot);
+    MutexLock lock(mu_);
+    ++telemetry_.spawn_failures;
+    return sent;
+  }
+  return Status::Ok();
+}
+
+void WorkerSupervisor::KillAndReapSlot(size_t slot) {
+  Slot& s = slots_[slot];
+  if (s.pid < 0) return;
+  ::kill(static_cast<pid_t>(s.pid), SIGKILL);
+  for (;;) {
+    int status = 0;
+    pid_t reaped = ::waitpid(static_cast<pid_t>(s.pid), &status, 0);
+    if (reaped >= 0 || errno != EINTR) break;
+  }
+  s.pid = -1;
+  s.fd.Reset();
+}
+
+Status WorkerSupervisor::StartAll() {
+  for (size_t slot = 0; slot < slots_.size(); ++slot) {
+    Status spawned = SpawnSlot(slot);
+    if (!spawned.ok()) {
+      OpenCircuit("worker pool failed to start: " + spawned.message());
+      return spawned;
+    }
+  }
+  return Status::Ok();
+}
+
+bool WorkerSupervisor::circuit_open() const {
+  MutexLock lock(mu_);
+  return circuit_open_;
+}
+
+DispatchTelemetry WorkerSupervisor::telemetry() const {
+  MutexLock lock(mu_);
+  return telemetry_;
+}
+
+void WorkerSupervisor::OpenCircuit(const std::string& reason) {
+  {
+    MutexLock lock(mu_);
+    if (circuit_open_) return;
+    circuit_open_ = true;
+    telemetry_.degraded = true;
+  }
+  VOLCANOML_LOG(Warning)
+      << "worker pool degraded to in-process evaluation: " << reason;
+}
+
+std::optional<EvalOutcome> WorkerSupervisor::EvaluateOnWorker(
+    size_t slot, const EvalRequest& request, uint64_t request_id) {
+  VOLCANOML_CHECK(slot < slots_.size());
+  Slot& s = slots_[slot];
+  int timeout_ms = options_.hard_timeout_seconds > 0.0
+                       ? static_cast<int>(std::ceil(
+                             options_.hard_timeout_seconds * 1000.0))
+                       : -1;
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (circuit_open()) return std::nullopt;
+    if (s.pid < 0) {
+      Status spawned = SpawnSlot(slot);
+      if (!spawned.ok()) {
+        OpenCircuit("respawn failed: " + spawned.message());
+        return std::nullopt;
+      }
+    }
+    WorkerEvalRequest eval;
+    eval.request_id = request_id;
+    eval.attempt = attempt;
+    eval.assignment = request.assignment;
+    eval.fidelity = request.fidelity;
+    Status st = SendFrame(s.fd,
+                          static_cast<uint8_t>(WorkerMessageType::kEval),
+                          EncodeMessage(eval));
+    if (st.ok()) {
+      uint8_t type = 0;
+      std::string payload;
+      st = RecvFrame(s.fd, &type, &payload, timeout_ms);
+      if (st.ok()) {
+        if (type == static_cast<uint8_t>(WorkerMessageType::kEvalReply)) {
+          Result<WorkerEvalReply> reply =
+              DecodeMessage<WorkerEvalReply>(payload);
+          if (reply.ok() && reply.value().request_id == request_id) {
+            s.consecutive_deaths = 0;
+            EvalOutcome outcome;
+            outcome.utility = reply.value().utility;
+            outcome.elapsed_seconds = reply.value().elapsed_seconds;
+            outcome.outcome =
+                static_cast<TrialOutcome>(reply.value().outcome);
+            return outcome;
+          }
+          st = Status::IoError("worker sent a malformed or stale reply");
+        } else {
+          st = Status::IoError("worker sent an unexpected frame type");
+        }
+      }
+    }
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      // Supervisor-enforced hard timeout: kill the wedged worker and
+      // report kTimedOut. No retry — the computation is deterministic,
+      // a re-run would stall the same way.
+      KillAndReapSlot(slot);
+      {
+        MutexLock lock(mu_);
+        ++telemetry_.hard_timeouts;
+      }
+      // Deaths-by-timeout do not advance the circuit breaker: the breaker
+      // exists for workers that cannot even come up, not for slow trials.
+      return FailedOutcome(TrialOutcome::kTimedOut,
+                           options_.hard_timeout_seconds);
+    }
+    // Everything else is a death: the worker crashed (EOF), exited, or
+    // spoke garbage. Kill/reap, then retry on a fresh worker with
+    // exponential backoff, up to the cap.
+    KillAndReapSlot(slot);
+    ++s.consecutive_deaths;
+    {
+      MutexLock lock(mu_);
+      ++telemetry_.worker_deaths;
+    }
+    if (s.consecutive_deaths > options_.respawn_limit) {
+      OpenCircuit("restart storm on worker slot " + std::to_string(slot) +
+                  " (" + std::to_string(s.consecutive_deaths) +
+                  " consecutive deaths): " + st.message());
+      return std::nullopt;
+    }
+    if (attempt >= options_.retry_cap) {
+      return FailedOutcome(TrialOutcome::kWorkerDied, 0.0);
+    }
+    {
+      MutexLock lock(mu_);
+      ++telemetry_.worker_retries;
+    }
+    int backoff = options_.backoff_base_ms;
+    for (uint32_t b = 0; b < attempt && backoff < options_.backoff_max_ms;
+         ++b) {
+      backoff *= 2;
+    }
+    SleepMs(std::min(backoff, options_.backoff_max_ms));
+  }
+}
+
+}  // namespace volcanoml

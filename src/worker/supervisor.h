@@ -1,0 +1,110 @@
+#ifndef VOLCANOML_WORKER_SUPERVISOR_H_
+#define VOLCANOML_WORKER_SUPERVISOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/dispatch.h"
+#include "eval/eval_context.h"
+#include "ipc/transport.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace volcanoml {
+
+/// Owns a pool of long-lived volcanoml_worker processes and maps every
+/// way a worker can fail into the TrialOutcome taxonomy (see DESIGN.md
+/// "Worker pool & supervision" for the full failure matrix):
+///
+///   crash / SIGKILL / nonzero exit / malformed or truncated reply
+///       -> respawn + retry with exponential backoff, up to the retry
+///          cap, then the trial commits as kWorkerDied (a hard failure,
+///          so the PR-3 quarantine path engages);
+///   supervisor hard timeout (trial_hard_timeout_seconds)
+///       -> SIGKILL the worker, commit kTimedOut, no retry (the
+///          computation is deterministic — it would stall again);
+///   spawn/init failure, or `worker_respawn_limit` consecutive deaths
+///       on one slot (restart storm)
+///       -> the circuit opens: EvaluateOnWorker returns nullopt and the
+///          caller computes in-process instead (graceful degradation).
+///
+/// Threading contract: slot `i` is only ever driven by one thread at a
+/// time (ProcessPoolDispatch partitions requests statically per slot).
+/// The telemetry counters and the circuit flag are the only cross-slot
+/// state and are mutex-guarded.
+class WorkerSupervisor {
+ public:
+  struct Options {
+    size_t pool_size = 2;
+    /// Absolute path of the worker binary (already resolved).
+    std::string worker_binary;
+    /// 0 disables the supervisor-enforced per-attempt hard kill.
+    double hard_timeout_seconds = 0.0;
+    size_t retry_cap = 3;
+    int backoff_base_ms = 5;
+    int backoff_max_ms = 1000;
+    size_t respawn_limit = 8;
+  };
+
+  /// `init_payload` is the encoded WorkerInitMessage every freshly
+  /// spawned worker is primed with; `task` selects the FailureUtility
+  /// sentinel for kWorkerDied/kTimedOut outcomes.
+  WorkerSupervisor(Options options, std::string init_payload, TaskType task);
+  ~WorkerSupervisor();
+
+  WorkerSupervisor(const WorkerSupervisor&) = delete;
+  WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+  /// Spawns the full pool. On failure the circuit opens and a non-OK
+  /// status is returned (the caller degrades to in-process compute).
+  [[nodiscard]] Status StartAll() VOLCANOML_EXCLUDES(mu_);
+
+  /// Evaluates `request` on worker slot `slot`, supervising the attempt
+  /// as described above. Returns nullopt iff the circuit opened — the
+  /// caller must then compute the request in-process (the outcome is
+  /// bit-identical either way; that is the DispatchBackend contract).
+  [[nodiscard]] std::optional<EvalOutcome> EvaluateOnWorker(
+      size_t slot, const EvalRequest& request, uint64_t request_id)
+      VOLCANOML_EXCLUDES(mu_);
+
+  [[nodiscard]] bool circuit_open() const VOLCANOML_EXCLUDES(mu_);
+  [[nodiscard]] DispatchTelemetry telemetry() const VOLCANOML_EXCLUDES(mu_);
+  [[nodiscard]] size_t pool_size() const { return options_.pool_size; }
+
+ private:
+  struct Slot {
+    int64_t pid = -1;  ///< -1 = not running.
+    FdHandle fd;
+    /// Deaths since the last successful reply; feeds the circuit breaker.
+    size_t consecutive_deaths = 0;
+  };
+
+  /// fork/execs one worker on `slot` and primes it with the init
+  /// payload. Counts a spawn failure and returns non-OK when the binary
+  /// cannot be launched or the worker does not come up ready.
+  [[nodiscard]] Status SpawnSlot(size_t slot) VOLCANOML_EXCLUDES(mu_);
+
+  /// SIGKILLs (if alive) and reaps the slot's process, closing its pipe.
+  void KillAndReapSlot(size_t slot);
+
+  /// Opens the circuit (idempotent) and logs the degradation event.
+  void OpenCircuit(const std::string& reason) VOLCANOML_EXCLUDES(mu_);
+
+  [[nodiscard]] EvalOutcome FailedOutcome(TrialOutcome outcome,
+                                          double elapsed) const;
+
+  Options options_;
+  std::string init_payload_;
+  TaskType task_;
+  std::vector<Slot> slots_;
+
+  mutable Mutex mu_;
+  bool circuit_open_ VOLCANOML_GUARDED_BY(mu_) = false;
+  DispatchTelemetry telemetry_ VOLCANOML_GUARDED_BY(mu_);
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_WORKER_SUPERVISOR_H_

@@ -1,0 +1,183 @@
+#include "worker/worker_main.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "eval/eval_context.h"
+#include "eval/fault_injector.h"
+#include "eval/search_space.h"
+#include "ipc/messages.h"
+#include "ipc/transport.h"
+#include "worker/worker_protocol.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// Parsed $VOLCANOML_WORKER_CHAOS (see worker_main.h).
+struct ChaosConfig {
+  enum class Mode { kNone, kKillFirst, kKillAlways, kStall, kGarbage };
+  Mode mode = Mode::kNone;
+  double fraction = 0.0;
+  uint64_t seed = 0;
+};
+
+ChaosConfig ParseChaos(const char* spec) {
+  ChaosConfig chaos;
+  if (spec == nullptr || spec[0] == '\0') return chaos;
+  std::string s(spec);
+  size_t first = s.find(':');
+  size_t second = first == std::string::npos ? std::string::npos
+                                             : s.find(':', first + 1);
+  if (second == std::string::npos) return chaos;
+  std::string mode = s.substr(0, first);
+  if (mode == "kill-first") {
+    chaos.mode = ChaosConfig::Mode::kKillFirst;
+  } else if (mode == "kill-always") {
+    chaos.mode = ChaosConfig::Mode::kKillAlways;
+  } else if (mode == "stall") {
+    chaos.mode = ChaosConfig::Mode::kStall;
+  } else if (mode == "garbage") {
+    chaos.mode = ChaosConfig::Mode::kGarbage;
+  } else {
+    return chaos;
+  }
+  chaos.fraction = std::atof(s.substr(first + 1, second - first - 1).c_str());
+  chaos.seed = static_cast<uint64_t>(
+      std::atoll(s.substr(second + 1).c_str()));
+  return chaos;
+}
+
+/// Whether chaos fires for this request: the hash-measure selection is
+/// delegated to FaultInjector, the repo's one deterministic
+/// request-to-fault mapper.
+bool ChaosSelects(const ChaosConfig& chaos, const Assignment& assignment) {
+  if (chaos.mode == ChaosConfig::Mode::kNone || chaos.fraction <= 0.0) {
+    return false;
+  }
+  FaultInjector::Options options;
+  options.fail_fraction = chaos.fraction;
+  options.seed = chaos.seed;
+  FaultInjector injector(options);
+  return injector.Decide(EvalContext::RequestHash(assignment)) ==
+         FaultInjector::Fault::kFail;
+}
+
+/// Acts on a selected request. Returns true when the worker should skip
+/// the normal reply (it misbehaved instead).
+bool ActChaos(const ChaosConfig& chaos, uint32_t attempt,
+              const FdHandle& fd) {
+  switch (chaos.mode) {
+    case ChaosConfig::Mode::kKillFirst:
+      if (attempt != 0) return false;
+      [[fallthrough]];
+    case ChaosConfig::Mode::kKillAlways:
+      // Simulates a segfaulting trainer: die without a word. The
+      // supervisor sees EOF mid-frame and reaps a SIGKILLed child.
+      ::kill(::getpid(), SIGKILL);
+      return true;  // not reached
+    case ChaosConfig::Mode::kStall:
+      for (;;) SleepMs(1000);  // wedge until the supervisor hard-kills us
+    case ChaosConfig::Mode::kGarbage: {
+      // A frame with a corrupt magic: the supervisor must treat it as a
+      // protocol error, kill this worker, and retry elsewhere.
+      (void)SendBytes(fd, std::string("\xde\xad\xbe\xef not a frame", 16));
+      return true;
+    }
+    case ChaosConfig::Mode::kNone:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+int RunWorkerMain(int argc, char** argv) {
+  int fd_number = -1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--fd" && i + 1 < argc) {
+      fd_number = std::atoi(argv[++i]);
+    }
+  }
+  if (fd_number < 0) return 2;
+  FdHandle fd(fd_number);
+  ChaosConfig chaos = ParseChaos(std::getenv("VOLCANOML_WORKER_CHAOS"));
+
+  std::unique_ptr<SearchSpace> space;
+  std::unique_ptr<Dataset> data;
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<EvalContext> context;
+
+  for (;;) {
+    uint8_t type = 0;
+    std::string payload;
+    // Block forever between requests: a long-lived worker's lifetime is
+    // owned by the supervisor (EOF or SIGKILL), not by a timer.
+    Status received = RecvFrame(fd, &type, &payload, -1);
+    if (!received.ok()) return 0;  // supervisor went away; exit quietly
+    switch (static_cast<WorkerMessageType>(type)) {
+      case WorkerMessageType::kInit: {
+        Result<WorkerInitMessage> init =
+            DecodeMessage<WorkerInitMessage>(payload);
+        WorkerInitReply reply;
+        if (!init.ok()) {
+          reply.ok = false;
+          reply.error = init.status().message();
+        } else {
+          space = std::make_unique<SearchSpace>(init.value().space);
+          data = std::make_unique<Dataset>(std::move(init.value().data));
+          EvaluatorOptions options = init.value().eval;
+          // The worker is one serial evaluation lane: its own engine-level
+          // knobs must not recurse into another pool.
+          options.num_threads = 1;
+          options.backend = EvalBackendKind::kInProcess;
+          options.fault_injector = nullptr;
+          if (init.value().has_injector) {
+            injector = std::make_unique<FaultInjector>(init.value().injector);
+            options.fault_injector = injector.get();
+          }
+          context = std::make_unique<EvalContext>(space.get(), data.get(),
+                                                  options);
+        }
+        Status sent = SendFrame(
+            fd, static_cast<uint8_t>(WorkerMessageType::kInitReply),
+            EncodeMessage(reply));
+        if (!sent.ok()) return 0;
+        break;
+      }
+      case WorkerMessageType::kEval: {
+        if (context == nullptr) return 3;  // protocol violation
+        Result<WorkerEvalRequest> request =
+            DecodeMessage<WorkerEvalRequest>(payload);
+        if (!request.ok()) return 4;
+        if (ChaosSelects(chaos, request.value().assignment) &&
+            ActChaos(chaos, request.value().attempt, fd)) {
+          break;  // garbage mode: reply already (mis)sent
+        }
+        EvalOutcome outcome = context->EvaluateOnce(
+            request.value().assignment, request.value().fidelity);
+        WorkerEvalReply reply;
+        reply.request_id = request.value().request_id;
+        reply.utility = outcome.utility;
+        reply.elapsed_seconds = outcome.elapsed_seconds;
+        reply.outcome = static_cast<uint8_t>(outcome.outcome);
+        Status sent = SendFrame(
+            fd, static_cast<uint8_t>(WorkerMessageType::kEvalReply),
+            EncodeMessage(reply));
+        if (!sent.ok()) return 0;
+        break;
+      }
+      case WorkerMessageType::kShutdown:
+        return 0;
+      default:
+        return 5;  // unknown frame: refuse to guess
+    }
+  }
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,28 @@
+#ifndef VOLCANOML_WORKER_WORKER_MAIN_H_
+#define VOLCANOML_WORKER_WORKER_MAIN_H_
+
+namespace volcanoml {
+
+/// Entry point of the volcanoml_worker binary (examples/ holds the thin
+/// main() so the process machinery stays inside src/worker/ — see
+/// determinism rule R15). Expects `--fd N`, the worker's end of the
+/// supervisor socketpair; serves WorkerInit then WorkerEval frames until
+/// shutdown or supervisor EOF.
+///
+/// Chaos hook (test/CI substrate): $VOLCANOML_WORKER_CHAOS =
+/// "<mode>:<fraction>:<seed>" makes the worker misbehave on the
+/// deterministic hash-selected fraction of requests, with modes
+///   kill-first  — SIGKILL itself, but only on attempt 0 (every killed
+///                 trial's retry succeeds: the trajectory stays
+///                 byte-identical to a clean run);
+///   kill-always — SIGKILL itself on every attempt (exhausts the retry
+///                 cap; the trial commits as worker_died);
+///   stall       — sleep forever (exercises the supervisor hard kill);
+///   garbage     — write a malformed frame instead of the reply.
+/// Selection is a pure function of (configuration hash, seed), never of
+/// timing, so chaos runs are as reproducible as clean ones.
+int RunWorkerMain(int argc, char** argv);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_WORKER_WORKER_MAIN_H_

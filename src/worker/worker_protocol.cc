@@ -1,0 +1,164 @@
+#include "worker/worker_protocol.h"
+
+#include <utility>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace volcanoml {
+
+namespace {
+
+void EncodeAssignment(WireWriter* w, const Assignment& assignment) {
+  w->U32(static_cast<uint32_t>(assignment.size()));
+  // Assignment is a std::map: iteration order is sorted and stable, so
+  // identical assignments encode to identical bytes.
+  for (const auto& [name, value] : assignment) {
+    w->Str(name);
+    w->F64(value);
+  }
+}
+
+Assignment DecodeAssignment(WireReader* r) {
+  Assignment assignment;
+  uint32_t n = r->U32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    std::string name = r->Str();
+    double value = r->F64();
+    assignment[name] = value;
+  }
+  return assignment;
+}
+
+}  // namespace
+
+void WorkerInitMessage::Encode(WireWriter* w) const {
+  w->U8(static_cast<uint8_t>(space.task));
+  w->U8(static_cast<uint8_t>(space.preset));
+  w->Bool(space.include_smote);
+  w->Bool(space.include_embedding);
+  w->F64(eval.validation_fraction);
+  w->U64(eval.cv_folds);
+  w->U64(eval.seed);
+  w->F64(eval.trial_timeout_seconds);
+  w->U64(eval.fe_cache_capacity_mb);
+  w->Str(data.name());
+  w->U64(data.NumSamples());
+  w->U64(data.NumFeatures());
+  for (size_t i = 0; i < data.NumSamples(); ++i) {
+    const double* row = data.x().RowPtr(i);
+    for (size_t j = 0; j < data.NumFeatures(); ++j) w->F64(row[j]);
+  }
+  for (double y : data.y()) w->F64(y);
+  w->Bool(has_injector);
+  if (has_injector) {
+    w->F64(injector.fail_fraction);
+    w->F64(injector.stall_fraction);
+    w->F64(injector.nan_fraction);
+    w->U64(injector.seed);
+  }
+}
+
+WorkerInitMessage WorkerInitMessage::Decode(WireReader* r) {
+  WorkerInitMessage m;
+  uint8_t task = r->U8();
+  uint8_t preset = r->U8();
+  if (task > 1) r->Fail("worker init: task out of range");
+  if (preset > 2) r->Fail("worker init: preset out of range");
+  m.space.task = static_cast<TaskType>(task);
+  m.space.preset = static_cast<SpacePreset>(preset);
+  m.space.include_smote = r->Bool();
+  m.space.include_embedding = r->Bool();
+  m.eval.validation_fraction = r->F64();
+  m.eval.cv_folds = static_cast<size_t>(r->U64());
+  m.eval.seed = r->U64();
+  m.eval.trial_timeout_seconds = r->F64();
+  m.eval.fe_cache_capacity_mb = static_cast<size_t>(r->U64());
+  std::string name = r->Str();
+  uint64_t rows = r->U64();
+  uint64_t cols = r->U64();
+  // Dishonest counts must not trigger an unbounded allocation before the
+  // latching reader notices the truncation: honest payloads fit the
+  // 64 MiB frame cap, i.e. at most 8M doubles.
+  constexpr uint64_t kMaxCells = (64ull << 20) / 8;
+  if (r->ok() && (rows > kMaxCells || cols > kMaxCells ||
+                  (cols != 0 && rows > kMaxCells / cols))) {
+    r->Fail("worker init: dataset dimensions exceed the frame cap");
+  }
+  if (!r->ok()) return m;
+  Matrix x(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  for (size_t i = 0; i < rows && r->ok(); ++i) {
+    double* row = x.RowPtr(i);
+    for (size_t j = 0; j < cols; ++j) row[j] = r->F64();
+  }
+  std::vector<double> y(static_cast<size_t>(rows));
+  for (size_t i = 0; i < rows && r->ok(); ++i) y[i] = r->F64();
+  if (r->ok()) {
+    m.data = Dataset(std::move(name), std::move(x), std::move(y),
+                     m.space.task);
+  }
+  m.has_injector = r->Bool();
+  if (m.has_injector) {
+    m.injector.fail_fraction = r->F64();
+    m.injector.stall_fraction = r->F64();
+    m.injector.nan_fraction = r->F64();
+    m.injector.seed = r->U64();
+  }
+  return m;
+}
+
+void WorkerInitReply::Encode(WireWriter* w) const {
+  w->Bool(ok);
+  w->Str(error);
+}
+
+WorkerInitReply WorkerInitReply::Decode(WireReader* r) {
+  WorkerInitReply m;
+  m.ok = r->Bool();
+  m.error = r->Str();
+  return m;
+}
+
+void WorkerEvalRequest::Encode(WireWriter* w) const {
+  w->U64(request_id);
+  w->U32(attempt);
+  EncodeAssignment(w, assignment);
+  w->F64(fidelity);
+}
+
+WorkerEvalRequest WorkerEvalRequest::Decode(WireReader* r) {
+  WorkerEvalRequest m;
+  m.request_id = r->U64();
+  m.attempt = r->U32();
+  m.assignment = DecodeAssignment(r);
+  m.fidelity = r->F64();
+  return m;
+}
+
+void WorkerEvalReply::Encode(WireWriter* w) const {
+  w->U64(request_id);
+  w->F64(utility);
+  w->F64(elapsed_seconds);
+  w->U8(outcome);
+}
+
+WorkerEvalReply WorkerEvalReply::Decode(WireReader* r) {
+  WorkerEvalReply m;
+  m.request_id = r->U64();
+  m.utility = r->F64();
+  m.elapsed_seconds = r->F64();
+  m.outcome = r->U8();
+  if (m.outcome >= kNumTrialOutcomes) {
+    r->Fail("worker eval reply: outcome out of range");
+  }
+  return m;
+}
+
+void WorkerShutdown::Encode(WireWriter* w) const { (void)w; }
+
+WorkerShutdown WorkerShutdown::Decode(WireReader* r) {
+  (void)r;
+  return WorkerShutdown{};
+}
+
+}  // namespace volcanoml

@@ -1,0 +1,88 @@
+#ifndef VOLCANOML_WORKER_WORKER_PROTOCOL_H_
+#define VOLCANOML_WORKER_WORKER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cs/configuration.h"
+#include "data/dataset.h"
+#include "eval/eval_context.h"
+#include "eval/fault_injector.h"
+#include "eval/search_space.h"
+#include "ipc/wire.h"
+
+namespace volcanoml {
+
+/// Frame types of the supervisor <-> worker protocol, spoken over the
+/// socketpair each worker inherits. Kept in a disjoint numeric range from
+/// ipc::MessageType so a frame routed to the wrong peer fails loudly at
+/// the type byte instead of decoding as garbage.
+enum class WorkerMessageType : uint8_t {
+  kInit = 64,        ///< Supervisor -> worker: dataset + options, once.
+  kInitReply = 65,   ///< Worker -> supervisor: ready (or build error).
+  kEval = 66,        ///< Supervisor -> worker: one EvaluateOnce request.
+  kEvalReply = 67,   ///< Worker -> supervisor: the outcome.
+  kShutdown = 68,    ///< Supervisor -> worker: exit cleanly.
+};
+
+/// Everything a worker needs to rebuild the evaluation context: the
+/// search-space options, the EvaluatorOptions fields that affect
+/// EvaluateOnce, and the full dataset (doubles travel as IEEE-754 bit
+/// patterns, so the worker's context is bit-identical to the
+/// supervisor's — the root of the backend's determinism contract).
+struct WorkerInitMessage {
+  SearchSpaceOptions space;
+  /// Only the EvaluateOnce-relevant fields are honored on the worker
+  /// side; num_threads/memoize/backend are forced to the serial
+  /// in-process path there.
+  EvaluatorOptions eval;
+  Dataset data;
+  /// Deterministic fault injection forwarded to the worker context.
+  bool has_injector = false;
+  FaultInjector::Options injector;
+
+  void Encode(WireWriter* w) const;
+  static WorkerInitMessage Decode(WireReader* r);
+};
+
+struct WorkerInitReply {
+  bool ok = true;
+  std::string error;
+
+  void Encode(WireWriter* w) const;
+  static WorkerInitReply Decode(WireReader* r);
+};
+
+/// One EvaluateOnce request. `request_id` pairs replies with requests
+/// (a stale reply from before a kill cannot be mistaken for the current
+/// answer); `attempt` is the supervisor's retry counter, which the chaos
+/// hook uses to kill only first attempts.
+struct WorkerEvalRequest {
+  uint64_t request_id = 0;
+  uint32_t attempt = 0;
+  Assignment assignment;
+  double fidelity = 1.0;
+
+  void Encode(WireWriter* w) const;
+  static WorkerEvalRequest Decode(WireReader* r);
+};
+
+struct WorkerEvalReply {
+  uint64_t request_id = 0;
+  double utility = 0.0;
+  double elapsed_seconds = 0.0;
+  /// TrialOutcome as u8; validated on decode.
+  uint8_t outcome = 0;
+
+  void Encode(WireWriter* w) const;
+  static WorkerEvalReply Decode(WireReader* r);
+};
+
+struct WorkerShutdown {
+  void Encode(WireWriter* w) const;
+  static WorkerShutdown Decode(WireReader* r);
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_WORKER_WORKER_PROTOCOL_H_

@@ -6,6 +6,10 @@
 // the clients — the same two-thread shape as production (serve loop +
 // RequestStop are the only cross-thread edges).
 
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -19,6 +23,7 @@
 #include "data/csv.h"
 #include "data/synthetic.h"
 #include "gtest/gtest.h"
+#include "ipc/messages.h"
 #include "ipc/transport.h"
 #include "util/thread_pool.h"
 
@@ -418,6 +423,95 @@ TEST(Daemon, ListSessionsReportsTenantAccounts) {
   }
   EXPECT_EQ(total_steps, session_steps);
   EXPECT_GT(total_budget, 0.0);
+}
+
+TEST(Daemon, ClientDisconnectBeforeReplyDoesNotWedgeTheDaemon) {
+  std::string socket = "/tmp/volcanoml_daemon_disconnect_test.sock";
+  DaemonFixture fixture(socket);
+  // Rogue client 1: connects and walks away without sending a frame —
+  // the daemon's RecvFrame fails and the request is dropped.
+  {
+    Result<FdHandle> conn = ConnectUnix(socket);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  }
+  // Rogue client 2: sends a valid request but hangs up before reading
+  // the reply — the daemon's SendFrame fails and the reply is dropped.
+  {
+    Result<FdHandle> conn = ConnectUnix(socket);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    Status sent =
+        SendFrame(conn.value(),
+                  static_cast<uint8_t>(MessageType::kListSessionsRequest),
+                  EncodeMessage(ListSessionsRequest{}));
+    ASSERT_TRUE(sent.ok()) << sent.ToString();
+  }
+  // Both failures are per-connection: the serve loop keeps answering.
+  Result<ListSessionsReply> listed = fixture.client().ListSessions();
+  EXPECT_TRUE(listed.ok()) << listed.status().ToString();
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+TEST(Daemon, CompletedSessionDiscardsItsSpoolSnapshot) {
+  std::string csv = BlobsCsv();
+  std::string spool_dir = "/tmp/volcanoml_daemon_spool_discard_test";
+  ::mkdir(spool_dir.c_str(), 0755);
+  std::string socket = "/tmp/volcanoml_daemon_spool_discard_test.sock";
+  std::string spool_path = spool_dir + "/" +
+                           "volcanoml_daemon_spool_discard_test.sock"
+                           ".session-1.snapshot";
+  std::remove(spool_path.c_str());
+  DaemonFixture fixture(socket, /*max_resident=*/8, spool_dir);
+
+  CreateSessionRequest request;
+  request.csv = csv;
+  request.config = SmallConfig(PlanKind::kJoint, JointOptimizerKind::kRandom);
+  request.step_credit = 0;  // parked: nothing steps until credit arrives
+  Result<uint64_t> created = fixture.client().CreateSession(request);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  // An explicit eviction parks the snapshot in the spool.
+  Result<bool> evicted = fixture.client().EvictSession(created.value());
+  ASSERT_TRUE(evicted.ok()) << evicted.status().ToString();
+  ASSERT_TRUE(evicted.value());
+  ASSERT_TRUE(FileExists(spool_path));
+
+  // Run the session to completion: the stale snapshot must be discarded
+  // when the scheduler retires the session, not at daemon exit.
+  Result<SessionStatus> granted =
+      fixture.client().StepSession(created.value(), kUnlimitedCredit);
+  ASSERT_TRUE(granted.ok()) << granted.status().ToString();
+  Result<SessionStatus> done =
+      fixture.client().WaitUntilDone(created.value());
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  EXPECT_FALSE(FileExists(spool_path));
+}
+
+TEST(Daemon, StartupSweepsOrphanedSpoolSnapshots) {
+  std::string spool_dir = "/tmp/volcanoml_daemon_spool_sweep_test";
+  ::mkdir(spool_dir.c_str(), 0755);
+  std::string socket_name = "volcanoml_daemon_spool_sweep_test.sock";
+  std::string socket = "/tmp/" + socket_name;
+  // A crashed predecessor left a snapshot behind; a foreign daemon's
+  // snapshot and an unrelated file share the directory and must survive.
+  std::string orphan = spool_dir + "/" + socket_name + ".session-9.snapshot";
+  std::string foreign = spool_dir + "/other.sock.session-1.snapshot";
+  std::string unrelated = spool_dir + "/notes.txt";
+  for (const std::string& path : {orphan, foreign, unrelated}) {
+    std::ofstream(path) << "stale";
+  }
+  ASSERT_TRUE(FileExists(orphan));
+
+  DaemonFixture fixture(socket, /*max_resident=*/8, spool_dir);
+  // The fixture waited for the daemon to answer, and the sweep runs
+  // before the serve loop starts — the orphan is already gone.
+  EXPECT_FALSE(FileExists(orphan));
+  EXPECT_TRUE(FileExists(foreign));
+  EXPECT_TRUE(FileExists(unrelated));
+  std::remove(foreign.c_str());
+  std::remove(unrelated.c_str());
 }
 
 TEST(Daemon, ShutdownStopsTheServeLoopAndRemovesTheSocket) {

@@ -1,0 +1,42 @@
+// expect: R15-process
+// Process-lifecycle syscalls outside src/worker/: the supervised worker
+// pool is the only audited owner of fork/exec, signalling, and reaping.
+// A stray fork() elsewhere escapes the supervisor's retry, backoff and
+// circuit-breaker logic and can leak zombies. Member calls and
+// declarations must not fire (negative cases at the bottom).
+
+extern "C" {
+int fork();
+int kill(int, int);
+int waitpid(int, int*, int);
+int execv(const char*, char* const*);
+}
+
+namespace volcanoml {
+
+int SpawnUnsupervised() {
+  int pid = fork();  // R15: raw fork() outside src/worker/
+  if (pid == 0) {
+    execv("/bin/true", nullptr);  // R15: raw execv() outside src/worker/
+  }
+  return pid;
+}
+
+void SignalAndReap(int pid) {
+  kill(pid, 9);  // R15: raw kill() outside src/worker/
+  int status = 0;
+  waitpid(pid, &status, 0);  // R15: raw waitpid() outside src/worker/
+}
+
+struct Future {
+  void wait() {}
+  void wait(int) {}
+};
+
+void MemberWaitDoesNotFire(Future* future) {
+  future->wait();  // member call, not a process syscall
+  Future local;
+  local.wait(16);
+}
+
+}  // namespace volcanoml

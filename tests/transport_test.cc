@@ -1,0 +1,104 @@
+// Transport failure-path tests: a peer that vanishes mid-frame must
+// surface as a clean Status on the surviving side — never a
+// process-killing SIGPIPE, never a hang, and never a deadline error
+// masquerading as an I/O error (the supervisor routes kDeadlineExceeded
+// to the no-retry hard-timeout path, so the distinction is load-bearing).
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "ipc/transport.h"
+#include "ipc/wire.h"
+#include "util/status.h"
+
+namespace volcanoml {
+namespace {
+
+TEST(TransportTest, SendFrameToClosedPeerReturnsStatusNotSigpipe) {
+  Result<SocketPair> pair = CreateSocketPair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  // Close the reader first: a payload far larger than the socket buffer
+  // forces the writer past whatever the kernel would queue, so the send
+  // loop must observe EPIPE mid-frame. MSG_NOSIGNAL is what keeps this
+  // an error return instead of killing the test process.
+  pair.value().child.Reset();
+  std::string payload(4u * 1024u * 1024u, 'x');
+  Status sent = SendFrame(pair.value().parent, 1, payload);
+  EXPECT_FALSE(sent.ok());
+  EXPECT_NE(sent.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(TransportTest, SendFramePeerClosesWithUnreadDataReturnsStatus) {
+  Result<SocketPair> pair = CreateSocketPair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  // A frame already sits unread in the peer's buffer when it hangs up
+  // (the daemon's client-walks-away case): the next oversized frame must
+  // fail part-way through the payload with a clean Status.
+  Status primed = SendFrame(pair.value().parent, 1, "unread reply");
+  ASSERT_TRUE(primed.ok()) << primed.ToString();
+  pair.value().child.Reset();
+  std::string payload(4u * 1024u * 1024u, 'y');
+  Status sent = SendFrame(pair.value().parent, 2, payload);
+  EXPECT_FALSE(sent.ok());
+}
+
+TEST(TransportTest, RecvFrameEofIsIoErrorNotDeadline) {
+  Result<SocketPair> pair = CreateSocketPair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  pair.value().child.Reset();  // peer gone before any byte arrived
+  uint8_t type = 0;
+  std::string payload;
+  Status received = RecvFrame(pair.value().parent, &type, &payload, 1000);
+  EXPECT_FALSE(received.ok());
+  // The supervisor maps kDeadlineExceeded to kTimedOut (no retry) and
+  // everything else to a retryable worker death; EOF must be the latter.
+  EXPECT_NE(received.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(TransportTest, RecvFrameSilentPeerHitsTheDeadline) {
+  Result<SocketPair> pair = CreateSocketPair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  uint8_t type = 0;
+  std::string payload;
+  Status received = RecvFrame(pair.value().parent, &type, &payload, 50);
+  EXPECT_FALSE(received.ok());
+  EXPECT_EQ(received.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(TransportTest, RecvFrameTruncatedMidHeaderReturnsStatus) {
+  Result<SocketPair> pair = CreateSocketPair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  // Half a header, then EOF: the framed reader must fail cleanly rather
+  // than waiting forever for bytes that will never come.
+  WireWriter header;
+  header.U32(kFrameMagic);
+  Status sent = SendBytes(pair.value().child, header.TakeStr().substr(0, 2));
+  ASSERT_TRUE(sent.ok()) << sent.ToString();
+  pair.value().child.Reset();
+  uint8_t type = 0;
+  std::string payload;
+  Status received = RecvFrame(pair.value().parent, &type, &payload, 1000);
+  EXPECT_FALSE(received.ok());
+  EXPECT_NE(received.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(TransportTest, RecvFrameTruncatedMidPayloadReturnsStatus) {
+  Result<SocketPair> pair = CreateSocketPair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  // A valid header promising a 64-byte payload, cut off after 3 bytes.
+  WireWriter header;
+  header.U32(kFrameMagic);
+  header.U8(7);
+  header.U32(64);
+  Status sent = SendBytes(pair.value().child, header.TakeStr() + "abc");
+  ASSERT_TRUE(sent.ok()) << sent.ToString();
+  pair.value().child.Reset();
+  uint8_t type = 0;
+  std::string payload;
+  Status received = RecvFrame(pair.value().parent, &type, &payload, 1000);
+  EXPECT_FALSE(received.ok());
+  EXPECT_NE(received.code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace volcanoml

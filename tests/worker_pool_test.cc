@@ -1,0 +1,372 @@
+// Crash-isolation tests for the process-pool dispatch backend: a
+// zero-fault worker pool must reproduce the in-process oracle
+// bit-for-bit, every supervised failure mode (SIGKILL, stall, garbage
+// reply, missing binary) must degrade into the TrialOutcome taxonomy
+// without corrupting the search, and the chaos hook's retry path must
+// leave the final trajectory byte-identical to a never-killed run.
+//
+// Chaos is injected through $VOLCANOML_WORKER_CHAOS (see
+// worker/worker_main.h): selection is a pure function of the request
+// hash, so each scenario is reproducible across runs and build modes.
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/volcano_ml.h"
+#include "data/synthetic.h"
+#include "eval/dispatch.h"
+#include "eval/evaluator.h"
+#include "eval/search_space.h"
+#include "gtest/gtest.h"
+#include "ipc/messages.h"
+#include "util/rng.h"
+#include "worker/process_pool.h"
+#include "worker/worker_protocol.h"
+
+namespace volcanoml {
+namespace {
+
+SearchSpaceOptions SmallSpace() {
+  SearchSpaceOptions o;
+  o.task = TaskType::kClassification;
+  o.preset = SpacePreset::kSmall;
+  return o;
+}
+
+std::vector<Assignment> SampleAssignments(const SearchSpace& space, size_t n,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Assignment> assignments;
+  assignments.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    assignments.push_back(
+        space.joint().ToAssignment(space.joint().Sample(&rng)));
+  }
+  return assignments;
+}
+
+VolcanoMlOptions PoolOptions(double budget, size_t batch, size_t workers) {
+  VolcanoMlOptions options;
+  options.space = SmallSpace();
+  options.budget = budget;
+  options.batch_size = batch;
+  options.eval.backend = EvalBackendKind::kProcessPool;
+  options.eval.worker_pool_size = workers;
+  options.seed = 5;
+  return options;
+}
+
+void ExpectSameResult(const AutoMlResult& got, const AutoMlResult& expected) {
+  EXPECT_EQ(got.best_utility, expected.best_utility);  // exact, not NEAR
+  EXPECT_EQ(got.best_assignment, expected.best_assignment);
+  EXPECT_EQ(got.num_evaluations, expected.num_evaluations);
+  ASSERT_EQ(got.trajectory.size(), expected.trajectory.size());
+  for (size_t i = 0; i < got.trajectory.size(); ++i) {
+    EXPECT_EQ(got.trajectory[i].budget, expected.trajectory[i].budget);
+    EXPECT_EQ(got.trajectory[i].utility, expected.trajectory[i].utility);
+  }
+}
+
+// RAII guard so a failing assertion cannot leak chaos config into the
+// tests that run after it in the same process.
+class ChaosEnv {
+ public:
+  explicit ChaosEnv(const char* spec) {
+    ::setenv("VOLCANOML_WORKER_CHAOS", spec, 1);
+  }
+  ~ChaosEnv() { ::unsetenv("VOLCANOML_WORKER_CHAOS"); }
+};
+
+TEST(WorkerProtocolTest, EvalRequestAndReplyRoundTrip) {
+  WorkerEvalRequest request;
+  request.request_id = 77;
+  request.attempt = 2;
+  request.assignment = {{"algo", 3.0}, {"lr", 0.0625}};
+  request.fidelity = 0.5;
+  Result<WorkerEvalRequest> decoded =
+      DecodeMessage<WorkerEvalRequest>(EncodeMessage(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded.value().request_id, request.request_id);
+  EXPECT_EQ(decoded.value().attempt, request.attempt);
+  EXPECT_EQ(decoded.value().assignment, request.assignment);
+  EXPECT_EQ(decoded.value().fidelity, request.fidelity);
+
+  WorkerEvalReply reply;
+  reply.request_id = 77;
+  reply.utility = 0.8125;
+  reply.elapsed_seconds = 0.25;
+  reply.outcome = static_cast<uint8_t>(TrialOutcome::kOk);
+  Result<WorkerEvalReply> reply_decoded =
+      DecodeMessage<WorkerEvalReply>(EncodeMessage(reply));
+  ASSERT_TRUE(reply_decoded.ok()) << reply_decoded.status().message();
+  EXPECT_EQ(reply_decoded.value().request_id, reply.request_id);
+  EXPECT_EQ(reply_decoded.value().utility, reply.utility);
+  EXPECT_EQ(reply_decoded.value().outcome, reply.outcome);
+}
+
+TEST(WorkerProtocolTest, InitMessageShipsDatasetBitExactly) {
+  WorkerInitMessage init;
+  init.space = SmallSpace();
+  init.eval.cv_folds = 3;
+  init.eval.seed = 42;
+  init.data = MakeBlobs(40, 3, 2, 1.5, 9);
+  init.has_injector = true;
+  init.injector.fail_fraction = 0.125;
+  init.injector.seed = 17;
+  Result<WorkerInitMessage> decoded =
+      DecodeMessage<WorkerInitMessage>(EncodeMessage(init));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  const WorkerInitMessage& got = decoded.value();
+  EXPECT_EQ(got.space.task, init.space.task);
+  EXPECT_EQ(got.space.preset, init.space.preset);
+  EXPECT_EQ(got.eval.cv_folds, init.eval.cv_folds);
+  EXPECT_EQ(got.eval.seed, init.eval.seed);
+  EXPECT_TRUE(got.has_injector);
+  EXPECT_EQ(got.injector.fail_fraction, init.injector.fail_fraction);
+  EXPECT_EQ(got.injector.seed, init.injector.seed);
+  ASSERT_EQ(got.data.NumSamples(), init.data.NumSamples());
+  ASSERT_EQ(got.data.NumFeatures(), init.data.NumFeatures());
+  EXPECT_EQ(got.data.x().data(), init.data.x().data());  // full matrix
+  EXPECT_EQ(got.data.y(), init.data.y());
+  EXPECT_EQ(got.data.task(), init.data.task());
+}
+
+TEST(WorkerProtocolTest, MalformedReplyOutcomeIsRejected) {
+  WorkerEvalReply reply;
+  reply.outcome = 200;  // not a TrialOutcome
+  Result<WorkerEvalReply> decoded =
+      DecodeMessage<WorkerEvalReply>(EncodeMessage(reply));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WorkerProtocolTest, InitMessageRejectsOversizedDatasetHeader) {
+  // A forged header claiming a huge matrix must fail in the decoder's
+  // dimension guard, not inside a multi-gigabyte allocation.
+  WireWriter w;
+  WorkerInitMessage init;
+  init.space = SmallSpace();
+  init.data = MakeBlobs(4, 2, 2, 1.0, 1);
+  init.Encode(&w);
+  std::string payload = w.TakeStr();
+  // The encoding is not self-describing enough to patch in place, so
+  // instead decode a truncated copy: the reader must latch an error, not
+  // crash or return a half-built message.
+  Result<WorkerInitMessage> decoded =
+      DecodeMessage<WorkerInitMessage>(payload.substr(0, payload.size() / 2));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WorkerPoolTest, ZeroFaultBatchMatchesInProcessBitForBit) {
+  SearchSpace space(SmallSpace());
+  Dataset data = MakeBlobs(150, 4, 2, 1.5, 3);
+  std::vector<Assignment> assignments = SampleAssignments(space, 8, 11);
+
+  EvaluatorOptions serial_options;  // in-process serial oracle
+  PipelineEvaluator serial(&space, &data, serial_options);
+  std::vector<double> expected;
+  for (const Assignment& a : assignments) {
+    expected.push_back(serial.Evaluate(a));
+  }
+
+  EvaluatorOptions pool_options;
+  pool_options.backend = EvalBackendKind::kProcessPool;
+  pool_options.worker_pool_size = 2;
+  PipelineEvaluator pooled(&space, &data, pool_options);
+  ASSERT_STREQ(pooled.engine().backend().name(), "process-pool");
+  std::vector<EvalRequest> requests;
+  for (const Assignment& a : assignments) requests.push_back({a, 1.0});
+  std::vector<double> got = pooled.EvaluateBatch(requests);
+
+  // The pool must have actually run out of process, not silently
+  // degraded to inline evaluation.
+  EXPECT_FALSE(pooled.engine().dispatch_telemetry().degraded);
+  EXPECT_EQ(pooled.engine().dispatch_telemetry().worker_deaths, 0u);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "request " << i;  // exact, not NEAR
+  }
+  EXPECT_EQ(pooled.num_evaluations(), serial.num_evaluations());
+  EXPECT_EQ(pooled.consumed_budget(), serial.consumed_budget());
+  ASSERT_EQ(pooled.observations().size(), serial.observations().size());
+  for (size_t i = 0; i < serial.observations().size(); ++i) {
+    EXPECT_EQ(pooled.observations()[i].first, serial.observations()[i].first);
+    EXPECT_EQ(pooled.observations()[i].second,
+              serial.observations()[i].second);
+  }
+}
+
+TEST(WorkerPoolTest, ZeroFaultSearchMatchesInProcessOracle) {
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+
+  VolcanoMlOptions oracle_options = PoolOptions(20.0, 1, 2);
+  oracle_options.eval.backend = EvalBackendKind::kInProcess;
+  VolcanoML oracle(oracle_options);
+  AutoMlResult expected = oracle.Fit(data);
+
+  VolcanoML pooled(PoolOptions(20.0, 1, 2));
+  AutoMlResult got = pooled.Fit(data);
+
+  EXPECT_FALSE(pooled.evaluator()->engine().dispatch_telemetry().degraded);
+  ExpectSameResult(got, expected);
+}
+
+TEST(WorkerPoolTest, ChaosKillFirstAttemptRetriesToIdenticalTrajectory) {
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+
+  VolcanoML clean(PoolOptions(15.0, 2, 2));
+  AutoMlResult expected = clean.Fit(data);
+
+  ChaosEnv chaos("kill-first:0.4:7");
+  VolcanoML killed(PoolOptions(15.0, 2, 2));
+  AutoMlResult got = killed.Fit(data);
+
+  DispatchTelemetry telemetry =
+      killed.evaluator()->engine().dispatch_telemetry();
+  ASSERT_GT(telemetry.worker_deaths, 0u)
+      << "chaos hook selected no request; raise the kill fraction";
+  EXPECT_GT(telemetry.worker_retries, 0u);
+  EXPECT_GT(telemetry.worker_respawns, 0u);
+  EXPECT_FALSE(telemetry.degraded);
+  // Every kill hit attempt 0 only, so the retry produced the real
+  // outcome and nothing surfaced as worker_died.
+  EXPECT_EQ(killed.evaluator()->engine().outcome_count(
+                TrialOutcome::kWorkerDied),
+            0u);
+  ExpectSameResult(got, expected);
+}
+
+TEST(WorkerPoolTest, ChaosKillAlwaysQuarantinesAfterRetryCap) {
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+
+  ChaosEnv chaos("kill-always:0.4:9");
+  VolcanoMlOptions options = PoolOptions(15.0, 1, 2);
+  options.eval.worker_retry_cap = 1;       // fail fast
+  options.eval.worker_respawn_limit = 64;  // keep the circuit closed
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(data);
+
+  const EvalEngine& engine = automl.evaluator()->engine();
+  DispatchTelemetry telemetry = engine.dispatch_telemetry();
+  ASSERT_GT(telemetry.worker_deaths, 0u)
+      << "chaos hook selected no request; raise the kill fraction";
+  EXPECT_FALSE(telemetry.degraded);
+  // Retries all hit the same deterministic kill, so the cap was reached
+  // and the trials committed as worker_died ...
+  EXPECT_GT(engine.outcome_count(TrialOutcome::kWorkerDied), 0u);
+  // ... which the trial guard treats as hard failures: the doomed
+  // configurations were quarantined instead of being re-suggested
+  // forever, and the search still finished.
+  EXPECT_GE(engine.MaxHardFailuresPerConfig(), 1u);
+  EXPECT_TRUE(automl.executor()->Done());
+  EXPECT_GT(result.num_evaluations, 0u);
+}
+
+TEST(WorkerPoolTest, HardTimeoutKillsStalledWorker) {
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+
+  ChaosEnv chaos("stall:0.3:11");
+  VolcanoMlOptions options = PoolOptions(10.0, 1, 1);
+  options.eval.trial_hard_timeout_seconds = 0.25;
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(data);
+
+  const EvalEngine& engine = automl.evaluator()->engine();
+  DispatchTelemetry telemetry = engine.dispatch_telemetry();
+  ASSERT_GT(telemetry.hard_timeouts, 0u)
+      << "chaos hook stalled no request; raise the stall fraction";
+  // A stalled deterministic computation would stall again: hard
+  // timeouts commit as kTimedOut without burning the retry budget.
+  EXPECT_GT(engine.outcome_count(TrialOutcome::kTimedOut), 0u);
+  EXPECT_EQ(telemetry.worker_retries, 0u);
+  EXPECT_FALSE(telemetry.degraded);
+  EXPECT_TRUE(automl.executor()->Done());
+  EXPECT_GT(result.num_evaluations, 0u);
+}
+
+TEST(WorkerPoolTest, GarbageReplyIsTreatedAsWorkerDeath) {
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+
+  ChaosEnv chaos("garbage:0.3:13");
+  VolcanoMlOptions options = PoolOptions(10.0, 1, 2);
+  options.eval.worker_retry_cap = 1;
+  options.eval.worker_respawn_limit = 64;
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(data);
+
+  const EvalEngine& engine = automl.evaluator()->engine();
+  DispatchTelemetry telemetry = engine.dispatch_telemetry();
+  ASSERT_GT(telemetry.worker_deaths, 0u)
+      << "chaos hook corrupted no reply; raise the garbage fraction";
+  // A malformed frame desyncs the stream, so the supervisor kills the
+  // worker and maps the trial into the same worker_died path a crash
+  // takes (the deterministic corruption repeats on retry).
+  EXPECT_GT(engine.outcome_count(TrialOutcome::kWorkerDied), 0u);
+  EXPECT_FALSE(telemetry.degraded);
+  EXPECT_TRUE(automl.executor()->Done());
+  EXPECT_GT(result.num_evaluations, 0u);
+}
+
+TEST(WorkerPoolTest, MissingBinaryDegradesToInProcessBitForBit) {
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+
+  VolcanoMlOptions oracle_options = PoolOptions(15.0, 2, 2);
+  oracle_options.eval.backend = EvalBackendKind::kInProcess;
+  VolcanoML oracle(oracle_options);
+  AutoMlResult expected = oracle.Fit(data);
+
+  VolcanoMlOptions options = PoolOptions(15.0, 2, 2);
+  options.eval.worker_binary = "/nonexistent/volcanoml_worker";
+  VolcanoML degraded(options);
+  AutoMlResult got = degraded.Fit(data);
+
+  DispatchTelemetry telemetry =
+      degraded.evaluator()->engine().dispatch_telemetry();
+  EXPECT_TRUE(telemetry.degraded);
+  EXPECT_GT(telemetry.spawn_failures, 0u);
+  // Graceful degradation computes the same pure function in-process.
+  ExpectSameResult(got, expected);
+}
+
+TEST(WorkerPoolTest, RestartStormOpensCircuitAndDegradesBitForBit) {
+  Dataset data = MakeBlobs(120, 4, 2, 1.5, 3);
+
+  VolcanoMlOptions oracle_options = PoolOptions(15.0, 1, 1);
+  oracle_options.eval.backend = EvalBackendKind::kInProcess;
+  VolcanoML oracle(oracle_options);
+  AutoMlResult expected = oracle.Fit(data);
+
+  // Every request on every attempt kills the worker; with a tiny
+  // respawn limit the slot's consecutive-death counter trips the
+  // circuit breaker almost immediately.
+  ChaosEnv chaos("kill-always:1.0:3");
+  VolcanoMlOptions options = PoolOptions(15.0, 1, 1);
+  options.eval.worker_respawn_limit = 2;
+  VolcanoML automl(options);
+  AutoMlResult got = automl.Fit(data);
+
+  DispatchTelemetry telemetry =
+      automl.evaluator()->engine().dispatch_telemetry();
+  EXPECT_TRUE(telemetry.degraded);
+  EXPECT_GT(telemetry.worker_deaths, 0u);
+  // Once the circuit opened, every trial (including the ones that were
+  // mid-retry) fell back to the in-process path, so no worker_died
+  // outcome was committed and the trajectory matches the oracle.
+  EXPECT_EQ(automl.evaluator()->engine().outcome_count(
+                TrialOutcome::kWorkerDied),
+            0u);
+  ExpectSameResult(got, expected);
+}
+
+TEST(WorkerPoolTest, ResolveWorkerBinaryHonorsEnvOverride) {
+  ::setenv("VOLCANOML_WORKER_BINARY", "/tmp/some-worker", 1);
+  EXPECT_EQ(ResolveWorkerBinary(""), "/tmp/some-worker");
+  EXPECT_EQ(ResolveWorkerBinary("/explicit/path"), "/explicit/path");
+  ::unsetenv("VOLCANOML_WORKER_BINARY");
+  // Sibling resolution from /proc/self/exe finds the test tree's real
+  // worker binary (built under <build>/examples/).
+  EXPECT_NE(ResolveWorkerBinary(""), "");
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for volcanoml.
+
+Compares freshly measured bench JSON (the BENCH_<suite>.json files the
+bench binaries emit through bench/bench_json.h) against the committed
+baselines at the repo root, and fails when any *throughput* metric — a
+metric whose unit ends in "/s" (sessions/s, steps/s, evals/s, items/s)
+— drops below `--min-ratio` (default 0.75, i.e. a >25% regression).
+
+Only throughput metrics gate: latency/time metrics (ms, ns) are noisy
+on shared CI runners and already have the throughput numbers as their
+inverse signal. Metrics present in only one file are reported but never
+fail the gate (bench filters legitimately shrink the fresh set).
+
+Usage:
+    tools/bench_gate.py --pair BENCH_daemon.json fresh/BENCH_daemon.json \
+                        --pair BENCH_micro.json  fresh/BENCH_micro.json \
+                        [--min-ratio 0.75]
+
+Exit status: 0 when every comparable throughput metric holds the ratio,
+1 on regression, 2 on unusable input (missing file, malformed JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    """Returns {name: (value, unit)} for one bench JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"bench_gate: cannot read {path}: {err}")
+    metrics = {}
+    for m in doc.get("metrics", []):
+        name, value, unit = m.get("name"), m.get("value"), m.get("unit")
+        if not isinstance(name, str) or not isinstance(unit, str):
+            continue
+        if not isinstance(value, (int, float)):
+            continue  # non-finite values serialize as null
+        metrics[name] = (float(value), unit)
+    return metrics
+
+
+def is_throughput(unit):
+    return unit.endswith("/s")
+
+
+def compare(baseline_path, fresh_path, min_ratio):
+    """Prints a comparison table; returns the list of regression lines."""
+    baseline = load_metrics(baseline_path)
+    fresh = load_metrics(fresh_path)
+    regressions = []
+    print(f"\n== {fresh_path} vs baseline {baseline_path} "
+          f"(min ratio {min_ratio:.2f}) ==")
+    shared = [n for n in baseline if n in fresh]
+    gated = False
+    for name in shared:
+        base_value, base_unit = baseline[name]
+        fresh_value, fresh_unit = fresh[name]
+        if not is_throughput(base_unit) or base_unit != fresh_unit:
+            continue
+        gated = True
+        ratio = fresh_value / base_value if base_value > 0 else float("inf")
+        verdict = "ok" if ratio >= min_ratio else "REGRESSION"
+        print(f"  {name:<40} {base_value:>14.3f} -> {fresh_value:>14.3f} "
+              f"{base_unit:<10} x{ratio:.3f}  {verdict}")
+        if ratio < min_ratio:
+            regressions.append(
+                f"{name}: {fresh_value:.3f} {fresh_unit} < "
+                f"{min_ratio:.2f} * {base_value:.3f} (x{ratio:.3f})")
+    if not gated:
+        print("  (no shared throughput metrics — nothing gated)")
+    skipped = sorted(set(baseline) - set(fresh))
+    throughput_skipped = [n for n in skipped if is_throughput(baseline[n][1])]
+    if throughput_skipped:
+        print(f"  not measured fresh (ignored): "
+              f"{', '.join(throughput_skipped)}")
+    return regressions
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pair", nargs=2, action="append", required=True,
+        metavar=("BASELINE", "FRESH"),
+        help="baseline JSON and freshly measured JSON to compare "
+             "(repeatable)")
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.75,
+        help="fail when fresh throughput < min-ratio * baseline "
+             "(default 0.75 = >25%% regression)")
+    args = parser.parse_args(argv)
+
+    regressions = []
+    for baseline_path, fresh_path in args.pair:
+        regressions += compare(baseline_path, fresh_path, args.min_ratio)
+    if regressions:
+        print(f"\nbench_gate: {len(regressions)} throughput regression(s):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("\nbench_gate: all throughput metrics within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -40,6 +40,13 @@ complementing the runtime bit-equality tests:
                       exactly one place. std::-qualified names
                       (std::bind) and member calls (reader.read) are not
                       syscalls and do not fire.
+  R15 process         Process-lifecycle syscalls (fork, vfork, the
+                      exec* family, kill, waitpid, wait) are confined to
+                      src/worker/ — the supervised worker-pool layer.
+                      Spawning or signalling processes anywhere else
+                      bypasses the supervisor's reaping, retry and
+                      circuit-breaker logic and can leak zombies or
+                      orphan workers.
 
 Waivers: append `// NOLINT-determinism(reason)` to the offending line.
 Waived lines are suppressed but inventoried in the report, so every
@@ -103,6 +110,12 @@ SYSCALL_NAMES = ("socket", "bind", "listen", "accept", "accept4",
                  "connect", "recv", "send", "recvfrom", "sendto",
                  "recvmsg", "sendmsg", "read", "write", "pread", "pwrite",
                  "poll", "ppoll", "select", "unlink")
+
+# R15: process-lifecycle syscalls confined to the worker-pool layer.
+PROCESS_ALLOWED_PREFIX = "src/worker/"
+PROCESS_NAMES = ("fork", "vfork", "execv", "execve", "execvp", "execvpe",
+                 "execl", "execle", "execlp", "kill", "waitpid", "wait",
+                 "wait3", "wait4", "posix_spawn", "posix_spawnp")
 
 # R10: snapshot key primitives and aggregate helpers whose first string
 # argument is the key.
@@ -492,6 +505,35 @@ def check_raw_syscalls(scan: FileScan, report: Report):
             "place")
 
 
+def check_process_syscalls(scan: FileScan, report: Report):
+    """R15: process-lifecycle syscalls outside src/worker/."""
+    if scan.rel.startswith(PROCESS_ALLOWED_PREFIX):
+        return
+    tokens = scan.tokens
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in PROCESS_NAMES:
+            continue
+        if i + 1 >= len(tokens) or tokens[i + 1].text != "(":
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        if prev is not None:
+            if prev.text in (".", "->"):
+                continue  # member call, e.g. future.wait(...)
+            if prev.text == "::":
+                before = tokens[i - 2].text if i >= 2 else ""
+                if before == "std":
+                    continue  # e.g. std::kill-style qualified names
+            # `Type fork(args);` is a declaration, not a call.
+            if prev.kind == "ident" and prev.text != "return":
+                continue
+        report.add(
+            scan, t.line, "R15-process",
+            f"raw {t.text}() process syscall outside src/worker/; process "
+            "creation, signalling and reaping live in the supervised "
+            "worker pool (src/worker/supervisor.h) so zombies, retries "
+            "and restart storms are handled in one audited place")
+
+
 def extract_snapshot_keys(tokens: list[Token], start: int,
                           end: int) -> set[str]:
     """Quoted keys passed to snapshot primitives inside [start, end)."""
@@ -706,6 +748,7 @@ def main() -> int:
         check_wall_clock(scan, report)
         check_nondet_sources(scan, report)
         check_raw_syscalls(scan, report)
+        check_process_syscalls(scan, report)
     check_snapshot_pairs(scans, report)
 
     for v in report.violations:
