@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_json.h"
+#include "data/aligned.h"
 #include "bo/acquisition.h"
 #include "bo/smac.h"
 #include "bo/surrogate.h"
@@ -193,17 +194,92 @@ void BM_TransposeNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_TransposeNaive)->Arg(256)->Arg(1024);
 
-void BM_Dot(benchmark::State& state) {
+template <typename Real>
+AlignedVector<Real> RandomAlignedVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  AlignedVector<Real> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<Real>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+// The vector kernels below run on 64-byte-aligned buffers
+// (data/aligned.h), the layout the packed GEMM and the float model lane
+// allocate, so the recorded numbers reflect the aligned fast path.
+template <typename Real>
+void DotBench(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  Matrix a = RandomMatrix(1, n, 17);
-  Matrix b = RandomMatrix(1, n, 18);
+  AlignedVector<Real> a = RandomAlignedVector<Real>(n, 17);
+  AlignedVector<Real> b = RandomAlignedVector<Real>(n, 18);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(DotKernel(a.RowPtr(0), b.RowPtr(0), n));
+    benchmark::DoNotOptimize(DotKernel(a.data(), b.data(), n));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
+
+void BM_Dot(benchmark::State& state) { DotBench<double>(state); }
 BENCHMARK(BM_Dot)->Arg(1024)->Arg(65536);
+
+void BM_DotF32(benchmark::State& state) { DotBench<float>(state); }
+BENCHMARK(BM_DotF32)->Arg(1024)->Arg(65536);
+
+template <typename Real>
+void AxpyBench(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  AlignedVector<Real> x = RandomAlignedVector<Real>(n, 19);
+  AlignedVector<Real> y = RandomAlignedVector<Real>(n, 20);
+  const Real alpha = static_cast<Real>(0.37);
+  for (auto _ : state) {
+    AxpyKernel(alpha, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_Axpy(benchmark::State& state) { AxpyBench<double>(state); }
+BENCHMARK(BM_Axpy)->Arg(1024)->Arg(65536);
+
+void BM_AxpyF32(benchmark::State& state) { AxpyBench<float>(state); }
+BENCHMARK(BM_AxpyF32)->Arg(1024)->Arg(65536);
+
+template <typename Real>
+void SquaredDistanceBench(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  AlignedVector<Real> a = RandomAlignedVector<Real>(n, 21);
+  AlignedVector<Real> b = RandomAlignedVector<Real>(n, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredDistanceKernel(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_SquaredDistance(benchmark::State& state) {
+  SquaredDistanceBench<double>(state);
+}
+BENCHMARK(BM_SquaredDistance)->Arg(1024)->Arg(65536);
+
+void BM_SquaredDistanceF32(benchmark::State& state) {
+  SquaredDistanceBench<float>(state);
+}
+BENCHMARK(BM_SquaredDistanceF32)->Arg(1024)->Arg(65536);
+
+void BM_GemmKernelOnlyF32(benchmark::State& state) {
+  // Float lane of the packed GEMM, the product RandomProjection runs
+  // when a session opts into f32.
+  const size_t n = static_cast<size_t>(state.range(0));
+  AlignedVector<float> a = RandomAlignedVector<float>(n * n, 14);
+  AlignedVector<float> bt = RandomAlignedVector<float>(n * n, 15);
+  AlignedVector<float> c(n * n);
+  for (auto _ : state) {
+    GemmTransBKernel(a.data(), bt.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmKernelOnlyF32)->Arg(64)->Arg(256);
 
 void BM_JointBlockPull(benchmark::State& state) {
   static Dataset* data = new Dataset(MakeBlobs(300, 8, 2, 1.5, 10));

@@ -19,6 +19,7 @@
 // 0..k-1 for classification).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "daemon/daemon.h"
 #include "daemon/session.h"
 #include "data/csv.h"
+#include "data/simd.h"
 #include "ml/metrics.h"
 #include "util/rng.h"
 
@@ -345,6 +347,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   const CliArgs& args = parsed.value();
+  // --simd must land in the environment before the first kernel call
+  // resolves the dispatch table (it is cached once per process).
+  if (!args.simd.empty()) {
+    setenv("VOLCANOML_SIMD", args.simd.c_str(), 1);
+  }
   switch (args.command) {
     case CliCommand::kHelp:
       std::printf("%s", CliUsage(argv[0]).c_str());
@@ -359,6 +366,9 @@ int main(int argc, char** argv) {
       return RunResult(args);
     case CliCommand::kShutdown:
       return RunShutdown(args);
+    case CliCommand::kSimdInfo:
+      std::printf("simd: %s\n", SimdLevelName(ActiveSimdLevel()));
+      return 0;
     case CliCommand::kRun:
       return RunLocal(args);
   }

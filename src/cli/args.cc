@@ -88,6 +88,9 @@ std::string CliUsage(const std::string& argv0) {
          "       " +
          argv0 +
          " shutdown --socket PATH\n"
+         "       " +
+         argv0 +
+         " simd-info               print the resolved SIMD level\n"
          "\n"
          "search options:\n"
          "  --task cls|reg          task type               (default: cls)\n"
@@ -116,6 +119,13 @@ std::string CliUsage(const std::string& argv0) {
          "(default: 3)\n"
          "  --worker-binary <path>  volcanoml_worker binary (in-process "
          "CLI only)\n"
+         "  --precision f64|f32     numeric lane for kNN/MLP/Nystroem/"
+         "projection\n"
+         "                          internals       (default: f64, exact "
+         "replay)\n"
+         "  --simd scalar|avx2      force the kernel dispatch level "
+         "(default:\n"
+         "                          $VOLCANOML_SIMD, else CPUID)\n"
          "\n"
          "in-process options:\n"
          "  --checkpoint <path>     snapshot file to write\n"
@@ -147,6 +157,9 @@ Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
       first = 2;
     } else if (command == "shutdown") {
       parsed.command = CliCommand::kShutdown;
+      first = 2;
+    } else if (command == "simd-info") {
+      parsed.command = CliCommand::kSimdInfo;
       first = 2;
     }
   }
@@ -301,6 +314,25 @@ Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
       Result<std::string> value = next();
       VOLCANOML_RETURN_IF_ERROR(value.status());
       parsed.worker_binary = value.value();
+    } else if (arg == "--precision") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      if (value.value() == "f64") {
+        parsed.config.precision = 0;
+      } else if (value.value() == "f32") {
+        parsed.config.precision = 1;
+      } else {
+        return Status::InvalidArgument(
+            "--precision: expected f64 or f32, got '" + value.value() + "'");
+      }
+    } else if (arg == "--simd") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      if (value.value() != "scalar" && value.value() != "avx2") {
+        return Status::InvalidArgument(
+            "--simd: expected scalar or avx2, got '" + value.value() + "'");
+      }
+      parsed.simd = value.value();
     } else if (arg == "--checkpoint") {
       Result<std::string> value = next();
       VOLCANOML_RETURN_IF_ERROR(value.status());
@@ -391,7 +423,8 @@ Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
   } else if (!positional.empty()) {
     return Status::InvalidArgument("unexpected operand: " + positional[0]);
   }
-  bool needs_socket = parsed.command != CliCommand::kRun;
+  bool needs_socket = parsed.command != CliCommand::kRun &&
+                      parsed.command != CliCommand::kSimdInfo;
   if (needs_socket && parsed.socket_path.empty()) {
     return Status::InvalidArgument("--socket is required");
   }

@@ -17,6 +17,7 @@ enum class CliCommand {
   kStatus,    ///< Show one session (--session) or list all.
   kResult,    ///< Fetch a finished session's trajectory + incumbent.
   kShutdown,  ///< Ask the daemon to exit.
+  kSimdInfo,  ///< Print the resolved SIMD dispatch level and exit.
   kHelp,      ///< --help anywhere: print usage, exit 0.
 };
 
@@ -42,6 +43,9 @@ struct CliArgs {
   /// kRun only: explicit volcanoml_worker path for the process-pool
   /// backend (empty = automatic resolution, see src/worker/).
   std::string worker_binary;
+  /// --simd override for kernel dispatch: "" (leave $VOLCANOML_SIMD /
+  /// CPUID resolution alone), "scalar", or "avx2" (see data/simd.h).
+  std::string simd;
 
   // kRun extras (checkpoint/resume loop).
   std::string predict_path;

@@ -116,6 +116,18 @@ Result<VolcanoMlOptions> SessionConfigToOptions(const SessionConfig& config) {
   options.eval.trial_hard_timeout_seconds = config.trial_hard_timeout;
   options.eval.worker_retry_cap =
       static_cast<size_t>(config.worker_retry_cap);
+  switch (config.precision) {
+    case 0:
+      options.eval.precision = NumericPrecision::kFloat64;
+      break;
+    case 1:
+      options.eval.precision = NumericPrecision::kFloat32;
+      break;
+    default:
+      return Status::InvalidArgument(
+          "precision must be 0 (f64) or 1 (f32), got " +
+          std::to_string(config.precision));
+  }
   options.seed = config.seed;
   return options;
 }

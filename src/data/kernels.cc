@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "data/simd.h"
+
 namespace volcanoml {
 
 namespace {
@@ -15,10 +17,15 @@ constexpr size_t kTransposeTile = 32;
 /// upper bound, sized for L2.
 constexpr size_t kGemmColBlock = 64;
 
-}  // namespace
+/// The scalar oracle. The Real=double instantiations execute the exact
+/// arithmetic sequence of the pre-SIMD kernels (same lane split, same
+/// combine order), so scalar-double results stay byte-for-byte
+/// reproducible against historical trajectories; the float instantiations
+/// mirror them lane for lane.
 
-double DotKernel(const double* a, const double* b, size_t n) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+template <typename Real>
+Real ScalarDot(const Real* a, const Real* b, size_t n) {
+  Real s0 = 0, s1 = 0, s2 = 0, s3 = 0;
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     s0 += a[i] * b[i];
@@ -30,8 +37,9 @@ double DotKernel(const double* a, const double* b, size_t n) {
   return (s0 + s1) + (s2 + s3);
 }
 
-void AxpyKernel(double alpha, const double* x, double* y, size_t n) {
-  if (alpha == 0.0) return;
+template <typename Real>
+void ScalarAxpy(Real alpha, const Real* x, Real* y, size_t n) {
+  if (alpha == 0) return;  // Identity contract — see kernels.h.
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     y[i] += alpha * x[i];
@@ -42,39 +50,41 @@ void AxpyKernel(double alpha, const double* x, double* y, size_t n) {
   for (; i < n; ++i) y[i] += alpha * x[i];
 }
 
-void ScaleKernel(double alpha, double* x, size_t n) {
-  if (alpha == 1.0) return;
+template <typename Real>
+void ScalarScale(Real alpha, Real* x, size_t n) {
+  if (alpha == 1) return;  // Identity contract — see kernels.h.
   for (size_t i = 0; i < n; ++i) x[i] *= alpha;
 }
 
-double SquaredDistanceKernel(const double* a, const double* b, size_t n) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+template <typename Real>
+Real ScalarSquaredDistance(const Real* a, const Real* b, size_t n) {
+  Real s0 = 0, s1 = 0, s2 = 0, s3 = 0;
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
-    double d0 = a[i] - b[i];
-    double d1 = a[i + 1] - b[i + 1];
-    double d2 = a[i + 2] - b[i + 2];
-    double d3 = a[i + 3] - b[i + 3];
+    Real d0 = a[i] - b[i];
+    Real d1 = a[i + 1] - b[i + 1];
+    Real d2 = a[i + 2] - b[i + 2];
+    Real d3 = a[i + 3] - b[i + 3];
     s0 += d0 * d0;
     s1 += d1 * d1;
     s2 += d2 * d2;
     s3 += d3 * d3;
   }
   for (; i < n; ++i) {
-    double d = a[i] - b[i];
+    Real d = a[i] - b[i];
     s0 += d * d;
   }
   return (s0 + s1) + (s2 + s3);
 }
 
-void TransposeKernel(const double* src, size_t rows, size_t cols,
-                     double* dst) {
+template <typename Real>
+void ScalarTranspose(const Real* src, size_t rows, size_t cols, Real* dst) {
   for (size_t ib = 0; ib < rows; ib += kTransposeTile) {
     const size_t imax = std::min(rows, ib + kTransposeTile);
     for (size_t jb = 0; jb < cols; jb += kTransposeTile) {
       const size_t jmax = std::min(cols, jb + kTransposeTile);
       for (size_t i = ib; i < imax; ++i) {
-        const double* row = src + i * cols;
+        const Real* row = src + i * cols;
         for (size_t j = jb; j < jmax; ++j) {
           dst[j * rows + i] = row[j];
         }
@@ -83,21 +93,89 @@ void TransposeKernel(const double* src, size_t rows, size_t cols,
   }
 }
 
-void GemmTransBKernel(const double* a, const double* bt, double* c,
-                      size_t m, size_t k, size_t n) {
+template <typename Real>
+void ScalarGemmTransB(const Real* a, const Real* bt, Real* c, size_t m,
+                      size_t k, size_t n) {
   // c(i, j) = dot(a row i, bt row j). Walking j in blocks keeps the
   // active kGemmColBlock rows of bt cache-resident while every row of a
-  // streams past them once per block.
+  // streams past them once per block. Calls ScalarDot directly (not the
+  // dispatched DotKernel) so the scalar table stays self-consistent even
+  // when the process-wide level is avx2.
   for (size_t jb = 0; jb < n; jb += kGemmColBlock) {
     const size_t jmax = std::min(n, jb + kGemmColBlock);
     for (size_t i = 0; i < m; ++i) {
-      const double* arow = a + i * k;
-      double* crow = c + i * n;
+      const Real* arow = a + i * k;
+      Real* crow = c + i * n;
       for (size_t j = jb; j < jmax; ++j) {
-        crow[j] = DotKernel(arow, bt + j * k, k);
+        crow[j] = ScalarDot(arow, bt + j * k, k);
       }
     }
   }
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernelTable() {
+  static const KernelTable table = {
+      ScalarDot<double>,       ScalarAxpy<double>,
+      ScalarScale<double>,     ScalarSquaredDistance<double>,
+      ScalarTranspose<double>, ScalarGemmTransB<double>,
+      ScalarDot<float>,        ScalarAxpy<float>,
+      ScalarScale<float>,      ScalarSquaredDistance<float>,
+      ScalarTranspose<float>,  ScalarGemmTransB<float>,
+  };
+  return table;
+}
+
+double DotKernel(const double* a, const double* b, size_t n) {
+  return ActiveKernelTable().dot_f64(a, b, n);
+}
+
+float DotKernel(const float* a, const float* b, size_t n) {
+  return ActiveKernelTable().dot_f32(a, b, n);
+}
+
+void AxpyKernel(double alpha, const double* x, double* y, size_t n) {
+  ActiveKernelTable().axpy_f64(alpha, x, y, n);
+}
+
+void AxpyKernel(float alpha, const float* x, float* y, size_t n) {
+  ActiveKernelTable().axpy_f32(alpha, x, y, n);
+}
+
+void ScaleKernel(double alpha, double* x, size_t n) {
+  ActiveKernelTable().scale_f64(alpha, x, n);
+}
+
+void ScaleKernel(float alpha, float* x, size_t n) {
+  ActiveKernelTable().scale_f32(alpha, x, n);
+}
+
+double SquaredDistanceKernel(const double* a, const double* b, size_t n) {
+  return ActiveKernelTable().squared_distance_f64(a, b, n);
+}
+
+float SquaredDistanceKernel(const float* a, const float* b, size_t n) {
+  return ActiveKernelTable().squared_distance_f32(a, b, n);
+}
+
+void TransposeKernel(const double* src, size_t rows, size_t cols,
+                     double* dst) {
+  ActiveKernelTable().transpose_f64(src, rows, cols, dst);
+}
+
+void TransposeKernel(const float* src, size_t rows, size_t cols, float* dst) {
+  ActiveKernelTable().transpose_f32(src, rows, cols, dst);
+}
+
+void GemmTransBKernel(const double* a, const double* bt, double* c,
+                      size_t m, size_t k, size_t n) {
+  ActiveKernelTable().gemm_trans_b_f64(a, bt, c, m, k, n);
+}
+
+void GemmTransBKernel(const float* a, const float* bt, float* c, size_t m,
+                      size_t k, size_t n) {
+  ActiveKernelTable().gemm_trans_b_f32(a, bt, c, m, k, n);
 }
 
 }  // namespace volcanoml

@@ -13,43 +13,80 @@ namespace volcanoml {
 /// primitives. Centralizing them buys three things: one place to apply
 /// blocking/unrolling, one place to reason about determinism (all kernels
 /// are sequential-deterministic: the same inputs always produce the same
-/// bits, regardless of caller or thread), and one seam for a future SIMD
-/// or accelerator backend.
+/// bits, regardless of caller or thread), and one seam for the SIMD
+/// backend behind them.
+///
+/// Dispatch: each kernel routes through the process-wide table resolved
+/// once by data/simd.h — AVX2+FMA when the CPU supports it, the scalar
+/// implementations otherwise, overridable with VOLCANOML_SIMD=scalar|avx2.
+/// The scalar double path is the bit-reproducibility oracle (byte-for-byte
+/// the pre-SIMD kernels). The elementwise kernels (Axpy, Scale, Transpose)
+/// are bit-identical on every level — their AVX2 forms round exactly like
+/// the scalar loops. The reductions (Dot, SquaredDistance, GemmTransB)
+/// differ from scalar within normal reassociation/FMA rounding but are
+/// themselves bit-stable run to run. Tests that must compare levels in
+/// one process use data/simd.h's tables directly.
+///
+/// Each double kernel has a float overload — the storage/compute lane the
+/// distance/GEMM-dominated models opt into via NumericPrecision
+/// (data/precision.h). The float scalar implementations mirror the double
+/// ones lane for lane, so the same determinism reasoning applies.
 ///
 /// All kernels operate on raw pointers so both Matrix storage and plain
-/// std::vector buffers can use them without adapters.
+/// std::vector buffers can use them without adapters. No alignment is
+/// required; SIMD paths use unaligned loads.
 
 /// Dot product sum_i a[i] * b[i]. Four independent accumulators break the
 /// floating-point dependency chain; the lane sums are combined in a fixed
 /// order, so the result is deterministic (but not bit-identical to a
 /// single-accumulator loop).
 [[nodiscard]] double DotKernel(const double* a, const double* b, size_t n);
+[[nodiscard]] float DotKernel(const float* a, const float* b, size_t n);
 
-/// y[i] += alpha * x[i]. No-op when alpha == 0.
+/// y[i] += alpha * x[i].
+///
+/// Contract: alpha == 0 is an exact identity — y is returned UNCHANGED
+/// bit for bit, even when x contains NaN or Inf (they are NOT propagated
+/// into y). This early-out is deliberate, on every ISA level: computing
+/// `y[i] += 0.0 * x[i]` would flip -0.0 entries of y to +0.0 and seed
+/// NaNs from non-finite x, silently changing bits that the snapshot /
+/// trajectory reproducibility guarantees (and the hot training loops that
+/// pass structurally-zero coefficients) rely on. Callers that need
+/// IEEE-754 propagation semantics for a possibly-zero alpha must handle
+/// that case themselves. Pinned by KernelsTest.AxpyZeroAlpha*.
 void AxpyKernel(double alpha, const double* x, double* y, size_t n);
+void AxpyKernel(float alpha, const float* x, float* y, size_t n);
 
-/// x[i] *= alpha.
+/// x[i] *= alpha. Like AxpyKernel, alpha == 1 is an exact bit-for-bit
+/// identity (NaN/Inf in x are left untouched rather than renormalized).
 void ScaleKernel(double alpha, double* x, size_t n);
+void ScaleKernel(float alpha, float* x, size_t n);
 
 /// Squared Euclidean distance sum_i (a[i] - b[i])^2, same four-lane
 /// scheme as DotKernel.
 [[nodiscard]] double SquaredDistanceKernel(const double* a, const double* b,
                                            size_t n);
+[[nodiscard]] float SquaredDistanceKernel(const float* a, const float* b,
+                                          size_t n);
 
 /// Blocked transpose: dst (cols x rows, row-major) = src (rows x cols,
 /// row-major) transposed. Tiles the copy so both source rows and
 /// destination rows stay cache-resident; src and dst must not alias.
 void TransposeKernel(const double* src, size_t rows, size_t cols,
                      double* dst);
+void TransposeKernel(const float* src, size_t rows, size_t cols, float* dst);
 
 /// GEMM with a pre-transposed right operand:
 ///   c (m x n, row-major) = a (m x k, row-major) * bt^T,
 /// where bt is n x k row-major (i.e. bt row j holds column j of B).
 /// Both operands are walked contiguously, so the kernel is cache-friendly
-/// for every shape; c is overwritten. Blocked over rows of bt so the
-/// active tile of B stays in cache across consecutive rows of a.
+/// for every shape; c is overwritten. The scalar path blocks over rows of
+/// bt; the AVX2 path packs A/B panels and runs a register-blocked FMA
+/// micro-kernel (see src/data/simd_avx2.cc).
 void GemmTransBKernel(const double* a, const double* bt, double* c,
                       size_t m, size_t k, size_t n);
+void GemmTransBKernel(const float* a, const float* bt, float* c, size_t m,
+                      size_t k, size_t n);
 
 }  // namespace volcanoml
 

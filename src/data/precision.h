@@ -1,0 +1,31 @@
+#ifndef VOLCANOML_DATA_PRECISION_H_
+#define VOLCANOML_DATA_PRECISION_H_
+
+#include <cstdint>
+
+namespace volcanoml {
+
+/// Numeric lane for the compute-heavy model/operator internals.
+///
+/// The pipeline's matrices stay double end to end; kFloat32 switches the
+/// *internal* storage and arithmetic of the operators that opt in (kNN
+/// distances, MLP weights/activations, Nystroem distance accumulation,
+/// random-projection GEMM) to float. It is a per-session choice wired
+/// through EvaluatorOptions::precision — tenants whose workloads are
+/// split-noise-insensitive trade a little accuracy for roughly half the
+/// memory traffic in those inner loops.
+///
+/// Determinism contract: each (SIMD level, precision) pair is
+/// sequential-deterministic — the same inputs always produce the same
+/// bits. kFloat64 is the default and the bit-reproducibility oracle.
+enum class NumericPrecision : uint8_t {
+  kFloat64 = 0,
+  kFloat32 = 1,
+};
+
+/// Short stable name for logging/CLI, e.g. "f32".
+[[nodiscard]] const char* NumericPrecisionName(NumericPrecision precision);
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DATA_PRECISION_H_

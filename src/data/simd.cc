@@ -1,0 +1,79 @@
+#include "data/simd.h"
+
+#include <cstdlib>
+
+#include "data/precision.h"
+#include "util/logging.h"
+
+namespace volcanoml {
+
+const char* NumericPrecisionName(NumericPrecision precision) {
+  switch (precision) {
+    case NumericPrecision::kFloat64:
+      return "f64";
+    case NumericPrecision::kFloat32:
+      return "f32";
+  }
+  return "?";
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Result<SimdLevel> ParseSimdLevel(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  return Status::InvalidArgument("unknown SIMD level '" + name +
+                                 "' (expected scalar or avx2)");
+}
+
+namespace {
+
+/// One-shot resolution: env override first, then the CPU probe. Runs
+/// before any kernel executes (the active table is resolved through it),
+/// so a whole process — including forked workers, which inherit the
+/// environment — computes on exactly one level.
+SimdLevel ResolveSimdLevel() {
+  const char* env = std::getenv("VOLCANOML_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    Result<SimdLevel> parsed = ParseSimdLevel(env);
+    if (!parsed.ok()) {
+      VOLCANOML_LOG(Warning)
+          << "VOLCANOML_SIMD=" << env
+          << " is not a known level (scalar|avx2); auto-detecting instead";
+    } else if (parsed.value() == SimdLevel::kAvx2 &&
+               Avx2KernelTable() == nullptr) {
+      VOLCANOML_LOG(Warning)
+          << "VOLCANOML_SIMD=avx2 requested but this CPU/build lacks "
+             "AVX2+FMA; falling back to scalar";
+      return SimdLevel::kScalar;
+    } else {
+      return parsed.value();
+    }
+  }
+  return Avx2KernelTable() != nullptr ? SimdLevel::kAvx2
+                                      : SimdLevel::kScalar;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = ResolveSimdLevel();
+  return level;
+}
+
+const KernelTable& ActiveKernelTable() {
+  static const KernelTable& table = ActiveSimdLevel() == SimdLevel::kAvx2
+                                        ? *Avx2KernelTable()
+                                        : ScalarKernelTable();
+  return table;
+}
+
+}  // namespace volcanoml

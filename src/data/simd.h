@@ -1,0 +1,88 @@
+#ifndef VOLCANOML_DATA_SIMD_H_
+#define VOLCANOML_DATA_SIMD_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace volcanoml {
+
+/// Runtime SIMD dispatch for the compute kernels (data/kernels.h).
+///
+/// The public kernels route through one function-pointer table resolved
+/// exactly once per process, so every caller — FE projections, model
+/// training loops, kNN distances — runs the same ISA level for the whole
+/// run. Resolution order:
+///
+///   1. $VOLCANOML_SIMD, when set to "scalar" or "avx2" (an "avx2"
+///      request on a CPU without AVX2+FMA falls back to scalar with a
+///      warning; any other value is ignored with a warning);
+///   2. otherwise the highest level the CPU supports: avx2 when the
+///      CPUID probe reports AVX2 and FMA, scalar everywhere else.
+///
+/// Determinism contract: every kernel in every table is
+/// sequential-deterministic (same inputs, same bits, independent of
+/// caller or thread), and the scalar double-precision table is the
+/// bit-reproducibility oracle — its implementations are byte-for-byte
+/// the pre-SIMD kernels, so `VOLCANOML_SIMD=scalar` runs reproduce
+/// historical trajectories exactly. Levels are NOT bit-identical to each
+/// other (AVX2 uses wider lanes and FMA contraction); forcing a level
+/// pins the bits.
+///
+/// All intrinsics and CPUID probing live in src/data/simd_avx2.cc —
+/// determinism rule R16 (tools/determinism_check.py) keeps them out of
+/// every other layer, so the scalar oracle always covers the full
+/// surface.
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// Short stable name for logging/CLI, e.g. "avx2".
+[[nodiscard]] const char* SimdLevelName(SimdLevel level);
+
+/// Parses "scalar" or "avx2"; anything else is InvalidArgument.
+[[nodiscard]] Result<SimdLevel> ParseSimdLevel(const std::string& name);
+
+/// One ISA level's kernel implementations, double and float lanes. The
+/// pointers are never null within a published table; a level that cannot
+/// run on this CPU simply has no table (see Avx2KernelTable).
+struct KernelTable {
+  double (*dot_f64)(const double* a, const double* b, size_t n);
+  void (*axpy_f64)(double alpha, const double* x, double* y, size_t n);
+  void (*scale_f64)(double alpha, double* x, size_t n);
+  double (*squared_distance_f64)(const double* a, const double* b, size_t n);
+  void (*transpose_f64)(const double* src, size_t rows, size_t cols,
+                        double* dst);
+  void (*gemm_trans_b_f64)(const double* a, const double* bt, double* c,
+                           size_t m, size_t k, size_t n);
+
+  float (*dot_f32)(const float* a, const float* b, size_t n);
+  void (*axpy_f32)(float alpha, const float* x, float* y, size_t n);
+  void (*scale_f32)(float alpha, float* x, size_t n);
+  float (*squared_distance_f32)(const float* a, const float* b, size_t n);
+  void (*transpose_f32)(const float* src, size_t rows, size_t cols,
+                        float* dst);
+  void (*gemm_trans_b_f32)(const float* a, const float* bt, float* c,
+                           size_t m, size_t k, size_t n);
+};
+
+/// The level the process resolved to (computed once, then cached).
+[[nodiscard]] SimdLevel ActiveSimdLevel();
+
+/// The table the public kernels dispatch through (matches
+/// ActiveSimdLevel).
+[[nodiscard]] const KernelTable& ActiveKernelTable();
+
+/// The scalar oracle table. Always available; tests drive it directly to
+/// compare levels within one process regardless of the environment.
+[[nodiscard]] const KernelTable& ScalarKernelTable();
+
+/// The AVX2+FMA table, or nullptr when the build target or the running
+/// CPU cannot execute it.
+[[nodiscard]] const KernelTable* Avx2KernelTable();
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_DATA_SIMD_H_

@@ -1,0 +1,623 @@
+// AVX2+FMA kernel backend. This is the ONLY translation unit allowed to
+// include <immintrin.h> or probe CPUID (determinism rule R16): every
+// intrinsic stays behind the KernelTable seam so the scalar oracle always
+// covers the full kernel surface.
+//
+// Compiled without global -mavx2 — each kernel carries a
+// target("avx2,fma") attribute and vector types never cross function
+// boundaries, so the file builds and links on any x86-64 baseline and
+// merely returns a null table when the running CPU lacks the extensions.
+//
+// Determinism: every kernel here is sequential-deterministic. Lane
+// counts, accumulator splits, and combine orders are fixed; results are
+// bit-stable run to run, though not bit-identical to the scalar oracle
+// (wider lanes + FMA contraction round differently).
+
+#include "data/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "data/aligned.h"
+
+namespace volcanoml {
+
+namespace {
+
+/// The reduction kernels pick aligned vector loads when both streams sit
+/// on 32-byte boundaries — cache-line-split loads roughly halve L2-bound
+/// dot throughput on our target cores. The branch selects only the load
+/// instruction; lane order and arithmetic are identical on both sides,
+/// so results are bit-for-bit the same regardless of alignment.
+inline bool BothAligned32(const void* a, const void* b) {
+  return ((reinterpret_cast<uintptr_t>(a) |
+           reinterpret_cast<uintptr_t>(b)) &
+          31) == 0;
+}
+
+// ---------------------------------------------------------------------
+// double lane
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2,fma"))) double DotF64Avx2(const double* a,
+                                                      const double* b,
+                                                      size_t n) {
+  __m256d s0 = _mm256_setzero_pd();
+  __m256d s1 = _mm256_setzero_pd();
+  __m256d s2 = _mm256_setzero_pd();
+  __m256d s3 = _mm256_setzero_pd();
+  size_t i = 0;
+  // Each iteration consumes two cache lines per operand; prefetching
+  // ~1 KiB ahead hides L2 latency on streams too large for L1.
+#define VOLCANOML_DOT_F64_BLOCK(LOAD)                                        \
+  for (; i + 16 <= n; i += 16) {                                             \
+    _mm_prefetch(reinterpret_cast<const char*>(a + i + 128), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(a + i + 136), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(b + i + 128), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(b + i + 136), _MM_HINT_T0);   \
+    s0 = _mm256_fmadd_pd(LOAD(a + i), LOAD(b + i), s0);                      \
+    s1 = _mm256_fmadd_pd(LOAD(a + i + 4), LOAD(b + i + 4), s1);              \
+    s2 = _mm256_fmadd_pd(LOAD(a + i + 8), LOAD(b + i + 8), s2);              \
+    s3 = _mm256_fmadd_pd(LOAD(a + i + 12), LOAD(b + i + 12), s3);            \
+  }
+  if (BothAligned32(a, b)) {
+    VOLCANOML_DOT_F64_BLOCK(_mm256_load_pd)
+  } else {
+    VOLCANOML_DOT_F64_BLOCK(_mm256_loadu_pd)
+  }
+#undef VOLCANOML_DOT_F64_BLOCK
+  for (; i + 4 <= n; i += 4) {
+    s0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), s0);
+  }
+  const __m256d s =
+      _mm256_add_pd(_mm256_add_pd(s0, s1), _mm256_add_pd(s2, s3));
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, s);
+  double acc = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Axpy is elementwise, so it can stay bit-identical to the scalar
+/// oracle: mul + add round exactly like the scalar `y[i] += alpha *
+/// x[i]` (deliberately NOT fmadd, whose single rounding would diverge).
+/// The kernel is memory-bound, so the skipped contraction costs nothing.
+__attribute__((target("avx2,fma"))) void AxpyF64Avx2(double alpha,
+                                                     const double* x,
+                                                     double* y, size_t n) {
+  if (alpha == 0.0) return;  // Identity contract — see kernels.h.
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+    _mm256_storeu_pd(
+        y + i + 4,
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 4),
+                      _mm256_mul_pd(va, _mm256_loadu_pd(x + i + 4))));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  }
+  // Explicit scalar-SSE tail: keeps mul/add rounding even where the
+  // compiler would be free to contract `y[i] += alpha * x[i]` into FMA.
+  for (; i < n; ++i) {
+    _mm_store_sd(y + i,
+                 _mm_add_sd(_mm_load_sd(y + i),
+                            _mm_mul_sd(_mm_set_sd(alpha), _mm_load_sd(x + i))));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ScaleF64Avx2(double alpha,
+                                                      double* x, size_t n) {
+  if (alpha == 1.0) return;  // Identity contract — see kernels.h.
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("avx2,fma"))) double SquaredDistanceF64Avx2(
+    const double* a, const double* b, size_t n) {
+  __m256d s0 = _mm256_setzero_pd();
+  __m256d s1 = _mm256_setzero_pd();
+  __m256d s2 = _mm256_setzero_pd();
+  __m256d s3 = _mm256_setzero_pd();
+  size_t i = 0;
+#define VOLCANOML_SQDIST_F64_BLOCK(LOAD)                                     \
+  for (; i + 16 <= n; i += 16) {                                             \
+    _mm_prefetch(reinterpret_cast<const char*>(a + i + 128), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(a + i + 136), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(b + i + 128), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(b + i + 136), _MM_HINT_T0);   \
+    const __m256d d0 = _mm256_sub_pd(LOAD(a + i), LOAD(b + i));              \
+    const __m256d d1 = _mm256_sub_pd(LOAD(a + i + 4), LOAD(b + i + 4));      \
+    const __m256d d2 = _mm256_sub_pd(LOAD(a + i + 8), LOAD(b + i + 8));      \
+    const __m256d d3 = _mm256_sub_pd(LOAD(a + i + 12), LOAD(b + i + 12));    \
+    s0 = _mm256_fmadd_pd(d0, d0, s0);                                        \
+    s1 = _mm256_fmadd_pd(d1, d1, s1);                                        \
+    s2 = _mm256_fmadd_pd(d2, d2, s2);                                        \
+    s3 = _mm256_fmadd_pd(d3, d3, s3);                                        \
+  }
+  if (BothAligned32(a, b)) {
+    VOLCANOML_SQDIST_F64_BLOCK(_mm256_load_pd)
+  } else {
+    VOLCANOML_SQDIST_F64_BLOCK(_mm256_loadu_pd)
+  }
+#undef VOLCANOML_SQDIST_F64_BLOCK
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    s0 = _mm256_fmadd_pd(d, d, s0);
+  }
+  const __m256d s =
+      _mm256_add_pd(_mm256_add_pd(s0, s1), _mm256_add_pd(s2, s3));
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, s);
+  double acc = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Blocked transpose with a 4x4 in-register sub-kernel inside each
+/// 32x32 tile (unpacklo/hi + 128-bit permutes turn 4 row loads into 4
+/// column stores). A transpose moves bits, it doesn't round, so this is
+/// bit-identical to the scalar kernel — it is dispatched only for speed.
+__attribute__((target("avx2,fma"))) void TransposeF64Avx2(const double* src,
+                                                          size_t rows,
+                                                          size_t cols,
+                                                          double* dst) {
+  constexpr size_t kTile = 32;
+  for (size_t ib = 0; ib < rows; ib += kTile) {
+    const size_t imax = std::min(rows, ib + kTile);
+    for (size_t jb = 0; jb < cols; jb += kTile) {
+      const size_t jmax = std::min(cols, jb + kTile);
+      size_t i = ib;
+      for (; i + 4 <= imax; i += 4) {
+        size_t j = jb;
+        for (; j + 4 <= jmax; j += 4) {
+          const __m256d r0 = _mm256_loadu_pd(src + (i + 0) * cols + j);
+          const __m256d r1 = _mm256_loadu_pd(src + (i + 1) * cols + j);
+          const __m256d r2 = _mm256_loadu_pd(src + (i + 2) * cols + j);
+          const __m256d r3 = _mm256_loadu_pd(src + (i + 3) * cols + j);
+          const __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+          const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+          const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+          const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+          _mm256_storeu_pd(dst + (j + 0) * rows + i,
+                           _mm256_permute2f128_pd(t0, t2, 0x20));
+          _mm256_storeu_pd(dst + (j + 1) * rows + i,
+                           _mm256_permute2f128_pd(t1, t3, 0x20));
+          _mm256_storeu_pd(dst + (j + 2) * rows + i,
+                           _mm256_permute2f128_pd(t0, t2, 0x31));
+          _mm256_storeu_pd(dst + (j + 3) * rows + i,
+                           _mm256_permute2f128_pd(t1, t3, 0x31));
+        }
+        for (; j < jmax; ++j) {
+          dst[j * rows + i + 0] = src[(i + 0) * cols + j];
+          dst[j * rows + i + 1] = src[(i + 1) * cols + j];
+          dst[j * rows + i + 2] = src[(i + 2) * cols + j];
+          dst[j * rows + i + 3] = src[(i + 3) * cols + j];
+        }
+      }
+      for (; i < imax; ++i) {
+        const double* row = src + i * cols;
+        for (size_t j = jb; j < jmax; ++j) dst[j * rows + i] = row[j];
+      }
+    }
+  }
+}
+
+// Packed cache-blocked GEMM, double lane. BLIS-style structure collapsed
+// to the shapes this codebase actually hits (m, n, k up to a few
+// thousand, single-threaded):
+//   - k is walked in kc-deep blocks; each block's slice of bt is packed
+//     once into 8-column strips (interleaved so the micro-kernel loads
+//     two contiguous vectors per step) and each 4-row slice of a is
+//     packed into a column-interleaved micro-panel;
+//   - the 4x8 micro-kernel keeps the C sub-block in 8 ymm accumulators
+//     and issues, per k step, 1 broadcast + 2 FMAs per row over the two
+//     packed B vectors;
+//   - k blocks after the first accumulate into C (load + fmadd + store).
+// Edge rows (m % 4) and edge columns (n % 8) fall back to full-k dot
+// products AFTER the packed region, so every element is written exactly
+// once per call and the k-block split never changes edge rounding.
+constexpr size_t kGemmKc = 256;   // k-depth per packed block (B strip:
+                                  // 8 * 256 doubles = 16 KiB, L1-hot).
+constexpr size_t kGemmMr = 4;     // micro-kernel rows
+constexpr size_t kGemmNrF64 = 8;  // micro-kernel cols (2 ymm of 4)
+
+__attribute__((target("avx2,fma"))) void GemmTransBF64Avx2(
+    const double* a, const double* bt, double* c, size_t m, size_t k,
+    size_t n) {
+  const size_t m4 = m - m % kGemmMr;
+  const size_t n8 = n - n % kGemmNrF64;
+  if (m4 != 0 && n8 != 0) {
+    // Aligned pack buffers: strip offsets are multiples of 64 bytes by
+    // construction, so the micro-kernel can use aligned B loads.
+    AlignedVector<double> packed_b(kGemmKc * n8);
+    AlignedVector<double> packed_a(kGemmMr * kGemmKc);
+    for (size_t pc = 0; pc < k; pc += kGemmKc) {
+      const size_t kc = std::min(kGemmKc, k - pc);
+      const bool accumulate = pc != 0;
+      // Pack this k-slice of bt: strip s covers columns [s*8, s*8+8),
+      // laid out p-major so step p reads packed_b[strip + p*8 .. +7].
+      for (size_t s = 0; s < n8 / kGemmNrF64; ++s) {
+        double* strip = packed_b.data() + s * kc * kGemmNrF64;
+        const double* brows = bt + s * kGemmNrF64 * k + pc;
+        for (size_t jj = 0; jj < kGemmNrF64; ++jj) {
+          const double* brow = brows + jj * k;
+          for (size_t p = 0; p < kc; ++p) {
+            strip[p * kGemmNrF64 + jj] = brow[p];
+          }
+        }
+      }
+      for (size_t i = 0; i < m4; i += kGemmMr) {
+        // Pack the 4-row a micro-panel, p-major.
+        for (size_t ii = 0; ii < kGemmMr; ++ii) {
+          const double* arow = a + (i + ii) * k + pc;
+          for (size_t p = 0; p < kc; ++p) {
+            packed_a[p * kGemmMr + ii] = arow[p];
+          }
+        }
+        for (size_t s = 0; s < n8 / kGemmNrF64; ++s) {
+          const double* bp = packed_b.data() + s * kc * kGemmNrF64;
+          const double* ap = packed_a.data();
+          double* c0 = c + (i + 0) * n + s * kGemmNrF64;
+          double* c1 = c + (i + 1) * n + s * kGemmNrF64;
+          double* c2 = c + (i + 2) * n + s * kGemmNrF64;
+          double* c3 = c + (i + 3) * n + s * kGemmNrF64;
+          __m256d acc00 = _mm256_setzero_pd();
+          __m256d acc01 = _mm256_setzero_pd();
+          __m256d acc10 = _mm256_setzero_pd();
+          __m256d acc11 = _mm256_setzero_pd();
+          __m256d acc20 = _mm256_setzero_pd();
+          __m256d acc21 = _mm256_setzero_pd();
+          __m256d acc30 = _mm256_setzero_pd();
+          __m256d acc31 = _mm256_setzero_pd();
+          for (size_t p = 0; p < kc; ++p) {
+            const __m256d b0 = _mm256_load_pd(bp + p * kGemmNrF64);
+            const __m256d b1 = _mm256_load_pd(bp + p * kGemmNrF64 + 4);
+            const __m256d a0 = _mm256_broadcast_sd(ap + p * kGemmMr + 0);
+            acc00 = _mm256_fmadd_pd(a0, b0, acc00);
+            acc01 = _mm256_fmadd_pd(a0, b1, acc01);
+            const __m256d a1 = _mm256_broadcast_sd(ap + p * kGemmMr + 1);
+            acc10 = _mm256_fmadd_pd(a1, b0, acc10);
+            acc11 = _mm256_fmadd_pd(a1, b1, acc11);
+            const __m256d a2 = _mm256_broadcast_sd(ap + p * kGemmMr + 2);
+            acc20 = _mm256_fmadd_pd(a2, b0, acc20);
+            acc21 = _mm256_fmadd_pd(a2, b1, acc21);
+            const __m256d a3 = _mm256_broadcast_sd(ap + p * kGemmMr + 3);
+            acc30 = _mm256_fmadd_pd(a3, b0, acc30);
+            acc31 = _mm256_fmadd_pd(a3, b1, acc31);
+          }
+          if (accumulate) {
+            acc00 = _mm256_add_pd(acc00, _mm256_loadu_pd(c0));
+            acc01 = _mm256_add_pd(acc01, _mm256_loadu_pd(c0 + 4));
+            acc10 = _mm256_add_pd(acc10, _mm256_loadu_pd(c1));
+            acc11 = _mm256_add_pd(acc11, _mm256_loadu_pd(c1 + 4));
+            acc20 = _mm256_add_pd(acc20, _mm256_loadu_pd(c2));
+            acc21 = _mm256_add_pd(acc21, _mm256_loadu_pd(c2 + 4));
+            acc30 = _mm256_add_pd(acc30, _mm256_loadu_pd(c3));
+            acc31 = _mm256_add_pd(acc31, _mm256_loadu_pd(c3 + 4));
+          }
+          _mm256_storeu_pd(c0, acc00);
+          _mm256_storeu_pd(c0 + 4, acc01);
+          _mm256_storeu_pd(c1, acc10);
+          _mm256_storeu_pd(c1 + 4, acc11);
+          _mm256_storeu_pd(c2, acc20);
+          _mm256_storeu_pd(c2 + 4, acc21);
+          _mm256_storeu_pd(c3, acc30);
+          _mm256_storeu_pd(c3 + 4, acc31);
+        }
+      }
+    }
+  }
+  // Edge columns of the packed rows, then all remaining rows in full.
+  for (size_t i = 0; i < m4; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t j = n8; j < n; ++j) {
+      crow[j] = DotF64Avx2(arow, bt + j * k, k);
+    }
+  }
+  for (size_t i = m4; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      crow[j] = DotF64Avx2(arow, bt + j * k, k);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// float lane (same structure, 8-wide vectors; GEMM micro-kernel is 4x16)
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2,fma"))) float DotF32Avx2(const float* a,
+                                                     const float* b,
+                                                     size_t n) {
+  __m256 s0 = _mm256_setzero_ps();
+  __m256 s1 = _mm256_setzero_ps();
+  __m256 s2 = _mm256_setzero_ps();
+  __m256 s3 = _mm256_setzero_ps();
+  size_t i = 0;
+#define VOLCANOML_DOT_F32_BLOCK(LOAD)                                        \
+  for (; i + 32 <= n; i += 32) {                                             \
+    _mm_prefetch(reinterpret_cast<const char*>(a + i + 256), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(a + i + 272), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(b + i + 256), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(b + i + 272), _MM_HINT_T0);   \
+    s0 = _mm256_fmadd_ps(LOAD(a + i), LOAD(b + i), s0);                      \
+    s1 = _mm256_fmadd_ps(LOAD(a + i + 8), LOAD(b + i + 8), s1);              \
+    s2 = _mm256_fmadd_ps(LOAD(a + i + 16), LOAD(b + i + 16), s2);            \
+    s3 = _mm256_fmadd_ps(LOAD(a + i + 24), LOAD(b + i + 24), s3);            \
+  }
+  if (BothAligned32(a, b)) {
+    VOLCANOML_DOT_F32_BLOCK(_mm256_load_ps)
+  } else {
+    VOLCANOML_DOT_F32_BLOCK(_mm256_loadu_ps)
+  }
+#undef VOLCANOML_DOT_F32_BLOCK
+  for (; i + 8 <= n; i += 8) {
+    s0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), s0);
+  }
+  const __m256 s = _mm256_add_ps(_mm256_add_ps(s0, s1), _mm256_add_ps(s2, s3));
+  alignas(32) float lane[8];
+  _mm256_store_ps(lane, s);
+  float acc = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+              ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Mul + add (not fmadd) for the same bit-identity reason as the double
+/// lane; see AxpyF64Avx2.
+__attribute__((target("avx2,fma"))) void AxpyF32Avx2(float alpha,
+                                                     const float* x,
+                                                     float* y, size_t n) {
+  if (alpha == 0.0f) return;  // Identity contract — see kernels.h.
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                             _mm256_mul_ps(va, _mm256_loadu_ps(x + i))));
+    _mm256_storeu_ps(
+        y + i + 8,
+        _mm256_add_ps(_mm256_loadu_ps(y + i + 8),
+                      _mm256_mul_ps(va, _mm256_loadu_ps(x + i + 8))));
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                             _mm256_mul_ps(va, _mm256_loadu_ps(x + i))));
+  }
+  for (; i < n; ++i) {
+    _mm_store_ss(y + i,
+                 _mm_add_ss(_mm_load_ss(y + i),
+                            _mm_mul_ss(_mm_set_ss(alpha), _mm_load_ss(x + i))));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ScaleF32Avx2(float alpha, float* x,
+                                                      size_t n) {
+  if (alpha == 1.0f) return;  // Identity contract — see kernels.h.
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("avx2,fma"))) float SquaredDistanceF32Avx2(
+    const float* a, const float* b, size_t n) {
+  __m256 s0 = _mm256_setzero_ps();
+  __m256 s1 = _mm256_setzero_ps();
+  __m256 s2 = _mm256_setzero_ps();
+  __m256 s3 = _mm256_setzero_ps();
+  size_t i = 0;
+#define VOLCANOML_SQDIST_F32_BLOCK(LOAD)                                     \
+  for (; i + 32 <= n; i += 32) {                                             \
+    _mm_prefetch(reinterpret_cast<const char*>(a + i + 256), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(a + i + 272), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(b + i + 256), _MM_HINT_T0);   \
+    _mm_prefetch(reinterpret_cast<const char*>(b + i + 272), _MM_HINT_T0);   \
+    const __m256 d0 = _mm256_sub_ps(LOAD(a + i), LOAD(b + i));               \
+    const __m256 d1 = _mm256_sub_ps(LOAD(a + i + 8), LOAD(b + i + 8));       \
+    const __m256 d2 = _mm256_sub_ps(LOAD(a + i + 16), LOAD(b + i + 16));     \
+    const __m256 d3 = _mm256_sub_ps(LOAD(a + i + 24), LOAD(b + i + 24));     \
+    s0 = _mm256_fmadd_ps(d0, d0, s0);                                        \
+    s1 = _mm256_fmadd_ps(d1, d1, s1);                                        \
+    s2 = _mm256_fmadd_ps(d2, d2, s2);                                        \
+    s3 = _mm256_fmadd_ps(d3, d3, s3);                                        \
+  }
+  if (BothAligned32(a, b)) {
+    VOLCANOML_SQDIST_F32_BLOCK(_mm256_load_ps)
+  } else {
+    VOLCANOML_SQDIST_F32_BLOCK(_mm256_loadu_ps)
+  }
+#undef VOLCANOML_SQDIST_F32_BLOCK
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    s0 = _mm256_fmadd_ps(d, d, s0);
+  }
+  const __m256 s = _mm256_add_ps(_mm256_add_ps(s0, s1), _mm256_add_ps(s2, s3));
+  alignas(32) float lane[8];
+  _mm256_store_ps(lane, s);
+  float acc = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+              ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Float transpose: the scalar tiled copy is already load/store bound and
+/// a transpose never rounds, so there is nothing for FMA to win; a plain
+/// tile loop keeps this TU self-contained without an 8x8 shuffle ladder.
+void TransposeF32Avx2(const float* src, size_t rows, size_t cols,
+                      float* dst) {
+  constexpr size_t kTile = 32;
+  for (size_t ib = 0; ib < rows; ib += kTile) {
+    const size_t imax = std::min(rows, ib + kTile);
+    for (size_t jb = 0; jb < cols; jb += kTile) {
+      const size_t jmax = std::min(cols, jb + kTile);
+      for (size_t i = ib; i < imax; ++i) {
+        const float* row = src + i * cols;
+        for (size_t j = jb; j < jmax; ++j) {
+          dst[j * rows + i] = row[j];
+        }
+      }
+    }
+  }
+}
+
+constexpr size_t kGemmNrF32 = 16;  // micro-kernel cols (2 ymm of 8)
+
+__attribute__((target("avx2,fma"))) void GemmTransBF32Avx2(
+    const float* a, const float* bt, float* c, size_t m, size_t k,
+    size_t n) {
+  const size_t m4 = m - m % kGemmMr;
+  const size_t n16 = n - n % kGemmNrF32;
+  if (m4 != 0 && n16 != 0) {
+    AlignedVector<float> packed_b(kGemmKc * n16);
+    AlignedVector<float> packed_a(kGemmMr * kGemmKc);
+    for (size_t pc = 0; pc < k; pc += kGemmKc) {
+      const size_t kc = std::min(kGemmKc, k - pc);
+      const bool accumulate = pc != 0;
+      for (size_t s = 0; s < n16 / kGemmNrF32; ++s) {
+        float* strip = packed_b.data() + s * kc * kGemmNrF32;
+        const float* brows = bt + s * kGemmNrF32 * k + pc;
+        for (size_t jj = 0; jj < kGemmNrF32; ++jj) {
+          const float* brow = brows + jj * k;
+          for (size_t p = 0; p < kc; ++p) {
+            strip[p * kGemmNrF32 + jj] = brow[p];
+          }
+        }
+      }
+      for (size_t i = 0; i < m4; i += kGemmMr) {
+        for (size_t ii = 0; ii < kGemmMr; ++ii) {
+          const float* arow = a + (i + ii) * k + pc;
+          for (size_t p = 0; p < kc; ++p) {
+            packed_a[p * kGemmMr + ii] = arow[p];
+          }
+        }
+        for (size_t s = 0; s < n16 / kGemmNrF32; ++s) {
+          const float* bp = packed_b.data() + s * kc * kGemmNrF32;
+          const float* ap = packed_a.data();
+          float* c0 = c + (i + 0) * n + s * kGemmNrF32;
+          float* c1 = c + (i + 1) * n + s * kGemmNrF32;
+          float* c2 = c + (i + 2) * n + s * kGemmNrF32;
+          float* c3 = c + (i + 3) * n + s * kGemmNrF32;
+          __m256 acc00 = _mm256_setzero_ps();
+          __m256 acc01 = _mm256_setzero_ps();
+          __m256 acc10 = _mm256_setzero_ps();
+          __m256 acc11 = _mm256_setzero_ps();
+          __m256 acc20 = _mm256_setzero_ps();
+          __m256 acc21 = _mm256_setzero_ps();
+          __m256 acc30 = _mm256_setzero_ps();
+          __m256 acc31 = _mm256_setzero_ps();
+          for (size_t p = 0; p < kc; ++p) {
+            const __m256 b0 = _mm256_load_ps(bp + p * kGemmNrF32);
+            const __m256 b1 = _mm256_load_ps(bp + p * kGemmNrF32 + 8);
+            const __m256 a0 = _mm256_broadcast_ss(ap + p * kGemmMr + 0);
+            acc00 = _mm256_fmadd_ps(a0, b0, acc00);
+            acc01 = _mm256_fmadd_ps(a0, b1, acc01);
+            const __m256 a1 = _mm256_broadcast_ss(ap + p * kGemmMr + 1);
+            acc10 = _mm256_fmadd_ps(a1, b0, acc10);
+            acc11 = _mm256_fmadd_ps(a1, b1, acc11);
+            const __m256 a2 = _mm256_broadcast_ss(ap + p * kGemmMr + 2);
+            acc20 = _mm256_fmadd_ps(a2, b0, acc20);
+            acc21 = _mm256_fmadd_ps(a2, b1, acc21);
+            const __m256 a3 = _mm256_broadcast_ss(ap + p * kGemmMr + 3);
+            acc30 = _mm256_fmadd_ps(a3, b0, acc30);
+            acc31 = _mm256_fmadd_ps(a3, b1, acc31);
+          }
+          if (accumulate) {
+            acc00 = _mm256_add_ps(acc00, _mm256_loadu_ps(c0));
+            acc01 = _mm256_add_ps(acc01, _mm256_loadu_ps(c0 + 8));
+            acc10 = _mm256_add_ps(acc10, _mm256_loadu_ps(c1));
+            acc11 = _mm256_add_ps(acc11, _mm256_loadu_ps(c1 + 8));
+            acc20 = _mm256_add_ps(acc20, _mm256_loadu_ps(c2));
+            acc21 = _mm256_add_ps(acc21, _mm256_loadu_ps(c2 + 8));
+            acc30 = _mm256_add_ps(acc30, _mm256_loadu_ps(c3));
+            acc31 = _mm256_add_ps(acc31, _mm256_loadu_ps(c3 + 8));
+          }
+          _mm256_storeu_ps(c0, acc00);
+          _mm256_storeu_ps(c0 + 8, acc01);
+          _mm256_storeu_ps(c1, acc10);
+          _mm256_storeu_ps(c1 + 8, acc11);
+          _mm256_storeu_ps(c2, acc20);
+          _mm256_storeu_ps(c2 + 8, acc21);
+          _mm256_storeu_ps(c3, acc30);
+          _mm256_storeu_ps(c3 + 8, acc31);
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < m4; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = n16; j < n; ++j) {
+      crow[j] = DotF32Avx2(arow, bt + j * k, k);
+    }
+  }
+  for (size_t i = m4; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      crow[j] = DotF32Avx2(arow, bt + j * k, k);
+    }
+  }
+}
+
+bool CpuHasAvx2Fma() {
+  return __builtin_cpu_supports("avx2") != 0 &&
+         __builtin_cpu_supports("fma") != 0;
+}
+
+}  // namespace
+
+const KernelTable* Avx2KernelTable() {
+  static const KernelTable* table = []() -> const KernelTable* {
+    if (!CpuHasAvx2Fma()) return nullptr;
+    static const KernelTable t = {
+        DotF64Avx2,       AxpyF64Avx2,
+        ScaleF64Avx2,     SquaredDistanceF64Avx2,
+        TransposeF64Avx2, GemmTransBF64Avx2,
+        DotF32Avx2,       AxpyF32Avx2,
+        ScaleF32Avx2,     SquaredDistanceF32Avx2,
+        TransposeF32Avx2, GemmTransBF32Avx2,
+    };
+    return &t;
+  }();
+  return table;
+}
+
+}  // namespace volcanoml
+
+#else  // !x86
+
+namespace volcanoml {
+
+const KernelTable* Avx2KernelTable() { return nullptr; }
+
+}  // namespace volcanoml
+
+#endif

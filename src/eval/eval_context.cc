@@ -133,7 +133,10 @@ Status EvalContext::BuildFePipeline(const Assignment& assignment,
       }
     }
     Configuration op_config = op.hp_space.FromAssignment(local);
-    fe->Add(op.create(op.hp_space, op_config, rng.Fork()));
+    std::unique_ptr<FeOperator> fe_op =
+        op.create(op.hp_space, op_config, rng.Fork());
+    fe_op->SetPrecision(options_.precision);
+    fe->Add(std::move(fe_op));
   }
   return Status::Ok();
 }
@@ -154,6 +157,7 @@ Status EvalContext::BuildModel(const Assignment& assignment, uint64_t seed,
   }
   Configuration model_config = algo.hp_space.FromAssignment(local);
   *model = algo.create(algo.hp_space, model_config, rng.Fork());
+  (*model)->SetPrecision(options_.precision);
   return Status::Ok();
 }
 

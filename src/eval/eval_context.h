@@ -8,6 +8,7 @@
 
 #include "cs/configuration.h"
 #include "data/dataset.h"
+#include "data/precision.h"
 #include "data/splits.h"
 #include "eval/fault_injector.h"
 #include "eval/fe_cache.h"
@@ -129,6 +130,13 @@ struct EvaluatorOptions {
   /// hit is bit-identical to recomputation; budget accounting is
   /// unaffected in deterministic-unit mode.
   size_t fe_cache_capacity_mb = 0;
+  /// Numeric lane for model / FE-operator internals (data/precision.h).
+  /// kFloat32 halves the memory traffic through the distance- and
+  /// GEMM-dominated components (kNN, MLP, Nystroem, random projection);
+  /// operators without an f32 lane ignore it. Pipeline matrices, split
+  /// bookkeeping, and metrics stay double either way, and each lane is
+  /// sequentially deterministic on its own.
+  NumericPrecision precision = NumericPrecision::kFloat64;
   /// Optional deterministic fault injection (not owned; may be null).
   /// Faulted trials report kFaultInjected / kTimedOut / kNonFinite.
   const FaultInjector* fault_injector = nullptr;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "data/dataset.h"
+#include "data/precision.h"
 #include "util/status.h"
 
 namespace volcanoml {
@@ -39,6 +40,13 @@ class FeOperator {
 
   /// Returns the resampled training dataset (balancers only).
   virtual Dataset ResampleTrain(const Dataset& train) const { return train; }
+
+  /// Selects the numeric lane for the operator's internal storage and
+  /// arithmetic (data/precision.h). Called by the evaluator right after
+  /// construction, before Fit. Pipeline matrices stay double either way;
+  /// only distance/GEMM-dominated operators (Nystroem, random projection)
+  /// opt in — the default is a no-op and kFloat64 semantics.
+  virtual void SetPrecision(NumericPrecision /*precision*/) {}
 };
 
 }  // namespace volcanoml

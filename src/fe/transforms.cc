@@ -284,6 +284,21 @@ Status NystroemRbf::Fit(const Dataset& train) {
       landmarks_(r, j) = (x(picks[r], j) - means_[j]) / scales_[j];
     }
   }
+  if (precision_ == NumericPrecision::kFloat32) {
+    // f32 lane: cast the double-standardized landmarks, rows padded to a
+    // full cache line of floats (zero padding adds nothing to distances).
+    stride32_ = (x.cols() + 15) / 16 * 16;
+    landmarks32_.assign(m * stride32_, 0.0f);
+    for (size_t r = 0; r < m; ++r) {
+      float* row = landmarks32_.data() + r * stride32_;
+      for (size_t j = 0; j < x.cols(); ++j) {
+        row[j] = static_cast<float>(landmarks_(r, j));
+      }
+    }
+  } else {
+    landmarks32_.clear();
+    stride32_ = 0;
+  }
   return Status::Ok();
 }
 
@@ -291,6 +306,21 @@ Matrix NystroemRbf::Transform(const Matrix& x) const {
   VOLCANOML_CHECK(landmarks_.rows() > 0);
   VOLCANOML_CHECK(x.cols() == means_.size());
   Matrix out(x.rows(), landmarks_.rows());
+  if (precision_ == NumericPrecision::kFloat32) {
+    AlignedVector<float> z32(stride32_, 0.0f);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      for (size_t j = 0; j < x.cols(); ++j) {
+        // Standardize in double (bit-stable across lanes), then cast.
+        z32[j] = static_cast<float>((x(i, j) - means_[j]) / scales_[j]);
+      }
+      for (size_t r = 0; r < landmarks_.rows(); ++r) {
+        float dist = SquaredDistanceKernel(
+            z32.data(), landmarks32_.data() + r * stride32_, x.cols());
+        out(i, r) = std::exp(-gamma_ * static_cast<double>(dist));
+      }
+    }
+    return out;
+  }
   std::vector<double> z(x.cols());
   for (size_t i = 0; i < x.rows(); ++i) {
     for (size_t j = 0; j < x.cols(); ++j) {
@@ -328,6 +358,14 @@ Status RandomProjection::Fit(const Dataset& train) {
       projection_(r, j) = rng.Gaussian(0.0, scale);
     }
   }
+  if (precision_ == NumericPrecision::kFloat32) {
+    projection32_.assign(k * d, 0.0f);
+    for (size_t i = 0; i < k * d; ++i) {
+      projection32_[i] = static_cast<float>(projection_.data()[i]);
+    }
+  } else {
+    projection32_.clear();
+  }
   return Status::Ok();
 }
 
@@ -337,6 +375,20 @@ Matrix RandomProjection::Transform(const Matrix& x) const {
   // out = x * projection^T; projection_ (k x d row-major) is the
   // transposed-B operand directly.
   Matrix out(x.rows(), projection_.rows());
+  if (precision_ == NumericPrecision::kFloat32) {
+    const size_t total = x.rows() * x.cols();
+    AlignedVector<float> x32(total);
+    for (size_t i = 0; i < total; ++i) {
+      x32[i] = static_cast<float>(x.data()[i]);
+    }
+    AlignedVector<float> out32(x.rows() * projection_.rows());
+    GemmTransBKernel(x32.data(), projection32_.data(), out32.data(), x.rows(),
+                     x.cols(), projection_.rows());
+    for (size_t i = 0; i < out32.size(); ++i) {
+      out.data()[i] = static_cast<double>(out32[i]);
+    }
+    return out;
+  }
   GemmTransBKernel(x.data().data(), projection_.data().data(),
                    out.data().data(), x.rows(), x.cols(),
                    projection_.rows());

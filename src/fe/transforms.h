@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/aligned.h"
 #include "fe/operator.h"
 
 namespace volcanoml {
@@ -79,33 +80,57 @@ class SelectPercentile : public FeOperator {
 /// RBF random-feature map: z_j(x) = exp(-gamma ||x - c_j||^2) against
 /// `num_components` landmark rows sampled from the training data
 /// (Nystroem-style kernel approximation, unnormalized).
+///
+/// Supports the float32 lane (data/precision.h): landmark selection and
+/// standardization stay double, but the landmark matrix is additionally
+/// stored as cache-line-padded float rows and Transform runs the f32
+/// squared-distance kernel. The exp stays double on the f32 distance.
 class NystroemRbf : public FeOperator {
  public:
   NystroemRbf(size_t num_components, double gamma, uint64_t seed);
 
   Status Fit(const Dataset& train) override;
   Matrix Transform(const Matrix& x) const override;
+  void SetPrecision(NumericPrecision precision) override {
+    precision_ = precision;
+  }
 
  private:
   size_t num_components_;
   double gamma_;
   uint64_t seed_;
+  NumericPrecision precision_ = NumericPrecision::kFloat64;
   std::vector<double> means_, scales_;  ///< Internal standardization.
   Matrix landmarks_;
+  /// f32 lane: standardized landmarks, rows padded to stride32_ floats so
+  /// each row is 64-byte aligned. Empty in the f64 lane.
+  AlignedVector<float> landmarks32_;
+  size_t stride32_ = 0;
 };
 
 /// Gaussian random projection to `round(fraction * d)` dimensions (>= 2).
+///
+/// Supports the float32 lane (data/precision.h): the projection is drawn
+/// in double (shared RNG sequence with the f64 lane) and cast to float,
+/// and Transform casts the input once and runs the f32 GEMM kernel —
+/// half the bandwidth through the matrix product that dominates this
+/// operator.
 class RandomProjection : public FeOperator {
  public:
   RandomProjection(double fraction, uint64_t seed);
 
   Status Fit(const Dataset& train) override;
   Matrix Transform(const Matrix& x) const override;
+  void SetPrecision(NumericPrecision precision) override {
+    precision_ = precision;
+  }
 
  private:
   double fraction_;
   uint64_t seed_;
+  NumericPrecision precision_ = NumericPrecision::kFloat64;
   Matrix projection_;  ///< (k x d).
+  AlignedVector<float> projection32_;  ///< f32 lane copy; empty otherwise.
 };
 
 }  // namespace volcanoml

@@ -61,6 +61,7 @@ void SessionConfig::Encode(WireWriter* w) const {
   w->U64(worker_pool_size);
   w->F64(trial_hard_timeout);
   w->U64(worker_retry_cap);
+  w->U8(precision);
 }
 
 SessionConfig SessionConfig::Decode(WireReader* r) {
@@ -78,6 +79,7 @@ SessionConfig SessionConfig::Decode(WireReader* r) {
   config.worker_pool_size = r->U64();
   config.trial_hard_timeout = r->F64();
   config.worker_retry_cap = r->U64();
+  config.precision = r->U8();
   return config;
 }
 

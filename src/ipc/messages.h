@@ -67,6 +67,9 @@ struct SessionConfig {
   double trial_hard_timeout = 0.0;
   /// Worker-death retries before a trial commits as worker_died.
   uint64_t worker_retry_cap = 3;
+  /// NumericPrecision as u8: 0 = f64 (exact historical arithmetic),
+  /// 1 = f32 lane for distance/GEMM-dominated components.
+  uint8_t precision = 0;
 
   void Encode(WireWriter* w) const;
   static SessionConfig Decode(WireReader* r);

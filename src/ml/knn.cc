@@ -22,12 +22,33 @@ Status KnnModel::Fit(const Dataset& train) {
   for (double& s : feature_scales_) {
     if (s <= 1e-12) s = 1.0;
   }
-  train_x_ = Matrix(train.NumSamples(), train.NumFeatures());
-  for (size_t i = 0; i < train.NumSamples(); ++i) {
-    for (size_t f = 0; f < train.NumFeatures(); ++f) {
-      train_x_(i, f) =
-          (train.x()(i, f) - feature_means_[f]) / feature_scales_[f];
+  train_rows_ = train.NumSamples();
+  train_cols_ = train.NumFeatures();
+  if (precision_ == NumericPrecision::kFloat32) {
+    // f32 lane: standardize in double (bit-stable regardless of lane),
+    // store the cast. Rows are padded to a full cache line of floats so
+    // each row pointer is 64-byte aligned; the zero padding contributes
+    // nothing to either distance.
+    stride32_ = (train_cols_ + 15) / 16 * 16;
+    train_x32_.assign(train_rows_ * stride32_, 0.0f);
+    for (size_t i = 0; i < train_rows_; ++i) {
+      float* row = train_x32_.data() + i * stride32_;
+      for (size_t f = 0; f < train_cols_; ++f) {
+        row[f] = static_cast<float>((train.x()(i, f) - feature_means_[f]) /
+                                    feature_scales_[f]);
+      }
     }
+    train_x_ = Matrix();
+  } else {
+    train_x_ = Matrix(train_rows_, train_cols_);
+    for (size_t i = 0; i < train_rows_; ++i) {
+      for (size_t f = 0; f < train_cols_; ++f) {
+        train_x_(i, f) =
+            (train.x()(i, f) - feature_means_[f]) / feature_scales_[f];
+      }
+    }
+    train_x32_.clear();
+    stride32_ = 0;
   }
   train_y_ = train.y();
   num_classes_ =
@@ -36,7 +57,7 @@ Status KnnModel::Fit(const Dataset& train) {
 }
 
 double KnnModel::Distance(const double* a, const double* b) const {
-  const size_t d = train_x_.cols();
+  const size_t d = train_cols_;
   if (options_.p == 2) {
     return std::sqrt(SquaredDistanceKernel(a, b, d));
   }
@@ -45,20 +66,43 @@ double KnnModel::Distance(const double* a, const double* b) const {
   return acc;
 }
 
+double KnnModel::DistanceF32(const float* a, const float* b) const {
+  const size_t d = train_cols_;
+  if (options_.p == 2) {
+    return std::sqrt(SquaredDistanceKernel(a, b, d));
+  }
+  float acc = 0.0f;
+  for (size_t f = 0; f < d; ++f) acc += std::abs(a[f] - b[f]);
+  return acc;
+}
+
 std::vector<double> KnnModel::Predict(const Matrix& x) const {
-  VOLCANOML_CHECK(train_x_.rows() > 0);
-  VOLCANOML_CHECK(x.cols() == train_x_.cols());
-  const size_t n = train_x_.rows();
+  VOLCANOML_CHECK(train_rows_ > 0);
+  VOLCANOML_CHECK(x.cols() == train_cols_);
+  const bool f32 = precision_ == NumericPrecision::kFloat32;
+  const size_t n = train_rows_;
   const size_t k = std::min<size_t>(static_cast<size_t>(options_.k), n);
   std::vector<double> out(x.rows());
   std::vector<double> query(x.cols());
+  AlignedVector<float> query32(f32 ? stride32_ : 0, 0.0f);
   std::vector<std::pair<double, size_t>> dists(n);
   for (size_t i = 0; i < x.rows(); ++i) {
     for (size_t f = 0; f < x.cols(); ++f) {
       query[f] = (x(i, f) - feature_means_[f]) / feature_scales_[f];
     }
-    for (size_t j = 0; j < n; ++j) {
-      dists[j] = {Distance(query.data(), train_x_.RowPtr(j)), j};
+    if (f32) {
+      for (size_t f = 0; f < x.cols(); ++f) {
+        query32[f] = static_cast<float>(query[f]);
+      }
+      for (size_t j = 0; j < n; ++j) {
+        dists[j] = {
+            DistanceF32(query32.data(), train_x32_.data() + j * stride32_),
+            j};
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        dists[j] = {Distance(query.data(), train_x_.RowPtr(j)), j};
+      }
     }
     std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(k),
                       dists.end());

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "data/aligned.h"
 #include "ml/model.h"
 
 namespace volcanoml {
@@ -10,6 +11,12 @@ namespace volcanoml {
 /// k-nearest-neighbors for both tasks. Brute-force search with Minkowski
 /// distance (p=1 Manhattan, p=2 Euclidean) on standardized features;
 /// voting may be uniform or distance-weighted.
+///
+/// Supports the float32 lane (data/precision.h): when a session opts in,
+/// the standardized training matrix is stored as float with rows padded
+/// to cache-line stride, halving the memory the distance scan streams and
+/// letting the f32 distance kernel run its aligned fast path. Neighbor
+/// ordering and voting stay double.
 class KnnModel : public Model {
  public:
   struct Options {
@@ -22,12 +29,23 @@ class KnnModel : public Model {
 
   Status Fit(const Dataset& train) override;
   std::vector<double> Predict(const Matrix& x) const override;
+  void SetPrecision(NumericPrecision precision) override {
+    precision_ = precision;
+  }
 
  private:
   double Distance(const double* a, const double* b) const;
+  double DistanceF32(const float* a, const float* b) const;
 
   Options options_;
-  Matrix train_x_;  ///< Standardized training features.
+  NumericPrecision precision_ = NumericPrecision::kFloat64;
+  size_t train_rows_ = 0;
+  size_t train_cols_ = 0;
+  Matrix train_x_;  ///< Standardized training features (f64 lane).
+  /// f32 lane: standardized features, row stride padded to stride32_ so
+  /// every row starts on a 64-byte boundary. Empty in the f64 lane.
+  AlignedVector<float> train_x32_;
+  size_t stride32_ = 0;
   std::vector<double> train_y_;
   std::vector<double> feature_means_, feature_scales_;
   size_t num_classes_ = 0;

@@ -21,14 +21,17 @@ MlpModel::MlpModel(const Options& options, uint64_t seed)
 
 namespace {
 
-inline double Activate(double v, MlpModel::Activation act) {
-  return act == MlpModel::Activation::kRelu ? std::max(0.0, v) : std::tanh(v);
+template <typename Real>
+inline Real Activate(Real v, MlpModel::Activation act) {
+  return act == MlpModel::Activation::kRelu ? std::max(Real(0), v)
+                                            : std::tanh(v);
 }
 
-inline double ActivateGrad(double activated, MlpModel::Activation act) {
+template <typename Real>
+inline Real ActivateGrad(Real activated, MlpModel::Activation act) {
   return act == MlpModel::Activation::kRelu
-             ? (activated > 0.0 ? 1.0 : 0.0)
-             : 1.0 - activated * activated;
+             ? (activated > Real(0) ? Real(1) : Real(0))
+             : Real(1) - activated * activated;
 }
 
 }  // namespace
@@ -42,7 +45,6 @@ Status MlpModel::Fit(const Dataset& train) {
   num_classes_ =
       task_ == TaskType::kClassification ? train.NumClasses() : 0;
   const size_t n = train.NumSamples();
-  const size_t out_dim = num_classes_ > 0 ? num_classes_ : 1;
 
   feature_means_ = train.x().ColMeans();
   feature_scales_ = train.x().ColStdDevs();
@@ -59,33 +61,51 @@ Status MlpModel::Fit(const Dataset& train) {
     if (target_scale_ <= 1e-12) target_scale_ = 1.0;
   }
 
+  if (precision_ == NumericPrecision::kFloat32) {
+    net64_.clear();
+    return FitNet(train, &net32_);
+  }
+  net32_.clear();
+  return FitNet(train, &net64_);
+}
+
+template <typename Real>
+Status MlpModel::FitNet(const Dataset& train, Net<Real>* net) {
+  const size_t n = train.NumSamples();
+  const size_t out_dim = num_classes_ > 0 ? num_classes_ : 1;
+
   Rng rng(seed_);
-  layers_.clear();
+  net->clear();
   std::vector<size_t> dims = {num_features_};
   for (size_t l = 0; l < options_.num_hidden_layers; ++l) {
     dims.push_back(options_.hidden_size);
   }
   dims.push_back(out_dim);
   for (size_t l = 0; l + 1 < dims.size(); ++l) {
-    Layer layer;
-    layer.w = Matrix(dims[l + 1], dims[l]);
-    layer.b.assign(dims[l + 1], 0.0);
-    layer.w_vel = Matrix(dims[l + 1], dims[l]);
-    layer.b_vel.assign(dims[l + 1], 0.0);
+    NetLayer<Real> layer;
+    layer.rows = dims[l + 1];
+    layer.cols = dims[l];
+    layer.w.assign(layer.rows * layer.cols, Real(0));
+    layer.b.assign(layer.rows, Real(0));
+    layer.w_vel.assign(layer.rows * layer.cols, Real(0));
+    layer.b_vel.assign(layer.rows, Real(0));
+    // He init. The RNG sequence is lane-independent (draws happen in
+    // double and are cast), so both lanes start from the same weights.
     double scale = std::sqrt(2.0 / static_cast<double>(dims[l]));
-    for (size_t r = 0; r < layer.w.rows(); ++r) {
-      for (size_t c = 0; c < layer.w.cols(); ++c) {
-        layer.w(r, c) = rng.Gaussian(0.0, scale);
+    for (size_t r = 0; r < layer.rows; ++r) {
+      for (size_t c = 0; c < layer.cols; ++c) {
+        layer.w[r * layer.cols + c] =
+            static_cast<Real>(rng.Gaussian(0.0, scale));
       }
     }
-    layers_.push_back(std::move(layer));
+    net->push_back(std::move(layer));
   }
 
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::vector<double> input(num_features_);
-  std::vector<std::vector<double>> activations;
-  std::vector<std::vector<double>> deltas(layers_.size());
+  std::vector<Real> input(num_features_);
+  std::vector<std::vector<Real>> activations;
+  std::vector<std::vector<Real>> deltas(net->size());
 
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
     if (TrialDeadlineExpired()) {
@@ -95,45 +115,48 @@ Status MlpModel::Fit(const Dataset& train) {
     double lr = options_.learning_rate / (1.0 + 0.02 * epoch);
     for (size_t i : order) {
       for (size_t f = 0; f < num_features_; ++f) {
-        input[f] =
-            (train.x()(i, f) - feature_means_[f]) / feature_scales_[f];
+        input[f] = static_cast<Real>(
+            (train.x()(i, f) - feature_means_[f]) / feature_scales_[f]);
       }
-      Forward(input, &activations);
-      std::vector<double>& output = activations.back();
+      ForwardNet(*net, input, &activations);
+      std::vector<Real>& output = activations.back();
 
       // Output delta.
-      deltas.back().assign(output.size(), 0.0);
+      deltas.back().assign(output.size(), Real(0));
       if (num_classes_ > 0) {
-        double max_raw = *std::max_element(output.begin(), output.end());
-        double denom = 0.0;
-        std::vector<double> proba(output.size());
+        Real max_raw = *std::max_element(output.begin(), output.end());
+        Real denom = Real(0);
+        std::vector<Real> proba(output.size());
         for (size_t c = 0; c < output.size(); ++c) {
           proba[c] = std::exp(output[c] - max_raw);
           denom += proba[c];
         }
         size_t label = static_cast<size_t>(train.y()[i]);
         for (size_t c = 0; c < output.size(); ++c) {
-          deltas.back()[c] = proba[c] / denom - (c == label ? 1.0 : 0.0);
+          deltas.back()[c] =
+              proba[c] / denom - (c == label ? Real(1) : Real(0));
         }
       } else {
-        double target = (train.y()[i] - target_mean_) / target_scale_;
+        Real target = static_cast<Real>(
+            (train.y()[i] - target_mean_) / target_scale_);
         // Clip the squared-loss gradient: one outlier step otherwise feeds
         // back through momentum and can blow the weights up to NaN.
-        deltas.back()[0] = std::clamp(output[0] - target, -3.0, 3.0);
+        deltas.back()[0] =
+            std::clamp(output[0] - target, Real(-3), Real(3));
       }
 
       // Backpropagate through hidden layers.
-      for (size_t l = layers_.size() - 1; l-- > 0;) {
-        const Layer& upper = layers_[l + 1];
-        std::vector<double>& delta = deltas[l];
-        delta.assign(activations[l + 1].size(), 0.0);
-        for (size_t r = 0; r < upper.w.rows(); ++r) {
-          AxpyKernel(deltas[l + 1][r], upper.w.RowPtr(r), delta.data(),
-                     upper.w.cols());
+      for (size_t l = net->size() - 1; l-- > 0;) {
+        const NetLayer<Real>& upper = (*net)[l + 1];
+        std::vector<Real>& delta = deltas[l];
+        delta.assign(activations[l + 1].size(), Real(0));
+        for (size_t r = 0; r < upper.rows; ++r) {
+          AxpyKernel(deltas[l + 1][r], upper.w.data() + r * upper.cols,
+                     delta.data(), upper.cols);
         }
         for (size_t c = 0; c < delta.size(); ++c) {
           delta[c] *= ActivateGrad(activations[l + 1][c], options_.activation);
-          delta[c] = std::clamp(delta[c], -3.0, 3.0);
+          delta[c] = std::clamp(delta[c], Real(-3), Real(3));
         }
       }
 
@@ -141,20 +164,24 @@ Status MlpModel::Fit(const Dataset& train) {
       //   vel = momentum * vel - lr * (delta * in_act + alpha * w)
       //   w  += vel
       // expressed as a scale plus two axpys against the pre-update w.
-      for (size_t l = 0; l < layers_.size(); ++l) {
-        Layer& layer = layers_[l];
-        const std::vector<double>& in_act = activations[l];
-        const std::vector<double>& delta = deltas[l];
-        const size_t cols = layer.w.cols();
-        for (size_t r = 0; r < layer.w.rows(); ++r) {
-          double d = delta[r];
-          double* w = layer.w.RowPtr(r);
-          double* vel = layer.w_vel.RowPtr(r);
-          ScaleKernel(options_.momentum, vel, cols);
-          AxpyKernel(-lr * d, in_act.data(), vel, cols);
-          AxpyKernel(-lr * options_.alpha, w, vel, cols);
-          AxpyKernel(1.0, vel, w, cols);
-          layer.b_vel[r] = options_.momentum * layer.b_vel[r] - lr * d;
+      // Scalars are mixed in double and cast once, so the f64 lane's
+      // coefficients are bit-identical to the historical ones.
+      for (size_t l = 0; l < net->size(); ++l) {
+        NetLayer<Real>& layer = (*net)[l];
+        const std::vector<Real>& in_act = activations[l];
+        const std::vector<Real>& delta = deltas[l];
+        const size_t cols = layer.cols;
+        for (size_t r = 0; r < layer.rows; ++r) {
+          Real d = delta[r];
+          Real* w = layer.w.data() + r * cols;
+          Real* vel = layer.w_vel.data() + r * cols;
+          ScaleKernel(static_cast<Real>(options_.momentum), vel, cols);
+          AxpyKernel(static_cast<Real>(-lr * d), in_act.data(), vel, cols);
+          AxpyKernel(static_cast<Real>(-lr * options_.alpha), w, vel, cols);
+          AxpyKernel(Real(1), vel, w, cols);
+          layer.b_vel[r] = static_cast<Real>(options_.momentum) *
+                               layer.b_vel[r] -
+                           static_cast<Real>(lr) * d;
           layer.b[r] += layer.b_vel[r];
         }
       }
@@ -163,37 +190,39 @@ Status MlpModel::Fit(const Dataset& train) {
   return Status::Ok();
 }
 
-void MlpModel::Forward(const std::vector<double>& input,
-                       std::vector<std::vector<double>>* activations) const {
-  activations->assign(layers_.size() + 1, {});
+template <typename Real>
+void MlpModel::ForwardNet(const Net<Real>& net, const std::vector<Real>& input,
+                          std::vector<std::vector<Real>>* activations) const {
+  activations->assign(net.size() + 1, {});
   (*activations)[0] = input;
-  for (size_t l = 0; l < layers_.size(); ++l) {
-    const Layer& layer = layers_[l];
-    std::vector<double>& out = (*activations)[l + 1];
-    out.assign(layer.w.rows(), 0.0);
-    const std::vector<double>& in = (*activations)[l];
-    for (size_t r = 0; r < layer.w.rows(); ++r) {
-      double acc =
-          layer.b[r] + DotKernel(layer.w.RowPtr(r), in.data(), layer.w.cols());
+  for (size_t l = 0; l < net.size(); ++l) {
+    const NetLayer<Real>& layer = net[l];
+    std::vector<Real>& out = (*activations)[l + 1];
+    out.assign(layer.rows, Real(0));
+    const std::vector<Real>& in = (*activations)[l];
+    for (size_t r = 0; r < layer.rows; ++r) {
+      Real acc = layer.b[r] + DotKernel(layer.w.data() + r * layer.cols,
+                                        in.data(), layer.cols);
       // Hidden layers are nonlinear; the output layer is linear.
-      out[r] = (l + 1 == layers_.size()) ? acc
-                                         : Activate(acc, options_.activation);
+      out[r] =
+          (l + 1 == net.size()) ? acc : Activate(acc, options_.activation);
     }
   }
 }
 
-std::vector<double> MlpModel::Predict(const Matrix& x) const {
-  VOLCANOML_CHECK(!layers_.empty());
-  VOLCANOML_CHECK(x.cols() == num_features_);
+template <typename Real>
+std::vector<double> MlpModel::PredictNet(const Net<Real>& net,
+                                         const Matrix& x) const {
   std::vector<double> out(x.rows());
-  std::vector<double> input(num_features_);
-  std::vector<std::vector<double>> activations;
+  std::vector<Real> input(num_features_);
+  std::vector<std::vector<Real>> activations;
   for (size_t i = 0; i < x.rows(); ++i) {
     for (size_t f = 0; f < num_features_; ++f) {
-      input[f] = (x(i, f) - feature_means_[f]) / feature_scales_[f];
+      input[f] = static_cast<Real>(
+          (x(i, f) - feature_means_[f]) / feature_scales_[f]);
     }
-    Forward(input, &activations);
-    const std::vector<double>& output = activations.back();
+    ForwardNet(net, input, &activations);
+    const std::vector<Real>& output = activations.back();
     if (num_classes_ > 0) {
       out[i] = static_cast<double>(
           std::distance(output.begin(),
@@ -203,6 +232,13 @@ std::vector<double> MlpModel::Predict(const Matrix& x) const {
     }
   }
   return out;
+}
+
+std::vector<double> MlpModel::Predict(const Matrix& x) const {
+  VOLCANOML_CHECK(!net64_.empty() || !net32_.empty());
+  VOLCANOML_CHECK(x.cols() == num_features_);
+  if (!net32_.empty()) return PredictNet(net32_, x);
+  return PredictNet(net64_, x);
 }
 
 }  // namespace volcanoml

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/aligned.h"
 #include "ml/model.h"
 
 namespace volcanoml {
@@ -11,6 +12,15 @@ namespace volcanoml {
 /// Multi-layer perceptron (1 or 2 hidden layers) trained with mini-batch
 /// SGD + momentum. Classification uses softmax cross-entropy; regression
 /// uses squared loss on a standardized target.
+///
+/// The network internals are templated on the numeric lane
+/// (data/precision.h): the f64 net replays the historical double
+/// trajectory bit for bit, while the f32 lane stores weights,
+/// activations, and velocities as float and runs the float kernels —
+/// half the memory traffic through the Dot/Axpy-dominated training loop.
+/// Standardization statistics, learning-rate schedule, and momentum
+/// scalars stay double in both lanes; the RNG init sequence is shared, so
+/// both lanes draw identical weight initializations (cast for f32).
 class MlpModel : public Model {
  public:
   enum class Activation { kRelu, kTanh };
@@ -29,26 +39,41 @@ class MlpModel : public Model {
 
   Status Fit(const Dataset& train) override;
   std::vector<double> Predict(const Matrix& x) const override;
+  void SetPrecision(NumericPrecision precision) override {
+    precision_ = precision;
+  }
 
  private:
-  struct Layer {
-    Matrix w;  ///< (out x in).
-    std::vector<double> b;
-    Matrix w_vel;
-    std::vector<double> b_vel;
+  /// One dense layer of the Real-lane network. Weights are flat row-major
+  /// (rows x cols) in aligned storage so kernel calls on row pointers can
+  /// take the aligned path when shapes allow.
+  template <typename Real>
+  struct NetLayer {
+    size_t rows = 0, cols = 0;
+    AlignedVector<Real> w, w_vel;
+    std::vector<Real> b, b_vel;
   };
+  template <typename Real>
+  using Net = std::vector<NetLayer<Real>>;
 
-  void Forward(const std::vector<double>& input,
-               std::vector<std::vector<double>>* activations) const;
+  template <typename Real>
+  Status FitNet(const Dataset& train, Net<Real>* net);
+  template <typename Real>
+  void ForwardNet(const Net<Real>& net, const std::vector<Real>& input,
+                  std::vector<std::vector<Real>>* activations) const;
+  template <typename Real>
+  std::vector<double> PredictNet(const Net<Real>& net, const Matrix& x) const;
 
   Options options_;
   uint64_t seed_;
+  NumericPrecision precision_ = NumericPrecision::kFloat64;
   TaskType task_ = TaskType::kClassification;
   size_t num_classes_ = 0;
   size_t num_features_ = 0;
   std::vector<double> feature_means_, feature_scales_;
   double target_mean_ = 0.0, target_scale_ = 1.0;
-  std::vector<Layer> layers_;
+  Net<double> net64_;  ///< Populated in the f64 lane; empty otherwise.
+  Net<float> net32_;   ///< Populated in the f32 lane; empty otherwise.
 };
 
 }  // namespace volcanoml

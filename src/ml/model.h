@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/precision.h"
 #include "util/status.h"
 
 namespace volcanoml {
@@ -25,6 +26,13 @@ class Model {
 
   /// Predicts a target per row of `x`.
   virtual std::vector<double> Predict(const Matrix& x) const = 0;
+
+  /// Selects the numeric lane for the model's internal storage and
+  /// arithmetic (data/precision.h). Called by the evaluator right after
+  /// construction, before Fit; takes effect at the next Fit. Models whose
+  /// hot loops are not distance/GEMM-dominated ignore it — the default is
+  /// a no-op and kFloat64 semantics.
+  virtual void SetPrecision(NumericPrecision /*precision*/) {}
 };
 
 }  // namespace volcanoml

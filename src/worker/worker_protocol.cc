@@ -42,6 +42,7 @@ void WorkerInitMessage::Encode(WireWriter* w) const {
   w->U64(eval.seed);
   w->F64(eval.trial_timeout_seconds);
   w->U64(eval.fe_cache_capacity_mb);
+  w->U8(static_cast<uint8_t>(eval.precision));
   w->Str(data.name());
   w->U64(data.NumSamples());
   w->U64(data.NumFeatures());
@@ -74,6 +75,9 @@ WorkerInitMessage WorkerInitMessage::Decode(WireReader* r) {
   m.eval.seed = r->U64();
   m.eval.trial_timeout_seconds = r->F64();
   m.eval.fe_cache_capacity_mb = static_cast<size_t>(r->U64());
+  uint8_t precision = r->U8();
+  if (precision > 1) r->Fail("worker init: precision out of range");
+  m.eval.precision = static_cast<NumericPrecision>(precision);
   std::string name = r->Str();
   uint64_t rows = r->U64();
   uint64_t cols = r->U64();

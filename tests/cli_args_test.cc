@@ -52,6 +52,28 @@ TEST(CliArgs, AliasesResolveToCanonicalNames) {
   EXPECT_EQ(parsed.value().config.optimizer, "mfes-hb");
 }
 
+TEST(CliArgs, PrecisionAndSimdFlagsParseAndValidate) {
+  Result<CliArgs> parsed =
+      Parse({"train.csv", "--precision", "f32", "--simd", "scalar"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().config.precision, 1);
+  EXPECT_EQ(parsed.value().simd, "scalar");
+  // Defaults: exact-replay f64, no dispatch override.
+  Result<CliArgs> plain = Parse({"train.csv"});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().config.precision, 0);
+  EXPECT_TRUE(plain.value().simd.empty());
+  EXPECT_FALSE(Parse({"train.csv", "--precision", "f16"}).ok());
+  EXPECT_FALSE(Parse({"train.csv", "--simd", "avx512"}).ok());
+}
+
+TEST(CliArgs, SimdInfoNeedsNoSocketOrOperand) {
+  Result<CliArgs> parsed = Parse({"simd-info"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().command, CliCommand::kSimdInfo);
+  EXPECT_FALSE(Parse({"simd-info", "stray.csv"}).ok());
+}
+
 TEST(CliArgs, NonPositiveBudgetIsAUsageErrorNotAnAbort) {
   // This invocation used to sail through parsing and trip a
   // VOLCANOML_CHECK(budget > 0) inside the executor; now it is rejected

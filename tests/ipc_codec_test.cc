@@ -95,6 +95,7 @@ TEST(Messages, SessionConfigRoundTrips) {
   config.cv_folds = 5;
   config.include_smote = true;
   config.batch_size = 3;
+  config.precision = 1;
   Result<SessionConfig> round =
       DecodeMessage<SessionConfig>(EncodeMessage(config));
   ASSERT_TRUE(round.ok());
@@ -107,6 +108,7 @@ TEST(Messages, SessionConfigRoundTrips) {
   EXPECT_EQ(round.value().cv_folds, config.cv_folds);
   EXPECT_EQ(round.value().include_smote, config.include_smote);
   EXPECT_EQ(round.value().batch_size, config.batch_size);
+  EXPECT_EQ(round.value().precision, config.precision);
 }
 
 TEST(Messages, QueryReplyRoundTripsTrajectoryAndAssignment) {

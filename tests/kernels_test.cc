@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "data/kernels.h"
@@ -92,6 +93,36 @@ TEST(KernelsTest, AxpyMatchesNaiveAndZeroAlphaIsIdentity) {
     std::vector<double> untouched = y;
     AxpyKernel(0.0, x.data(), untouched.data(), n);
     EXPECT_EQ(untouched, y) << "n=" << n;
+  }
+}
+
+// Regression test for the alpha == 0 early-out contract (data/kernels.h):
+// the early-out skips reading x entirely, so y must come back bit-for-bit
+// unchanged even when x is full of NaN/Inf — NOT y + 0 * NaN (which would
+// be NaN). The MLP relies on this: a momentum update with a zero
+// coefficient must not corrupt live weights when an overflowed activation
+// left non-finite garbage in the other operand.
+TEST(KernelsTest, AxpyZeroAlphaIgnoresNanAndInfInX) {
+  Rng rng(13);
+  for (size_t n : {1UL, 5UL, 64UL, 255UL}) {
+    std::vector<double> x(n, std::numeric_limits<double>::quiet_NaN());
+    if (n > 1) x[n / 2] = std::numeric_limits<double>::infinity();
+    if (n > 2) x[n - 1] = -std::numeric_limits<double>::infinity();
+    std::vector<double> y = RandomVector(n, &rng);
+    std::vector<double> got = y;
+    AxpyKernel(0.0, x.data(), got.data(), n);
+    EXPECT_EQ(got, y) << "n=" << n;
+    // Both float lanes honor the same contract.
+    std::vector<float> x32(n, std::numeric_limits<float>::quiet_NaN());
+    std::vector<float> y32(n);
+    for (size_t i = 0; i < n; ++i) y32[i] = static_cast<float>(y[i]);
+    std::vector<float> got32 = y32;
+    AxpyKernel(0.0f, x32.data(), got32.data(), n);
+    EXPECT_EQ(got32, y32) << "n=" << n;
+    // A nonzero alpha against NaN x must poison y — the early-out is a
+    // documented special case, not a general NaN filter.
+    AxpyKernel(1.0, x.data(), got.data(), n);
+    EXPECT_TRUE(std::isnan(got[0])) << "n=" << n;
   }
 }
 

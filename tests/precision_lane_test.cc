@@ -1,0 +1,195 @@
+// Tests for the float32 storage/compute lane (data/precision.h): the
+// opted-in components (kNN, MLP, Nystroem, random projection) must stay
+// accurate in f32, be deterministic fit-to-fit within the lane, and the
+// lane must plumb end to end — SessionConfig wire byte -> daemon
+// validation -> EvaluatorOptions -> SetPrecision on every constructed
+// model and FE operator. The f64 lane is covered by the pre-existing
+// golden tests (its arithmetic is byte-identical to the historical code);
+// here we only pin that selecting f64 explicitly matches the default.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "daemon/session.h"
+#include "data/precision.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "fe/transforms.h"
+#include "gtest/gtest.h"
+#include "ipc/messages.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+/// Holdout utility with an optional precision lane applied before Fit.
+double LaneScore(Model* model, NumericPrecision precision,
+                 const Dataset& data, uint64_t seed) {
+  model->SetPrecision(precision);
+  Rng rng(seed);
+  Split split = TrainTestSplit(data, 0.25, &rng);
+  Dataset train = data.Subset(split.train);
+  Dataset test = data.Subset(split.test);
+  Status s = model->Fit(train);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return Utility(test, model->Predict(test.x()));
+}
+
+TEST(PrecisionLaneTest, KnnF32MatchesF64Utility) {
+  Dataset d = MakeBlobs(300, 5, 2, 1.0, 42);
+  KnnModel m64({5, false, 2});
+  KnnModel m32({5, false, 2});
+  double u64 = LaneScore(&m64, NumericPrecision::kFloat64, d, 3);
+  double u32 = LaneScore(&m32, NumericPrecision::kFloat32, d, 3);
+  EXPECT_GT(u32, 0.9);
+  // Blob distances are noise-insensitive: the lanes should agree almost
+  // everywhere, not just both clear a bar.
+  EXPECT_NEAR(u32, u64, 0.05);
+}
+
+TEST(PrecisionLaneTest, KnnF32ManhattanAndWeightedStaySane) {
+  Dataset d = MakeBlobs(240, 4, 3, 1.2, 47);
+  KnnModel m({7, true, 1});
+  EXPECT_GT(LaneScore(&m, NumericPrecision::kFloat32, d, 5), 0.85);
+}
+
+TEST(PrecisionLaneTest, KnnF32RegressionStaysSane) {
+  Dataset d = MakeFriedman1(400, 8, 0.5, 45);
+  KnnModel m64({5, true, 2});
+  KnnModel m32({5, true, 2});
+  double u64 = LaneScore(&m64, NumericPrecision::kFloat64, d, 7);
+  double u32 = LaneScore(&m32, NumericPrecision::kFloat32, d, 7);
+  // Utility is negative MSE for regression; f32 casts move predictions
+  // by rounding noise, not by model quality.
+  EXPECT_NEAR(u32, u64, 0.1 * std::abs(u64) + 0.1);
+}
+
+TEST(PrecisionLaneTest, MlpF32LearnsBlobsAndMoons) {
+  MlpModel::Options o;
+  o.hidden_size = 24;
+  o.max_epochs = 60;
+  {
+    MlpModel m(o, 1);
+    Dataset d = MakeBlobs(300, 5, 2, 1.0, 42);
+    EXPECT_GT(LaneScore(&m, NumericPrecision::kFloat32, d, 9), 0.9);
+  }
+  {
+    MlpModel m(o, 1);
+    Dataset d = MakeMoons(400, 0.15, 28);
+    EXPECT_GT(LaneScore(&m, NumericPrecision::kFloat32, d, 9), 0.85);
+  }
+}
+
+TEST(PrecisionLaneTest, MlpF32RegressionStaysSane) {
+  MlpModel::Options o;
+  o.hidden_size = 32;
+  o.max_epochs = 80;
+  MlpModel m(o, 1);
+  Dataset d = MakeFriedman1(400, 8, 0.5, 45);
+  double u32 = LaneScore(&m, NumericPrecision::kFloat32, d, 11);
+  MlpModel ref(o, 1);
+  double u64 = LaneScore(&ref, NumericPrecision::kFloat64, d, 11);
+  EXPECT_NEAR(u32, u64, 0.25 * std::abs(u64) + 0.25);
+}
+
+// Each lane must be deterministic on its own: fit the same model twice
+// in the same lane and the predictions must agree bit for bit.
+TEST(PrecisionLaneTest, F32FitIsBitStableAcrossRepeatedFits) {
+  Dataset d = MakeBlobs(200, 4, 2, 1.0, 51);
+  MlpModel::Options o;
+  o.hidden_size = 16;
+  o.max_epochs = 20;
+  std::vector<double> first;
+  for (int rep = 0; rep < 2; ++rep) {
+    MlpModel m(o, 7);
+    m.SetPrecision(NumericPrecision::kFloat32);
+    ASSERT_TRUE(m.Fit(d).ok());
+    std::vector<double> pred = m.Predict(d.x());
+    if (rep == 0) {
+      first = pred;
+    } else {
+      EXPECT_EQ(pred, first);
+    }
+  }
+  for (int rep = 0; rep < 2; ++rep) {
+    KnnModel m({5, true, 2});
+    m.SetPrecision(NumericPrecision::kFloat32);
+    ASSERT_TRUE(m.Fit(d).ok());
+    std::vector<double> pred = m.Predict(d.x());
+    if (rep == 0) {
+      first = pred;
+    } else {
+      EXPECT_EQ(pred, first);
+    }
+  }
+}
+
+TEST(PrecisionLaneTest, NystroemF32TracksF64Features) {
+  Dataset d = MakeBlobs(150, 6, 3, 1.5, 61);
+  NystroemRbf op64(20, 0.5, 13);
+  NystroemRbf op32(20, 0.5, 13);
+  op32.SetPrecision(NumericPrecision::kFloat32);
+  ASSERT_TRUE(op64.Fit(d).ok());
+  ASSERT_TRUE(op32.Fit(d).ok());
+  Matrix z64 = op64.Transform(d.x());
+  Matrix z32 = op32.Transform(d.x());
+  ASSERT_EQ(z32.rows(), z64.rows());
+  ASSERT_EQ(z32.cols(), z64.cols());
+  for (size_t i = 0; i < z64.rows(); ++i) {
+    for (size_t j = 0; j < z64.cols(); ++j) {
+      // exp(-gamma d2) in [0, 1]; f32 distances move it by ~1e-5.
+      EXPECT_NEAR(z32(i, j), z64(i, j), 1e-4) << i << "," << j;
+    }
+  }
+  // And the f32 transform itself is bit-stable call to call.
+  Matrix again = op32.Transform(d.x());
+  EXPECT_EQ(again.data(), z32.data());
+}
+
+TEST(PrecisionLaneTest, RandomProjectionF32TracksF64Features) {
+  Dataset d = MakeBlobs(120, 10, 2, 1.0, 71);
+  RandomProjection op64(0.5, 19);
+  RandomProjection op32(0.5, 19);
+  op32.SetPrecision(NumericPrecision::kFloat32);
+  ASSERT_TRUE(op64.Fit(d).ok());
+  ASSERT_TRUE(op32.Fit(d).ok());
+  Matrix z64 = op64.Transform(d.x());
+  Matrix z32 = op32.Transform(d.x());
+  ASSERT_EQ(z32.rows(), z64.rows());
+  ASSERT_EQ(z32.cols(), z64.cols());
+  for (size_t i = 0; i < z64.rows(); ++i) {
+    for (size_t j = 0; j < z64.cols(); ++j) {
+      EXPECT_NEAR(z32(i, j), z64(i, j),
+                  1e-4 * (1.0 + std::abs(z64(i, j))))
+          << i << "," << j;
+    }
+  }
+  Matrix again = op32.Transform(d.x());
+  EXPECT_EQ(again.data(), z32.data());
+}
+
+TEST(PrecisionLaneTest, SessionConfigPrecisionValidatesAndMaps) {
+  SessionConfig config;
+  config.precision = 0;
+  Result<VolcanoMlOptions> f64 = SessionConfigToOptions(config);
+  ASSERT_TRUE(f64.ok());
+  EXPECT_EQ(f64.value().eval.precision, NumericPrecision::kFloat64);
+  config.precision = 1;
+  Result<VolcanoMlOptions> f32 = SessionConfigToOptions(config);
+  ASSERT_TRUE(f32.ok());
+  EXPECT_EQ(f32.value().eval.precision, NumericPrecision::kFloat32);
+  config.precision = 7;
+  EXPECT_FALSE(SessionConfigToOptions(config).ok());
+}
+
+TEST(PrecisionLaneTest, PrecisionNamesAreStable) {
+  EXPECT_STREQ(NumericPrecisionName(NumericPrecision::kFloat64), "f64");
+  EXPECT_STREQ(NumericPrecisionName(NumericPrecision::kFloat32), "f32");
+}
+
+}  // namespace
+}  // namespace volcanoml

@@ -1,0 +1,269 @@
+// Cross-ISA tests for the SIMD kernel backend (data/simd.h): every AVX2
+// kernel is checked against the scalar oracle over deliberately awkward
+// shapes (remainders mod the vector width, empty, single-element,
+// misaligned pointers), and every table is checked for bit-stability —
+// same inputs, same bits, across repeated calls and across buffer
+// alignments. Elementwise kernels (axpy/scale/transpose) must match the
+// oracle bit-for-bit at every level; reductions (dot/sqdist/gemm) may
+// differ within rounding but must be bit-stable per level.
+//
+// The AVX2 half of each test self-skips on machines whose CPU (or build
+// target) has no AVX2+FMA table, so the suite is green everywhere while
+// still pinning the vector paths on CI's release hosts.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "data/aligned.h"
+#include "data/kernels.h"
+#include "data/simd.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace volcanoml {
+namespace {
+
+// Shapes straddling every remainder class of the 4/8/16-lane loops.
+const size_t kShapes[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,  15, 16,
+                          17, 31, 32, 33, 63, 64, 65, 255, 256, 257};
+
+AlignedVector<double> RandomAligned(size_t n, Rng* rng) {
+  AlignedVector<double> v(n);
+  for (double& x : v) x = rng->Uniform(-2.0, 2.0);
+  return v;
+}
+
+AlignedVector<float> ToF32(const AlignedVector<double>& v) {
+  AlignedVector<float> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = static_cast<float>(v[i]);
+  return out;
+}
+
+/// Tolerance for comparing two valid summation orders of a length-n
+/// reduction over O(1) magnitudes.
+double CrossIsaTolerance(size_t n) {
+  return 1e-12 * static_cast<double>(n + 1);
+}
+
+float CrossIsaToleranceF32(size_t n) {
+  return 1e-4f * static_cast<float>(n + 1);
+}
+
+TEST(SimdDispatchTest, ActiveLevelMatchesTableAvailability) {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    EXPECT_NE(Avx2KernelTable(), nullptr);
+  }
+  // The scalar oracle is unconditional.
+  EXPECT_NE(ScalarKernelTable().dot_f64, nullptr);
+  EXPECT_NE(ScalarKernelTable().gemm_trans_b_f32, nullptr);
+}
+
+TEST(SimdDispatchTest, ParseSimdLevelRoundTrips) {
+  EXPECT_EQ(ParseSimdLevel("scalar").value(), SimdLevel::kScalar);
+  EXPECT_EQ(ParseSimdLevel("avx2").value(), SimdLevel::kAvx2);
+  EXPECT_FALSE(ParseSimdLevel("sse9").ok());
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(SimdKernelsTest, DotAvx2MatchesScalarOverEdgeShapes) {
+  const KernelTable* avx2 = Avx2KernelTable();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2 table on this host";
+  Rng rng(21);
+  for (size_t n : kShapes) {
+    AlignedVector<double> a = RandomAligned(n, &rng);
+    AlignedVector<double> b = RandomAligned(n, &rng);
+    double scalar = ScalarKernelTable().dot_f64(a.data(), b.data(), n);
+    double vec = avx2->dot_f64(a.data(), b.data(), n);
+    EXPECT_NEAR(vec, scalar, CrossIsaTolerance(n)) << "n=" << n;
+    AlignedVector<float> a32 = ToF32(a), b32 = ToF32(b);
+    float scalar32 = ScalarKernelTable().dot_f32(a32.data(), b32.data(), n);
+    float vec32 = avx2->dot_f32(a32.data(), b32.data(), n);
+    EXPECT_NEAR(vec32, scalar32, CrossIsaToleranceF32(n)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelsTest, SquaredDistanceAvx2MatchesScalarOverEdgeShapes) {
+  const KernelTable* avx2 = Avx2KernelTable();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2 table on this host";
+  Rng rng(22);
+  for (size_t n : kShapes) {
+    AlignedVector<double> a = RandomAligned(n, &rng);
+    AlignedVector<double> b = RandomAligned(n, &rng);
+    double scalar =
+        ScalarKernelTable().squared_distance_f64(a.data(), b.data(), n);
+    double vec = avx2->squared_distance_f64(a.data(), b.data(), n);
+    EXPECT_NEAR(vec, scalar, CrossIsaTolerance(n)) << "n=" << n;
+  }
+}
+
+// Axpy and Scale never reorder a reduction, so every level must agree
+// with the oracle bit for bit — this is what makes the f64 training
+// loops reproduce identical trajectories under either dispatch level.
+TEST(SimdKernelsTest, AxpyAndScaleAreBitIdenticalAcrossLevels) {
+  const KernelTable* avx2 = Avx2KernelTable();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2 table on this host";
+  Rng rng(23);
+  for (size_t n : kShapes) {
+    AlignedVector<double> x = RandomAligned(n, &rng);
+    AlignedVector<double> y = RandomAligned(n, &rng);
+    AlignedVector<double> scalar_y = y, vec_y = y;
+    ScalarKernelTable().axpy_f64(0.37, x.data(), scalar_y.data(), n);
+    avx2->axpy_f64(0.37, x.data(), vec_y.data(), n);
+    EXPECT_EQ(scalar_y, vec_y) << "axpy n=" << n;
+    AlignedVector<double> scalar_s = x, vec_s = x;
+    ScalarKernelTable().scale_f64(-1.75, scalar_s.data(), n);
+    avx2->scale_f64(-1.75, vec_s.data(), n);
+    EXPECT_EQ(scalar_s, vec_s) << "scale n=" << n;
+    AlignedVector<float> x32 = ToF32(x), y32 = ToF32(y);
+    AlignedVector<float> scalar_y32 = y32, vec_y32 = y32;
+    ScalarKernelTable().axpy_f32(0.37f, x32.data(), scalar_y32.data(), n);
+    avx2->axpy_f32(0.37f, x32.data(), vec_y32.data(), n);
+    EXPECT_EQ(scalar_y32, vec_y32) << "axpy f32 n=" << n;
+  }
+}
+
+// Transpose moves bits without arithmetic: bit-identical by construction.
+TEST(SimdKernelsTest, TransposeIsBitIdenticalAcrossLevels) {
+  const KernelTable* avx2 = Avx2KernelTable();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2 table on this host";
+  Rng rng(24);
+  const size_t shapes[][2] = {{1, 1},  {1, 17}, {17, 1},  {3, 5},
+                              {4, 4},  {5, 3},  {31, 33}, {32, 32},
+                              {33, 31}, {64, 65}};
+  for (const auto& shape : shapes) {
+    size_t rows = shape[0], cols = shape[1];
+    AlignedVector<double> src = RandomAligned(rows * cols, &rng);
+    AlignedVector<double> scalar_dst(rows * cols), vec_dst(rows * cols);
+    ScalarKernelTable().transpose_f64(src.data(), rows, cols,
+                                      scalar_dst.data());
+    avx2->transpose_f64(src.data(), rows, cols, vec_dst.data());
+    EXPECT_EQ(scalar_dst, vec_dst) << rows << "x" << cols;
+  }
+}
+
+TEST(SimdKernelsTest, GemmAvx2MatchesScalarOverEdgeShapes) {
+  const KernelTable* avx2 = Avx2KernelTable();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2 table on this host";
+  Rng rng(25);
+  // Shapes poking the 4-row micro-panel, the 8/16-col strips, and the
+  // k-blocking boundary (kc = 256).
+  const size_t shapes[][3] = {{1, 1, 1},   {1, 7, 2},   {3, 9, 5},
+                              {4, 8, 8},   {5, 17, 9},  {7, 300, 11},
+                              {13, 257, 19}, {32, 64, 24}};
+  for (const auto& shape : shapes) {
+    size_t m = shape[0], k = shape[1], n = shape[2];
+    AlignedVector<double> a = RandomAligned(m * k, &rng);
+    AlignedVector<double> bt = RandomAligned(n * k, &rng);
+    AlignedVector<double> scalar_c(m * n), vec_c(m * n);
+    ScalarKernelTable().gemm_trans_b_f64(a.data(), bt.data(),
+                                         scalar_c.data(), m, k, n);
+    avx2->gemm_trans_b_f64(a.data(), bt.data(), vec_c.data(), m, k, n);
+    for (size_t i = 0; i < m * n; ++i) {
+      EXPECT_NEAR(vec_c[i], scalar_c[i], CrossIsaTolerance(k))
+          << m << "x" << k << "x" << n << " i=" << i;
+    }
+    AlignedVector<float> a32 = ToF32(a), bt32 = ToF32(bt);
+    AlignedVector<float> scalar_c32(m * n), vec_c32(m * n);
+    ScalarKernelTable().gemm_trans_b_f32(a32.data(), bt32.data(),
+                                         scalar_c32.data(), m, k, n);
+    avx2->gemm_trans_b_f32(a32.data(), bt32.data(), vec_c32.data(), m, k,
+                           n);
+    for (size_t i = 0; i < m * n; ++i) {
+      EXPECT_NEAR(vec_c32[i], scalar_c32[i], CrossIsaToleranceF32(k))
+          << "f32 " << m << "x" << k << "x" << n << " i=" << i;
+    }
+  }
+}
+
+// The reductions pick aligned vs unaligned load instructions at runtime,
+// but both loops walk identical lanes in identical order — the RESULT
+// BITS must not depend on where the buffer landed. This pins the
+// contract that lets models hand out interior (unaligned) row pointers
+// without forking the numeric trajectory.
+TEST(SimdKernelsTest, ReductionBitsAreIndependentOfAlignment) {
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+    const KernelTable* table = level == SimdLevel::kScalar
+                                   ? &ScalarKernelTable()
+                                   : Avx2KernelTable();
+    if (table == nullptr) continue;
+    Rng rng(26);
+    const size_t n = 301;
+    // One aligned buffer and three progressively misaligned copies of
+    // the same values (offset by 1, 3, 5 doubles from a 64-byte base).
+    AlignedVector<double> base_a = RandomAligned(n + 8, &rng);
+    AlignedVector<double> base_b = RandomAligned(n + 8, &rng);
+    double aligned_dot = table->dot_f64(base_a.data(), base_b.data(), n);
+    double aligned_sq =
+        table->squared_distance_f64(base_a.data(), base_b.data(), n);
+    for (size_t off : {1UL, 3UL, 5UL}) {
+      AlignedVector<double> shift_a(n + 8), shift_b(n + 8);
+      for (size_t i = 0; i < n; ++i) {
+        shift_a[off + i] = base_a[i];
+        shift_b[off + i] = base_b[i];
+      }
+      EXPECT_EQ(table->dot_f64(shift_a.data() + off, shift_b.data() + off, n),
+                aligned_dot)
+          << SimdLevelName(level) << " off=" << off;
+      EXPECT_EQ(table->squared_distance_f64(shift_a.data() + off,
+                                            shift_b.data() + off, n),
+                aligned_sq)
+          << SimdLevelName(level) << " off=" << off;
+    }
+  }
+}
+
+// Every (level, precision) pair must be bit-stable: same inputs, same
+// bits, call after call. This is the acceptance bar each lane's
+// trajectories rest on.
+TEST(SimdKernelsTest, EveryTableIsBitStableAcrossRepeatedCalls) {
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+    const KernelTable* table = level == SimdLevel::kScalar
+                                   ? &ScalarKernelTable()
+                                   : Avx2KernelTable();
+    if (table == nullptr) continue;
+    Rng rng(27);
+    const size_t n = 257;
+    AlignedVector<double> a = RandomAligned(n, &rng);
+    AlignedVector<double> b = RandomAligned(n, &rng);
+    AlignedVector<float> a32 = ToF32(a), b32 = ToF32(b);
+    double dot0 = table->dot_f64(a.data(), b.data(), n);
+    float dot0_32 = table->dot_f32(a32.data(), b32.data(), n);
+    double sq0 = table->squared_distance_f64(a.data(), b.data(), n);
+    const size_t m = 9, gn = 7;
+    AlignedVector<double> ga = RandomAligned(m * n, &rng);
+    AlignedVector<double> gbt = RandomAligned(gn * n, &rng);
+    AlignedVector<double> c0(m * gn);
+    table->gemm_trans_b_f64(ga.data(), gbt.data(), c0.data(), m, n, gn);
+    for (int rep = 0; rep < 5; ++rep) {
+      EXPECT_EQ(table->dot_f64(a.data(), b.data(), n), dot0)
+          << SimdLevelName(level);
+      EXPECT_EQ(table->dot_f32(a32.data(), b32.data(), n), dot0_32)
+          << SimdLevelName(level);
+      EXPECT_EQ(table->squared_distance_f64(a.data(), b.data(), n), sq0)
+          << SimdLevelName(level);
+      AlignedVector<double> c(m * gn);
+      table->gemm_trans_b_f64(ga.data(), gbt.data(), c.data(), m, n, gn);
+      EXPECT_EQ(c, c0) << SimdLevelName(level);
+    }
+  }
+}
+
+// The public kernels and the active table are the same functions: the
+// dispatch layer must add no indirection surprises.
+TEST(SimdKernelsTest, PublicKernelsRouteThroughActiveTable) {
+  Rng rng(28);
+  const size_t n = 133;
+  AlignedVector<double> a = RandomAligned(n, &rng);
+  AlignedVector<double> b = RandomAligned(n, &rng);
+  EXPECT_EQ(DotKernel(a.data(), b.data(), n),
+            ActiveKernelTable().dot_f64(a.data(), b.data(), n));
+  AlignedVector<float> a32 = ToF32(a), b32 = ToF32(b);
+  EXPECT_EQ(SquaredDistanceKernel(a32.data(), b32.data(), n),
+            ActiveKernelTable().squared_distance_f32(a32.data(), b32.data(),
+                                                     n));
+}
+
+}  // namespace
+}  // namespace volcanoml

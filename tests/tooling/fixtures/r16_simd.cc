@@ -1,0 +1,35 @@
+// expect: R16-simd
+// SIMD intrinsics, intrinsic headers and CPUID probing outside
+// src/data/simd*: the runtime-dispatched kernel backend is the only
+// audited owner of ISA-specific code. A stray intrinsic elsewhere
+// bypasses the dispatch table, so VOLCANOML_SIMD=scalar would no longer
+// pin every bit the library produces and the scalar oracle would stop
+// covering the full numeric surface. Fixtures are never compiled, so
+// the include and the intrinsic calls below are purely lexical.
+
+#include <immintrin.h>  // R16: intrinsic header outside src/data/simd*
+
+namespace volcanoml {
+
+double UnDispatchedDot(const double* a, const double* b, int n) {
+  __m256d acc = _mm256_setzero_pd();  // R16: vector type + intrinsic
+  for (int i = 0; i + 4 <= n; i += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                          acc);  // R16: intrinsics outside the backend
+  }
+  double lane[4];
+  _mm256_storeu_pd(lane, acc);  // R16: intrinsic outside the backend
+  return lane[0] + lane[1] + lane[2] + lane[3];
+}
+
+bool PerCallSiteCpuProbe() {
+  // R16: CPUID must resolve once in the dispatch layer, not per call.
+  return __builtin_cpu_supports("avx2");
+}
+
+// Negative cases: an identifier that merely shares an intrinsic
+// header's name must not fire — only the include spelling does.
+int immintrin = 3;
+int UsesThePlainIdentifier() { return immintrin; }
+
+}  // namespace volcanoml

@@ -109,6 +109,7 @@ TEST(WorkerProtocolTest, InitMessageShipsDatasetBitExactly) {
   init.space = SmallSpace();
   init.eval.cv_folds = 3;
   init.eval.seed = 42;
+  init.eval.precision = NumericPrecision::kFloat32;
   init.data = MakeBlobs(40, 3, 2, 1.5, 9);
   init.has_injector = true;
   init.injector.fail_fraction = 0.125;
@@ -121,6 +122,7 @@ TEST(WorkerProtocolTest, InitMessageShipsDatasetBitExactly) {
   EXPECT_EQ(got.space.preset, init.space.preset);
   EXPECT_EQ(got.eval.cv_folds, init.eval.cv_folds);
   EXPECT_EQ(got.eval.seed, init.eval.seed);
+  EXPECT_EQ(got.eval.precision, init.eval.precision);
   EXPECT_TRUE(got.has_injector);
   EXPECT_EQ(got.injector.fail_fraction, init.injector.fail_fraction);
   EXPECT_EQ(got.injector.seed, init.injector.seed);

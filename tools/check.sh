@@ -3,7 +3,7 @@
 # analysis gates"). Runs, in order:
 #
 #   1. tools/lint.py                    repo-invariant lint
-#   2. tools/determinism_check.py       determinism rules R10-R13
+#   2. tools/determinism_check.py       determinism rules R10-R16
 #   3. release preset                   configure + build (-Werror) + ctest
 #   4. asan-ubsan preset                ASan+UBSan build + ctest
 #   5. tsan preset                      TSan build + ctest

@@ -47,6 +47,16 @@ complementing the runtime bit-equality tests:
                       bypasses the supervisor's reaping, retry and
                       circuit-breaker logic and can leak zombies or
                       orphan workers.
+  R16 simd            SIMD intrinsics and CPUID probing (identifiers
+                      with the _mm/__m128/__m256/__m512 prefixes,
+                      #include <immintrin.h> and friends,
+                      __builtin_cpu_* / __builtin_ia32_*) are confined
+                      to src/data/simd* — the runtime-dispatched kernel
+                      backend. Everywhere else calls the dispatching
+                      kernels (data/kernels.h), so the scalar oracle
+                      table always covers the full numeric surface and
+                      forcing VOLCANOML_SIMD=scalar pins every bit the
+                      library produces.
 
 Waivers: append `// NOLINT-determinism(reason)` to the offending line.
 Waived lines are suppressed but inventoried in the report, so every
@@ -116,6 +126,17 @@ PROCESS_ALLOWED_PREFIX = "src/worker/"
 PROCESS_NAMES = ("fork", "vfork", "execv", "execve", "execvp", "execvpe",
                  "execl", "execle", "execlp", "kill", "waitpid", "wait",
                  "wait3", "wait4", "posix_spawn", "posix_spawnp")
+
+# R16: intrinsics/CPUID confined to the SIMD kernel backend. The prefix
+# covers data/simd.h, simd.cc, and every simd_<isa>.cc translation unit.
+SIMD_ALLOWED_PREFIX = "src/data/simd"
+INTRIN_HEADERS = ("immintrin", "x86intrin", "xmmintrin", "emmintrin",
+                  "pmmintrin", "tmmintrin", "smmintrin", "nmmintrin",
+                  "wmmintrin", "ammintrin", "arm_neon", "arm_sve")
+SIMD_IDENT_PREFIXES = ("_mm", "__m64", "__m128", "__m256", "__m512",
+                       "__builtin_ia32")
+CPU_PROBE_BUILTINS = ("__builtin_cpu_supports", "__builtin_cpu_init",
+                      "__builtin_cpu_is")
 
 # R10: snapshot key primitives and aggregate helpers whose first string
 # argument is the key.
@@ -534,6 +555,45 @@ def check_process_syscalls(scan: FileScan, report: Report):
             "and restart storms are handled in one audited place")
 
 
+def check_simd_confinement(scan: FileScan, report: Report):
+    """R16: intrinsics, intrinsic headers and CPUID probing outside
+    src/data/simd*."""
+    if scan.rel.startswith(SIMD_ALLOWED_PREFIX):
+        return
+    tokens = scan.tokens
+    for i, t in enumerate(tokens):
+        if t.kind != "ident":
+            continue
+        text = t.text
+        if text in INTRIN_HEADERS:
+            # Only the include spelling `#include <immintrin.h>` fires; a
+            # plain identifier that happens to share the name does not.
+            prev = tokens[i - 1].text if i > 0 else ""
+            before = tokens[i - 2].text if i > 1 else ""
+            if prev == "<" and before == "include":
+                report.add(
+                    scan, t.line, "R16-simd",
+                    f"#include <{text}.h> outside src/data/simd*; "
+                    "intrinsics live behind the dispatching kernels "
+                    "(data/kernels.h) so the scalar oracle covers the "
+                    "full numeric surface")
+            continue
+        if text in CPU_PROBE_BUILTINS:
+            report.add(
+                scan, t.line, "R16-simd",
+                f"{text} outside src/data/simd*; CPUID-dependent "
+                "behavior must resolve once in the kernel dispatch "
+                "layer (data/simd.h), never per call site")
+            continue
+        if text.startswith(SIMD_IDENT_PREFIXES):
+            report.add(
+                scan, t.line, "R16-simd",
+                f"SIMD intrinsic/vector-type `{text}` outside "
+                "src/data/simd*; call the dispatching kernels "
+                "(data/kernels.h) so VOLCANOML_SIMD=scalar still pins "
+                "every bit the library produces")
+
+
 def extract_snapshot_keys(tokens: list[Token], start: int,
                           end: int) -> set[str]:
     """Quoted keys passed to snapshot primitives inside [start, end)."""
@@ -749,6 +809,7 @@ def main() -> int:
         check_nondet_sources(scan, report)
         check_raw_syscalls(scan, report)
         check_process_syscalls(scan, report)
+        check_simd_confinement(scan, report)
     check_snapshot_pairs(scans, report)
 
     for v in report.violations:
