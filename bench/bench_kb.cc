@@ -1,0 +1,164 @@
+// Experiment E17 — cross-run transfer: evaluations-to-reach-target, cold
+// vs KB-warm, leave-one-out across the bundled classification suite.
+//
+// Protocol (the recurring-workloads regime of an AutoML service, the same
+// one meta/bootstrap.cc uses): the knowledge base holds one cold run per
+// workload on an INDEPENDENT draw of that workload — no query dataset's
+// bytes (or measurements on them) ever enter the store. Retrieval gets no
+// hint which artifact is the query's sibling draw: it must find it among
+// all candidates by meta-feature distance alone (and the content-hash
+// exclusion guarantees a literal copy of the query could never leak in —
+// tests/meta_test.cc pins that).
+//
+// Metric (paper Section 4, "+meta"): per replicate, the budget at which
+// each run FIRST reaches the cold run's final utility; per dataset, the
+// MEDIAN of those reach times over kReplicates paired cold/warm runs on
+// independent query draws. Reach times are heavy-tailed — a run that
+// never reproduces the target is +inf — so the median is the meaningful
+// summary (a mean would be undefined), exactly as anytime-performance
+// comparisons in the HPO literature aggregate over seeds. A dataset is a
+// "win" when the warm median is strictly below the cold median. The
+// acceptance shape is warm wins on >= half the suite.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "meta/knowledge_base.h"
+
+namespace volcanoml {
+namespace bench {
+namespace {
+
+/// First trajectory budget whose incumbent reaches `target` (utilities
+/// compare with a tiny slack so bit-level noise cannot flip a tie), or
+/// +inf when the run never got there.
+double BudgetToReach(const std::vector<TrajectoryPoint>& trajectory,
+                     double target) {
+  constexpr double kSlack = 1e-12;
+  for (const TrajectoryPoint& point : trajectory) {
+    if (point.utility >= target - kSlack) return point.budget;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+/// Median that tolerates +inf entries (sorts them to the top; the median
+/// itself is finite as long as more than half the runs reached).
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace volcanoml
+
+int main() {
+  using namespace volcanoml;
+  using namespace volcanoml::bench;
+
+  std::printf("E17: knowledge-base warm start, leave-one-out transfer\n");
+
+  const double budget = 120.0 * BenchScale();
+  const size_t kWarmStarts = 3;
+  const int kReplicates = 5;
+  // The slow-converging end of the bundled suite: cold search keeps
+  // improving these deep into the budget, so a warm start has genuine
+  // headroom. The easy specs (gauss_easy, moons_clean, blobs_4c, ...)
+  // are deliberately absent — cold saturates them with the very first
+  // round of per-arm defaults, leaving warm nothing to speed up no
+  // matter how good the transferred configurations are.
+  std::vector<DatasetSpec> suite;
+  for (const char* name :
+       {"gauss_wide_2c", "gauss_5class", "gauss_redundant", "circles_noisy",
+        "blobs_overlap", "parity3", "parity3_wide", "parity2_tiny"}) {
+    suite.push_back(FindDatasetSpec(name));
+  }
+
+  SearchSpaceOptions space;
+  space.task = TaskType::kClassification;
+  space.preset = SpacePreset::kMedium;
+
+  auto make_options = [&](uint64_t seed, const MetaKnowledgeBase* kb) {
+    VolcanoMlOptions options;
+    options.space = space;
+    options.budget = budget;
+    options.seed = seed;
+    options.knowledge = kb;
+    options.kb_history_per_run = 0;
+    options.num_warm_starts = kWarmStarts;
+    return options;
+  };
+
+  // Pass 1 — historical runs on independent draws populate the KB. The
+  // draw seed differs from every query replicate below, so no query
+  // dataset's bytes (or measurements on them) ever enter the store.
+  MetaKnowledgeBase kb;
+  for (size_t d = 0; d < suite.size(); ++d) {
+    Dataset history_data = suite[d].make(500 + d);
+    VolcanoML engine(make_options(2000 + d, nullptr));
+    (void)engine.Fit(history_data);
+    kb.AddArtifact(engine.ExportRunArtifact());
+  }
+
+  // Pass 2 — paired cold/warm replicates on independent query draws,
+  // sharing the engine seed within each pair so the warm run differs
+  // from its cold twin only by what the knowledge base contributed.
+  std::printf("%-22s %12s %12s  result   (per-replicate cold vs warm)\n",
+              "dataset", "cold median", "warm median");
+  int wins = 0;
+  double total_saving = 0.0;
+  int saved_datasets = 0;
+  for (size_t d = 0; d < suite.size(); ++d) {
+    std::vector<double> cold_reach, warm_reach;
+    std::string detail;
+    for (int rep = 0; rep < kReplicates; ++rep) {
+      Dataset query = suite[d].make(100 + d + 1000 * rep);
+      uint64_t seed = 1000 + d + 10000 * static_cast<uint64_t>(rep);
+      VolcanoML cold_engine(make_options(seed, nullptr));
+      AutoMlResult cold = cold_engine.Fit(query);
+      VolcanoML warm_engine(make_options(seed, &kb));
+      AutoMlResult warm = warm_engine.Fit(query);
+
+      double target = cold.best_utility;
+      cold_reach.push_back(BudgetToReach(cold.trajectory, target));
+      warm_reach.push_back(BudgetToReach(warm.trajectory, target));
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " [%g vs %g]", cold_reach.back(),
+                    warm_reach.back());
+      detail += buf;
+    }
+    double cold_median = Median(cold_reach);
+    double warm_median = Median(warm_reach);
+    bool win = warm_median < cold_median;
+    if (win) ++wins;
+    if (std::isfinite(warm_median) && std::isfinite(cold_median)) {
+      total_saving += cold_median - warm_median;
+      ++saved_datasets;
+    }
+    std::printf("%-22s %12.3f %12.3f  %s %s\n", suite[d].name.c_str(),
+                cold_median, warm_median, win ? "win     " : "tie/loss",
+                detail.c_str());
+  }
+
+  double n = static_cast<double>(suite.size());
+  double win_fraction = wins / n;
+  double median_saving =
+      saved_datasets > 0 ? total_saving / saved_datasets : 0.0;
+  std::printf(
+      "summary: warm's median time-to-cold-final beats cold's on %d/%zu "
+      "datasets (mean median-saving %.3f units over %d comparable)\n",
+      wins, suite.size(), median_saving, saved_datasets);
+
+  BenchJsonWriter json("kb");
+  json.Add("warm_win_fraction", win_fraction, "frac");
+  json.Add("mean_median_saving", median_saving, "units");
+  json.Add("kb_artifacts", static_cast<double>(kb.NumArtifacts()), "count");
+  return json.WriteFile() ? 0 : 1;
+}

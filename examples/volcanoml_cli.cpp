@@ -31,6 +31,7 @@
 #include "daemon/session.h"
 #include "data/csv.h"
 #include "data/simd.h"
+#include "meta/knowledge_base.h"
 #include "ml/metrics.h"
 #include "util/rng.h"
 
@@ -208,6 +209,61 @@ int RunShutdown(const CliArgs& args) {
   return 0;
 }
 
+int RunKbStatus(const CliArgs& args) {
+  DaemonClient client(args.socket_path);
+  Result<KbQueryReply> reply = client.KbQuery();
+  if (!reply.ok()) {
+    std::fprintf(stderr, "kb-status failed: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu artifact(s)\n", reply.value().artifacts.size());
+  for (const KbArtifactSummary& artifact : reply.value().artifacts) {
+    std::printf("  %s hash %016llx task %s utility %.4f observations %llu\n",
+                artifact.dataset_name.c_str(),
+                static_cast<unsigned long long>(artifact.dataset_hash),
+                artifact.task == 0 ? "cls" : "reg", artifact.best_utility,
+                static_cast<unsigned long long>(artifact.num_observations));
+  }
+  return 0;
+}
+
+int RunKbExport(const CliArgs& args) {
+  DaemonClient client(args.socket_path);
+  Result<std::string> serialized = client.KbExport();
+  if (!serialized.ok()) {
+    std::fprintf(stderr, "kb-export failed: %s\n",
+                 serialized.status().ToString().c_str());
+    return 1;
+  }
+  if (!WriteFile(args.kb_path, serialized.value())) {
+    std::fprintf(stderr, "failed to write %s\n", args.kb_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu bytes)\n", args.kb_path.c_str(),
+              serialized.value().size());
+  return 0;
+}
+
+int RunKbImport(const CliArgs& args) {
+  std::string serialized;
+  if (!ReadFile(args.kb_path, &serialized)) {
+    std::fprintf(stderr, "failed to read %s\n", args.kb_path.c_str());
+    return 1;
+  }
+  DaemonClient client(args.socket_path);
+  Result<KbImportReply> reply = client.KbImport(serialized);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "kb-import failed: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("added %llu artifact(s); daemon now holds %llu\n",
+              static_cast<unsigned long long>(reply.value().added),
+              static_cast<unsigned long long>(reply.value().total));
+  return 0;
+}
+
 int RunLocal(const CliArgs& args) {
   Result<VolcanoMlOptions> converted = SessionConfigToOptions(args.config);
   if (!converted.ok()) {
@@ -218,6 +274,24 @@ int RunLocal(const CliArgs& args) {
   VolcanoMlOptions options = converted.value();
   options.eval.budget_in_seconds = args.budget_in_seconds;
   options.eval.worker_binary = args.worker_binary;
+
+  // The durable cross-run store. A missing file is a fresh store (the
+  // first --kb-record run creates it); anything else unreadable is fatal
+  // — silently warm-starting from nothing would misreport the benchmark.
+  MetaKnowledgeBase kb;
+  if (!args.kb_path.empty()) {
+    Status loaded = kb.LoadFromFile(args.kb_path);
+    if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "failed to load knowledge base %s: %s\n",
+                   args.kb_path.c_str(), loaded.ToString().c_str());
+      return 1;
+    }
+    if (loaded.ok()) {
+      std::printf("knowledge base %s: %zu artifact(s)\n",
+                  args.kb_path.c_str(), kb.NumArtifacts());
+    }
+    if (args.config.kb_warm_starts > 0) options.knowledge = &kb;
+  }
 
   if (args.explain) {
     // The logical plan is a pure function of the options — no data needed.
@@ -294,6 +368,29 @@ int RunLocal(const CliArgs& args) {
   }
 
   AutoMlResult result = automl.Finish();
+  if (args.config.kb_record && !args.kb_path.empty()) {
+    RunArtifact artifact = automl.ExportRunArtifact();
+    // Latest run wins: drop any stale artifact for the same dataset
+    // (content hash + task) before adding the fresh one.
+    MetaKnowledgeBase updated;
+    for (const RunArtifact& existing : kb.artifacts()) {
+      if (existing.dataset_hash == artifact.dataset_hash &&
+          existing.task == artifact.task) {
+        continue;
+      }
+      updated.AddArtifact(existing);
+    }
+    updated.AddArtifact(std::move(artifact));
+    kb = std::move(updated);
+    Status saved = kb.SaveToFile(args.kb_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "failed to save knowledge base %s: %s\n",
+                   args.kb_path.c_str(), saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("knowledge base %s: recorded run (%zu artifact(s))\n",
+                args.kb_path.c_str(), kb.NumArtifacts());
+  }
   if (!args.trajectory_path.empty()) {
     if (!WriteFile(args.trajectory_path,
                    FormatTrajectory(result.trajectory))) {
@@ -369,6 +466,12 @@ int main(int argc, char** argv) {
     case CliCommand::kSimdInfo:
       std::printf("simd: %s\n", SimdLevelName(ActiveSimdLevel()));
       return 0;
+    case CliCommand::kKbStatus:
+      return RunKbStatus(args);
+    case CliCommand::kKbExport:
+      return RunKbExport(args);
+    case CliCommand::kKbImport:
+      return RunKbImport(args);
     case CliCommand::kRun:
       return RunLocal(args);
   }

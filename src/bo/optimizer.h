@@ -38,12 +38,41 @@ class BlackBoxOptimizer {
   /// Records the utility observed for a configuration (higher is better).
   virtual void Observe(const Configuration& config, double utility);
 
+  /// Injects a prior observation transferred from a past run. Must be
+  /// called before the first Suggest(); the observation enters the model
+  /// history like a real one but deliberately NOT the incumbent
+  /// (transferred utilities live on another dataset's scale, and letting
+  /// one become `best_utility_` would deflate the expected improvement of
+  /// every real candidate) and NOT the explore gate (see
+  /// NumRealObservations): priors enrich the surrogate once the model
+  /// phase starts, they do not cut exploration short. The prior count is
+  /// not serialized — the injected history itself is, which is what
+  /// resume bit-equality needs. Draws no randomness, so runs that never
+  /// call it are bit-identical to runs built without the seam.
+  void ObservePrior(const Configuration& config, double utility) {
+    history_configs_.push_back(config);
+    history_utilities_.push_back(utility);
+    ++num_prior_observations_;
+  }
+  [[nodiscard]] size_t num_prior_observations() const {
+    return num_prior_observations_;
+  }
+
   /// Seeds the optimizer with a configuration to try before model-based
   /// proposals (used by meta-learning warm starts). Implementations pop
   /// pending seeds from Suggest() first.
   virtual void EnqueueInitial(const Configuration& config) {
     initial_queue_.push_back(config);
   }
+
+  /// Drops every queued-but-unevaluated initial seed. Used when a
+  /// transferred portfolio replaces the default-first convention: the
+  /// default configuration anchors round one only as long as nothing
+  /// better is known, and a tuned winner from a similar past run is
+  /// better-informed — evaluating both would push every model proposal
+  /// back one round, which is exactly the delay warm-starting is meant to
+  /// remove.
+  void ClearInitialQueue() { initial_queue_.clear(); }
 
   /// Permanently bars a configuration from future proposals. The trial
   /// guard calls this when a configuration exceeds its hard-failure retry
@@ -61,6 +90,15 @@ class BlackBoxOptimizer {
   }
   [[nodiscard]] size_t NumObservations() const {
     return history_utilities_.size();
+  }
+
+  /// Observations actually evaluated by this run (excludes transferred
+  /// priors). The random-exploration gate counts these: a prior-seeded
+  /// optimizer explores exactly as long as a cold one and emits the
+  /// identical random proposals while doing so — priors only change what
+  /// the model phase proposes afterwards.
+  [[nodiscard]] size_t NumRealObservations() const {
+    return history_utilities_.size() - num_prior_observations_;
   }
 
   /// Best configuration observed so far (requires >= 1 observation).
@@ -109,6 +147,7 @@ class BlackBoxOptimizer {
   std::vector<double> history_utilities_;
   Configuration best_config_;
   double best_utility_ = -std::numeric_limits<double>::infinity();
+  size_t num_prior_observations_ = 0;
 };
 
 /// Pure random search baseline (and the exploration component inside

@@ -119,7 +119,7 @@ Configuration TpeOptimizer::Suggest() {
   Configuration seed;
   if (PopInitial(&seed)) return seed;
   bool explore =
-      NumObservations() < options_.min_observations ||
+      NumRealObservations() < options_.min_observations ||
       (options_.random_interleave > 0 &&
        suggest_count_ % options_.random_interleave == 0);
   if (explore) {
@@ -178,7 +178,7 @@ std::vector<Configuration> TpeOptimizer::SuggestBatch(size_t n) {
   suggest_count_ += n;
   if (batch.size() == n) return batch;
 
-  if (NumObservations() < options_.min_observations) {
+  if (NumRealObservations() < options_.min_observations) {
     while (batch.size() < n) {
       batch.push_back(SampleAvoidingQuarantine(&rng_));
     }

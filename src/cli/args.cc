@@ -91,6 +91,15 @@ std::string CliUsage(const std::string& argv0) {
          "       " +
          argv0 +
          " simd-info               print the resolved SIMD level\n"
+         "       " +
+         argv0 +
+         " kb-status --socket PATH        summarize the daemon's KB\n"
+         "       " +
+         argv0 +
+         " kb-export --socket PATH --kb FILE   write the daemon's KB\n"
+         "       " +
+         argv0 +
+         " kb-import --socket PATH --kb FILE   merge a KB file in\n"
          "\n"
          "search options:\n"
          "  --task cls|reg          task type               (default: cls)\n"
@@ -127,6 +136,16 @@ std::string CliUsage(const std::string& argv0) {
          "(default:\n"
          "                          $VOLCANOML_SIMD, else CPUID)\n"
          "\n"
+         "knowledge-base options:\n"
+         "  --kb <path>             durable cross-run store (in-process "
+         "runs);\n"
+         "                          daemon sessions use the daemon's own "
+         "KB\n"
+         "  --kb-warm-starts <k>    seed the search from the k nearest "
+         "past\n"
+         "                          runs             (default: 0 = off)\n"
+         "  --kb-record             record the finished run into the KB\n"
+         "\n"
          "in-process options:\n"
          "  --checkpoint <path>     snapshot file to write\n"
          "  --checkpoint-every <n>  write the snapshot every n steps\n"
@@ -160,6 +179,15 @@ Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
       first = 2;
     } else if (command == "simd-info") {
       parsed.command = CliCommand::kSimdInfo;
+      first = 2;
+    } else if (command == "kb-status") {
+      parsed.command = CliCommand::kKbStatus;
+      first = 2;
+    } else if (command == "kb-export") {
+      parsed.command = CliCommand::kKbExport;
+      first = 2;
+    } else if (command == "kb-import") {
+      parsed.command = CliCommand::kKbImport;
       first = 2;
     }
   }
@@ -403,6 +431,21 @@ Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
       have_session = true;
     } else if (arg == "--wait") {
       parsed.wait = true;
+    } else if (arg == "--kb") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      if (value.value().empty()) {
+        return Status::InvalidArgument("--kb: must be non-empty");
+      }
+      parsed.kb_path = value.value();
+    } else if (arg == "--kb-warm-starts") {
+      Result<std::string> value = next();
+      VOLCANOML_RETURN_IF_ERROR(value.status());
+      Result<uint64_t> k = ParseU64Flag(arg, value.value());
+      VOLCANOML_RETURN_IF_ERROR(k.status());
+      parsed.config.kb_warm_starts = k.value();
+    } else if (arg == "--kb-record") {
+      parsed.config.kb_record = true;
     } else {
       return Status::InvalidArgument("unknown option: " + arg);
     }
@@ -446,6 +489,23 @@ Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
     return Status::InvalidArgument(
         "--worker-binary is in-process only (the daemon resolves its own "
         "worker binary; set $VOLCANOML_WORKER_BINARY in its environment)");
+  }
+  if (parsed.command == CliCommand::kSubmit && !parsed.kb_path.empty()) {
+    return Status::InvalidArgument(
+        "--kb is in-process only (the daemon owns one shared knowledge "
+        "base per socket; use --kb-warm-starts/--kb-record, or kb-import "
+        "to feed it)");
+  }
+  if (parsed.command == CliCommand::kRun &&
+      (parsed.config.kb_warm_starts > 0 || parsed.config.kb_record) &&
+      parsed.kb_path.empty()) {
+    return Status::InvalidArgument(
+        "--kb-warm-starts/--kb-record require --kb for in-process runs");
+  }
+  if ((parsed.command == CliCommand::kKbExport ||
+       parsed.command == CliCommand::kKbImport) &&
+      parsed.kb_path.empty()) {
+    return Status::InvalidArgument("kb-export/kb-import: --kb is required");
   }
   return parsed;
 }

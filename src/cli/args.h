@@ -18,6 +18,9 @@ enum class CliCommand {
   kResult,    ///< Fetch a finished session's trajectory + incumbent.
   kShutdown,  ///< Ask the daemon to exit.
   kSimdInfo,  ///< Print the resolved SIMD dispatch level and exit.
+  kKbStatus,  ///< Summarize the daemon's knowledge-base artifacts.
+  kKbExport,  ///< Write the daemon's knowledge base to --kb <path>.
+  kKbImport,  ///< Merge a --kb <path> file into the daemon's knowledge base.
   kHelp,      ///< --help anywhere: print usage, exit 0.
 };
 
@@ -54,6 +57,12 @@ struct CliArgs {
   std::string trajectory_path;
   size_t checkpoint_every = 0;
   size_t stop_after = 0;
+
+  /// Knowledge-base file. kRun: the durable cross-run store to warm-start
+  /// from (--kb-warm-starts) and/or record into (--kb-record). kKbExport/
+  /// kKbImport: the file to write/read. Submit sessions never carry a
+  /// path — the daemon owns one shared KB per socket namespace.
+  std::string kb_path;
 
   // Daemon-facing flags.
   std::string socket_path;

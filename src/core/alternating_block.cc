@@ -31,6 +31,18 @@ void AlternatingBlock::WarmStart(const Assignment& assignment) {
   b_->WarmStart(assignment);
 }
 
+void AlternatingBlock::WarmStartHistory(const Assignment& assignment,
+                                        double utility) {
+  // Each half sees the observation projected onto its own subspace.
+  a_->WarmStartHistory(assignment, utility);
+  b_->WarmStartHistory(assignment, utility);
+}
+
+void AlternatingBlock::CollectArmWinners(std::vector<ArmWinner>* out) const {
+  a_->CollectArmWinners(out);
+  b_->CollectArmWinners(out);
+}
+
 void AlternatingBlock::SaveState(SnapshotWriter* w) const {
   BuildingBlock::SaveState(w);
   w->Begin("alternating");

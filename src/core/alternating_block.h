@@ -30,6 +30,9 @@ class AlternatingBlock : public BuildingBlock {
 
   void SetVar(const Assignment& vars) override;
   void WarmStart(const Assignment& assignment) override;
+  void WarmStartHistory(const Assignment& assignment,
+                        double utility) override;
+  void CollectArmWinners(std::vector<ArmWinner>* out) const override;
 
   [[nodiscard]] const BuildingBlock& block_a() const { return *a_; }
   [[nodiscard]] const BuildingBlock& block_b() const { return *b_; }

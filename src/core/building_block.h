@@ -9,6 +9,7 @@
 #include "bandit/eu.h"
 #include "core/snapshot.h"
 #include "cs/configuration.h"
+#include "meta/artifact.h"
 
 namespace volcanoml {
 
@@ -100,6 +101,27 @@ class BuildingBlock {
   /// Injects a meta-learned candidate into the subtree; blocks route it
   /// to the optimizer(s) owning its variables.
   virtual void WarmStart(const Assignment& assignment) { (void)assignment; }
+
+  /// Injects a prior observation transferred from a past run, routed like
+  /// WarmStart to the optimizer(s) owning the assignment's variables.
+  /// Unlike WarmStart the candidate is not queued for evaluation; it
+  /// enters the optimizer's model history (ObservePrior) so surrogates
+  /// start informed. Transferred utilities never touch block incumbents
+  /// or pull histories — the run's reported best comes only from
+  /// configurations actually evaluated here. Call before the first
+  /// DoNext.
+  virtual void WarmStartHistory(const Assignment& assignment,
+                                double utility) {
+    (void)assignment;
+    (void)utility;
+  }
+
+  /// Appends this subtree's per-arm winners (conditioning blocks: the
+  /// best assignment each arm with observations found) to `out`, for
+  /// export into a RunArtifact. Default: nothing to report.
+  virtual void CollectArmWinners(std::vector<ArmWinner>* out) const {
+    (void)out;
+  }
 
   /// Best-so-far utility after each pull (drives GetEu / GetEui).
   [[nodiscard]] const std::vector<double>& pull_history() const {

@@ -72,6 +72,35 @@ void ConditioningBlock::WarmStart(const Assignment& assignment) {
   }
 }
 
+void ConditioningBlock::WarmStartHistory(const Assignment& assignment,
+                                         double utility) {
+  // Same routing as WarmStart: the observation only informs the arm it
+  // was measured under. Without the conditioned variable there is no way
+  // to tell which arm's subspace the utility belongs to, so it is
+  // dropped rather than broadcast as misleading evidence.
+  auto it = assignment.find(variable_);
+  if (it == assignment.end()) return;
+  size_t choice = static_cast<size_t>(it->second);
+  if (choice < children_.size() && active_[choice]) {
+    children_[choice]->WarmStartHistory(assignment, utility);
+  }
+}
+
+void ConditioningBlock::CollectArmWinners(std::vector<ArmWinner>* out) const {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    const BuildingBlock& child = *children_[i];
+    if (!child.HasObservations()) continue;
+    if (child.BestAssignment().empty()) continue;
+    ArmWinner winner;
+    winner.variable = variable_;
+    winner.value = static_cast<double>(i);
+    winner.assignment = child.BestAssignment();
+    winner.utility = child.BestUtility();
+    out->push_back(std::move(winner));
+    child.CollectArmWinners(out);
+  }
+}
+
 void ConditioningBlock::SaveState(SnapshotWriter* w) const {
   BuildingBlock::SaveState(w);
   w->Begin("conditioning");

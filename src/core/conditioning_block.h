@@ -48,6 +48,9 @@ class ConditioningBlock : public BuildingBlock {
 
   void SetVar(const Assignment& vars) override;
   void WarmStart(const Assignment& assignment) override;
+  void WarmStartHistory(const Assignment& assignment,
+                        double utility) override;
+  void CollectArmWinners(std::vector<ArmWinner>* out) const override;
 
   [[nodiscard]] size_t NumActiveChildren() const;
   [[nodiscard]] bool IsChildActive(size_t i) const { return active_[i]; }

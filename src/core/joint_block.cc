@@ -49,10 +49,26 @@ JointBlock::JointBlock(std::string name, ConfigurationSpace space,
 void JointBlock::WarmStart(const Assignment& assignment) {
   Configuration config = space_.FromAssignment(assignment);
   if (optimizer_ != nullptr) {
+    // Portfolio convention: the first transferred winner REPLACES the
+    // queued default rather than queueing behind it. The arm still
+    // spends exactly one round-one evaluation on its anchor — it is just
+    // a better-informed anchor — so a warm run's proposal stream is
+    // never delayed relative to a cold run's. Only an untouched queue is
+    // cleared: once evaluations started, seeds append normally.
+    if (!default_replaced_ && !optimizer_->HasObservations()) {
+      optimizer_->ClearInitialQueue();
+      default_replaced_ = true;
+    }
     optimizer_->EnqueueInitial(config);
   }
   // MFES-HB has no seed queue; warm starts only guide surrogate-based
   // proposals once observations exist, so they are skipped there.
+}
+
+void JointBlock::WarmStartHistory(const Assignment& assignment,
+                                  double utility) {
+  if (optimizer_ == nullptr) return;  // MFES-HB: no prior-injection seam.
+  optimizer_->ObservePrior(space_.FromAssignment(assignment), utility);
 }
 
 Assignment JointBlock::FullAssignment(const Configuration& config) const {

@@ -39,6 +39,8 @@ class JointBlock : public BuildingBlock {
              uint64_t seed, TrialGuardPolicy guard = {});
 
   void WarmStart(const Assignment& assignment) override;
+  void WarmStartHistory(const Assignment& assignment,
+                        double utility) override;
 
   [[nodiscard]] const ConfigurationSpace& subspace() const { return space_; }
 
@@ -67,6 +69,9 @@ class JointBlock : public BuildingBlock {
   TrialGuardPolicy guard_;
   std::unique_ptr<BlackBoxOptimizer> optimizer_;  ///< SMAC or random.
   std::unique_ptr<MfesHbOptimizer> mfes_;         ///< kMfesHb only.
+  /// Whether a transferred portfolio already replaced the queued default
+  /// configuration (first WarmStart only; see WarmStart).
+  bool default_replaced_ = false;
   /// Hard failures per subspace configuration (retry-cap accounting).
   std::unordered_map<std::string, size_t> hard_failure_counts_;
 };

@@ -30,6 +30,11 @@ void PlanExecutor::WarmStart(const Assignment& assignment) {
   root_->WarmStart(assignment);
 }
 
+void PlanExecutor::WarmStartHistory(const Assignment& assignment,
+                                    double utility) {
+  root_->WarmStartHistory(assignment, utility);
+}
+
 double PlanExecutor::consumed_budget() const {
   return options_.budget_in_seconds
              ? base_seconds_ + run_timer_.ElapsedSeconds()

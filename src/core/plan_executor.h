@@ -71,6 +71,11 @@ class PlanExecutor {
   /// Injects a meta-learned candidate into the plan (before stepping).
   void WarmStart(const Assignment& assignment);
 
+  /// Injects a transferred prior observation into the plan's optimizers
+  /// (before stepping). See BuildingBlock::WarmStartHistory for the
+  /// routing and incumbent-isolation contract.
+  void WarmStartHistory(const Assignment& assignment, double utility);
+
   /// Whether the stop condition holds (budget exhausted).
   [[nodiscard]] bool Done() const;
 

@@ -1,5 +1,6 @@
 #include "core/volcano_ml.h"
 
+#include "data/meta_features.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -42,17 +43,47 @@ Status VolcanoML::Prepare(const Dataset& train) {
   executor_ =
       std::make_unique<PlanExecutor>(spec, evaluator_.get(), exec_options);
 
-  // Meta-learning warm start: inject the k most similar past winners.
+  // Meta-learning portfolio intake: prior observations first (they shape
+  // the surrogates the warm starts are judged against), then the k most
+  // similar past winners as evaluation seeds. Retrieval draws no caller
+  // randomness and an empty or absent KB makes zero WarmStart/
+  // WarmStartHistory calls, so the run stays bit-identical to one without
+  // a knowledge base at all.
   if (options_.knowledge != nullptr) {
-    std::vector<Assignment> warm = options_.knowledge->SuggestWarmStarts(
-        train, options_.num_warm_starts, rng.Fork());
-    VOLCANOML_LOG(Info) << "meta-learning: " << warm.size()
-                        << " warm-start candidates";
-    for (const Assignment& assignment : warm) {
+    Portfolio portfolio = options_.knowledge->SuggestPortfolio(
+        train, options_.num_warm_starts, options_.kb_history_per_run);
+    VOLCANOML_LOG(Info) << "meta-learning: " << portfolio.warm_starts.size()
+                        << " warm-start candidates, "
+                        << portfolio.history.size()
+                        << " transferred observations";
+    for (const TransferObservation& obs : portfolio.history) {
+      executor_->WarmStartHistory(obs.assignment, obs.utility);
+    }
+    for (const Assignment& assignment : portfolio.warm_starts) {
       executor_->WarmStart(assignment);
     }
   }
   return Status::Ok();
+}
+
+RunArtifact VolcanoML::ExportRunArtifact() const {
+  VOLCANOML_CHECK_MSG(executor_ != nullptr, "call Prepare first");
+  RunArtifact artifact;
+  artifact.dataset_name = data_->name();
+  artifact.dataset_hash = data_->ContentHash();
+  artifact.task = data_->task();
+  // kMetaFeatureSeed, NOT the run seed: the landmarker features subsample
+  // with this seed, and k-NN retrieval only works when every artifact and
+  // every query describe their dataset under the same draw.
+  artifact.meta_features = ComputeMetaFeatures(*data_, kMetaFeatureSeed);
+  artifact.best_assignment = executor_->root().BestAssignment();
+  artifact.best_utility = executor_->root().BestUtility();
+  artifact.trajectory = executor_->trajectory();
+  executor_->root().CollectArmWinners(&artifact.arm_winners);
+  for (const auto& [assignment, utility] : evaluator_->observations()) {
+    artifact.history.push_back({assignment, utility});
+  }
+  return artifact;
 }
 
 AutoMlResult VolcanoML::Fit(const Dataset& train) {

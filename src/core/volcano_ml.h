@@ -39,6 +39,9 @@ struct VolcanoMlOptions {
   /// Meta-learning warm start: non-null enables the "+meta" variant.
   const MetaKnowledgeBase* knowledge = nullptr;
   size_t num_warm_starts = 5;
+  /// Cap on prior observations transferred per retrieved past run (arm
+  /// winners first, then best history; see SuggestPortfolio).
+  size_t kb_history_per_run = 16;
   /// Trial-guard policy shared by the whole plan: per-configuration
   /// retry cap (then quarantine) and failure-rate arm elimination. The
   /// defaults are active but inert unless trials actually fail hard
@@ -82,6 +85,13 @@ class VolcanoML {
   /// Collects the result after the executor finished stepping (call
   /// after Prepare; Fit calls this internally).
   AutoMlResult Finish();
+
+  /// Exports the durable record of this run for the knowledge base:
+  /// dataset identity (content hash, not name), meta-features, best
+  /// assignment, trajectory, per-arm winners and the full-fidelity
+  /// observation history. Call after stepping finished (any time after
+  /// Prepare is legal; an early export just records partial progress).
+  [[nodiscard]] RunArtifact ExportRunArtifact() const;
 
   /// Trains the best pipeline on all of the Fit data (call after Fit).
   Result<FittedPipeline> FitFinalPipeline();

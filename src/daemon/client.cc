@@ -105,6 +105,29 @@ Result<uint64_t> DaemonClient::Shutdown() const {
   return reply.value().sessions_open;
 }
 
+Result<KbQueryReply> DaemonClient::KbQuery() const {
+  return RoundTrip<KbQueryReply>(
+      socket_path_, timeout_ms_, MessageType::kKbQueryRequest,
+      KbQueryRequest{}, MessageType::kKbQueryReply);
+}
+
+Result<std::string> DaemonClient::KbExport() const {
+  Result<KbExportReply> reply = RoundTrip<KbExportReply>(
+      socket_path_, timeout_ms_, MessageType::kKbExportRequest,
+      KbExportRequest{}, MessageType::kKbExportReply);
+  VOLCANOML_RETURN_IF_ERROR(reply.status());
+  return std::move(reply.value().serialized);
+}
+
+Result<KbImportReply> DaemonClient::KbImport(
+    const std::string& serialized) const {
+  KbImportRequest request;
+  request.serialized = serialized;
+  return RoundTrip<KbImportReply>(
+      socket_path_, timeout_ms_, MessageType::kKbImportRequest, request,
+      MessageType::kKbImportReply);
+}
+
 Result<SessionStatus> DaemonClient::WaitUntilDone(uint64_t session_id,
                                                   int poll_ms) const {
   for (;;) {

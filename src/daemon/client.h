@@ -39,6 +39,17 @@ class DaemonClient {
   /// Returns the number of sessions still open at shutdown.
   [[nodiscard]] Result<uint64_t> Shutdown() const;
 
+  /// Summaries of the artifacts in the daemon's knowledge base.
+  [[nodiscard]] Result<KbQueryReply> KbQuery() const;
+
+  /// The daemon's serialized knowledge base (MetaKnowledgeBase format).
+  [[nodiscard]] Result<std::string> KbExport() const;
+
+  /// Merges a serialized knowledge base into the daemon's; returns the
+  /// reply with added/total counts.
+  [[nodiscard]] Result<KbImportReply> KbImport(
+      const std::string& serialized) const;
+
   /// Polls the session status every `poll_ms` until it is done or
   /// failed; returns the final status (or the failure as an error).
   [[nodiscard]] Result<SessionStatus> WaitUntilDone(uint64_t session_id,

@@ -19,6 +19,19 @@ Status Daemon::Serve() {
   Result<UnixListener> listener = UnixListener::Bind(options_.socket_path);
   VOLCANOML_RETURN_IF_ERROR(listener.status());
   SweepOrphanSpools();
+  kb_path_ = options_.kb_path.empty()
+                 ? KnowledgeBaseFilePath(options_.spool_dir, SocketName())
+                 : options_.kb_path;
+  Status kb_loaded = kb_.LoadFromFile(kb_path_);
+  if (kb_loaded.ok()) {
+    VOLCANOML_LOG(Info) << "knowledge base: " << kb_.NumArtifacts()
+                        << " artifact(s) from " << kb_path_;
+  } else if (kb_loaded.code() != StatusCode::kNotFound) {
+    // An unreadable or corrupt KB degrades to an empty one: transfer is
+    // an accelerator, never a precondition for serving sessions.
+    VOLCANOML_LOG(Warning) << "knowledge base unusable, starting empty: "
+                           << kb_loaded.message();
+  }
   VOLCANOML_LOG(Info) << "daemon serving on " << options_.socket_path;
   while (!StopRequested()) {
     // Poll without blocking while sessions have work; otherwise sleep in
@@ -97,6 +110,15 @@ Status Daemon::Dispatch(uint8_t type, const std::string& payload,
     case MessageType::kShutdownRequest:
       *reply_type = static_cast<uint8_t>(MessageType::kShutdownReply);
       return HandleShutdown(payload, reply);
+    case MessageType::kKbQueryRequest:
+      *reply_type = static_cast<uint8_t>(MessageType::kKbQueryReply);
+      return HandleKbQuery(payload, reply);
+    case MessageType::kKbExportRequest:
+      *reply_type = static_cast<uint8_t>(MessageType::kKbExportReply);
+      return HandleKbExport(payload, reply);
+    case MessageType::kKbImportRequest:
+      *reply_type = static_cast<uint8_t>(MessageType::kKbImportReply);
+      return HandleKbImport(payload, reply);
     default:
       return Status::InvalidArgument("unknown request type " +
                                      std::to_string(type));
@@ -118,6 +140,7 @@ Status Daemon::HandleCreate(const std::string& payload, std::string* reply) {
   spec.dataset_name = request.value().dataset_name;
   spec.csv = std::move(request.value().csv);
   spec.config = request.value().config;
+  spec.kb = &kb_;
   auto session = std::make_unique<DaemonSession>(id, std::move(spec),
                                                  std::move(spool_path));
   // A session that cannot even build is rejected outright rather than
@@ -266,6 +289,81 @@ void Daemon::RunOneTurn() {
     // any snapshot still parked in the spool is stale and would sit on
     // disk until daemon exit.
     session->DiscardSpool();
+    if (session->kb_record()) IngestFinishedSession(session);
+  }
+}
+
+Status Daemon::HandleKbQuery(const std::string& payload, std::string* reply) {
+  Result<KbQueryRequest> request = DecodeMessage<KbQueryRequest>(payload);
+  VOLCANOML_RETURN_IF_ERROR(request.status());
+  KbQueryReply queried;
+  for (const RunArtifact& artifact : kb_.artifacts()) {
+    KbArtifactSummary summary;
+    summary.dataset_name = artifact.dataset_name;
+    summary.dataset_hash = artifact.dataset_hash;
+    summary.task = artifact.task == TaskType::kClassification ? 0 : 1;
+    summary.best_utility = artifact.best_utility;
+    summary.num_observations = artifact.history.size();
+    queried.artifacts.push_back(std::move(summary));
+  }
+  *reply = EncodeMessage(queried);
+  return Status::Ok();
+}
+
+Status Daemon::HandleKbExport(const std::string& payload, std::string* reply) {
+  Result<KbExportRequest> request = DecodeMessage<KbExportRequest>(payload);
+  VOLCANOML_RETURN_IF_ERROR(request.status());
+  KbExportReply exported;
+  exported.serialized = kb_.Serialize();
+  *reply = EncodeMessage(exported);
+  return Status::Ok();
+}
+
+Status Daemon::HandleKbImport(const std::string& payload, std::string* reply) {
+  Result<KbImportRequest> request = DecodeMessage<KbImportRequest>(payload);
+  VOLCANOML_RETURN_IF_ERROR(request.status());
+  Result<size_t> added = kb_.MergeSerialized(request.value().serialized);
+  VOLCANOML_RETURN_IF_ERROR(added.status());
+  if (added.value() > 0) PersistKnowledgeBase();
+  KbImportReply imported;
+  imported.added = added.value();
+  imported.total = kb_.NumArtifacts();
+  *reply = EncodeMessage(imported);
+  return Status::Ok();
+}
+
+void Daemon::IngestFinishedSession(DaemonSession* session) {
+  Result<RunArtifact> artifact = session->ExportArtifact();
+  if (!artifact.ok()) {
+    VOLCANOML_LOG(Warning) << "session " << session->id()
+                           << " artifact export failed: "
+                           << artifact.status().message();
+    return;
+  }
+  if (artifact.value().best_assignment.empty()) return;  // nothing learned
+  // Re-running a dataset replaces its artifact (latest run wins) instead
+  // of accumulating near-duplicates that would crowd k-NN retrieval.
+  MetaKnowledgeBase rebuilt;
+  for (const RunArtifact& existing : kb_.artifacts()) {
+    if (existing.dataset_hash == artifact.value().dataset_hash &&
+        existing.task == artifact.value().task) {
+      continue;
+    }
+    rebuilt.AddArtifact(existing);
+  }
+  rebuilt.AddArtifact(std::move(artifact.value()));
+  kb_ = std::move(rebuilt);
+  PersistKnowledgeBase();
+  VOLCANOML_LOG(Info) << "knowledge base: ingested session "
+                      << session->id() << " (" << kb_.NumArtifacts()
+                      << " artifact(s))";
+}
+
+void Daemon::PersistKnowledgeBase() {
+  Status saved = kb_.SaveToFile(kb_path_);
+  if (!saved.ok()) {
+    VOLCANOML_LOG(Warning) << "knowledge base persist failed: "
+                           << saved.message();
   }
 }
 

@@ -9,6 +9,7 @@
 #include "daemon/scheduler.h"
 #include "daemon/session.h"
 #include "ipc/transport.h"
+#include "meta/knowledge_base.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -28,6 +29,10 @@ struct DaemonOptions {
   int idle_poll_ms = 20;
   /// Per-chunk receive timeout for client frames.
   int request_timeout_ms = 5000;
+  /// Durable knowledge-base file. Empty picks the canonical per-socket-
+  /// namespace default beside the spool files (`<spool_dir>/<socket>.kb`),
+  /// so daemons sharing a spool directory never share a KB by accident.
+  std::string kb_path;
 };
 
 /// The multi-tenant AutoML session daemon: owns the session registry and
@@ -90,6 +95,20 @@ class Daemon {
                                   std::string* reply);
   [[nodiscard]] Status HandleShutdown(const std::string& payload,
                                       std::string* reply);
+  [[nodiscard]] Status HandleKbQuery(const std::string& payload,
+                                     std::string* reply);
+  [[nodiscard]] Status HandleKbExport(const std::string& payload,
+                                      std::string* reply);
+  [[nodiscard]] Status HandleKbImport(const std::string& payload,
+                                      std::string* reply);
+
+  /// Records a completed kb_record session into the shared KB (replacing
+  /// any artifact with the same dataset hash + task) and persists it.
+  void IngestFinishedSession(DaemonSession* session);
+
+  /// Writes the KB to kb_path_, logging (not failing) on error — KB
+  /// persistence must never take the daemon down.
+  void PersistKnowledgeBase();
 
   /// Runs one fair-share scheduler turn (restore if evicted, step,
   /// account). No-op when nothing is runnable.
@@ -121,6 +140,11 @@ class Daemon {
   void SweepOrphanSpools();
 
   const DaemonOptions options_;
+  /// One shared knowledge base per socket namespace: loaded at serve
+  /// start, consulted by every kb_warm_starts session, grown by every
+  /// completed kb_record session, persisted to kb_path_ on each change.
+  MetaKnowledgeBase kb_;
+  std::string kb_path_;
   /// Registry, ordered by session id (ListSessions iterates it).
   std::map<uint64_t, std::unique_ptr<DaemonSession>> sessions_;
   FairShareScheduler scheduler_;

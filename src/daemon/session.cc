@@ -129,6 +129,13 @@ Result<VolcanoMlOptions> SessionConfigToOptions(const SessionConfig& config) {
           std::to_string(config.precision));
   }
   options.seed = config.seed;
+  // The KB pointer itself is attached by the caller (daemon: its shared
+  // store; CLI: the --kb file) — only the retrieval width travels in the
+  // config. Leaving num_warm_starts at its default when kb_warm_starts
+  // is 0 keeps KB-free configs bit-identical to pre-KB ones.
+  if (config.kb_warm_starts > 0) {
+    options.num_warm_starts = static_cast<size_t>(config.kb_warm_starts);
+  }
   return options;
 }
 
@@ -199,6 +206,11 @@ Result<Assignment> DaemonSession::BestAssignment() {
   return automl_->executor()->BestAssignment();
 }
 
+Result<RunArtifact> DaemonSession::ExportArtifact() {
+  VOLCANOML_RETURN_IF_ERROR(EnsureResident());
+  return automl_->ExportRunArtifact();
+}
+
 SessionStatus DaemonSession::status() const {
   SessionStatus status;
   status.session_id = id_;
@@ -222,6 +234,13 @@ Status DaemonSession::Build(const std::string* snapshot) {
                       spec_.dataset_name,
                       "session " + std::to_string(id_) + " dataset");
   if (!data.ok()) return LatchError(data.status());
+  // Warm starts consult the daemon's shared KB at build time. On the
+  // restore path the injected state is immediately overwritten by the
+  // snapshot (which was taken after the same injection), so evict/restore
+  // churn cannot double-apply or lose the portfolio.
+  if (spec_.config.kb_warm_starts > 0 && spec_.kb != nullptr) {
+    options.value().knowledge = spec_.kb;
+  }
   auto automl = std::make_unique<VolcanoML>(options.value());
   Status prepared = automl->Prepare(data.value());
   if (!prepared.ok()) return LatchError(prepared);

@@ -44,6 +44,10 @@ class DaemonSession {
     std::string dataset_name;
     std::string csv;
     SessionConfig config;
+    /// The daemon's shared knowledge base; consulted at build time when
+    /// config.kb_warm_starts > 0. Must outlive the session (the daemon
+    /// owns both). Null disables warm starts regardless of the config.
+    const MetaKnowledgeBase* kb = nullptr;
   };
 
   /// `spool_path` is where Evict() parks the executor snapshot; the file
@@ -88,6 +92,14 @@ class DaemonSession {
   /// Trajectory / incumbent of the session (restore first if evicted).
   [[nodiscard]] Result<std::vector<TrajectoryPoint>> Trajectory();
   [[nodiscard]] Result<Assignment> BestAssignment();
+
+  /// The session's run artifact for knowledge-base ingestion (restores
+  /// first if evicted). The daemon calls this when a kb_record session
+  /// completes.
+  [[nodiscard]] Result<RunArtifact> ExportArtifact();
+
+  /// Whether this session asked to be recorded into the daemon's KB.
+  [[nodiscard]] bool kb_record() const { return spec_.config.kb_record; }
 
   /// Cheap cached summary — answered from the last refresh, never
   /// restores an evicted executor. `pending_credit` is filled in by the

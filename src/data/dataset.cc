@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/check.h"
 
@@ -61,6 +62,38 @@ Dataset Dataset::WithFeatures(Matrix new_x) const {
 void Dataset::ReplaceFeatures(Matrix new_x) {
   VOLCANOML_CHECK(new_x.rows() == y_.size());
   x_ = std::move(new_x);
+}
+
+namespace {
+
+inline void FnvMix(uint64_t* h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xffULL;
+    *h *= 1099511628211ULL;
+  }
+}
+
+inline void FnvMixDouble(uint64_t* h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  FnvMix(h, bits);
+}
+
+}  // namespace
+
+uint64_t Dataset::ContentHash() const {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis.
+  FnvMix(&h, task_ == TaskType::kClassification ? 0 : 1);
+  FnvMix(&h, x_.rows());
+  FnvMix(&h, x_.cols());
+  FnvMix(&h, num_classes_);
+  for (size_t r = 0; r < x_.rows(); ++r) {
+    for (size_t c = 0; c < x_.cols(); ++c) {
+      FnvMixDouble(&h, x_(r, c));
+    }
+  }
+  for (double v : y_) FnvMixDouble(&h, v);
+  return h;
 }
 
 std::vector<size_t> Dataset::ClassCounts() const {

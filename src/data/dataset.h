@@ -1,6 +1,7 @@
 #ifndef VOLCANOML_DATA_DATASET_H_
 #define VOLCANOML_DATA_DATASET_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,14 @@ class Dataset {
 
   /// Per-class sample counts (classification only).
   [[nodiscard]] std::vector<size_t> ClassCounts() const;
+
+  /// FNV-1a hash of the dataset's contents: task, shape, class count and
+  /// the IEEE-754 bit patterns of every feature and target value. The
+  /// name is deliberately excluded — two datasets with identical contents
+  /// hash equal regardless of what they are called, and renaming a
+  /// dataset cannot change its identity. The meta-learning knowledge
+  /// base keys self-transfer exclusion on this hash.
+  [[nodiscard]] uint64_t ContentHash() const;
 
  private:
   std::string name_;

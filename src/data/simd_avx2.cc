@@ -34,9 +34,9 @@ namespace {
 /// instruction; lane order and arithmetic are identical on both sides,
 /// so results are bit-for-bit the same regardless of alignment.
 inline bool BothAligned32(const void* a, const void* b) {
-  return ((reinterpret_cast<uintptr_t>(a) |
-           reinterpret_cast<uintptr_t>(b)) &
-          31) == 0;
+  uintptr_t pa = reinterpret_cast<uintptr_t>(a);  // NOLINT-determinism(alignment probe; selects between bit-identical load paths)
+  uintptr_t pb = reinterpret_cast<uintptr_t>(b);  // NOLINT-determinism(alignment probe; selects between bit-identical load paths)
+  return ((pa | pb) & 31) == 0;
 }
 
 // ---------------------------------------------------------------------

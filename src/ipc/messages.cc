@@ -62,6 +62,8 @@ void SessionConfig::Encode(WireWriter* w) const {
   w->F64(trial_hard_timeout);
   w->U64(worker_retry_cap);
   w->U8(precision);
+  w->U64(kb_warm_starts);
+  w->Bool(kb_record);
 }
 
 SessionConfig SessionConfig::Decode(WireReader* r) {
@@ -80,6 +82,8 @@ SessionConfig SessionConfig::Decode(WireReader* r) {
   config.trial_hard_timeout = r->F64();
   config.worker_retry_cap = r->U64();
   config.precision = r->U8();
+  config.kb_warm_starts = r->U64();
+  config.kb_record = r->Bool();
   return config;
 }
 
@@ -302,6 +306,83 @@ void ShutdownReply::Encode(WireWriter* w) const { w->U64(sessions_open); }
 ShutdownReply ShutdownReply::Decode(WireReader* r) {
   ShutdownReply reply;
   reply.sessions_open = r->U64();
+  return reply;
+}
+
+void KbQueryRequest::Encode(WireWriter*) const {}
+
+KbQueryRequest KbQueryRequest::Decode(WireReader*) {
+  return KbQueryRequest{};
+}
+
+void KbArtifactSummary::Encode(WireWriter* w) const {
+  w->Str(dataset_name);
+  w->U64(dataset_hash);
+  w->U8(task);
+  w->F64(best_utility);
+  w->U64(num_observations);
+}
+
+KbArtifactSummary KbArtifactSummary::Decode(WireReader* r) {
+  KbArtifactSummary summary;
+  summary.dataset_name = r->Str();
+  summary.dataset_hash = r->U64();
+  summary.task = r->U8();
+  if (summary.task > 1) {
+    r->Fail("unknown task " + std::to_string(summary.task));
+  }
+  summary.best_utility = r->F64();
+  summary.num_observations = r->U64();
+  return summary;
+}
+
+void KbQueryReply::Encode(WireWriter* w) const {
+  w->U32(static_cast<uint32_t>(artifacts.size()));
+  for (const KbArtifactSummary& summary : artifacts) {
+    summary.Encode(w);
+  }
+}
+
+KbQueryReply KbQueryReply::Decode(WireReader* r) {
+  KbQueryReply reply;
+  uint32_t n = r->U32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    reply.artifacts.push_back(KbArtifactSummary::Decode(r));
+  }
+  return reply;
+}
+
+void KbExportRequest::Encode(WireWriter*) const {}
+
+KbExportRequest KbExportRequest::Decode(WireReader*) {
+  return KbExportRequest{};
+}
+
+void KbExportReply::Encode(WireWriter* w) const { w->Str(serialized); }
+
+KbExportReply KbExportReply::Decode(WireReader* r) {
+  KbExportReply reply;
+  reply.serialized = r->Str();
+  return reply;
+}
+
+void KbImportRequest::Encode(WireWriter* w) const { w->Str(serialized); }
+
+KbImportRequest KbImportRequest::Decode(WireReader* r) {
+  KbImportRequest request;
+  request.serialized = r->Str();
+  return request;
+}
+
+void KbImportReply::Encode(WireWriter* w) const {
+  w->U64(added);
+  w->U64(total);
+}
+
+KbImportReply KbImportReply::Decode(WireReader* r) {
+  KbImportReply reply;
+  reply.added = r->U64();
+  reply.total = r->U64();
   return reply;
 }
 

@@ -32,6 +32,12 @@ enum class MessageType : uint8_t {
   kListSessionsReply = 12,
   kShutdownRequest = 13,
   kShutdownReply = 14,
+  kKbQueryRequest = 15,
+  kKbQueryReply = 16,
+  kKbExportRequest = 17,
+  kKbExportReply = 18,
+  kKbImportRequest = 19,
+  kKbImportReply = 20,
 };
 
 /// Step credit that never runs out: the scheduler drives the session to
@@ -70,6 +76,12 @@ struct SessionConfig {
   /// NumericPrecision as u8: 0 = f64 (exact historical arithmetic),
   /// 1 = f32 lane for distance/GEMM-dominated components.
   uint8_t precision = 0;
+  /// Portfolio warm starts drawn from the daemon's knowledge base
+  /// (0 = cold run; the KB is not consulted at all).
+  uint64_t kb_warm_starts = 0;
+  /// Record this session's RunArtifact into the daemon's knowledge base
+  /// when it completes.
+  bool kb_record = false;
 
   void Encode(WireWriter* w) const;
   static SessionConfig Decode(WireReader* r);
@@ -251,6 +263,68 @@ struct ShutdownReply {
 
   void Encode(WireWriter* w) const;
   static ShutdownReply Decode(WireReader* r);
+};
+
+/// KbQuery: summaries of every artifact in the daemon's knowledge base
+/// (cheap — never ships histories or trajectories).
+struct KbQueryRequest {
+  void Encode(WireWriter* w) const;
+  static KbQueryRequest Decode(WireReader* r);
+};
+
+/// One artifact, without its bulky payloads.
+struct KbArtifactSummary {
+  std::string dataset_name;
+  uint64_t dataset_hash = 0;
+  /// TaskType as u8: 0 = classification, 1 = regression.
+  uint8_t task = 0;
+  double best_utility = 0.0;
+  uint64_t num_observations = 0;
+
+  void Encode(WireWriter* w) const;
+  static KbArtifactSummary Decode(WireReader* r);
+};
+
+struct KbQueryReply {
+  /// Artifacts in store order.
+  std::vector<KbArtifactSummary> artifacts;
+
+  void Encode(WireWriter* w) const;
+  static KbQueryReply Decode(WireReader* r);
+};
+
+/// KbExport: the daemon's whole knowledge base in its durable serialized
+/// form (MetaKnowledgeBase::Serialize), suitable for KbImport elsewhere
+/// or for writing to a --kb file.
+struct KbExportRequest {
+  void Encode(WireWriter* w) const;
+  static KbExportRequest Decode(WireReader* r);
+};
+
+struct KbExportReply {
+  std::string serialized;
+
+  void Encode(WireWriter* w) const;
+  static KbExportReply Decode(WireReader* r);
+};
+
+/// KbImport: merges a serialized knowledge base into the daemon's
+/// (dedup by dataset content hash + task) and persists the result.
+struct KbImportRequest {
+  std::string serialized;
+
+  void Encode(WireWriter* w) const;
+  static KbImportRequest Decode(WireReader* r);
+};
+
+struct KbImportReply {
+  /// Artifacts actually added (duplicates are skipped).
+  uint64_t added = 0;
+  /// Store size after the merge.
+  uint64_t total = 0;
+
+  void Encode(WireWriter* w) const;
+  static KbImportReply Decode(WireReader* r);
 };
 
 /// Any request may be answered with this instead of its reply type.

@@ -1,0 +1,59 @@
+#ifndef VOLCANOML_META_ARTIFACT_H_
+#define VOLCANOML_META_ARTIFACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "cs/configuration.h"
+#include "data/dataset.h"
+
+namespace volcanoml {
+
+/// The best full assignment one conditioning arm found during a run,
+/// together with the arm it came from. Conditioning blocks export one per
+/// arm that committed at least one observation; the knowledge base injects
+/// them as transfer history so a warm-started run starts with per-arm
+/// coverage instead of only the single global winner.
+struct ArmWinner {
+  /// The conditioned variable (e.g. "algorithm").
+  std::string variable;
+  /// The arm's choice index for that variable.
+  double value = 0.0;
+  Assignment assignment;
+  double utility = 0.0;
+};
+
+/// One (assignment, utility) observation carried across runs. Utilities
+/// are only comparable within the run that produced them; consumers feed
+/// them to surrogate models as priors, never into incumbent tracking.
+struct TransferObservation {
+  Assignment assignment;
+  double utility = 0.0;
+};
+
+/// The durable record of one finished AutoML run: enough to identify the
+/// dataset (content hash, not name), match it against future workloads
+/// (meta-features + task), and transfer what the search learned (final
+/// trajectory, per-arm winners, and the full-fidelity observation
+/// history). This is the unit the knowledge base stores and serializes.
+struct RunArtifact {
+  std::string dataset_name;
+  /// Dataset::ContentHash() of the training data — the identity key for
+  /// self-transfer exclusion (names can be reused or changed; bytes not).
+  uint64_t dataset_hash = 0;
+  TaskType task = TaskType::kClassification;
+  std::vector<double> meta_features;
+  Assignment best_assignment;
+  double best_utility = 0.0;
+  std::vector<TrajectoryPoint> trajectory;
+  std::vector<ArmWinner> arm_winners;
+  /// Every full-fidelity (assignment, utility) the run evaluated, in
+  /// evaluation order.
+  std::vector<TransferObservation> history;
+};
+
+}  // namespace volcanoml
+
+#endif  // VOLCANOML_META_ARTIFACT_H_

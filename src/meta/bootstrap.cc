@@ -1,7 +1,6 @@
 #include "meta/bootstrap.h"
 
 #include "core/volcano_ml.h"
-#include "data/meta_features.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -26,13 +25,13 @@ MetaKnowledgeBase BuildKnowledgeBase(const std::vector<DatasetSpec>& suite,
     AutoMlResult result = engine.Fit(data);
     if (result.best_assignment.empty()) continue;
 
-    MetaEntry entry;
-    entry.dataset_name = spec.name;
-    entry.task = data.task();
-    entry.meta_features = ComputeMetaFeatures(data, seed);
-    entry.best_assignment = result.best_assignment;
-    entry.best_utility = result.best_utility;
-    kb.AddEntry(std::move(entry));
+    // The full run artifact: content hash, meta-features, trajectory,
+    // arm winners and observation history — not just the single winner.
+    // ExportRunArtifact already computed the meta-features under
+    // kMetaFeatureSeed, the one seed every query uses too.
+    RunArtifact artifact = engine.ExportRunArtifact();
+    artifact.dataset_name = spec.name;
+    kb.AddArtifact(std::move(artifact));
     VOLCANOML_LOG(Info) << "knowledge base: " << spec.name << " -> "
                         << result.best_utility;
   }

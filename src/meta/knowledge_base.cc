@@ -2,116 +2,310 @@
 
 #include <algorithm>
 #include <fstream>
-#include <numeric>
+#include <set>
 #include <sstream>
+#include <utility>
 
+#include "core/snapshot.h"
 #include "data/meta_features.h"
 #include "util/check.h"
 #include "util/stats.h"
 
 namespace volcanoml {
 
-void MetaKnowledgeBase::AddEntry(MetaEntry entry) {
-  entries_.push_back(std::move(entry));
+namespace {
+
+/// First token of every serialized KB. Distinct from the search-snapshot
+/// magic: a KB is not a resumable search state and must not be confused
+/// with one by either reader.
+constexpr const char* kKnowledgeBaseMagic = "volcanoml-kb";
+
+/// Version 1 was the pre-PR-10 line-oriented tab-separated format, which
+/// carried no header at all; version 2 is the snapshot-codec layout below.
+/// Bump on any layout change — the reader is strictly sequential.
+constexpr uint64_t kKnowledgeBaseVersion = 2;
+
+void SaveArtifact(SnapshotWriter* w, const RunArtifact& artifact) {
+  w->Begin("artifact");
+  w->Str("dataset_name", artifact.dataset_name);
+  w->U64("dataset_hash", artifact.dataset_hash);
+  w->U64("task", artifact.task == TaskType::kClassification ? 0 : 1);
+  SaveDoubleVector(w, "meta_features", artifact.meta_features);
+  SaveAssignment(w, "best_assignment", artifact.best_assignment);
+  w->F64("best_utility", artifact.best_utility);
+  w->U64("num_trajectory", artifact.trajectory.size());
+  for (const TrajectoryPoint& point : artifact.trajectory) {
+    w->F64("budget", point.budget);
+    w->F64("utility", point.utility);
+  }
+  w->U64("num_arm_winners", artifact.arm_winners.size());
+  for (const ArmWinner& winner : artifact.arm_winners) {
+    w->Str("variable", winner.variable);
+    w->F64("value", winner.value);
+    SaveAssignment(w, "assignment", winner.assignment);
+    w->F64("utility", winner.utility);
+  }
+  w->U64("num_history", artifact.history.size());
+  for (const TransferObservation& obs : artifact.history) {
+    SaveAssignment(w, "assignment", obs.assignment);
+    w->F64("utility", obs.utility);
+  }
+  w->End("artifact");
 }
 
-std::vector<Assignment> MetaKnowledgeBase::SuggestWarmStarts(
-    const Dataset& data, size_t k, uint64_t seed) const {
-  std::vector<double> query = ComputeMetaFeatures(data, seed);
-
-  // Candidate pool: same task, different dataset.
-  std::vector<const MetaEntry*> pool;
-  for (const MetaEntry& entry : entries_) {
-    if (entry.task != data.task()) continue;
-    if (entry.dataset_name == data.name()) continue;
-    if (entry.meta_features.size() != query.size()) continue;
-    pool.push_back(&entry);
+[[nodiscard]] RunArtifact LoadArtifact(SnapshotReader* r) {
+  RunArtifact artifact;
+  r->Begin("artifact");
+  artifact.dataset_name = r->Str("dataset_name");
+  artifact.dataset_hash = r->U64("dataset_hash");
+  artifact.task = r->U64("task") == 0 ? TaskType::kClassification
+                                      : TaskType::kRegression;
+  artifact.meta_features = LoadDoubleVector(r, "meta_features");
+  artifact.best_assignment = LoadAssignment(r, "best_assignment");
+  artifact.best_utility = r->F64("best_utility");
+  uint64_t num_trajectory = r->U64("num_trajectory");
+  for (uint64_t i = 0; r->ok() && i < num_trajectory; ++i) {
+    TrajectoryPoint point;
+    point.budget = r->F64("budget");
+    point.utility = r->F64("utility");
+    artifact.trajectory.push_back(point);
   }
-  if (pool.empty()) return {};
+  uint64_t num_arm_winners = r->U64("num_arm_winners");
+  for (uint64_t i = 0; r->ok() && i < num_arm_winners; ++i) {
+    ArmWinner winner;
+    winner.variable = r->Str("variable");
+    winner.value = r->F64("value");
+    winner.assignment = LoadAssignment(r, "assignment");
+    winner.utility = r->F64("utility");
+    artifact.arm_winners.push_back(std::move(winner));
+  }
+  uint64_t num_history = r->U64("num_history");
+  for (uint64_t i = 0; r->ok() && i < num_history; ++i) {
+    TransferObservation obs;
+    obs.assignment = LoadAssignment(r, "assignment");
+    obs.utility = r->F64("utility");
+    artifact.history.push_back(std::move(obs));
+  }
+  r->End("artifact");
+  return artifact;
+}
+
+/// Canonical text key of an assignment for dedup (map iteration is
+/// name-sorted, so equal assignments key equal).
+[[nodiscard]] std::string AssignmentKey(const Assignment& assignment) {
+  SnapshotWriter w;
+  SaveAssignment(&w, "a", assignment);
+  return w.str();
+}
+
+}  // namespace
+
+void MetaKnowledgeBase::AddArtifact(RunArtifact artifact) {
+  artifacts_.push_back(std::move(artifact));
+}
+
+Portfolio MetaKnowledgeBase::SuggestPortfolio(
+    const Dataset& data, size_t k, size_t max_history_per_run) const {
+  Portfolio portfolio;
+  if (k == 0) return portfolio;
+  std::vector<double> query = ComputeMetaFeatures(data, kMetaFeatureSeed);
+  uint64_t query_hash = data.ContentHash();
+
+  // Candidate pool: same task, different dataset *contents*. Keying the
+  // exclusion on the hash (not the name) means a renamed copy of the query
+  // dataset is still excluded, and an unrelated dataset that happens to
+  // share a name is not.
+  std::vector<const RunArtifact*> pool;
+  for (const RunArtifact& artifact : artifacts_) {
+    if (artifact.task != data.task()) continue;
+    if (artifact.dataset_hash == query_hash) continue;
+    if (artifact.meta_features.size() != query.size()) continue;
+    pool.push_back(&artifact);
+  }
+  if (pool.empty()) return portfolio;
 
   // Per-dimension scales from the pool for a normalized distance.
   std::vector<double> scales(query.size(), 1.0);
   for (size_t dim = 0; dim < query.size(); ++dim) {
     std::vector<double> values;
     values.reserve(pool.size());
-    for (const MetaEntry* entry : pool) {
-      values.push_back(entry->meta_features[dim]);
+    for (const RunArtifact* artifact : pool) {
+      values.push_back(artifact->meta_features[dim]);
     }
     double sd = StdDev(values);
     scales[dim] = sd > 1e-12 ? sd : 1.0;
   }
 
-  std::vector<std::pair<double, const MetaEntry*>> scored;
+  std::vector<std::pair<double, const RunArtifact*>> scored;
   scored.reserve(pool.size());
-  for (const MetaEntry* entry : pool) {
+  for (const RunArtifact* artifact : pool) {
     scored.push_back(
-        {MetaFeatureDistance(query, entry->meta_features, scales), entry});
+        {MetaFeatureDistance(query, artifact->meta_features, scales),
+         artifact});
   }
+  // Tie-break on (hash, name) so retrieval order is a pure function of
+  // the store's contents, never of insertion order.
   std::sort(scored.begin(), scored.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              if (a.second->dataset_hash != b.second->dataset_hash) {
+                return a.second->dataset_hash < b.second->dataset_hash;
+              }
+              return a.second->dataset_name < b.second->dataset_name;
+            });
+  if (scored.size() > k) scored.resize(k);
 
-  std::vector<Assignment> out;
-  for (const auto& [dist, entry] : scored) {
-    if (out.size() >= k) break;
-    out.push_back(entry->best_assignment);
+  // Evaluation seeds, in the order the executor will route them: the
+  // nearest run's per-arm winners first, then the k nearest runs' best
+  // assignments, deduplicated. Arm winners lead because the first seed
+  // an arm receives replaces its default anchor (JointBlock::WarmStart),
+  // and the winner a same-distribution run found FOR THAT ARM is the
+  // best-informed anchor available — a more distant run's global best
+  // should only ever queue behind it.
+  std::set<std::string> seeded;
+  for (const ArmWinner& winner : scored.front().second->arm_winners) {
+    if (!seeded.insert(AssignmentKey(winner.assignment)).second) continue;
+    portfolio.warm_starts.push_back(winner.assignment);
   }
+  for (const auto& [dist, artifact] : scored) {
+    if (!seeded.insert(AssignmentKey(artifact->best_assignment)).second) {
+      continue;
+    }
+    portfolio.warm_starts.push_back(artifact->best_assignment);
+  }
+
+  std::set<std::string> seen;
+  for (const auto& [dist, artifact] : scored) {
+
+    // Transfer history: the run's per-arm winners first (coverage across
+    // conditioning arms), then its best remaining observations, capped.
+    std::vector<TransferObservation> transfer;
+    for (const ArmWinner& winner : artifact->arm_winners) {
+      transfer.push_back({winner.assignment, winner.utility});
+    }
+    std::vector<size_t> order(artifact->history.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return artifact->history[a].utility > artifact->history[b].utility;
+    });
+    for (size_t idx : order) transfer.push_back(artifact->history[idx]);
+
+    size_t taken = 0;
+    for (const TransferObservation& obs : transfer) {
+      if (taken >= max_history_per_run) break;
+      if (!seen.insert(AssignmentKey(obs.assignment)).second) continue;
+      portfolio.history.push_back(obs);
+      ++taken;
+    }
+  }
+  return portfolio;
+}
+
+std::vector<Assignment> MetaKnowledgeBase::SuggestWarmStarts(
+    const Dataset& data, size_t k) const {
+  return SuggestPortfolio(data, k).warm_starts;
+}
+
+std::string MetaKnowledgeBase::Serialize() const {
+  SnapshotWriter w;
+  w.Begin("knowledge_base");
+  w.U64("num_artifacts", artifacts_.size());
+  for (const RunArtifact& artifact : artifacts_) {
+    SaveArtifact(&w, artifact);
+  }
+  w.End("knowledge_base");
+  std::string out = kKnowledgeBaseMagic;
+  out += ' ';
+  out += std::to_string(kKnowledgeBaseVersion);
+  out += '\n';
+  out += w.str();
   return out;
 }
 
-Status MetaKnowledgeBase::Save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out.is_open()) return Status::IoError("cannot write " + path);
-  for (const MetaEntry& entry : entries_) {
-    out << entry.dataset_name << '\t'
-        << (entry.task == TaskType::kClassification ? "cls" : "reg") << '\t'
-        << entry.best_utility << '\t';
-    out << entry.meta_features.size();
-    for (double v : entry.meta_features) out << ' ' << v;
-    out << '\t' << entry.best_assignment.size();
-    for (const auto& [name, value] : entry.best_assignment) {
-      out << ' ' << name << ' ' << value;
-    }
-    out << '\n';
+Status MetaKnowledgeBase::Deserialize(const std::string& data) {
+  size_t newline = data.find('\n');
+  std::string header = data.substr(0, newline == std::string::npos
+                                          ? data.size()
+                                          : newline);
+  std::istringstream header_stream(header);
+  std::string magic;
+  uint64_t version = 0;
+  if (!(header_stream >> magic >> version) || magic != kKnowledgeBaseMagic) {
+    return Status::InvalidArgument(
+        "knowledge base version mismatch: expected header '" +
+        std::string(kKnowledgeBaseMagic) + " " +
+        std::to_string(kKnowledgeBaseVersion) +
+        "' (the pre-versioned line format is no longer readable; rebuild "
+        "the knowledge base)");
   }
+  if (version != kKnowledgeBaseVersion) {
+    return Status::InvalidArgument(
+        "knowledge base version mismatch: file has version " +
+        std::to_string(version) + ", reader expects " +
+        std::to_string(kKnowledgeBaseVersion));
+  }
+  if (newline == std::string::npos) {
+    return Status::InvalidArgument("knowledge base truncated after header");
+  }
+
+  SnapshotReader r(data.substr(newline + 1));
+  std::vector<RunArtifact> artifacts;
+  r.Begin("knowledge_base");
+  uint64_t num_artifacts = r.U64("num_artifacts");
+  for (uint64_t i = 0; r.ok() && i < num_artifacts; ++i) {
+    artifacts.push_back(LoadArtifact(&r));
+  }
+  r.End("knowledge_base");
+  if (!r.ok()) {
+    return Status::InvalidArgument("knowledge base corrupt: " + r.error());
+  }
+  artifacts_ = std::move(artifacts);
+  return Status::Ok();
+}
+
+Result<size_t> MetaKnowledgeBase::MergeSerialized(const std::string& data) {
+  MetaKnowledgeBase incoming;
+  VOLCANOML_RETURN_IF_ERROR(incoming.Deserialize(data));
+  std::set<std::pair<uint64_t, int>> present;
+  for (const RunArtifact& artifact : artifacts_) {
+    present.insert({artifact.dataset_hash,
+                    artifact.task == TaskType::kClassification ? 0 : 1});
+  }
+  size_t added = 0;
+  for (RunArtifact& artifact : incoming.artifacts_) {
+    auto key = std::make_pair(
+        artifact.dataset_hash,
+        artifact.task == TaskType::kClassification ? 0 : 1);
+    if (!present.insert(key).second) continue;
+    artifacts_.push_back(std::move(artifact));
+    ++added;
+  }
+  return added;
+}
+
+Status MetaKnowledgeBase::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot write " + path);
+  out << Serialize();
+  out.flush();
   if (!out.good()) return Status::IoError("write failed for " + path);
   return Status::Ok();
 }
 
-Status MetaKnowledgeBase::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::IoError("cannot read " + path);
-  entries_.clear();
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::istringstream ss(line);
-    MetaEntry entry;
-    std::string task;
-    size_t num_features = 0, num_params = 0;
-    if (!(ss >> entry.dataset_name >> task >> entry.best_utility >>
-          num_features)) {
-      return Status::InvalidArgument("malformed knowledge-base line");
-    }
-    entry.task =
-        task == "cls" ? TaskType::kClassification : TaskType::kRegression;
-    entry.meta_features.resize(num_features);
-    for (double& v : entry.meta_features) {
-      if (!(ss >> v)) return Status::InvalidArgument("truncated features");
-    }
-    if (!(ss >> num_params)) {
-      return Status::InvalidArgument("missing parameter count");
-    }
-    for (size_t i = 0; i < num_params; ++i) {
-      std::string name;
-      double value;
-      if (!(ss >> name >> value)) {
-        return Status::InvalidArgument("truncated assignment");
-      }
-      entry.best_assignment[name] = value;
-    }
-    entries_.push_back(std::move(entry));
+Status MetaKnowledgeBase::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("no knowledge base at " + path);
   }
-  return Status::Ok();
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  return Deserialize(buffer.str());
+}
+
+std::string KnowledgeBaseFilePath(const std::string& dir,
+                                  const std::string& name) {
+  return dir + "/" + name + ".kb";
 }
 
 }  // namespace volcanoml

@@ -6,18 +6,37 @@
 
 #include "cs/configuration.h"
 #include "data/dataset.h"
+#include "meta/artifact.h"
 #include "util/status.h"
 
 namespace volcanoml {
 
-/// One record of a past AutoML run: the dataset's descriptor and the best
-/// configuration the run found.
-struct MetaEntry {
-  std::string dataset_name;
-  TaskType task = TaskType::kClassification;
-  std::vector<double> meta_features;
-  Assignment best_assignment;
-  double best_utility = 0.0;
+/// Backwards-compatible alias: PRs 1-9 stored MetaEntry{name, features,
+/// best assignment}; the artifact carries those fields plus trajectory,
+/// arm winners and history. Existing call sites keep compiling.
+using MetaEntry = RunArtifact;
+
+/// Canonical seed for meta-feature computation. The landmarker features
+/// subsample with an RNG, so two descriptors are only comparable when
+/// computed under the SAME seed — per-run seeds would turn the k-NN
+/// distance into seed noise. Every producer (ExportRunArtifact, the
+/// bootstrap) and the retrieval query use this one constant.
+inline constexpr uint64_t kMetaFeatureSeed = 1;
+
+/// What a portfolio lookup hands the executor: configurations to try
+/// first, plus prior observations to seed the surrogate models with.
+struct Portfolio {
+  /// Evaluation seeds in executor routing order: the nearest run's
+  /// per-arm winners first, then the k nearest runs' best assignments,
+  /// deduplicated. Arm winners lead because the first seed an arm
+  /// receives REPLACES its queued default (JointBlock::WarmStart), and a
+  /// same-distribution run's winner for that arm is the best-informed
+  /// anchor available.
+  std::vector<Assignment> warm_starts;
+  /// Transferred observations (arm winners first, then top history) of
+  /// those runs, in retrieval order. Injected via ObservePrior before the
+  /// first Suggest; utilities shape the surrogate, never the incumbent.
+  std::vector<TransferObservation> history;
 };
 
 /// Meta-learning store (paper Section 4, "Further Optimization with
@@ -25,27 +44,77 @@ struct MetaEntry {
 /// with the best configurations of the k most similar datasets, matched
 /// by normalized meta-feature distance. Both VolcanoML and the AUSK
 /// baseline consume this (their "+meta" variants in Table 1).
+///
+/// Durable across processes: Serialize()/Deserialize() use the snapshot
+/// codec (byte-exact, versioned), so a KB written on one machine loads
+/// bit-identically on another and two equal stores serialize to equal
+/// bytes. The daemon owns one KB per socket namespace and persists it
+/// beside the spool files; the CLI reads/writes one via --kb.
 class MetaKnowledgeBase {
  public:
   MetaKnowledgeBase() = default;
 
-  void AddEntry(MetaEntry entry);
-  size_t NumEntries() const { return entries_.size(); }
-  const std::vector<MetaEntry>& entries() const { return entries_; }
+  void AddArtifact(RunArtifact artifact);
+  [[nodiscard]] size_t NumArtifacts() const { return artifacts_.size(); }
+  [[nodiscard]] const std::vector<RunArtifact>& artifacts() const {
+    return artifacts_;
+  }
 
-  /// Warm-start candidates for `data`: the best assignments of the `k`
-  /// nearest same-task datasets, nearest first. Entries whose dataset
-  /// name equals data.name() are excluded (no self-transfer leakage).
-  std::vector<Assignment> SuggestWarmStarts(const Dataset& data, size_t k,
-                                            uint64_t seed = 1) const;
+  // Legacy-named accessors kept as aliases for older call sites.
+  void AddEntry(MetaEntry entry) { AddArtifact(std::move(entry)); }
+  [[nodiscard]] size_t NumEntries() const { return NumArtifacts(); }
+  [[nodiscard]] const std::vector<RunArtifact>& entries() const {
+    return artifacts_;
+  }
 
-  /// Serialization to a line-oriented text format.
-  Status Save(const std::string& path) const;
-  Status Load(const std::string& path);
+  /// Deterministic k-NN retrieval: the `k` nearest same-task past runs by
+  /// normalized meta-feature distance, nearest first, with ties broken by
+  /// (dataset_hash, dataset_name) so equal stores always retrieve in the
+  /// same order. Runs whose dataset content hash equals
+  /// data.ContentHash() are excluded — self-transfer is keyed on bytes,
+  /// not names, so a renamed dataset cannot leak its own results back and
+  /// a name collision cannot falsely exclude a genuinely different
+  /// dataset. Per selected run, at most `max_history_per_run`
+  /// observations are transferred: its arm winners first, then its best
+  /// remaining history entries. Draws no caller randomness: the query
+  /// descriptor uses kMetaFeatureSeed, so retrieval is a pure function of
+  /// (store contents, query dataset).
+  [[nodiscard]] Portfolio SuggestPortfolio(
+      const Dataset& data, size_t k, size_t max_history_per_run = 16) const;
+
+  /// Warm-start facade over SuggestPortfolio (assignments only).
+  [[nodiscard]] std::vector<Assignment> SuggestWarmStarts(const Dataset& data,
+                                                          size_t k) const;
+
+  /// Byte-exact serialization via the snapshot codec. Serialize of equal
+  /// stores yields equal bytes; Deserialize(Serialize()) round-trips
+  /// exactly. Deserialize rejects the pre-PR-10 line-oriented format (and
+  /// any other unversioned input) with InvalidArgument naming the version
+  /// mismatch, and corrupt or truncated input with the codec's first
+  /// error — it never silently misparses.
+  [[nodiscard]] std::string Serialize() const;
+  [[nodiscard]] Status Deserialize(const std::string& data);
+
+  /// Merges artifacts serialized by another store into this one, skipping
+  /// artifacts whose (dataset_hash, task) pair is already present. Returns
+  /// the number of artifacts actually added.
+  [[nodiscard]] Result<size_t> MergeSerialized(const std::string& data);
+
+  /// File round-trip. LoadFromFile distinguishes a missing file
+  /// (NotFound — callers typically start empty) from an unreadable one
+  /// (IoError) and from unparseable contents (Deserialize's status).
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] Status LoadFromFile(const std::string& path);
 
  private:
-  std::vector<MetaEntry> entries_;
+  std::vector<RunArtifact> artifacts_;
 };
+
+/// Canonical on-disk name for the KB of a daemon socket namespace:
+/// `<dir>/<name>.kb`. Lives here so the file-naming convention stays
+/// beside the format it names.
+[[nodiscard]] std::string KnowledgeBaseFilePath(const std::string& dir,
+                                                const std::string& name);
 
 }  // namespace volcanoml
 

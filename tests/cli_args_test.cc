@@ -198,5 +198,58 @@ TEST(CliArgs, DefaultCreditIsUnlimited) {
   EXPECT_EQ(parsed.value().step_credit, kUnlimitedCredit);
 }
 
+TEST(CliArgs, KbFlagsParseForInProcessRuns) {
+  Result<CliArgs> parsed = Parse({"train.csv", "--kb", "/tmp/store.kb",
+                                  "--kb-warm-starts", "3", "--kb-record"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().command, CliCommand::kRun);
+  EXPECT_EQ(parsed.value().kb_path, "/tmp/store.kb");
+  EXPECT_EQ(parsed.value().config.kb_warm_starts, 3u);
+  EXPECT_TRUE(parsed.value().config.kb_record);
+}
+
+TEST(CliArgs, KbWarmStartsOrRecordRequireAKbPath) {
+  EXPECT_FALSE(Parse({"train.csv", "--kb-warm-starts", "3"}).ok());
+  EXPECT_FALSE(Parse({"train.csv", "--kb-record"}).ok());
+  EXPECT_FALSE(Parse({"train.csv", "--kb", ""}).ok());
+}
+
+TEST(CliArgs, SubmitRejectsAKbPathButCarriesKbConfig) {
+  // The daemon owns one shared KB per socket namespace; a submit may ask
+  // for warm starts and recording but never name a file.
+  EXPECT_FALSE(Parse({"submit", "train.csv", "--socket", "/tmp/d.sock",
+                      "--kb", "/tmp/store.kb"})
+                   .ok());
+  Result<CliArgs> parsed = Parse({"submit", "train.csv", "--socket",
+                                  "/tmp/d.sock", "--kb-warm-starts", "2",
+                                  "--kb-record"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().config.kb_warm_starts, 2u);
+  EXPECT_TRUE(parsed.value().config.kb_record);
+}
+
+TEST(CliArgs, KbSubcommandsValidateTheirOperands) {
+  Result<CliArgs> status_cmd =
+      Parse({"kb-status", "--socket", "/tmp/d.sock"});
+  ASSERT_TRUE(status_cmd.ok()) << status_cmd.status().ToString();
+  EXPECT_EQ(status_cmd.value().command, CliCommand::kKbStatus);
+
+  Result<CliArgs> export_cmd = Parse(
+      {"kb-export", "--socket", "/tmp/d.sock", "--kb", "/tmp/out.kb"});
+  ASSERT_TRUE(export_cmd.ok()) << export_cmd.status().ToString();
+  EXPECT_EQ(export_cmd.value().command, CliCommand::kKbExport);
+  EXPECT_EQ(export_cmd.value().kb_path, "/tmp/out.kb");
+
+  Result<CliArgs> import_cmd = Parse(
+      {"kb-import", "--socket", "/tmp/d.sock", "--kb", "/tmp/in.kb"});
+  ASSERT_TRUE(import_cmd.ok()) << import_cmd.status().ToString();
+  EXPECT_EQ(import_cmd.value().command, CliCommand::kKbImport);
+
+  // Export/import need a file; all three need a socket.
+  EXPECT_FALSE(Parse({"kb-export", "--socket", "/tmp/d.sock"}).ok());
+  EXPECT_FALSE(Parse({"kb-import", "--socket", "/tmp/d.sock"}).ok());
+  EXPECT_FALSE(Parse({"kb-status"}).ok());
+}
+
 }  // namespace
 }  // namespace volcanoml

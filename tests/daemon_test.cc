@@ -86,12 +86,14 @@ class DaemonFixture {
  public:
   explicit DaemonFixture(const std::string& socket_path,
                          size_t max_resident = 8,
-                         const std::string& spool_dir = "/tmp")
+                         const std::string& spool_dir = "/tmp",
+                         const std::string& kb_path = "")
       : pool_(1), client_(socket_path) {
     DaemonOptions options;
     options.socket_path = socket_path;
     options.spool_dir = spool_dir;
     options.max_resident = max_resident;
+    options.kb_path = kb_path;
     daemon_ = std::make_unique<Daemon>(options);
     served_ = pool_.Submit([this] { serve_status_ = daemon_->Serve(); });
     // Wait until the socket answers (the daemon binds asynchronously).
@@ -536,6 +538,157 @@ TEST(Daemon, ShutdownStopsTheServeLoopAndRemovesTheSocket) {
   EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
   // The listener unlinked its socket on the way out.
   EXPECT_FALSE(ConnectUnix(socket).ok());
+}
+
+TEST(Daemon, KbRecordIngestsAndPersistsAcrossRestart) {
+  std::string csv = BlobsCsv();
+  std::string socket = "/tmp/volcanoml_daemon_kb_ingest_test.sock";
+  std::string kb_path = "/tmp/volcanoml_daemon_kb_ingest_test.kb";
+  std::remove(kb_path.c_str());
+
+  uint64_t recorded_hash = 0;
+  {
+    DaemonFixture fixture(socket, 8, "/tmp", kb_path);
+    // A cold daemon serves an empty KB.
+    Result<KbQueryReply> empty = fixture.client().KbQuery();
+    ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+    EXPECT_TRUE(empty.value().artifacts.empty());
+
+    CreateSessionRequest request;
+    request.csv = csv;
+    request.config =
+        SmallConfig(PlanKind::kConditioningAlternating,
+                    JointOptimizerKind::kSmac);
+    request.config.kb_record = true;
+    Result<uint64_t> created = fixture.client().CreateSession(request);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    Result<SessionStatus> done =
+        fixture.client().WaitUntilDone(created.value());
+    ASSERT_TRUE(done.ok()) << done.status().ToString();
+
+    // The completed kb_record session was auto-ingested.
+    Result<KbQueryReply> queried = fixture.client().KbQuery();
+    ASSERT_TRUE(queried.ok()) << queried.status().ToString();
+    ASSERT_EQ(queried.value().artifacts.size(), 1u);
+    EXPECT_EQ(queried.value().artifacts[0].dataset_name, "train");
+    EXPECT_GT(queried.value().artifacts[0].best_utility, 0.0);
+    EXPECT_GT(queried.value().artifacts[0].num_observations, 0u);
+    recorded_hash = queried.value().artifacts[0].dataset_hash;
+  }
+
+  // A fresh daemon on the same KB file starts with the recorded artifact:
+  // ingestion persisted it, not just held it in memory.
+  {
+    DaemonFixture fixture(socket, 8, "/tmp", kb_path);
+    Result<KbQueryReply> queried = fixture.client().KbQuery();
+    ASSERT_TRUE(queried.ok()) << queried.status().ToString();
+    ASSERT_EQ(queried.value().artifacts.size(), 1u);
+    EXPECT_EQ(queried.value().artifacts[0].dataset_hash, recorded_hash);
+  }
+  std::remove(kb_path.c_str());
+}
+
+TEST(Daemon, KbExportImportRoundTripsBetweenDaemons) {
+  // Build a one-artifact KB in-process and ship it daemon-to-daemon.
+  Dataset recorded = MakeBlobs(60, 4, 2, 1.1, 29);
+  recorded.set_name("recorded");
+  VolcanoMlOptions options;
+  options.space.task = TaskType::kClassification;
+  options.space.preset = SpacePreset::kSmall;
+  options.budget = 6.0;
+  options.seed = 7;
+  VolcanoML automl(options);
+  automl.Fit(recorded);
+  MetaKnowledgeBase kb;
+  kb.AddArtifact(automl.ExportRunArtifact());
+
+  std::string socket = "/tmp/volcanoml_daemon_kb_roundtrip_test.sock";
+  std::string kb_path = "/tmp/volcanoml_daemon_kb_roundtrip_test.kb";
+  std::remove(kb_path.c_str());
+  DaemonFixture fixture(socket, 8, "/tmp", kb_path);
+
+  Result<KbImportReply> imported = fixture.client().KbImport(kb.Serialize());
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(imported.value().added, 1u);
+  EXPECT_EQ(imported.value().total, 1u);
+
+  // Importing the same payload again is a dedup no-op.
+  Result<KbImportReply> again = fixture.client().KbImport(kb.Serialize());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().added, 0u);
+  EXPECT_EQ(again.value().total, 1u);
+
+  // Export returns the identical serialized store (byte-exact codec).
+  Result<std::string> exported = fixture.client().KbExport();
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  EXPECT_EQ(exported.value(), kb.Serialize());
+
+  // Garbage import is rejected as a status, and the store is untouched.
+  Result<KbImportReply> rejected = fixture.client().KbImport("not a kb");
+  EXPECT_FALSE(rejected.ok());
+  Result<KbQueryReply> queried = fixture.client().KbQuery();
+  ASSERT_TRUE(queried.ok()) << queried.status().ToString();
+  EXPECT_EQ(queried.value().artifacts.size(), 1u);
+  std::remove(kb_path.c_str());
+}
+
+TEST(Daemon, WarmSessionMatchesInProcessTwinWithSameKb) {
+  // A daemon-driven warm-started session must be bit-identical to the
+  // in-process run given the same config, CSV bytes, and KB contents.
+  Dataset recorded = MakeBlobs(60, 4, 2, 1.1, 29);
+  recorded.set_name("recorded");
+  VolcanoMlOptions record_options;
+  record_options.space.task = TaskType::kClassification;
+  record_options.space.preset = SpacePreset::kSmall;
+  record_options.budget = 6.0;
+  record_options.seed = 7;
+  VolcanoML record_run(record_options);
+  record_run.Fit(recorded);
+  MetaKnowledgeBase kb;
+  kb.AddArtifact(record_run.ExportRunArtifact());
+
+  std::string csv = BlobsCsv();
+  std::string socket = "/tmp/volcanoml_daemon_kb_twin_test.sock";
+  std::string kb_path = "/tmp/volcanoml_daemon_kb_twin_test.kb";
+  std::remove(kb_path.c_str());
+  DaemonFixture fixture(socket, 8, "/tmp", kb_path);
+  Result<KbImportReply> imported = fixture.client().KbImport(kb.Serialize());
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+
+  SessionConfig config = SmallConfig(PlanKind::kConditioningAlternating,
+                                     JointOptimizerKind::kSmac);
+  config.kb_warm_starts = 2;
+  CreateSessionRequest request;
+  request.csv = csv;
+  request.config = config;
+  Result<uint64_t> created = fixture.client().CreateSession(request);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  Result<SessionStatus> done = fixture.client().WaitUntilDone(created.value());
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+
+  // The in-process twin: same options seam as the daemon session, with
+  // the identical KB injected by hand.
+  Result<VolcanoMlOptions> twin_options = SessionConfigToOptions(config);
+  ASSERT_TRUE(twin_options.ok()) << twin_options.status().ToString();
+  twin_options.value().knowledge = &kb;
+  Result<Dataset> data = ParseCsvDataset(
+      csv, twin_options.value().space.task, "train", "twin");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  VolcanoML twin(twin_options.value());
+  ASSERT_TRUE(twin.Prepare(data.value()).ok());
+  twin.executor()->Run();
+
+  QuerySessionRequest query;
+  query.session_id = created.value();
+  query.include_trajectory = true;
+  query.include_assignment = true;
+  Result<QuerySessionReply> reply = fixture.client().QuerySession(query);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(FormatTrajectory(reply.value().trajectory),
+            FormatTrajectory(twin.executor()->trajectory()));
+  EXPECT_EQ(reply.value().best_assignment,
+            twin.executor()->BestAssignment());
+  std::remove(kb_path.c_str());
 }
 
 }  // namespace

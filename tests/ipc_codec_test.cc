@@ -96,6 +96,8 @@ TEST(Messages, SessionConfigRoundTrips) {
   config.include_smote = true;
   config.batch_size = 3;
   config.precision = 1;
+  config.kb_warm_starts = 4;
+  config.kb_record = true;
   Result<SessionConfig> round =
       DecodeMessage<SessionConfig>(EncodeMessage(config));
   ASSERT_TRUE(round.ok());
@@ -109,6 +111,57 @@ TEST(Messages, SessionConfigRoundTrips) {
   EXPECT_EQ(round.value().include_smote, config.include_smote);
   EXPECT_EQ(round.value().batch_size, config.batch_size);
   EXPECT_EQ(round.value().precision, config.precision);
+  EXPECT_EQ(round.value().kb_warm_starts, config.kb_warm_starts);
+  EXPECT_EQ(round.value().kb_record, config.kb_record);
+}
+
+TEST(Messages, KbMessagesRoundTrip) {
+  KbQueryReply query;
+  KbArtifactSummary a;
+  a.dataset_name = "blobs";
+  a.dataset_hash = 0xfeedface12345678ull;
+  a.task = 0;
+  a.best_utility = 0.9375;
+  a.num_observations = 42;
+  KbArtifactSummary b;
+  b.dataset_name = "circles";
+  b.task = 1;
+  query.artifacts = {a, b};
+  Result<KbQueryReply> query_round =
+      DecodeMessage<KbQueryReply>(EncodeMessage(query));
+  ASSERT_TRUE(query_round.ok());
+  ASSERT_EQ(query_round.value().artifacts.size(), 2u);
+  EXPECT_EQ(query_round.value().artifacts[0].dataset_name, "blobs");
+  EXPECT_EQ(query_round.value().artifacts[0].dataset_hash, a.dataset_hash);
+  EXPECT_TRUE(BitEqual(query_round.value().artifacts[0].best_utility,
+                       a.best_utility));
+  EXPECT_EQ(query_round.value().artifacts[0].num_observations, 42u);
+  EXPECT_EQ(query_round.value().artifacts[1].task, 1);
+
+  // Export/import payloads are opaque serialized KB bytes — the codec
+  // must pass embedded NULs and arbitrary binary through untouched.
+  KbExportReply exported;
+  exported.serialized = std::string("kb\0bytes\xff\x01", 10);
+  Result<KbExportReply> export_round =
+      DecodeMessage<KbExportReply>(EncodeMessage(exported));
+  ASSERT_TRUE(export_round.ok());
+  EXPECT_EQ(export_round.value().serialized, exported.serialized);
+
+  KbImportRequest import_request;
+  import_request.serialized = exported.serialized;
+  Result<KbImportRequest> import_round =
+      DecodeMessage<KbImportRequest>(EncodeMessage(import_request));
+  ASSERT_TRUE(import_round.ok());
+  EXPECT_EQ(import_round.value().serialized, exported.serialized);
+
+  KbImportReply import_reply;
+  import_reply.added = 3;
+  import_reply.total = 7;
+  Result<KbImportReply> reply_round =
+      DecodeMessage<KbImportReply>(EncodeMessage(import_reply));
+  ASSERT_TRUE(reply_round.ok());
+  EXPECT_EQ(reply_round.value().added, 3u);
+  EXPECT_EQ(reply_round.value().total, 7u);
 }
 
 TEST(Messages, QueryReplyRoundTripsTrajectoryAndAssignment) {

@@ -1,0 +1,420 @@
+// Cross-run transfer: knowledge-base codec, deterministic retrieval, and
+// the prior-injection seams the portfolio rides on. The on-disk format
+// lives entirely in src/meta/ (tooling rule R17), so these tests mutate
+// serialized bytes programmatically instead of spelling the header out.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bo/smac.h"
+#include "core/volcano_ml.h"
+#include "data/meta_features.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "meta/knowledge_base.h"
+#include "util/status.h"
+
+namespace volcanoml {
+namespace {
+
+SearchSpaceOptions SmallCls() {
+  SearchSpaceOptions o;
+  o.task = TaskType::kClassification;
+  o.preset = SpacePreset::kSmall;
+  return o;
+}
+
+RunArtifact MakeArtifact(const std::string& name, uint64_t hash,
+                         const std::vector<double>& features,
+                         double algorithm) {
+  RunArtifact artifact;
+  artifact.dataset_name = name;
+  artifact.dataset_hash = hash;
+  artifact.task = TaskType::kClassification;
+  artifact.meta_features = features;
+  artifact.best_assignment = {{"algorithm", algorithm}};
+  artifact.best_utility = 0.9;
+  return artifact;
+}
+
+TEST(ContentHashTest, KeyedOnBytesNotName) {
+  Dataset a = MakeBlobs(120, 4, 2, 1.0, 1);
+  Dataset b = MakeBlobs(120, 4, 2, 1.0, 1);
+  Dataset c = MakeBlobs(120, 4, 2, 1.0, 2);
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+  EXPECT_NE(a.ContentHash(), c.ContentHash());
+  b.set_name("an_entirely_different_name");
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+}
+
+TEST(RetrievalTest, NearestKOrderedByDistance) {
+  Dataset query = MakeBlobs(200, 4, 2, 1.0, 5);
+  std::vector<double> near =
+      ComputeMetaFeatures(MakeBlobs(200, 4, 2, 1.0, 6), kMetaFeatureSeed);
+  std::vector<double> far =
+      ComputeMetaFeatures(MakeXorParity(700, 4, 30, 0.1, 7), kMetaFeatureSeed);
+
+  MetaKnowledgeBase kb;
+  kb.AddArtifact(MakeArtifact("far", 1, far, 3.0));
+  kb.AddArtifact(MakeArtifact("near", 2, near, 2.0));
+
+  std::vector<Assignment> warm = kb.SuggestWarmStarts(query, 2);
+  ASSERT_EQ(warm.size(), 2u);
+  EXPECT_DOUBLE_EQ(warm[0].at("algorithm"), 2.0);
+  EXPECT_DOUBLE_EQ(warm[1].at("algorithm"), 3.0);
+}
+
+TEST(RetrievalTest, TieBreakIsPureFunctionOfStoreContents) {
+  Dataset query = MakeBlobs(200, 4, 2, 1.0, 5);
+  std::vector<double> features =
+      ComputeMetaFeatures(MakeBlobs(200, 4, 2, 1.0, 6), kMetaFeatureSeed);
+
+  // Two artifacts at the exact same distance: order must come from the
+  // (hash, name) tie-break, never from insertion order.
+  RunArtifact low = MakeArtifact("zz_low_hash", 111, features, 1.0);
+  RunArtifact high = MakeArtifact("aa_high_hash", 222, features, 2.0);
+
+  MetaKnowledgeBase forward;
+  forward.AddArtifact(low);
+  forward.AddArtifact(high);
+  MetaKnowledgeBase reversed;
+  reversed.AddArtifact(high);
+  reversed.AddArtifact(low);
+
+  std::vector<Assignment> a = forward.SuggestWarmStarts(query, 2);
+  std::vector<Assignment> b = reversed.SuggestWarmStarts(query, 2);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(a[0].at("algorithm"), 1.0);  // smaller hash wins the tie
+  EXPECT_DOUBLE_EQ(a[1].at("algorithm"), 2.0);
+  EXPECT_DOUBLE_EQ(b[0].at("algorithm"), a[0].at("algorithm"));
+  EXPECT_DOUBLE_EQ(b[1].at("algorithm"), a[1].at("algorithm"));
+}
+
+TEST(RetrievalTest, ArmWinnersOfNearestRunLeadThePortfolio) {
+  Dataset query = MakeBlobs(200, 4, 2, 1.0, 5);
+  std::vector<double> near =
+      ComputeMetaFeatures(MakeBlobs(200, 4, 2, 1.0, 6), kMetaFeatureSeed);
+  std::vector<double> far =
+      ComputeMetaFeatures(MakeXorParity(700, 4, 30, 0.1, 7), kMetaFeatureSeed);
+
+  RunArtifact nearest = MakeArtifact("near", 1, near, 0.0);
+  nearest.arm_winners.push_back({"algorithm", 0.0, {{"algorithm", 0.0}}, 0.8});
+  nearest.arm_winners.push_back({"algorithm", 1.0, {{"algorithm", 1.0}}, 0.7});
+  // The run's global best duplicates its first arm winner — it must be
+  // deduplicated, not proposed twice.
+  nearest.best_assignment = {{"algorithm", 0.0}};
+
+  RunArtifact second = MakeArtifact("far", 2, far, 3.0);
+
+  MetaKnowledgeBase kb;
+  kb.AddArtifact(second);
+  kb.AddArtifact(nearest);
+
+  std::vector<Assignment> warm = kb.SuggestWarmStarts(query, 2);
+  ASSERT_EQ(warm.size(), 3u);
+  EXPECT_DOUBLE_EQ(warm[0].at("algorithm"), 0.0);  // nearest arm winner 1
+  EXPECT_DOUBLE_EQ(warm[1].at("algorithm"), 1.0);  // nearest arm winner 2
+  EXPECT_DOUBLE_EQ(warm[2].at("algorithm"), 3.0);  // second run's best
+}
+
+TEST(RetrievalTest, HistoryTransfersWinnersFirstThenBestCapped) {
+  Dataset query = MakeBlobs(200, 4, 2, 1.0, 5);
+  std::vector<double> near =
+      ComputeMetaFeatures(MakeBlobs(200, 4, 2, 1.0, 6), kMetaFeatureSeed);
+
+  RunArtifact artifact = MakeArtifact("near", 1, near, 0.0);
+  artifact.arm_winners.push_back({"algorithm", 0.0, {{"algorithm", 0.0}}, 0.8});
+  // History: the best entry duplicates the arm winner (must dedup), so
+  // the cap of 2 should take the winner plus the best non-duplicate.
+  artifact.history.push_back({Assignment{{"algorithm", 2.0}}, 0.2});
+  artifact.history.push_back({Assignment{{"algorithm", 0.0}}, 0.9});
+  artifact.history.push_back({Assignment{{"algorithm", 3.0}}, 0.5});
+  MetaKnowledgeBase kb;
+  kb.AddArtifact(artifact);
+
+  Portfolio portfolio = kb.SuggestPortfolio(query, 1, /*max_history_per_run=*/2);
+  ASSERT_EQ(portfolio.history.size(), 2u);
+  EXPECT_DOUBLE_EQ(portfolio.history[0].assignment.at("algorithm"), 0.0);
+  EXPECT_DOUBLE_EQ(portfolio.history[0].utility, 0.8);
+  EXPECT_DOUBLE_EQ(portfolio.history[1].assignment.at("algorithm"), 3.0);
+  EXPECT_DOUBLE_EQ(portfolio.history[1].utility, 0.5);
+}
+
+TEST(CodecTest, SerializeRoundTripsByteExactly) {
+  MetaKnowledgeBase kb;
+  RunArtifact artifact = MakeArtifact("d1", 42, {1.0, -2.5, 3.0}, 1.0);
+  artifact.trajectory.push_back({1.0, 0.5});
+  artifact.trajectory.push_back({2.0, 0.75});
+  artifact.arm_winners.push_back({"algorithm", 1.0, {{"algorithm", 1.0}}, 0.7});
+  artifact.history.push_back(
+      {Assignment{{"algorithm", 1.0}, {"alg:knn:k", 7.0}}, 0.75});
+  kb.AddArtifact(artifact);
+
+  std::string bytes = kb.Serialize();
+  MetaKnowledgeBase loaded;
+  ASSERT_TRUE(loaded.Deserialize(bytes).ok());
+  ASSERT_EQ(loaded.NumArtifacts(), 1u);
+  const RunArtifact& got = loaded.artifacts()[0];
+  EXPECT_EQ(got.dataset_name, "d1");
+  EXPECT_EQ(got.dataset_hash, 42u);
+  EXPECT_EQ(got.meta_features, artifact.meta_features);
+  EXPECT_DOUBLE_EQ(got.best_utility, 0.9);
+  ASSERT_EQ(got.trajectory.size(), 2u);
+  EXPECT_DOUBLE_EQ(got.trajectory[1].utility, 0.75);
+  ASSERT_EQ(got.arm_winners.size(), 1u);
+  EXPECT_EQ(got.arm_winners[0].variable, "algorithm");
+  ASSERT_EQ(got.history.size(), 1u);
+  EXPECT_DOUBLE_EQ(got.history[0].assignment.at("alg:knn:k"), 7.0);
+  // Equal stores serialize to equal bytes.
+  EXPECT_EQ(loaded.Serialize(), bytes);
+}
+
+TEST(CodecTest, MissingFileIsNotFound) {
+  MetaKnowledgeBase kb;
+  Status status = kb.LoadFromFile("/tmp/volcanoml_meta_test_missing_file");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(CodecTest, FileRoundTrip) {
+  MetaKnowledgeBase kb;
+  kb.AddArtifact(MakeArtifact("d1", 7, {0.5, 1.5}, 2.0));
+  const std::string path = "/tmp/volcanoml_meta_test_roundtrip.kb";
+  ASSERT_TRUE(kb.SaveToFile(path).ok());
+  MetaKnowledgeBase loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.Serialize(), kb.Serialize());
+  std::remove(path.c_str());
+}
+
+TEST(CodecTest, RejectsLegacyUnversionedFormat) {
+  // The pre-PR-10 store was line-oriented tab-separated text with no
+  // header; any such file must be named a version mismatch, not parsed.
+  MetaKnowledgeBase kb;
+  Status status = kb.Deserialize("blobs\t0.5\t1.5\talgorithm=2\n");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+  EXPECT_EQ(kb.NumArtifacts(), 0u);
+}
+
+TEST(CodecTest, RejectsFutureVersion) {
+  MetaKnowledgeBase kb;
+  kb.AddArtifact(MakeArtifact("d1", 7, {0.5}, 1.0));
+  std::string bytes = kb.Serialize();
+  // Bump the version number in the header (the last token before the
+  // first newline) without spelling the format out here.
+  size_t newline = bytes.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  bytes.replace(bytes.rfind(' ', newline) + 1, newline - bytes.rfind(' ', newline) - 1,
+                "999");
+  MetaKnowledgeBase loaded;
+  Status status = loaded.Deserialize(bytes);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("999"), std::string::npos);
+}
+
+TEST(CodecTest, RejectsTruncatedInput) {
+  MetaKnowledgeBase kb;
+  kb.AddArtifact(MakeArtifact("d1", 7, {0.5}, 1.0));
+  std::string bytes = kb.Serialize();
+
+  // Header only, newline stripped.
+  MetaKnowledgeBase a;
+  EXPECT_EQ(a.Deserialize(bytes.substr(0, bytes.find('\n'))).code(),
+            StatusCode::kInvalidArgument);
+  // Body cut in half.
+  MetaKnowledgeBase b;
+  EXPECT_EQ(b.Deserialize(bytes.substr(0, bytes.size() / 2)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.NumArtifacts(), 0u);
+}
+
+TEST(CodecTest, RejectsCorruptBodyWithoutPartialState) {
+  MetaKnowledgeBase kb;
+  kb.AddArtifact(MakeArtifact("d1", 7, {0.5}, 1.0));
+  kb.AddArtifact(MakeArtifact("d2", 8, {1.5}, 2.0));
+  std::string bytes = kb.Serialize();
+  // Corrupt a structural token mid-body (a flipped bit inside a numeric
+  // payload just changes the number; the reader checks labels).
+  size_t label = bytes.rfind("num_history");
+  ASSERT_NE(label, std::string::npos);
+  bytes[label] = '#';
+  MetaKnowledgeBase loaded;
+  loaded.AddArtifact(MakeArtifact("keep", 9, {2.5}, 3.0));
+  Status status = loaded.Deserialize(bytes);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // A failed load must not leave the store half-replaced.
+  ASSERT_EQ(loaded.NumArtifacts(), 1u);
+  EXPECT_EQ(loaded.artifacts()[0].dataset_name, "keep");
+}
+
+TEST(CodecTest, MergeSerializedDeduplicatesByHashAndTask) {
+  MetaKnowledgeBase a;
+  a.AddArtifact(MakeArtifact("d1", 1, {0.5}, 1.0));
+  MetaKnowledgeBase b;
+  b.AddArtifact(MakeArtifact("d1_copy", 1, {0.5}, 1.0));  // same hash: skip
+  b.AddArtifact(MakeArtifact("d2", 2, {1.5}, 2.0));       // new: add
+
+  Result<size_t> added = a.MergeSerialized(b.Serialize());
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added.value(), 1u);
+  EXPECT_EQ(a.NumArtifacts(), 2u);
+
+  // Merging the same payload again is a no-op.
+  Result<size_t> again = a.MergeSerialized(b.Serialize());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 0u);
+}
+
+ConfigurationSpace TinySpace() {
+  ConfigurationSpace cs;
+  cs.AddContinuous("x", 0.0, 1.0, 0.5);
+  cs.AddContinuous("y", 0.0, 1.0, 0.5);
+  return cs;
+}
+
+TEST(PriorSeamTest, PriorsTouchNeitherIncumbentNorExploreGate) {
+  ConfigurationSpace cs = TinySpace();
+  SmacOptimizer opt(&cs, SmacOptimizer::Options{}, 3);
+  opt.ObservePrior(cs.Default(), 5.0);  // foreign-scale utility
+  EXPECT_TRUE(opt.HasObservations());
+  EXPECT_EQ(opt.NumObservations(), 1u);
+  EXPECT_EQ(opt.NumRealObservations(), 0u);
+  EXPECT_EQ(opt.num_prior_observations(), 1u);
+  // The incumbent is untouched: the first REAL observation becomes best,
+  // even though its utility is far below the transferred one.
+  Configuration real = cs.Default();
+  opt.Observe(real, 0.25);
+  EXPECT_DOUBLE_EQ(opt.best_utility(), 0.25);
+  EXPECT_EQ(opt.NumRealObservations(), 1u);
+}
+
+TEST(PriorSeamTest, ExplorationStreamUnchangedByPriors) {
+  // A prior-seeded optimizer must emit the exact random proposals a cold
+  // one does for as long as the explore gate holds — priors shape only
+  // the model phase.
+  ConfigurationSpace cs = TinySpace();
+  SmacOptimizer::Options o;
+  SmacOptimizer cold(&cs, o, 11);
+  SmacOptimizer warm(&cs, o, 11);
+  for (int i = 0; i < 4; ++i) {
+    Configuration prior = cs.Default();
+    warm.ObservePrior(prior, 2.0 + i);
+  }
+  for (size_t i = 0; i < o.min_observations; ++i) {
+    Configuration a = cold.Suggest();
+    Configuration b = warm.Suggest();
+    EXPECT_EQ(cs.Encode(a), cs.Encode(b)) << "diverged at proposal " << i;
+    cold.Observe(a, 0.1 * static_cast<double>(i));
+    warm.Observe(b, 0.1 * static_cast<double>(i));
+  }
+}
+
+TEST(PriorSeamTest, ClearInitialQueueLetsWarmSeedReplaceDefault) {
+  ConfigurationSpace cs = TinySpace();
+  SmacOptimizer opt(&cs, SmacOptimizer::Options{}, 5);
+  opt.EnqueueInitial(cs.Default());
+  opt.ClearInitialQueue();
+  Configuration warm_seed = cs.FromAssignment({{"x", 0.9}, {"y", 0.1}});
+  opt.EnqueueInitial(warm_seed);
+  Configuration first = opt.Suggest();
+  EXPECT_EQ(cs.Encode(first), cs.Encode(warm_seed));
+}
+
+TEST(TransferTest, EmptyKnowledgeBaseIsBitIdenticalToNoKnowledgeBase) {
+  Dataset data = MakeBlobs(150, 4, 2, 1.2, 9);
+  VolcanoMlOptions options;
+  options.space = SmallCls();
+  options.budget = 12.0;
+  options.seed = 4;
+
+  VolcanoML cold(options);
+  AutoMlResult cold_result = cold.Fit(data);
+
+  MetaKnowledgeBase empty;
+  VolcanoMlOptions warm_options = options;
+  warm_options.knowledge = &empty;
+  VolcanoML warm(warm_options);
+  AutoMlResult warm_result = warm.Fit(data);
+
+  EXPECT_EQ(warm_result.num_evaluations, cold_result.num_evaluations);
+  EXPECT_EQ(warm_result.best_utility, cold_result.best_utility);
+  ASSERT_EQ(warm_result.trajectory.size(), cold_result.trajectory.size());
+  for (size_t i = 0; i < cold_result.trajectory.size(); ++i) {
+    EXPECT_EQ(warm_result.trajectory[i].budget,
+              cold_result.trajectory[i].budget);
+    EXPECT_EQ(warm_result.trajectory[i].utility,
+              cold_result.trajectory[i].utility);
+  }
+  EXPECT_EQ(warm_result.best_assignment, cold_result.best_assignment);
+}
+
+TEST(TransferTest, ExportRunArtifactCarriesTheFullRecord) {
+  Dataset data = MakeBlobs(150, 4, 2, 1.2, 10);
+  data.set_name("export_me");
+  VolcanoMlOptions options;
+  options.space = SmallCls();
+  options.budget = 12.0;
+  options.seed = 6;
+  VolcanoML automl(options);
+  AutoMlResult result = automl.Fit(data);
+
+  RunArtifact artifact = automl.ExportRunArtifact();
+  EXPECT_EQ(artifact.dataset_name, "export_me");
+  EXPECT_EQ(artifact.dataset_hash, data.ContentHash());
+  EXPECT_EQ(artifact.task, TaskType::kClassification);
+  EXPECT_EQ(artifact.meta_features,
+            ComputeMetaFeatures(data, kMetaFeatureSeed));
+  EXPECT_DOUBLE_EQ(artifact.best_utility, result.best_utility);
+  EXPECT_EQ(artifact.best_assignment, result.best_assignment);
+  EXPECT_EQ(artifact.trajectory.size(), result.trajectory.size());
+  EXPECT_FALSE(artifact.history.empty());
+  EXPECT_FALSE(artifact.arm_winners.empty());
+  for (const ArmWinner& winner : artifact.arm_winners) {
+    EXPECT_FALSE(winner.assignment.empty());
+  }
+}
+
+TEST(TransferTest, RecordThenWarmEndToEnd) {
+  // Record a run on one draw of a workload, persist the KB, reload it,
+  // and warm-start a run on a fresh draw. The warm run must retrieve a
+  // non-empty portfolio (the recorded dataset has different bytes, so
+  // self-exclusion does not fire) and finish with a sane result.
+  VolcanoMlOptions options;
+  options.space = SmallCls();
+  options.budget = 12.0;
+  options.seed = 2;
+
+  Dataset recorded = MakeBlobs(150, 4, 2, 1.2, 21);
+  VolcanoML record_run(options);
+  record_run.Fit(recorded);
+
+  MetaKnowledgeBase kb;
+  kb.AddArtifact(record_run.ExportRunArtifact());
+  const std::string path = "/tmp/volcanoml_meta_test_e2e.kb";
+  ASSERT_TRUE(kb.SaveToFile(path).ok());
+
+  MetaKnowledgeBase loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  std::remove(path.c_str());
+
+  Dataset query = MakeBlobs(150, 4, 2, 1.2, 22);
+  EXPECT_FALSE(loaded.SuggestWarmStarts(query, 3).empty());
+  // Same bytes as the recorded dataset: the artifact must be excluded
+  // even under a different name.
+  Dataset renamed = MakeBlobs(150, 4, 2, 1.2, 21);
+  renamed.set_name("renamed");
+  EXPECT_TRUE(loaded.SuggestWarmStarts(renamed, 3).empty());
+
+  VolcanoMlOptions warm_options = options;
+  warm_options.knowledge = &loaded;
+  warm_options.num_warm_starts = 3;
+  VolcanoML warm(warm_options);
+  AutoMlResult result = warm.Fit(query);
+  EXPECT_GT(result.best_utility, 0.5);
+  EXPECT_FALSE(result.trajectory.empty());
+}
+
+}  // namespace
+}  // namespace volcanoml

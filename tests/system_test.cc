@@ -125,10 +125,16 @@ TEST(KnowledgeBaseTest, ExcludesSelfTransfer) {
   query.set_name("myself");
   MetaEntry self;
   self.dataset_name = "myself";
+  self.dataset_hash = query.ContentHash();
   self.task = TaskType::kClassification;
   self.meta_features = ComputeMetaFeatures(query, 1);
   self.best_assignment = {{"algorithm", 0.0}};
   kb.AddEntry(self);
+  EXPECT_TRUE(kb.SuggestWarmStarts(query, 3).empty());
+
+  // Exclusion is keyed on contents, not the name: a renamed copy of the
+  // query dataset is still excluded.
+  query.set_name("renamed_but_same_bytes");
   EXPECT_TRUE(kb.SuggestWarmStarts(query, 3).empty());
 }
 
@@ -143,9 +149,9 @@ TEST(KnowledgeBaseTest, SaveLoadRoundTrip) {
   kb.AddEntry(entry);
 
   std::string path = "/tmp/volcanoml_kb_test.txt";
-  ASSERT_TRUE(kb.Save(path).ok());
+  ASSERT_TRUE(kb.SaveToFile(path).ok());
   MetaKnowledgeBase loaded;
-  ASSERT_TRUE(loaded.Load(path).ok());
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
   ASSERT_EQ(loaded.NumEntries(), 1u);
   EXPECT_EQ(loaded.entries()[0].dataset_name, "d1");
   EXPECT_EQ(loaded.entries()[0].meta_features, entry.meta_features);

@@ -1,0 +1,28 @@
+// expect: R17-kb
+// Knowledge-base format markers outside src/meta/: the magic literal
+// and the version identifiers are private to the versioned codec in
+// meta/knowledge_base.cc. A hand-rolled header writer like the one
+// below is a second producer of the on-disk format — it bypasses the
+// codec's version bump discipline and its rejection of legacy, corrupt
+// and truncated files. Fixtures are never compiled, so the snippets
+// below are purely lexical.
+
+#include <string>
+
+namespace volcanoml {
+
+// R17: magic literal outside the codec — a second format writer.
+std::string HandRolledKbHeader() { return "volcanoml-kb 2\n"; }
+
+// R17: version identifier referenced outside src/meta/.
+extern const unsigned long long kKnowledgeBaseVersion;
+bool IsCurrentVersion(unsigned long long v) {
+  return v == kKnowledgeBaseVersion;
+}
+
+// Negative cases: nearby spellings must not fire — only the exact magic
+// substring and the exact identifiers do.
+std::string NotTheMagic() { return "volcanoml-knowledge"; }
+int kKnowledgeBaseSize = 3;
+
+}  // namespace volcanoml

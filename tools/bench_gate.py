@@ -3,21 +3,28 @@
 
 Compares freshly measured bench JSON (the BENCH_<suite>.json files the
 bench binaries emit through bench/bench_json.h) against the committed
-baselines at the repo root, and fails when any *throughput* metric — a
-metric whose unit ends in "/s" (sessions/s, steps/s, evals/s, items/s)
-— drops below `--min-ratio` (default 0.75, i.e. a >25% regression).
+baselines at the repo root, and fails when any gated metric drops below
+`--min-ratio` (default 0.75, i.e. a >25% regression). Two unit classes
+gate:
 
-Only throughput metrics gate: latency/time metrics (ms, ns) are noisy
-on shared CI runners and already have the throughput numbers as their
-inverse signal. Metrics present in only one file are reported but never
-fail the gate (bench filters legitimately shrink the fresh set).
+  - throughput: unit ends in "/s" (sessions/s, steps/s, evals/s, ...) —
+    higher is better, noisy on shared runners, hence the ratio slack;
+  - quality fractions: unit is exactly "frac" (e.g. bench_kb's
+    warm_win_fraction) — higher is better and *deterministic* (computed
+    from seeded evaluation counts, not wall-clock), so the same ratio
+    slack is generous; any drop below it is a real transfer regression.
+
+Latency/time metrics (ms, ns) never gate: they are noisy and already
+have the throughput numbers as their inverse signal. Metrics present in
+only one file are reported but never fail the gate (bench filters
+legitimately shrink the fresh set).
 
 Usage:
     tools/bench_gate.py --pair BENCH_daemon.json fresh/BENCH_daemon.json \
                         --pair BENCH_micro.json  fresh/BENCH_micro.json \
                         [--min-ratio 0.75]
 
-Exit status: 0 when every comparable throughput metric holds the ratio,
+Exit status: 0 when every comparable gated metric holds the ratio,
 1 on regression, 2 on unusable input (missing file, malformed JSON).
 """
 
@@ -46,8 +53,8 @@ def load_metrics(path):
     return metrics
 
 
-def is_throughput(unit):
-    return unit.endswith("/s")
+def is_gated(unit):
+    return unit.endswith("/s") or unit == "frac"
 
 
 def compare(baseline_path, fresh_path, min_ratio):
@@ -62,7 +69,7 @@ def compare(baseline_path, fresh_path, min_ratio):
     for name in shared:
         base_value, base_unit = baseline[name]
         fresh_value, fresh_unit = fresh[name]
-        if not is_throughput(base_unit) or base_unit != fresh_unit:
+        if not is_gated(base_unit) or base_unit != fresh_unit:
             continue
         gated = True
         ratio = fresh_value / base_value if base_value > 0 else float("inf")
@@ -74,12 +81,12 @@ def compare(baseline_path, fresh_path, min_ratio):
                 f"{name}: {fresh_value:.3f} {fresh_unit} < "
                 f"{min_ratio:.2f} * {base_value:.3f} (x{ratio:.3f})")
     if not gated:
-        print("  (no shared throughput metrics — nothing gated)")
+        print("  (no shared gated metrics — nothing gated)")
     skipped = sorted(set(baseline) - set(fresh))
-    throughput_skipped = [n for n in skipped if is_throughput(baseline[n][1])]
-    if throughput_skipped:
+    gated_skipped = [n for n in skipped if is_gated(baseline[n][1])]
+    if gated_skipped:
         print(f"  not measured fresh (ignored): "
-              f"{', '.join(throughput_skipped)}")
+              f"{', '.join(gated_skipped)}")
     return regressions
 
 
@@ -92,7 +99,7 @@ def main(argv):
              "(repeatable)")
     parser.add_argument(
         "--min-ratio", type=float, default=0.75,
-        help="fail when fresh throughput < min-ratio * baseline "
+        help="fail when a fresh gated metric < min-ratio * baseline "
              "(default 0.75 = >25%% regression)")
     args = parser.parse_args(argv)
 
@@ -100,11 +107,11 @@ def main(argv):
     for baseline_path, fresh_path in args.pair:
         regressions += compare(baseline_path, fresh_path, args.min_ratio)
     if regressions:
-        print(f"\nbench_gate: {len(regressions)} throughput regression(s):")
+        print(f"\nbench_gate: {len(regressions)} gated-metric regression(s):")
         for line in regressions:
             print(f"  {line}")
         return 1
-    print("\nbench_gate: all throughput metrics within budget")
+    print("\nbench_gate: all gated metrics within budget")
     return 0
 
 

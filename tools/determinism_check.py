@@ -57,6 +57,14 @@ complementing the runtime bit-equality tests:
                       table always covers the full numeric surface and
                       forcing VOLCANOML_SIMD=scalar pins every bit the
                       library produces.
+  R17 kb              The knowledge-base on-disk format is confined to
+                      src/meta/: the "volcanoml-kb" magic literal and
+                      the kKnowledgeBaseMagic / kKnowledgeBaseVersion
+                      identifiers may not appear anywhere else. A stray
+                      copy is a second writer or parser of the format
+                      growing outside the one versioned codec that owns
+                      rejection of legacy, corrupt and truncated files —
+                      the first place byte-compatibility silently forks.
 
 Waivers: append `// NOLINT-determinism(reason)` to the offending line.
 Waived lines are suppressed but inventoried in the report, so every
@@ -137,6 +145,11 @@ SIMD_IDENT_PREFIXES = ("_mm", "__m64", "__m128", "__m256", "__m512",
                        "__builtin_ia32")
 CPU_PROBE_BUILTINS = ("__builtin_cpu_supports", "__builtin_cpu_init",
                       "__builtin_cpu_is")
+
+# R17: knowledge-base file format confined to its codec (src/meta/).
+KB_FORMAT_ALLOWED_PREFIX = "src/meta/"
+KB_FORMAT_MAGIC = "volcanoml-kb"
+KB_FORMAT_IDENTS = ("kKnowledgeBaseMagic", "kKnowledgeBaseVersion")
 
 # R10: snapshot key primitives and aggregate helpers whose first string
 # argument is the key.
@@ -594,6 +607,30 @@ def check_simd_confinement(scan: FileScan, report: Report):
                 "every bit the library produces")
 
 
+def check_kb_format_confinement(scan: FileScan, report: Report):
+    """R17: the knowledge-base format magic and version identifiers
+    outside src/meta/."""
+    if scan.rel.startswith(KB_FORMAT_ALLOWED_PREFIX):
+        return
+    for t in scan.tokens:
+        if t.kind == "string" and KB_FORMAT_MAGIC in t.text:
+            report.add(
+                scan, t.line, "R17-kb",
+                f'knowledge-base magic "{KB_FORMAT_MAGIC}" outside '
+                "src/meta/; the versioned codec "
+                "(meta/knowledge_base.cc) is the only writer and parser "
+                "of the on-disk format — build KB bytes through "
+                "Serialize()/Deserialize() so legacy, corrupt and "
+                "truncated files keep exactly one rejection path")
+        elif t.kind == "ident" and t.text in KB_FORMAT_IDENTS:
+            report.add(
+                scan, t.line, "R17-kb",
+                f"{t.text} referenced outside src/meta/; the format "
+                "marker is private to the knowledge-base codec — "
+                "callers speak RunArtifact values and Serialize() "
+                "bytes, never the header layout")
+
+
 def extract_snapshot_keys(tokens: list[Token], start: int,
                           end: int) -> set[str]:
     """Quoted keys passed to snapshot primitives inside [start, end)."""
@@ -810,6 +847,7 @@ def main() -> int:
         check_raw_syscalls(scan, report)
         check_process_syscalls(scan, report)
         check_simd_confinement(scan, report)
+        check_kb_format_confinement(scan, report)
     check_snapshot_pairs(scans, report)
 
     for v in report.violations:
